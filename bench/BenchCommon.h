@@ -1,0 +1,66 @@
+//===-- bench/BenchCommon.h - Shared bench harness helpers ------*- C++ -*-===//
+//
+// Part of the LIGER reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Output helpers shared by the table/figure reproduction binaries.
+/// Every bench prints (1) the experiment banner with the effective
+/// scale, (2) the regenerated rows, and (3) the paper's reported
+/// numbers next to ours, because the reproduction contract is matching
+/// *shape* (orderings, trends, crossovers), not absolute values — our
+/// substrate is a synthetic corpus on CPU, not Java-large on V100s.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIGER_BENCH_BENCHCOMMON_H
+#define LIGER_BENCH_BENCHCOMMON_H
+
+#include "eval/Experiments.h"
+#include "support/StringUtils.h"
+#include "support/Table.h"
+
+#include <cstdio>
+
+namespace liger {
+
+/// Prints the standard banner with the effective scale. Also switches
+/// stdout to line buffering so progress lines appear promptly when the
+/// bench output is piped to a file.
+inline void printBanner(const char *Title, const ExperimentScale &Scale) {
+  std::setvbuf(stdout, nullptr, _IOLBF, 0);
+  std::printf("==============================================================="
+              "=\n");
+  std::printf("%s\n", Title);
+  std::printf("scale: methods=%zu/%zu coset/class=%zu epochs=%zu hidden=%zu "
+              "embed=%zu paths=%u execs=%u lr=%.4f seed=%llu\n",
+              Scale.MethodsMed, Scale.MethodsLarge, Scale.CosetPerClass,
+              Scale.Epochs, Scale.Hidden, Scale.EmbedDim, Scale.TargetPaths,
+              Scale.ExecutionsPerPath,
+              static_cast<double>(Scale.LearningRate),
+              static_cast<unsigned long long>(Scale.Seed));
+  std::printf("(override with --methods= --epochs= --hidden= --paths= "
+              "--execs= --lr= --seed= --verbose)\n");
+  std::printf("==============================================================="
+              "=\n\n");
+}
+
+/// Renders "P/R/F1" as one compact cell.
+inline std::string prfCell(const PrfScores &Scores) {
+  return formatDouble(Scores.Precision, 2) + " / " +
+         formatDouble(Scores.Recall, 2) + " / " +
+         formatDouble(Scores.F1, 2);
+}
+
+/// Prints the shape-check epilogue shared by all benches.
+inline void printShapeNote() {
+  std::printf("\nNOTE: absolute numbers are not comparable to the paper "
+              "(synthetic corpus, CPU-scale\nmodels); the reproduction "
+              "target is the *shape* — who wins, rough factors, and "
+              "trends.\n");
+}
+
+} // namespace liger
+
+#endif // LIGER_BENCH_BENCHCOMMON_H

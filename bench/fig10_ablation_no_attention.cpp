@@ -1,0 +1,70 @@
+//===-- bench/fig10_ablation_no_attention.cpp - Reproduce Figure 10 -------===//
+//
+// Part of the LIGER reproduction project.
+//
+//===----------------------------------------------------------------------===//
+//
+// Figure 10 (§6.3.3): remove the fusion attention — feature vectors are
+// combined with uniform weights. The paper's shape: a notable drop
+// (32.30 -> 28.63 F1 on Java-med) even with abundant concrete traces,
+// because uniform weights prevent the model from leaning on the
+// symbolic dimension; robustness under reduction suffers accordingly.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+using namespace liger;
+
+int main(int Argc, char **Argv) {
+  ExperimentScale Scale = ExperimentScale::fromArgs(Argc, Argv);
+  printBanner("Figure 10 — ablation: LIGER without fusion attention",
+              Scale);
+
+  std::printf("building corpus...\n");
+  NameTask Task = buildNameTask(Scale, /*Large=*/false);
+  std::printf("  train %zu / valid %zu / test %zu\n\n",
+              Task.Split.Train.size(), Task.Split.Valid.size(),
+              Task.Split.Test.size());
+
+  LigerAblation NoAttention;
+  NoAttention.FusionAttention = false;
+
+  NameRunResult Full = runNameModel(NameModel::Liger, Task, Scale);
+  NameRunResult Uniform =
+      runNameModel(NameModel::Liger, Task, Scale, NoAttention);
+  std::printf("full data: LIGER %.2f vs LIGER(uniform fusion) %.2f F1\n\n",
+              Full.Test.F1, Uniform.Test.F1);
+
+  std::printf("[10] reductions with uniform fusion weights\n");
+  TextTable Table({"reduction", "LIGER(no attn) F1", "LIGER(full) F1"});
+  struct Point {
+    const char *Label;
+    TraceTransform Transform;
+  };
+  std::vector<Point> Points = {
+      {"concrete=1", reduceConcreteTransform(1)},
+      {"symbolic=2 (cov.)", reduceSymbolicTransform(2, 3)},
+  };
+  for (const Point &P : Points) {
+    NameRunResult A =
+        runNameModel(NameModel::Liger, Task, Scale, NoAttention,
+                     P.Transform);
+    NameRunResult F =
+        runNameModel(NameModel::Liger, Task, Scale, {}, P.Transform);
+    Table.addRow({P.Label, formatDouble(A.Test.F1, 2),
+                  formatDouble(F.Test.F1, 2)});
+    std::printf("  %s done (no-attn %.2f, full %.2f)\n", P.Label, A.Test.F1,
+                F.Test.F1);
+  }
+  std::printf("\n");
+  Table.print();
+  Table.writeCsv("fig10_no_attention.csv");
+
+  std::printf("\nPaper's Figure 10 shape: uniform weights cost accuracy "
+              "both at full data\n(32.30 -> 28.63 on Java-med) and across "
+              "the reduction sweeps — the attention\nmechanism is what "
+              "lets the symbolic dimension issue strong signals.\n");
+  printShapeNote();
+  return 0;
+}

@@ -1,0 +1,96 @@
+//===-- bench/fig6_data_reliance.cpp - Reproduce Figure 6 -----------------===//
+//
+// Part of the LIGER reproduction project.
+//
+//===----------------------------------------------------------------------===//
+//
+// Figure 6: LIGER's data reliance on the method-name task.
+//   (a/b) F1 as the number of concrete traces per path shrinks
+//         (symbolic count constant) — LIGER should stay nearly flat
+//         while DYPRO, trained on the same concrete traces, degrades.
+//   (c/d) F1 as symbolic traces are removed while line coverage is
+//         preserved (concrete capped at 3 of 5, as in the paper) —
+//         LIGER should hold until the coverage floor and collapse only
+//         at one path.
+// Also reports the §6.1.2 attention introspection: the mean fusion
+// weight on the symbolic dimension (paper: ~0.598, stable under
+// reduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+using namespace liger;
+
+int main(int Argc, char **Argv) {
+  ExperimentScale Scale = ExperimentScale::fromArgs(Argc, Argv);
+  printBanner("Figure 6 — data reliance (method name prediction, mini-med)",
+              Scale);
+
+  std::printf("building corpus...\n");
+  NameTask Task = buildNameTask(Scale, /*Large=*/false);
+  std::printf("  train %zu / valid %zu / test %zu\n\n",
+              Task.Split.Train.size(), Task.Split.Valid.size(),
+              Task.Split.Test.size());
+
+  // --- Sweep A: concrete traces per path (Fig. 6a) -----------------------
+  std::printf("[6a] reducing concrete traces per path (symbolic count "
+              "constant)\n");
+  TextTable A({"#concrete/path", "avg execs", "LIGER F1", "LIGER attn(sym)",
+               "DYPRO F1"});
+  std::vector<size_t> ConcreteSweep = {Scale.ExecutionsPerPath, 3, 1};
+  for (size_t K : ConcreteSweep) {
+    TraceTransform Transform = reduceConcreteTransform(K);
+    NameRunResult Liger =
+        runNameModel(NameModel::Liger, Task, Scale, {}, Transform);
+    NameRunResult Dypro =
+        runNameModel(NameModel::Dypro, Task, Scale, {}, Transform);
+    A.addRow({std::to_string(K), formatDouble(Liger.AvgExecutions, 1),
+              formatDouble(Liger.Test.F1, 2),
+              formatDouble(Liger.StaticAttention, 3),
+              formatDouble(Dypro.Test.F1, 2)});
+    std::printf("  k=%zu done (LIGER %.2f, DYPRO %.2f)\n", K, Liger.Test.F1,
+                Dypro.Test.F1);
+  }
+  std::printf("\n");
+  A.print();
+  A.writeCsv("fig6a_concrete_reduction.csv");
+
+  // --- Sweep B: symbolic traces, line coverage preserved (Fig. 6c) -------
+  std::printf("\n[6c] reducing symbolic traces (line coverage preserved; "
+              "concrete capped at 3)\n");
+  TextTable B({"#symbolic", "avg paths", "avg execs", "LIGER F1",
+               "DYPRO F1"});
+  std::vector<size_t> SymbolicSweep = {Scale.TargetPaths,
+                                       Scale.TargetPaths / 2, 2, 1};
+  for (size_t K : SymbolicSweep) {
+    TraceTransform Transform = reduceSymbolicTransform(K, 3);
+    NameRunResult Liger =
+        runNameModel(NameModel::Liger, Task, Scale, {}, Transform);
+    NameRunResult Dypro =
+        runNameModel(NameModel::Dypro, Task, Scale, {}, Transform);
+    B.addRow({std::to_string(K), formatDouble(Liger.AvgPaths, 1),
+              formatDouble(Liger.AvgExecutions, 1),
+              formatDouble(Liger.Test.F1, 2),
+              formatDouble(Dypro.Test.F1, 2)});
+    std::printf("  k=%zu done (LIGER %.2f, DYPRO %.2f)\n", K, Liger.Test.F1,
+                Dypro.Test.F1);
+  }
+  std::printf("\n");
+  B.print();
+  B.writeCsv("fig6c_symbolic_reduction.csv");
+
+  std::printf("\nPaper's Figure 6 shape for reference:\n"
+              " - 6a/6b: LIGER flat down to 3 concrete traces and nearly "
+              "flat at 1;\n   DYPRO degrades markedly as concrete traces "
+              "are removed.\n"
+              " - 6c/6d: LIGER flat while line coverage is preserved; "
+              "sharp drop at 1 path.\n"
+              " - attention weight on the symbolic dimension ~0.6, stable "
+              "under reduction.\n"
+              " - LIGER on the minimum covering set is comparable to DYPRO "
+              "on everything\n   (25.88 vs 29.60 F1 on Java-med) with ~7x "
+              "fewer executions.\n");
+  printShapeNote();
+  return 0;
+}

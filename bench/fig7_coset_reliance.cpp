@@ -1,0 +1,81 @@
+//===-- bench/fig7_coset_reliance.cpp - Reproduce Figure 7 ----------------===//
+//
+// Part of the LIGER reproduction project.
+//
+//===----------------------------------------------------------------------===//
+//
+// Figure 7: the COSET classification counterpart of Figure 6 — accuracy
+// of LIGER vs DYPRO as concrete and symbolic traces are down-sampled.
+// The paper's headline: LIGER trained on ~10x fewer executions covering
+// ~4x fewer paths (4.7 symbolic x 2 concrete vs 18 x 5) still slightly
+// beats DYPRO on everything (82.3% vs 81.6%).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+using namespace liger;
+
+int main(int Argc, char **Argv) {
+  ExperimentScale Scale = ExperimentScale::fromArgs(Argc, Argv);
+  printBanner("Figure 7 — data reliance (COSET substitute)", Scale);
+
+  std::printf("building corpus...\n");
+  CosetTask Task = buildCosetTask(Scale);
+  std::printf("  %zu classes; train %zu / valid %zu / test %zu\n\n",
+              Task.NumClasses, Task.Split.Train.size(),
+              Task.Split.Valid.size(), Task.Split.Test.size());
+
+  // DYPRO reference on the full trace budget.
+  ClassRunResult DyproFull = runCosetModel(ClassModel::Dypro, Task, Scale);
+  std::printf("DYPRO (full data): accuracy %.3f  (avg %.1f paths, %.1f "
+              "execs)\n\n",
+              DyproFull.Test.Accuracy, DyproFull.AvgPaths,
+              DyproFull.AvgExecutions);
+
+  std::printf("[7] reducing concrete traces per path\n");
+  TextTable A({"#concrete/path", "avg execs", "LIGER acc", "DYPRO acc"});
+  for (size_t K : {static_cast<size_t>(Scale.ExecutionsPerPath),
+                   static_cast<size_t>(2), static_cast<size_t>(1)}) {
+    TraceTransform Transform = reduceConcreteTransform(K);
+    ClassRunResult Liger =
+        runCosetModel(ClassModel::Liger, Task, Scale, {}, Transform);
+    ClassRunResult Dypro =
+        runCosetModel(ClassModel::Dypro, Task, Scale, {}, Transform);
+    A.addRow({std::to_string(K), formatDouble(Liger.AvgExecutions, 1),
+              formatDouble(Liger.Test.Accuracy, 3),
+              formatDouble(Dypro.Test.Accuracy, 3)});
+    std::printf("  k=%zu done (LIGER %.3f, DYPRO %.3f)\n", K,
+                Liger.Test.Accuracy, Dypro.Test.Accuracy);
+  }
+  std::printf("\n");
+  A.print();
+  A.writeCsv("fig7_concrete_reduction.csv");
+
+  std::printf("\n[7] reducing symbolic traces (line coverage preserved; "
+              "concrete capped at 2)\n");
+  TextTable B({"#symbolic", "avg paths", "avg execs", "LIGER acc",
+               "DYPRO(full) acc"});
+  for (size_t K : {static_cast<size_t>(Scale.TargetPaths),
+                   static_cast<size_t>(3), static_cast<size_t>(1)}) {
+    TraceTransform Transform = reduceSymbolicTransform(K, 2);
+    ClassRunResult Liger =
+        runCosetModel(ClassModel::Liger, Task, Scale, {}, Transform);
+    B.addRow({std::to_string(K), formatDouble(Liger.AvgPaths, 1),
+              formatDouble(Liger.AvgExecutions, 1),
+              formatDouble(Liger.Test.Accuracy, 3),
+              formatDouble(DyproFull.Test.Accuracy, 3)});
+    std::printf("  k=%zu done (LIGER %.3f)\n", K, Liger.Test.Accuracy);
+  }
+  std::printf("\n");
+  B.print();
+  B.writeCsv("fig7_symbolic_reduction.csv");
+
+  std::printf("\nPaper's Figure 7 / §6.2 shape for reference: LIGER on "
+              "4.7 symbolic x 2 concrete\ntraces still edges out DYPRO on "
+              "18 x 5 (82.3%% vs 81.6%% accuracy) — i.e. the\nreduced-"
+              "budget LIGER row should be comparable to the full-budget "
+              "DYPRO row.\n");
+  printShapeNote();
+  return 0;
+}

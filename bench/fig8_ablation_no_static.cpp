@@ -1,0 +1,72 @@
+//===-- bench/fig8_ablation_no_static.cpp - Reproduce Figure 8 ------------===//
+//
+// Part of the LIGER reproduction project.
+//
+//===----------------------------------------------------------------------===//
+//
+// Figure 8 (§6.3.1): remove the static (symbolic trace) feature
+// dimension. On full data the model stays close to full LIGER (31.16 vs
+// 32.30 F1 on Java-med — abundant concrete traces suffice), but under
+// trace reduction it behaves like DYPRO: the static dimension is what
+// buys the low data reliance.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+using namespace liger;
+
+int main(int Argc, char **Argv) {
+  ExperimentScale Scale = ExperimentScale::fromArgs(Argc, Argv);
+  printBanner("Figure 8 — ablation: LIGER without the static feature "
+              "dimension",
+              Scale);
+
+  std::printf("building corpus...\n");
+  NameTask Task = buildNameTask(Scale, /*Large=*/false);
+  std::printf("  train %zu / valid %zu / test %zu\n\n",
+              Task.Split.Train.size(), Task.Split.Valid.size(),
+              Task.Split.Test.size());
+
+  LigerAblation NoStatic;
+  NoStatic.StaticFeature = false;
+
+  // Full-data comparison first.
+  NameRunResult Full = runNameModel(NameModel::Liger, Task, Scale);
+  NameRunResult Ablated =
+      runNameModel(NameModel::Liger, Task, Scale, NoStatic);
+  std::printf("full data: LIGER %.2f vs LIGER(w/o static) %.2f F1\n\n",
+              Full.Test.F1, Ablated.Test.F1);
+
+  std::printf("[8] reductions with the static dimension removed\n");
+  TextTable Table({"reduction", "LIGER(w/o static) F1", "DYPRO F1"});
+  struct Point {
+    const char *Label;
+    TraceTransform Transform;
+  };
+  std::vector<Point> Points = {
+      {"full", nullptr},
+      {"concrete=1", reduceConcreteTransform(1)},
+      {"symbolic=2 (cov.)", reduceSymbolicTransform(2, 3)},
+  };
+  for (const Point &P : Points) {
+    NameRunResult A =
+        runNameModel(NameModel::Liger, Task, Scale, NoStatic, P.Transform);
+    NameRunResult D =
+        runNameModel(NameModel::Dypro, Task, Scale, {}, P.Transform);
+    Table.addRow({P.Label, formatDouble(A.Test.F1, 2),
+                  formatDouble(D.Test.F1, 2)});
+    std::printf("  %s done (ablated %.2f, DYPRO %.2f)\n", P.Label, A.Test.F1,
+                D.Test.F1);
+  }
+  std::printf("\n");
+  Table.print();
+  Table.writeCsv("fig8_no_static.csv");
+
+  std::printf("\nPaper's Figure 8 shape: without the static dimension the "
+              "model tracks DYPRO's\ncurve — much poorer results from few "
+              "concrete traces; on full data it stays near\nfull LIGER "
+              "(31.16 vs 32.30 F1 on Java-med).\n");
+  printShapeNote();
+  return 0;
+}

@@ -1,0 +1,66 @@
+//===-- bench/fig9_ablation_no_dynamic.cpp - Reproduce Figure 9 -----------===//
+//
+// Part of the LIGER reproduction project.
+//
+//===----------------------------------------------------------------------===//
+//
+// Figure 9 (§6.3.2): remove the dynamic (concrete state) feature
+// dimension; each statement takes the full fusion weight. The paper's
+// shape: accuracy drops well below full LIGER (to or below the static
+// baselines: 20.23 F1 on Java-med vs code2seq's 25.07), confirming that
+// learning precise embeddings from symbolic features alone is hard —
+// but the symbolic-only model remains robust to path reduction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+using namespace liger;
+
+int main(int Argc, char **Argv) {
+  ExperimentScale Scale = ExperimentScale::fromArgs(Argc, Argv);
+  printBanner("Figure 9 — ablation: LIGER without the dynamic feature "
+              "dimension",
+              Scale);
+
+  std::printf("building corpus...\n");
+  NameTask Task = buildNameTask(Scale, /*Large=*/false);
+  std::printf("  train %zu / valid %zu / test %zu\n\n",
+              Task.Split.Train.size(), Task.Split.Valid.size(),
+              Task.Split.Test.size());
+
+  LigerAblation NoDynamic;
+  NoDynamic.DynamicFeature = false;
+
+  NameRunResult Full = runNameModel(NameModel::Liger, Task, Scale);
+  NameRunResult Static = runNameModel(NameModel::Code2Seq, Task, Scale);
+  std::printf("references: full LIGER %.2f F1, code2seq %.2f F1\n\n",
+              Full.Test.F1, Static.Test.F1);
+
+  std::printf("[9] symbolic-trace reduction with dynamic dimension "
+              "removed\n");
+  TextTable Table(
+      {"#symbolic", "avg paths", "LIGER(w/o dynamic) F1", "DYPRO F1"});
+  for (size_t K : {static_cast<size_t>(Scale.TargetPaths),
+                   static_cast<size_t>(3), static_cast<size_t>(1)}) {
+    TraceTransform Transform = reduceSymbolicTransform(K, 3);
+    NameRunResult A =
+        runNameModel(NameModel::Liger, Task, Scale, NoDynamic, Transform);
+    NameRunResult D =
+        runNameModel(NameModel::Dypro, Task, Scale, {}, Transform);
+    Table.addRow({std::to_string(K), formatDouble(A.AvgPaths, 1),
+                  formatDouble(A.Test.F1, 2), formatDouble(D.Test.F1, 2)});
+    std::printf("  k=%zu done (ablated %.2f, DYPRO %.2f)\n", K, A.Test.F1,
+                D.Test.F1);
+  }
+  std::printf("\n");
+  Table.print();
+  Table.writeCsv("fig9_no_dynamic.csv");
+
+  std::printf("\nPaper's Figure 9 shape: the symbolic-only model starts "
+              "below full LIGER (and\nbelow code2seq: 20.23 vs 25.07 F1 on "
+              "Java-med) but degrades gracefully as paths\nare removed, "
+              "eventually overtaking DYPRO at low path counts.\n");
+  printShapeNote();
+  return 0;
+}

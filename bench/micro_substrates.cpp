@@ -1,0 +1,171 @@
+//===-- bench/micro_substrates.cpp - Substrate micro-benchmarks -----------===//
+//
+// Part of the LIGER reproduction project.
+//
+//===----------------------------------------------------------------------===//
+//
+// google-benchmark microbenchmarks for the substrates (not a paper
+// table): front-end parsing, instrumented interpretation, symbolic path
+// enumeration, trace collection, tensor ops, and a full LIGER
+// forward/backward step. Useful for tracking performance regressions of
+// the pipeline that every experiment sits on.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Parser.h"
+#include "models/Liger.h"
+#include "nn/Optim.h"
+#include "symx/SymExec.h"
+#include "testgen/TraceCollector.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace liger;
+
+namespace {
+
+const char *SortSource = R"(
+int[] sortIII(int[] A)
+{
+  int swapbit = 1;
+  while (swapbit != 0) {
+    swapbit = 0;
+    for (int i = 0; i < len(A) - 1; i++) {
+      if (A[i] > A[i + 1]) {
+        int tmp = A[i];
+        A[i] = A[i + 1];
+        A[i + 1] = tmp;
+        swapbit = 1;
+      }
+    }
+  }
+  return A;
+}
+)";
+
+Program &sortProgram() {
+  static Program P = [] {
+    DiagnosticSink Diags;
+    return std::move(*parseAndCheck(SortSource, Diags));
+  }();
+  return P;
+}
+
+std::vector<Value> paperInput() {
+  return {Value::makeArray({Value::makeInt(8), Value::makeInt(5),
+                            Value::makeInt(1), Value::makeInt(4),
+                            Value::makeInt(3)})};
+}
+
+void BM_ParseAndTypeCheck(benchmark::State &State) {
+  for (auto _ : State) {
+    DiagnosticSink Diags;
+    auto P = parseAndCheck(SortSource, Diags);
+    benchmark::DoNotOptimize(P);
+  }
+}
+BENCHMARK(BM_ParseAndTypeCheck);
+
+void BM_InterpretInstrumented(benchmark::State &State) {
+  Program &P = sortProgram();
+  for (auto _ : State) {
+    ExecResult R = execute(P, P.Functions[0], paperInput());
+    benchmark::DoNotOptimize(R.Steps.size());
+  }
+}
+BENCHMARK(BM_InterpretInstrumented);
+
+void BM_InterpretStatesOff(benchmark::State &State) {
+  Program &P = sortProgram();
+  InterpOptions Options;
+  Options.RecordStates = false;
+  for (auto _ : State) {
+    ExecResult R = execute(P, P.Functions[0], paperInput(), Options);
+    benchmark::DoNotOptimize(R.Steps.size());
+  }
+}
+BENCHMARK(BM_InterpretStatesOff);
+
+void BM_SymbolicEnumeration(benchmark::State &State) {
+  Program &P = sortProgram();
+  SymxOptions Options;
+  Options.ArrayLengths = {3};
+  Options.MaxPaths = 8;
+  for (auto _ : State) {
+    auto Paths = enumeratePaths(P, P.Functions[0], Options);
+    benchmark::DoNotOptimize(Paths.size());
+  }
+}
+BENCHMARK(BM_SymbolicEnumeration);
+
+void BM_CollectTraces(benchmark::State &State) {
+  Program &P = sortProgram();
+  TestGenOptions Options;
+  Options.TargetPaths = 6;
+  Options.ExecutionsPerPath = 3;
+  for (auto _ : State) {
+    MethodTraces Traces = collectTraces(P, P.Functions[0], Options);
+    benchmark::DoNotOptimize(Traces.totalExecutions());
+  }
+}
+BENCHMARK(BM_CollectTraces);
+
+void BM_MatvecHidden(benchmark::State &State) {
+  size_t H = static_cast<size_t>(State.range(0));
+  Rng R(1);
+  Var M = parameter(Tensor::xavier(H, H, R));
+  Var X = constant(Tensor::uniform(H, 1.0f, R));
+  for (auto _ : State) {
+    Var Y = matvec(M, X);
+    benchmark::DoNotOptimize(Y->Value[0]);
+  }
+}
+BENCHMARK(BM_MatvecHidden)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_GruSequence(benchmark::State &State) {
+  Rng R(1);
+  ParamStore Store;
+  RecurrentCell Cell(Store, "gru", CellKind::Gru, 32, 32, R);
+  std::vector<Var> Inputs;
+  for (int I = 0; I < 30; ++I)
+    Inputs.push_back(constant(Tensor::uniform(32, 1.0f, R)));
+  for (auto _ : State) {
+    auto States = Cell.run(Inputs);
+    benchmark::DoNotOptimize(States.back().H->Value[0]);
+  }
+}
+BENCHMARK(BM_GruSequence);
+
+void BM_LigerForwardBackward(benchmark::State &State) {
+  Program &P = sortProgram();
+  TestGenOptions Gen;
+  Gen.TargetPaths = 6;
+  Gen.ExecutionsPerPath = 3;
+  MethodSample Sample;
+  Sample.Fn = &P.Functions[0];
+  Sample.Traces = collectTraces(P, P.Functions[0], Gen);
+  Sample.NameSubtokens = {"sort", "array"};
+
+  Vocabulary Joint, Target;
+  addSampleToVocabulary(Sample, Joint);
+  addNameToVocabulary(Sample, Target);
+  Joint.freeze();
+  Target.freeze();
+
+  LigerConfig Config;
+  Config.EmbedDim = 24;
+  Config.Hidden = 24;
+  Config.AttnHidden = 24;
+  LigerNamePredictor Net(Joint, Target, Config, 1);
+  for (auto _ : State) {
+    Var Loss = Net.loss(Sample);
+    backward(Loss);
+    Net.params().zeroGrads();
+    benchmark::DoNotOptimize(Loss->Value[0]);
+  }
+}
+BENCHMARK(BM_LigerForwardBackward);
+
+} // namespace
+
+BENCHMARK_MAIN();

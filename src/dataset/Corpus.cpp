@@ -1,0 +1,343 @@
+//===-- dataset/Corpus.cpp - Synthetic corpora generation ------------------===//
+//
+// Part of the LIGER reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dataset/Corpus.h"
+
+#include "lang/Parser.h"
+#include "support/StringUtils.h"
+
+#include <map>
+#include <set>
+
+using namespace liger;
+
+namespace {
+
+/// Generic identifier pool for the "uninformative names" mutation.
+const std::vector<std::string> GenericNames = {
+    "a",  "b",  "c",  "d",  "e",  "f0", "g",  "h",  "k",
+    "m",  "n0", "p",  "q",  "r",  "t",  "u",  "v",  "w",
+    "x0", "y0", "z",  "tmp1", "tmp2", "val0", "var1", "var2"};
+
+/// Misleading pool: plausible names mined from *other* domains so the
+/// surface vocabulary points away from the true semantics.
+const std::vector<std::string> MisleadingNames = {
+    "price",  "salary", "weight", "buffer", "cache",  "queue",
+    "node",   "parent", "child",  "width",  "height", "color",
+    "offset", "cursor", "ticket", "score",  "angle",  "depth",
+    "label",  "token",  "status", "flagged"};
+
+/// Words reserved by the language or builtins: never valid rename
+/// targets.
+bool isReservedWord(const std::string &Word) {
+  static const std::set<std::string> Reserved = {
+      "int",   "bool",     "string", "void",  "struct", "if",
+      "else",  "while",    "for",    "return", "break", "continue",
+      "true",  "false",    "new",    "len",   "substring", "abs",
+      "min",   "max"};
+  return Reserved.count(Word) != 0;
+}
+
+/// Draws a rename target distinct from \p Used and reserved words.
+std::string drawName(const std::vector<std::string> &Pool, Rng &R,
+                     std::set<std::string> &Used) {
+  for (int Attempt = 0; Attempt < 32; ++Attempt) {
+    const std::string &Candidate = R.pick(Pool);
+    if (!isReservedWord(Candidate) && Used.insert(Candidate).second)
+      return Candidate;
+  }
+  // Fall back to a fresh unique name.
+  std::string Fresh = "v" + std::to_string(Used.size()) + "u";
+  Used.insert(Fresh);
+  return Fresh;
+}
+
+/// Applies identifier mutations to \p Source.
+std::string mutateIdentifiers(std::string Source, const TaskSpec &Task,
+                              double GenericProb, double MisleadingProb,
+                              Rng &R) {
+  std::set<std::string> Used(Task.Renameable.begin(), Task.Renameable.end());
+  for (const std::string &Ident : Task.Renameable) {
+    double Draw = R.nextDouble();
+    if (Draw < GenericProb) {
+      Source = replaceIdentifier(Source, Ident,
+                                 drawName(GenericNames, R, Used));
+    } else if (Draw < GenericProb + MisleadingProb) {
+      Source = replaceIdentifier(Source, Ident,
+                                 drawName(MisleadingNames, R, Used));
+    }
+    // Otherwise keep the informative template name.
+  }
+  return Source;
+}
+
+/// Inserts one dead declaration right after the function body opens.
+/// The body brace is the first '{' after the FN( marker.
+std::string injectDeadCode(const std::string &Source, Rng &R) {
+  size_t FnPos = Source.find("FN(");
+  if (FnPos == std::string::npos)
+    return Source;
+  size_t Brace = Source.find('{', FnPos);
+  if (Brace == std::string::npos)
+    return Source;
+  static const char *DeadNames[] = {"unused0", "scratch1", "spare2"};
+  std::string Decl = "\n  int " +
+                     std::string(DeadNames[R.nextBelow(3)]) + " = " +
+                     std::to_string(R.nextInt(-4, 9)) + ";";
+  std::string Out = Source;
+  Out.insert(Brace + 1, Decl);
+  return Out;
+}
+
+/// Composes a camelCase method name from the task's synonym sets.
+std::string composeName(const TaskSpec &Task, Rng &R) {
+  std::vector<std::string> Parts;
+  for (const std::vector<std::string> &Synonyms : Task.NameParts)
+    Parts.push_back(R.pick(Synonyms));
+  return camelCaseJoin(Parts);
+}
+
+/// Kinds of deliberately defective methods (Table 1 pipeline).
+enum class DefectKind { None, Syntax, ExternalRef, NonTermination,
+                        TooSmall };
+
+std::string applyDefect(std::string Source, DefectKind Kind, Rng &R) {
+  switch (Kind) {
+  case DefectKind::None:
+    return Source;
+  case DefectKind::Syntax: {
+    // Drop one semicolon: reliably unparseable.
+    size_t Semi = Source.find(';');
+    if (Semi != std::string::npos)
+      Source.erase(Semi, 1);
+    return Source;
+  }
+  case DefectKind::ExternalRef: {
+    // Call into a library that is not on the classpath.
+    size_t FnPos = Source.find("FN(");
+    size_t Brace = FnPos == std::string::npos ? std::string::npos
+                                              : Source.find('{', FnPos);
+    if (Brace != std::string::npos)
+      Source.insert(Brace + 1, "\n  int ext0 = externalLibraryCall(" +
+                                   std::to_string(R.nextInt(0, 3)) + ");");
+    return Source;
+  }
+  case DefectKind::NonTermination: {
+    size_t FnPos = Source.find("FN(");
+    size_t Brace = FnPos == std::string::npos ? std::string::npos
+                                              : Source.find('{', FnPos);
+    if (Brace != std::string::npos)
+      Source.insert(Brace + 1, "\n  int spin3 = 0;\n  while (spin3 == 0) { "
+                               "spin3 = spin3 * 1; }");
+    return Source;
+  }
+  case DefectKind::TooSmall:
+    return "int FN(int x) { return x; }";
+  }
+  LIGER_UNREACHABLE("covered switch");
+}
+
+/// Counts the trace-level statements of a function (the "too small"
+/// filter threshold).
+size_t countStatements(const Stmt *S) {
+  if (!S)
+    return 0;
+  switch (S->kind()) {
+  case StmtKind::Block: {
+    size_t Total = 0;
+    for (const Stmt *Child : cast<BlockStmt>(S)->body())
+      Total += countStatements(Child);
+    return Total;
+  }
+  case StmtKind::If: {
+    const auto *If = cast<IfStmt>(S);
+    return 1 + countStatements(If->thenStmt()) +
+           countStatements(If->elseStmt());
+  }
+  case StmtKind::While:
+    return 1 + countStatements(cast<WhileStmt>(S)->body());
+  case StmtKind::For: {
+    const auto *For = cast<ForStmt>(S);
+    return 1 + countStatements(For->init()) + countStatements(For->step()) +
+           countStatements(For->body());
+  }
+  default:
+    return 1;
+  }
+}
+
+/// Builds one MethodSample from instantiated source. Returns false
+/// (with the right counter bumped) when a filter rejects it.
+bool buildSample(const std::string &Source, const std::string &MethodName,
+                 const TestGenOptions &TraceGen, uint64_t TraceSeed,
+                 CorpusStats &Stats, MethodSample &Out) {
+  std::string Final = replaceIdentifier(Source, "FN", MethodName);
+  DiagnosticSink Diags;
+  std::optional<Program> Parsed = parseAndCheck(Final, Diags);
+  if (!Parsed) {
+    // Distinguish the external-reference failure mode by its message.
+    bool External =
+        Diags.str().find("undeclared function") != std::string::npos;
+    if (External)
+      ++Stats.ExternalRefFailures;
+    else
+      ++Stats.ParseFailures;
+    return false;
+  }
+
+  auto Prog = std::make_shared<Program>(std::move(*Parsed));
+  const FunctionDecl *Fn = Prog->findFunction(MethodName);
+  if (!Fn || !Fn->Body) {
+    ++Stats.ParseFailures;
+    return false;
+  }
+
+  if (countStatements(Fn->Body) < 3) {
+    ++Stats.TooSmall;
+    return false;
+  }
+
+  TestGenOptions PerMethod = TraceGen;
+  PerMethod.Seed = TraceSeed;
+  CollectStats Collect;
+  MethodTraces Traces = collectTraces(*Prog, *Fn, PerMethod, &Collect);
+  if (Collect.allTimedOut()) {
+    ++Stats.TestgenTimeouts;
+    return false;
+  }
+  if (Traces.Paths.empty()) {
+    ++Stats.NoTraces;
+    return false;
+  }
+
+  Out.Prog = Prog;
+  Out.Fn = Fn;
+  Out.Traces = std::move(Traces);
+  Out.NameSubtokens = splitSubtokens(MethodName);
+  ++Stats.Kept;
+  return true;
+}
+
+} // namespace
+
+std::vector<MethodSample>
+liger::generateMethodCorpus(const CorpusOptions &Options,
+                            CorpusStats *StatsOut) {
+  Rng R(Options.Seed);
+  CorpusStats Stats;
+  std::vector<MethodSample> Samples;
+  const std::vector<TaskSpec> &Library = taskLibrary();
+
+  for (size_t Index = 0; Index < Options.NumMethods; ++Index) {
+    ++Stats.Requested;
+    const TaskSpec &Task = Library[R.nextBelow(Library.size())];
+    const TaskVariant &Variant =
+        Task.Variants[R.nextBelow(Task.Variants.size())];
+
+    std::string Source = Variant.Source;
+    if (R.nextBool(Options.DeadCodeProb))
+      Source = injectDeadCode(Source, R);
+    Source = mutateIdentifiers(Source, Task, Options.GenericNameProb,
+                               Options.MisleadingNameProb, R);
+
+    DefectKind Defect = DefectKind::None;
+    double Draw = R.nextDouble();
+    if (Draw < Options.SyntaxDefectRate)
+      Defect = DefectKind::Syntax;
+    else if (Draw < Options.SyntaxDefectRate + Options.ExternalRefRate)
+      Defect = DefectKind::ExternalRef;
+    else if (Draw < Options.SyntaxDefectRate + Options.ExternalRefRate +
+                        Options.NonTerminationRate)
+      Defect = DefectKind::NonTermination;
+    else if (Draw < Options.SyntaxDefectRate + Options.ExternalRefRate +
+                        Options.NonTerminationRate + Options.TooSmallRate)
+      Defect = DefectKind::TooSmall;
+    Source = applyDefect(std::move(Source), Defect, R);
+
+    MethodSample Sample;
+    if (!buildSample(Source, composeName(Task, R), Options.TraceGen,
+                     Options.Seed * 7919 + Index, Stats, Sample))
+      continue;
+    Sample.Project =
+        "proj" + std::to_string(Samples.size() / Options.MethodsPerProject);
+    Samples.push_back(std::move(Sample));
+  }
+
+  if (StatsOut)
+    *StatsOut = Stats;
+  return Samples;
+}
+
+std::vector<MethodSample>
+liger::generateCosetCorpus(const CosetOptions &Options,
+                           std::vector<std::string> &ClassNames) {
+  Rng R(Options.Seed);
+  std::vector<MethodSample> Samples;
+  ClassNames.clear();
+
+  CorpusStats Stats; // COSET pipeline only drops crashing programs
+  for (const TaskSpec *Problem : cosetProblems()) {
+    for (const TaskVariant &Variant : Problem->Variants) {
+      int ClassId = static_cast<int>(ClassNames.size());
+      ClassNames.push_back(Problem->Key + "/" + Variant.Algorithm);
+      size_t Made = 0;
+      size_t Attempts = 0;
+      while (Made < Options.ProgramsPerClass &&
+             Attempts < Options.ProgramsPerClass * 3) {
+        ++Attempts;
+        std::string Source = Variant.Source;
+        if (R.nextBool(Options.DeadCodeProb))
+          Source = injectDeadCode(Source, R);
+        Source = mutateIdentifiers(Source, *Problem, Options.GenericNameProb,
+                                   Options.MisleadingNameProb, R);
+        MethodSample Sample;
+        if (!buildSample(Source, composeName(*Problem, R), Options.TraceGen,
+                         Options.Seed * 104729 + Samples.size() * 31 +
+                             Attempts,
+                         Stats, Sample))
+          continue;
+        Sample.ClassId = ClassId;
+        Sample.Project = "coset" + std::to_string(Samples.size() % 10);
+        Samples.push_back(std::move(Sample));
+        ++Made;
+      }
+    }
+  }
+  return Samples;
+}
+
+SplitCorpus liger::splitByProject(std::vector<MethodSample> Samples,
+                                  double ValidFrac, double TestFrac,
+                                  uint64_t Seed) {
+  // Collect distinct projects in first-seen order, then shuffle them.
+  std::vector<std::string> Projects;
+  std::map<std::string, size_t> Index;
+  for (const MethodSample &Sample : Samples)
+    if (Index.emplace(Sample.Project, Projects.size()).second)
+      Projects.push_back(Sample.Project);
+  Rng R(Seed);
+  R.shuffle(Projects);
+
+  size_t NumValid =
+      static_cast<size_t>(static_cast<double>(Projects.size()) * ValidFrac);
+  size_t NumTest =
+      static_cast<size_t>(static_cast<double>(Projects.size()) * TestFrac);
+  std::set<std::string> ValidSet(Projects.begin(),
+                                 Projects.begin() + NumValid);
+  std::set<std::string> TestSet(Projects.begin() + NumValid,
+                                Projects.begin() + NumValid + NumTest);
+
+  SplitCorpus Split;
+  for (MethodSample &Sample : Samples) {
+    if (ValidSet.count(Sample.Project))
+      Split.Valid.push_back(std::move(Sample));
+    else if (TestSet.count(Sample.Project))
+      Split.Test.push_back(std::move(Sample));
+    else
+      Split.Train.push_back(std::move(Sample));
+  }
+  return Split;
+}

@@ -1,0 +1,1006 @@
+//===-- dataset/Tasks.cpp - Semantic task and variant library -------------===//
+//
+// Part of the LIGER reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dataset/Tasks.h"
+
+#include <cctype>
+
+using namespace liger;
+
+std::string liger::replaceIdentifier(const std::string &Source,
+                                     const std::string &From,
+                                     const std::string &To) {
+  auto IsIdentChar = [](char C) {
+    return std::isalnum(static_cast<unsigned char>(C)) || C == '_';
+  };
+  std::string Out;
+  size_t Pos = 0;
+  while (Pos < Source.size()) {
+    size_t Found = Source.find(From, Pos);
+    if (Found == std::string::npos) {
+      Out.append(Source, Pos, std::string::npos);
+      break;
+    }
+    bool LeftBoundary = Found == 0 || !IsIdentChar(Source[Found - 1]);
+    bool RightBoundary = Found + From.size() >= Source.size() ||
+                         !IsIdentChar(Source[Found + From.size()]);
+    Out.append(Source, Pos, Found - Pos);
+    if (LeftBoundary && RightBoundary)
+      Out += To;
+    else
+      Out.append(From);
+    Pos = Found + From.size();
+  }
+  return Out;
+}
+
+namespace {
+
+std::vector<TaskSpec> buildLibrary() {
+  std::vector<TaskSpec> Lib;
+  auto Add = [&Lib](TaskSpec Spec) { Lib.push_back(std::move(Spec)); };
+
+  //-- Array aggregation --------------------------------------------------
+
+  Add({"sumArray",
+       {{"sum", "total"}, {"array", "values", "numbers"}},
+       {"arr", "total", "i"},
+       {{"forward-loop", R"(
+int FN(int[] arr) {
+  int total = 0;
+  for (int i = 0; i < len(arr); i++) {
+    total += arr[i];
+  }
+  return total;
+}
+)"},
+        {"backward-loop", R"(
+int FN(int[] arr) {
+  int total = 0;
+  for (int i = len(arr) - 1; i >= 0; i--) {
+    total = total + arr[i];
+  }
+  return total;
+}
+)"},
+        {"while-loop", R"(
+int FN(int[] arr) {
+  int total = 0;
+  int i = 0;
+  while (i < len(arr)) {
+    total += arr[i];
+    i++;
+  }
+  return total;
+}
+)"}},
+       /*CosetProblem=*/true});
+
+  Add({"maxArray",
+       {{"max", "largest", "biggest"}, {"array", "element", "value"}},
+       {"arr", "best", "i"},
+       {{"first-init", R"(
+int FN(int[] arr) {
+  if (len(arr) == 0)
+    return 0;
+  int best = arr[0];
+  for (int i = 1; i < len(arr); i++) {
+    if (arr[i] > best) {
+      best = arr[i];
+    }
+  }
+  return best;
+}
+)"},
+        {"builtin-max", R"(
+int FN(int[] arr) {
+  if (len(arr) == 0)
+    return 0;
+  int best = arr[0];
+  for (int i = 1; i < len(arr); i++) {
+    best = max(best, arr[i]);
+  }
+  return best;
+}
+)"},
+        {"while-scan", R"(
+int FN(int[] arr) {
+  if (len(arr) == 0)
+    return 0;
+  int best = arr[0];
+  int i = 1;
+  while (i < len(arr)) {
+    if (arr[i] > best)
+      best = arr[i];
+    i = i + 1;
+  }
+  return best;
+}
+)"}},
+       /*CosetProblem=*/true});
+
+  Add({"minArray",
+       {{"min", "smallest"}, {"array", "element", "value"}},
+       {"arr", "low", "i"},
+       {{"first-init", R"(
+int FN(int[] arr) {
+  if (len(arr) == 0)
+    return 0;
+  int low = arr[0];
+  for (int i = 1; i < len(arr); i++) {
+    if (arr[i] < low)
+      low = arr[i];
+  }
+  return low;
+}
+)"},
+        {"builtin-min", R"(
+int FN(int[] arr) {
+  if (len(arr) == 0)
+    return 0;
+  int low = arr[0];
+  int i = 1;
+  while (i < len(arr)) {
+    low = min(low, arr[i]);
+    i++;
+  }
+  return low;
+}
+)"}}});
+
+  Add({"countPositive",
+       {{"count", "number"}, {"positive", "greater"}, {"values", "items"}},
+       {"arr", "count", "i"},
+       {{"for-count", R"(
+int FN(int[] arr) {
+  int count = 0;
+  for (int i = 0; i < len(arr); i++) {
+    if (arr[i] > 0)
+      count++;
+  }
+  return count;
+}
+)"},
+        {"while-count", R"(
+int FN(int[] arr) {
+  int count = 0;
+  int i = 0;
+  while (i < len(arr)) {
+    if (arr[i] > 0) {
+      count += 1;
+    }
+    i++;
+  }
+  return count;
+}
+)"}}});
+
+  Add({"countEven",
+       {{"count", "tally"}, {"even"}, {"numbers", "entries"}},
+       {"arr", "count", "i"},
+       {{"mod-eq", R"(
+int FN(int[] arr) {
+  int count = 0;
+  for (int i = 0; i < len(arr); i++) {
+    if (arr[i] % 2 == 0)
+      count++;
+  }
+  return count;
+}
+)"},
+        {"mod-ne", R"(
+int FN(int[] arr) {
+  int count = 0;
+  for (int i = 0; i < len(arr); i++) {
+    if (arr[i] % 2 != 0) {
+    } else {
+      count += 1;
+    }
+  }
+  return count;
+}
+)"}}});
+
+  Add({"sumEven",
+       {{"sum", "add"}, {"even"}, {"values", "numbers"}},
+       {"arr", "total", "i"},
+       {{"for-sum", R"(
+int FN(int[] arr) {
+  int total = 0;
+  for (int i = 0; i < len(arr); i++) {
+    if (arr[i] % 2 == 0)
+      total += arr[i];
+  }
+  return total;
+}
+)"},
+        {"while-sum", R"(
+int FN(int[] arr) {
+  int total = 0;
+  int i = 0;
+  while (i < len(arr)) {
+    if (arr[i] % 2 == 0) {
+      total = total + arr[i];
+    }
+    i++;
+  }
+  return total;
+}
+)"}}});
+
+  //-- Array transformation -----------------------------------------------
+
+  Add({"reverseArray",
+       {{"reverse", "flip"}, {"array", "list", "order"}},
+       {"arr", "left", "right", "tmp", "out", "i"},
+       {{"two-pointer", R"(
+int[] FN(int[] arr) {
+  int left = 0;
+  int right = len(arr) - 1;
+  while (left < right) {
+    int tmp = arr[left];
+    arr[left] = arr[right];
+    arr[right] = tmp;
+    left++;
+    right--;
+  }
+  return arr;
+}
+)"},
+        {"copy-backward", R"(
+int[] FN(int[] arr) {
+  int[] out = new int[len(arr)];
+  for (int i = 0; i < len(arr); i++) {
+    out[len(arr) - 1 - i] = arr[i];
+  }
+  return out;
+}
+)"}},
+       /*CosetProblem=*/true});
+
+  Add({"negateArray",
+       {{"negate", "invert"}, {"values", "array", "signs"}},
+       {"arr", "i"},
+       {{"in-place", R"(
+int[] FN(int[] arr) {
+  for (int i = 0; i < len(arr); i++) {
+    arr[i] = -arr[i];
+  }
+  return arr;
+}
+)"},
+        {"mul-minus-one", R"(
+int[] FN(int[] arr) {
+  int i = 0;
+  while (i < len(arr)) {
+    arr[i] = arr[i] * -1;
+    i++;
+  }
+  return arr;
+}
+)"}}});
+
+  Add({"swapEnds",
+       {{"swap", "exchange"}, {"ends", "first", "last"}},
+       {"arr", "tmp"},
+       {{"direct", R"(
+int[] FN(int[] arr) {
+  if (len(arr) < 2)
+    return arr;
+  int tmp = arr[0];
+  arr[0] = arr[len(arr) - 1];
+  arr[len(arr) - 1] = tmp;
+  return arr;
+}
+)"}}});
+
+  Add({"sortArray",
+       {{"sort", "order", "arrange"}, {"array", "values", "numbers"}},
+       {"arr", "i", "j", "tmp", "left", "right", "swapbit", "pos"},
+       {{"bubble", R"(
+int[] FN(int[] arr) {
+  int left = 0;
+  int right = len(arr) - 1;
+  for (int i = right; i > left; i--) {
+    for (int j = left; j < i; j++) {
+      if (arr[j] > arr[j + 1]) {
+        int tmp = arr[j];
+        arr[j] = arr[j + 1];
+        arr[j + 1] = tmp;
+      }
+    }
+  }
+  return arr;
+}
+)"},
+        {"insertion", R"(
+int[] FN(int[] arr) {
+  int left = 0;
+  int right = len(arr);
+  for (int i = left; i < right; i++) {
+    for (int j = i - 1; j >= left; j--) {
+      if (arr[j] > arr[j + 1]) {
+        int tmp = arr[j];
+        arr[j] = arr[j + 1];
+        arr[j + 1] = tmp;
+      }
+    }
+  }
+  return arr;
+}
+)"},
+        {"bubble-flag", R"(
+int[] FN(int[] arr) {
+  int swapbit = 1;
+  while (swapbit != 0) {
+    swapbit = 0;
+    for (int i = 0; i < len(arr) - 1; i++) {
+      if (arr[i] > arr[i + 1]) {
+        int tmp = arr[i];
+        arr[i] = arr[i + 1];
+        arr[i + 1] = tmp;
+        swapbit = 1;
+      }
+    }
+  }
+  return arr;
+}
+)"},
+        {"selection", R"(
+int[] FN(int[] arr) {
+  for (int i = 0; i < len(arr); i++) {
+    int pos = i;
+    for (int j = i + 1; j < len(arr); j++) {
+      if (arr[j] < arr[pos])
+        pos = j;
+    }
+    int tmp = arr[i];
+    arr[i] = arr[pos];
+    arr[pos] = tmp;
+  }
+  return arr;
+}
+)"}},
+       /*CosetProblem=*/true});
+
+  Add({"isSorted",
+       {{"is", "check"}, {"sorted", "ordered"}},
+       {"arr", "i", "ok"},
+       {{"early-return", R"(
+bool FN(int[] arr) {
+  for (int i = 0; i + 1 < len(arr); i++) {
+    if (arr[i] > arr[i + 1])
+      return false;
+  }
+  return true;
+}
+)"},
+        {"flag", R"(
+bool FN(int[] arr) {
+  bool ok = true;
+  int i = 0;
+  while (i + 1 < len(arr)) {
+    if (arr[i] > arr[i + 1])
+      ok = false;
+    i++;
+  }
+  return ok;
+}
+)"}}});
+
+  //-- Searching ------------------------------------------------------------
+
+  Add({"containsValue",
+       {{"contains", "has", "includes"}, {"value", "element", "item"}},
+       {"arr", "target", "i", "found"},
+       {{"early-return", R"(
+bool FN(int[] arr, int target) {
+  for (int i = 0; i < len(arr); i++) {
+    if (arr[i] == target)
+      return true;
+  }
+  return false;
+}
+)"},
+        {"flag", R"(
+bool FN(int[] arr, int target) {
+  bool found = false;
+  int i = 0;
+  while (i < len(arr)) {
+    if (arr[i] == target) {
+      found = true;
+    }
+    i++;
+  }
+  return found;
+}
+)"}},
+       /*CosetProblem=*/true});
+
+  Add({"indexOf",
+       {{"index", "find", "position"}, {"of", "value"}},
+       {"arr", "target", "i", "where"},
+       {{"early-return", R"(
+int FN(int[] arr, int target) {
+  for (int i = 0; i < len(arr); i++) {
+    if (arr[i] == target)
+      return i;
+  }
+  return -1;
+}
+)"},
+        {"scan-keep-first", R"(
+int FN(int[] arr, int target) {
+  int where = -1;
+  for (int i = len(arr) - 1; i >= 0; i--) {
+    if (arr[i] == target)
+      where = i;
+  }
+  return where;
+}
+)"}}});
+
+  Add({"countOccurrences",
+       {{"count", "tally"}, {"occurrences", "matches", "hits"}},
+       {"arr", "target", "count", "i"},
+       {{"for-scan", R"(
+int FN(int[] arr, int target) {
+  int count = 0;
+  for (int i = 0; i < len(arr); i++) {
+    if (arr[i] == target)
+      count++;
+  }
+  return count;
+}
+)"},
+        {"while-scan", R"(
+int FN(int[] arr, int target) {
+  int count = 0;
+  int i = 0;
+  while (i < len(arr)) {
+    if (arr[i] == target)
+      count += 1;
+    i++;
+  }
+  return count;
+}
+)"}},
+       /*CosetProblem=*/true});
+
+  //-- Scalar arithmetic -----------------------------------------------------
+
+  Add({"absValue",
+       {{"abs", "absolute"}, {"value", "number"}},
+       {"x"},
+       {{"branch", R"(
+int FN(int x) {
+  if (x < 0)
+    return -x;
+  return x;
+}
+)"},
+        {"mul-sign", R"(
+int FN(int x) {
+  if (x < 0) {
+    x = x * -1;
+  }
+  return x;
+}
+)"}}});
+
+  Add({"maxOfTwo",
+       {{"max", "larger"}, {"of", "pick"}, {"two", "pair"}},
+       {"a", "b"},
+       {{"branch", R"(
+int FN(int a, int b) {
+  if (a > b)
+    return a;
+  return b;
+}
+)"},
+        {"builtin", R"(
+int FN(int a, int b) {
+  return max(a, b);
+}
+)"}}});
+
+  Add({"minOfThree",
+       {{"min", "smallest"}, {"of", "among"}, {"three", "triple"}},
+       {"a", "b", "c", "best"},
+       {{"nested-if", R"(
+int FN(int a, int b, int c) {
+  if (a < b) {
+    if (a < c)
+      return a;
+    return c;
+  }
+  if (b < c)
+    return b;
+  return c;
+}
+)"},
+        {"sequential", R"(
+int FN(int a, int b, int c) {
+  int best = a;
+  if (b < best)
+    best = b;
+  if (c < best)
+    best = c;
+  return best;
+}
+)"}}});
+
+  Add({"clampValue",
+       {{"clamp", "bound"}, {"value", "range"}},
+       {"x", "lo", "hi"},
+       {{"branches", R"(
+int FN(int x, int lo, int hi) {
+  if (lo > hi)
+    return x;
+  if (x < lo)
+    return lo;
+  if (x > hi)
+    return hi;
+  return x;
+}
+)"},
+        {"min-max", R"(
+int FN(int x, int lo, int hi) {
+  if (lo > hi)
+    return x;
+  return min(max(x, lo), hi);
+}
+)"}}});
+
+  Add({"sumRange",
+       {{"sum", "total"}, {"range", "between", "interval"}},
+       {"lo", "hi", "total", "i"},
+       {{"for-loop", R"(
+int FN(int lo, int hi) {
+  int total = 0;
+  for (int i = lo; i <= hi; i++) {
+    total += i;
+  }
+  return total;
+}
+)"},
+        {"while-loop", R"(
+int FN(int lo, int hi) {
+  int total = 0;
+  int i = lo;
+  while (i <= hi) {
+    total = total + i;
+    i++;
+  }
+  return total;
+}
+)"}}});
+
+  Add({"factorial",
+       {{"factorial", "fact"}, {"of", "value"}},
+       {"n", "result", "i"},
+       {{"for-product", R"(
+int FN(int n) {
+  int result = 1;
+  for (int i = 2; i <= n; i++) {
+    result *= i;
+  }
+  return result;
+}
+)"},
+        {"while-countdown", R"(
+int FN(int n) {
+  int result = 1;
+  while (n > 1) {
+    result = result * n;
+    n--;
+  }
+  return result;
+}
+)"}}});
+
+  Add({"fibonacci",
+       {{"fib", "fibonacci"}, {"number", "term"}},
+       {"n", "a", "b", "tmp", "i", "seq"},
+       {{"pair-rolling", R"(
+int FN(int n) {
+  int a = 0;
+  int b = 1;
+  for (int i = 0; i < n; i++) {
+    int tmp = a + b;
+    a = b;
+    b = tmp;
+  }
+  return a;
+}
+)"},
+        {"array-table", R"(
+int FN(int n) {
+  if (n <= 0)
+    return 0;
+  int[] seq = new int[n + 1];
+  seq[0] = 0;
+  if (n >= 1)
+    seq[1] = 1;
+  for (int i = 2; i <= n; i++) {
+    seq[i] = seq[i - 1] + seq[i - 2];
+  }
+  return seq[n];
+}
+)"}},
+       /*CosetProblem=*/true});
+
+  Add({"gcd",
+       {{"gcd", "greatest"}, {"divisor", "common"}},
+       {"a", "b", "tmp"},
+       {{"euclid-mod", R"(
+int FN(int a, int b) {
+  a = abs(a);
+  b = abs(b);
+  while (b != 0) {
+    int tmp = a % b;
+    a = b;
+    b = tmp;
+  }
+  return a;
+}
+)"},
+        {"euclid-sub", R"(
+int FN(int a, int b) {
+  a = abs(a);
+  b = abs(b);
+  if (a == 0)
+    return b;
+  if (b == 0)
+    return a;
+  while (a != b) {
+    if (a > b)
+      a -= b;
+    else
+      b -= a;
+  }
+  return a;
+}
+)"}},
+       /*CosetProblem=*/true});
+
+  Add({"power",
+       {{"power", "raise"}, {"of", "to"}},
+       {"base", "exp", "result", "i"},
+       {{"linear-multiply", R"(
+int FN(int base, int exp) {
+  int result = 1;
+  for (int i = 0; i < exp; i++) {
+    result *= base;
+  }
+  return result;
+}
+)"},
+        {"square-multiply", R"(
+int FN(int base, int exp) {
+  int result = 1;
+  while (exp > 0) {
+    if (exp % 2 == 1)
+      result = result * base;
+    base = base * base;
+    exp = exp / 2;
+  }
+  return result;
+}
+)"}},
+       /*CosetProblem=*/true});
+
+  Add({"sumDigits",
+       {{"sum", "add"}, {"digits"}},
+       {"n", "total"},
+       {{"mod-loop", R"(
+int FN(int n) {
+  n = abs(n);
+  int total = 0;
+  while (n > 0) {
+    total += n % 10;
+    n /= 10;
+  }
+  return total;
+}
+)"},
+        {"mod-loop-plain", R"(
+int FN(int n) {
+  n = abs(n);
+  int total = 0;
+  while (n > 0) {
+    total = total + n % 10;
+    n = n / 10;
+  }
+  return total;
+}
+)"}}});
+
+  Add({"isPrime",
+       {{"is", "check"}, {"prime"}},
+       {"n", "i"},
+       {{"trial-division", R"(
+bool FN(int n) {
+  if (n < 2)
+    return false;
+  for (int i = 2; i * i <= n; i++) {
+    if (n % i == 0)
+      return false;
+  }
+  return true;
+}
+)"},
+        {"scan-all", R"(
+bool FN(int n) {
+  if (n < 2)
+    return false;
+  int i = 2;
+  while (i < n) {
+    if (n % i == 0)
+      return false;
+    i++;
+  }
+  return true;
+}
+)"}}});
+
+  Add({"signOf",
+       {{"sign", "signum"}, {"of", "value"}},
+       {"x"},
+       {{"two-branch", R"(
+int FN(int x) {
+  if (x > 0)
+    return 1;
+  if (x < 0)
+    return -1;
+  return 0;
+}
+)"},
+        {"nested", R"(
+int FN(int x) {
+  if (x == 0)
+    return 0;
+  if (x > 0)
+    return 1;
+  return -1;
+}
+)"}}});
+
+  //-- Pairwise array ops ----------------------------------------------------
+
+  Add({"dotProduct",
+       {{"dot", "inner"}, {"product"}},
+       {"xs", "ys", "total", "i", "bound"},
+       {{"min-bound", R"(
+int FN(int[] xs, int[] ys) {
+  int bound = min(len(xs), len(ys));
+  int total = 0;
+  for (int i = 0; i < bound; i++) {
+    total += xs[i] * ys[i];
+  }
+  return total;
+}
+)"},
+        {"while-bound", R"(
+int FN(int[] xs, int[] ys) {
+  int total = 0;
+  int i = 0;
+  while (i < len(xs) && i < len(ys)) {
+    total = total + xs[i] * ys[i];
+    i++;
+  }
+  return total;
+}
+)"}}});
+
+  Add({"rangeProduct",
+       {{"product", "multiply"}, {"range", "values"}},
+       {"arr", "result", "i"},
+       {{"for-product", R"(
+int FN(int[] arr) {
+  int result = 1;
+  for (int i = 0; i < len(arr); i++) {
+    result *= arr[i];
+  }
+  return result;
+}
+)"},
+        {"backward-product", R"(
+int FN(int[] arr) {
+  int result = 1;
+  int i = len(arr) - 1;
+  while (i >= 0) {
+    result = result * arr[i];
+    i--;
+  }
+  return result;
+}
+)"}}});
+
+  //-- Strings ----------------------------------------------------------------
+
+  Add({"reverseString",
+       {{"reverse", "flip"}, {"string", "text", "word"}},
+       {"s", "out", "i"},
+       {{"append-backward", R"(
+string FN(string s) {
+  string out = "";
+  for (int i = len(s) - 1; i >= 0; i--) {
+    out += s[i];
+  }
+  return out;
+}
+)"},
+        {"prepend-forward", R"(
+string FN(string s) {
+  string out = "";
+  int i = 0;
+  while (i < len(s)) {
+    out = s[i] + out;
+    i++;
+  }
+  return out;
+}
+)"}},
+       /*CosetProblem=*/true});
+
+  Add({"countChar",
+       {{"count", "tally"}, {"char", "letter"}},
+       {"s", "c", "count", "i"},
+       {{"for-scan", R"(
+int FN(string s, string c) {
+  int count = 0;
+  for (int i = 0; i < len(s); i++) {
+    if (s[i] == c)
+      count++;
+  }
+  return count;
+}
+)"},
+        {"while-scan", R"(
+int FN(string s, string c) {
+  int count = 0;
+  int i = 0;
+  while (i < len(s)) {
+    if (s[i] == c)
+      count += 1;
+    i++;
+  }
+  return count;
+}
+)"}}});
+
+  Add({"isPalindrome",
+       {{"is", "check"}, {"palindrome"}},
+       {"s", "left", "right", "out", "i"},
+       {{"two-pointer", R"(
+bool FN(string s) {
+  int left = 0;
+  int right = len(s) - 1;
+  while (left < right) {
+    if (s[left] != s[right])
+      return false;
+    left++;
+    right--;
+  }
+  return true;
+}
+)"},
+        {"reverse-compare", R"(
+bool FN(string s) {
+  string out = "";
+  for (int i = len(s) - 1; i >= 0; i--) {
+    out += s[i];
+  }
+  return out == s;
+}
+)"}}});
+
+  Add({"repeatString",
+       {{"repeat", "duplicate"}, {"string", "text"}},
+       {"s", "times", "out", "i"},
+       {{"for-append", R"(
+string FN(string s, int times) {
+  string out = "";
+  for (int i = 0; i < times; i++) {
+    out += s;
+  }
+  return out;
+}
+)"},
+        {"while-append", R"(
+string FN(string s, int times) {
+  string out = "";
+  while (times > 0) {
+    out = out + s;
+    times--;
+  }
+  return out;
+}
+)"}}});
+
+  Add({"isStringRotation",
+       {{"is", "check"}, {"string", "word"}, {"rotation"}},
+       {"a", "b", "tail", "wrap", "i"},
+       {{"cut-and-wrap", R"(
+bool FN(string a, string b) {
+  if (len(a) != len(b))
+    return false;
+  for (int i = 1; i < len(a); i++) {
+    string tail = substring(a, i, len(a) - i);
+    string wrap = substring(a, 0, i);
+    if (tail + wrap == b)
+      return true;
+  }
+  return false;
+}
+)"}}});
+
+  //-- Structs -----------------------------------------------------------------
+
+  Add({"manhattanDistance",
+       {{"manhattan", "grid"}, {"distance", "length"}},
+       {"p"},
+       {{"abs-sum", R"(
+struct Point { int x; int y; }
+int FN(Point p) {
+  return abs(p.x) + abs(p.y);
+}
+)"},
+        {"branchy", R"(
+struct Point { int x; int y; }
+int FN(Point p) {
+  int dx = p.x;
+  if (dx < 0)
+    dx = -dx;
+  int dy = p.y;
+  if (dy < 0)
+    dy = -dy;
+  return dx + dy;
+}
+)"}}});
+
+  Add({"boolAnyTrue",
+       {{"any", "has"}, {"true", "set"}, {"flag", "bit"}},
+       {"flags", "i", "found"},
+       {{"early-return", R"(
+bool FN(bool[] flags) {
+  for (int i = 0; i < len(flags); i++) {
+    if (flags[i])
+      return true;
+  }
+  return false;
+}
+)"},
+        {"fold", R"(
+bool FN(bool[] flags) {
+  bool found = false;
+  int i = 0;
+  while (i < len(flags)) {
+    found = found || flags[i];
+    i++;
+  }
+  return found;
+}
+)"}}});
+
+  return Lib;
+}
+
+} // namespace
+
+const std::vector<TaskSpec> &liger::taskLibrary() {
+  static const std::vector<TaskSpec> Library = buildLibrary();
+  return Library;
+}
+
+std::vector<const TaskSpec *> liger::cosetProblems() {
+  std::vector<const TaskSpec *> Problems;
+  for (const TaskSpec &Task : taskLibrary())
+    if (Task.CosetProblem)
+      Problems.push_back(&Task);
+  return Problems;
+}

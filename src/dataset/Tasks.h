@@ -1,0 +1,76 @@
+//===-- dataset/Tasks.h - Semantic task and variant library -----*- C++ -*-===//
+//
+// Part of the LIGER reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The library of semantic tasks backing both synthetic corpora
+/// (DESIGN.md §2). A *task* is a behaviour (sum an array, sort, check a
+/// string rotation, ...) with:
+///
+///  - name parts: synonym sets composed into realistic camelCase method
+///    names (the prediction target);
+///  - variants: syntactically different implementations of the same
+///    behaviour (different loop styles, ++ vs +=, flag vs early
+///    return, different algorithms) — the property that separates
+///    static from dynamic models (paper Fig. 1);
+///  - renameable identifiers for informative/generic/misleading
+///    identifier mutation.
+///
+/// The COSET substitute draws from the subset of tasks whose variants
+/// are genuinely distinct *algorithms* (bubble vs insertion vs
+/// selection sort, Euclid-mod vs Euclid-sub gcd, ...), labelled by
+/// variant.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIGER_DATASET_TASKS_H
+#define LIGER_DATASET_TASKS_H
+
+#include <string>
+#include <vector>
+
+namespace liger {
+
+/// One syntactic/algorithmic implementation of a task. The source
+/// declares exactly one function named `FN` (substituted at generation
+/// time).
+struct TaskVariant {
+  /// Algorithm label ("bubble", "two-pointer", ...). Variants of one
+  /// task with *different* labels implement different algorithms (the
+  /// COSET classes); same-label variants are mere syntax mutations.
+  std::string Algorithm;
+  /// MiniLang source with the placeholder function name FN.
+  std::string Source;
+};
+
+/// A semantic task.
+struct TaskSpec {
+  /// Stable key, e.g. "sumArray".
+  std::string Key;
+  /// Synonym sets per name position; a method name picks one synonym
+  /// from each set, e.g. {{"sum","total"},{"array","values"}} can yield
+  /// sumArray, totalValues, ...
+  std::vector<std::vector<std::string>> NameParts;
+  /// Identifiers in the variant sources that may be renamed.
+  std::vector<std::string> Renameable;
+  std::vector<TaskVariant> Variants;
+  /// True when the variants constitute distinct algorithms suitable as
+  /// a COSET-style classification problem.
+  bool CosetProblem = false;
+};
+
+/// The full task library (built once, immutable).
+const std::vector<TaskSpec> &taskLibrary();
+
+/// The subset of the library with CosetProblem set (10 problems).
+std::vector<const TaskSpec *> cosetProblems();
+
+/// Replaces whole-word occurrences of identifier \p From with \p To.
+std::string replaceIdentifier(const std::string &Source,
+                              const std::string &From, const std::string &To);
+
+} // namespace liger
+
+#endif // LIGER_DATASET_TASKS_H

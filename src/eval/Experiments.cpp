@@ -1,0 +1,380 @@
+//===-- eval/Experiments.cpp - Paper experiment drivers --------------------===//
+//
+// Part of the LIGER reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "eval/Experiments.h"
+
+#include "models/Code2Seq.h"
+#include "models/Code2Vec.h"
+#include "models/Dypro.h"
+#include "support/StringUtils.h"
+#include "testgen/Coverage.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+using namespace liger;
+
+//===----------------------------------------------------------------------===//
+// ExperimentScale
+//===----------------------------------------------------------------------===//
+
+ExperimentScale ExperimentScale::fromArgs(int Argc, char **Argv) {
+  ExperimentScale Scale;
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    auto TakeSize = [&](const char *Key, size_t &Slot) {
+      std::string Prefix = std::string("--") + Key + "=";
+      if (!startsWith(Arg, Prefix))
+        return false;
+      Slot = static_cast<size_t>(
+          std::strtoull(Arg.c_str() + Prefix.size(), nullptr, 10));
+      return true;
+    };
+    if (Arg == "--verbose") {
+      Scale.Verbose = true;
+      continue;
+    }
+    size_t Tmp;
+    if (TakeSize("methods", Scale.MethodsMed)) {
+      Scale.MethodsLarge = Scale.MethodsMed * 2;
+      continue;
+    }
+    if (TakeSize("methods-large", Scale.MethodsLarge) ||
+        TakeSize("coset-per-class", Scale.CosetPerClass) ||
+        TakeSize("epochs", Scale.Epochs) ||
+        TakeSize("batch", Scale.BatchSize) ||
+        TakeSize("hidden", Scale.Hidden) ||
+        TakeSize("embed", Scale.EmbedDim))
+      continue;
+    if (TakeSize("paths", Tmp)) {
+      Scale.TargetPaths = static_cast<unsigned>(Tmp);
+      continue;
+    }
+    if (TakeSize("execs", Tmp)) {
+      Scale.ExecutionsPerPath = static_cast<unsigned>(Tmp);
+      continue;
+    }
+    if (TakeSize("seed", Tmp)) {
+      Scale.Seed = Tmp;
+      continue;
+    }
+    if (startsWith(Arg, "--lr=")) {
+      Scale.LearningRate = std::strtof(Arg.c_str() + 5, nullptr);
+      continue;
+    }
+    if (startsWith(Arg, "--benchmark"))
+      continue; // tolerate google-benchmark flags when mixed
+    std::fprintf(stderr, "unknown experiment flag: %s\n", Arg.c_str());
+    std::exit(2);
+  }
+  return Scale;
+}
+
+TestGenOptions ExperimentScale::traceGenOptions() const {
+  TestGenOptions Options;
+  Options.TargetPaths = TargetPaths;
+  Options.ExecutionsPerPath = ExecutionsPerPath;
+  return Options;
+}
+
+TrainOptions ExperimentScale::trainOptions() const {
+  TrainOptions Options;
+  Options.Epochs = Epochs;
+  Options.BatchSize = BatchSize;
+  Options.LearningRate = LearningRate;
+  Options.Seed = Seed;
+  Options.Verbose = Verbose;
+  return Options;
+}
+
+//===----------------------------------------------------------------------===//
+// Trace transforms
+//===----------------------------------------------------------------------===//
+
+TraceTransform liger::reduceConcreteTransform(size_t K) {
+  return [K](const MethodTraces &Traces, Rng &R) {
+    return reduceConcreteTraces(Traces, K, R);
+  };
+}
+
+TraceTransform liger::reduceSymbolicTransform(size_t K,
+                                              size_t ConcretePerPath) {
+  return [K, ConcretePerPath](const MethodTraces &Traces, Rng &R) {
+    MethodTraces Capped = reduceConcreteTraces(Traces, ConcretePerPath, R);
+    return reduceSymbolicTraces(Capped, K, R);
+  };
+}
+
+std::vector<MethodSample>
+liger::transformSamples(const std::vector<MethodSample> &Samples,
+                        const TraceTransform &Transform, uint64_t Seed) {
+  if (!Transform)
+    return Samples;
+  Rng R(Seed);
+  std::vector<MethodSample> Out = Samples;
+  for (MethodSample &Sample : Out)
+    Sample.Traces = Transform(Sample.Traces, R);
+  return Out;
+}
+
+void liger::traceBudget(const std::vector<MethodSample> &Samples,
+                        double &AvgPaths, double &AvgExecs) {
+  AvgPaths = AvgExecs = 0;
+  if (Samples.empty())
+    return;
+  for (const MethodSample &Sample : Samples) {
+    AvgPaths += static_cast<double>(Sample.Traces.Paths.size());
+    AvgExecs += static_cast<double>(Sample.Traces.totalExecutions());
+  }
+  AvgPaths /= static_cast<double>(Samples.size());
+  AvgExecs /= static_cast<double>(Samples.size());
+}
+
+//===----------------------------------------------------------------------===//
+// Task construction
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+Code2VecConfig code2vecConfig(const ExperimentScale &Scale) {
+  Code2VecConfig Config;
+  Config.EmbedDim = Scale.EmbedDim;
+  Config.CodeDim = Scale.Hidden;
+  return Config;
+}
+
+Code2SeqConfig code2seqConfig(const ExperimentScale &Scale) {
+  Code2SeqConfig Config;
+  Config.EmbedDim = Scale.EmbedDim;
+  Config.Hidden = Scale.Hidden;
+  Config.AttnHidden = Scale.Hidden;
+  return Config;
+}
+
+LigerConfig ligerConfig(const ExperimentScale &Scale,
+                        const LigerAblation &Ablation) {
+  LigerConfig Config;
+  Config.EmbedDim = Scale.EmbedDim;
+  Config.Hidden = Scale.Hidden;
+  Config.AttnHidden = Scale.Hidden;
+  Config.UseStaticFeature = Ablation.StaticFeature;
+  Config.UseDynamicFeature = Ablation.DynamicFeature;
+  Config.UseFusionAttention = Ablation.FusionAttention;
+  Config.MeanPoolPrograms = Ablation.MeanPool;
+  Config.MaxConcretePerPath = Scale.ExecutionsPerPath;
+  return Config;
+}
+
+DyproConfig dyproConfig(const ExperimentScale &Scale) {
+  DyproConfig Config;
+  Config.EmbedDim = Scale.EmbedDim;
+  Config.Hidden = Scale.Hidden;
+  Config.AttnHidden = Scale.Hidden;
+  return Config;
+}
+
+/// Fills the shared vocabularies from a training split.
+void buildVocabularies(const std::vector<MethodSample> &Train,
+                       const ExperimentScale &Scale, Vocabulary &Joint,
+                       Vocabulary *Target, Vocabulary &C2vTokens,
+                       Vocabulary &C2vPaths, Vocabulary *C2vNames,
+                       Vocabulary &C2sSubtokens, Vocabulary &C2sNodes) {
+  Code2VecConfig C2v = code2vecConfig(Scale);
+  Code2SeqConfig C2s = code2seqConfig(Scale);
+  for (const MethodSample &Sample : Train) {
+    addSampleToVocabulary(Sample, Joint);
+    addVariableNamesToVocabulary(Sample, Joint);
+    if (Target)
+      addNameToVocabulary(Sample, *Target);
+    addPathContextsToVocabulary(Sample, C2vTokens, C2vPaths, C2v);
+    if (C2vNames)
+      Code2VecNamePredictor::addNameToVocabulary(Sample, *C2vNames);
+    addSeqPathContextsToVocabulary(Sample, C2sSubtokens, C2sNodes, C2s);
+  }
+  Joint.freeze();
+  if (Target)
+    Target->freeze();
+  C2vTokens.freeze();
+  C2vPaths.freeze();
+  if (C2vNames)
+    C2vNames->freeze();
+  C2sSubtokens.freeze();
+  C2sNodes.freeze();
+}
+
+} // namespace
+
+NameTask liger::buildNameTask(const ExperimentScale &Scale, bool Large) {
+  CorpusOptions Options;
+  Options.NumMethods = Large ? Scale.MethodsLarge : Scale.MethodsMed;
+  Options.TraceGen = Scale.traceGenOptions();
+  Options.Seed = Scale.Seed + (Large ? 1000 : 0);
+
+  NameTask Task;
+  std::vector<MethodSample> Samples =
+      generateMethodCorpus(Options, &Task.Stats);
+  Task.Split = splitByProject(std::move(Samples), 0.15, 0.2,
+                              Scale.Seed + (Large ? 11 : 10));
+  buildVocabularies(Task.Split.Train, Scale, Task.Joint, &Task.Target,
+                    Task.C2vTokens, Task.C2vPaths, &Task.C2vNames,
+                    Task.C2sSubtokens, Task.C2sNodes);
+  return Task;
+}
+
+CosetTask liger::buildCosetTask(const ExperimentScale &Scale) {
+  CosetOptions Options;
+  Options.ProgramsPerClass = Scale.CosetPerClass;
+  Options.TraceGen = Scale.traceGenOptions();
+  Options.Seed = Scale.Seed + 2000;
+
+  CosetTask Task;
+  std::vector<MethodSample> Samples =
+      generateCosetCorpus(Options, Task.ClassNames);
+  Task.NumClasses = Task.ClassNames.size();
+  Task.Split = splitByProject(std::move(Samples), 0.15, 0.2, Scale.Seed + 12);
+  buildVocabularies(Task.Split.Train, Scale, Task.Joint, nullptr,
+                    Task.C2vTokens, Task.C2vPaths, nullptr,
+                    Task.C2sSubtokens, Task.C2sNodes);
+  return Task;
+}
+
+//===----------------------------------------------------------------------===//
+// Name model runner
+//===----------------------------------------------------------------------===//
+
+NameRunResult liger::runNameModel(NameModel Model, const NameTask &Task,
+                                  const ExperimentScale &Scale,
+                                  const LigerAblation &Ablation,
+                                  const TraceTransform &Transform) {
+  std::vector<MethodSample> Train =
+      transformSamples(Task.Split.Train, Transform, Scale.Seed + 100);
+  std::vector<MethodSample> Valid =
+      transformSamples(Task.Split.Valid, Transform, Scale.Seed + 101);
+  std::vector<MethodSample> Test =
+      transformSamples(Task.Split.Test, Transform, Scale.Seed + 102);
+
+  NameRunResult Result;
+  traceBudget(Test, Result.AvgPaths, Result.AvgExecutions);
+  TrainOptions TrainOpts = Scale.trainOptions();
+
+  switch (Model) {
+  case NameModel::Code2Vec: {
+    Code2VecNamePredictor Net(Task.C2vTokens, Task.C2vPaths, Task.C2vNames,
+                              code2vecConfig(Scale), Scale.Seed);
+    NameModelHooks Hooks;
+    Hooks.Loss = [&](const MethodSample &S) { return Net.loss(S); };
+    Hooks.Predict = [&](const MethodSample &S) { return Net.predict(S); };
+    Hooks.Params = &Net.params();
+    Result.TrainSeconds =
+        trainNameModel(Hooks, Train, Valid, TrainOpts).Seconds;
+    Result.Test = evaluateNameModel(Hooks, Test);
+    return Result;
+  }
+  case NameModel::Code2Seq: {
+    Code2SeqNamePredictor Net(Task.C2sSubtokens, Task.C2sNodes, Task.Target,
+                              code2seqConfig(Scale), Scale.Seed);
+    NameModelHooks Hooks;
+    Hooks.Loss = [&](const MethodSample &S) { return Net.loss(S); };
+    Hooks.Predict = [&](const MethodSample &S) { return Net.predict(S); };
+    Hooks.Params = &Net.params();
+    Result.TrainSeconds =
+        trainNameModel(Hooks, Train, Valid, TrainOpts).Seconds;
+    Result.Test = evaluateNameModel(Hooks, Test);
+    return Result;
+  }
+  case NameModel::Dypro: {
+    DyproNamePredictor Net(Task.Joint, Task.Target, dyproConfig(Scale),
+                           Scale.Seed);
+    NameModelHooks Hooks;
+    Hooks.Loss = [&](const MethodSample &S) { return Net.loss(S); };
+    Hooks.Predict = [&](const MethodSample &S) { return Net.predict(S); };
+    Hooks.Params = &Net.params();
+    Result.TrainSeconds =
+        trainNameModel(Hooks, Train, Valid, TrainOpts).Seconds;
+    Result.Test = evaluateNameModel(Hooks, Test);
+    return Result;
+  }
+  case NameModel::Liger: {
+    LigerNamePredictor Net(Task.Joint, Task.Target,
+                           ligerConfig(Scale, Ablation), Scale.Seed);
+    NameModelHooks Hooks;
+    Hooks.Loss = [&](const MethodSample &S) { return Net.loss(S); };
+    Hooks.Predict = [&](const MethodSample &S) { return Net.predict(S); };
+    Hooks.Params = &Net.params();
+    Result.TrainSeconds =
+        trainNameModel(Hooks, Train, Valid, TrainOpts).Seconds;
+    // Evaluate with attention introspection.
+    SubtokenScorer Scorer;
+    FusionStats Fusion;
+    for (const MethodSample &Sample : Test)
+      Scorer.add(Net.predict(Sample, &Fusion), Sample.NameSubtokens);
+    Result.Test = Scorer.scores();
+    Result.StaticAttention = Fusion.staticMean();
+    return Result;
+  }
+  }
+  LIGER_UNREACHABLE("covered switch");
+}
+
+//===----------------------------------------------------------------------===//
+// COSET model runner
+//===----------------------------------------------------------------------===//
+
+ClassRunResult liger::runCosetModel(ClassModel Model, const CosetTask &Task,
+                                    const ExperimentScale &Scale,
+                                    const LigerAblation &Ablation,
+                                    const TraceTransform &Transform) {
+  std::vector<MethodSample> Train =
+      transformSamples(Task.Split.Train, Transform, Scale.Seed + 200);
+  std::vector<MethodSample> Valid =
+      transformSamples(Task.Split.Valid, Transform, Scale.Seed + 201);
+  std::vector<MethodSample> Test =
+      transformSamples(Task.Split.Test, Transform, Scale.Seed + 202);
+
+  ClassRunResult Result;
+  traceBudget(Test, Result.AvgPaths, Result.AvgExecutions);
+  TrainOptions TrainOpts = Scale.trainOptions();
+
+  auto Run = [&](auto &Net) {
+    ClassModelHooks Hooks;
+    Hooks.Loss = [&](const MethodSample &S) { return Net.loss(S); };
+    Hooks.Predict = [&](const MethodSample &S) { return Net.predict(S); };
+    Hooks.Params = &Net.params();
+    Result.TrainSeconds =
+        trainClassifier(Hooks, Train, Valid, Task.NumClasses, TrainOpts)
+            .Seconds;
+    Result.Test = evaluateClassifier(Hooks, Test, Task.NumClasses);
+  };
+
+  switch (Model) {
+  case ClassModel::Code2Vec: {
+    Code2VecClassifier Net(Task.C2vTokens, Task.C2vPaths, Task.NumClasses,
+                           code2vecConfig(Scale), Scale.Seed);
+    Run(Net);
+    return Result;
+  }
+  case ClassModel::Code2Seq: {
+    Code2SeqClassifier Net(Task.C2sSubtokens, Task.C2sNodes, Task.NumClasses,
+                           code2seqConfig(Scale), Scale.Seed);
+    Run(Net);
+    return Result;
+  }
+  case ClassModel::Dypro: {
+    DyproClassifier Net(Task.Joint, Task.NumClasses, dyproConfig(Scale),
+                        Scale.Seed);
+    Run(Net);
+    return Result;
+  }
+  case ClassModel::Liger: {
+    LigerClassifier Net(Task.Joint, Task.NumClasses,
+                        ligerConfig(Scale, Ablation), Scale.Seed);
+    Run(Net);
+    return Result;
+  }
+  }
+  LIGER_UNREACHABLE("covered switch");
+}

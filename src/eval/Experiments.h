@@ -1,0 +1,153 @@
+//===-- eval/Experiments.h - Paper experiment drivers -----------*- C++ -*-===//
+//
+// Part of the LIGER reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// End-to-end drivers for every table and figure of the paper's
+/// evaluation (§6), shared by the bench/ binaries:
+///
+///  - buildNameTask / runNameModel: Table 2, Figures 6, 8, 9, 10, 11
+///    (method name prediction on the Java-med / Java-large substitutes,
+///    with trace-reduction transforms and ablation switches);
+///  - buildCosetTask / runCosetModel: Table 3 and Figure 7;
+///  - generateMethodCorpus stats: Table 1.
+///
+/// Scale: paper-size corpora and models are replaced by CPU-feasible
+/// defaults; ExperimentScale holds every knob and parses command-line
+/// overrides (--methods=N --epochs=N --hidden=N --seed=N ...).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIGER_EVAL_EXPERIMENTS_H
+#define LIGER_EVAL_EXPERIMENTS_H
+
+#include "dataset/Corpus.h"
+#include "eval/Training.h"
+#include "models/Liger.h"
+
+namespace liger {
+
+/// Every experiment knob with CPU-scale defaults.
+struct ExperimentScale {
+  size_t MethodsMed = 150;   ///< Raw methods, "Java-med" substitute.
+  size_t MethodsLarge = 300; ///< Raw methods, "Java-large" substitute.
+  size_t CosetPerClass = 8;  ///< Programs per (problem, algorithm).
+  size_t Epochs = 6;
+  size_t BatchSize = 8;
+  float LearningRate = 4e-3f;
+  size_t Hidden = 24;
+  size_t EmbedDim = 24;
+  unsigned TargetPaths = 8;       ///< Symbolic traces/method (paper: 20).
+  unsigned ExecutionsPerPath = 5; ///< Concrete traces/path (paper: 5).
+  uint64_t Seed = 7;
+  bool Verbose = false;
+
+  /// Parses --key=value overrides (unknown keys are fatal).
+  static ExperimentScale fromArgs(int Argc, char **Argv);
+
+  /// Trace-collection options derived from this scale.
+  TestGenOptions traceGenOptions() const;
+  /// Training options derived from this scale.
+  TrainOptions trainOptions() const;
+};
+
+/// A transform applied to every sample's traces (train/valid/test) —
+/// the reduction sweeps of §6.1.2. Null means "no reduction".
+using TraceTransform =
+    std::function<MethodTraces(const MethodTraces &, Rng &)>;
+
+/// Keep at most K concrete traces per path (Fig. 6a/6b x-axis).
+TraceTransform reduceConcreteTransform(size_t K);
+/// Keep at most K symbolic traces, line coverage preserved while
+/// possible (Fig. 6c/6d x-axis); concrete traces per path first capped
+/// at \p ConcretePerPath (the paper uses 3 of the original 5).
+TraceTransform reduceSymbolicTransform(size_t K, size_t ConcretePerPath);
+
+/// Everything a name-prediction experiment needs.
+struct NameTask {
+  SplitCorpus Split;
+  CorpusStats Stats;
+  Vocabulary Joint;   ///< Ds ∪ Dd ∪ variable names (LIGER, DYPRO).
+  Vocabulary Target;  ///< Method-name sub-tokens.
+  Vocabulary C2vTokens, C2vPaths, C2vNames; ///< code2vec vocabularies.
+  Vocabulary C2sSubtokens, C2sNodes;        ///< code2seq vocabularies.
+};
+
+/// Generates and prepares the corpus (\p Large selects the bigger
+/// substitute). Vocabularies are built from the training split.
+NameTask buildNameTask(const ExperimentScale &Scale, bool Large);
+
+/// Which name model to run.
+enum class NameModel { Code2Vec, Code2Seq, Dypro, Liger };
+
+/// LIGER ablation switches (defaults = full model).
+struct LigerAblation {
+  bool StaticFeature = true;
+  bool DynamicFeature = true;
+  bool FusionAttention = true;
+  bool MeanPool = false;
+};
+
+/// Result of one name-model run.
+struct NameRunResult {
+  PrfScores Test;
+  double TrainSeconds = 0;
+  /// Mean fusion-attention weight on the symbolic dimension over the
+  /// test set (LIGER only; the §6.1.2 introspection).
+  double StaticAttention = 0;
+  /// Average symbolic traces and concrete executions per test method
+  /// (after transforms) — the data-budget axis of the figures.
+  double AvgPaths = 0;
+  double AvgExecutions = 0;
+};
+
+/// Trains and evaluates one name model end to end.
+NameRunResult runNameModel(NameModel Model, const NameTask &Task,
+                           const ExperimentScale &Scale,
+                           const LigerAblation &Ablation = {},
+                           const TraceTransform &Transform = nullptr);
+
+/// Everything a COSET-style experiment needs.
+struct CosetTask {
+  SplitCorpus Split;
+  std::vector<std::string> ClassNames;
+  size_t NumClasses = 0;
+  Vocabulary Joint;
+  Vocabulary C2vTokens, C2vPaths;
+  Vocabulary C2sSubtokens, C2sNodes;
+};
+
+/// Generates and prepares the COSET substitute.
+CosetTask buildCosetTask(const ExperimentScale &Scale);
+
+/// Which classifier to run.
+enum class ClassModel { Code2Vec, Code2Seq, Dypro, Liger };
+
+/// Result of one classification run.
+struct ClassRunResult {
+  ClassScores Test;
+  double TrainSeconds = 0;
+  double AvgPaths = 0;
+  double AvgExecutions = 0;
+};
+
+/// Trains and evaluates one classifier end to end.
+ClassRunResult runCosetModel(ClassModel Model, const CosetTask &Task,
+                             const ExperimentScale &Scale,
+                             const LigerAblation &Ablation = {},
+                             const TraceTransform &Transform = nullptr);
+
+/// Applies \p Transform to a copy of \p Samples (identity when null).
+std::vector<MethodSample>
+transformSamples(const std::vector<MethodSample> &Samples,
+                 const TraceTransform &Transform, uint64_t Seed);
+
+/// Mean paths / executions per sample (the figures' x-axis bookkeeping).
+void traceBudget(const std::vector<MethodSample> &Samples, double &AvgPaths,
+                 double &AvgExecs);
+
+} // namespace liger
+
+#endif // LIGER_EVAL_EXPERIMENTS_H

@@ -1,0 +1,102 @@
+//===-- eval/Metrics.cpp - Evaluation metrics ------------------------------===//
+//
+// Part of the LIGER reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "eval/Metrics.h"
+
+#include "support/Error.h"
+#include "support/StringUtils.h"
+
+#include <map>
+
+using namespace liger;
+
+SubtokenCounts
+liger::countSubtokenMatches(const std::vector<std::string> &Predicted,
+                            const std::vector<std::string> &Actual) {
+  std::map<std::string, size_t> Wanted;
+  for (const std::string &Token : Actual)
+    ++Wanted[toLower(Token)];
+
+  SubtokenCounts Counts;
+  for (const std::string &Token : Predicted) {
+    auto It = Wanted.find(toLower(Token));
+    if (It != Wanted.end() && It->second > 0) {
+      --It->second;
+      ++Counts.TruePositive;
+    } else {
+      ++Counts.FalsePositive;
+    }
+  }
+  for (const auto &Entry : Wanted)
+    Counts.FalseNegative += Entry.second;
+  return Counts;
+}
+
+void SubtokenScorer::add(const std::vector<std::string> &Predicted,
+                         const std::vector<std::string> &Actual) {
+  SubtokenCounts Counts = countSubtokenMatches(Predicted, Actual);
+  Totals.TruePositive += Counts.TruePositive;
+  Totals.FalsePositive += Counts.FalsePositive;
+  Totals.FalseNegative += Counts.FalseNegative;
+  ++Examples;
+}
+
+PrfScores SubtokenScorer::scores() const {
+  PrfScores Out;
+  double TP = static_cast<double>(Totals.TruePositive);
+  double FP = static_cast<double>(Totals.FalsePositive);
+  double FN = static_cast<double>(Totals.FalseNegative);
+  if (TP + FP > 0)
+    Out.Precision = 100.0 * TP / (TP + FP);
+  if (TP + FN > 0)
+    Out.Recall = 100.0 * TP / (TP + FN);
+  if (Out.Precision + Out.Recall > 0)
+    Out.F1 = 2.0 * Out.Precision * Out.Recall /
+             (Out.Precision + Out.Recall);
+  return Out;
+}
+
+ClassificationScorer::ClassificationScorer(size_t NumClasses)
+    : Classes(NumClasses) {}
+
+void ClassificationScorer::add(int Predicted, int Actual) {
+  LIGER_CHECK(Actual >= 0 && static_cast<size_t>(Actual) < Classes.size(),
+              "actual class out of range");
+  ++Examples;
+  if (Predicted == Actual) {
+    ++Correct;
+    ++Classes[static_cast<size_t>(Actual)].TruePositive;
+    return;
+  }
+  ++Classes[static_cast<size_t>(Actual)].FalseNegative;
+  if (Predicted >= 0 && static_cast<size_t>(Predicted) < Classes.size())
+    ++Classes[static_cast<size_t>(Predicted)].FalsePositive;
+}
+
+double ClassificationScorer::accuracy() const {
+  return Examples == 0 ? 0.0
+                       : static_cast<double>(Correct) /
+                             static_cast<double>(Examples);
+}
+
+double ClassificationScorer::macroF1() const {
+  double Sum = 0;
+  size_t Present = 0;
+  for (const PerClass &C : Classes) {
+    size_t Support = C.TruePositive + C.FalseNegative;
+    if (Support == 0 && C.FalsePositive == 0)
+      continue; // class absent from this evaluation
+    ++Present;
+    double TP = static_cast<double>(C.TruePositive);
+    double Precision =
+        TP + C.FalsePositive > 0 ? TP / (TP + C.FalsePositive) : 0.0;
+    double Recall =
+        TP + C.FalseNegative > 0 ? TP / (TP + C.FalseNegative) : 0.0;
+    if (Precision + Recall > 0)
+      Sum += 2.0 * Precision * Recall / (Precision + Recall);
+  }
+  return Present == 0 ? 0.0 : Sum / static_cast<double>(Present);
+}

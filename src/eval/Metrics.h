@@ -1,0 +1,86 @@
+//===-- eval/Metrics.h - Evaluation metrics ---------------------*- C++ -*-===//
+//
+// Part of the LIGER reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's metrics. For method name prediction (§6.1.1): precision,
+/// recall, and F1 over case-insensitive sub-tokens, order-ignoring
+/// (predicting "diffCompute" for computeDiff is perfect; "compute" has
+/// full precision / low recall; "computeFileDiff" full recall / low
+/// precision). Counts are aggregated micro-style (global TP/FP/FN, as
+/// in code2seq's reference implementation). For semantics
+/// classification (§6.2): accuracy and macro-averaged F1 over classes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIGER_EVAL_METRICS_H
+#define LIGER_EVAL_METRICS_H
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace liger {
+
+/// Precision / recall / F1 triple (percentages in [0, 100]).
+struct PrfScores {
+  double Precision = 0;
+  double Recall = 0;
+  double F1 = 0;
+};
+
+/// Multiset sub-token match counts for one prediction.
+struct SubtokenCounts {
+  size_t TruePositive = 0;
+  size_t FalsePositive = 0;
+  size_t FalseNegative = 0;
+};
+
+/// Compares predicted vs. actual sub-tokens (case-insensitive,
+/// order-free, multiset semantics).
+SubtokenCounts countSubtokenMatches(const std::vector<std::string> &Predicted,
+                                    const std::vector<std::string> &Actual);
+
+/// Accumulates micro-aggregated sub-token scores across a test set.
+class SubtokenScorer {
+public:
+  void add(const std::vector<std::string> &Predicted,
+           const std::vector<std::string> &Actual);
+
+  PrfScores scores() const;
+  size_t numExamples() const { return Examples; }
+
+private:
+  SubtokenCounts Totals;
+  size_t Examples = 0;
+};
+
+/// Accumulates classification accuracy and macro F1.
+class ClassificationScorer {
+public:
+  explicit ClassificationScorer(size_t NumClasses);
+
+  void add(int Predicted, int Actual);
+
+  /// Fraction correct in [0, 1].
+  double accuracy() const;
+  /// Macro-averaged F1 in [0, 1] over classes that appear.
+  double macroF1() const;
+  size_t numExamples() const { return Examples; }
+
+private:
+  struct PerClass {
+    size_t TruePositive = 0;
+    size_t FalsePositive = 0;
+    size_t FalseNegative = 0;
+  };
+  std::vector<PerClass> Classes;
+  size_t Correct = 0;
+  size_t Examples = 0;
+};
+
+} // namespace liger
+
+#endif // LIGER_EVAL_METRICS_H

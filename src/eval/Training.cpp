@@ -1,0 +1,156 @@
+//===-- eval/Training.cpp - Model-agnostic training loops ------------------===//
+//
+// Part of the LIGER reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "eval/Training.h"
+
+#include "support/Stopwatch.h"
+
+#include <cstdio>
+
+using namespace liger;
+
+namespace {
+
+std::vector<Tensor> snapshotParams(const ParamStore &Store) {
+  std::vector<Tensor> Out;
+  Out.reserve(Store.params().size());
+  for (const Var &P : Store.params())
+    Out.push_back(P->Value);
+  return Out;
+}
+
+void restoreParams(ParamStore &Store, const std::vector<Tensor> &Snapshot) {
+  LIGER_CHECK(Snapshot.size() == Store.params().size(),
+              "snapshot/store size mismatch");
+  for (size_t I = 0; I < Snapshot.size(); ++I)
+    Store.params()[I]->Value = Snapshot[I];
+}
+
+/// Shared epoch loop: shuffled mini-batches, mean loss, Adam step.
+template <typename LossFn>
+double runEpoch(const std::vector<MethodSample> &Train, size_t BatchSize,
+                const LossFn &Loss, Adam &Opt, Rng &R) {
+  std::vector<size_t> Order(Train.size());
+  for (size_t I = 0; I < Order.size(); ++I)
+    Order[I] = I;
+  R.shuffle(Order);
+
+  double EpochLoss = 0;
+  size_t NumLosses = 0;
+  for (size_t Begin = 0; Begin < Order.size(); Begin += BatchSize) {
+    size_t End = std::min(Order.size(), Begin + BatchSize);
+    std::vector<Var> Losses;
+    for (size_t I = Begin; I < End; ++I)
+      Losses.push_back(Loss(Train[Order[I]]));
+    Var Batch = meanLoss(Losses);
+    EpochLoss += static_cast<double>(Batch->Value[0]) *
+                 static_cast<double>(Losses.size());
+    NumLosses += Losses.size();
+    backward(Batch);
+    Opt.step();
+  }
+  return NumLosses == 0 ? 0.0 : EpochLoss / static_cast<double>(NumLosses);
+}
+
+} // namespace
+
+PrfScores liger::evaluateNameModel(const NameModelHooks &Hooks,
+                                   const std::vector<MethodSample> &Samples) {
+  SubtokenScorer Scorer;
+  for (const MethodSample &Sample : Samples)
+    Scorer.add(Hooks.Predict(Sample), Sample.NameSubtokens);
+  return Scorer.scores();
+}
+
+TrainResult liger::trainNameModel(const NameModelHooks &Hooks,
+                                  const std::vector<MethodSample> &Train,
+                                  const std::vector<MethodSample> &Valid,
+                                  const TrainOptions &Options) {
+  LIGER_CHECK(Hooks.Params, "hooks must expose the parameter store");
+  Stopwatch Timer;
+  AdamOptions AdamOpts;
+  AdamOpts.LearningRate = Options.LearningRate;
+  Adam Opt(*Hooks.Params, AdamOpts);
+  Rng R(Options.Seed);
+
+  TrainResult Result;
+  std::vector<Tensor> Best;
+  bool TrackBest = Options.SelectBestOnValidation && !Valid.empty();
+
+  for (size_t Epoch = 0; Epoch < Options.Epochs; ++Epoch) {
+    Result.FinalTrainLoss =
+        runEpoch(Train, Options.BatchSize, Hooks.Loss, Opt, R);
+    if (TrackBest) {
+      PrfScores ValidScores = evaluateNameModel(Hooks, Valid);
+      if (ValidScores.F1 >= Result.BestValidScore) {
+        Result.BestValidScore = ValidScores.F1;
+        Result.BestEpoch = Epoch;
+        Best = snapshotParams(*Hooks.Params);
+      }
+      if (Options.Verbose)
+        std::printf("  epoch %zu  loss %.4f  valid F1 %.2f\n", Epoch,
+                    Result.FinalTrainLoss, ValidScores.F1);
+    } else if (Options.Verbose) {
+      std::printf("  epoch %zu  loss %.4f\n", Epoch, Result.FinalTrainLoss);
+    }
+  }
+  if (TrackBest && !Best.empty())
+    restoreParams(*Hooks.Params, Best);
+  Result.Seconds = Timer.seconds();
+  return Result;
+}
+
+ClassScores liger::evaluateClassifier(const ClassModelHooks &Hooks,
+                                      const std::vector<MethodSample> &Samples,
+                                      size_t NumClasses) {
+  ClassificationScorer Scorer(NumClasses);
+  for (const MethodSample &Sample : Samples)
+    Scorer.add(Hooks.Predict(Sample), Sample.ClassId);
+  ClassScores Out;
+  Out.Accuracy = Scorer.accuracy();
+  Out.MacroF1 = Scorer.macroF1();
+  return Out;
+}
+
+TrainResult liger::trainClassifier(const ClassModelHooks &Hooks,
+                                   const std::vector<MethodSample> &Train,
+                                   const std::vector<MethodSample> &Valid,
+                                   size_t NumClasses,
+                                   const TrainOptions &Options) {
+  LIGER_CHECK(Hooks.Params, "hooks must expose the parameter store");
+  Stopwatch Timer;
+  AdamOptions AdamOpts;
+  AdamOpts.LearningRate = Options.LearningRate;
+  Adam Opt(*Hooks.Params, AdamOpts);
+  Rng R(Options.Seed);
+
+  TrainResult Result;
+  std::vector<Tensor> Best;
+  bool TrackBest = Options.SelectBestOnValidation && !Valid.empty();
+
+  for (size_t Epoch = 0; Epoch < Options.Epochs; ++Epoch) {
+    Result.FinalTrainLoss =
+        runEpoch(Train, Options.BatchSize, Hooks.Loss, Opt, R);
+    if (TrackBest) {
+      ClassScores ValidScores =
+          evaluateClassifier(Hooks, Valid, NumClasses);
+      if (ValidScores.Accuracy >= Result.BestValidScore) {
+        Result.BestValidScore = ValidScores.Accuracy;
+        Result.BestEpoch = Epoch;
+        Best = snapshotParams(*Hooks.Params);
+      }
+      if (Options.Verbose)
+        std::printf("  epoch %zu  loss %.4f  valid acc %.3f\n", Epoch,
+                    Result.FinalTrainLoss, ValidScores.Accuracy);
+    } else if (Options.Verbose) {
+      std::printf("  epoch %zu  loss %.4f\n", Epoch, Result.FinalTrainLoss);
+    }
+  }
+  if (TrackBest && !Best.empty())
+    restoreParams(*Hooks.Params, Best);
+  Result.Seconds = Timer.seconds();
+  return Result;
+}

@@ -1,0 +1,87 @@
+//===-- eval/Training.h - Model-agnostic training loops ---------*- C++ -*-===//
+//
+// Part of the LIGER reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Training and evaluation loops shared across LIGER, DYPRO, code2vec,
+/// and code2seq. Models plug in through small hook structs (loss,
+/// predict, parameter store), mirroring the paper's setup: Adam,
+/// mini-batches, best-on-validation selection.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIGER_EVAL_TRAINING_H
+#define LIGER_EVAL_TRAINING_H
+
+#include "eval/Metrics.h"
+#include "models/Common.h"
+#include "nn/Optim.h"
+
+#include <functional>
+
+namespace liger {
+
+/// Training configuration.
+struct TrainOptions {
+  size_t Epochs = 6;
+  size_t BatchSize = 8;
+  float LearningRate = 2e-3f;
+  uint64_t Seed = 1;
+  bool Verbose = false;
+  /// Select the epoch with the best validation score (F1 or accuracy);
+  /// requires a non-empty validation set.
+  bool SelectBestOnValidation = true;
+};
+
+/// Hooks for a method-name prediction model.
+struct NameModelHooks {
+  std::function<Var(const MethodSample &)> Loss;
+  std::function<std::vector<std::string>(const MethodSample &)> Predict;
+  ParamStore *Params = nullptr;
+};
+
+/// Hooks for a classification model.
+struct ClassModelHooks {
+  std::function<Var(const MethodSample &)> Loss;
+  std::function<int(const MethodSample &)> Predict;
+  ParamStore *Params = nullptr;
+};
+
+/// Result of one training run.
+struct TrainResult {
+  double FinalTrainLoss = 0;
+  double BestValidScore = 0; ///< F1 (names) or accuracy (classes).
+  size_t BestEpoch = 0;
+  double Seconds = 0;
+};
+
+/// Evaluates a name model on \p Samples.
+PrfScores evaluateNameModel(const NameModelHooks &Hooks,
+                            const std::vector<MethodSample> &Samples);
+
+/// Trains a name model; restores the best-validation parameters.
+TrainResult trainNameModel(const NameModelHooks &Hooks,
+                           const std::vector<MethodSample> &Train,
+                           const std::vector<MethodSample> &Valid,
+                           const TrainOptions &Options);
+
+/// Evaluates a classifier; \p NumClasses sizes the scorer.
+struct ClassScores {
+  double Accuracy = 0;
+  double MacroF1 = 0;
+};
+ClassScores evaluateClassifier(const ClassModelHooks &Hooks,
+                               const std::vector<MethodSample> &Samples,
+                               size_t NumClasses);
+
+/// Trains a classifier; restores the best-validation parameters.
+TrainResult trainClassifier(const ClassModelHooks &Hooks,
+                            const std::vector<MethodSample> &Train,
+                            const std::vector<MethodSample> &Valid,
+                            size_t NumClasses, const TrainOptions &Options);
+
+} // namespace liger
+
+#endif // LIGER_EVAL_TRAINING_H

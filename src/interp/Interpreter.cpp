@@ -1,0 +1,731 @@
+//===-- interp/Interpreter.cpp - Instrumented concrete interpreter --------===//
+//
+// Part of the LIGER reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/Interpreter.h"
+
+#include "lang/TypeCheck.h"
+#include "support/Error.h"
+
+#include <functional>
+#include <unordered_map>
+
+using namespace liger;
+
+namespace {
+
+/// Non-local control flow signal bubbling out of statement execution.
+enum class Flow { Normal, Break, Continue, Return };
+
+/// The interpreter engine. One instance per top-level execute() call;
+/// user-function calls reuse the engine (sharing fuel) with fresh
+/// environments and instrumentation disabled.
+class Engine {
+public:
+  Engine(const Program &P, const InterpOptions &Options)
+      : P(P), Options(Options), FuelLeft(Options.Fuel) {}
+
+  ExecResult run(const FunctionDecl &Fn, const std::vector<Value> &Args) {
+    ExecResult Result;
+    Result.VarNames = collectVariableTuple(Fn);
+    TraceVarNames = &Result.VarNames;
+    Trace = &Result;
+
+    LIGER_CHECK(Args.size() == Fn.Params.size(),
+                "argument count must match parameter count");
+    pushFrame();
+    for (size_t I = 0; I < Fn.Params.size(); ++I)
+      declare(Fn.Params[I].Name, Args[I]);
+
+    if (Options.RecordStates)
+      Result.InitialState = snapshotState();
+
+    Flow F = Flow::Normal;
+    if (Fn.Body)
+      F = execBlock(Fn.Body, /*Instrument=*/true);
+    popFrame();
+
+    if (Failed) {
+      Result.Status = ExecStatus::RuntimeError;
+      Result.ErrorMessage = ErrorMessage;
+    } else if (OutOfFuel) {
+      Result.Status = ExecStatus::OutOfFuel;
+    } else {
+      Result.Status = ExecStatus::Ok;
+      if (F == Flow::Return)
+        Result.ReturnValue = ReturnValue;
+    }
+    Result.FuelUsed = Options.Fuel - FuelLeft;
+    return Result;
+  }
+
+private:
+  //===--------------------------------------------------------------------===//
+  // Environment
+  //===--------------------------------------------------------------------===//
+
+  using Frame = std::unordered_map<std::string, Value>;
+
+  void pushFrame() { Frames.emplace_back(); }
+  void popFrame() { Frames.pop_back(); }
+
+  void declare(const std::string &Name, Value V) {
+    Frames.back()[Name] = V;
+    if (CallDepth == 0) // only the traced top-level activation
+      LastKnown[Name] = V;
+  }
+
+  Value *lookup(const std::string &Name) {
+    for (auto It = Frames.rbegin(); It != Frames.rend(); ++It) {
+      auto Found = It->find(Name);
+      if (Found != It->end())
+        return &Found->second;
+    }
+    return nullptr;
+  }
+
+  /// Snapshot of the fixed variable tuple, deep-copied. Variables that
+  /// went out of scope keep their last known value (matching the
+  /// paper's presentation where a state is the accumulated variable
+  /// valuation); never-declared variables are ⊥.
+  std::vector<Value> snapshotState() {
+    std::vector<Value> State;
+    State.reserve(TraceVarNames->size());
+    for (const std::string &Name : *TraceVarNames) {
+      if (Value *V = lookup(Name))
+        State.push_back(V->deepCopy());
+      else {
+        auto It = LastKnown.find(Name);
+        State.push_back(It == LastKnown.end() ? Value::undef()
+                                              : It->second.deepCopy());
+      }
+    }
+    return State;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Errors and fuel
+  //===--------------------------------------------------------------------===//
+
+  bool fail(const std::string &Msg) {
+    if (!Failed) {
+      Failed = true;
+      ErrorMessage = Msg;
+    }
+    return false;
+  }
+
+  /// Burns one unit of fuel; returns false when exhausted.
+  bool burnFuel() {
+    if (FuelLeft == 0) {
+      OutOfFuel = true;
+      return false;
+    }
+    --FuelLeft;
+    return true;
+  }
+
+  bool stopped() const { return Failed || OutOfFuel; }
+
+  //===--------------------------------------------------------------------===//
+  // Instrumentation
+  //===--------------------------------------------------------------------===//
+
+  void record(const Stmt *S, StepKind Kind, bool Instrument) {
+    if (!Instrument || Trace->Steps.size() >= Options.MaxRecordedSteps)
+      return;
+    ExecStep Step;
+    Step.Statement = S;
+    Step.Kind = Kind;
+    if (Options.RecordStates)
+      Step.State = snapshotState();
+    Trace->Steps.push_back(std::move(Step));
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Statements
+  //===--------------------------------------------------------------------===//
+
+  Flow execBlock(const BlockStmt *Block, bool Instrument) {
+    pushFrame();
+    Flow F = Flow::Normal;
+    for (const Stmt *S : Block->body()) {
+      F = execStmt(S, Instrument);
+      if (F != Flow::Normal || stopped())
+        break;
+    }
+    // Persist this frame's bindings for snapshot fallback before popping.
+    if (Instrument)
+      for (auto &Entry : Frames.back())
+        LastKnown[Entry.first] = Entry.second;
+    popFrame();
+    return F;
+  }
+
+  Flow execStmt(const Stmt *S, bool Instrument) {
+    if (!burnFuel())
+      return Flow::Normal;
+    switch (S->kind()) {
+    case StmtKind::Block:
+      return execBlock(cast<BlockStmt>(S), Instrument);
+    case StmtKind::Decl: {
+      const auto *Decl = cast<DeclStmt>(S);
+      Value Init;
+      if (Decl->init()) {
+        Init = evalExpr(Decl->init());
+        if (stopped())
+          return Flow::Normal;
+      } else {
+        const StructDecl *SD = Decl->declType().isStruct()
+                                   ? P.findStruct(Decl->declType().structName())
+                                   : nullptr;
+        Init = Value::zeroOf(Decl->declType(), SD);
+      }
+      declare(Decl->name(), Init);
+      record(S, StepKind::Plain, Instrument);
+      return Flow::Normal;
+    }
+    case StmtKind::Assign: {
+      execAssign(cast<AssignStmt>(S));
+      if (stopped())
+        return Flow::Normal;
+      record(S, StepKind::Plain, Instrument);
+      return Flow::Normal;
+    }
+    case StmtKind::If: {
+      const auto *If = cast<IfStmt>(S);
+      Value Cond = evalExpr(If->cond());
+      if (stopped())
+        return Flow::Normal;
+      bool Taken = Cond.asBool();
+      record(S, Taken ? StepKind::CondTrue : StepKind::CondFalse, Instrument);
+      if (Taken)
+        return execStmt(If->thenStmt(), Instrument);
+      if (If->elseStmt())
+        return execStmt(If->elseStmt(), Instrument);
+      return Flow::Normal;
+    }
+    case StmtKind::While: {
+      const auto *While = cast<WhileStmt>(S);
+      for (;;) {
+        if (!burnFuel())
+          return Flow::Normal;
+        Value Cond = evalExpr(While->cond());
+        if (stopped())
+          return Flow::Normal;
+        bool Taken = Cond.asBool();
+        record(S, Taken ? StepKind::CondTrue : StepKind::CondFalse,
+               Instrument);
+        if (!Taken)
+          return Flow::Normal;
+        Flow F = execStmt(While->body(), Instrument);
+        if (stopped() || F == Flow::Return)
+          return F;
+        if (F == Flow::Break)
+          return Flow::Normal;
+      }
+    }
+    case StmtKind::For: {
+      const auto *For = cast<ForStmt>(S);
+      pushFrame();
+      Flow Result = Flow::Normal;
+      if (For->init()) {
+        execStmt(For->init(), Instrument);
+        if (stopped()) {
+          popFrame();
+          return Flow::Normal;
+        }
+      }
+      for (;;) {
+        if (!burnFuel())
+          break;
+        bool Taken = true;
+        if (For->cond()) {
+          Value Cond = evalExpr(For->cond());
+          if (stopped())
+            break;
+          Taken = Cond.asBool();
+          record(S, Taken ? StepKind::CondTrue : StepKind::CondFalse,
+                 Instrument);
+        }
+        if (!Taken)
+          break;
+        Flow F = execStmt(For->body(), Instrument);
+        if (stopped())
+          break;
+        if (F == Flow::Return) {
+          Result = Flow::Return;
+          break;
+        }
+        if (F == Flow::Break)
+          break;
+        if (For->step()) {
+          execStmt(For->step(), Instrument);
+          if (stopped())
+            break;
+        }
+      }
+      if (Instrument)
+        for (auto &Entry : Frames.back())
+          LastKnown[Entry.first] = Entry.second;
+      popFrame();
+      return Result;
+    }
+    case StmtKind::Return: {
+      const auto *Ret = cast<ReturnStmt>(S);
+      if (Ret->value()) {
+        ReturnValue = evalExpr(Ret->value());
+        if (stopped())
+          return Flow::Normal;
+      } else {
+        ReturnValue = Value::undef();
+      }
+      record(S, StepKind::Plain, Instrument);
+      return Flow::Return;
+    }
+    case StmtKind::Break:
+      record(S, StepKind::Plain, Instrument);
+      return Flow::Break;
+    case StmtKind::Continue:
+      record(S, StepKind::Plain, Instrument);
+      return Flow::Continue;
+    case StmtKind::Expr: {
+      evalExpr(cast<ExprStmt>(S)->expr());
+      if (stopped())
+        return Flow::Normal;
+      record(S, StepKind::Plain, Instrument);
+      return Flow::Normal;
+    }
+    }
+    LIGER_UNREACHABLE("covered switch");
+  }
+
+  void execAssign(const AssignStmt *S) {
+    Value NewValue = evalExpr(S->value());
+    if (stopped())
+      return;
+
+    // Resolve the target cell.
+    Value *Cell = nullptr;
+    if (const auto *Var = dyn_cast<VarExpr>(S->target())) {
+      Cell = lookup(Var->name());
+      if (!Cell) {
+        fail("assignment to undeclared variable '" + Var->name() + "'");
+        return;
+      }
+    } else if (const auto *Index = dyn_cast<IndexExpr>(S->target())) {
+      Value Base = evalExpr(Index->base());
+      Value Idx = evalExpr(Index->index());
+      if (stopped())
+        return;
+      if (!Base.isArray()) {
+        fail("cannot assign into a non-array");
+        return;
+      }
+      int64_t I = Idx.asInt();
+      std::vector<Value> &Elems = Base.elements();
+      if (I < 0 || static_cast<size_t>(I) >= Elems.size()) {
+        fail("array index " + std::to_string(I) + " out of range [0, " +
+             std::to_string(Elems.size()) + ")");
+        return;
+      }
+      Cell = &Elems[static_cast<size_t>(I)];
+    } else if (const auto *Field = dyn_cast<FieldExpr>(S->target())) {
+      Value Base = evalExpr(Field->base());
+      if (stopped())
+        return;
+      if (!Base.isStruct()) {
+        fail("cannot assign into a field of a non-struct");
+        return;
+      }
+      int FieldIdx = Base.structDecl()->fieldIndex(Field->field());
+      if (FieldIdx < 0) {
+        fail("unknown field '" + Field->field() + "'");
+        return;
+      }
+      Cell = &Base.elements()[static_cast<size_t>(FieldIdx)];
+    } else {
+      fail("invalid assignment target");
+      return;
+    }
+
+    if (S->op() == AssignOp::Set) {
+      *Cell = NewValue;
+      syncLastKnown(S->target());
+      return;
+    }
+
+    // Compound assignment: int arithmetic or string concatenation.
+    if (Cell->isString() && NewValue.isString() && S->op() == AssignOp::Add) {
+      *Cell = Value::makeString(Cell->asString() + NewValue.asString());
+      syncLastKnown(S->target());
+      return;
+    }
+    if (!Cell->isInt() || !NewValue.isInt()) {
+      fail("invalid operand types in compound assignment");
+      return;
+    }
+    int64_t L = Cell->asInt();
+    int64_t R = NewValue.asInt();
+    int64_t Out = 0;
+    switch (S->op()) {
+    case AssignOp::Add: Out = L + R; break;
+    case AssignOp::Sub: Out = L - R; break;
+    case AssignOp::Mul: Out = L * R; break;
+    case AssignOp::Div:
+      if (R == 0) {
+        fail("division by zero");
+        return;
+      }
+      Out = L / R;
+      break;
+    case AssignOp::Mod:
+      if (R == 0) {
+        fail("modulo by zero");
+        return;
+      }
+      Out = L % R;
+      break;
+    case AssignOp::Set:
+      LIGER_UNREACHABLE("Set handled above");
+    }
+    *Cell = Value::makeInt(Out);
+    syncLastKnown(S->target());
+  }
+
+  /// Keeps the LastKnown fallback in sync with direct variable writes in
+  /// the traced (outermost) activation.
+  void syncLastKnown(const Expr *Target) {
+    if (CallDepth != 0)
+      return;
+    if (const auto *Var = dyn_cast<VarExpr>(Target))
+      if (Value *Cell = lookup(Var->name()))
+        LastKnown[Var->name()] = *Cell;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Expressions
+  //===--------------------------------------------------------------------===//
+
+  Value evalExpr(const Expr *E) {
+    if (stopped())
+      return Value::undef();
+    switch (E->kind()) {
+    case ExprKind::IntLit:
+      return Value::makeInt(cast<IntLitExpr>(E)->value());
+    case ExprKind::BoolLit:
+      return Value::makeBool(cast<BoolLitExpr>(E)->value());
+    case ExprKind::StringLit:
+      return Value::makeString(cast<StringLitExpr>(E)->value());
+    case ExprKind::Var: {
+      if (Value *V = lookup(cast<VarExpr>(E)->name()))
+        return *V;
+      fail("use of undeclared variable '" + cast<VarExpr>(E)->name() + "'");
+      return Value::undef();
+    }
+    case ExprKind::ArrayLit: {
+      std::vector<Value> Elements;
+      for (const Expr *Elem : cast<ArrayLitExpr>(E)->elements()) {
+        Elements.push_back(evalExpr(Elem));
+        if (stopped())
+          return Value::undef();
+      }
+      return Value::makeArray(std::move(Elements));
+    }
+    case ExprKind::NewArray: {
+      const auto *New = cast<NewArrayExpr>(E);
+      Value Size = evalExpr(New->size());
+      if (stopped())
+        return Value::undef();
+      int64_t N = Size.asInt();
+      if (N < 0 || N > 1000000) {
+        fail("invalid array size " + std::to_string(N));
+        return Value::undef();
+      }
+      std::vector<Value> Elements(
+          static_cast<size_t>(N), Value::zeroOf(New->elemType(), nullptr));
+      return Value::makeArray(std::move(Elements));
+    }
+    case ExprKind::NewStruct: {
+      const auto *New = cast<NewStructExpr>(E);
+      const StructDecl *Decl = P.findStruct(New->structName());
+      LIGER_CHECK(Decl, "type checker admits only declared structs");
+      std::vector<Value> Fields;
+      for (const Expr *Arg : New->args()) {
+        Fields.push_back(evalExpr(Arg));
+        if (stopped())
+          return Value::undef();
+      }
+      return Value::makeStruct(Decl, std::move(Fields));
+    }
+    case ExprKind::Index: {
+      const auto *Index = cast<IndexExpr>(E);
+      Value Base = evalExpr(Index->base());
+      Value Idx = evalExpr(Index->index());
+      if (stopped())
+        return Value::undef();
+      int64_t I = Idx.asInt();
+      if (Base.isArray()) {
+        const std::vector<Value> &Elems = Base.elements();
+        if (I < 0 || static_cast<size_t>(I) >= Elems.size()) {
+          fail("array index " + std::to_string(I) + " out of range [0, " +
+               std::to_string(Elems.size()) + ")");
+          return Value::undef();
+        }
+        return Elems[static_cast<size_t>(I)];
+      }
+      if (Base.isString()) {
+        const std::string &S = Base.asString();
+        if (I < 0 || static_cast<size_t>(I) >= S.size()) {
+          fail("string index " + std::to_string(I) + " out of range [0, " +
+               std::to_string(S.size()) + ")");
+          return Value::undef();
+        }
+        return Value::makeString(std::string(1, S[static_cast<size_t>(I)]));
+      }
+      fail("cannot index a scalar value");
+      return Value::undef();
+    }
+    case ExprKind::Field: {
+      const auto *Field = cast<FieldExpr>(E);
+      Value Base = evalExpr(Field->base());
+      if (stopped())
+        return Value::undef();
+      if (!Base.isStruct()) {
+        fail("field access on a non-struct value");
+        return Value::undef();
+      }
+      int FieldIdx = Base.structDecl()->fieldIndex(Field->field());
+      if (FieldIdx < 0) {
+        fail("unknown field '" + Field->field() + "'");
+        return Value::undef();
+      }
+      return Base.elements()[static_cast<size_t>(FieldIdx)];
+    }
+    case ExprKind::Unary: {
+      const auto *Unary = cast<UnaryExpr>(E);
+      Value Operand = evalExpr(Unary->operand());
+      if (stopped())
+        return Value::undef();
+      if (Unary->op() == UnaryOp::Neg)
+        return Value::makeInt(-Operand.asInt());
+      return Value::makeBool(!Operand.asBool());
+    }
+    case ExprKind::Binary:
+      return evalBinary(cast<BinaryExpr>(E));
+    case ExprKind::Call:
+      return evalCall(cast<CallExpr>(E));
+    }
+    LIGER_UNREACHABLE("covered switch");
+  }
+
+  Value evalBinary(const BinaryExpr *E) {
+    // Short-circuit operators first.
+    if (E->op() == BinaryOp::And || E->op() == BinaryOp::Or) {
+      Value L = evalExpr(E->lhs());
+      if (stopped())
+        return Value::undef();
+      bool LeftTrue = L.asBool();
+      if (E->op() == BinaryOp::And && !LeftTrue)
+        return Value::makeBool(false);
+      if (E->op() == BinaryOp::Or && LeftTrue)
+        return Value::makeBool(true);
+      Value R = evalExpr(E->rhs());
+      if (stopped())
+        return Value::undef();
+      return Value::makeBool(R.asBool());
+    }
+
+    Value L = evalExpr(E->lhs());
+    Value R = evalExpr(E->rhs());
+    if (stopped())
+      return Value::undef();
+
+    switch (E->op()) {
+    case BinaryOp::Add:
+      if (L.isString())
+        return Value::makeString(L.asString() + R.asString());
+      return Value::makeInt(L.asInt() + R.asInt());
+    case BinaryOp::Sub:
+      return Value::makeInt(L.asInt() - R.asInt());
+    case BinaryOp::Mul:
+      return Value::makeInt(L.asInt() * R.asInt());
+    case BinaryOp::Div:
+      if (R.asInt() == 0) {
+        fail("division by zero");
+        return Value::undef();
+      }
+      return Value::makeInt(L.asInt() / R.asInt());
+    case BinaryOp::Mod:
+      if (R.asInt() == 0) {
+        fail("modulo by zero");
+        return Value::undef();
+      }
+      return Value::makeInt(L.asInt() % R.asInt());
+    case BinaryOp::Lt:
+      return Value::makeBool(L.asInt() < R.asInt());
+    case BinaryOp::Le:
+      return Value::makeBool(L.asInt() <= R.asInt());
+    case BinaryOp::Gt:
+      return Value::makeBool(L.asInt() > R.asInt());
+    case BinaryOp::Ge:
+      return Value::makeBool(L.asInt() >= R.asInt());
+    case BinaryOp::Eq:
+      return Value::makeBool(L.equals(R));
+    case BinaryOp::Ne:
+      return Value::makeBool(!L.equals(R));
+    case BinaryOp::And:
+    case BinaryOp::Or:
+      LIGER_UNREACHABLE("short-circuit ops handled above");
+    }
+    LIGER_UNREACHABLE("covered switch");
+  }
+
+  Value evalCall(const CallExpr *E) {
+    std::vector<Value> Args;
+    Args.reserve(E->args().size());
+    for (const Expr *Arg : E->args()) {
+      Args.push_back(evalExpr(Arg));
+      if (stopped())
+        return Value::undef();
+    }
+
+    const std::string &Callee = E->callee();
+    if (Callee == "len") {
+      const Value &V = Args[0];
+      if (V.isArray())
+        return Value::makeInt(static_cast<int64_t>(V.elements().size()));
+      if (V.isString())
+        return Value::makeInt(static_cast<int64_t>(V.asString().size()));
+      fail("'len' applied to a scalar");
+      return Value::undef();
+    }
+    if (Callee == "substring") {
+      const std::string &S = Args[0].asString();
+      int64_t Start = Args[1].asInt();
+      int64_t Count = Args[2].asInt();
+      if (Start < 0 || Count < 0 ||
+          static_cast<size_t>(Start) + static_cast<size_t>(Count) > S.size()) {
+        fail("substring(" + std::to_string(Start) + ", " +
+             std::to_string(Count) + ") out of range for length " +
+             std::to_string(S.size()));
+        return Value::undef();
+      }
+      return Value::makeString(S.substr(static_cast<size_t>(Start),
+                                        static_cast<size_t>(Count)));
+    }
+    if (Callee == "abs") {
+      int64_t V = Args[0].asInt();
+      return Value::makeInt(V < 0 ? -V : V);
+    }
+    if (Callee == "min")
+      return Value::makeInt(std::min(Args[0].asInt(), Args[1].asInt()));
+    if (Callee == "max")
+      return Value::makeInt(std::max(Args[0].asInt(), Args[1].asInt()));
+
+    // User function: fresh activation, instrumentation off, shared fuel.
+    const FunctionDecl *Fn = P.findFunction(Callee);
+    if (!Fn) {
+      fail("call to undeclared function '" + Callee + "'");
+      return Value::undef();
+    }
+    if (CallDepth >= MaxCallDepth) {
+      fail("call depth limit exceeded (possible unbounded recursion)");
+      return Value::undef();
+    }
+    LIGER_CHECK(Args.size() == Fn->Params.size(),
+                "type checker enforces call arity");
+
+    size_t SavedFrameCount = Frames.size();
+    Value SavedReturn = ReturnValue;
+    ++CallDepth;
+    pushFrame();
+    for (size_t I = 0; I < Fn->Params.size(); ++I)
+      Frames.back()[Fn->Params[I].Name] = Args[I];
+    Flow F = Flow::Normal;
+    if (Fn->Body)
+      F = execBlock(Fn->Body, /*Instrument=*/false);
+    popFrame();
+    --CallDepth;
+    LIGER_CHECK(Frames.size() == SavedFrameCount, "unbalanced frames");
+
+    Value Result = F == Flow::Return ? ReturnValue : Value::undef();
+    ReturnValue = SavedReturn;
+    if (!Fn->ReturnType.isVoid() && Result.isUndef() && !stopped())
+      fail("function '" + Callee + "' finished without returning a value");
+    return Result;
+  }
+
+  const Program &P;
+  const InterpOptions &Options;
+  uint64_t FuelLeft;
+
+  std::vector<Frame> Frames;
+  std::unordered_map<std::string, Value> LastKnown;
+  const std::vector<std::string> *TraceVarNames = nullptr;
+  ExecResult *Trace = nullptr;
+
+  bool Failed = false;
+  bool OutOfFuel = false;
+  std::string ErrorMessage;
+  Value ReturnValue;
+
+  unsigned CallDepth = 0;
+  static constexpr unsigned MaxCallDepth = 64;
+};
+
+} // namespace
+
+std::vector<std::string> liger::collectVariableTuple(const FunctionDecl &Fn) {
+  std::vector<std::string> Names;
+  auto Add = [&Names](const std::string &Name) {
+    for (const std::string &Existing : Names)
+      if (Existing == Name)
+        return;
+    Names.push_back(Name);
+  };
+  for (const TypedName &Param : Fn.Params)
+    Add(Param.Name);
+
+  // Walk statements collecting declarations in source order.
+  std::function<void(const Stmt *)> Walk = [&](const Stmt *S) {
+    if (!S)
+      return;
+    switch (S->kind()) {
+    case StmtKind::Decl:
+      Add(cast<DeclStmt>(S)->name());
+      return;
+    case StmtKind::Block:
+      for (const Stmt *Child : cast<BlockStmt>(S)->body())
+        Walk(Child);
+      return;
+    case StmtKind::If:
+      Walk(cast<IfStmt>(S)->thenStmt());
+      Walk(cast<IfStmt>(S)->elseStmt());
+      return;
+    case StmtKind::While:
+      Walk(cast<WhileStmt>(S)->body());
+      return;
+    case StmtKind::For: {
+      const auto *For = cast<ForStmt>(S);
+      Walk(For->init());
+      Walk(For->step());
+      Walk(For->body());
+      return;
+    }
+    default:
+      return;
+    }
+  };
+  Walk(Fn.Body);
+  return Names;
+}
+
+ExecResult liger::execute(const Program &P, const FunctionDecl &Fn,
+                          const std::vector<Value> &Args,
+                          const InterpOptions &Options) {
+  Engine E(P, Options);
+  return E.run(Fn, Args);
+}

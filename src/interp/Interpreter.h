@@ -1,0 +1,102 @@
+//===-- interp/Interpreter.h - Instrumented concrete interpreter -*- C++ -*-===//
+//
+// Part of the LIGER reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tree-walking interpreter for MiniLang with statement-level
+/// instrumentation. Executing a function on concrete inputs yields an
+/// ExecResult: the visited trace-level statements (Def. 2.2's symbolic
+/// trace is their projection) together with a deep-copied snapshot of
+/// the program state after each statement (Def. 2.3's state trace).
+///
+/// The trace-level statements are: declarations, assignments, returns,
+/// break/continue, call statements, and the *conditions* of if/while/for
+/// (recorded with their boolean outcome, which is what identifies the
+/// program path).
+///
+/// Execution is fuel-bounded (infinite loops become OutOfFuel — the
+/// Table 1 "takes too long" filter) and total: runtime errors (division
+/// by zero, index out of range, ...) produce a RuntimeError status, not
+/// a crash.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIGER_INTERP_INTERPRETER_H
+#define LIGER_INTERP_INTERPRETER_H
+
+#include "interp/Value.h"
+#include "lang/Ast.h"
+
+#include <string>
+#include <vector>
+
+namespace liger {
+
+/// How execution of a function ended.
+enum class ExecStatus {
+  Ok,           ///< Function returned (or fell off the end of a void body).
+  OutOfFuel,    ///< Statement budget exhausted (likely non-termination).
+  RuntimeError, ///< Division by zero, index out of range, etc.
+};
+
+/// Classification of a recorded trace step.
+enum class StepKind {
+  Plain,     ///< Declaration, assignment, return, call, break, continue.
+  CondTrue,  ///< A control-flow condition that evaluated to true.
+  CondFalse, ///< A control-flow condition that evaluated to false.
+};
+
+/// One recorded trace step: a statement plus the state after it.
+struct ExecStep {
+  const Stmt *Statement = nullptr;
+  StepKind Kind = StepKind::Plain;
+  /// Deep-copied values aligned with ExecResult::VarNames; empty when
+  /// state recording is disabled.
+  std::vector<Value> State;
+};
+
+/// Result of executing one function on one input vector.
+struct ExecResult {
+  ExecStatus Status = ExecStatus::Ok;
+  std::string ErrorMessage;
+  Value ReturnValue;
+  /// The fixed variable tuple: parameters first, then every local in
+  /// source order. All state snapshots are aligned with this order.
+  std::vector<std::string> VarNames;
+  /// Program state before the first statement (the paper's s0).
+  std::vector<Value> InitialState;
+  std::vector<ExecStep> Steps;
+  uint64_t FuelUsed = 0;
+
+  bool ok() const { return Status == ExecStatus::Ok; }
+};
+
+/// Interpreter options.
+struct InterpOptions {
+  /// Maximum number of executed statements (across calls) before
+  /// OutOfFuel. Chosen so that every reasonable corpus method finishes.
+  uint64_t Fuel = 20000;
+  /// When false, Steps carry no state snapshots (cheaper; used by the
+  /// coverage-only feedback loop in testgen).
+  bool RecordStates = true;
+  /// Hard cap on recorded steps to bound trace memory; execution
+  /// continues uninstrumented past the cap.
+  size_t MaxRecordedSteps = 4096;
+};
+
+/// Returns the fixed variable tuple of \p Fn: parameters then every
+/// declared local in source order (first occurrence of each name).
+std::vector<std::string> collectVariableTuple(const FunctionDecl &Fn);
+
+/// Executes \p Fn from \p P on \p Args (must match the parameter count;
+/// type agreement is the caller's responsibility — corpus inputs are
+/// generated from the signature).
+ExecResult execute(const Program &P, const FunctionDecl &Fn,
+                   const std::vector<Value> &Args,
+                   const InterpOptions &Options = {});
+
+} // namespace liger
+
+#endif // LIGER_INTERP_INTERPRETER_H

@@ -1,0 +1,80 @@
+//===-- lang/Ast.cpp - MiniLang abstract syntax trees ---------------------===//
+//
+// Part of the LIGER reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Ast.h"
+
+using namespace liger;
+
+std::string Type::str() const {
+  switch (Kind) {
+  case TypeKind::Void:
+    return "void";
+  case TypeKind::Int:
+    return "int";
+  case TypeKind::Bool:
+    return "bool";
+  case TypeKind::String:
+    return "string";
+  case TypeKind::Array:
+    return Type(Elem).str() + "[]";
+  case TypeKind::Struct:
+    return StructName;
+  }
+  LIGER_UNREACHABLE("covered switch");
+}
+
+const char *liger::exprKindName(ExprKind Kind) {
+  switch (Kind) {
+  case ExprKind::IntLit:    return "IntLit";
+  case ExprKind::BoolLit:   return "BoolLit";
+  case ExprKind::StringLit: return "StringLit";
+  case ExprKind::Var:       return "Var";
+  case ExprKind::ArrayLit:  return "ArrayLit";
+  case ExprKind::NewArray:  return "NewArray";
+  case ExprKind::NewStruct: return "NewStruct";
+  case ExprKind::Index:     return "Index";
+  case ExprKind::Field:     return "Field";
+  case ExprKind::Unary:     return "Unary";
+  case ExprKind::Binary:    return "Binary";
+  case ExprKind::Call:      return "Call";
+  }
+  LIGER_UNREACHABLE("covered switch");
+}
+
+const char *liger::stmtKindName(StmtKind Kind) {
+  switch (Kind) {
+  case StmtKind::Decl:     return "Decl";
+  case StmtKind::Assign:   return "Assign";
+  case StmtKind::If:       return "If";
+  case StmtKind::While:    return "While";
+  case StmtKind::For:      return "For";
+  case StmtKind::Return:   return "Return";
+  case StmtKind::Break:    return "Break";
+  case StmtKind::Continue: return "Continue";
+  case StmtKind::Block:    return "Block";
+  case StmtKind::Expr:     return "Expr";
+  }
+  LIGER_UNREACHABLE("covered switch");
+}
+
+const char *liger::binaryOpSpelling(BinaryOp Op) {
+  switch (Op) {
+  case BinaryOp::Add: return "+";
+  case BinaryOp::Sub: return "-";
+  case BinaryOp::Mul: return "*";
+  case BinaryOp::Div: return "/";
+  case BinaryOp::Mod: return "%";
+  case BinaryOp::Lt:  return "<";
+  case BinaryOp::Le:  return "<=";
+  case BinaryOp::Gt:  return ">";
+  case BinaryOp::Ge:  return ">=";
+  case BinaryOp::Eq:  return "==";
+  case BinaryOp::Ne:  return "!=";
+  case BinaryOp::And: return "&&";
+  case BinaryOp::Or:  return "||";
+  }
+  LIGER_UNREACHABLE("covered switch");
+}

@@ -1,0 +1,335 @@
+//===-- lang/AstTree.cpp - Generic labelled tree views of the AST ---------===//
+//
+// Part of the LIGER reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/AstTree.h"
+
+#include "support/Error.h"
+#include "support/Rng.h"
+
+using namespace liger;
+
+//===----------------------------------------------------------------------===//
+// Tree construction
+//===----------------------------------------------------------------------===//
+
+AstTree liger::buildExprTree(const Expr *E) {
+  AstTree Node;
+  switch (E->kind()) {
+  case ExprKind::IntLit:
+    Node.Label = std::to_string(cast<IntLitExpr>(E)->value());
+    return Node;
+  case ExprKind::BoolLit:
+    Node.Label = cast<BoolLitExpr>(E)->value() ? "true" : "false";
+    return Node;
+  case ExprKind::StringLit:
+    Node.Label = "\"" + cast<StringLitExpr>(E)->value() + "\"";
+    return Node;
+  case ExprKind::Var:
+    Node.Label = cast<VarExpr>(E)->name();
+    return Node;
+  case ExprKind::Unary: {
+    const auto *Unary = cast<UnaryExpr>(E);
+    Node.Label = Unary->op() == UnaryOp::Neg ? "Neg" : "Not";
+    Node.Children.push_back(buildExprTree(Unary->operand()));
+    return Node;
+  }
+  case ExprKind::Binary: {
+    const auto *Bin = cast<BinaryExpr>(E);
+    Node.Label = std::string("Op") + binaryOpSpelling(Bin->op());
+    Node.Children.push_back(buildExprTree(Bin->lhs()));
+    Node.Children.push_back(buildExprTree(Bin->rhs()));
+    return Node;
+  }
+  case ExprKind::Index: {
+    const auto *Index = cast<IndexExpr>(E);
+    Node.Label = "Index";
+    Node.Children.push_back(buildExprTree(Index->base()));
+    Node.Children.push_back(buildExprTree(Index->index()));
+    return Node;
+  }
+  case ExprKind::Field: {
+    const auto *Field = cast<FieldExpr>(E);
+    Node.Label = "Field";
+    Node.Children.push_back(buildExprTree(Field->base()));
+    AstTree Leaf;
+    Leaf.Label = Field->field();
+    Node.Children.push_back(std::move(Leaf));
+    return Node;
+  }
+  case ExprKind::ArrayLit: {
+    Node.Label = "ArrayLit";
+    for (const Expr *Elem : cast<ArrayLitExpr>(E)->elements())
+      Node.Children.push_back(buildExprTree(Elem));
+    return Node;
+  }
+  case ExprKind::NewArray: {
+    const auto *New = cast<NewArrayExpr>(E);
+    Node.Label = "NewArray";
+    AstTree TypeLeaf;
+    TypeLeaf.Label = New->elemType().str();
+    Node.Children.push_back(std::move(TypeLeaf));
+    Node.Children.push_back(buildExprTree(New->size()));
+    return Node;
+  }
+  case ExprKind::NewStruct: {
+    const auto *New = cast<NewStructExpr>(E);
+    Node.Label = "NewStruct";
+    AstTree NameLeaf;
+    NameLeaf.Label = New->structName();
+    Node.Children.push_back(std::move(NameLeaf));
+    for (const Expr *Arg : New->args())
+      Node.Children.push_back(buildExprTree(Arg));
+    return Node;
+  }
+  case ExprKind::Call: {
+    const auto *Call = cast<CallExpr>(E);
+    Node.Label = "Call";
+    AstTree NameLeaf;
+    NameLeaf.Label = Call->callee();
+    Node.Children.push_back(std::move(NameLeaf));
+    for (const Expr *Arg : Call->args())
+      Node.Children.push_back(buildExprTree(Arg));
+    return Node;
+  }
+  }
+  LIGER_UNREACHABLE("covered switch");
+}
+
+AstTree liger::buildStmtHeadTree(const Stmt *S) {
+  AstTree Node;
+  switch (S->kind()) {
+  case StmtKind::Decl: {
+    const auto *Decl = cast<DeclStmt>(S);
+    Node.Label = "Decl";
+    AstTree TypeLeaf;
+    TypeLeaf.Label = Decl->declType().str();
+    Node.Children.push_back(std::move(TypeLeaf));
+    AstTree NameLeaf;
+    NameLeaf.Label = Decl->name();
+    Node.Children.push_back(std::move(NameLeaf));
+    if (Decl->init())
+      Node.Children.push_back(buildExprTree(Decl->init()));
+    return Node;
+  }
+  case StmtKind::Assign: {
+    const auto *Assign = cast<AssignStmt>(S);
+    // Preserve the surface form in the node label so the static view
+    // distinguishes `i = i + 1` / `i += 1` / `i++`.
+    switch (Assign->syntax()) {
+    case AssignSyntax::Plain:
+      Node.Label = "Assign";
+      break;
+    case AssignSyntax::Compound:
+      Node.Label = std::string("CompoundAssign") +
+                   (Assign->op() == AssignOp::Add   ? "+"
+                    : Assign->op() == AssignOp::Sub ? "-"
+                    : Assign->op() == AssignOp::Mul ? "*"
+                    : Assign->op() == AssignOp::Div ? "/"
+                                                    : "%");
+      break;
+    case AssignSyntax::IncDec:
+      Node.Label = Assign->op() == AssignOp::Add ? "Increment" : "Decrement";
+      break;
+    }
+    Node.Children.push_back(buildExprTree(Assign->target()));
+    if (Assign->syntax() != AssignSyntax::IncDec)
+      Node.Children.push_back(buildExprTree(Assign->value()));
+    return Node;
+  }
+  case StmtKind::If:
+    Node.Label = "IfCond";
+    Node.Children.push_back(buildExprTree(cast<IfStmt>(S)->cond()));
+    return Node;
+  case StmtKind::While:
+    Node.Label = "WhileCond";
+    Node.Children.push_back(buildExprTree(cast<WhileStmt>(S)->cond()));
+    return Node;
+  case StmtKind::For: {
+    const auto *For = cast<ForStmt>(S);
+    Node.Label = "ForCond";
+    if (For->cond())
+      Node.Children.push_back(buildExprTree(For->cond()));
+    return Node;
+  }
+  case StmtKind::Return: {
+    const auto *Ret = cast<ReturnStmt>(S);
+    Node.Label = "Return";
+    if (Ret->value())
+      Node.Children.push_back(buildExprTree(Ret->value()));
+    return Node;
+  }
+  case StmtKind::Break:
+    Node.Label = "Break";
+    return Node;
+  case StmtKind::Continue:
+    Node.Label = "Continue";
+    return Node;
+  case StmtKind::Expr:
+    Node.Label = "ExprStmt";
+    Node.Children.push_back(buildExprTree(cast<ExprStmt>(S)->expr()));
+    return Node;
+  case StmtKind::Block:
+    LIGER_UNREACHABLE("blocks are not trace-level statements");
+  }
+  LIGER_UNREACHABLE("covered switch");
+}
+
+namespace {
+
+AstTree buildFullStmtTree(const Stmt *S) {
+  switch (S->kind()) {
+  case StmtKind::Block: {
+    AstTree Node;
+    Node.Label = "Block";
+    for (const Stmt *Child : cast<BlockStmt>(S)->body())
+      Node.Children.push_back(buildFullStmtTree(Child));
+    return Node;
+  }
+  case StmtKind::If: {
+    const auto *If = cast<IfStmt>(S);
+    AstTree Node;
+    Node.Label = "If";
+    Node.Children.push_back(buildExprTree(If->cond()));
+    Node.Children.push_back(buildFullStmtTree(If->thenStmt()));
+    if (If->elseStmt())
+      Node.Children.push_back(buildFullStmtTree(If->elseStmt()));
+    return Node;
+  }
+  case StmtKind::While: {
+    const auto *While = cast<WhileStmt>(S);
+    AstTree Node;
+    Node.Label = "While";
+    Node.Children.push_back(buildExprTree(While->cond()));
+    Node.Children.push_back(buildFullStmtTree(While->body()));
+    return Node;
+  }
+  case StmtKind::For: {
+    const auto *For = cast<ForStmt>(S);
+    AstTree Node;
+    Node.Label = "For";
+    if (For->init())
+      Node.Children.push_back(buildFullStmtTree(For->init()));
+    if (For->cond())
+      Node.Children.push_back(buildExprTree(For->cond()));
+    if (For->step())
+      Node.Children.push_back(buildFullStmtTree(For->step()));
+    Node.Children.push_back(buildFullStmtTree(For->body()));
+    return Node;
+  }
+  default:
+    return buildStmtHeadTree(S);
+  }
+}
+
+} // namespace
+
+AstTree liger::buildFunctionTree(const FunctionDecl &Fn, bool IncludeName) {
+  AstTree Root;
+  Root.Label = "Function";
+  if (IncludeName) {
+    AstTree NameLeaf;
+    NameLeaf.Label = Fn.Name;
+    Root.Children.push_back(std::move(NameLeaf));
+  }
+  AstTree Params;
+  Params.Label = "Params";
+  for (const TypedName &Param : Fn.Params) {
+    AstTree ParamNode;
+    ParamNode.Label = "Param";
+    AstTree TypeLeaf;
+    TypeLeaf.Label = Param.Ty.str();
+    ParamNode.Children.push_back(std::move(TypeLeaf));
+    AstTree NameLeaf;
+    NameLeaf.Label = Param.Name;
+    ParamNode.Children.push_back(std::move(NameLeaf));
+    Params.Children.push_back(std::move(ParamNode));
+  }
+  Root.Children.push_back(std::move(Params));
+  if (Fn.Body)
+    Root.Children.push_back(buildFullStmtTree(Fn.Body));
+  return Root;
+}
+
+//===----------------------------------------------------------------------===//
+// AST path extraction (code2vec/code2seq front end)
+//===----------------------------------------------------------------------===//
+
+std::string AstPath::interiorKey() const {
+  std::string Key;
+  for (size_t I = 0; I < InteriorLabels.size(); ++I) {
+    if (I)
+      Key += '|';
+    Key += InteriorLabels[I];
+  }
+  return Key;
+}
+
+namespace {
+
+/// A leaf together with the interior nodes on its root-to-leaf spine.
+/// Spine entries are node pointers so the LCA is computed on identity,
+/// not labels (same-labelled sibling subtrees are common in real code).
+struct LeafSpine {
+  std::string Leaf;
+  std::vector<const AstTree *> Spine; // root ... parent
+};
+
+void collectSpines(const AstTree &Node, std::vector<const AstTree *> &Prefix,
+                   std::vector<LeafSpine> &Out) {
+  if (Node.isLeaf()) {
+    Out.push_back({Node.Label, Prefix});
+    return;
+  }
+  Prefix.push_back(&Node);
+  for (const AstTree &Child : Node.Children)
+    collectSpines(Child, Prefix, Out);
+  Prefix.pop_back();
+}
+
+} // namespace
+
+std::vector<AstPath> liger::extractAstPaths(const AstTree &Tree,
+                                            size_t MaxPaths, size_t MaxLength,
+                                            size_t MaxWidth, uint64_t Seed) {
+  std::vector<LeafSpine> Spines;
+  std::vector<const AstTree *> Prefix;
+  collectSpines(Tree, Prefix, Spines);
+
+  std::vector<AstPath> Paths;
+  for (size_t I = 0; I < Spines.size(); ++I) {
+    size_t MaxJ = std::min(Spines.size(), I + 1 + MaxWidth);
+    for (size_t J = I + 1; J < MaxJ; ++J) {
+      const LeafSpine &A = Spines[I];
+      const LeafSpine &B = Spines[J];
+      // Longest common prefix of the two spines = path through the LCA.
+      size_t Common = 0;
+      while (Common < A.Spine.size() && Common < B.Spine.size() &&
+             A.Spine[Common] == B.Spine[Common])
+        ++Common;
+      LIGER_CHECK(Common > 0, "two leaves must share at least the root");
+      AstPath Path;
+      Path.SourceLeaf = A.Leaf;
+      Path.TargetLeaf = B.Leaf;
+      // Up-moves from A's parent to the LCA (exclusive), marked '^';
+      // the LCA itself; then down-moves to B's parent, marked '_'.
+      for (size_t K = A.Spine.size(); K-- > Common;)
+        Path.InteriorLabels.push_back(A.Spine[K]->Label + "^");
+      Path.InteriorLabels.push_back(A.Spine[Common - 1]->Label);
+      for (size_t K = Common; K < B.Spine.size(); ++K)
+        Path.InteriorLabels.push_back(B.Spine[K]->Label + "_");
+      if (Path.InteriorLabels.size() > MaxLength)
+        continue;
+      Paths.push_back(std::move(Path));
+    }
+  }
+
+  if (Paths.size() > MaxPaths) {
+    Rng R(Seed);
+    R.shuffle(Paths);
+    Paths.resize(MaxPaths);
+  }
+  return Paths;
+}

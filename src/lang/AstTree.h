@@ -1,0 +1,97 @@
+//===-- lang/AstTree.h - Generic labelled tree views of the AST -*- C++ -*-===//
+//
+// Part of the LIGER reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A plain labelled ordered tree extracted from AST nodes. This is the
+/// interchange format between the front end and the neural models:
+///  - LIGER's fusion layer runs a TreeLSTM over the statement tree
+///    (§5.1.1, "LIGER employs a TreeLSTM to embed a statement via its
+///    abstract syntax tree"), where non-terminals are labelled with AST
+///    node types and terminals with token spellings;
+///  - code2vec / code2seq extract leaf-to-leaf paths from the same trees.
+///
+/// Statement trees are *per trace event*: for control-flow statements
+/// only the header (e.g. the if-condition) is included, matching the
+/// paper's decomposition of a path into a list of statements.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIGER_LANG_ASTTREE_H
+#define LIGER_LANG_ASTTREE_H
+
+#include "lang/Ast.h"
+
+#include <string>
+#include <vector>
+
+namespace liger {
+
+/// A labelled ordered tree. Leaves carry token spellings; interior nodes
+/// carry AST node-type labels.
+struct AstTree {
+  std::string Label;
+  std::vector<AstTree> Children;
+
+  bool isLeaf() const { return Children.empty(); }
+
+  /// Number of nodes in the tree (including this one).
+  size_t size() const {
+    size_t Total = 1;
+    for (const AstTree &Child : Children)
+      Total += Child.size();
+    return Total;
+  }
+
+  /// Collects the leaf labels left to right.
+  void collectLeaves(std::vector<std::string> &Out) const {
+    if (isLeaf()) {
+      Out.push_back(Label);
+      return;
+    }
+    for (const AstTree &Child : Children)
+      Child.collectLeaves(Out);
+  }
+};
+
+/// Builds the labelled tree of an expression.
+AstTree buildExprTree(const Expr *E);
+
+/// Builds the labelled tree of a single trace-level statement: for
+/// Decl/Assign/Return/Expr statements the full statement, for
+/// If/While/For only the header condition (with a distinguishing root
+/// label such as "IfCond"). Block statements are not trace-level and
+/// must not be passed here.
+AstTree buildStmtHeadTree(const Stmt *S);
+
+/// Builds the full tree of a function (used by the static baselines):
+/// root "Function" with the name leaf, parameter subtrees, and the
+/// complete body including nested statements.
+AstTree buildFunctionTree(const FunctionDecl &Fn, bool IncludeName = false);
+
+/// One leaf-to-leaf AST path in the code2vec sense: the source leaf
+/// token, the sequence of interior node labels with direction (up then
+/// down), and the target leaf token.
+struct AstPath {
+  std::string SourceLeaf;
+  std::vector<std::string> InteriorLabels;
+  std::string TargetLeaf;
+
+  /// Renders the interior as a single path string, e.g.
+  /// "Var^Binary_IntLit" style joined labels.
+  std::string interiorKey() const;
+};
+
+/// Extracts up to \p MaxPaths leaf-to-leaf paths of length at most
+/// \p MaxLength (number of interior nodes) and width at most \p MaxWidth
+/// (distance between leaf indices), sampling deterministically via
+/// \p Seed when more are available.
+std::vector<AstPath> extractAstPaths(const AstTree &Tree, size_t MaxPaths,
+                                     size_t MaxLength, size_t MaxWidth,
+                                     uint64_t Seed);
+
+} // namespace liger
+
+#endif // LIGER_LANG_ASTTREE_H

@@ -1,0 +1,293 @@
+//===-- lang/Lexer.cpp - MiniLang lexer -----------------------------------===//
+//
+// Part of the LIGER reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Lexer.h"
+
+#include "support/Error.h"
+
+#include <cctype>
+#include <unordered_map>
+
+using namespace liger;
+
+const char *liger::tokenKindName(TokenKind Kind) {
+  switch (Kind) {
+  case TokenKind::Identifier:    return "identifier";
+  case TokenKind::IntLiteral:    return "integer literal";
+  case TokenKind::StringLiteral: return "string literal";
+  case TokenKind::KwInt:         return "'int'";
+  case TokenKind::KwBool:        return "'bool'";
+  case TokenKind::KwString:      return "'string'";
+  case TokenKind::KwVoid:        return "'void'";
+  case TokenKind::KwStruct:      return "'struct'";
+  case TokenKind::KwIf:          return "'if'";
+  case TokenKind::KwElse:        return "'else'";
+  case TokenKind::KwWhile:       return "'while'";
+  case TokenKind::KwFor:         return "'for'";
+  case TokenKind::KwReturn:      return "'return'";
+  case TokenKind::KwBreak:       return "'break'";
+  case TokenKind::KwContinue:    return "'continue'";
+  case TokenKind::KwTrue:        return "'true'";
+  case TokenKind::KwFalse:       return "'false'";
+  case TokenKind::KwNew:         return "'new'";
+  case TokenKind::LParen:        return "'('";
+  case TokenKind::RParen:        return "')'";
+  case TokenKind::LBrace:        return "'{'";
+  case TokenKind::RBrace:        return "'}'";
+  case TokenKind::LBracket:      return "'['";
+  case TokenKind::RBracket:      return "']'";
+  case TokenKind::Comma:         return "','";
+  case TokenKind::Semicolon:     return "';'";
+  case TokenKind::Dot:           return "'.'";
+  case TokenKind::Plus:          return "'+'";
+  case TokenKind::Minus:         return "'-'";
+  case TokenKind::Star:          return "'*'";
+  case TokenKind::Slash:         return "'/'";
+  case TokenKind::Percent:       return "'%'";
+  case TokenKind::Assign:        return "'='";
+  case TokenKind::PlusAssign:    return "'+='";
+  case TokenKind::MinusAssign:   return "'-='";
+  case TokenKind::StarAssign:    return "'*='";
+  case TokenKind::SlashAssign:   return "'/='";
+  case TokenKind::PercentAssign: return "'%='";
+  case TokenKind::PlusPlus:      return "'++'";
+  case TokenKind::MinusMinus:    return "'--'";
+  case TokenKind::EqualEqual:    return "'=='";
+  case TokenKind::NotEqual:      return "'!='";
+  case TokenKind::Less:          return "'<'";
+  case TokenKind::LessEqual:     return "'<='";
+  case TokenKind::Greater:       return "'>'";
+  case TokenKind::GreaterEqual:  return "'>='";
+  case TokenKind::AmpAmp:        return "'&&'";
+  case TokenKind::PipePipe:      return "'||'";
+  case TokenKind::Bang:          return "'!'";
+  case TokenKind::EndOfFile:     return "end of file";
+  case TokenKind::Error:         return "invalid token";
+  }
+  LIGER_UNREACHABLE("covered switch");
+}
+
+Lexer::Lexer(std::string Src, DiagnosticSink &DiagSink)
+    : Source(std::move(Src)), Diags(DiagSink) {}
+
+char Lexer::peek(size_t Ahead) const {
+  return Pos + Ahead < Source.size() ? Source[Pos + Ahead] : '\0';
+}
+
+char Lexer::advance() {
+  char C = peek();
+  if (C == '\0')
+    return C;
+  ++Pos;
+  if (C == '\n') {
+    ++Line;
+    Col = 1;
+  } else {
+    ++Col;
+  }
+  return C;
+}
+
+bool Lexer::match(char Expected) {
+  if (peek() != Expected)
+    return false;
+  advance();
+  return true;
+}
+
+void Lexer::skipTrivia() {
+  for (;;) {
+    char C = peek();
+    if (C == ' ' || C == '\t' || C == '\r' || C == '\n') {
+      advance();
+      continue;
+    }
+    if (C == '/' && peek(1) == '/') {
+      while (peek() != '\n' && peek() != '\0')
+        advance();
+      continue;
+    }
+    if (C == '/' && peek(1) == '*') {
+      SourceLoc Start = currentLoc();
+      advance();
+      advance();
+      while (!(peek() == '*' && peek(1) == '/')) {
+        if (peek() == '\0') {
+          Diags.error(Start, "unterminated block comment");
+          return;
+        }
+        advance();
+      }
+      advance();
+      advance();
+      continue;
+    }
+    return;
+  }
+}
+
+Token Lexer::makeToken(TokenKind Kind, SourceLoc Loc, std::string Text) {
+  Token Tok;
+  Tok.Kind = Kind;
+  Tok.Loc = Loc;
+  Tok.Text = std::move(Text);
+  return Tok;
+}
+
+Token Lexer::lexNumber(SourceLoc Loc) {
+  std::string Text;
+  while (std::isdigit(static_cast<unsigned char>(peek())))
+    Text.push_back(advance());
+  Token Tok = makeToken(TokenKind::IntLiteral, Loc, Text);
+  // MiniLang integers are 64-bit; saturate absurd literals and diagnose.
+  errno = 0;
+  Tok.IntValue = std::strtoll(Text.c_str(), nullptr, 10);
+  if (errno == ERANGE)
+    Diags.error(Loc, "integer literal out of 64-bit range");
+  return Tok;
+}
+
+Token Lexer::lexIdentifierOrKeyword(SourceLoc Loc) {
+  static const std::unordered_map<std::string, TokenKind> Keywords = {
+      {"int", TokenKind::KwInt},         {"bool", TokenKind::KwBool},
+      {"string", TokenKind::KwString},   {"void", TokenKind::KwVoid},
+      {"struct", TokenKind::KwStruct},   {"if", TokenKind::KwIf},
+      {"else", TokenKind::KwElse},       {"while", TokenKind::KwWhile},
+      {"for", TokenKind::KwFor},         {"return", TokenKind::KwReturn},
+      {"break", TokenKind::KwBreak},     {"continue", TokenKind::KwContinue},
+      {"true", TokenKind::KwTrue},       {"false", TokenKind::KwFalse},
+      {"new", TokenKind::KwNew},
+  };
+  std::string Text;
+  while (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_')
+    Text.push_back(advance());
+  auto It = Keywords.find(Text);
+  if (It != Keywords.end())
+    return makeToken(It->second, Loc, Text);
+  return makeToken(TokenKind::Identifier, Loc, Text);
+}
+
+Token Lexer::lexString(SourceLoc Loc) {
+  std::string Value;
+  advance(); // consume opening quote
+  for (;;) {
+    char C = peek();
+    if (C == '\0' || C == '\n') {
+      Diags.error(Loc, "unterminated string literal");
+      return makeToken(TokenKind::Error, Loc, Value);
+    }
+    if (C == '"') {
+      advance();
+      return makeToken(TokenKind::StringLiteral, Loc, Value);
+    }
+    if (C == '\\') {
+      advance();
+      char Esc = advance();
+      switch (Esc) {
+      case 'n': Value.push_back('\n'); break;
+      case 't': Value.push_back('\t'); break;
+      case '\\': Value.push_back('\\'); break;
+      case '"': Value.push_back('"'); break;
+      default:
+        Diags.error(currentLoc(), "unknown escape sequence");
+        Value.push_back(Esc);
+        break;
+      }
+      continue;
+    }
+    Value.push_back(advance());
+  }
+}
+
+Token Lexer::lex() {
+  skipTrivia();
+  SourceLoc Loc = currentLoc();
+  char C = peek();
+  if (C == '\0')
+    return makeToken(TokenKind::EndOfFile, Loc);
+  if (std::isdigit(static_cast<unsigned char>(C)))
+    return lexNumber(Loc);
+  if (std::isalpha(static_cast<unsigned char>(C)) || C == '_')
+    return lexIdentifierOrKeyword(Loc);
+  if (C == '"')
+    return lexString(Loc);
+
+  advance();
+  switch (C) {
+  case '(': return makeToken(TokenKind::LParen, Loc, "(");
+  case ')': return makeToken(TokenKind::RParen, Loc, ")");
+  case '{': return makeToken(TokenKind::LBrace, Loc, "{");
+  case '}': return makeToken(TokenKind::RBrace, Loc, "}");
+  case '[': return makeToken(TokenKind::LBracket, Loc, "[");
+  case ']': return makeToken(TokenKind::RBracket, Loc, "]");
+  case ',': return makeToken(TokenKind::Comma, Loc, ",");
+  case ';': return makeToken(TokenKind::Semicolon, Loc, ";");
+  case '.': return makeToken(TokenKind::Dot, Loc, ".");
+  case '+':
+    if (match('='))
+      return makeToken(TokenKind::PlusAssign, Loc, "+=");
+    if (match('+'))
+      return makeToken(TokenKind::PlusPlus, Loc, "++");
+    return makeToken(TokenKind::Plus, Loc, "+");
+  case '-':
+    if (match('='))
+      return makeToken(TokenKind::MinusAssign, Loc, "-=");
+    if (match('-'))
+      return makeToken(TokenKind::MinusMinus, Loc, "--");
+    return makeToken(TokenKind::Minus, Loc, "-");
+  case '*':
+    if (match('='))
+      return makeToken(TokenKind::StarAssign, Loc, "*=");
+    return makeToken(TokenKind::Star, Loc, "*");
+  case '/':
+    if (match('='))
+      return makeToken(TokenKind::SlashAssign, Loc, "/=");
+    return makeToken(TokenKind::Slash, Loc, "/");
+  case '%':
+    if (match('='))
+      return makeToken(TokenKind::PercentAssign, Loc, "%=");
+    return makeToken(TokenKind::Percent, Loc, "%");
+  case '=':
+    if (match('='))
+      return makeToken(TokenKind::EqualEqual, Loc, "==");
+    return makeToken(TokenKind::Assign, Loc, "=");
+  case '!':
+    if (match('='))
+      return makeToken(TokenKind::NotEqual, Loc, "!=");
+    return makeToken(TokenKind::Bang, Loc, "!");
+  case '<':
+    if (match('='))
+      return makeToken(TokenKind::LessEqual, Loc, "<=");
+    return makeToken(TokenKind::Less, Loc, "<");
+  case '>':
+    if (match('='))
+      return makeToken(TokenKind::GreaterEqual, Loc, ">=");
+    return makeToken(TokenKind::Greater, Loc, ">");
+  case '&':
+    if (match('&'))
+      return makeToken(TokenKind::AmpAmp, Loc, "&&");
+    break;
+  case '|':
+    if (match('|'))
+      return makeToken(TokenKind::PipePipe, Loc, "||");
+    break;
+  default:
+    break;
+  }
+  Diags.error(Loc, std::string("unexpected character '") + C + "'");
+  return makeToken(TokenKind::Error, Loc, std::string(1, C));
+}
+
+std::vector<Token> Lexer::lexAll() {
+  std::vector<Token> Tokens;
+  for (;;) {
+    Token Tok = lex();
+    bool Done = Tok.is(TokenKind::EndOfFile);
+    Tokens.push_back(std::move(Tok));
+    if (Done)
+      return Tokens;
+  }
+}

@@ -1,0 +1,55 @@
+//===-- lang/Lexer.h - MiniLang lexer --------------------------*- C++ -*-===//
+//
+// Part of the LIGER reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hand-written lexer for MiniLang. Supports //-style line comments and
+/// /* */ block comments, decimal integer literals, and double-quoted
+/// string literals with \n, \t, \\, \" escapes. Invalid input yields an
+/// Error token and a diagnostic instead of aborting.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIGER_LANG_LEXER_H
+#define LIGER_LANG_LEXER_H
+
+#include "lang/Token.h"
+
+#include <vector>
+
+namespace liger {
+
+/// Lexes a whole source buffer into tokens (the last one is EndOfFile).
+class Lexer {
+public:
+  Lexer(std::string Source, DiagnosticSink &Diags);
+
+  /// Lexes the next token.
+  Token lex();
+
+  /// Lexes the entire input; always ends with an EndOfFile token.
+  std::vector<Token> lexAll();
+
+private:
+  char peek(size_t Ahead = 0) const;
+  char advance();
+  bool match(char Expected);
+  void skipTrivia();
+  Token makeToken(TokenKind Kind, SourceLoc Loc, std::string Text = "");
+  Token lexNumber(SourceLoc Loc);
+  Token lexIdentifierOrKeyword(SourceLoc Loc);
+  Token lexString(SourceLoc Loc);
+  SourceLoc currentLoc() const { return {Line, Col}; }
+
+  std::string Source;
+  DiagnosticSink &Diags;
+  size_t Pos = 0;
+  unsigned Line = 1;
+  unsigned Col = 1;
+};
+
+} // namespace liger
+
+#endif // LIGER_LANG_LEXER_H

@@ -1,0 +1,633 @@
+//===-- lang/Parser.cpp - MiniLang recursive-descent parser ---------------===//
+//
+// Part of the LIGER reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Parser.h"
+
+#include "lang/Lexer.h"
+#include "lang/TypeCheck.h"
+#include "support/Error.h"
+
+using namespace liger;
+
+Parser::Parser(std::vector<Token> Toks, DiagnosticSink &DiagSink)
+    : Tokens(std::move(Toks)), Diags(DiagSink) {
+  LIGER_CHECK(!Tokens.empty() && Tokens.back().is(TokenKind::EndOfFile),
+              "token stream must end with EndOfFile");
+}
+
+const Token &Parser::peek(size_t Ahead) const {
+  size_t Index = std::min(Pos + Ahead, Tokens.size() - 1);
+  return Tokens[Index];
+}
+
+const Token &Parser::previous() const {
+  LIGER_CHECK(Pos > 0, "previous() before any advance()");
+  return Tokens[Pos - 1];
+}
+
+bool Parser::check(TokenKind Kind) const { return peek().is(Kind); }
+
+bool Parser::match(TokenKind Kind) {
+  if (!check(Kind))
+    return false;
+  advance();
+  return true;
+}
+
+const Token &Parser::advance() {
+  const Token &Tok = Tokens[Pos];
+  if (!Tok.is(TokenKind::EndOfFile))
+    ++Pos;
+  return Tok;
+}
+
+bool Parser::expect(TokenKind Kind, const char *Context) {
+  if (match(Kind))
+    return true;
+  Diags.error(peek().Loc, std::string("expected ") + tokenKindName(Kind) +
+                              " " + Context + ", found " +
+                              tokenKindName(peek().Kind));
+  return false;
+}
+
+void Parser::synchronizeToDeclBoundary() {
+  while (!atEnd()) {
+    if (check(TokenKind::KwStruct) || check(TokenKind::KwInt) ||
+        check(TokenKind::KwBool) || check(TokenKind::KwString) ||
+        check(TokenKind::KwVoid))
+      return;
+    advance();
+  }
+}
+
+void Parser::synchronizeToStmtBoundary() {
+  while (!atEnd()) {
+    if (previous().is(TokenKind::Semicolon))
+      return;
+    if (check(TokenKind::RBrace))
+      return;
+    advance();
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Declarations
+//===----------------------------------------------------------------------===//
+
+Program Parser::parseProgram() {
+  Program P;
+  // Pre-scan struct names so types can be recognized regardless of
+  // declaration order.
+  for (size_t I = 0; I + 1 < Tokens.size(); ++I)
+    if (Tokens[I].is(TokenKind::KwStruct) &&
+        Tokens[I + 1].is(TokenKind::Identifier)) {
+      StructDecl Decl;
+      Decl.Name = Tokens[I + 1].Text;
+      Decl.Loc = Tokens[I + 1].Loc;
+      P.Structs.push_back(std::move(Decl));
+    }
+
+  size_t StructCursor = 0;
+  while (!atEnd()) {
+    if (check(TokenKind::KwStruct)) {
+      // Fill in the pre-scanned shell in declaration order.
+      LIGER_CHECK(StructCursor < P.Structs.size(),
+                  "pre-scan missed a struct declaration");
+      parseStructDecl(P);
+      ++StructCursor;
+      continue;
+    }
+    if (looksLikeType(P) || check(TokenKind::KwVoid)) {
+      parseFunctionDecl(P);
+      continue;
+    }
+    Diags.error(peek().Loc, "expected a struct or function declaration");
+    synchronizeToDeclBoundary();
+    if (!atEnd() && check(TokenKind::KwStruct) && StructCursor < P.Structs.size())
+      continue;
+    if (atEnd())
+      break;
+  }
+  return P;
+}
+
+void Parser::parseStructDecl(Program &P) {
+  expect(TokenKind::KwStruct, "to begin struct declaration");
+  if (!check(TokenKind::Identifier)) {
+    Diags.error(peek().Loc, "expected struct name");
+    synchronizeToDeclBoundary();
+    return;
+  }
+  const Token &NameTok = advance();
+  StructDecl *Decl = nullptr;
+  for (StructDecl &S : P.Structs)
+    if (S.Name == NameTok.Text && S.Fields.empty())
+      Decl = &S;
+  LIGER_CHECK(Decl, "struct shell should have been pre-scanned");
+
+  expect(TokenKind::LBrace, "after struct name");
+  while (!check(TokenKind::RBrace) && !atEnd()) {
+    std::optional<Type> FieldTy = parseType(P);
+    if (!FieldTy) {
+      synchronizeToStmtBoundary();
+      continue;
+    }
+    if (!FieldTy->isPrimitive())
+      Diags.error(previous().Loc, "struct fields must be primitive types");
+    if (!check(TokenKind::Identifier)) {
+      Diags.error(peek().Loc, "expected field name");
+      synchronizeToStmtBoundary();
+      continue;
+    }
+    const Token &FieldName = advance();
+    Decl->Fields.push_back({*FieldTy, FieldName.Text});
+    expect(TokenKind::Semicolon, "after struct field");
+  }
+  expect(TokenKind::RBrace, "to close struct declaration");
+}
+
+void Parser::parseFunctionDecl(Program &P) {
+  std::optional<Type> RetTy;
+  if (match(TokenKind::KwVoid))
+    RetTy = Type::voidTy();
+  else
+    RetTy = parseType(P);
+  if (!RetTy) {
+    synchronizeToDeclBoundary();
+    return;
+  }
+  if (!check(TokenKind::Identifier)) {
+    Diags.error(peek().Loc, "expected function name");
+    synchronizeToDeclBoundary();
+    return;
+  }
+  const Token &NameTok = advance();
+
+  FunctionDecl Fn;
+  Fn.ReturnType = *RetTy;
+  Fn.Name = NameTok.Text;
+  Fn.Loc = NameTok.Loc;
+
+  expect(TokenKind::LParen, "after function name");
+  if (!check(TokenKind::RParen)) {
+    do {
+      std::optional<Type> ParamTy = parseType(P);
+      if (!ParamTy) {
+        synchronizeToStmtBoundary();
+        return;
+      }
+      if (!check(TokenKind::Identifier)) {
+        Diags.error(peek().Loc, "expected parameter name");
+        return;
+      }
+      const Token &ParamName = advance();
+      Fn.Params.push_back({*ParamTy, ParamName.Text});
+    } while (match(TokenKind::Comma));
+  }
+  expect(TokenKind::RParen, "to close parameter list");
+
+  if (!check(TokenKind::LBrace)) {
+    Diags.error(peek().Loc, "expected function body");
+    synchronizeToDeclBoundary();
+    return;
+  }
+  Fn.Body = parseBlock(P);
+  P.Functions.push_back(std::move(Fn));
+}
+
+std::optional<Type> Parser::parseType(const Program &P) {
+  Type Base;
+  if (match(TokenKind::KwInt))
+    Base = Type::intTy();
+  else if (match(TokenKind::KwBool))
+    Base = Type::boolTy();
+  else if (match(TokenKind::KwString))
+    Base = Type::stringTy();
+  else if (check(TokenKind::Identifier) && P.findStruct(peek().Text)) {
+    Base = Type::structTy(advance().Text);
+  } else {
+    Diags.error(peek().Loc, std::string("expected a type, found ") +
+                                tokenKindName(peek().Kind));
+    return std::nullopt;
+  }
+  if (match(TokenKind::LBracket)) {
+    if (!Base.isPrimitive()) {
+      Diags.error(previous().Loc, "arrays of non-primitive types are not "
+                                  "supported");
+      return std::nullopt;
+    }
+    expect(TokenKind::RBracket, "to close array type");
+    return Type::arrayOf(Base.kind());
+  }
+  return Base;
+}
+
+bool Parser::looksLikeType(const Program &P) const {
+  if (check(TokenKind::KwInt) || check(TokenKind::KwBool) ||
+      check(TokenKind::KwString))
+    return true;
+  // A struct-typed declaration is "StructName ident".
+  return check(TokenKind::Identifier) && P.findStruct(peek().Text) &&
+         peek(1).is(TokenKind::Identifier);
+}
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+const BlockStmt *Parser::parseBlock(Program &P) {
+  SourceLoc Loc = peek().Loc;
+  expect(TokenKind::LBrace, "to open block");
+  std::vector<const Stmt *> Body;
+  while (!check(TokenKind::RBrace) && !atEnd()) {
+    const Stmt *S = parseStmt(P);
+    if (S)
+      Body.push_back(S);
+  }
+  expect(TokenKind::RBrace, "to close block");
+  return P.context().createStmt<BlockStmt>(Loc, std::move(Body));
+}
+
+const Stmt *Parser::parseStmt(Program &P) {
+  if (check(TokenKind::LBrace))
+    return parseBlock(P);
+  if (check(TokenKind::KwIf))
+    return parseIf(P);
+  if (check(TokenKind::KwWhile))
+    return parseWhile(P);
+  if (check(TokenKind::KwFor))
+    return parseFor(P);
+  if (check(TokenKind::KwReturn)) {
+    SourceLoc Loc = advance().Loc;
+    const Expr *Value = nullptr;
+    if (!check(TokenKind::Semicolon))
+      Value = parseExpr(P);
+    expect(TokenKind::Semicolon, "after return statement");
+    return P.context().createStmt<ReturnStmt>(Loc, Value);
+  }
+  if (check(TokenKind::KwBreak)) {
+    SourceLoc Loc = advance().Loc;
+    expect(TokenKind::Semicolon, "after break");
+    return P.context().createStmt<BreakStmt>(Loc);
+  }
+  if (check(TokenKind::KwContinue)) {
+    SourceLoc Loc = advance().Loc;
+    expect(TokenKind::Semicolon, "after continue");
+    return P.context().createStmt<ContinueStmt>(Loc);
+  }
+  const Stmt *S = parseSimpleStmt(P);
+  expect(TokenKind::Semicolon, "after statement");
+  return S;
+}
+
+const Stmt *Parser::parseIf(Program &P) {
+  SourceLoc Loc = advance().Loc; // 'if'
+  expect(TokenKind::LParen, "after 'if'");
+  const Expr *Cond = parseExpr(P);
+  expect(TokenKind::RParen, "to close if condition");
+  const Stmt *Then = parseStmt(P);
+  const Stmt *Else = nullptr;
+  if (match(TokenKind::KwElse))
+    Else = parseStmt(P);
+  return P.context().createStmt<IfStmt>(Loc, Cond, Then, Else);
+}
+
+const Stmt *Parser::parseWhile(Program &P) {
+  SourceLoc Loc = advance().Loc; // 'while'
+  expect(TokenKind::LParen, "after 'while'");
+  const Expr *Cond = parseExpr(P);
+  expect(TokenKind::RParen, "to close while condition");
+  const Stmt *Body = parseStmt(P);
+  return P.context().createStmt<WhileStmt>(Loc, Cond, Body);
+}
+
+const Stmt *Parser::parseFor(Program &P) {
+  SourceLoc Loc = advance().Loc; // 'for'
+  expect(TokenKind::LParen, "after 'for'");
+  const Stmt *Init = nullptr;
+  if (!check(TokenKind::Semicolon))
+    Init = parseSimpleStmt(P);
+  expect(TokenKind::Semicolon, "after for-init");
+  const Expr *Cond = nullptr;
+  if (!check(TokenKind::Semicolon))
+    Cond = parseExpr(P);
+  expect(TokenKind::Semicolon, "after for-condition");
+  const Stmt *Step = nullptr;
+  if (!check(TokenKind::RParen))
+    Step = parseSimpleStmt(P);
+  expect(TokenKind::RParen, "to close for header");
+  const Stmt *Body = parseStmt(P);
+  return P.context().createStmt<ForStmt>(Loc, Init, Cond, Step, Body);
+}
+
+const Stmt *Parser::parseDecl(Program &P) {
+  SourceLoc Loc = peek().Loc;
+  std::optional<Type> Ty = parseType(P);
+  if (!Ty) {
+    synchronizeToStmtBoundary();
+    return nullptr;
+  }
+  if (!check(TokenKind::Identifier)) {
+    Diags.error(peek().Loc, "expected variable name in declaration");
+    synchronizeToStmtBoundary();
+    return nullptr;
+  }
+  const Token &Name = advance();
+  const Expr *Init = nullptr;
+  if (match(TokenKind::Assign))
+    Init = parseExpr(P);
+  return P.context().createStmt<DeclStmt>(Loc, *Ty, Name.Text, Init);
+}
+
+const Stmt *Parser::parseSimpleStmt(Program &P) {
+  if (looksLikeType(P))
+    return parseDecl(P);
+  return parseAssignOrExprStmt(P);
+}
+
+static bool isLValue(const Expr *E) {
+  return isa<VarExpr>(E) || isa<IndexExpr>(E) || isa<FieldExpr>(E);
+}
+
+const Stmt *Parser::parseAssignOrExprStmt(Program &P) {
+  SourceLoc Loc = peek().Loc;
+  const Expr *Target = parseExpr(P);
+  if (!Target)
+    return nullptr;
+
+  auto MakeAssign = [&](AssignOp Op, const Expr *Value, AssignSyntax Syntax) {
+    if (!isLValue(Target))
+      Diags.error(Loc, "left-hand side of assignment is not assignable");
+    return P.context().createStmt<AssignStmt>(Loc, Target, Op, Value, Syntax);
+  };
+
+  if (match(TokenKind::Assign))
+    return MakeAssign(AssignOp::Set, parseExpr(P), AssignSyntax::Plain);
+  if (match(TokenKind::PlusAssign))
+    return MakeAssign(AssignOp::Add, parseExpr(P), AssignSyntax::Compound);
+  if (match(TokenKind::MinusAssign))
+    return MakeAssign(AssignOp::Sub, parseExpr(P), AssignSyntax::Compound);
+  if (match(TokenKind::StarAssign))
+    return MakeAssign(AssignOp::Mul, parseExpr(P), AssignSyntax::Compound);
+  if (match(TokenKind::SlashAssign))
+    return MakeAssign(AssignOp::Div, parseExpr(P), AssignSyntax::Compound);
+  if (match(TokenKind::PercentAssign))
+    return MakeAssign(AssignOp::Mod, parseExpr(P), AssignSyntax::Compound);
+  if (match(TokenKind::PlusPlus)) {
+    const Expr *One = P.context().createExpr<IntLitExpr>(previous().Loc, 1);
+    return MakeAssign(AssignOp::Add, One, AssignSyntax::IncDec);
+  }
+  if (match(TokenKind::MinusMinus)) {
+    const Expr *One = P.context().createExpr<IntLitExpr>(previous().Loc, 1);
+    return MakeAssign(AssignOp::Sub, One, AssignSyntax::IncDec);
+  }
+
+  if (!isa<CallExpr>(Target))
+    Diags.error(Loc, "only call expressions may be used as statements");
+  return P.context().createStmt<ExprStmt>(Loc, Target);
+}
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+const Expr *Parser::makeErrorExpr(Program &P, SourceLoc Loc) {
+  // Error placeholder: a zero literal keeps downstream passes total.
+  return P.context().createExpr<IntLitExpr>(Loc, 0);
+}
+
+const Expr *Parser::parseExpr(Program &P) { return parseOr(P); }
+
+const Expr *Parser::parseOr(Program &P) {
+  const Expr *Lhs = parseAnd(P);
+  while (check(TokenKind::PipePipe)) {
+    SourceLoc Loc = advance().Loc;
+    const Expr *Rhs = parseAnd(P);
+    Lhs = P.context().createExpr<BinaryExpr>(Loc, BinaryOp::Or, Lhs, Rhs);
+  }
+  return Lhs;
+}
+
+const Expr *Parser::parseAnd(Program &P) {
+  const Expr *Lhs = parseEquality(P);
+  while (check(TokenKind::AmpAmp)) {
+    SourceLoc Loc = advance().Loc;
+    const Expr *Rhs = parseEquality(P);
+    Lhs = P.context().createExpr<BinaryExpr>(Loc, BinaryOp::And, Lhs, Rhs);
+  }
+  return Lhs;
+}
+
+const Expr *Parser::parseEquality(Program &P) {
+  const Expr *Lhs = parseRelational(P);
+  for (;;) {
+    BinaryOp Op;
+    if (check(TokenKind::EqualEqual))
+      Op = BinaryOp::Eq;
+    else if (check(TokenKind::NotEqual))
+      Op = BinaryOp::Ne;
+    else
+      return Lhs;
+    SourceLoc Loc = advance().Loc;
+    const Expr *Rhs = parseRelational(P);
+    Lhs = P.context().createExpr<BinaryExpr>(Loc, Op, Lhs, Rhs);
+  }
+}
+
+const Expr *Parser::parseRelational(Program &P) {
+  const Expr *Lhs = parseAdditive(P);
+  for (;;) {
+    BinaryOp Op;
+    if (check(TokenKind::Less))
+      Op = BinaryOp::Lt;
+    else if (check(TokenKind::LessEqual))
+      Op = BinaryOp::Le;
+    else if (check(TokenKind::Greater))
+      Op = BinaryOp::Gt;
+    else if (check(TokenKind::GreaterEqual))
+      Op = BinaryOp::Ge;
+    else
+      return Lhs;
+    SourceLoc Loc = advance().Loc;
+    const Expr *Rhs = parseAdditive(P);
+    Lhs = P.context().createExpr<BinaryExpr>(Loc, Op, Lhs, Rhs);
+  }
+}
+
+const Expr *Parser::parseAdditive(Program &P) {
+  const Expr *Lhs = parseMultiplicative(P);
+  for (;;) {
+    BinaryOp Op;
+    if (check(TokenKind::Plus))
+      Op = BinaryOp::Add;
+    else if (check(TokenKind::Minus))
+      Op = BinaryOp::Sub;
+    else
+      return Lhs;
+    SourceLoc Loc = advance().Loc;
+    const Expr *Rhs = parseMultiplicative(P);
+    Lhs = P.context().createExpr<BinaryExpr>(Loc, Op, Lhs, Rhs);
+  }
+}
+
+const Expr *Parser::parseMultiplicative(Program &P) {
+  const Expr *Lhs = parseUnary(P);
+  for (;;) {
+    BinaryOp Op;
+    if (check(TokenKind::Star))
+      Op = BinaryOp::Mul;
+    else if (check(TokenKind::Slash))
+      Op = BinaryOp::Div;
+    else if (check(TokenKind::Percent))
+      Op = BinaryOp::Mod;
+    else
+      return Lhs;
+    SourceLoc Loc = advance().Loc;
+    const Expr *Rhs = parseUnary(P);
+    Lhs = P.context().createExpr<BinaryExpr>(Loc, Op, Lhs, Rhs);
+  }
+}
+
+const Expr *Parser::parseUnary(Program &P) {
+  if (check(TokenKind::Minus)) {
+    SourceLoc Loc = advance().Loc;
+    const Expr *Operand = parseUnary(P);
+    return P.context().createExpr<UnaryExpr>(Loc, UnaryOp::Neg, Operand);
+  }
+  if (check(TokenKind::Bang)) {
+    SourceLoc Loc = advance().Loc;
+    const Expr *Operand = parseUnary(P);
+    return P.context().createExpr<UnaryExpr>(Loc, UnaryOp::Not, Operand);
+  }
+  return parsePostfix(P);
+}
+
+const Expr *Parser::parsePostfix(Program &P) {
+  const Expr *Base = parsePrimary(P);
+  for (;;) {
+    if (check(TokenKind::LBracket)) {
+      SourceLoc Loc = advance().Loc;
+      const Expr *Index = parseExpr(P);
+      expect(TokenKind::RBracket, "to close index expression");
+      Base = P.context().createExpr<IndexExpr>(Loc, Base, Index);
+      continue;
+    }
+    if (check(TokenKind::Dot)) {
+      SourceLoc Loc = advance().Loc;
+      if (!check(TokenKind::Identifier)) {
+        Diags.error(peek().Loc, "expected field name after '.'");
+        return Base;
+      }
+      const Token &Field = advance();
+      Base = P.context().createExpr<FieldExpr>(Loc, Base, Field.Text);
+      continue;
+    }
+    if (check(TokenKind::LParen) && isa<VarExpr>(Base)) {
+      // A call: the callee must be a bare identifier.
+      SourceLoc Loc = advance().Loc;
+      std::vector<const Expr *> Args;
+      if (!check(TokenKind::RParen)) {
+        do {
+          Args.push_back(parseExpr(P));
+        } while (match(TokenKind::Comma));
+      }
+      expect(TokenKind::RParen, "to close argument list");
+      const std::string &Callee = cast<VarExpr>(Base)->name();
+      Base = P.context().createExpr<CallExpr>(Loc, Callee, std::move(Args));
+      continue;
+    }
+    return Base;
+  }
+}
+
+const Expr *Parser::parsePrimary(Program &P) {
+  SourceLoc Loc = peek().Loc;
+  if (check(TokenKind::IntLiteral)) {
+    const Token &Tok = advance();
+    return P.context().createExpr<IntLitExpr>(Loc, Tok.IntValue);
+  }
+  if (check(TokenKind::StringLiteral)) {
+    const Token &Tok = advance();
+    return P.context().createExpr<StringLitExpr>(Loc, Tok.Text);
+  }
+  if (match(TokenKind::KwTrue))
+    return P.context().createExpr<BoolLitExpr>(Loc, true);
+  if (match(TokenKind::KwFalse))
+    return P.context().createExpr<BoolLitExpr>(Loc, false);
+  if (check(TokenKind::Identifier)) {
+    const Token &Tok = advance();
+    return P.context().createExpr<VarExpr>(Loc, Tok.Text);
+  }
+  if (match(TokenKind::LParen)) {
+    const Expr *Inner = parseExpr(P);
+    expect(TokenKind::RParen, "to close parenthesized expression");
+    return Inner;
+  }
+  if (match(TokenKind::LBracket)) {
+    std::vector<const Expr *> Elements;
+    if (!check(TokenKind::RBracket)) {
+      do {
+        Elements.push_back(parseExpr(P));
+      } while (match(TokenKind::Comma));
+    }
+    expect(TokenKind::RBracket, "to close array literal");
+    return P.context().createExpr<ArrayLitExpr>(Loc, std::move(Elements));
+  }
+  if (match(TokenKind::KwNew)) {
+    // new int[n] | new bool[n] | new string[n] | new Struct(args)
+    if (match(TokenKind::KwInt) || match(TokenKind::KwBool) ||
+        match(TokenKind::KwString)) {
+      TokenKind BaseKind = previous().Kind;
+      Type ElemTy = BaseKind == TokenKind::KwInt    ? Type::intTy()
+                    : BaseKind == TokenKind::KwBool ? Type::boolTy()
+                                                    : Type::stringTy();
+      expect(TokenKind::LBracket, "after element type in 'new'");
+      const Expr *Size = parseExpr(P);
+      expect(TokenKind::RBracket, "to close array allocation");
+      return P.context().createExpr<NewArrayExpr>(Loc, ElemTy, Size);
+    }
+    if (check(TokenKind::Identifier)) {
+      const Token &Name = advance();
+      expect(TokenKind::LParen, "after struct name in 'new'");
+      std::vector<const Expr *> Args;
+      if (!check(TokenKind::RParen)) {
+        do {
+          Args.push_back(parseExpr(P));
+        } while (match(TokenKind::Comma));
+      }
+      expect(TokenKind::RParen, "to close struct construction");
+      return P.context().createExpr<NewStructExpr>(Loc, Name.Text,
+                                                   std::move(Args));
+    }
+    Diags.error(peek().Loc, "expected a type after 'new'");
+    return makeErrorExpr(P, Loc);
+  }
+
+  Diags.error(Loc, std::string("expected an expression, found ") +
+                       tokenKindName(peek().Kind));
+  if (!atEnd())
+    advance(); // make progress to avoid infinite loops
+  return makeErrorExpr(P, Loc);
+}
+
+//===----------------------------------------------------------------------===//
+// Convenience driver
+//===----------------------------------------------------------------------===//
+
+std::optional<Program> liger::parseAndCheck(const std::string &Source,
+                                            DiagnosticSink &Diags) {
+  Lexer Lex(Source, Diags);
+  std::vector<Token> Tokens = Lex.lexAll();
+  if (Diags.hasErrors())
+    return std::nullopt;
+  Parser Parse(std::move(Tokens), Diags);
+  Program P = Parse.parseProgram();
+  if (Diags.hasErrors())
+    return std::nullopt;
+  if (!typeCheck(P, Diags))
+    return std::nullopt;
+  return P;
+}

@@ -1,0 +1,96 @@
+//===-- lang/Parser.h - MiniLang recursive-descent parser ------*- C++ -*-===//
+//
+// Part of the LIGER reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recursive-descent parser for MiniLang. Grammar sketch:
+///
+///   program    := (structDecl | funcDecl)*
+///   structDecl := 'struct' ID '{' (type ID ';')* '}'
+///   funcDecl   := type ID '(' [type ID (',' type ID)*] ')' block
+///   type       := ('int'|'bool'|'string'|'void'|ID) ['[' ']']
+///   stmt       := block | decl ';' | ifStmt | whileStmt | forStmt
+///               | 'return' [expr] ';' | 'break' ';' | 'continue' ';'
+///               | assignOrExpr ';'
+///   expr       := precedence climbing over || && ==/!= relational
+///                 additive multiplicative unary postfix primary
+///
+/// On syntax errors the parser records a diagnostic and synchronizes to
+/// the next statement/declaration boundary, so a single bad method does
+/// not abort corpus processing (the Table 1 filter pipeline depends on
+/// being able to *count* unparseable programs).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIGER_LANG_PARSER_H
+#define LIGER_LANG_PARSER_H
+
+#include "lang/Ast.h"
+#include "lang/Token.h"
+
+#include <optional>
+#include <vector>
+
+namespace liger {
+
+/// Parses token streams into Programs.
+class Parser {
+public:
+  Parser(std::vector<Token> Tokens, DiagnosticSink &Diags);
+
+  /// Parses a whole compilation unit. Check Diags.hasErrors() afterwards;
+  /// a Program is returned regardless so partial results can be examined.
+  Program parseProgram();
+
+private:
+  // Token cursor helpers.
+  const Token &peek(size_t Ahead = 0) const;
+  const Token &previous() const;
+  bool check(TokenKind Kind) const;
+  bool match(TokenKind Kind);
+  const Token &advance();
+  bool expect(TokenKind Kind, const char *Context);
+  void synchronizeToDeclBoundary();
+  void synchronizeToStmtBoundary();
+  bool atEnd() const { return peek().is(TokenKind::EndOfFile); }
+
+  // Grammar productions.
+  void parseStructDecl(Program &P);
+  void parseFunctionDecl(Program &P);
+  std::optional<Type> parseType(const Program &P);
+  bool looksLikeType(const Program &P) const;
+  const Stmt *parseStmt(Program &P);
+  const BlockStmt *parseBlock(Program &P);
+  const Stmt *parseIf(Program &P);
+  const Stmt *parseWhile(Program &P);
+  const Stmt *parseFor(Program &P);
+  const Stmt *parseDecl(Program &P);
+  const Stmt *parseSimpleStmt(Program &P); ///< decl | assignment | call
+  const Stmt *parseAssignOrExprStmt(Program &P);
+  const Expr *parseExpr(Program &P);
+  const Expr *parseOr(Program &P);
+  const Expr *parseAnd(Program &P);
+  const Expr *parseEquality(Program &P);
+  const Expr *parseRelational(Program &P);
+  const Expr *parseAdditive(Program &P);
+  const Expr *parseMultiplicative(Program &P);
+  const Expr *parseUnary(Program &P);
+  const Expr *parsePostfix(Program &P);
+  const Expr *parsePrimary(Program &P);
+  const Expr *makeErrorExpr(Program &P, SourceLoc Loc);
+
+  std::vector<Token> Tokens;
+  DiagnosticSink &Diags;
+  size_t Pos = 0;
+};
+
+/// Convenience: lex, parse, and type check \p Source in one call.
+/// Returns std::nullopt (with diagnostics in \p Diags) on any error.
+std::optional<Program> parseAndCheck(const std::string &Source,
+                                     DiagnosticSink &Diags);
+
+} // namespace liger
+
+#endif // LIGER_LANG_PARSER_H

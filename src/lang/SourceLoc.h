@@ -1,0 +1,69 @@
+//===-- lang/SourceLoc.h - Source positions and diagnostics ----*- C++ -*-===//
+//
+// Part of the LIGER reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Source locations (1-based line/column) and the diagnostic sink shared
+/// by the lexer, parser, and type checker. Line numbers also drive the
+/// *line coverage* notion used by the paper's §6.1.2 data-reliance
+/// experiments, so they must be stable across pretty-print round trips.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIGER_LANG_SOURCELOC_H
+#define LIGER_LANG_SOURCELOC_H
+
+#include <string>
+#include <vector>
+
+namespace liger {
+
+/// A 1-based position in a source buffer. Line 0 means "unknown".
+struct SourceLoc {
+  unsigned Line = 0;
+  unsigned Col = 0;
+
+  bool isValid() const { return Line != 0; }
+  std::string str() const {
+    return std::to_string(Line) + ":" + std::to_string(Col);
+  }
+};
+
+/// One diagnostic message with its location.
+struct Diagnostic {
+  SourceLoc Loc;
+  std::string Message;
+};
+
+/// Collects diagnostics; the front end never throws or aborts on bad
+/// input, it records errors here and the caller inspects hasErrors().
+class DiagnosticSink {
+public:
+  void error(SourceLoc Loc, const std::string &Message) {
+    Diags.push_back({Loc, Message});
+  }
+
+  bool hasErrors() const { return !Diags.empty(); }
+  const std::vector<Diagnostic> &diagnostics() const { return Diags; }
+
+  /// Renders all diagnostics as "line:col: message" lines.
+  std::string str() const {
+    std::string Result;
+    for (const Diagnostic &D : Diags) {
+      Result += D.Loc.str();
+      Result += ": ";
+      Result += D.Message;
+      Result += '\n';
+    }
+    return Result;
+  }
+
+private:
+  std::vector<Diagnostic> Diags;
+};
+
+} // namespace liger
+
+#endif // LIGER_LANG_SOURCELOC_H

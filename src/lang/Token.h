@@ -1,0 +1,103 @@
+//===-- lang/Token.h - MiniLang tokens -------------------------*- C++ -*-===//
+//
+// Part of the LIGER reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Token kinds produced by the MiniLang lexer. The token spelling stream
+/// is also one of the inputs the static baselines (code2vec/code2seq
+/// vocabulary) and the static vocabulary Ds (§5.1.1) are built from.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIGER_LANG_TOKEN_H
+#define LIGER_LANG_TOKEN_H
+
+#include "lang/SourceLoc.h"
+
+#include <cstdint>
+#include <string>
+
+namespace liger {
+
+enum class TokenKind {
+  // Literals and identifiers.
+  Identifier,
+  IntLiteral,
+  StringLiteral,
+
+  // Keywords.
+  KwInt,
+  KwBool,
+  KwString,
+  KwVoid,
+  KwStruct,
+  KwIf,
+  KwElse,
+  KwWhile,
+  KwFor,
+  KwReturn,
+  KwBreak,
+  KwContinue,
+  KwTrue,
+  KwFalse,
+  KwNew,
+
+  // Punctuation.
+  LParen,
+  RParen,
+  LBrace,
+  RBrace,
+  LBracket,
+  RBracket,
+  Comma,
+  Semicolon,
+  Dot,
+
+  // Operators.
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  Percent,
+  Assign,
+  PlusAssign,
+  MinusAssign,
+  StarAssign,
+  SlashAssign,
+  PercentAssign,
+  PlusPlus,
+  MinusMinus,
+  EqualEqual,
+  NotEqual,
+  Less,
+  LessEqual,
+  Greater,
+  GreaterEqual,
+  AmpAmp,
+  PipePipe,
+  Bang,
+
+  // Sentinels.
+  EndOfFile,
+  Error,
+};
+
+/// Returns a stable human-readable name for \p Kind ("'+='", "identifier").
+const char *tokenKindName(TokenKind Kind);
+
+/// One lexed token. Text holds the original spelling (for identifiers and
+/// literals); IntValue is the parsed value for IntLiteral tokens.
+struct Token {
+  TokenKind Kind = TokenKind::Error;
+  std::string Text;
+  int64_t IntValue = 0;
+  SourceLoc Loc;
+
+  bool is(TokenKind K) const { return Kind == K; }
+};
+
+} // namespace liger
+
+#endif // LIGER_LANG_TOKEN_H

@@ -1,0 +1,104 @@
+//===-- lang/Type.h - MiniLang type representation -------------*- C++ -*-===//
+//
+// Part of the LIGER reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The MiniLang type system: int, bool, string, fixed element arrays of
+/// primitives, and user-declared structs whose fields are primitive.
+/// Struct values are the "object types" of the paper (§5.1.1): the
+/// encoder flattens an object value into the array of its primitive
+/// attribute values, attr(v).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIGER_LANG_TYPE_H
+#define LIGER_LANG_TYPE_H
+
+#include "support/Error.h"
+
+#include <string>
+
+namespace liger {
+
+/// Value category of a MiniLang type.
+enum class TypeKind {
+  Void,   ///< Only valid as a function return type.
+  Int,
+  Bool,
+  String,
+  Array,  ///< Array of a primitive element type.
+  Struct, ///< User-declared record of primitive fields.
+};
+
+/// A MiniLang type. Small value type; arrays store their element kind
+/// (primitives only, no nested arrays) and structs their declared name.
+class Type {
+public:
+  Type() : Kind(TypeKind::Void), Elem(TypeKind::Void) {}
+
+  static Type voidTy() { return Type(TypeKind::Void); }
+  static Type intTy() { return Type(TypeKind::Int); }
+  static Type boolTy() { return Type(TypeKind::Bool); }
+  static Type stringTy() { return Type(TypeKind::String); }
+
+  static Type arrayOf(TypeKind ElemKind) {
+    LIGER_CHECK(ElemKind == TypeKind::Int || ElemKind == TypeKind::Bool ||
+                    ElemKind == TypeKind::String,
+                "array elements must be primitive");
+    Type T(TypeKind::Array);
+    T.Elem = ElemKind;
+    return T;
+  }
+
+  static Type structTy(std::string Name) {
+    Type T(TypeKind::Struct);
+    T.StructName = std::move(Name);
+    return T;
+  }
+
+  TypeKind kind() const { return Kind; }
+  bool isVoid() const { return Kind == TypeKind::Void; }
+  bool isInt() const { return Kind == TypeKind::Int; }
+  bool isBool() const { return Kind == TypeKind::Bool; }
+  bool isString() const { return Kind == TypeKind::String; }
+  bool isArray() const { return Kind == TypeKind::Array; }
+  bool isStruct() const { return Kind == TypeKind::Struct; }
+  bool isPrimitive() const { return isInt() || isBool() || isString(); }
+
+  /// Element kind; only valid for arrays.
+  TypeKind elemKind() const {
+    LIGER_CHECK(isArray(), "elemKind on non-array type");
+    return Elem;
+  }
+
+  /// Element type as a full Type; only valid for arrays.
+  Type elemType() const { return Type(elemKind()); }
+
+  /// Declared struct name; only valid for structs.
+  const std::string &structName() const {
+    LIGER_CHECK(isStruct(), "structName on non-struct type");
+    return StructName;
+  }
+
+  bool operator==(const Type &Other) const {
+    return Kind == Other.Kind && Elem == Other.Elem &&
+           StructName == Other.StructName;
+  }
+  bool operator!=(const Type &Other) const { return !(*this == Other); }
+
+  /// Source-syntax spelling, e.g. "int[]" or "Point".
+  std::string str() const;
+
+private:
+  explicit Type(TypeKind K) : Kind(K), Elem(TypeKind::Void) {}
+
+  TypeKind Kind;
+  TypeKind Elem;
+  std::string StructName;
+};
+
+} // namespace liger
+
+#endif // LIGER_LANG_TYPE_H

@@ -1,0 +1,496 @@
+//===-- lang/TypeCheck.cpp - MiniLang static type checker -----------------===//
+//
+// Part of the LIGER reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/TypeCheck.h"
+
+#include "support/Error.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+using namespace liger;
+
+bool liger::isBuiltinFunction(const std::string &Name) {
+  return Name == "len" || Name == "substring" || Name == "abs" ||
+         Name == "min" || Name == "max";
+}
+
+namespace {
+
+/// Lexical scope stack mapping variable names to types.
+class Scope {
+public:
+  void push() { Frames.emplace_back(); }
+  void pop() { Frames.pop_back(); }
+
+  bool declare(const std::string &Name, const Type &Ty) {
+    LIGER_CHECK(!Frames.empty(), "declare outside any scope");
+    // Redeclaration in the *same* frame is an error; shadowing an outer
+    // frame is allowed (as in Java).
+    if (Frames.back().count(Name))
+      return false;
+    Frames.back().emplace(Name, Ty);
+    return true;
+  }
+
+  const Type *lookup(const std::string &Name) const {
+    for (auto It = Frames.rbegin(); It != Frames.rend(); ++It) {
+      auto Found = It->find(Name);
+      if (Found != It->end())
+        return &Found->second;
+    }
+    return nullptr;
+  }
+
+private:
+  std::vector<std::unordered_map<std::string, Type>> Frames;
+};
+
+/// The checker itself: one instance per program.
+class TypeChecker {
+public:
+  TypeChecker(Program &P, DiagnosticSink &Diags) : P(P), Diags(Diags) {}
+
+  bool run() {
+    checkStructs();
+    checkFunctionTable();
+    for (const FunctionDecl &Fn : P.Functions)
+      checkFunction(Fn);
+    return !Diags.hasErrors();
+  }
+
+private:
+  void error(SourceLoc Loc, const std::string &Msg) { Diags.error(Loc, Msg); }
+
+  void checkStructs() {
+    std::unordered_set<std::string> Seen;
+    for (const StructDecl &S : P.Structs) {
+      if (!Seen.insert(S.Name).second)
+        error(S.Loc, "duplicate struct '" + S.Name + "'");
+      std::unordered_set<std::string> Fields;
+      for (const TypedName &F : S.Fields)
+        if (!Fields.insert(F.Name).second)
+          error(S.Loc, "duplicate field '" + F.Name + "' in struct '" +
+                           S.Name + "'");
+      if (S.Fields.empty())
+        error(S.Loc, "struct '" + S.Name + "' has no fields");
+    }
+  }
+
+  void checkFunctionTable() {
+    std::unordered_set<std::string> Seen;
+    for (const FunctionDecl &Fn : P.Functions) {
+      if (!Seen.insert(Fn.Name).second)
+        error(Fn.Loc, "duplicate function '" + Fn.Name + "'");
+      if (isBuiltinFunction(Fn.Name))
+        error(Fn.Loc, "function '" + Fn.Name + "' shadows a builtin");
+    }
+  }
+
+  void checkFunction(const FunctionDecl &Fn) {
+    CurrentReturnType = Fn.ReturnType;
+    LoopDepth = 0;
+    Vars.push();
+    for (const TypedName &Param : Fn.Params) {
+      if (Param.Ty.isStruct() && !P.findStruct(Param.Ty.structName()))
+        error(Fn.Loc, "unknown struct type '" + Param.Ty.structName() + "'");
+      if (!Vars.declare(Param.Name, Param.Ty))
+        error(Fn.Loc, "duplicate parameter '" + Param.Name + "'");
+    }
+    if (Fn.Body)
+      checkStmt(Fn.Body);
+    Vars.pop();
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Statements
+  //===--------------------------------------------------------------------===//
+
+  void checkStmt(const Stmt *S) {
+    switch (S->kind()) {
+    case StmtKind::Block: {
+      Vars.push();
+      for (const Stmt *Child : cast<BlockStmt>(S)->body())
+        checkStmt(Child);
+      Vars.pop();
+      return;
+    }
+    case StmtKind::Decl: {
+      const auto *Decl = cast<DeclStmt>(S);
+      if (Decl->declType().isVoid()) {
+        error(S->loc(), "variables cannot have void type");
+        return;
+      }
+      if (Decl->declType().isStruct() &&
+          !P.findStruct(Decl->declType().structName()))
+        error(S->loc(),
+              "unknown struct type '" + Decl->declType().structName() + "'");
+      if (const Expr *Init = Decl->init()) {
+        Type InitTy = checkExpr(Init);
+        if (!InitTy.isVoid() && InitTy != Decl->declType())
+          error(S->loc(), "cannot initialize '" + Decl->declType().str() +
+                              "' from '" + InitTy.str() + "'");
+      }
+      if (!Vars.declare(Decl->name(), Decl->declType()))
+        error(S->loc(), "redeclaration of '" + Decl->name() + "'");
+      return;
+    }
+    case StmtKind::Assign: {
+      const auto *Assign = cast<AssignStmt>(S);
+      Type TargetTy = checkExpr(Assign->target());
+      Type ValueTy = checkExpr(Assign->value());
+      if (TargetTy.isVoid() || ValueTy.isVoid())
+        return; // error already reported below
+      if (Assign->op() != AssignOp::Set) {
+        // Compound assignment: int op= int, or string += string.
+        bool StringConcat = Assign->op() == AssignOp::Add &&
+                            TargetTy.isString() && ValueTy.isString();
+        bool IntArith = TargetTy.isInt() && ValueTy.isInt();
+        if (!StringConcat && !IntArith)
+          error(S->loc(), "invalid compound assignment on '" +
+                              TargetTy.str() + "' and '" + ValueTy.str() +
+                              "'");
+        return;
+      }
+      if (TargetTy != ValueTy)
+        error(S->loc(), "cannot assign '" + ValueTy.str() + "' to '" +
+                            TargetTy.str() + "'");
+      return;
+    }
+    case StmtKind::If: {
+      const auto *If = cast<IfStmt>(S);
+      Type CondTy = checkExpr(If->cond());
+      if (!CondTy.isBool() && !CondTy.isVoid())
+        error(If->cond()->loc(), "if condition must be bool, got '" +
+                                     CondTy.str() + "'");
+      checkStmt(If->thenStmt());
+      if (If->elseStmt())
+        checkStmt(If->elseStmt());
+      return;
+    }
+    case StmtKind::While: {
+      const auto *While = cast<WhileStmt>(S);
+      Type CondTy = checkExpr(While->cond());
+      if (!CondTy.isBool() && !CondTy.isVoid())
+        error(While->cond()->loc(), "while condition must be bool, got '" +
+                                        CondTy.str() + "'");
+      ++LoopDepth;
+      checkStmt(While->body());
+      --LoopDepth;
+      return;
+    }
+    case StmtKind::For: {
+      const auto *For = cast<ForStmt>(S);
+      Vars.push(); // for-init variables scope over the whole loop
+      if (For->init())
+        checkStmt(For->init());
+      if (For->cond()) {
+        Type CondTy = checkExpr(For->cond());
+        if (!CondTy.isBool() && !CondTy.isVoid())
+          error(For->cond()->loc(), "for condition must be bool, got '" +
+                                        CondTy.str() + "'");
+      }
+      if (For->step())
+        checkStmt(For->step());
+      ++LoopDepth;
+      checkStmt(For->body());
+      --LoopDepth;
+      Vars.pop();
+      return;
+    }
+    case StmtKind::Return: {
+      const auto *Ret = cast<ReturnStmt>(S);
+      if (CurrentReturnType.isVoid()) {
+        if (Ret->value())
+          error(S->loc(), "void function cannot return a value");
+        return;
+      }
+      if (!Ret->value()) {
+        error(S->loc(), "non-void function must return a value");
+        return;
+      }
+      Type ValueTy = checkExpr(Ret->value());
+      if (!ValueTy.isVoid() && ValueTy != CurrentReturnType)
+        error(S->loc(), "cannot return '" + ValueTy.str() + "' from a '" +
+                            CurrentReturnType.str() + "' function");
+      return;
+    }
+    case StmtKind::Break:
+      if (LoopDepth == 0)
+        error(S->loc(), "break outside a loop");
+      return;
+    case StmtKind::Continue:
+      if (LoopDepth == 0)
+        error(S->loc(), "continue outside a loop");
+      return;
+    case StmtKind::Expr: {
+      const auto *ES = cast<ExprStmt>(S);
+      checkExpr(ES->expr());
+      if (!isa<CallExpr>(ES->expr()))
+        error(S->loc(), "only calls may be used as statements");
+      return;
+    }
+    }
+    LIGER_UNREACHABLE("covered switch");
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Expressions
+  //===--------------------------------------------------------------------===//
+
+  /// Checks an expression, records its type on the node, and returns it.
+  /// Returns Void on error (after reporting); callers treat Void as
+  /// "already diagnosed".
+  Type checkExpr(const Expr *E) {
+    Type Ty = computeExprType(E);
+    const_cast<Expr *>(E)->setType(Ty);
+    return Ty;
+  }
+
+  Type computeExprType(const Expr *E) {
+    switch (E->kind()) {
+    case ExprKind::IntLit:
+      return Type::intTy();
+    case ExprKind::BoolLit:
+      return Type::boolTy();
+    case ExprKind::StringLit:
+      return Type::stringTy();
+    case ExprKind::Var: {
+      const auto *Var = cast<VarExpr>(E);
+      if (const Type *Ty = Vars.lookup(Var->name()))
+        return *Ty;
+      error(E->loc(), "use of undeclared variable '" + Var->name() + "'");
+      return Type::voidTy();
+    }
+    case ExprKind::ArrayLit: {
+      const auto *Lit = cast<ArrayLitExpr>(E);
+      if (Lit->elements().empty()) {
+        error(E->loc(), "empty array literals are not supported; "
+                        "use 'new T[0]'");
+        return Type::voidTy();
+      }
+      Type ElemTy = checkExpr(Lit->elements().front());
+      for (const Expr *Elem : Lit->elements()) {
+        Type Ty = checkExpr(Elem);
+        if (!Ty.isVoid() && Ty != ElemTy)
+          error(Elem->loc(), "array literal elements must share one type");
+      }
+      if (ElemTy.isVoid())
+        return Type::voidTy();
+      if (!ElemTy.isPrimitive()) {
+        error(E->loc(), "array elements must be primitive");
+        return Type::voidTy();
+      }
+      return Type::arrayOf(ElemTy.kind());
+    }
+    case ExprKind::NewArray: {
+      const auto *New = cast<NewArrayExpr>(E);
+      Type SizeTy = checkExpr(New->size());
+      if (!SizeTy.isInt() && !SizeTy.isVoid())
+        error(New->size()->loc(), "array size must be int");
+      return Type::arrayOf(New->elemType().kind());
+    }
+    case ExprKind::NewStruct: {
+      const auto *New = cast<NewStructExpr>(E);
+      const StructDecl *Decl = P.findStruct(New->structName());
+      if (!Decl) {
+        error(E->loc(), "unknown struct '" + New->structName() + "'");
+        return Type::voidTy();
+      }
+      if (New->args().size() != Decl->Fields.size()) {
+        error(E->loc(), "struct '" + New->structName() + "' expects " +
+                            std::to_string(Decl->Fields.size()) +
+                            " field values");
+        return Type::structTy(New->structName());
+      }
+      for (size_t I = 0; I < New->args().size(); ++I) {
+        Type ArgTy = checkExpr(New->args()[I]);
+        if (!ArgTy.isVoid() && ArgTy != Decl->Fields[I].Ty)
+          error(New->args()[I]->loc(),
+                "field '" + Decl->Fields[I].Name + "' of struct '" +
+                    New->structName() + "' has type '" +
+                    Decl->Fields[I].Ty.str() + "'");
+      }
+      return Type::structTy(New->structName());
+    }
+    case ExprKind::Index: {
+      const auto *Index = cast<IndexExpr>(E);
+      Type BaseTy = checkExpr(Index->base());
+      Type IdxTy = checkExpr(Index->index());
+      if (!IdxTy.isInt() && !IdxTy.isVoid())
+        error(Index->index()->loc(), "index must be int");
+      if (BaseTy.isArray())
+        return BaseTy.elemType();
+      if (BaseTy.isString())
+        return Type::stringTy(); // s[i] is a length-1 string
+      if (!BaseTy.isVoid())
+        error(E->loc(), "cannot index a '" + BaseTy.str() + "'");
+      return Type::voidTy();
+    }
+    case ExprKind::Field: {
+      const auto *Field = cast<FieldExpr>(E);
+      Type BaseTy = checkExpr(Field->base());
+      if (BaseTy.isVoid())
+        return Type::voidTy();
+      if (!BaseTy.isStruct()) {
+        error(E->loc(), "cannot access field of '" + BaseTy.str() + "'");
+        return Type::voidTy();
+      }
+      const StructDecl *Decl = P.findStruct(BaseTy.structName());
+      LIGER_CHECK(Decl, "struct type without declaration survived checking");
+      int Index = Decl->fieldIndex(Field->field());
+      if (Index < 0) {
+        error(E->loc(), "struct '" + BaseTy.structName() +
+                            "' has no field '" + Field->field() + "'");
+        return Type::voidTy();
+      }
+      return Decl->Fields[static_cast<size_t>(Index)].Ty;
+    }
+    case ExprKind::Unary: {
+      const auto *Unary = cast<UnaryExpr>(E);
+      Type OperandTy = checkExpr(Unary->operand());
+      if (OperandTy.isVoid())
+        return Type::voidTy();
+      if (Unary->op() == UnaryOp::Neg) {
+        if (!OperandTy.isInt())
+          error(E->loc(), "unary '-' requires int");
+        return Type::intTy();
+      }
+      if (!OperandTy.isBool())
+        error(E->loc(), "unary '!' requires bool");
+      return Type::boolTy();
+    }
+    case ExprKind::Binary:
+      return checkBinary(cast<BinaryExpr>(E));
+    case ExprKind::Call:
+      return checkCall(cast<CallExpr>(E));
+    }
+    LIGER_UNREACHABLE("covered switch");
+  }
+
+  Type checkBinary(const BinaryExpr *E) {
+    Type L = checkExpr(E->lhs());
+    Type R = checkExpr(E->rhs());
+    if (L.isVoid() || R.isVoid())
+      return Type::voidTy();
+    switch (E->op()) {
+    case BinaryOp::Add:
+      if (L.isInt() && R.isInt())
+        return Type::intTy();
+      if (L.isString() && R.isString())
+        return Type::stringTy();
+      error(E->loc(), "'+' requires two ints or two strings");
+      return Type::voidTy();
+    case BinaryOp::Sub:
+    case BinaryOp::Mul:
+    case BinaryOp::Div:
+    case BinaryOp::Mod:
+      if (!(L.isInt() && R.isInt()))
+        error(E->loc(), std::string("'") + binaryOpSpelling(E->op()) +
+                            "' requires int operands");
+      return Type::intTy();
+    case BinaryOp::Lt:
+    case BinaryOp::Le:
+    case BinaryOp::Gt:
+    case BinaryOp::Ge:
+      if (!(L.isInt() && R.isInt()))
+        error(E->loc(), std::string("'") + binaryOpSpelling(E->op()) +
+                            "' requires int operands");
+      return Type::boolTy();
+    case BinaryOp::Eq:
+    case BinaryOp::Ne:
+      if (L != R)
+        error(E->loc(), "'==' / '!=' require operands of the same type");
+      else if (L.isStruct())
+        error(E->loc(), "structs cannot be compared with '=='");
+      return Type::boolTy();
+    case BinaryOp::And:
+    case BinaryOp::Or:
+      if (!(L.isBool() && R.isBool()))
+        error(E->loc(), std::string("'") + binaryOpSpelling(E->op()) +
+                            "' requires bool operands");
+      return Type::boolTy();
+    }
+    LIGER_UNREACHABLE("covered switch");
+  }
+
+  Type checkCall(const CallExpr *E) {
+    std::vector<Type> ArgTypes;
+    ArgTypes.reserve(E->args().size());
+    for (const Expr *Arg : E->args())
+      ArgTypes.push_back(checkExpr(Arg));
+
+    const std::string &Callee = E->callee();
+    auto RequireArity = [&](size_t N) {
+      if (E->args().size() != N) {
+        error(E->loc(), "'" + Callee + "' expects " + std::to_string(N) +
+                            " argument(s)");
+        return false;
+      }
+      return true;
+    };
+
+    if (Callee == "len") {
+      if (!RequireArity(1))
+        return Type::intTy();
+      if (!ArgTypes[0].isVoid() && !ArgTypes[0].isArray() &&
+          !ArgTypes[0].isString())
+        error(E->loc(), "'len' requires an array or string");
+      return Type::intTy();
+    }
+    if (Callee == "substring") {
+      if (!RequireArity(3))
+        return Type::stringTy();
+      if (!ArgTypes[0].isVoid() && !ArgTypes[0].isString())
+        error(E->loc(), "'substring' requires a string first argument");
+      for (size_t I = 1; I < 3; ++I)
+        if (!ArgTypes[I].isVoid() && !ArgTypes[I].isInt())
+          error(E->loc(), "'substring' offsets must be ints");
+      return Type::stringTy();
+    }
+    if (Callee == "abs") {
+      if (RequireArity(1) && !ArgTypes[0].isVoid() && !ArgTypes[0].isInt())
+        error(E->loc(), "'abs' requires an int");
+      return Type::intTy();
+    }
+    if (Callee == "min" || Callee == "max") {
+      if (RequireArity(2))
+        for (const Type &Ty : ArgTypes)
+          if (!Ty.isVoid() && !Ty.isInt())
+            error(E->loc(), "'" + Callee + "' requires int arguments");
+      return Type::intTy();
+    }
+
+    const FunctionDecl *Fn = P.findFunction(Callee);
+    if (!Fn) {
+      error(E->loc(), "call to undeclared function '" + Callee + "'");
+      return Type::voidTy();
+    }
+    if (E->args().size() != Fn->Params.size()) {
+      error(E->loc(), "'" + Callee + "' expects " +
+                          std::to_string(Fn->Params.size()) + " argument(s)");
+      return Fn->ReturnType;
+    }
+    for (size_t I = 0; I < ArgTypes.size(); ++I)
+      if (!ArgTypes[I].isVoid() && ArgTypes[I] != Fn->Params[I].Ty)
+        error(E->args()[I]->loc(),
+              "argument " + std::to_string(I + 1) + " of '" + Callee +
+                  "' must be '" + Fn->Params[I].Ty.str() + "'");
+    return Fn->ReturnType;
+  }
+
+  Program &P;
+  DiagnosticSink &Diags;
+  Scope Vars;
+  Type CurrentReturnType;
+  unsigned LoopDepth = 0;
+};
+
+} // namespace
+
+bool liger::typeCheck(Program &P, DiagnosticSink &Diags) {
+  return TypeChecker(P, Diags).run();
+}

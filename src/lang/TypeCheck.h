@@ -1,0 +1,38 @@
+//===-- lang/TypeCheck.h - MiniLang static type checker --------*- C++ -*-===//
+//
+// Part of the LIGER reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Type checker for MiniLang. Resolves and records a static type on
+/// every expression (Expr::setType), checks statement well-formedness
+/// (assignability, condition types, return types, break/continue
+/// placement), scoping (block-scoped variables, no shadowing of
+/// parameters), and call signatures (builtins and user functions).
+///
+/// Builtins:
+///   int    len(string|T[])        length of a string or array
+///   string substring(string s, int start, int length)
+///   int    abs(int)
+///   int    min(int, int) / max(int, int)
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIGER_LANG_TYPECHECK_H
+#define LIGER_LANG_TYPECHECK_H
+
+#include "lang/Ast.h"
+
+namespace liger {
+
+/// Type checks \p P, annotating expression types in place.
+/// Returns true when no errors were found.
+bool typeCheck(Program &P, DiagnosticSink &Diags);
+
+/// Returns true if \p Name is a MiniLang builtin function.
+bool isBuiltinFunction(const std::string &Name);
+
+} // namespace liger
+
+#endif // LIGER_LANG_TYPECHECK_H

@@ -1,0 +1,123 @@
+//===-- models/Code2Seq.h - code2seq static baseline ------------*- C++ -*-===//
+//
+// Part of the LIGER reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reimplementation of code2seq (Alon et al., ICLR 2019): AST
+/// path-contexts with (a) terminal tokens decomposed into sub-tokens
+/// whose embeddings are summed, and (b) the path's interior node
+/// sequence encoded by a recurrent network; a sequence decoder with
+/// attention over the context set emits the method name as sub-tokens —
+/// which is why code2seq beats code2vec on the sub-token metric
+/// (paper's Table 2) while both trail the dynamic models.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIGER_MODELS_CODE2SEQ_H
+#define LIGER_MODELS_CODE2SEQ_H
+
+#include "models/Code2Vec.h" // Code2VecConfig reused for extraction caps
+#include "models/Decoder.h"
+
+namespace liger {
+
+/// code2seq hyper-parameters.
+struct Code2SeqConfig {
+  size_t EmbedDim = 32;
+  size_t Hidden = 32;
+  size_t AttnHidden = 32;
+  CellKind Cell = CellKind::Gru;
+  size_t MaxContexts = 120;
+  size_t MaxPathLength = 12;
+  size_t MaxPathWidth = 16;
+  size_t MaxDecodeLen = 8;
+};
+
+/// One path-context in code2seq form: sub-token ids for each terminal
+/// plus the interior label id sequence.
+struct SeqPathContext {
+  std::vector<int> SourceSubtokens;
+  std::vector<int> PathNodes;
+  std::vector<int> TargetSubtokens;
+};
+
+/// Extracts code2seq path-contexts for a sample.
+std::vector<SeqPathContext>
+extractSeqPathContexts(const MethodSample &Sample,
+                       const Vocabulary &SubtokenVocab,
+                       const Vocabulary &NodeVocab,
+                       const Code2SeqConfig &Config);
+
+/// Populates the sub-token and path-node vocabularies from a sample.
+void addSeqPathContextsToVocabulary(const MethodSample &Sample,
+                                    Vocabulary &SubtokenVocab,
+                                    Vocabulary &NodeVocab,
+                                    const Code2SeqConfig &Config);
+
+/// code2seq for method name prediction.
+class Code2SeqNamePredictor {
+public:
+  Code2SeqNamePredictor(const Vocabulary &SubtokenVocab,
+                        const Vocabulary &NodeVocab,
+                        const Vocabulary &TargetVocab,
+                        const Code2SeqConfig &Config, uint64_t Seed);
+
+  Var loss(const MethodSample &Sample) const;
+  std::vector<std::string> predict(const MethodSample &Sample) const;
+
+  ParamStore &params() { return Store; }
+
+private:
+  struct Encoding {
+    Var ProgramEmbedding;
+    std::vector<Var> Memory;
+  };
+  Encoding encode(const MethodSample &Sample) const;
+  Var embedContext(const SeqPathContext &Context) const;
+
+  ParamStore Store;
+  Rng InitRng;
+  Code2SeqConfig Config;
+  const Vocabulary &SubtokenVocab;
+  const Vocabulary &NodeVocab;
+  const Vocabulary &TargetVocab;
+  EmbeddingTable SubtokenEmbed;
+  EmbeddingTable NodeEmbed;
+  RecurrentCell PathRnn;
+  Linear ContextProj;
+  SeqDecoder Decoder;
+};
+
+/// code2seq with a classification head.
+class Code2SeqClassifier {
+public:
+  Code2SeqClassifier(const Vocabulary &SubtokenVocab,
+                     const Vocabulary &NodeVocab, size_t NumClasses,
+                     const Code2SeqConfig &Config, uint64_t Seed);
+
+  Var loss(const MethodSample &Sample) const;
+  int predict(const MethodSample &Sample) const;
+
+  ParamStore &params() { return Store; }
+
+private:
+  Var codeVector(const MethodSample &Sample) const;
+  Var embedContext(const SeqPathContext &Context) const;
+
+  ParamStore Store;
+  Rng InitRng;
+  Code2SeqConfig Config;
+  const Vocabulary &SubtokenVocab;
+  const Vocabulary &NodeVocab;
+  EmbeddingTable SubtokenEmbed;
+  EmbeddingTable NodeEmbed;
+  RecurrentCell PathRnn;
+  Linear ContextProj;
+  Linear Head;
+};
+
+} // namespace liger
+
+#endif // LIGER_MODELS_CODE2SEQ_H

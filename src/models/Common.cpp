@@ -1,0 +1,78 @@
+//===-- models/Common.cpp - Shared model infrastructure -------------------===//
+//
+// Part of the LIGER reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "models/Common.h"
+
+#include "lang/AstTree.h"
+
+using namespace liger;
+
+namespace {
+
+void addTreeLabels(const AstTree &Tree, Vocabulary &Vocab) {
+  Vocab.add(Tree.Label);
+  for (const AstTree &Child : Tree.Children)
+    addTreeLabels(Child, Vocab);
+}
+
+} // namespace
+
+void liger::addSampleToVocabulary(const MethodSample &Sample,
+                                  Vocabulary &Vocab) {
+  for (const BlendedTrace &Path : Sample.Traces.Paths) {
+    // Static dimension: statement-tree labels.
+    for (const SymbolicStep &Step : Path.Symbolic.Steps)
+      addTreeLabels(buildStmtHeadTree(Step.Statement), Vocab);
+    // Dynamic dimension: value tokens of every state (including s0).
+    for (const StateTrace &States : Path.Concrete) {
+      for (const Value &V : States.Initial.Values)
+        for (const std::string &Token : valueTokens(V))
+          Vocab.add(Token);
+      for (const ProgramState &State : States.States)
+        for (const Value &V : State.Values)
+          for (const std::string &Token : valueTokens(V))
+            Vocab.add(Token);
+    }
+  }
+}
+
+void liger::addFunctionTreeToVocabulary(const MethodSample &Sample,
+                                        Vocabulary &Vocab) {
+  LIGER_CHECK(Sample.Fn, "sample without function");
+  addTreeLabels(buildFunctionTree(*Sample.Fn), Vocab);
+}
+
+void liger::addNameToVocabulary(const MethodSample &Sample,
+                                Vocabulary &Vocab) {
+  for (const std::string &Token : Sample.NameSubtokens)
+    Vocab.add(Token);
+}
+
+std::vector<int>
+liger::nameTargetIds(const std::vector<std::string> &Subtokens,
+                     const Vocabulary &TargetVocab) {
+  std::vector<int> Ids;
+  Ids.reserve(Subtokens.size() + 1);
+  for (const std::string &Token : Subtokens)
+    Ids.push_back(TargetVocab.lookup(Token));
+  Ids.push_back(Vocabulary::Eos);
+  return Ids;
+}
+
+std::vector<std::string>
+liger::idsToSubtokens(const std::vector<int> &Ids,
+                      const Vocabulary &TargetVocab) {
+  std::vector<std::string> Out;
+  for (int Id : Ids) {
+    if (Id == Vocabulary::Eos)
+      break;
+    if (Id == Vocabulary::Pad || Id == Vocabulary::Sos ||
+        Id == Vocabulary::Unk)
+      continue;
+    Out.push_back(TargetVocab.token(Id));
+  }
+  return Out;
+}

@@ -1,0 +1,73 @@
+//===-- models/Common.h - Shared model infrastructure -----------*- C++ -*-===//
+//
+// Part of the LIGER reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Dataset sample type and vocabulary construction shared by LIGER and
+/// the baselines. A MethodSample bundles everything any model may need:
+/// the parsed function (static models), its collected blended traces
+/// (dynamic models), and the labels (method-name sub-tokens and/or a
+/// semantics class).
+///
+/// Vocabulary: following §6.1 ("our vocabulary has 9,641 unique tokens
+/// (for both static and dynamic feature dimensions)"), one joint
+/// Vocabulary holds the static tokens Ds (AST labels and token
+/// spellings) and the dynamic value tokens Dd.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIGER_MODELS_COMMON_H
+#define LIGER_MODELS_COMMON_H
+
+#include "nn/Module.h"
+#include "trace/Trace.h"
+#include "trace/Vocabulary.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace liger {
+
+/// One corpus method with labels and traces.
+struct MethodSample {
+  /// Owning pointer: each generated method lives in its own Program.
+  std::shared_ptr<Program> Prog;
+  const FunctionDecl *Fn = nullptr;
+  /// Blended traces (non-owning pointers into *Prog).
+  MethodTraces Traces;
+  /// Target for method name prediction (lower-case sub-tokens).
+  std::vector<std::string> NameSubtokens;
+  /// Target for semantics classification.
+  int ClassId = -1;
+  /// Grouping key for train/valid/test splits (the paper splits by
+  /// project so identical helpers don't leak).
+  std::string Project;
+};
+
+/// Adds Ds tokens (statement-tree labels along every path) and Dd
+/// tokens (state value tokens) of \p Sample to \p Vocab.
+void addSampleToVocabulary(const MethodSample &Sample, Vocabulary &Vocab);
+
+/// Adds the *full-function* static tokens (used by code2vec/code2seq,
+/// which see the whole body rather than trace slices).
+void addFunctionTreeToVocabulary(const MethodSample &Sample,
+                                 Vocabulary &Vocab);
+
+/// Adds the sample's name sub-tokens to the decoder target vocabulary.
+void addNameToVocabulary(const MethodSample &Sample, Vocabulary &Vocab);
+
+/// Encodes name sub-tokens as target ids with EOS appended.
+std::vector<int> nameTargetIds(const std::vector<std::string> &Subtokens,
+                               const Vocabulary &TargetVocab);
+
+/// Decodes target ids back to sub-token strings (stops at EOS, skips
+/// specials).
+std::vector<std::string> idsToSubtokens(const std::vector<int> &Ids,
+                                        const Vocabulary &TargetVocab);
+
+} // namespace liger
+
+#endif // LIGER_MODELS_COMMON_H

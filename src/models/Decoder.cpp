@@ -1,0 +1,81 @@
+//===-- models/Decoder.cpp - Attention sequence decoder -------------------===//
+//
+// Part of the LIGER reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "models/Decoder.h"
+
+using namespace liger;
+
+SeqDecoder::SeqDecoder(ParamStore &Store, const std::string &Name,
+                       const SeqDecoderConfig &Cfg, Rng &R)
+    : Config(Cfg),
+      TargetEmbed(Store, Name + ".target_embed", Cfg.TargetVocabSize,
+                  Cfg.EmbedDim, R),
+      InitProj(Store, Name + ".init", Cfg.InitDim, Cfg.Hidden, R),
+      Cell(Store, Name + ".cell", Cfg.Cell,
+           Cfg.EmbedDim + Cfg.MemoryDim, Cfg.Hidden, R),
+      Attn(Store, Name + ".attn", Cfg.Hidden, Cfg.MemoryDim, Cfg.AttnHidden,
+           R),
+      OutProj(Store, Name + ".out", Cfg.Hidden + Cfg.MemoryDim,
+              Cfg.TargetVocabSize, R) {}
+
+Var SeqDecoder::stepLogits(const Var &PrevEmbed, RecState &State,
+                           const std::vector<Var> &Memory) const {
+  // Context from attention over the memory with the current hidden
+  // state as the query (µ_t = a2(H^d_{t-1}, H^e_{i_j})).
+  Var Weights = Attn.weights(State.H, Memory);
+  Var Context = weightedCombine(Memory, Weights);
+  State = Cell.step(concat(PrevEmbed, Context), State);
+  return OutProj.apply(concat(State.H, Context));
+}
+
+Var SeqDecoder::loss(const Var &ProgramEmbedding,
+                     const std::vector<Var> &Memory,
+                     const std::vector<int> &TargetIds) const {
+  LIGER_CHECK(!Memory.empty(), "decoder needs a non-empty memory");
+  LIGER_CHECK(!TargetIds.empty() && TargetIds.back() == Vocabulary::Eos,
+              "targets must end with Eos");
+  RecState State;
+  State.H = tanhV(InitProj.apply(ProgramEmbedding));
+  if (Config.Cell == CellKind::Lstm)
+    State.C = constant(Tensor::zeros(Config.Hidden));
+
+  std::vector<Var> Losses;
+  int Prev = Vocabulary::Sos;
+  for (int Target : TargetIds) {
+    Var Logits = stepLogits(TargetEmbed.lookup(Prev), State, Memory);
+    Losses.push_back(
+        softmaxCrossEntropy(Logits, static_cast<size_t>(Target)));
+    Prev = Target; // teacher forcing
+  }
+  return meanLoss(Losses);
+}
+
+std::vector<int> SeqDecoder::decodeGreedy(const Var &ProgramEmbedding,
+                                          const std::vector<Var> &Memory,
+                                          size_t MaxLen) const {
+  LIGER_CHECK(!Memory.empty(), "decoder needs a non-empty memory");
+  RecState State;
+  State.H = tanhV(InitProj.apply(ProgramEmbedding));
+  if (Config.Cell == CellKind::Lstm)
+    State.C = constant(Tensor::zeros(Config.Hidden));
+
+  std::vector<int> Output;
+  int Prev = Vocabulary::Sos;
+  for (size_t Step = 0; Step < MaxLen; ++Step) {
+    Var Logits = stepLogits(TargetEmbed.lookup(Prev), State, Memory);
+    // Never emit the structural specials other than Eos.
+    Tensor Masked = Logits->Value;
+    Masked[Vocabulary::Pad] = -1e30f;
+    Masked[Vocabulary::Sos] = -1e30f;
+    Masked[Vocabulary::Unk] = -1e30f;
+    int Next = static_cast<int>(argmax(Masked));
+    if (Next == Vocabulary::Eos)
+      break;
+    Output.push_back(Next);
+    Prev = Next;
+  }
+  return Output;
+}

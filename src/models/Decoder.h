@@ -1,0 +1,68 @@
+//===-- models/Decoder.h - Attention sequence decoder -----------*- C++ -*-===//
+//
+// Part of the LIGER reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The attention decoder shared by LIGER, DYPRO, and code2seq (§5.1.2):
+/// a recurrent cell initialized from the program embedding that emits
+/// method-name sub-tokens, attending at each step over a memory of
+/// encoder vectors (for LIGER: every step embedding H^e_{i_j} of every
+/// blended trace) via the feedforward score network a2.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIGER_MODELS_DECODER_H
+#define LIGER_MODELS_DECODER_H
+
+#include "nn/Module.h"
+#include "trace/Vocabulary.h"
+
+namespace liger {
+
+/// Decoder configuration.
+struct SeqDecoderConfig {
+  size_t TargetVocabSize = 0;
+  size_t EmbedDim = 32;
+  size_t Hidden = 32;
+  size_t AttnHidden = 32;
+  size_t MemoryDim = 32; ///< Dimension of the encoder memory vectors.
+  size_t InitDim = 32;   ///< Dimension of the program embedding.
+  CellKind Cell = CellKind::Gru;
+};
+
+/// Attention decoder over a memory of encoder vectors.
+class SeqDecoder {
+public:
+  SeqDecoder() = default;
+  SeqDecoder(ParamStore &Store, const std::string &Name,
+             const SeqDecoderConfig &Config, Rng &R);
+
+  /// Teacher-forced sequence loss. \p Memory must be non-empty;
+  /// \p TargetIds must end with Eos.
+  Var loss(const Var &ProgramEmbedding, const std::vector<Var> &Memory,
+           const std::vector<int> &TargetIds) const;
+
+  /// Greedy decoding until Eos or \p MaxLen tokens. Returned ids do not
+  /// include Eos.
+  std::vector<int> decodeGreedy(const Var &ProgramEmbedding,
+                                const std::vector<Var> &Memory,
+                                size_t MaxLen) const;
+
+private:
+  /// Shared per-step computation: emits logits for the next token.
+  Var stepLogits(const Var &PrevEmbed, RecState &State,
+                 const std::vector<Var> &Memory) const;
+
+  SeqDecoderConfig Config;
+  EmbeddingTable TargetEmbed;
+  Linear InitProj;  ///< Program embedding -> initial hidden state.
+  RecurrentCell Cell;
+  AttentionScorer Attn;
+  Linear OutProj;   ///< [hidden ⊕ context] -> target logits.
+};
+
+} // namespace liger
+
+#endif // LIGER_MODELS_DECODER_H

@@ -1,0 +1,174 @@
+//===-- models/Dypro.cpp - DYPRO dynamic-only baseline ---------------------===//
+//
+// Part of the LIGER reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "models/Dypro.h"
+
+using namespace liger;
+
+void liger::addVariableNamesToVocabulary(const MethodSample &Sample,
+                                         Vocabulary &Vocab) {
+  for (const std::string &Name : Sample.Traces.VarNames)
+    Vocab.add(Name);
+}
+
+DyproEncoder::DyproEncoder(ParamStore &Store, const Vocabulary &V,
+                           const DyproConfig &Cfg, Rng &R)
+    : Config(Cfg), Vocab(V),
+      Embed(Store, "dypro.embed", V.size(), Cfg.EmbedDim, R),
+      F1(Store, "dypro.f1", Cfg.Cell, Cfg.EmbedDim, Cfg.EmbedDim, R),
+      F2(Store, "dypro.f2", Cfg.Cell, 2 * Cfg.EmbedDim, Cfg.Hidden, R),
+      Trace(Store, "dypro.trace", Cfg.Cell, Cfg.Hidden, Cfg.Hidden, R) {}
+
+Var DyproEncoder::lookupToken(const std::string &Token,
+                              EncodeContext &Ctx) const {
+  auto It = Ctx.TokenCache.find(Token);
+  if (It != Ctx.TokenCache.end())
+    return It->second;
+  Var E = Embed.lookup(Vocab.lookup(Token));
+  Ctx.TokenCache.emplace(Token, E);
+  return E;
+}
+
+Var DyproEncoder::embedState(const ProgramState &State,
+                             const std::vector<std::string> &VarNames,
+                             EncodeContext &Ctx) const {
+  std::vector<Var> VarEmbeds;
+  VarEmbeds.reserve(State.Values.size());
+  for (size_t I = 0; I < State.Values.size(); ++I) {
+    const Value &V = State.Values[I];
+    Var ValueEmbed;
+    if (V.isArray() || V.isStruct()) {
+      std::vector<std::string> Tokens = valueTokens(V);
+      if (Tokens.size() > Config.MaxFlattenedValues)
+        Tokens.resize(Config.MaxFlattenedValues);
+      std::vector<Var> Inputs;
+      for (const std::string &Token : Tokens)
+        Inputs.push_back(lookupToken(Token, Ctx));
+      ValueEmbed = F1.run(Inputs).back().H;
+    } else {
+      ValueEmbed = lookupToken(valueToken(V), Ctx);
+    }
+    Var NameEmbed = I < VarNames.size()
+                        ? lookupToken(VarNames[I], Ctx)
+                        : constant(Tensor::zeros(Config.EmbedDim));
+    VarEmbeds.push_back(concat(NameEmbed, ValueEmbed));
+  }
+  if (VarEmbeds.empty())
+    return constant(Tensor::zeros(Config.Hidden));
+  return F2.run(VarEmbeds).back().H;
+}
+
+DyproEncoder::Encoding DyproEncoder::encode(const MethodTraces &Traces) const {
+  EncodeContext Ctx;
+  Encoding Out;
+  std::vector<Var> TraceEmbeddings;
+  size_t Consumed = 0;
+
+  for (const BlendedTrace &Path : Traces.Paths) {
+    for (const StateTrace &States : Path.Concrete) {
+      if (Consumed >= Config.MaxTraces)
+        break;
+      ++Consumed;
+      RecState S = Trace.initial();
+      size_t Steps =
+          std::min(States.States.size(), Config.MaxStatesPerTrace);
+      bool Stepped = false;
+      for (size_t J = 0; J < Steps; ++J) {
+        if (States.States[J].Values.empty())
+          continue;
+        Var StateVec = embedState(States.States[J], Traces.VarNames, Ctx);
+        S = Trace.step(StateVec, S);
+        Out.StateMemory.push_back(S.H);
+        Stepped = true;
+      }
+      if (Stepped)
+        TraceEmbeddings.push_back(S.H);
+    }
+  }
+
+  if (TraceEmbeddings.empty()) {
+    Out.ProgramEmbedding = constant(Tensor::zeros(Config.Hidden));
+    Out.StateMemory.push_back(Out.ProgramEmbedding);
+    return Out;
+  }
+  Out.ProgramEmbedding = maxPool(TraceEmbeddings);
+
+  // Bound the decoder's attention memory (see MaxAttentionMemory).
+  if (Out.StateMemory.size() > Config.MaxAttentionMemory) {
+    std::vector<Var> Strided;
+    Strided.reserve(Config.MaxAttentionMemory);
+    double Step = static_cast<double>(Out.StateMemory.size()) /
+                  static_cast<double>(Config.MaxAttentionMemory);
+    for (size_t I = 0; I < Config.MaxAttentionMemory; ++I)
+      Strided.push_back(
+          Out.StateMemory[static_cast<size_t>(Step * static_cast<double>(I))]);
+    Out.StateMemory = std::move(Strided);
+  }
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Heads
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+SeqDecoderConfig decoderConfig(const DyproConfig &Cfg,
+                               size_t TargetVocabSize) {
+  SeqDecoderConfig DC;
+  DC.TargetVocabSize = TargetVocabSize;
+  DC.EmbedDim = Cfg.EmbedDim;
+  DC.Hidden = Cfg.Hidden;
+  DC.AttnHidden = Cfg.AttnHidden;
+  DC.MemoryDim = Cfg.Hidden;
+  DC.InitDim = Cfg.Hidden;
+  DC.Cell = Cfg.Cell;
+  return DC;
+}
+
+} // namespace
+
+DyproNamePredictor::DyproNamePredictor(const Vocabulary &Vocab,
+                                       const Vocabulary &Target,
+                                       const DyproConfig &Config,
+                                       uint64_t Seed)
+    : InitRng(Seed), Encoder(Store, Vocab, Config, InitRng),
+      Decoder(Store, "dypro.dec",
+              decoderConfig(Config, static_cast<size_t>(Target.size())),
+              InitRng),
+      TargetVocab(Target) {}
+
+Var DyproNamePredictor::loss(const MethodSample &Sample) const {
+  DyproEncoder::Encoding Enc = Encoder.encode(Sample.Traces);
+  std::vector<int> Targets =
+      nameTargetIds(Sample.NameSubtokens, TargetVocab);
+  return Decoder.loss(Enc.ProgramEmbedding, Enc.StateMemory, Targets);
+}
+
+std::vector<std::string>
+DyproNamePredictor::predict(const MethodSample &Sample) const {
+  DyproEncoder::Encoding Enc = Encoder.encode(Sample.Traces);
+  std::vector<int> Ids = Decoder.decodeGreedy(
+      Enc.ProgramEmbedding, Enc.StateMemory, Encoder.config().MaxDecodeLen);
+  return idsToSubtokens(Ids, TargetVocab);
+}
+
+DyproClassifier::DyproClassifier(const Vocabulary &Vocab, size_t NumClasses,
+                                 const DyproConfig &Config, uint64_t Seed)
+    : InitRng(Seed), Encoder(Store, Vocab, Config, InitRng),
+      Head(Store, "dypro.head", Config.Hidden, NumClasses, InitRng) {}
+
+Var DyproClassifier::loss(const MethodSample &Sample) const {
+  LIGER_CHECK(Sample.ClassId >= 0, "classification sample without label");
+  DyproEncoder::Encoding Enc = Encoder.encode(Sample.Traces);
+  return softmaxCrossEntropy(Head.apply(Enc.ProgramEmbedding),
+                             static_cast<size_t>(Sample.ClassId));
+}
+
+int DyproClassifier::predict(const MethodSample &Sample) const {
+  DyproEncoder::Encoding Enc = Encoder.encode(Sample.Traces);
+  return static_cast<int>(argmax(Head.apply(Enc.ProgramEmbedding)->Value));
+}

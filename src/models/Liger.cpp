@@ -1,0 +1,240 @@
+//===-- models/Liger.cpp - The LIGER blended model -------------------------===//
+//
+// Part of the LIGER reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "models/Liger.h"
+
+#include "lang/AstTree.h"
+
+using namespace liger;
+
+//===----------------------------------------------------------------------===//
+// LigerEncoder
+//===----------------------------------------------------------------------===//
+
+LigerEncoder::LigerEncoder(ParamStore &Store, const Vocabulary &JointVocab,
+                           const LigerConfig &Cfg, Rng &R)
+    : Config(Cfg), Vocab(JointVocab),
+      Embed(Store, "liger.embed", JointVocab.size(), Cfg.EmbedDim, R),
+      StmtTree(Store, "liger.stmt_tree", Cfg.EmbedDim, Cfg.Hidden, R),
+      F1(Store, "liger.f1", Cfg.Cell, Cfg.EmbedDim, Cfg.EmbedDim, R),
+      F2(Store, "liger.f2", Cfg.Cell, Cfg.EmbedDim, Cfg.Hidden, R),
+      A1(Store, "liger.a1", Cfg.Hidden, Cfg.Hidden, Cfg.AttnHidden, R),
+      F3(Store, "liger.f3", Cfg.Cell, Cfg.Hidden, Cfg.Hidden, R) {
+  LIGER_CHECK(Cfg.UseStaticFeature || Cfg.UseDynamicFeature,
+              "at least one feature dimension must be enabled");
+}
+
+Var LigerEncoder::lookupToken(const std::string &Token,
+                              EncodeContext &Ctx) const {
+  auto It = Ctx.TokenCache.find(Token);
+  if (It != Ctx.TokenCache.end())
+    return It->second;
+  Var E = Embed.lookup(Vocab.lookup(Token));
+  Ctx.TokenCache.emplace(Token, E);
+  return E;
+}
+
+Var LigerEncoder::embedStatement(const Stmt *S, EncodeContext &Ctx) const {
+  auto It = Ctx.StmtCache.find(S);
+  if (It != Ctx.StmtCache.end())
+    return It->second;
+  AstTree Tree = buildStmtHeadTree(S);
+  Var H = StmtTree.embed(
+      Tree, [&](const std::string &Label) { return lookupToken(Label, Ctx); });
+  Ctx.StmtCache.emplace(S, H);
+  return H;
+}
+
+Var LigerEncoder::embedState(const ProgramState &State,
+                             EncodeContext &Ctx) const {
+  // Per-variable embeddings h'_{v}: primitives embed directly; object
+  // (array/struct) values run f1 over their flattened attr sequence
+  // (Eq. 3).
+  std::vector<Var> VarEmbeds;
+  VarEmbeds.reserve(State.Values.size());
+  for (const Value &V : State.Values) {
+    if (V.isArray() || V.isStruct()) {
+      std::vector<std::string> Tokens = valueTokens(V);
+      if (Tokens.size() > Config.MaxFlattenedValues)
+        Tokens.resize(Config.MaxFlattenedValues);
+      std::vector<Var> Inputs;
+      Inputs.reserve(Tokens.size());
+      for (const std::string &Token : Tokens)
+        Inputs.push_back(lookupToken(Token, Ctx));
+      VarEmbeds.push_back(F1.run(Inputs).back().H);
+    } else {
+      VarEmbeds.push_back(lookupToken(valueToken(V), Ctx));
+    }
+  }
+  if (VarEmbeds.empty())
+    return constant(Tensor::zeros(Config.Hidden));
+  // f2 folds variable embeddings (fixed variable order) into the state
+  // vector.
+  return F2.run(VarEmbeds).back().H;
+}
+
+Var LigerEncoder::encodePath(const BlendedTrace &Path, EncodeContext &Ctx,
+                             std::vector<Var> &StepMemory) const {
+  size_t Steps =
+      std::min(Path.Symbolic.Steps.size(), Config.MaxStepsPerTrace);
+  size_t NumConcrete = Config.UseDynamicFeature
+                           ? std::min(Path.Concrete.size(),
+                                      Config.MaxConcretePerPath)
+                           : 0;
+
+  RecState Trace = F3.initial();
+  Var PrevH = Trace.H; // H^e_{i_0} = 0
+  for (size_t J = 0; J < Steps; ++J) {
+    // Collect the feature vectors of this ordered pair; the statement
+    // vector (when enabled) is component 0.
+    std::vector<Var> Components;
+    if (Config.UseStaticFeature)
+      Components.push_back(
+          embedStatement(Path.Symbolic.Steps[J].Statement, Ctx));
+    for (size_t T = 0; T < NumConcrete; ++T) {
+      const StateTrace &States = Path.Concrete[T];
+      if (J < States.States.size() && !States.States[J].Values.empty())
+        Components.push_back(embedState(States.States[J], Ctx));
+    }
+    if (Components.empty())
+      continue; // dynamic-only config with a state-less step
+
+    Var Fused;
+    bool UniformFirstStep = J == 0; // paper: even weights at step one
+    if (Components.size() == 1) {
+      Fused = Components[0];
+      if (Ctx.Stats && Config.UseStaticFeature) {
+        Ctx.Stats->StaticWeightSum += 1.0;
+        ++Ctx.Stats->FusionSteps;
+      }
+    } else if (!Config.UseFusionAttention || UniformFirstStep) {
+      Fused = meanPool(Components);
+      if (Ctx.Stats && Config.UseStaticFeature) {
+        Ctx.Stats->StaticWeightSum +=
+            1.0 / static_cast<double>(Components.size());
+        ++Ctx.Stats->FusionSteps;
+      }
+    } else {
+      Var Weights = A1.weights(PrevH, Components);
+      Fused = weightedCombine(Components, Weights);
+      if (Ctx.Stats && Config.UseStaticFeature) {
+        Ctx.Stats->StaticWeightSum +=
+            static_cast<double>(Weights->Value[0]);
+        ++Ctx.Stats->FusionSteps;
+      }
+    }
+
+    Trace = F3.step(Fused, Trace);
+    PrevH = Trace.H;
+    StepMemory.push_back(Trace.H);
+  }
+  return Trace.H; // H^e_i
+}
+
+LigerEncoding LigerEncoder::encode(const MethodTraces &Traces,
+                                   FusionStats *Stats) const {
+  EncodeContext Ctx;
+  Ctx.Stats = Stats;
+
+  std::vector<Var> PathEmbeddings;
+  std::vector<Var> StepMemory;
+  for (const BlendedTrace &Path : Traces.Paths) {
+    if (!Config.UseDynamicFeature && Path.Symbolic.Steps.empty())
+      continue;
+    if (Config.UseDynamicFeature && !Config.UseStaticFeature &&
+        Path.Concrete.empty())
+      continue;
+    PathEmbeddings.push_back(encodePath(Path, Ctx, StepMemory));
+  }
+
+  LigerEncoding Out;
+  if (PathEmbeddings.empty()) {
+    Out.ProgramEmbedding = constant(Tensor::zeros(Config.Hidden));
+    Out.StepMemory.push_back(Out.ProgramEmbedding);
+    return Out;
+  }
+  Out.ProgramEmbedding = Config.MeanPoolPrograms
+                             ? meanPool(PathEmbeddings)
+                             : maxPool(PathEmbeddings);
+  if (StepMemory.empty())
+    StepMemory.push_back(Out.ProgramEmbedding);
+  Out.StepMemory = std::move(StepMemory);
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// LigerNamePredictor
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+SeqDecoderConfig decoderConfig(const LigerConfig &Cfg,
+                               size_t TargetVocabSize) {
+  SeqDecoderConfig DC;
+  DC.TargetVocabSize = TargetVocabSize;
+  DC.EmbedDim = Cfg.EmbedDim;
+  DC.Hidden = Cfg.Hidden;
+  DC.AttnHidden = Cfg.AttnHidden;
+  DC.MemoryDim = Cfg.Hidden;
+  DC.InitDim = Cfg.Hidden;
+  DC.Cell = Cfg.Cell;
+  return DC;
+}
+
+} // namespace
+
+LigerNamePredictor::LigerNamePredictor(const Vocabulary &JointVocab,
+                                       const Vocabulary &Target,
+                                       const LigerConfig &Config,
+                                       uint64_t Seed)
+    : InitRng(Seed), Encoder(Store, JointVocab, Config, InitRng),
+      Decoder(Store, "liger.dec",
+              decoderConfig(Config, static_cast<size_t>(Target.size())),
+              InitRng),
+      TargetVocab(Target) {}
+
+Var LigerNamePredictor::loss(const MethodSample &Sample) const {
+  LigerEncoding Enc = Encoder.encode(Sample.Traces);
+  std::vector<int> Targets =
+      nameTargetIds(Sample.NameSubtokens, TargetVocab);
+  return Decoder.loss(Enc.ProgramEmbedding, Enc.StepMemory, Targets);
+}
+
+std::vector<std::string>
+LigerNamePredictor::predict(const MethodSample &Sample,
+                            FusionStats *Stats) const {
+  LigerEncoding Enc = Encoder.encode(Sample.Traces, Stats);
+  std::vector<int> Ids =
+      Decoder.decodeGreedy(Enc.ProgramEmbedding, Enc.StepMemory,
+                           Encoder.config().MaxDecodeLen);
+  return idsToSubtokens(Ids, TargetVocab);
+}
+
+//===----------------------------------------------------------------------===//
+// LigerClassifier
+//===----------------------------------------------------------------------===//
+
+LigerClassifier::LigerClassifier(const Vocabulary &JointVocab,
+                                 size_t NumClasses, const LigerConfig &Config,
+                                 uint64_t Seed)
+    : InitRng(Seed), Encoder(Store, JointVocab, Config, InitRng),
+      Head(Store, "liger.head", Config.Hidden, NumClasses, InitRng) {}
+
+Var LigerClassifier::loss(const MethodSample &Sample) const {
+  LIGER_CHECK(Sample.ClassId >= 0, "classification sample without label");
+  LigerEncoding Enc = Encoder.encode(Sample.Traces);
+  return softmaxCrossEntropy(Head.apply(Enc.ProgramEmbedding),
+                             static_cast<size_t>(Sample.ClassId));
+}
+
+int LigerClassifier::predict(const MethodSample &Sample) const {
+  LigerEncoding Enc = Encoder.encode(Sample.Traces);
+  return static_cast<int>(argmax(Head.apply(Enc.ProgramEmbedding)->Value));
+}
+
+Tensor LigerClassifier::embed(const MethodTraces &Traces) const {
+  return Encoder.encode(Traces).ProgramEmbedding->Value;
+}

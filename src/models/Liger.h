@@ -1,0 +1,165 @@
+//===-- models/Liger.h - The LIGER blended model ----------------*- C++ -*-===//
+//
+// Part of the LIGER reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// LIGER (§5): learns program embeddings from blended traces.
+///
+/// Encoder layers (Fig. 5):
+///  1. Vocabulary embedding — one joint table over Ds ∪ Dd;
+///  2. Fusion — a TreeLSTM embeds each statement via its AST; two
+///     stacked RNNs embed each program state (f1 flattens object values
+///     into primitive sequences, f2 folds per-variable vectors); an
+///     attention network a1, queried by the running trace embedding
+///     H^e_{i_j-1}, fuses the statement vector with the state vectors
+///     of the accompanying concrete traces (uniform weights on the
+///     first step, per the paper);
+///  3. Executions embedding — RNN f3 folds fused step vectors into the
+///     path embedding H^e_i;
+///  4. Programs embedding — element-wise max pooling over paths.
+///
+/// Decoder: SeqDecoder attending over every H^e_{i_j} (method name
+/// prediction). Classification replaces the decoder by a linear +
+/// softmax head (§6.2).
+///
+/// The three §6.3 ablations are configuration switches:
+/// UseStaticFeature, UseDynamicFeature, UseFusionAttention; an extra
+/// MeanPoolPrograms switch ablates the pooling choice.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIGER_MODELS_LIGER_H
+#define LIGER_MODELS_LIGER_H
+
+#include "models/Common.h"
+#include "models/Decoder.h"
+
+#include <unordered_map>
+
+namespace liger {
+
+/// LIGER hyper-parameters and ablation switches.
+struct LigerConfig {
+  size_t EmbedDim = 32;   ///< Vocabulary embedding (paper: 100).
+  size_t Hidden = 32;     ///< Recurrent hidden size (paper: 100).
+  size_t AttnHidden = 32; ///< Attention MLP hidden size.
+  CellKind Cell = CellKind::Gru;
+  bool UseStaticFeature = true;   ///< §6.3.1 ablation when false.
+  bool UseDynamicFeature = true;  ///< §6.3.2 ablation when false.
+  bool UseFusionAttention = true; ///< §6.3.3 ablation when false.
+  bool MeanPoolPrograms = false;  ///< Extra ablation: mean vs max pool.
+  size_t MaxStepsPerTrace = 40;   ///< Truncate long blended traces.
+  size_t MaxConcretePerPath = 5;  ///< Cap state traces fused per step.
+  size_t MaxFlattenedValues = 12; ///< Cap attr(v) length fed to f1.
+  size_t MaxDecodeLen = 8;
+};
+
+/// Attention introspection for §6.1.2: average fusion weight assigned
+/// to the symbolic (static) feature vector.
+struct FusionStats {
+  double StaticWeightSum = 0;
+  size_t FusionSteps = 0;
+
+  double staticMean() const {
+    return FusionSteps == 0 ? 0.0 : StaticWeightSum / FusionSteps;
+  }
+};
+
+/// Output of the LIGER encoder.
+struct LigerEncoding {
+  Var ProgramEmbedding;
+  /// Flattened step embeddings H^e_{i_j} of all blended traces (the
+  /// decoder's attention memory).
+  std::vector<Var> StepMemory;
+};
+
+/// The encoder (layers 1–4).
+class LigerEncoder {
+public:
+  LigerEncoder(ParamStore &Store, const Vocabulary &JointVocab,
+               const LigerConfig &Config, Rng &R);
+
+  /// Encodes one method's blended traces. When \p Stats is non-null,
+  /// fusion attention weights are accumulated into it.
+  LigerEncoding encode(const MethodTraces &Traces,
+                       FusionStats *Stats = nullptr) const;
+
+  const LigerConfig &config() const { return Config; }
+
+private:
+  /// Per-forward-pass caches (statement embeddings recur across loop
+  /// iterations; token embeddings recur everywhere).
+  struct EncodeContext {
+    std::unordered_map<const Stmt *, Var> StmtCache;
+    std::unordered_map<std::string, Var> TokenCache;
+    FusionStats *Stats = nullptr;
+  };
+
+  Var lookupToken(const std::string &Token, EncodeContext &Ctx) const;
+  Var embedStatement(const Stmt *S, EncodeContext &Ctx) const;
+  Var embedState(const ProgramState &State, EncodeContext &Ctx) const;
+  Var encodePath(const BlendedTrace &Path, EncodeContext &Ctx,
+                 std::vector<Var> &StepMemory) const;
+
+  LigerConfig Config;
+  const Vocabulary &Vocab;
+  EmbeddingTable Embed;       ///< Layer 1 (joint Ds ∪ Dd).
+  ChildSumTreeLstm StmtTree;  ///< Statement embedding.
+  RecurrentCell F1;           ///< Object-value flattening RNN (Eq. 3).
+  RecurrentCell F2;           ///< State RNN over variable embeddings.
+  AttentionScorer A1;         ///< Fusion attention.
+  RecurrentCell F3;           ///< Executions embedding RNN.
+};
+
+/// LIGER for method name prediction (encoder + attention decoder).
+class LigerNamePredictor {
+public:
+  LigerNamePredictor(const Vocabulary &JointVocab,
+                     const Vocabulary &TargetVocab,
+                     const LigerConfig &Config, uint64_t Seed);
+
+  /// Teacher-forced loss for one sample.
+  Var loss(const MethodSample &Sample) const;
+
+  /// Greedy prediction of name sub-tokens; \p Stats optionally receives
+  /// fusion attention statistics.
+  std::vector<std::string> predict(const MethodSample &Sample,
+                                   FusionStats *Stats = nullptr) const;
+
+  ParamStore &params() { return Store; }
+  const LigerEncoder &encoder() const { return Encoder; }
+
+private:
+  ParamStore Store;
+  Rng InitRng;
+  LigerEncoder Encoder;
+  SeqDecoder Decoder;
+  const Vocabulary &TargetVocab;
+};
+
+/// LIGER for semantics classification (encoder + linear softmax head).
+class LigerClassifier {
+public:
+  LigerClassifier(const Vocabulary &JointVocab, size_t NumClasses,
+                  const LigerConfig &Config, uint64_t Seed);
+
+  Var loss(const MethodSample &Sample) const;
+  int predict(const MethodSample &Sample) const;
+
+  /// The program embedding itself (for embedding-space analyses).
+  Tensor embed(const MethodTraces &Traces) const;
+
+  ParamStore &params() { return Store; }
+
+private:
+  ParamStore Store;
+  Rng InitRng;
+  LigerEncoder Encoder;
+  Linear Head;
+};
+
+} // namespace liger
+
+#endif // LIGER_MODELS_LIGER_H

@@ -1,0 +1,57 @@
+//===-- nn/GradCheck.cpp - Numeric gradient verification -------------------===//
+//
+// Part of the LIGER reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "nn/GradCheck.h"
+
+using namespace liger;
+
+GradCheckResult liger::checkGradients(ParamStore &Store,
+                                      const std::function<Var()> &BuildLoss,
+                                      double Epsilon, double Tolerance) {
+  GradCheckResult Result;
+
+  // Analytic pass.
+  Store.zeroGrads();
+  Var Loss = BuildLoss();
+  backward(Loss);
+
+  // Snapshot analytic gradients (step evaluation rebuilds the graph).
+  std::vector<Tensor> Analytic;
+  for (const Var &P : Store.params())
+    Analytic.push_back(P->Grad.empty()
+                           ? (P->Value.rank() == 1
+                                  ? Tensor::zeros(P->Value.dim(0))
+                                  : Tensor::zeros(P->Value.dim(0),
+                                                  P->Value.dim(1)))
+                           : P->Grad);
+
+  const auto &Params = Store.params();
+  for (size_t PI = 0; PI < Params.size(); ++PI) {
+    Node &P = *Params[PI];
+    for (size_t J = 0; J < P.Value.size(); ++J) {
+      float Saved = P.Value[J];
+      P.Value[J] = Saved + static_cast<float>(Epsilon);
+      double LossPlus = static_cast<double>(BuildLoss()->Value[0]);
+      P.Value[J] = Saved - static_cast<float>(Epsilon);
+      double LossMinus = static_cast<double>(BuildLoss()->Value[0]);
+      P.Value[J] = Saved;
+
+      double Numeric = (LossPlus - LossMinus) / (2.0 * Epsilon);
+      double AnalyticV = static_cast<double>(Analytic[PI][J]);
+      double Denominator =
+          std::max(1.0, std::max(std::abs(Numeric), std::abs(AnalyticV)));
+      double RelError = std::abs(Numeric - AnalyticV) / Denominator;
+      if (RelError > Result.MaxRelError) {
+        Result.MaxRelError = RelError;
+        Result.WorstParam =
+            Store.names()[PI] + "[" + std::to_string(J) + "]";
+      }
+    }
+  }
+  Store.zeroGrads();
+  Result.Ok = Result.MaxRelError <= Tolerance;
+  return Result;
+}

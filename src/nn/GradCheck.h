@@ -1,0 +1,43 @@
+//===-- nn/GradCheck.h - Numeric gradient verification ----------*- C++ -*-===//
+//
+// Part of the LIGER reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Finite-difference gradient checking for the autodiff engine. Tests
+/// feed a loss builder; checkGradients() compares every analytic
+/// parameter gradient against the central difference of the rebuilt
+/// loss. Used by the nn test suite to verify each op and module.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIGER_NN_GRADCHECK_H
+#define LIGER_NN_GRADCHECK_H
+
+#include "nn/Module.h"
+
+#include <functional>
+#include <string>
+
+namespace liger {
+
+/// Result of a gradient check.
+struct GradCheckResult {
+  bool Ok = true;
+  double MaxRelError = 0;
+  std::string WorstParam;
+};
+
+/// Checks analytic vs. numeric gradients of every parameter in
+/// \p Store against the scalar loss produced by \p BuildLoss (which is
+/// re-invoked for the perturbed evaluations). \p Epsilon is the
+/// finite-difference step; \p Tolerance the allowed relative error.
+GradCheckResult checkGradients(ParamStore &Store,
+                               const std::function<Var()> &BuildLoss,
+                               double Epsilon = 1e-3,
+                               double Tolerance = 5e-2);
+
+} // namespace liger
+
+#endif // LIGER_NN_GRADCHECK_H

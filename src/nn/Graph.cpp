@@ -1,0 +1,466 @@
+//===-- nn/Graph.cpp - Reverse-mode autodiff graph -------------------------===//
+//
+// Part of the LIGER reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "nn/Graph.h"
+
+#include <algorithm>
+#include <atomic>
+#include <unordered_set>
+
+using namespace liger;
+
+namespace {
+std::atomic<uint64_t> NextSeq{1};
+
+Var makeNode(Tensor Value, std::vector<Var> Parents,
+             std::function<void(Node &)> BackwardFn) {
+  auto N = std::make_shared<Node>();
+  N->Value = std::move(Value);
+  N->Parents = std::move(Parents);
+  N->BackwardFn = std::move(BackwardFn);
+  N->Seq = NextSeq.fetch_add(1, std::memory_order_relaxed);
+  for (const Var &Parent : N->Parents)
+    if (Parent->RequiresGrad) {
+      N->RequiresGrad = true;
+      break;
+    }
+  return N;
+}
+} // namespace
+
+Tensor &Node::grad() {
+  if (Grad.empty() && !Value.empty()) {
+    if (Value.rank() == 1)
+      Grad = Tensor::zeros(Value.dim(0));
+    else
+      Grad = Tensor::zeros(Value.dim(0), Value.dim(1));
+  }
+  return Grad;
+}
+
+Var liger::constant(Tensor Value) {
+  auto N = std::make_shared<Node>();
+  N->Value = std::move(Value);
+  N->Seq = NextSeq.fetch_add(1, std::memory_order_relaxed);
+  return N;
+}
+
+Var liger::parameter(Tensor Value) {
+  Var N = constant(std::move(Value));
+  N->RequiresGrad = true;
+  return N;
+}
+
+Var liger::matvec(const Var &M, const Var &X) {
+  LIGER_CHECK(M->Value.rank() == 2 && X->Value.rank() == 1,
+              "matvec expects matrix and vector");
+  size_t Rows = M->Value.dim(0), Cols = M->Value.dim(1);
+  LIGER_CHECK(Cols == X->Value.dim(0), "matvec dimension mismatch");
+  Tensor Out = Tensor::zeros(Rows);
+  const float *MD = M->Value.data();
+  const float *XD = X->Value.data();
+  for (size_t R = 0; R < Rows; ++R) {
+    float Acc = 0.0f;
+    const float *RowPtr = MD + R * Cols;
+    for (size_t C = 0; C < Cols; ++C)
+      Acc += RowPtr[C] * XD[C];
+    Out[R] = Acc;
+  }
+  return makeNode(std::move(Out), {M, X}, [Rows, Cols](Node &N) {
+    Node &MN = *N.Parents[0];
+    Node &XN = *N.Parents[1];
+    const float *G = N.Grad.data();
+    if (MN.RequiresGrad) {
+      float *MG = MN.grad().data();
+      const float *XD = XN.Value.data();
+      for (size_t R = 0; R < Rows; ++R) {
+        float GR = G[R];
+        float *RowPtr = MG + R * Cols;
+        for (size_t C = 0; C < Cols; ++C)
+          RowPtr[C] += GR * XD[C];
+      }
+    }
+    if (XN.RequiresGrad) {
+      float *XG = XN.grad().data();
+      const float *MD = MN.Value.data();
+      for (size_t R = 0; R < Rows; ++R) {
+        float GR = G[R];
+        const float *RowPtr = MD + R * Cols;
+        for (size_t C = 0; C < Cols; ++C)
+          XG[C] += GR * RowPtr[C];
+      }
+    }
+  });
+}
+
+Var liger::add(const Var &A, const Var &B) {
+  LIGER_CHECK(A->Value.sameShape(B->Value), "add shape mismatch");
+  Tensor Out = A->Value;
+  Out.accumulate(B->Value);
+  return makeNode(std::move(Out), {A, B}, [](Node &N) {
+    for (int P = 0; P < 2; ++P)
+      if (N.Parents[P]->RequiresGrad)
+        N.Parents[P]->grad().accumulate(N.Grad);
+  });
+}
+
+Var liger::sub(const Var &A, const Var &B) {
+  LIGER_CHECK(A->Value.sameShape(B->Value), "sub shape mismatch");
+  Tensor Out = A->Value;
+  for (size_t I = 0; I < Out.size(); ++I)
+    Out[I] -= B->Value[I];
+  return makeNode(std::move(Out), {A, B}, [](Node &N) {
+    if (N.Parents[0]->RequiresGrad)
+      N.Parents[0]->grad().accumulate(N.Grad);
+    if (N.Parents[1]->RequiresGrad) {
+      Tensor &BG = N.Parents[1]->grad();
+      for (size_t I = 0; I < BG.size(); ++I)
+        BG[I] -= N.Grad[I];
+    }
+  });
+}
+
+Var liger::mul(const Var &A, const Var &B) {
+  LIGER_CHECK(A->Value.sameShape(B->Value), "mul shape mismatch");
+  Tensor Out = A->Value;
+  for (size_t I = 0; I < Out.size(); ++I)
+    Out[I] *= B->Value[I];
+  return makeNode(std::move(Out), {A, B}, [](Node &N) {
+    Node &AN = *N.Parents[0];
+    Node &BN = *N.Parents[1];
+    if (AN.RequiresGrad) {
+      Tensor &AG = AN.grad();
+      for (size_t I = 0; I < AG.size(); ++I)
+        AG[I] += N.Grad[I] * BN.Value[I];
+    }
+    if (BN.RequiresGrad) {
+      Tensor &BG = BN.grad();
+      for (size_t I = 0; I < BG.size(); ++I)
+        BG[I] += N.Grad[I] * AN.Value[I];
+    }
+  });
+}
+
+Var liger::scale(const Var &A, float K) {
+  Tensor Out = A->Value;
+  for (size_t I = 0; I < Out.size(); ++I)
+    Out[I] *= K;
+  return makeNode(std::move(Out), {A}, [K](Node &N) {
+    if (!N.Parents[0]->RequiresGrad)
+      return;
+    Tensor &AG = N.Parents[0]->grad();
+    for (size_t I = 0; I < AG.size(); ++I)
+      AG[I] += N.Grad[I] * K;
+  });
+}
+
+Var liger::tanhV(const Var &A) {
+  Tensor Out = A->Value;
+  for (size_t I = 0; I < Out.size(); ++I)
+    Out[I] = std::tanh(Out[I]);
+  return makeNode(std::move(Out), {A}, [](Node &N) {
+    if (!N.Parents[0]->RequiresGrad)
+      return;
+    Tensor &AG = N.Parents[0]->grad();
+    for (size_t I = 0; I < AG.size(); ++I) {
+      float Y = N.Value[I];
+      AG[I] += N.Grad[I] * (1.0f - Y * Y);
+    }
+  });
+}
+
+Var liger::sigmoidV(const Var &A) {
+  Tensor Out = A->Value;
+  for (size_t I = 0; I < Out.size(); ++I)
+    Out[I] = 1.0f / (1.0f + std::exp(-Out[I]));
+  return makeNode(std::move(Out), {A}, [](Node &N) {
+    if (!N.Parents[0]->RequiresGrad)
+      return;
+    Tensor &AG = N.Parents[0]->grad();
+    for (size_t I = 0; I < AG.size(); ++I) {
+      float Y = N.Value[I];
+      AG[I] += N.Grad[I] * Y * (1.0f - Y);
+    }
+  });
+}
+
+Var liger::reluV(const Var &A) {
+  Tensor Out = A->Value;
+  for (size_t I = 0; I < Out.size(); ++I)
+    Out[I] = Out[I] > 0.0f ? Out[I] : 0.0f;
+  return makeNode(std::move(Out), {A}, [](Node &N) {
+    if (!N.Parents[0]->RequiresGrad)
+      return;
+    Tensor &AG = N.Parents[0]->grad();
+    for (size_t I = 0; I < AG.size(); ++I)
+      if (N.Value[I] > 0.0f)
+        AG[I] += N.Grad[I];
+  });
+}
+
+Var liger::concat(const Var &A, const Var &B) {
+  LIGER_CHECK(A->Value.rank() == 1 && B->Value.rank() == 1,
+              "concat expects vectors");
+  size_t NA = A->Value.dim(0), NB = B->Value.dim(0);
+  Tensor Out = Tensor::zeros(NA + NB);
+  for (size_t I = 0; I < NA; ++I)
+    Out[I] = A->Value[I];
+  for (size_t I = 0; I < NB; ++I)
+    Out[NA + I] = B->Value[I];
+  return makeNode(std::move(Out), {A, B}, [NA, NB](Node &N) {
+    if (N.Parents[0]->RequiresGrad) {
+      Tensor &AG = N.Parents[0]->grad();
+      for (size_t I = 0; I < NA; ++I)
+        AG[I] += N.Grad[I];
+    }
+    if (N.Parents[1]->RequiresGrad) {
+      Tensor &BG = N.Parents[1]->grad();
+      for (size_t I = 0; I < NB; ++I)
+        BG[I] += N.Grad[NA + I];
+    }
+  });
+}
+
+Var liger::row(const Var &M, size_t Index) {
+  LIGER_CHECK(M->Value.rank() == 2, "row expects a matrix");
+  LIGER_CHECK(Index < M->Value.dim(0), "row index out of range");
+  size_t Cols = M->Value.dim(1);
+  Tensor Out = Tensor::zeros(Cols);
+  for (size_t C = 0; C < Cols; ++C)
+    Out[C] = M->Value.at(Index, C);
+  return makeNode(std::move(Out), {M}, [Index, Cols](Node &N) {
+    if (!N.Parents[0]->RequiresGrad)
+      return;
+    Tensor &MG = N.Parents[0]->grad();
+    for (size_t C = 0; C < Cols; ++C)
+      MG.at(Index, C) += N.Grad[C];
+  });
+}
+
+Var liger::stackScalars(const std::vector<Var> &Scalars) {
+  LIGER_CHECK(!Scalars.empty(), "stackScalars needs at least one input");
+  Tensor Out = Tensor::zeros(Scalars.size());
+  for (size_t I = 0; I < Scalars.size(); ++I) {
+    LIGER_CHECK(Scalars[I]->Value.size() == 1,
+                "stackScalars inputs must be scalars");
+    Out[I] = Scalars[I]->Value[0];
+  }
+  return makeNode(std::move(Out), Scalars, [](Node &N) {
+    for (size_t I = 0; I < N.Parents.size(); ++I)
+      if (N.Parents[I]->RequiresGrad)
+        N.Parents[I]->grad()[0] += N.Grad[I];
+  });
+}
+
+Var liger::softmax(const Var &Logits) {
+  Tensor Out = Tensor::fromVector(softmaxValues(Logits->Value));
+  return makeNode(std::move(Out), {Logits}, [](Node &N) {
+    if (!N.Parents[0]->RequiresGrad)
+      return;
+    // dL/dx_i = y_i (g_i - Σ_j g_j y_j)
+    float Mix = 0.0f;
+    for (size_t J = 0; J < N.Value.size(); ++J)
+      Mix += N.Grad[J] * N.Value[J];
+    Tensor &G = N.Parents[0]->grad();
+    for (size_t I = 0; I < G.size(); ++I)
+      G[I] += N.Value[I] * (N.Grad[I] - Mix);
+  });
+}
+
+Var liger::dot(const Var &A, const Var &B) {
+  LIGER_CHECK(A->Value.sameShape(B->Value), "dot shape mismatch");
+  float Acc = 0.0f;
+  for (size_t I = 0; I < A->Value.size(); ++I)
+    Acc += A->Value[I] * B->Value[I];
+  Tensor Out = Tensor::fromVector({Acc});
+  return makeNode(std::move(Out), {A, B}, [](Node &N) {
+    float G = N.Grad[0];
+    Node &AN = *N.Parents[0];
+    Node &BN = *N.Parents[1];
+    if (AN.RequiresGrad) {
+      Tensor &AG = AN.grad();
+      for (size_t I = 0; I < AG.size(); ++I)
+        AG[I] += G * BN.Value[I];
+    }
+    if (BN.RequiresGrad) {
+      Tensor &BG = BN.grad();
+      for (size_t I = 0; I < BG.size(); ++I)
+        BG[I] += G * AN.Value[I];
+    }
+  });
+}
+
+Var liger::sumV(const Var &A) {
+  float Acc = 0.0f;
+  for (size_t I = 0; I < A->Value.size(); ++I)
+    Acc += A->Value[I];
+  Tensor Out = Tensor::fromVector({Acc});
+  return makeNode(std::move(Out), {A}, [](Node &N) {
+    if (!N.Parents[0]->RequiresGrad)
+      return;
+    Tensor &AG = N.Parents[0]->grad();
+    for (size_t I = 0; I < AG.size(); ++I)
+      AG[I] += N.Grad[0];
+  });
+}
+
+Var liger::weightedCombine(const std::vector<Var> &Items,
+                           const Var &Weights) {
+  LIGER_CHECK(!Items.empty(), "weightedCombine needs items");
+  LIGER_CHECK(Weights->Value.rank() == 1 &&
+                  Weights->Value.dim(0) == Items.size(),
+              "one weight per item");
+  size_t Dim = Items[0]->Value.dim(0);
+  Tensor Out = Tensor::zeros(Dim);
+  for (size_t I = 0; I < Items.size(); ++I) {
+    LIGER_CHECK(Items[I]->Value.dim(0) == Dim,
+                "weightedCombine items must share shape");
+    float W = Weights->Value[I];
+    for (size_t D = 0; D < Dim; ++D)
+      Out[D] += W * Items[I]->Value[D];
+  }
+  std::vector<Var> Parents = Items;
+  Parents.push_back(Weights);
+  size_t NumItems = Items.size();
+  return makeNode(std::move(Out), std::move(Parents),
+                  [NumItems, Dim](Node &N) {
+    Node &WN = *N.Parents[NumItems];
+    for (size_t I = 0; I < NumItems; ++I) {
+      Node &Item = *N.Parents[I];
+      float W = WN.Value[I];
+      if (Item.RequiresGrad) {
+        Tensor &IG = Item.grad();
+        for (size_t D = 0; D < Dim; ++D)
+          IG[D] += W * N.Grad[D];
+      }
+      if (WN.RequiresGrad) {
+        float Acc = 0.0f;
+        for (size_t D = 0; D < Dim; ++D)
+          Acc += N.Grad[D] * Item.Value[D];
+        WN.grad()[I] += Acc;
+      }
+    }
+  });
+}
+
+Var liger::maxPool(const std::vector<Var> &Items) {
+  LIGER_CHECK(!Items.empty(), "maxPool needs items");
+  size_t Dim = Items[0]->Value.dim(0);
+  Tensor Out = Items[0]->Value;
+  std::vector<size_t> ArgMax(Dim, 0);
+  for (size_t I = 1; I < Items.size(); ++I) {
+    LIGER_CHECK(Items[I]->Value.dim(0) == Dim,
+                "maxPool items must share shape");
+    for (size_t D = 0; D < Dim; ++D)
+      if (Items[I]->Value[D] > Out[D]) {
+        Out[D] = Items[I]->Value[D];
+        ArgMax[D] = I;
+      }
+  }
+  return makeNode(std::move(Out), Items,
+                  [ArgMax = std::move(ArgMax)](Node &N) {
+    for (size_t D = 0; D < ArgMax.size(); ++D) {
+      Node &Winner = *N.Parents[ArgMax[D]];
+      if (Winner.RequiresGrad)
+        Winner.grad()[D] += N.Grad[D];
+    }
+  });
+}
+
+Var liger::meanPool(const std::vector<Var> &Items) {
+  LIGER_CHECK(!Items.empty(), "meanPool needs items");
+  size_t Dim = Items[0]->Value.dim(0);
+  Tensor Out = Tensor::zeros(Dim);
+  float Inv = 1.0f / static_cast<float>(Items.size());
+  for (const Var &Item : Items) {
+    LIGER_CHECK(Item->Value.dim(0) == Dim, "meanPool items must share shape");
+    for (size_t D = 0; D < Dim; ++D)
+      Out[D] += Item->Value[D] * Inv;
+  }
+  return makeNode(std::move(Out), Items, [Inv, Dim](Node &N) {
+    for (const Var &Parent : N.Parents) {
+      if (!Parent->RequiresGrad)
+        continue;
+      Tensor &PG = Parent->grad();
+      for (size_t D = 0; D < Dim; ++D)
+        PG[D] += N.Grad[D] * Inv;
+    }
+  });
+}
+
+Var liger::softmaxCrossEntropy(const Var &Logits, size_t Target) {
+  LIGER_CHECK(Target < Logits->Value.size(), "target out of range");
+  std::vector<float> Probs = softmaxValues(Logits->Value);
+  float Loss = -std::log(std::max(Probs[Target], 1e-12f));
+  Tensor Out = Tensor::fromVector({Loss});
+  return makeNode(std::move(Out), {Logits},
+                  [Probs = std::move(Probs), Target](Node &N) {
+    if (!N.Parents[0]->RequiresGrad)
+      return;
+    float G = N.Grad[0];
+    Tensor &LG = N.Parents[0]->grad();
+    for (size_t I = 0; I < LG.size(); ++I) {
+      float Indicator = I == Target ? 1.0f : 0.0f;
+      LG[I] += G * (Probs[I] - Indicator);
+    }
+  });
+}
+
+Var liger::meanLoss(const std::vector<Var> &Losses) {
+  LIGER_CHECK(!Losses.empty(), "meanLoss needs losses");
+  return scale(sumV(stackScalars(Losses)),
+               1.0f / static_cast<float>(Losses.size()));
+}
+
+void liger::backward(const Var &Loss) {
+  LIGER_CHECK(Loss->Value.size() == 1, "backward starts from a scalar");
+  // Collect the reachable subgraph.
+  std::vector<Node *> Order;
+  std::unordered_set<Node *> Seen;
+  std::vector<Node *> Stack{Loss.get()};
+  while (!Stack.empty()) {
+    Node *N = Stack.back();
+    Stack.pop_back();
+    if (!Seen.insert(N).second)
+      continue;
+    Order.push_back(N);
+    for (const Var &Parent : N->Parents)
+      Stack.push_back(Parent.get());
+  }
+  // Process in descending creation order: every consumer before its
+  // producers (creation order is a topological order of the DAG).
+  std::sort(Order.begin(), Order.end(),
+            [](const Node *A, const Node *B) { return A->Seq > B->Seq; });
+  Loss->grad()[0] += 1.0f;
+  for (Node *N : Order) {
+    if (N->BackwardFn && !N->Grad.empty() && N->RequiresGrad)
+      N->BackwardFn(*N);
+  }
+}
+
+std::vector<float> liger::softmaxValues(const Tensor &Logits) {
+  std::vector<float> Out(Logits.size());
+  float MaxV = Logits[0];
+  for (size_t I = 1; I < Logits.size(); ++I)
+    MaxV = std::max(MaxV, Logits[I]);
+  float Sum = 0.0f;
+  for (size_t I = 0; I < Logits.size(); ++I) {
+    Out[I] = std::exp(Logits[I] - MaxV);
+    Sum += Out[I];
+  }
+  for (float &V : Out)
+    V /= Sum;
+  return Out;
+}
+
+size_t liger::argmax(const Tensor &Logits) {
+  LIGER_CHECK(Logits.size() > 0, "argmax of empty tensor");
+  size_t Best = 0;
+  for (size_t I = 1; I < Logits.size(); ++I)
+    if (Logits[I] > Logits[Best])
+      Best = I;
+  return Best;
+}

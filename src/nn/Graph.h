@@ -1,0 +1,111 @@
+//===-- nn/Graph.h - Reverse-mode autodiff graph ----------------*- C++ -*-===//
+//
+// Part of the LIGER reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Define-by-run reverse-mode automatic differentiation. Each operation
+/// allocates a Node holding its value, its parents, and a backward
+/// closure; backward(loss) topologically sorts the reachable subgraph
+/// (by creation sequence number) and accumulates gradients.
+///
+/// The op set is exactly what the LIGER/DYPRO/code2vec/code2seq models
+/// need: matrix-vector products, elementwise arithmetic, tanh/sigmoid,
+/// concatenation, embedding-row lookup, stacking scalar scores,
+/// softmax, attention-style weighted combination, max/mean pooling, and
+/// a fused numerically-stable softmax-cross-entropy loss.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIGER_NN_GRAPH_H
+#define LIGER_NN_GRAPH_H
+
+#include "nn/Tensor.h"
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+namespace liger {
+
+struct Node;
+/// Shared handle to an autodiff node; ops compose these.
+using Var = std::shared_ptr<Node>;
+
+/// One autodiff graph node.
+struct Node {
+  Tensor Value;
+  Tensor Grad; ///< Allocated lazily (same shape as Value) on first use.
+  bool RequiresGrad = false;
+  std::vector<Var> Parents;
+  /// Propagates this node's Grad into Parents' Grads.
+  std::function<void(Node &)> BackwardFn;
+  uint64_t Seq = 0; ///< Creation order; backward processes descending.
+
+  /// Ensures Grad exists (zero-initialized).
+  Tensor &grad();
+};
+
+/// Wraps a constant (no gradient).
+Var constant(Tensor Value);
+/// Wraps a trainable parameter (gradient accumulated across backward
+/// calls until the optimizer zeroes it).
+Var parameter(Tensor Value);
+
+/// y = M x (matrix [R x C] times vector [C] -> [R]).
+Var matvec(const Var &M, const Var &X);
+/// Elementwise sum (same shapes).
+Var add(const Var &A, const Var &B);
+/// Elementwise difference.
+Var sub(const Var &A, const Var &B);
+/// Elementwise (Hadamard) product.
+Var mul(const Var &A, const Var &B);
+/// Scalar multiple.
+Var scale(const Var &A, float K);
+/// Elementwise tanh.
+Var tanhV(const Var &A);
+/// Elementwise logistic sigmoid.
+Var sigmoidV(const Var &A);
+/// Elementwise ReLU.
+Var reluV(const Var &A);
+/// Concatenation of vectors.
+Var concat(const Var &A, const Var &B);
+/// Row \p Index of matrix \p M as a vector (embedding lookup; backward
+/// scatters into that row only).
+Var row(const Var &M, size_t Index);
+/// Packs scalar nodes (1-element vectors) into one vector.
+Var stackScalars(const std::vector<Var> &Scalars);
+/// Softmax over a vector.
+Var softmax(const Var &Logits);
+/// Dot product of two vectors -> scalar (1-element vector).
+Var dot(const Var &A, const Var &B);
+/// Sum of all entries -> scalar.
+Var sumV(const Var &A);
+/// Σ_i Weights[i] * Items[i] (attention combination). All Items share
+/// one shape; Weights is a vector of matching length.
+Var weightedCombine(const std::vector<Var> &Items, const Var &Weights);
+/// Elementwise max over a non-empty set of same-shaped vectors
+/// (backward routes to the argmax element).
+Var maxPool(const std::vector<Var> &Items);
+/// Elementwise mean over a non-empty set of same-shaped vectors.
+Var meanPool(const std::vector<Var> &Items);
+/// Numerically-stable fused softmax + negative log likelihood of
+/// \p Target under \p Logits. Returns a scalar loss.
+Var softmaxCrossEntropy(const Var &Logits, size_t Target);
+/// Mean of scalar losses.
+Var meanLoss(const std::vector<Var> &Losses);
+
+/// Runs reverse-mode accumulation from scalar \p Loss (grad seeded 1).
+void backward(const Var &Loss);
+
+/// Softmax probabilities of \p Logits as plain numbers (inference
+/// convenience; no graph node).
+std::vector<float> softmaxValues(const Tensor &Logits);
+
+/// Index of the largest logit.
+size_t argmax(const Tensor &Logits);
+
+} // namespace liger
+
+#endif // LIGER_NN_GRAPH_H

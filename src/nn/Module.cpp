@@ -1,0 +1,318 @@
+//===-- nn/Module.cpp - Neural network building blocks --------------------===//
+//
+// Part of the LIGER reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "nn/Module.h"
+
+#include <cstdio>
+#include <cstring>
+
+using namespace liger;
+
+//===----------------------------------------------------------------------===//
+// ParamStore
+//===----------------------------------------------------------------------===//
+
+Var ParamStore::addParam(const std::string &Name, Tensor Init) {
+  Var P = parameter(std::move(Init));
+  Params.push_back(P);
+  Names.push_back(Name);
+  return P;
+}
+
+void ParamStore::zeroGrads() {
+  for (const Var &P : Params)
+    if (!P->Grad.empty())
+      P->Grad.zero();
+}
+
+size_t ParamStore::numScalars() const {
+  size_t Total = 0;
+  for (const Var &P : Params)
+    Total += P->Value.size();
+  return Total;
+}
+
+double ParamStore::gradNorm() const {
+  double Total = 0;
+  for (const Var &P : Params)
+    if (!P->Grad.empty())
+      Total += P->Grad.sumSquares();
+  return std::sqrt(Total);
+}
+
+void ParamStore::scaleGrads(float Factor) {
+  for (const Var &P : Params) {
+    if (P->Grad.empty())
+      continue;
+    float *G = P->Grad.data();
+    for (size_t I = 0; I < P->Grad.size(); ++I)
+      G[I] *= Factor;
+  }
+}
+
+bool ParamStore::save(const std::string &Path) const {
+  FILE *F = std::fopen(Path.c_str(), "wb");
+  if (!F)
+    return false;
+  uint64_t Count = Params.size();
+  std::fwrite(&Count, sizeof(Count), 1, F);
+  for (size_t I = 0; I < Params.size(); ++I) {
+    const std::string &Name = Names[I];
+    uint64_t NameLen = Name.size();
+    std::fwrite(&NameLen, sizeof(NameLen), 1, F);
+    std::fwrite(Name.data(), 1, Name.size(), F);
+    const Tensor &T = Params[I]->Value;
+    uint64_t Rank = T.rank();
+    std::fwrite(&Rank, sizeof(Rank), 1, F);
+    for (size_t D = 0; D < T.rank(); ++D) {
+      uint64_t Dim = T.dim(D);
+      std::fwrite(&Dim, sizeof(Dim), 1, F);
+    }
+    std::fwrite(T.data(), sizeof(float), T.size(), F);
+  }
+  bool Ok = std::fclose(F) == 0;
+  return Ok;
+}
+
+bool ParamStore::load(const std::string &Path) {
+  FILE *F = std::fopen(Path.c_str(), "rb");
+  if (!F)
+    return false;
+  auto Fail = [&] {
+    std::fclose(F);
+    return false;
+  };
+  uint64_t Count = 0;
+  if (std::fread(&Count, sizeof(Count), 1, F) != 1 || Count != Params.size())
+    return Fail();
+  for (size_t I = 0; I < Params.size(); ++I) {
+    uint64_t NameLen = 0;
+    if (std::fread(&NameLen, sizeof(NameLen), 1, F) != 1 || NameLen > 4096)
+      return Fail();
+    std::string Name(NameLen, '\0');
+    if (std::fread(Name.data(), 1, NameLen, F) != NameLen ||
+        Name != Names[I])
+      return Fail();
+    Tensor &T = Params[I]->Value;
+    uint64_t Rank = 0;
+    if (std::fread(&Rank, sizeof(Rank), 1, F) != 1 || Rank != T.rank())
+      return Fail();
+    for (size_t D = 0; D < T.rank(); ++D) {
+      uint64_t Dim = 0;
+      if (std::fread(&Dim, sizeof(Dim), 1, F) != 1 || Dim != T.dim(D))
+        return Fail();
+    }
+    if (std::fread(T.data(), sizeof(float), T.size(), F) != T.size())
+      return Fail();
+  }
+  std::fclose(F);
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Linear / Mlp
+//===----------------------------------------------------------------------===//
+
+Linear::Linear(ParamStore &Store, const std::string &Name, size_t In,
+               size_t Out, Rng &R) {
+  W = Store.addParam(Name + ".W", Tensor::xavier(Out, In, R));
+  B = Store.addParam(Name + ".b", Tensor::zeros(Out));
+}
+
+Var Linear::apply(const Var &X) const { return add(matvec(W, X), B); }
+
+Mlp::Mlp(ParamStore &Store, const std::string &Name, size_t In, size_t Hidden,
+         size_t Out, Rng &R)
+    : First(Store, Name + ".l1", In, Hidden, R),
+      Second(Store, Name + ".l2", Hidden, Out, R) {}
+
+Var Mlp::apply(const Var &X) const {
+  return Second.apply(tanhV(First.apply(X)));
+}
+
+//===----------------------------------------------------------------------===//
+// RecurrentCell
+//===----------------------------------------------------------------------===//
+
+RecurrentCell::RecurrentCell(ParamStore &Store, const std::string &Name,
+                             CellKind Kind, size_t In, size_t Hidden, Rng &R)
+    : Kind(Kind), Hidden(Hidden) {
+  auto HMat = [&](const char *Suffix) {
+    return Store.addParam(Name + Suffix, Tensor::xavier(Hidden, Hidden, R));
+  };
+  switch (Kind) {
+  case CellKind::Rnn:
+    L1 = Linear(Store, Name + ".Wx", In, Hidden, R);
+    U1 = HMat(".Wh");
+    break;
+  case CellKind::Gru:
+    L1 = Linear(Store, Name + ".Wz", In, Hidden, R);
+    L2 = Linear(Store, Name + ".Wr", In, Hidden, R);
+    L3 = Linear(Store, Name + ".Wn", In, Hidden, R);
+    U1 = HMat(".Uz");
+    U2 = HMat(".Ur");
+    U3 = HMat(".Un");
+    break;
+  case CellKind::Lstm:
+    L1 = Linear(Store, Name + ".Wi", In, Hidden, R);
+    L2 = Linear(Store, Name + ".Wf", In, Hidden, R);
+    L3 = Linear(Store, Name + ".Wg", In, Hidden, R);
+    L4 = Linear(Store, Name + ".Wo", In, Hidden, R);
+    U1 = HMat(".Ui");
+    U2 = HMat(".Uf");
+    U3 = HMat(".Ug");
+    U4 = HMat(".Uo");
+    break;
+  }
+}
+
+RecState RecurrentCell::initial() const {
+  RecState S;
+  S.H = constant(Tensor::zeros(Hidden));
+  if (Kind == CellKind::Lstm)
+    S.C = constant(Tensor::zeros(Hidden));
+  return S;
+}
+
+RecState RecurrentCell::step(const Var &X, const RecState &Prev) const {
+  switch (Kind) {
+  case CellKind::Rnn: {
+    RecState S;
+    S.H = tanhV(add(L1.apply(X), matvec(U1, Prev.H)));
+    return S;
+  }
+  case CellKind::Gru: {
+    Var Z = sigmoidV(add(L1.apply(X), matvec(U1, Prev.H)));
+    Var Rg = sigmoidV(add(L2.apply(X), matvec(U2, Prev.H)));
+    Var N = tanhV(add(L3.apply(X), matvec(U3, mul(Rg, Prev.H))));
+    // h = (1 - z) * n + z * h_prev  =  n + z * (h_prev - n)
+    RecState S;
+    S.H = add(N, mul(Z, sub(Prev.H, N)));
+    return S;
+  }
+  case CellKind::Lstm: {
+    Var I = sigmoidV(add(L1.apply(X), matvec(U1, Prev.H)));
+    Var F = sigmoidV(add(L2.apply(X), matvec(U2, Prev.H)));
+    Var G = tanhV(add(L3.apply(X), matvec(U3, Prev.H)));
+    Var O = sigmoidV(add(L4.apply(X), matvec(U4, Prev.H)));
+    RecState S;
+    S.C = add(mul(F, Prev.C), mul(I, G));
+    S.H = mul(O, tanhV(S.C));
+    return S;
+  }
+  }
+  LIGER_UNREACHABLE("covered switch");
+}
+
+std::vector<RecState>
+RecurrentCell::run(const std::vector<Var> &Inputs) const {
+  std::vector<RecState> States;
+  States.reserve(Inputs.size());
+  RecState S = initial();
+  for (const Var &X : Inputs) {
+    S = step(X, S);
+    States.push_back(S);
+  }
+  return States;
+}
+
+//===----------------------------------------------------------------------===//
+// ChildSumTreeLstm
+//===----------------------------------------------------------------------===//
+
+ChildSumTreeLstm::ChildSumTreeLstm(ParamStore &Store, const std::string &Name,
+                                   size_t In, size_t Hidden, Rng &R)
+    : Hidden(Hidden), Wi(Store, Name + ".Wi", In, Hidden, R),
+      Wf(Store, Name + ".Wf", In, Hidden, R),
+      Wo(Store, Name + ".Wo", In, Hidden, R),
+      Wu(Store, Name + ".Wu", In, Hidden, R) {
+  Ui = Store.addParam(Name + ".Ui", Tensor::xavier(Hidden, Hidden, R));
+  Uf = Store.addParam(Name + ".Uf", Tensor::xavier(Hidden, Hidden, R));
+  Uo = Store.addParam(Name + ".Uo", Tensor::xavier(Hidden, Hidden, R));
+  Uu = Store.addParam(Name + ".Uu", Tensor::xavier(Hidden, Hidden, R));
+}
+
+ChildSumTreeLstm::NodeState ChildSumTreeLstm::embedNode(
+    const AstTree &Tree,
+    const std::function<Var(const std::string &)> &Embed) const {
+  // Bottom-up: children first.
+  std::vector<NodeState> Children;
+  Children.reserve(Tree.Children.size());
+  for (const AstTree &Child : Tree.Children)
+    Children.push_back(embedNode(Child, Embed));
+
+  Var X = Embed(Tree.Label);
+
+  // h~ = Σ_k h_k  (zero vector for leaves).
+  Var HSum;
+  if (Children.empty()) {
+    HSum = constant(Tensor::zeros(Hidden));
+  } else {
+    std::vector<Var> ChildHs;
+    for (const NodeState &Child : Children)
+      ChildHs.push_back(Child.H);
+    HSum = ChildHs.size() == 1 ? ChildHs[0] : add(ChildHs[0], ChildHs[1]);
+    for (size_t I = 2; I < ChildHs.size(); ++I)
+      HSum = add(HSum, ChildHs[I]);
+  }
+
+  Var I = sigmoidV(add(Wi.apply(X), matvec(Ui, HSum)));
+  Var O = sigmoidV(add(Wo.apply(X), matvec(Uo, HSum)));
+  Var U = tanhV(add(Wu.apply(X), matvec(Uu, HSum)));
+
+  // c = i ⊙ u + Σ_k f_k ⊙ c_k, with a per-child forget gate
+  // f_k = σ(Wf x + Uf h_k).
+  Var C = mul(I, U);
+  for (const NodeState &Child : Children) {
+    Var Fk = sigmoidV(add(Wf.apply(X), matvec(Uf, Child.H)));
+    C = add(C, mul(Fk, Child.C));
+  }
+
+  NodeState Result;
+  Result.C = C;
+  Result.H = mul(O, tanhV(C));
+  return Result;
+}
+
+Var ChildSumTreeLstm::embed(
+    const AstTree &Tree,
+    const std::function<Var(const std::string &)> &Embed) const {
+  return embedNode(Tree, Embed).H;
+}
+
+//===----------------------------------------------------------------------===//
+// EmbeddingTable / AttentionScorer
+//===----------------------------------------------------------------------===//
+
+EmbeddingTable::EmbeddingTable(ParamStore &Store, const std::string &Name,
+                               size_t VocabSize, size_t Dim, Rng &R) {
+  Table = Store.addParam(Name, Tensor::xavier(VocabSize, Dim, R));
+}
+
+Var EmbeddingTable::lookup(int Id) const {
+  LIGER_CHECK(Id >= 0 && static_cast<size_t>(Id) < Table->Value.dim(0),
+              "embedding id out of range");
+  return row(Table, static_cast<size_t>(Id));
+}
+
+AttentionScorer::AttentionScorer(ParamStore &Store, const std::string &Name,
+                                 size_t QueryDim, size_t KeyDim,
+                                 size_t Hidden, Rng &R)
+    : Net(Store, Name, QueryDim + KeyDim, Hidden, 1, R) {}
+
+Var AttentionScorer::score(const Var &Query, const Var &Key) const {
+  return Net.apply(concat(Key, Query));
+}
+
+Var AttentionScorer::weights(const Var &Query,
+                             const std::vector<Var> &Keys) const {
+  LIGER_CHECK(!Keys.empty(), "attention over an empty key set");
+  std::vector<Var> Scores;
+  Scores.reserve(Keys.size());
+  for (const Var &Key : Keys)
+    Scores.push_back(score(Query, Key));
+  return softmax(stackScalars(Scores));
+}

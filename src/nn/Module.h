@@ -1,0 +1,200 @@
+//===-- nn/Module.h - Neural network building blocks ------------*- C++ -*-===//
+//
+// Part of the LIGER reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The layer zoo used by LIGER and the baselines (§4 Preliminaries):
+///
+///  - Linear, Mlp — feedforward pieces (the attention scorers a1/a2);
+///  - RnnCell — the vanilla RNN of Eq. (1), h_t = tanh(W x_t + V h_-1);
+///  - GruCell / LstmCell — gated recurrent cells (the practical choice
+///    for the recurrent layers; configurable);
+///  - ChildSumTreeLstm — the TreeLSTM of §4.2 used to embed statements
+///    via their ASTs;
+///  - EmbeddingTable — the vocabulary embedding layer of §5.1.1;
+///  - AttentionScorer — the feedforward score networks a1/a2.
+///
+/// Every module registers its parameters in a ParamStore, which owns
+/// nothing but references the parameter Vars for the optimizer and for
+/// (de)serialization.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIGER_NN_MODULE_H
+#define LIGER_NN_MODULE_H
+
+#include "lang/AstTree.h"
+#include "nn/Graph.h"
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace liger {
+
+/// Registry of trainable parameters with names (for serialization).
+class ParamStore {
+public:
+  Var addParam(const std::string &Name, Tensor Init);
+
+  const std::vector<Var> &params() const { return Params; }
+  const std::vector<std::string> &names() const { return Names; }
+
+  /// Zeroes every parameter gradient.
+  void zeroGrads();
+
+  /// Total number of scalar parameters.
+  size_t numScalars() const;
+
+  /// Global L2 norm of all gradients.
+  double gradNorm() const;
+
+  /// Scales all gradients by \p Factor (gradient clipping support).
+  void scaleGrads(float Factor);
+
+  /// Saves all parameters to \p Path (simple binary format with a
+  /// header; name + shape checked on load). Returns false on I/O error.
+  bool save(const std::string &Path) const;
+  /// Loads parameters saved by save(); shapes and names must match.
+  bool load(const std::string &Path);
+
+private:
+  std::vector<Var> Params;
+  std::vector<std::string> Names;
+};
+
+/// Fully connected layer: y = W x + b.
+class Linear {
+public:
+  Linear() = default;
+  Linear(ParamStore &Store, const std::string &Name, size_t In, size_t Out,
+         Rng &R);
+
+  Var apply(const Var &X) const;
+
+  size_t inDim() const { return W->Value.dim(1); }
+  size_t outDim() const { return W->Value.dim(0); }
+
+private:
+  Var W, B;
+};
+
+/// Two-layer perceptron with tanh hidden activation; used as the
+/// attention score networks a1 and a2 (output dimension 1).
+class Mlp {
+public:
+  Mlp() = default;
+  Mlp(ParamStore &Store, const std::string &Name, size_t In, size_t Hidden,
+      size_t Out, Rng &R);
+
+  Var apply(const Var &X) const;
+
+private:
+  Linear First, Second;
+};
+
+/// Which recurrent cell a SeqEncoder uses.
+enum class CellKind { Rnn, Gru, Lstm };
+
+/// State of a recurrent cell: hidden vector (and cell vector for LSTM).
+struct RecState {
+  Var H;
+  Var C; ///< Null except for LSTM.
+};
+
+/// A single recurrent cell; step() consumes one input vector.
+class RecurrentCell {
+public:
+  RecurrentCell() = default;
+  RecurrentCell(ParamStore &Store, const std::string &Name, CellKind Kind,
+                size_t In, size_t Hidden, Rng &R);
+
+  /// Initial (zero) state.
+  RecState initial() const;
+
+  /// One time step.
+  RecState step(const Var &X, const RecState &Prev) const;
+
+  /// Folds a sequence left-to-right; returns every state (useful for
+  /// attention) — States[i] is the state after consuming Inputs[i].
+  std::vector<RecState> run(const std::vector<Var> &Inputs) const;
+
+  size_t hiddenDim() const { return Hidden; }
+  CellKind kind() const { return Kind; }
+
+private:
+  CellKind Kind = CellKind::Gru;
+  size_t Hidden = 0;
+  // Rnn: Wx, Wh, b. Gru: per-gate z/r/n. Lstm: per-gate i/f/g/o.
+  Linear L1, L2, L3, L4; ///< x-projections (gate order by kind)
+  Var U1, U2, U3, U4;    ///< h-projections (matrices, no bias)
+};
+
+/// Child-Sum TreeLSTM (§4.2, Tai et al.). Embeds a labelled ordered
+/// tree bottom-up; leaf inputs come from a caller-supplied embedding
+/// lookup (token -> Var).
+class ChildSumTreeLstm {
+public:
+  ChildSumTreeLstm() = default;
+  ChildSumTreeLstm(ParamStore &Store, const std::string &Name, size_t In,
+                   size_t Hidden, Rng &R);
+
+  /// Embeds \p Tree; \p Embed maps a node label to its input vector.
+  Var embed(const AstTree &Tree,
+            const std::function<Var(const std::string &)> &Embed) const;
+
+  size_t hiddenDim() const { return Hidden; }
+
+private:
+  struct NodeState {
+    Var H, C;
+  };
+  NodeState embedNode(
+      const AstTree &Tree,
+      const std::function<Var(const std::string &)> &Embed) const;
+
+  size_t Hidden = 0;
+  Linear Wi, Wf, Wo, Wu; ///< x-projections (input/forget/output/update)
+  Var Ui, Uf, Uo, Uu;    ///< h-projections
+};
+
+/// Learned embedding table over a vocabulary.
+class EmbeddingTable {
+public:
+  EmbeddingTable() = default;
+  EmbeddingTable(ParamStore &Store, const std::string &Name, size_t VocabSize,
+                 size_t Dim, Rng &R);
+
+  /// The embedding vector of token id \p Id.
+  Var lookup(int Id) const;
+
+  size_t dim() const { return Table->Value.dim(1); }
+  size_t vocabSize() const { return Table->Value.dim(0); }
+
+private:
+  Var Table;
+};
+
+/// Bahdanau-style additive attention scorer: score(q, k) =
+/// v · tanh(W [q ⊕ k] + b). The paper's a1 (fusion) and a2 (decoder).
+class AttentionScorer {
+public:
+  AttentionScorer() = default;
+  AttentionScorer(ParamStore &Store, const std::string &Name, size_t QueryDim,
+                  size_t KeyDim, size_t Hidden, Rng &R);
+
+  /// Scalar score node for one (query, key) pair.
+  Var score(const Var &Query, const Var &Key) const;
+
+  /// Softmax-normalized weights for one query over many keys.
+  Var weights(const Var &Query, const std::vector<Var> &Keys) const;
+
+private:
+  Mlp Net;
+};
+
+} // namespace liger
+
+#endif // LIGER_NN_MODULE_H

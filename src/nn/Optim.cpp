@@ -1,0 +1,65 @@
+//===-- nn/Optim.cpp - Optimizers ------------------------------------------===//
+//
+// Part of the LIGER reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "nn/Optim.h"
+
+using namespace liger;
+
+Adam::Adam(ParamStore &Store, AdamOptions Opts) : Store(Store), Opts(Opts) {
+  for (const Var &P : Store.params()) {
+    const Tensor &Val = P->Value;
+    if (Val.rank() == 1) {
+      M.push_back(Tensor::zeros(Val.dim(0)));
+      V.push_back(Tensor::zeros(Val.dim(0)));
+    } else {
+      M.push_back(Tensor::zeros(Val.dim(0), Val.dim(1)));
+      V.push_back(Tensor::zeros(Val.dim(0), Val.dim(1)));
+    }
+  }
+}
+
+double Adam::step() {
+  double Norm = Store.gradNorm();
+  if (Opts.ClipNorm > 0.0f && Norm > Opts.ClipNorm)
+    Store.scaleGrads(Opts.ClipNorm / static_cast<float>(Norm));
+
+  ++T;
+  float BiasCorr1 = 1.0f - std::pow(Opts.Beta1, static_cast<float>(T));
+  float BiasCorr2 = 1.0f - std::pow(Opts.Beta2, static_cast<float>(T));
+
+  const auto &Params = Store.params();
+  for (size_t I = 0; I < Params.size(); ++I) {
+    Node &P = *Params[I];
+    if (P.Grad.empty())
+      continue;
+    float *W = P.Value.data();
+    float *G = P.Grad.data();
+    float *MI = M[I].data();
+    float *VI = V[I].data();
+    for (size_t J = 0; J < P.Value.size(); ++J) {
+      MI[J] = Opts.Beta1 * MI[J] + (1.0f - Opts.Beta1) * G[J];
+      VI[J] = Opts.Beta2 * VI[J] + (1.0f - Opts.Beta2) * G[J] * G[J];
+      float MHat = MI[J] / BiasCorr1;
+      float VHat = VI[J] / BiasCorr2;
+      W[J] -= Opts.LearningRate * MHat /
+              (std::sqrt(VHat) + Opts.Epsilon);
+    }
+  }
+  Store.zeroGrads();
+  return Norm;
+}
+
+void Sgd::step() {
+  for (const Var &P : Store.params()) {
+    if (P->Grad.empty())
+      continue;
+    float *W = P->Value.data();
+    const float *G = P->Grad.data();
+    for (size_t J = 0; J < P->Value.size(); ++J)
+      W[J] -= LearningRate * G[J];
+  }
+  Store.zeroGrads();
+}

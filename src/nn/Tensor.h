@@ -1,0 +1,125 @@
+//===-- nn/Tensor.h - Dense float tensors -----------------------*- C++ -*-===//
+//
+// Part of the LIGER reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A minimal dense float32 tensor (rank 1 or 2, row-major). This is the
+/// storage type of the from-scratch neural network library replacing
+/// the paper's TensorFlow substrate. Models here process one sample at
+/// a time (traces have ragged shapes), so activations are vectors and
+/// parameters are matrices — no batching machinery is needed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIGER_NN_TENSOR_H
+#define LIGER_NN_TENSOR_H
+
+#include "support/Error.h"
+#include "support/Rng.h"
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace liger {
+
+/// Dense row-major float tensor of rank 1 (vector) or 2 (matrix).
+class Tensor {
+public:
+  Tensor() = default;
+
+  /// Zero vector of dimension \p N.
+  static Tensor zeros(size_t N) { return Tensor({N}); }
+  /// Zero matrix with \p Rows x \p Cols entries.
+  static Tensor zeros(size_t Rows, size_t Cols) {
+    return Tensor({Rows, Cols});
+  }
+  /// Vector from explicit values.
+  static Tensor fromVector(std::vector<float> Values) {
+    Tensor T;
+    T.Shape = {Values.size()};
+    T.Data = std::move(Values);
+    return T;
+  }
+  /// Xavier/Glorot-uniform initialized matrix.
+  static Tensor xavier(size_t Rows, size_t Cols, Rng &R) {
+    Tensor T({Rows, Cols});
+    float Bound = std::sqrt(6.0f / static_cast<float>(Rows + Cols));
+    for (float &V : T.Data)
+      V = R.nextFloat(-Bound, Bound);
+    return T;
+  }
+  /// Uniform-initialized vector in [-Bound, Bound].
+  static Tensor uniform(size_t N, float Bound, Rng &R) {
+    Tensor T({N});
+    for (float &V : T.Data)
+      V = R.nextFloat(-Bound, Bound);
+    return T;
+  }
+
+  bool empty() const { return Data.empty(); }
+  size_t rank() const { return Shape.size(); }
+  size_t size() const { return Data.size(); }
+  size_t dim(size_t I) const {
+    LIGER_CHECK(I < Shape.size(), "dimension index out of range");
+    return Shape[I];
+  }
+  const std::vector<size_t> &shape() const { return Shape; }
+  bool sameShape(const Tensor &Other) const { return Shape == Other.Shape; }
+
+  float *data() { return Data.data(); }
+  const float *data() const { return Data.data(); }
+
+  float &operator[](size_t I) {
+    LIGER_CHECK(I < Data.size(), "flat index out of range");
+    return Data[I];
+  }
+  float operator[](size_t I) const {
+    LIGER_CHECK(I < Data.size(), "flat index out of range");
+    return Data[I];
+  }
+  /// Matrix element (row-major).
+  float &at(size_t Row, size_t Col) {
+    LIGER_CHECK(rank() == 2, "at(r,c) requires a matrix");
+    LIGER_CHECK(Row < Shape[0] && Col < Shape[1], "index out of range");
+    return Data[Row * Shape[1] + Col];
+  }
+  float at(size_t Row, size_t Col) const {
+    return const_cast<Tensor *>(this)->at(Row, Col);
+  }
+
+  /// Sets every entry to zero.
+  void zero() { std::fill(Data.begin(), Data.end(), 0.0f); }
+
+  /// Elementwise accumulate: this += Other (shapes must match).
+  void accumulate(const Tensor &Other) {
+    LIGER_CHECK(sameShape(Other), "accumulate shape mismatch");
+    for (size_t I = 0; I < Data.size(); ++I)
+      Data[I] += Other.Data[I];
+  }
+
+  /// Sum of squares (for gradient-norm clipping / diagnostics).
+  double sumSquares() const {
+    double S = 0;
+    for (float V : Data)
+      S += static_cast<double>(V) * V;
+    return S;
+  }
+
+private:
+  explicit Tensor(std::vector<size_t> Sh) : Shape(std::move(Sh)) {
+    size_t Total = 1;
+    for (size_t D : Shape)
+      Total *= D;
+    Data.assign(Total, 0.0f);
+  }
+
+  std::vector<size_t> Shape;
+  std::vector<float> Data;
+};
+
+} // namespace liger
+
+#endif // LIGER_NN_TENSOR_H

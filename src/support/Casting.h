@@ -1,0 +1,52 @@
+//===-- support/Casting.h - isa/cast/dyn_cast templates --------*- C++ -*-===//
+//
+// Part of the LIGER reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A minimal hand-rolled RTTI scheme in the style of LLVM's
+/// llvm/Support/Casting.h. Classes opt in by providing a static
+/// `classof(const Base *)` predicate; the templates below then provide
+/// isa<>, cast<>, and dyn_cast<> without enabling C++ RTTI.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIGER_SUPPORT_CASTING_H
+#define LIGER_SUPPORT_CASTING_H
+
+#include <cassert>
+
+namespace liger {
+
+/// Returns true if \p Val dynamically is a \p To.
+template <typename To, typename From> bool isa(const From *Val) {
+  assert(Val && "isa<> used on a null pointer");
+  return To::classof(Val);
+}
+
+/// Checked downcast; asserts that the cast is valid.
+template <typename To, typename From> To *cast(From *Val) {
+  assert(isa<To>(Val) && "cast<> argument of incompatible type");
+  return static_cast<To *>(Val);
+}
+
+/// Checked downcast (const overload).
+template <typename To, typename From> const To *cast(const From *Val) {
+  assert(isa<To>(Val) && "cast<> argument of incompatible type");
+  return static_cast<const To *>(Val);
+}
+
+/// Downcast returning null when the dynamic type does not match.
+template <typename To, typename From> To *dyn_cast(From *Val) {
+  return isa<To>(Val) ? static_cast<To *>(Val) : nullptr;
+}
+
+/// Downcast returning null (const overload).
+template <typename To, typename From> const To *dyn_cast(const From *Val) {
+  return isa<To>(Val) ? static_cast<const To *>(Val) : nullptr;
+}
+
+} // namespace liger
+
+#endif // LIGER_SUPPORT_CASTING_H

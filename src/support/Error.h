@@ -1,0 +1,51 @@
+//===-- support/Error.h - Fatal errors and checked conditions --*- C++ -*-===//
+//
+// Part of the LIGER reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lightweight programmatic-error helpers in the spirit of
+/// llvm_unreachable / report_fatal_error. The library does not use C++
+/// exceptions; invariant violations abort with a diagnostic, and
+/// recoverable conditions are reported through return values
+/// (std::optional / Expected-like structs defined near their use sites).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIGER_SUPPORT_ERROR_H
+#define LIGER_SUPPORT_ERROR_H
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace liger {
+
+/// Prints \p Msg to stderr and aborts. Used for violated invariants that
+/// indicate a bug in this library rather than bad user input.
+[[noreturn]] inline void reportFatalError(const std::string &Msg) {
+  std::fprintf(stderr, "liger fatal error: %s\n", Msg.c_str());
+  std::abort();
+}
+
+/// Marks a point in the code that must never be reached.
+[[noreturn]] inline void unreachableImpl(const char *Msg, const char *File,
+                                         unsigned Line) {
+  std::fprintf(stderr, "UNREACHABLE executed at %s:%u: %s\n", File, Line, Msg);
+  std::abort();
+}
+
+} // namespace liger
+
+#define LIGER_UNREACHABLE(MSG) ::liger::unreachableImpl(MSG, __FILE__, __LINE__)
+
+/// Always-on invariant check (unlike assert, survives NDEBUG builds).
+#define LIGER_CHECK(COND, MSG)                                                 \
+  do {                                                                         \
+    if (!(COND))                                                               \
+      ::liger::unreachableImpl("check failed: " #COND " — " MSG, __FILE__,    \
+                               __LINE__);                                      \
+  } while (false)
+
+#endif // LIGER_SUPPORT_ERROR_H

@@ -1,0 +1,27 @@
+//===-- support/Rng.cpp - Deterministic pseudo-random numbers ------------===//
+//
+// Part of the LIGER reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Rng.h"
+
+using namespace liger;
+
+size_t Rng::pickWeighted(const std::vector<double> &Weights) {
+  LIGER_CHECK(!Weights.empty(), "pickWeighted from empty weights");
+  double Total = 0;
+  for (double W : Weights) {
+    LIGER_CHECK(W >= 0, "pickWeighted requires non-negative weights");
+    Total += W;
+  }
+  LIGER_CHECK(Total > 0, "pickWeighted requires a positive total weight");
+  double Target = nextDouble() * Total;
+  double Acc = 0;
+  for (size_t I = 0; I < Weights.size(); ++I) {
+    Acc += Weights[I];
+    if (Target < Acc)
+      return I;
+  }
+  return Weights.size() - 1;
+}

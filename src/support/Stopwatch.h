@@ -1,0 +1,43 @@
+//===-- support/Stopwatch.h - Wall-clock timing ----------------*- C++ -*-===//
+//
+// Part of the LIGER reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Monotonic wall-clock stopwatch used to report training/evaluation
+/// durations in the experiment harnesses.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIGER_SUPPORT_STOPWATCH_H
+#define LIGER_SUPPORT_STOPWATCH_H
+
+#include <chrono>
+
+namespace liger {
+
+/// Measures elapsed wall-clock time since construction or last reset.
+class Stopwatch {
+public:
+  Stopwatch() : Start(Clock::now()) {}
+
+  /// Restarts the measurement window.
+  void reset() { Start = Clock::now(); }
+
+  /// Seconds elapsed since construction/reset.
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - Start).count();
+  }
+
+  /// Milliseconds elapsed since construction/reset.
+  double millis() const { return seconds() * 1e3; }
+
+private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point Start;
+};
+
+} // namespace liger
+
+#endif // LIGER_SUPPORT_STOPWATCH_H

@@ -1,0 +1,57 @@
+//===-- support/StringUtils.h - String and sub-token helpers ---*- C++ -*-===//
+//
+// Part of the LIGER reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// String helpers used across the project, most importantly the
+/// sub-token splitter underlying the paper's evaluation metric
+/// (case-insensitive sub-token precision/recall/F1 over method names,
+/// §6.1.1: "computeDiff" -> {"compute", "diff"}).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIGER_SUPPORT_STRINGUTILS_H
+#define LIGER_SUPPORT_STRINGUTILS_H
+
+#include <string>
+#include <vector>
+
+namespace liger {
+
+/// Splits an identifier into lower-cased sub-tokens at camelCase
+/// boundaries, underscores, digits-to-letter boundaries, and non-alnum
+/// separators. "computeDiff" -> {"compute","diff"};
+/// "parse_HTTPHeader2" -> {"parse","http","header","2"}.
+std::vector<std::string> splitSubtokens(const std::string &Identifier);
+
+/// Joins \p Parts with \p Sep.
+std::string join(const std::vector<std::string> &Parts,
+                 const std::string &Sep);
+
+/// Lower-cases ASCII letters.
+std::string toLower(const std::string &S);
+
+/// Returns true if \p S starts with \p Prefix.
+bool startsWith(const std::string &S, const std::string &Prefix);
+
+/// Returns true if \p S ends with \p Suffix.
+bool endsWith(const std::string &S, const std::string &Suffix);
+
+/// Trims ASCII whitespace from both ends.
+std::string trim(const std::string &S);
+
+/// Splits on a single character separator; empty fields are kept.
+std::vector<std::string> splitChar(const std::string &S, char Sep);
+
+/// Renders a double with \p Precision digits after the decimal point.
+std::string formatDouble(double Value, int Precision = 2);
+
+/// Builds a camelCase identifier from lower-case sub-tokens:
+/// {"compute","diff"} -> "computeDiff".
+std::string camelCaseJoin(const std::vector<std::string> &Subtokens);
+
+} // namespace liger
+
+#endif // LIGER_SUPPORT_STRINGUTILS_H

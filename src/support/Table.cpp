@@ -1,0 +1,90 @@
+//===-- support/Table.cpp - Aligned table and CSV reporting --------------===//
+//
+// Part of the LIGER reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Table.h"
+
+#include "support/Error.h"
+
+#include <cstdio>
+#include <fstream>
+
+using namespace liger;
+
+TextTable::TextTable(std::vector<std::string> Hdr) : Header(std::move(Hdr)) {
+  LIGER_CHECK(!Header.empty(), "table needs at least one column");
+}
+
+void TextTable::addRow(std::vector<std::string> Row) {
+  LIGER_CHECK(Row.size() == Header.size(), "row arity must match header");
+  Rows.push_back(std::move(Row));
+}
+
+std::string TextTable::render() const {
+  std::vector<size_t> Widths(Header.size());
+  for (size_t C = 0; C < Header.size(); ++C)
+    Widths[C] = Header[C].size();
+  for (const auto &Row : Rows)
+    for (size_t C = 0; C < Row.size(); ++C)
+      Widths[C] = std::max(Widths[C], Row[C].size());
+
+  auto RenderRow = [&](const std::vector<std::string> &Row) {
+    std::string Line;
+    for (size_t C = 0; C < Row.size(); ++C) {
+      Line += Row[C];
+      Line.append(Widths[C] - Row[C].size(), ' ');
+      if (C + 1 != Row.size())
+        Line += "  ";
+    }
+    Line += '\n';
+    return Line;
+  };
+
+  std::string Result = RenderRow(Header);
+  size_t TotalWidth = Result.size() - 1;
+  Result.append(TotalWidth, '-');
+  Result += '\n';
+  for (const auto &Row : Rows)
+    Result += RenderRow(Row);
+  return Result;
+}
+
+void TextTable::print() const {
+  std::string Rendered = render();
+  std::fwrite(Rendered.data(), 1, Rendered.size(), stdout);
+  std::fflush(stdout);
+}
+
+static std::string escapeCsvField(const std::string &Field) {
+  bool NeedsQuote = Field.find_first_of(",\"\n") != std::string::npos;
+  if (!NeedsQuote)
+    return Field;
+  std::string Result = "\"";
+  for (char C : Field) {
+    if (C == '"')
+      Result += '"';
+    Result += C;
+  }
+  Result += '"';
+  return Result;
+}
+
+bool TextTable::writeCsv(const std::string &Path) const {
+  std::ofstream Out(Path);
+  if (!Out)
+    return false;
+  auto WriteRow = [&](const std::vector<std::string> &Row) {
+    for (size_t C = 0; C < Row.size(); ++C) {
+      if (C)
+        Out << ',';
+      Out << escapeCsvField(Row[C]);
+    }
+    Out << '\n';
+  };
+  WriteRow(Header);
+  for (const auto &Row : Rows)
+    WriteRow(Row);
+  return static_cast<bool>(Out);
+}

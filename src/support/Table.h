@@ -1,0 +1,49 @@
+//===-- support/Table.h - Aligned table and CSV reporting ------*- C++ -*-===//
+//
+// Part of the LIGER reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small reporting helpers used by the benchmark harnesses: an aligned
+/// plain-text table (the format every table/figure bench prints its
+/// paper-versus-measured rows in) and a CSV writer for plotting the
+/// figure series externally.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIGER_SUPPORT_TABLE_H
+#define LIGER_SUPPORT_TABLE_H
+
+#include <string>
+#include <vector>
+
+namespace liger {
+
+/// Accumulates rows of strings and renders them column-aligned.
+class TextTable {
+public:
+  explicit TextTable(std::vector<std::string> Header);
+
+  /// Appends one row; its arity must match the header.
+  void addRow(std::vector<std::string> Row);
+
+  /// Renders the table (header, separator, rows) as one string.
+  std::string render() const;
+
+  /// Writes the rendered table to stdout.
+  void print() const;
+
+  /// Writes header+rows as CSV to \p Path. Returns false on I/O failure.
+  bool writeCsv(const std::string &Path) const;
+
+  size_t numRows() const { return Rows.size(); }
+
+private:
+  std::vector<std::string> Header;
+  std::vector<std::vector<std::string>> Rows;
+};
+
+} // namespace liger
+
+#endif // LIGER_SUPPORT_TABLE_H

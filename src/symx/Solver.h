@@ -1,0 +1,61 @@
+//===-- symx/Solver.h - Enumerative path-condition solver ------*- C++ -*-===//
+//
+// Part of the LIGER reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small satisfiability engine for path conditions over bounded
+/// integer and boolean input slots. It is not an SMT solver: corpus
+/// programs draw inputs from small domains (the test generator uses the
+/// same bounds), so seeded heuristic probes + WalkSAT-style local search
+/// over the bounded domain find witnesses for every feasible path that
+/// matters in practice. Infeasible paths simply fail to produce a
+/// witness and are dropped, which is sound for the trace pipeline (we
+/// never fabricate executions).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIGER_SYMX_SOLVER_H
+#define LIGER_SYMX_SOLVER_H
+
+#include "support/Rng.h"
+#include "symx/SymExpr.h"
+
+#include <optional>
+#include <vector>
+
+namespace liger {
+
+/// A concrete assignment to the symbolic input slots.
+struct Assignment {
+  std::vector<int64_t> Ints;
+  std::vector<bool> Bools;
+};
+
+/// Solver configuration.
+struct SolverOptions {
+  int64_t IntLo = -8; ///< Inclusive lower bound of every int slot.
+  int64_t IntHi = 8;  ///< Inclusive upper bound of every int slot.
+  /// Total evaluation budget (heuristic probes + local-search steps).
+  unsigned MaxSteps = 6000;
+  uint64_t Seed = 1;
+};
+
+/// Searches for an assignment satisfying all \p Constraints (each must
+/// be bool-typed). Returns nullopt when none was found within budget —
+/// callers must treat that as "unknown", not "unsat".
+std::optional<Assignment>
+solveConstraints(const std::vector<SymExprPtr> &Constraints,
+                 unsigned NumIntSlots, unsigned NumBoolSlots,
+                 const SolverOptions &Options = {});
+
+/// Cheap feasibility probe used at branch forks: same search with a
+/// smaller budget.
+bool quickFeasible(const std::vector<SymExprPtr> &Constraints,
+                   unsigned NumIntSlots, unsigned NumBoolSlots,
+                   const SolverOptions &Options, unsigned Budget = 400);
+
+} // namespace liger
+
+#endif // LIGER_SYMX_SOLVER_H

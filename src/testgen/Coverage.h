@@ -1,0 +1,61 @@
+//===-- testgen/Coverage.h - Coverage metrics and trace reduction -*- C++ -*-===//
+//
+// Part of the LIGER reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Line/path coverage bookkeeping and the trace-reduction operators the
+/// data-reliance experiments of §6.1.2 are built from:
+///
+///  - reduceConcreteTraces: keep k concrete traces per path while the
+///    symbolic trace count stays constant (Fig. 6a/6b sweep);
+///  - minimalLineCoveringPaths: greedy set cover — the paper's "minimum
+///    set of symbolic traces ... that achieve the same line coverage";
+///  - reduceSymbolicTraces: drop paths outside the minimum set one by
+///    one, preserving line coverage (Fig. 6c/6d sweep).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIGER_TESTGEN_COVERAGE_H
+#define LIGER_TESTGEN_COVERAGE_H
+
+#include "support/Rng.h"
+#include "trace/Trace.h"
+
+#include <set>
+
+namespace liger {
+
+/// All source lines holding trace-level statements of \p Fn (the
+/// denominator of line coverage).
+std::set<unsigned> allStatementLines(const FunctionDecl &Fn);
+
+/// Fraction of \p Fn's statement lines covered by \p Traces, in [0, 1].
+double lineCoverageRatio(const MethodTraces &Traces);
+
+/// Returns indices of a (greedily) minimal subset of paths whose union
+/// of covered lines equals the full set's coverage.
+std::vector<size_t> minimalLineCoveringPaths(const MethodTraces &Traces);
+
+/// Returns a copy of \p Traces keeping only the paths at \p Indices
+/// (in the given order).
+MethodTraces selectPaths(const MethodTraces &Traces,
+                         const std::vector<size_t> &Indices);
+
+/// Keeps at most \p K concrete traces per path, selected at random but
+/// deterministically under \p R. Symbolic traces are untouched.
+MethodTraces reduceConcreteTraces(const MethodTraces &Traces, size_t K,
+                                  Rng &R);
+
+/// Keeps \p KeepCount paths: the minimal line-covering set first, then
+/// random extras. If KeepCount is smaller than the minimal set, coverage
+/// is sacrificed (paths are dropped from the minimal set at random) —
+/// mirroring the paper's observation that accuracy collapses below the
+/// coverage-preserving floor.
+MethodTraces reduceSymbolicTraces(const MethodTraces &Traces,
+                                  size_t KeepCount, Rng &R);
+
+} // namespace liger
+
+#endif // LIGER_TESTGEN_COVERAGE_H

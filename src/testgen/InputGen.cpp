@@ -1,0 +1,143 @@
+//===-- testgen/InputGen.cpp - Random typed input generation --------------===//
+//
+// Part of the LIGER reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "testgen/InputGen.h"
+
+using namespace liger;
+
+namespace {
+
+int64_t randomInt(Rng &R, const InputGenOptions &Options) {
+  if (R.nextBool(Options.InterestingProb)) {
+    static const int64_t Candidates[] = {0, 1, -1};
+    switch (R.nextBelow(5)) {
+    case 0:
+    case 1:
+    case 2:
+      return Candidates[R.nextBelow(3)];
+    case 3:
+      return Options.IntLo;
+    default:
+      return Options.IntHi;
+    }
+  }
+  return R.nextInt(Options.IntLo, Options.IntHi);
+}
+
+Value randomPrimitive(TypeKind Kind, Rng &R, const InputGenOptions &Options) {
+  switch (Kind) {
+  case TypeKind::Int:
+    return Value::makeInt(randomInt(R, Options));
+  case TypeKind::Bool:
+    return Value::makeBool(R.nextBool());
+  case TypeKind::String:
+    return Value::makeString(R.pick(Options.StringPool));
+  default:
+    LIGER_UNREACHABLE("not a primitive kind");
+  }
+}
+
+} // namespace
+
+Value liger::randomValueOf(const Type &Ty, const Program &P, Rng &R,
+                           const InputGenOptions &Options) {
+  switch (Ty.kind()) {
+  case TypeKind::Int:
+  case TypeKind::Bool:
+  case TypeKind::String:
+    return randomPrimitive(Ty.kind(), R, Options);
+  case TypeKind::Array: {
+    size_t Len = Options.ArrayLenChoices.empty()
+                     ? 4
+                     : R.pick(Options.ArrayLenChoices);
+    std::vector<Value> Elements;
+    Elements.reserve(Len);
+    for (size_t I = 0; I < Len; ++I)
+      Elements.push_back(randomPrimitive(Ty.elemKind(), R, Options));
+    return Value::makeArray(std::move(Elements));
+  }
+  case TypeKind::Struct: {
+    const StructDecl *Decl = P.findStruct(Ty.structName());
+    LIGER_CHECK(Decl, "struct type without declaration");
+    std::vector<Value> Fields;
+    Fields.reserve(Decl->Fields.size());
+    for (const TypedName &F : Decl->Fields)
+      Fields.push_back(randomPrimitive(F.Ty.kind(), R, Options));
+    return Value::makeStruct(Decl, std::move(Fields));
+  }
+  case TypeKind::Void:
+    LIGER_UNREACHABLE("void has no values");
+  }
+  LIGER_UNREACHABLE("covered switch");
+}
+
+std::vector<Value> liger::randomInputs(const FunctionDecl &Fn,
+                                       const Program &P, Rng &R,
+                                       const InputGenOptions &Options) {
+  std::vector<Value> Inputs;
+  Inputs.reserve(Fn.Params.size());
+  for (const TypedName &Param : Fn.Params)
+    Inputs.push_back(randomValueOf(Param.Ty, P, R, Options));
+  return Inputs;
+}
+
+std::vector<Value> liger::mutateInputs(const std::vector<Value> &Inputs,
+                                       Rng &R,
+                                       const InputGenOptions &Options) {
+  std::vector<Value> Mutated;
+  Mutated.reserve(Inputs.size());
+  for (const Value &V : Inputs)
+    Mutated.push_back(V.deepCopy());
+  if (Mutated.empty())
+    return Mutated;
+
+  // Collect mutable scalar cells (top-level ints/bools/strings and
+  // array/struct elements).
+  std::vector<Value *> Cells;
+  for (Value &V : Mutated) {
+    switch (V.kind()) {
+    case ValueKind::Int:
+    case ValueKind::Bool:
+    case ValueKind::String:
+      Cells.push_back(&V);
+      break;
+    case ValueKind::Array:
+    case ValueKind::Struct:
+      for (Value &Elem : V.elements())
+        if (Elem.isInt() || Elem.isBool() || Elem.isString())
+          Cells.push_back(&Elem);
+      break;
+    case ValueKind::Undef:
+      break;
+    }
+  }
+  if (Cells.empty())
+    return Mutated;
+
+  Value *Cell = Cells[R.nextBelow(Cells.size())];
+  switch (Cell->kind()) {
+  case ValueKind::Int: {
+    // Nudge by ±1/±2 or redraw; stay within the domain.
+    int64_t V = Cell->asInt();
+    if (R.nextBool(0.6))
+      V += R.nextInt(-2, 2);
+    else
+      V = R.nextInt(Options.IntLo, Options.IntHi);
+    V = std::max(Options.IntLo, std::min(Options.IntHi, V));
+    *Cell = Value::makeInt(V);
+    break;
+  }
+  case ValueKind::Bool:
+    *Cell = Value::makeBool(!Cell->asBool());
+    break;
+  case ValueKind::String:
+    *Cell = Value::makeString(R.pick(Options.StringPool));
+    break;
+  default:
+    break;
+  }
+  return Mutated;
+}

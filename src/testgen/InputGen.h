@@ -1,0 +1,57 @@
+//===-- testgen/InputGen.h - Random typed input generation -----*- C++ -*-===//
+//
+// Part of the LIGER reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Random generation of typed MiniLang inputs — the role Randoop [22]
+/// plays in the paper's pipeline (§6.1: "we rely on Randoop ... to
+/// trigger high-coverage executions") and the paper's own "random input
+/// generation engine" for COSET (§6.2). Values are drawn from small
+/// bounded domains so that branch conditions have non-trivial hit
+/// probability, plus occasional "interesting" values (0, ±1, bounds).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIGER_TESTGEN_INPUTGEN_H
+#define LIGER_TESTGEN_INPUTGEN_H
+
+#include "interp/Value.h"
+#include "lang/Ast.h"
+#include "support/Rng.h"
+
+#include <string>
+#include <vector>
+
+namespace liger {
+
+/// Domain configuration for random inputs.
+struct InputGenOptions {
+  int64_t IntLo = -8;
+  int64_t IntHi = 8;
+  std::vector<size_t> ArrayLenChoices = {0, 1, 2, 3, 4, 5};
+  std::vector<std::string> StringPool = {"",    "a",   "ab",  "ba",
+                                         "abc", "bca", "aab", "abab"};
+  /// Probability of picking an "interesting" int (0, ±1, lo, hi)
+  /// instead of a uniform draw.
+  double InterestingProb = 0.25;
+};
+
+/// Draws one random value of type \p Ty. For struct types, \p P supplies
+/// the field layout.
+Value randomValueOf(const Type &Ty, const Program &P, Rng &R,
+                    const InputGenOptions &Options);
+
+/// Draws a full argument vector for \p Fn.
+std::vector<Value> randomInputs(const FunctionDecl &Fn, const Program &P,
+                                Rng &R, const InputGenOptions &Options);
+
+/// Mutates one argument slightly (one scalar perturbed). Used to find
+/// additional executions that stay on an already-discovered path.
+std::vector<Value> mutateInputs(const std::vector<Value> &Inputs, Rng &R,
+                                const InputGenOptions &Options);
+
+} // namespace liger
+
+#endif // LIGER_TESTGEN_INPUTGEN_H

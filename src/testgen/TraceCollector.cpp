@@ -1,0 +1,139 @@
+//===-- testgen/TraceCollector.cpp - Feedback-directed trace harvest ------===//
+//
+// Part of the LIGER reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "testgen/TraceCollector.h"
+
+#include "symx/SymExec.h"
+
+#include <map>
+
+using namespace liger;
+
+namespace {
+
+/// Inputs selected per path, in path-discovery order.
+struct PathBucket {
+  std::vector<std::vector<Value>> Inputs;
+};
+
+/// Execution mutates reference-typed arguments in place (arrays are
+/// aliased, exactly like Java) — always run on a deep copy so stored
+/// inputs stay pristine and replays are faithful.
+std::vector<Value> deepCopyInputs(const std::vector<Value> &Inputs) {
+  std::vector<Value> Copy;
+  Copy.reserve(Inputs.size());
+  for (const Value &V : Inputs)
+    Copy.push_back(V.deepCopy());
+  return Copy;
+}
+
+} // namespace
+
+MethodTraces liger::collectTraces(const Program &P, const FunctionDecl &Fn,
+                                  const TestGenOptions &Options,
+                                  CollectStats *Stats) {
+  Rng R(Options.Seed);
+  CollectStats LocalStats;
+
+  InterpOptions ProbeOptions = Options.Interp;
+  ProbeOptions.RecordStates = false; // discovery runs skip snapshots
+
+  std::map<std::string, size_t> PathIndex;
+  std::vector<PathBucket> Buckets;
+
+  auto TryInput = [&](const std::vector<Value> &Inputs) -> bool {
+    ++LocalStats.Attempts;
+    ExecResult Probe = execute(P, Fn, deepCopyInputs(Inputs), ProbeOptions);
+    if (Probe.Status == ExecStatus::OutOfFuel) {
+      ++LocalStats.Timeouts;
+      return false;
+    }
+    if (Probe.Status == ExecStatus::RuntimeError) {
+      ++LocalStats.Faults;
+      return false;
+    }
+    ++LocalStats.OkRuns;
+    std::string Key = pathKeyOf(Probe);
+    auto It = PathIndex.find(Key);
+    if (It == PathIndex.end()) {
+      if (Buckets.size() >= Options.TargetPaths)
+        return false; // enough paths; ignore further novelty
+      PathIndex.emplace(std::move(Key), Buckets.size());
+      Buckets.emplace_back();
+      Buckets.back().Inputs.push_back(Inputs);
+      return true;
+    }
+    PathBucket &Bucket = Buckets[It->second];
+    if (Bucket.Inputs.size() < Options.ExecutionsPerPath) {
+      Bucket.Inputs.push_back(Inputs);
+      return true;
+    }
+    return false;
+  };
+
+  // Phase 1: random exploration. Methods that look non-terminating
+  // (every early probe exhausts its fuel) are abandoned quickly — the
+  // Table 1 "takes too long" filter should not itself take long.
+  for (unsigned Attempt = 0; Attempt < Options.MaxAttempts; ++Attempt) {
+    if (LocalStats.Timeouts >= 8 &&
+        LocalStats.Timeouts == LocalStats.Attempts)
+      break;
+    if (Buckets.size() >= Options.TargetPaths) {
+      // Stop early once every discovered path is also saturated.
+      bool AllFull = true;
+      for (const PathBucket &Bucket : Buckets)
+        if (Bucket.Inputs.size() < Options.ExecutionsPerPath) {
+          AllFull = false;
+          break;
+        }
+      if (AllFull)
+        break;
+    }
+    TryInput(randomInputs(Fn, P, R, Options.Input));
+  }
+
+  // Phase 2: symbolic seeding of paths random testing missed.
+  if (Options.UseSymbolicSeeding &&
+      Buckets.size() < Options.TargetPaths) {
+    SymxOptions Symx;
+    Symx.MaxPaths = Options.TargetPaths;
+    Symx.Solver.Seed = Options.Seed ^ 0x5EEDu;
+    for (const SymbolicPath &Path : enumeratePaths(P, Fn, Symx)) {
+      if (Buckets.size() >= Options.TargetPaths)
+        break;
+      if (PathIndex.count(Path.Trace.pathKey()))
+        continue;
+      if (TryInput(Path.WitnessInputs))
+        ++LocalStats.SymbolicSeeds;
+    }
+  }
+
+  // Phase 3: mutate per-path representatives to fill concrete slots.
+  for (size_t Index = 0; Index < Buckets.size(); ++Index) {
+    unsigned Budget = Options.MutationAttemptsPerPath;
+    while (Buckets[Index].Inputs.size() < Options.ExecutionsPerPath &&
+           Budget-- > 0) {
+      const std::vector<Value> &Seed =
+          Buckets[Index].Inputs[R.nextBelow(Buckets[Index].Inputs.size())];
+      TryInput(mutateInputs(Seed, R, Options.Input));
+    }
+  }
+
+  // Phase 4: re-execute every selected input with state recording.
+  std::vector<ExecResult> Results;
+  std::vector<std::vector<Value>> AllInputs;
+  InterpOptions FullOptions = Options.Interp;
+  FullOptions.RecordStates = true;
+  for (const PathBucket &Bucket : Buckets)
+    for (const std::vector<Value> &Inputs : Bucket.Inputs) {
+      Results.push_back(execute(P, Fn, deepCopyInputs(Inputs), FullOptions));
+      AllInputs.push_back(Inputs);
+    }
+
+  if (Stats)
+    *Stats = LocalStats;
+  return groupByPath(Fn, Results, AllInputs);
+}

@@ -1,0 +1,64 @@
+//===-- testgen/TraceCollector.h - Feedback-directed trace harvest -*- C++ -*-===//
+//
+// Part of the LIGER reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The end-to-end trace collection pipeline of §6.1: random inputs are
+/// executed, executions are grouped by program path, each retained path
+/// becomes one blended trace with up to ExecutionsPerPath concrete
+/// traces (the paper collects "on average 20 symbolic traces, each ...
+/// coupled with 5 concrete executions"). Feedback direction: inputs
+/// that discover a new path are kept and mutated to find same-path
+/// siblings; optionally the bounded symbolic executor seeds paths that
+/// random testing missed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIGER_TESTGEN_TRACECOLLECTOR_H
+#define LIGER_TESTGEN_TRACECOLLECTOR_H
+
+#include "testgen/InputGen.h"
+#include "trace/Trace.h"
+
+namespace liger {
+
+/// Pipeline configuration.
+struct TestGenOptions {
+  InputGenOptions Input;
+  InterpOptions Interp;
+  /// Stop discovering once this many distinct paths have traces.
+  unsigned TargetPaths = 20;
+  /// Concrete executions retained per path.
+  unsigned ExecutionsPerPath = 5;
+  /// Random-input attempts before giving up on new paths.
+  unsigned MaxAttempts = 300;
+  /// Mutation attempts per path to fill same-path executions.
+  unsigned MutationAttemptsPerPath = 12;
+  /// Also seed paths from the bounded symbolic executor.
+  bool UseSymbolicSeeding = true;
+  uint64_t Seed = 1;
+};
+
+/// Outcome statistics (drives the Table 1 filter pipeline).
+struct CollectStats {
+  unsigned Attempts = 0;
+  unsigned OkRuns = 0;
+  unsigned Faults = 0;
+  unsigned Timeouts = 0;
+  unsigned SymbolicSeeds = 0;
+
+  /// True when every single run timed out (the "takes too long" filter).
+  bool allTimedOut() const { return Attempts > 0 && Timeouts == Attempts; }
+};
+
+/// Collects blended traces for \p Fn. The returned MethodTraces holds
+/// pointers into \p P, which must outlive it.
+MethodTraces collectTraces(const Program &P, const FunctionDecl &Fn,
+                           const TestGenOptions &Options = {},
+                           CollectStats *Stats = nullptr);
+
+} // namespace liger
+
+#endif // LIGER_TESTGEN_TRACECOLLECTOR_H

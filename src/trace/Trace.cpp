@@ -1,0 +1,154 @@
+//===-- trace/Trace.cpp - Execution, symbolic, state, blended traces ------===//
+//
+// Part of the LIGER reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "trace/Trace.h"
+
+#include "lang/AstPrinter.h"
+#include "support/Error.h"
+
+#include <map>
+
+using namespace liger;
+
+std::string ProgramState::str(
+    const std::vector<std::string> &VarNames) const {
+  LIGER_CHECK(VarNames.size() == Values.size(),
+              "state arity must match variable tuple");
+  std::string Out = "{";
+  for (size_t I = 0; I < Values.size(); ++I) {
+    if (I)
+      Out += "; ";
+    Out += VarNames[I] + ": " + Values[I].str();
+  }
+  Out += "}";
+  return Out;
+}
+
+std::string SymbolicTrace::pathKey() const {
+  std::string Key;
+  Key.reserve(Steps.size() * 8);
+  for (const SymbolicStep &Step : Steps) {
+    Key += std::to_string(Step.Statement->id());
+    switch (Step.Kind) {
+    case StepKind::Plain:
+      Key += ';';
+      break;
+    case StepKind::CondTrue:
+      Key += "T;";
+      break;
+    case StepKind::CondFalse:
+      Key += "F;";
+      break;
+    }
+  }
+  return Key;
+}
+
+std::set<unsigned> SymbolicTrace::coveredLines() const {
+  std::set<unsigned> Lines;
+  for (const SymbolicStep &Step : Steps)
+    if (Step.Statement->loc().isValid())
+      Lines.insert(Step.Statement->loc().Line);
+  return Lines;
+}
+
+std::set<unsigned> MethodTraces::coveredLines() const {
+  std::set<unsigned> Lines;
+  for (const BlendedTrace &Path : Paths) {
+    std::set<unsigned> PathLines = Path.Symbolic.coveredLines();
+    Lines.insert(PathLines.begin(), PathLines.end());
+  }
+  return Lines;
+}
+
+size_t MethodTraces::totalExecutions() const {
+  size_t Total = 0;
+  for (const BlendedTrace &Path : Paths)
+    Total += Path.numConcrete();
+  return Total;
+}
+
+SymbolicTrace liger::extractSymbolicTrace(const ExecResult &Result) {
+  SymbolicTrace Trace;
+  Trace.Steps.reserve(Result.Steps.size());
+  for (const ExecStep &Step : Result.Steps)
+    Trace.Steps.push_back({Step.Statement, Step.Kind});
+  return Trace;
+}
+
+StateTrace liger::extractStateTrace(const ExecResult &Result) {
+  StateTrace Trace;
+  Trace.Initial.Values = Result.InitialState;
+  Trace.States.reserve(Result.Steps.size());
+  for (const ExecStep &Step : Result.Steps)
+    Trace.States.push_back({Step.State});
+  return Trace;
+}
+
+std::string liger::pathKeyOf(const ExecResult &Result) {
+  return extractSymbolicTrace(Result).pathKey();
+}
+
+MethodTraces liger::groupByPath(const FunctionDecl &Fn,
+                                const std::vector<ExecResult> &Results,
+                                const std::vector<std::vector<Value>> &Inputs) {
+  LIGER_CHECK(Results.size() == Inputs.size(),
+              "one input vector per execution");
+  MethodTraces Traces;
+  Traces.Fn = &Fn;
+  Traces.VarNames = collectVariableTuple(Fn);
+
+  // Preserve first-seen order of paths for determinism.
+  std::map<std::string, size_t> PathIndex;
+  for (size_t I = 0; I < Results.size(); ++I) {
+    const ExecResult &Result = Results[I];
+    if (!Result.ok())
+      continue; // failed or timed-out executions contribute no traces
+    std::string Key = pathKeyOf(Result);
+    auto It = PathIndex.find(Key);
+    size_t Index;
+    if (It == PathIndex.end()) {
+      Index = Traces.Paths.size();
+      PathIndex.emplace(std::move(Key), Index);
+      BlendedTrace Blended;
+      Blended.Symbolic = extractSymbolicTrace(Result);
+      Traces.Paths.push_back(std::move(Blended));
+    } else {
+      Index = It->second;
+    }
+    Traces.Paths[Index].Concrete.push_back(extractStateTrace(Result));
+    Traces.Paths[Index].Inputs.push_back(Inputs[I]);
+  }
+  return Traces;
+}
+
+std::string liger::renderBlendedTrace(const BlendedTrace &Trace,
+                                      const std::vector<std::string> &VarNames,
+                                      size_t MaxSteps) {
+  std::string Out;
+  size_t Limit = std::min(MaxSteps, Trace.Symbolic.Steps.size());
+  for (size_t Step = 0; Step < Limit; ++Step) {
+    const SymbolicStep &Sym = Trace.Symbolic.Steps[Step];
+    Out += printStmtHead(Sym.Statement);
+    if (Sym.Kind == StepKind::CondTrue)
+      Out += "  [true]";
+    else if (Sym.Kind == StepKind::CondFalse)
+      Out += "  [false]";
+    Out += '\n';
+    for (const StateTrace &States : Trace.Concrete) {
+      if (Step < States.States.size() && !States.States[Step].Values.empty()) {
+        Out += "    ";
+        Out += States.States[Step].str(VarNames);
+        Out += '\n';
+      }
+    }
+  }
+  if (Trace.Symbolic.Steps.size() > Limit)
+    Out += "    ... (" +
+           std::to_string(Trace.Symbolic.Steps.size() - Limit) +
+           " more steps)\n";
+  return Out;
+}

@@ -1,0 +1,88 @@
+//===-- trace/Vocabulary.cpp - Static and dynamic vocabularies ------------===//
+//
+// Part of the LIGER reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "trace/Vocabulary.h"
+
+#include "support/Error.h"
+
+using namespace liger;
+
+Vocabulary::Vocabulary() {
+  Tokens = {"<pad>", "<unk>", "<s>", "</s>"};
+  for (int I = 0; I < static_cast<int>(Tokens.size()); ++I)
+    Ids.emplace(Tokens[static_cast<size_t>(I)], I);
+}
+
+int Vocabulary::add(const std::string &Token) {
+  auto It = Ids.find(Token);
+  if (It != Ids.end())
+    return It->second;
+  LIGER_CHECK(!Frozen, "cannot add tokens to a frozen vocabulary");
+  int Id = static_cast<int>(Tokens.size());
+  Tokens.push_back(Token);
+  Ids.emplace(Token, Id);
+  return Id;
+}
+
+int Vocabulary::lookup(const std::string &Token) const {
+  auto It = Ids.find(Token);
+  return It == Ids.end() ? Unk : It->second;
+}
+
+const std::string &Vocabulary::token(int Id) const {
+  LIGER_CHECK(Id >= 0 && Id < size(), "token id out of range");
+  return Tokens[static_cast<size_t>(Id)];
+}
+
+std::string liger::valueToken(const Value &V) {
+  switch (V.kind()) {
+  case ValueKind::Undef:
+    return "⊥";
+  case ValueKind::Bool:
+    return V.asBool() ? "true" : "false";
+  case ValueKind::Int: {
+    int64_t X = V.asInt();
+    if (X >= -64 && X <= 64)
+      return std::to_string(X);
+    // Logarithmic magnitude buckets beyond the exact range.
+    const char *Sign = X < 0 ? "-" : "+";
+    uint64_t Mag = X < 0 ? static_cast<uint64_t>(-(X + 1)) + 1
+                         : static_cast<uint64_t>(X);
+    const char *Bucket;
+    if (Mag <= 256)
+      Bucket = "e2";
+    else if (Mag <= 4096)
+      Bucket = "e3";
+    else if (Mag <= 65536)
+      Bucket = "e4";
+    else
+      Bucket = "big";
+    return std::string("<int") + Sign + Bucket + ">";
+  }
+  case ValueKind::String: {
+    const std::string &S = V.asString();
+    if (S.size() <= 8)
+      return "\"" + S + "\"";
+    return "<str:len" + std::to_string(std::min<size_t>(S.size(), 64)) + ">";
+  }
+  case ValueKind::Array:
+  case ValueKind::Struct:
+    LIGER_UNREACHABLE("valueToken expects a primitive; flatten first");
+  }
+  LIGER_UNREACHABLE("covered switch");
+}
+
+std::vector<std::string> liger::valueTokens(const Value &V) {
+  std::vector<Value> Leaves;
+  V.flatten(Leaves);
+  std::vector<std::string> Out;
+  Out.reserve(Leaves.size() + 1);
+  if (Leaves.empty()) // e.g. an empty array still needs a token
+    Out.push_back("<empty>");
+  for (const Value &Leaf : Leaves)
+    Out.push_back(valueToken(Leaf));
+  return Out;
+}

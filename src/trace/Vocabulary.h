@@ -1,0 +1,81 @@
+//===-- trace/Vocabulary.h - Static and dynamic vocabularies ----*- C++ -*-===//
+//
+// Part of the LIGER reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Token vocabularies for the models. The paper (§5.1.1) defines Ds as
+/// all source tokens plus AST node types across the dataset, and Dd as
+/// all runtime values any variable was ever assigned. Both map into one
+/// learned embedding table per vocabulary.
+///
+/// Runtime values are tokenized by valueToken(): small integers keep
+/// their exact spelling (so the model can learn e.g. what 0 means),
+/// larger magnitudes fall into logarithmic buckets, and long strings
+/// fall into length buckets — an out-of-vocabulary control identical in
+/// spirit to the paper's "special symbol for values of objects whose
+/// definitions are not accessible".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIGER_TRACE_VOCABULARY_H
+#define LIGER_TRACE_VOCABULARY_H
+
+#include "interp/Value.h"
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace liger {
+
+/// A bidirectional token <-> id map with fixed special tokens.
+class Vocabulary {
+public:
+  /// Ids of the special tokens, present in every vocabulary.
+  enum : int { Pad = 0, Unk = 1, Sos = 2, Eos = 3 };
+
+  Vocabulary();
+
+  /// Interns \p Token (idempotent) and returns its id. Must not be
+  /// called after freeze().
+  int add(const std::string &Token);
+
+  /// Marks the vocabulary immutable; lookups of unknown tokens then
+  /// return Unk instead of asserting.
+  void freeze() { Frozen = true; }
+  bool frozen() const { return Frozen; }
+
+  /// Returns the id of \p Token, or Unk when absent.
+  int lookup(const std::string &Token) const;
+
+  /// Returns true if \p Token is interned.
+  bool contains(const std::string &Token) const {
+    return Ids.count(Token) != 0;
+  }
+
+  /// The token spelling for \p Id.
+  const std::string &token(int Id) const;
+
+  /// Number of tokens including the specials.
+  int size() const { return static_cast<int>(Tokens.size()); }
+
+private:
+  std::unordered_map<std::string, int> Ids;
+  std::vector<std::string> Tokens;
+  bool Frozen = false;
+};
+
+/// Tokenizes one *primitive* runtime value for the dynamic vocabulary
+/// Dd. Aggregates (arrays/structs) must be flattened with
+/// Value::flatten() first.
+std::string valueToken(const Value &V);
+
+/// Flattens a program-state variable value into dynamic-vocabulary
+/// tokens: attr(v)[0..] of §5.1.1.
+std::vector<std::string> valueTokens(const Value &V);
+
+} // namespace liger
+
+#endif // LIGER_TRACE_VOCABULARY_H

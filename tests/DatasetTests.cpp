@@ -1,0 +1,293 @@
+//===-- tests/DatasetTests.cpp - Unit tests for corpus generation ---------===//
+//
+// Part of the LIGER reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dataset/Corpus.h"
+#include "dataset/Tasks.h"
+
+#include "support/StringUtils.h"
+
+#include "lang/AstPrinter.h"
+#include "lang/Parser.h"
+#include "testgen/InputGen.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace liger;
+
+//===----------------------------------------------------------------------===//
+// replaceIdentifier
+//===----------------------------------------------------------------------===//
+
+TEST(ReplaceIdentifierTest, WholeWordOnly) {
+  EXPECT_EQ(replaceIdentifier("i + if (i) index i;", "i", "j"),
+            "j + if (j) index j;");
+  EXPECT_EQ(replaceIdentifier("arr[i] + array", "arr", "xs"),
+            "xs[i] + array");
+  EXPECT_EQ(replaceIdentifier("my_i i_my i", "i", "j"), "my_i i_my j");
+}
+
+TEST(ReplaceIdentifierTest, NoOccurrences) {
+  EXPECT_EQ(replaceIdentifier("abc def", "xyz", "q"), "abc def");
+}
+
+TEST(ReplaceIdentifierTest, AdjacentOccurrences) {
+  EXPECT_EQ(replaceIdentifier("i,i;i", "i", "jj"), "jj,jj;jj");
+}
+
+//===----------------------------------------------------------------------===//
+// Task library integrity
+//===----------------------------------------------------------------------===//
+
+TEST(TaskLibraryTest, NonEmptyAndWellFormed) {
+  const auto &Library = taskLibrary();
+  EXPECT_GE(Library.size(), 25u);
+  std::set<std::string> Keys;
+  for (const TaskSpec &Task : Library) {
+    EXPECT_TRUE(Keys.insert(Task.Key).second) << "duplicate " << Task.Key;
+    EXPECT_FALSE(Task.NameParts.empty());
+    EXPECT_FALSE(Task.Variants.empty());
+    for (const auto &Part : Task.NameParts)
+      EXPECT_FALSE(Part.empty());
+  }
+}
+
+TEST(TaskLibraryTest, TenCosetProblems) {
+  EXPECT_EQ(cosetProblems().size(), 10u);
+  // COSET problems must offer at least two algorithm classes each.
+  for (const TaskSpec *Problem : cosetProblems())
+    EXPECT_GE(Problem->Variants.size(), 2u) << Problem->Key;
+}
+
+TEST(TaskLibraryTest, EveryVariantCompiles) {
+  for (const TaskSpec &Task : taskLibrary()) {
+    for (const TaskVariant &Variant : Task.Variants) {
+      std::string Source = replaceIdentifier(Variant.Source, "FN", "probe");
+      DiagnosticSink Diags;
+      EXPECT_TRUE(parseAndCheck(Source, Diags).has_value())
+          << Task.Key << "/" << Variant.Algorithm << ":\n"
+          << Diags.str();
+    }
+  }
+}
+
+namespace {
+
+/// Executes a compiled variant on \p Inputs (deep-copied) and returns
+/// the result value; reports crashes via HasError.
+Value runVariant(const Program &P, const std::vector<Value> &Inputs,
+                 bool &HasError) {
+  const FunctionDecl &Fn = P.Functions.back();
+  std::vector<Value> Copy;
+  for (const Value &V : Inputs)
+    Copy.push_back(V.deepCopy());
+  ExecResult R = execute(P, Fn, Copy);
+  HasError = !R.ok();
+  return R.ReturnValue;
+}
+
+} // namespace
+
+TEST(TaskLibraryTest, VariantsAreSemanticallyEquivalent) {
+  // The core corpus property: all variants of one task compute the same
+  // function (the dynamic feature dimension depends on it).
+  Rng R(1234);
+  InputGenOptions InputOptions;
+  for (const TaskSpec &Task : taskLibrary()) {
+    if (Task.Variants.size() < 2)
+      continue;
+    // Compile all variants once.
+    std::vector<Program> Programs;
+    for (const TaskVariant &Variant : Task.Variants) {
+      DiagnosticSink Diags;
+      auto P =
+          parseAndCheck(replaceIdentifier(Variant.Source, "FN", "probe"),
+                        Diags);
+      ASSERT_TRUE(P.has_value()) << Task.Key << ": " << Diags.str();
+      Programs.push_back(std::move(*P));
+    }
+    const FunctionDecl &Fn = Programs[0].Functions.back();
+    for (int Trial = 0; Trial < 25; ++Trial) {
+      std::vector<Value> Inputs =
+          randomInputs(Fn, Programs[0], R, InputOptions);
+      bool Error0 = false;
+      Value Expected = runVariant(Programs[0], Inputs, Error0);
+      for (size_t V = 1; V < Programs.size(); ++V) {
+        bool ErrorV = false;
+        Value Got = runVariant(Programs[V], Inputs, ErrorV);
+        EXPECT_EQ(Error0, ErrorV)
+            << Task.Key << " variant " << Task.Variants[V].Algorithm
+            << " fault divergence";
+        if (!Error0 && !ErrorV)
+          EXPECT_TRUE(Expected.equals(Got))
+              << Task.Key << " variant " << Task.Variants[V].Algorithm
+              << ": " << Expected.str() << " vs " << Got.str();
+      }
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Method-name corpus
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+CorpusOptions smallCorpusOptions() {
+  CorpusOptions Options;
+  Options.NumMethods = 40;
+  Options.TraceGen.TargetPaths = 4;
+  Options.TraceGen.ExecutionsPerPath = 3;
+  Options.TraceGen.MaxAttempts = 80;
+  Options.Seed = 9;
+  return Options;
+}
+
+} // namespace
+
+TEST(CorpusTest, GeneratesUsableSamples) {
+  CorpusStats Stats;
+  auto Samples = generateMethodCorpus(smallCorpusOptions(), &Stats);
+  EXPECT_EQ(Stats.Requested, 40u);
+  EXPECT_GE(Stats.Kept, 30u); // no defects injected: most should pass
+  EXPECT_EQ(Samples.size(), Stats.Kept);
+  for (const MethodSample &Sample : Samples) {
+    EXPECT_NE(Sample.Fn, nullptr);
+    EXPECT_FALSE(Sample.NameSubtokens.empty());
+    EXPECT_FALSE(Sample.Traces.Paths.empty());
+    EXPECT_FALSE(Sample.Project.empty());
+    // The function name must split exactly into the labels.
+    EXPECT_EQ(splitSubtokens(Sample.Fn->Name), Sample.NameSubtokens);
+  }
+}
+
+TEST(CorpusTest, DeterministicUnderSeed) {
+  auto A = generateMethodCorpus(smallCorpusOptions());
+  auto B = generateMethodCorpus(smallCorpusOptions());
+  ASSERT_EQ(A.size(), B.size());
+  for (size_t I = 0; I < A.size(); ++I) {
+    EXPECT_EQ(A[I].Fn->Name, B[I].Fn->Name);
+    EXPECT_EQ(A[I].Traces.Paths.size(), B[I].Traces.Paths.size());
+  }
+}
+
+TEST(CorpusTest, SeedChangesCorpus) {
+  CorpusOptions Options = smallCorpusOptions();
+  auto A = generateMethodCorpus(Options);
+  Options.Seed = 10;
+  auto B = generateMethodCorpus(Options);
+  bool AnyDifferent = A.size() != B.size();
+  for (size_t I = 0; !AnyDifferent && I < A.size(); ++I)
+    AnyDifferent = A[I].Fn->Name != B[I].Fn->Name;
+  EXPECT_TRUE(AnyDifferent);
+}
+
+TEST(CorpusTest, FilterPipelineCountsDefects) {
+  CorpusOptions Options = smallCorpusOptions();
+  Options.NumMethods = 80;
+  Options.SyntaxDefectRate = 0.15;
+  Options.ExternalRefRate = 0.1;
+  Options.NonTerminationRate = 0.08;
+  Options.TooSmallRate = 0.1;
+  CorpusStats Stats;
+  auto Samples = generateMethodCorpus(Options, &Stats);
+  EXPECT_GT(Stats.ParseFailures, 0u);
+  EXPECT_GT(Stats.ExternalRefFailures, 0u);
+  EXPECT_GT(Stats.TestgenTimeouts, 0u);
+  EXPECT_GT(Stats.TooSmall, 0u);
+  EXPECT_LT(Stats.Kept, Stats.Requested);
+  EXPECT_EQ(Stats.Kept + Stats.ParseFailures + Stats.ExternalRefFailures +
+                Stats.TestgenTimeouts + Stats.TooSmall + Stats.NoTraces,
+            Stats.Requested);
+  EXPECT_EQ(Samples.size(), Stats.Kept);
+}
+
+TEST(CorpusTest, MethodsTraceBudgetRespectsOptions) {
+  CorpusOptions Options = smallCorpusOptions();
+  auto Samples = generateMethodCorpus(Options);
+  for (const MethodSample &Sample : Samples) {
+    EXPECT_LE(Sample.Traces.Paths.size(), 4u);
+    for (const BlendedTrace &Path : Sample.Traces.Paths)
+      EXPECT_LE(Path.numConcrete(), 3u);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// COSET corpus
+//===----------------------------------------------------------------------===//
+
+TEST(CosetCorpusTest, LabelsAndClassNames) {
+  CosetOptions Options;
+  Options.ProgramsPerClass = 3;
+  Options.TraceGen.TargetPaths = 4;
+  Options.TraceGen.ExecutionsPerPath = 2;
+  Options.TraceGen.MaxAttempts = 60;
+  std::vector<std::string> ClassNames;
+  auto Samples = generateCosetCorpus(Options, ClassNames);
+  ASSERT_FALSE(Samples.empty());
+  // 10 problems with >= 2 algorithms each.
+  EXPECT_GE(ClassNames.size(), 20u);
+  std::set<int> SeenClasses;
+  for (const MethodSample &Sample : Samples) {
+    ASSERT_GE(Sample.ClassId, 0);
+    ASSERT_LT(static_cast<size_t>(Sample.ClassId), ClassNames.size());
+    SeenClasses.insert(Sample.ClassId);
+    EXPECT_FALSE(Sample.Traces.Paths.empty());
+  }
+  // Nearly every class should be realized.
+  EXPECT_GE(SeenClasses.size(), ClassNames.size() - 2);
+}
+
+//===----------------------------------------------------------------------===//
+// Splitting
+//===----------------------------------------------------------------------===//
+
+TEST(SplitTest, ProjectsAreDisjoint) {
+  auto Samples = generateMethodCorpus(smallCorpusOptions());
+  SplitCorpus Split = splitByProject(Samples, 0.2, 0.2, 5);
+  auto Projects = [](const std::vector<MethodSample> &Part) {
+    std::set<std::string> Out;
+    for (const MethodSample &Sample : Part)
+      Out.insert(Sample.Project);
+    return Out;
+  };
+  std::set<std::string> Train = Projects(Split.Train);
+  std::set<std::string> Valid = Projects(Split.Valid);
+  std::set<std::string> Test = Projects(Split.Test);
+  for (const std::string &P : Valid) {
+    EXPECT_FALSE(Train.count(P));
+    EXPECT_FALSE(Test.count(P));
+  }
+  for (const std::string &P : Test)
+    EXPECT_FALSE(Train.count(P));
+  EXPECT_EQ(Split.Train.size() + Split.Valid.size() + Split.Test.size(),
+            Samples.size());
+  EXPECT_FALSE(Split.Train.empty());
+  EXPECT_FALSE(Split.Test.empty());
+}
+
+//===----------------------------------------------------------------------===//
+// Printer round trip over the whole template library
+//===----------------------------------------------------------------------===//
+
+TEST(TaskLibraryTest, EveryVariantRoundTripsThroughPrinter) {
+  for (const TaskSpec &Task : taskLibrary()) {
+    for (const TaskVariant &Variant : Task.Variants) {
+      std::string Source = replaceIdentifier(Variant.Source, "FN", "probe");
+      DiagnosticSink D1;
+      auto P1 = parseAndCheck(Source, D1);
+      ASSERT_TRUE(P1.has_value()) << Task.Key << ": " << D1.str();
+      std::string Printed1 = printProgram(*P1);
+      DiagnosticSink D2;
+      auto P2 = parseAndCheck(Printed1, D2);
+      ASSERT_TRUE(P2.has_value())
+          << Task.Key << "/" << Variant.Algorithm << ": " << D2.str();
+      EXPECT_EQ(printProgram(*P2), Printed1)
+          << Task.Key << "/" << Variant.Algorithm;
+    }
+  }
+}

@@ -1,0 +1,259 @@
+//===-- tests/EvalTests.cpp - Unit tests for metrics/training/experiments -===//
+//
+// Part of the LIGER reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "eval/Experiments.h"
+#include "eval/Metrics.h"
+#include "eval/Training.h"
+
+#include <gtest/gtest.h>
+
+using namespace liger;
+
+//===----------------------------------------------------------------------===//
+// Sub-token metric (the paper's §6.1.1 examples)
+//===----------------------------------------------------------------------===//
+
+TEST(MetricsTest, PerfectPrediction) {
+  SubtokenScorer S;
+  S.add({"compute", "diff"}, {"compute", "diff"});
+  PrfScores Scores = S.scores();
+  EXPECT_DOUBLE_EQ(Scores.Precision, 100.0);
+  EXPECT_DOUBLE_EQ(Scores.Recall, 100.0);
+  EXPECT_DOUBLE_EQ(Scores.F1, 100.0);
+}
+
+TEST(MetricsTest, OrderDoesNotMatter) {
+  // "a prediction of diffCompute is considered a perfect answer".
+  SubtokenScorer S;
+  S.add({"diff", "compute"}, {"compute", "diff"});
+  EXPECT_DOUBLE_EQ(S.scores().F1, 100.0);
+}
+
+TEST(MetricsTest, PartialPrecisionRecall) {
+  // "a prediction of compute has a full precision, but low recall".
+  SubtokenScorer S;
+  S.add({"compute"}, {"compute", "diff"});
+  PrfScores Scores = S.scores();
+  EXPECT_DOUBLE_EQ(Scores.Precision, 100.0);
+  EXPECT_DOUBLE_EQ(Scores.Recall, 50.0);
+
+  // "computeFileDiff has full recall, but low precision".
+  SubtokenScorer S2;
+  S2.add({"compute", "file", "diff"}, {"compute", "diff"});
+  PrfScores Scores2 = S2.scores();
+  EXPECT_DOUBLE_EQ(Scores2.Recall, 100.0);
+  EXPECT_NEAR(Scores2.Precision, 100.0 * 2 / 3, 1e-9);
+}
+
+TEST(MetricsTest, CaseInsensitive) {
+  SubtokenScorer S;
+  S.add({"Compute", "DIFF"}, {"compute", "diff"});
+  EXPECT_DOUBLE_EQ(S.scores().F1, 100.0);
+}
+
+TEST(MetricsTest, MultisetSemantics) {
+  // Predicting a token twice when it appears once: one TP, one FP.
+  SubtokenCounts Counts =
+      countSubtokenMatches({"get", "get"}, {"get", "name"});
+  EXPECT_EQ(Counts.TruePositive, 1u);
+  EXPECT_EQ(Counts.FalsePositive, 1u);
+  EXPECT_EQ(Counts.FalseNegative, 1u);
+}
+
+TEST(MetricsTest, MicroAggregation) {
+  SubtokenScorer S;
+  S.add({"a"}, {"a"});         // TP=1
+  S.add({"b", "c"}, {"d"});    // FP=2 FN=1
+  PrfScores Scores = S.scores();
+  EXPECT_NEAR(Scores.Precision, 100.0 / 3, 1e-9); // 1/(1+2)
+  EXPECT_NEAR(Scores.Recall, 50.0, 1e-9);         // 1/(1+1)
+  EXPECT_EQ(S.numExamples(), 2u);
+}
+
+TEST(MetricsTest, EmptyPrediction) {
+  SubtokenScorer S;
+  S.add({}, {"compute", "diff"});
+  PrfScores Scores = S.scores();
+  EXPECT_DOUBLE_EQ(Scores.Precision, 0.0);
+  EXPECT_DOUBLE_EQ(Scores.Recall, 0.0);
+  EXPECT_DOUBLE_EQ(Scores.F1, 0.0);
+}
+
+//===----------------------------------------------------------------------===//
+// Classification metrics
+//===----------------------------------------------------------------------===//
+
+TEST(MetricsTest, ClassificationAccuracy) {
+  ClassificationScorer S(3);
+  S.add(0, 0);
+  S.add(1, 1);
+  S.add(2, 1);
+  S.add(0, 2);
+  EXPECT_DOUBLE_EQ(S.accuracy(), 0.5);
+  EXPECT_EQ(S.numExamples(), 4u);
+}
+
+TEST(MetricsTest, MacroF1PerfectAndZero) {
+  ClassificationScorer Perfect(2);
+  Perfect.add(0, 0);
+  Perfect.add(1, 1);
+  EXPECT_DOUBLE_EQ(Perfect.macroF1(), 1.0);
+
+  ClassificationScorer Wrong(2);
+  Wrong.add(1, 0);
+  Wrong.add(0, 1);
+  EXPECT_DOUBLE_EQ(Wrong.macroF1(), 0.0);
+}
+
+TEST(MetricsTest, MacroF1IgnoresAbsentClasses) {
+  ClassificationScorer S(10);
+  S.add(0, 0);
+  S.add(1, 1);
+  // Only classes 0 and 1 appear; macro F1 averages over them alone.
+  EXPECT_DOUBLE_EQ(S.macroF1(), 1.0);
+}
+
+//===----------------------------------------------------------------------===//
+// Scale parsing and transforms
+//===----------------------------------------------------------------------===//
+
+TEST(ScaleTest, ParsesOverrides) {
+  const char *Argv[] = {"bench",        "--methods=99", "--epochs=3",
+                        "--hidden=16",  "--seed=123",   "--lr=0.005",
+                        "--verbose"};
+  ExperimentScale Scale =
+      ExperimentScale::fromArgs(7, const_cast<char **>(Argv));
+  EXPECT_EQ(Scale.MethodsMed, 99u);
+  EXPECT_EQ(Scale.MethodsLarge, 198u); // derived default
+  EXPECT_EQ(Scale.Epochs, 3u);
+  EXPECT_EQ(Scale.Hidden, 16u);
+  EXPECT_EQ(Scale.Seed, 123u);
+  EXPECT_FLOAT_EQ(Scale.LearningRate, 0.005f);
+  EXPECT_TRUE(Scale.Verbose);
+}
+
+namespace {
+
+std::vector<MethodSample> tinyTransformCorpus() {
+  CorpusOptions Options;
+  Options.NumMethods = 12;
+  Options.TraceGen.TargetPaths = 6;
+  Options.TraceGen.ExecutionsPerPath = 4;
+  Options.TraceGen.MaxAttempts = 80;
+  Options.Seed = 21;
+  return generateMethodCorpus(Options);
+}
+
+} // namespace
+
+TEST(TransformTest, ConcreteReductionCapsExecutions) {
+  auto Samples = tinyTransformCorpus();
+  ASSERT_FALSE(Samples.empty());
+  auto Reduced =
+      transformSamples(Samples, reduceConcreteTransform(2), 5);
+  ASSERT_EQ(Reduced.size(), Samples.size());
+  for (size_t I = 0; I < Reduced.size(); ++I) {
+    EXPECT_EQ(Reduced[I].Traces.Paths.size(),
+              Samples[I].Traces.Paths.size());
+    for (const BlendedTrace &Path : Reduced[I].Traces.Paths)
+      EXPECT_LE(Path.numConcrete(), 2u);
+  }
+}
+
+TEST(TransformTest, SymbolicReductionCapsPaths) {
+  auto Samples = tinyTransformCorpus();
+  auto Reduced =
+      transformSamples(Samples, reduceSymbolicTransform(2, 3), 5);
+  for (size_t I = 0; I < Reduced.size(); ++I) {
+    EXPECT_LE(Reduced[I].Traces.Paths.size(), 2u);
+    for (const BlendedTrace &Path : Reduced[I].Traces.Paths)
+      EXPECT_LE(Path.numConcrete(), 3u);
+  }
+}
+
+TEST(TransformTest, NullTransformIsIdentity) {
+  auto Samples = tinyTransformCorpus();
+  auto Same = transformSamples(Samples, nullptr, 5);
+  ASSERT_EQ(Same.size(), Samples.size());
+  for (size_t I = 0; I < Same.size(); ++I)
+    EXPECT_EQ(Same[I].Traces.totalExecutions(),
+              Samples[I].Traces.totalExecutions());
+}
+
+TEST(TransformTest, TraceBudgetBookkeeping) {
+  auto Samples = tinyTransformCorpus();
+  double Paths = 0, Execs = 0;
+  traceBudget(Samples, Paths, Execs);
+  EXPECT_GT(Paths, 0.0);
+  EXPECT_GT(Execs, Paths - 1e-9); // at least one execution per path
+  auto Reduced =
+      transformSamples(Samples, reduceConcreteTransform(1), 5);
+  double RPaths = 0, RExecs = 0;
+  traceBudget(Reduced, RPaths, RExecs);
+  EXPECT_DOUBLE_EQ(RPaths, Paths);
+  EXPECT_LT(RExecs, Execs);
+}
+
+//===----------------------------------------------------------------------===//
+// End-to-end training integration (small but real)
+//===----------------------------------------------------------------------===//
+
+TEST(TrainingIntegrationTest, LigerImprovesOverTraining) {
+  ExperimentScale Scale;
+  Scale.MethodsMed = 60;
+  Scale.Epochs = 4;
+  Scale.Hidden = 16;
+  Scale.EmbedDim = 16;
+  Scale.TargetPaths = 4;
+  Scale.ExecutionsPerPath = 3;
+  Scale.LearningRate = 4e-3f;
+  Scale.Seed = 3;
+
+  NameTask Task = buildNameTask(Scale, false);
+  ASSERT_GE(Task.Split.Train.size(), 20u);
+  ASSERT_FALSE(Task.Split.Test.empty());
+
+  LigerConfig Config;
+  Config.EmbedDim = Scale.EmbedDim;
+  Config.Hidden = Scale.Hidden;
+  Config.AttnHidden = Scale.Hidden;
+  LigerNamePredictor Net(Task.Joint, Task.Target, Config, Scale.Seed);
+  NameModelHooks Hooks;
+  Hooks.Loss = [&](const MethodSample &S) { return Net.loss(S); };
+  Hooks.Predict = [&](const MethodSample &S) { return Net.predict(S); };
+  Hooks.Params = &Net.params();
+
+  // Loss must drop substantially from the untrained baseline.
+  double InitialLoss = 0;
+  for (const MethodSample &Sample : Task.Split.Train)
+    InitialLoss += Net.loss(Sample)->Value[0];
+  InitialLoss /= static_cast<double>(Task.Split.Train.size());
+
+  TrainOptions Options = Scale.trainOptions();
+  TrainResult Result =
+      trainNameModel(Hooks, Task.Split.Train, Task.Split.Valid, Options);
+  EXPECT_LT(Result.FinalTrainLoss, InitialLoss * 0.8);
+}
+
+TEST(TrainingIntegrationTest, ClassifierBeatsChanceOnCoset) {
+  ExperimentScale Scale;
+  Scale.CosetPerClass = 5;
+  Scale.Epochs = 6;
+  Scale.Hidden = 16;
+  Scale.EmbedDim = 16;
+  Scale.TargetPaths = 4;
+  Scale.ExecutionsPerPath = 3;
+  Scale.LearningRate = 4e-3f;
+  Scale.Seed = 3;
+
+  CosetTask Task = buildCosetTask(Scale);
+  ASSERT_GT(Task.NumClasses, 10u);
+  ASSERT_FALSE(Task.Split.Test.empty());
+
+  ClassRunResult Result = runCosetModel(ClassModel::Liger, Task, Scale);
+  double Chance = 1.0 / static_cast<double>(Task.NumClasses);
+  EXPECT_GT(Result.Test.Accuracy, Chance * 2);
+}

@@ -1,0 +1,473 @@
+//===-- tests/InterpTests.cpp - Unit tests for the interpreter ------------===//
+//
+// Part of the LIGER reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/Interpreter.h"
+
+#include "lang/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace liger;
+
+namespace {
+
+Program mustParse(const std::string &Source) {
+  DiagnosticSink Diags;
+  std::optional<Program> P = parseAndCheck(Source, Diags);
+  EXPECT_TRUE(P.has_value()) << Diags.str();
+  if (!P)
+    return Program();
+  return std::move(*P);
+}
+
+Value intArray(std::initializer_list<int64_t> Values) {
+  std::vector<Value> Elements;
+  for (int64_t V : Values)
+    Elements.push_back(Value::makeInt(V));
+  return Value::makeArray(std::move(Elements));
+}
+
+std::vector<int64_t> toInts(const Value &Array) {
+  std::vector<int64_t> Out;
+  for (const Value &V : Array.elements())
+    Out.push_back(V.asInt());
+  return Out;
+}
+
+/// The paper's Fig. 1(a) bubble sort, in MiniLang.
+const char *SortI = R"(
+int[] sortI(int[] A)
+{
+  int left = 0;
+  int right = len(A) - 1;
+  for (int i = right; i > left; i--) {
+    for (int j = left; j < i; j++) {
+      if (A[j] > A[j + 1]) {
+        int tmp = A[j];
+        A[j] = A[j + 1];
+        A[j + 1] = tmp;
+      }
+    }
+  }
+  return A;
+}
+)";
+
+/// The paper's Fig. 1(b) insertion sort, in MiniLang.
+const char *SortII = R"(
+int[] sortII(int[] A)
+{
+  int left = 0;
+  int right = len(A);
+  for (int i = left; i < right; i++) {
+    for (int j = i - 1; j >= left; j--) {
+      if (A[j] > A[j + 1]) {
+        int tmp = A[j];
+        A[j] = A[j + 1];
+        A[j + 1] = tmp;
+      }
+    }
+  }
+  return A;
+}
+)";
+
+/// The paper's Fig. 1(c) flag-controlled bubble sort, in MiniLang.
+const char *SortIII = R"(
+int[] sortIII(int[] A)
+{
+  int swapbit = 1;
+  while (swapbit != 0) {
+    swapbit = 0;
+    for (int i = 0; i < len(A) - 1; i++) {
+      if (A[i] > A[i + 1]) {
+        int tmp = A[i];
+        A[i] = A[i + 1];
+        A[i + 1] = tmp;
+        swapbit = 1;
+      }
+    }
+  }
+  return A;
+}
+)";
+
+/// The paper's Fig. 4 string-rotation check, in MiniLang.
+const char *IsStringRotation = R"(
+bool isStringRotation(string A, string B)
+{
+  if (len(A) != len(B))
+    return false;
+  for (int i = 1; i < len(A); i++) {
+    string tail = substring(A, i, len(A) - i);
+    string wrap = substring(A, 0, i);
+    if (tail + wrap == B)
+      return true;
+  }
+  return false;
+}
+)";
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Basic evaluation
+//===----------------------------------------------------------------------===//
+
+TEST(InterpTest, Arithmetic) {
+  Program P = mustParse(
+      "int f(int a, int b) { return (a + b) * (a - b) % 7 + b / a; }");
+  ExecResult R = execute(P, P.Functions[0],
+                         {Value::makeInt(3), Value::makeInt(5)});
+  ASSERT_TRUE(R.ok()) << R.ErrorMessage;
+  EXPECT_EQ(R.ReturnValue.asInt(), (3 + 5) * (3 - 5) % 7 + 5 / 3);
+}
+
+TEST(InterpTest, ShortCircuitAvoidsError) {
+  // Without short circuit, 1/0 would fault.
+  Program P = mustParse(
+      "bool f(int a) { return a == 0 || 10 / a > 1; }");
+  ExecResult R = execute(P, P.Functions[0], {Value::makeInt(0)});
+  ASSERT_TRUE(R.ok()) << R.ErrorMessage;
+  EXPECT_TRUE(R.ReturnValue.asBool());
+
+  Program P2 = mustParse(
+      "bool f(int a) { return a != 0 && 10 / a > 1; }");
+  ExecResult R2 = execute(P2, P2.Functions[0], {Value::makeInt(0)});
+  ASSERT_TRUE(R2.ok()) << R2.ErrorMessage;
+  EXPECT_FALSE(R2.ReturnValue.asBool());
+}
+
+TEST(InterpTest, StringOps) {
+  Program P = mustParse(R"(
+string f(string s) { return substring(s, 1, 2) + s[0]; }
+)");
+  ExecResult R = execute(P, P.Functions[0], {Value::makeString("abcd")});
+  ASSERT_TRUE(R.ok()) << R.ErrorMessage;
+  EXPECT_EQ(R.ReturnValue.asString(), "bca");
+}
+
+TEST(InterpTest, BuiltinMath) {
+  Program P = mustParse(
+      "int f(int a, int b) { return abs(a - b) + min(a, b) * max(a, b); }");
+  ExecResult R = execute(P, P.Functions[0],
+                         {Value::makeInt(-2), Value::makeInt(5)});
+  ASSERT_TRUE(R.ok());
+  EXPECT_EQ(R.ReturnValue.asInt(), 7 + (-2) * 5);
+}
+
+TEST(InterpTest, ArrayAliasing) {
+  // Arrays are reference types: mutation through one name is visible
+  // through another.
+  Program P = mustParse(R"(
+int f(int[] a) {
+  int[] b = a;
+  b[0] = 42;
+  return a[0];
+}
+)");
+  ExecResult R = execute(P, P.Functions[0], {intArray({1, 2})});
+  ASSERT_TRUE(R.ok());
+  EXPECT_EQ(R.ReturnValue.asInt(), 42);
+}
+
+TEST(InterpTest, StructFieldUpdate) {
+  Program P = mustParse(R"(
+struct Point { int x; int y; }
+int f() {
+  Point p = new Point(1, 2);
+  p.x = p.x + p.y;
+  return p.x;
+}
+)");
+  ExecResult R = execute(P, P.Functions[0], {});
+  ASSERT_TRUE(R.ok()) << R.ErrorMessage;
+  EXPECT_EQ(R.ReturnValue.asInt(), 3);
+}
+
+TEST(InterpTest, UserFunctionCalls) {
+  Program P = mustParse(R"(
+int square(int x) { return x * x; }
+int f(int n) { return square(n) + square(n + 1); }
+)");
+  const FunctionDecl *F = P.findFunction("f");
+  ASSERT_NE(F, nullptr);
+  ExecResult R = execute(P, *F, {Value::makeInt(3)});
+  ASSERT_TRUE(R.ok()) << R.ErrorMessage;
+  EXPECT_EQ(R.ReturnValue.asInt(), 9 + 16);
+}
+
+TEST(InterpTest, RecursionWithinDepthLimit) {
+  Program P = mustParse(R"(
+int fact(int n) { if (n <= 1) return 1; return n * fact(n - 1); }
+)");
+  ExecResult R = execute(P, P.Functions[0], {Value::makeInt(6)});
+  ASSERT_TRUE(R.ok()) << R.ErrorMessage;
+  EXPECT_EQ(R.ReturnValue.asInt(), 720);
+}
+
+TEST(InterpTest, UnboundedRecursionFails) {
+  Program P = mustParse("int f(int n) { return f(n + 1); }");
+  ExecResult R = execute(P, P.Functions[0], {Value::makeInt(0)});
+  EXPECT_EQ(R.Status, ExecStatus::RuntimeError);
+}
+
+//===----------------------------------------------------------------------===//
+// The paper's example programs (Fig. 1 and Fig. 4)
+//===----------------------------------------------------------------------===//
+
+TEST(InterpTest, ThreeSortsAgreeOnPaperInput) {
+  // Fig. 2 input: A = [8, 5, 1, 4, 3].
+  std::vector<int64_t> Expected{1, 3, 4, 5, 8};
+  for (const char *Source : {SortI, SortII, SortIII}) {
+    Program P = mustParse(Source);
+    ExecResult R = execute(P, P.Functions[0], {intArray({8, 5, 1, 4, 3})});
+    ASSERT_TRUE(R.ok()) << R.ErrorMessage;
+    EXPECT_EQ(toInts(R.ReturnValue), Expected);
+  }
+}
+
+TEST(InterpTest, SortsHandleEdgeCases) {
+  for (const char *Source : {SortI, SortII, SortIII}) {
+    Program P = mustParse(Source);
+    // Empty, single, duplicates, already sorted, reverse sorted.
+    for (auto Input : std::vector<std::vector<int64_t>>{
+             {}, {7}, {2, 2, 2}, {1, 2, 3}, {3, 2, 1}, {5, -1, 5, -1}}) {
+      std::vector<Value> Elements;
+      for (int64_t V : Input)
+        Elements.push_back(Value::makeInt(V));
+      ExecResult R =
+          execute(P, P.Functions[0], {Value::makeArray(Elements)});
+      ASSERT_TRUE(R.ok()) << R.ErrorMessage;
+      std::vector<int64_t> Got = toInts(R.ReturnValue);
+      std::vector<int64_t> Want = Input;
+      std::sort(Want.begin(), Want.end());
+      EXPECT_EQ(Got, Want);
+    }
+  }
+}
+
+TEST(InterpTest, StringRotation) {
+  Program P = mustParse(IsStringRotation);
+  auto Run = [&](const char *A, const char *B) {
+    ExecResult R = execute(P, P.Functions[0],
+                           {Value::makeString(A), Value::makeString(B)});
+    EXPECT_TRUE(R.ok()) << R.ErrorMessage;
+    return R.ReturnValue.asBool();
+  };
+  EXPECT_TRUE(Run("abc", "bca"));
+  EXPECT_TRUE(Run("abc", "cab"));
+  EXPECT_FALSE(Run("abc", "abc")); // the paper's loop starts at i = 1
+  EXPECT_FALSE(Run("abc", "acb"));
+  EXPECT_FALSE(Run("abc", "abcd"));
+}
+
+//===----------------------------------------------------------------------===//
+// Runtime errors and fuel
+//===----------------------------------------------------------------------===//
+
+TEST(InterpTest, DivisionByZero) {
+  Program P = mustParse("int f(int a) { return 1 / a; }");
+  ExecResult R = execute(P, P.Functions[0], {Value::makeInt(0)});
+  EXPECT_EQ(R.Status, ExecStatus::RuntimeError);
+  EXPECT_NE(R.ErrorMessage.find("division by zero"), std::string::npos);
+}
+
+TEST(InterpTest, ModuloByZero) {
+  Program P = mustParse("int f(int a) { return 1 % a; }");
+  ExecResult R = execute(P, P.Functions[0], {Value::makeInt(0)});
+  EXPECT_EQ(R.Status, ExecStatus::RuntimeError);
+}
+
+TEST(InterpTest, IndexOutOfRange) {
+  Program P = mustParse("int f(int[] a, int i) { return a[i]; }");
+  ExecResult R = execute(P, P.Functions[0],
+                         {intArray({1, 2, 3}), Value::makeInt(3)});
+  EXPECT_EQ(R.Status, ExecStatus::RuntimeError);
+  ExecResult R2 = execute(P, P.Functions[0],
+                          {intArray({1, 2, 3}), Value::makeInt(-1)});
+  EXPECT_EQ(R2.Status, ExecStatus::RuntimeError);
+}
+
+TEST(InterpTest, SubstringOutOfRange) {
+  Program P = mustParse(
+      "string f(string s, int i) { return substring(s, i, 2); }");
+  ExecResult R = execute(P, P.Functions[0],
+                         {Value::makeString("ab"), Value::makeInt(1)});
+  EXPECT_EQ(R.Status, ExecStatus::RuntimeError);
+}
+
+TEST(InterpTest, NegativeArraySize) {
+  Program P = mustParse("int f(int n) { int[] a = new int[n]; return 0; }");
+  ExecResult R = execute(P, P.Functions[0], {Value::makeInt(-1)});
+  EXPECT_EQ(R.Status, ExecStatus::RuntimeError);
+}
+
+TEST(InterpTest, InfiniteLoopRunsOutOfFuel) {
+  Program P = mustParse("void f() { while (true) { } }");
+  InterpOptions Options;
+  Options.Fuel = 500;
+  ExecResult R = execute(P, P.Functions[0], {}, Options);
+  EXPECT_EQ(R.Status, ExecStatus::OutOfFuel);
+  EXPECT_EQ(R.FuelUsed, 500u);
+}
+
+//===----------------------------------------------------------------------===//
+// Instrumentation: traces and states
+//===----------------------------------------------------------------------===//
+
+TEST(InterpTest, VariableTupleOrder) {
+  Program P = mustParse(SortI);
+  std::vector<std::string> Tuple = collectVariableTuple(P.Functions[0]);
+  EXPECT_EQ(Tuple, (std::vector<std::string>{"A", "left", "right", "i", "j",
+                                             "tmp"}));
+}
+
+TEST(InterpTest, InitialStateHasParamsAndBottoms) {
+  Program P = mustParse(SortI);
+  ExecResult R = execute(P, P.Functions[0], {intArray({2, 1})});
+  ASSERT_TRUE(R.ok());
+  ASSERT_EQ(R.InitialState.size(), 6u);
+  EXPECT_TRUE(R.InitialState[0].isArray()); // A
+  EXPECT_TRUE(R.InitialState[1].isUndef()); // left is ⊥ before its decl
+  EXPECT_TRUE(R.InitialState[5].isUndef()); // tmp
+}
+
+TEST(InterpTest, StepsRecordStatementsAndOutcomes) {
+  Program P = mustParse(R"(
+int f(int a) {
+  if (a > 0)
+    return 1;
+  return 0;
+}
+)");
+  ExecResult R = execute(P, P.Functions[0], {Value::makeInt(5)});
+  ASSERT_TRUE(R.ok());
+  ASSERT_EQ(R.Steps.size(), 2u);
+  EXPECT_EQ(R.Steps[0].Kind, StepKind::CondTrue);
+  EXPECT_EQ(R.Steps[1].Statement->kind(), StmtKind::Return);
+
+  ExecResult R2 = execute(P, P.Functions[0], {Value::makeInt(-5)});
+  ASSERT_TRUE(R2.ok());
+  ASSERT_EQ(R2.Steps.size(), 2u);
+  EXPECT_EQ(R2.Steps[0].Kind, StepKind::CondFalse);
+}
+
+TEST(InterpTest, StatesAreDeepCopies) {
+  // After in-place mutation, earlier snapshots must keep the old values.
+  Program P = mustParse(R"(
+int[] f(int[] a) {
+  a[0] = 99;
+  a[1] = 77;
+  return a;
+}
+)");
+  ExecResult R = execute(P, P.Functions[0], {intArray({1, 2})});
+  ASSERT_TRUE(R.ok());
+  ASSERT_EQ(R.Steps.size(), 3u);
+  // Step 0 state: a = [99, 2]; step 1 state: a = [99, 77].
+  EXPECT_EQ(R.Steps[0].State[0].elements()[0].asInt(), 99);
+  EXPECT_EQ(R.Steps[0].State[0].elements()[1].asInt(), 2);
+  EXPECT_EQ(R.Steps[1].State[0].elements()[1].asInt(), 77);
+}
+
+TEST(InterpTest, LoopBodyStatesMatchFigureTwo) {
+  // Count the array-mutation steps of bubble sort on the Fig. 2 input:
+  // every swap is two element assignments plus a tmp declaration.
+  Program P = mustParse(SortIII);
+  ExecResult R = execute(P, P.Functions[0], {intArray({8, 5, 1, 4, 3})});
+  ASSERT_TRUE(R.ok());
+  size_t AssignsToA = 0;
+  for (const ExecStep &Step : R.Steps) {
+    if (const auto *Assign = dyn_cast<AssignStmt>(Step.Statement))
+      if (isa<IndexExpr>(Assign->target()))
+        ++AssignsToA;
+  }
+  // [8,5,1,4,3] needs 8 swaps to sort (4 + 3 + 1 across passes); each
+  // swap writes A twice.
+  EXPECT_EQ(AssignsToA, 16u);
+}
+
+TEST(InterpTest, RecordStatesOffLeavesStatesEmpty) {
+  Program P = mustParse(SortI);
+  InterpOptions Options;
+  Options.RecordStates = false;
+  ExecResult R = execute(P, P.Functions[0], {intArray({3, 1, 2})}, Options);
+  ASSERT_TRUE(R.ok());
+  EXPECT_FALSE(R.Steps.empty());
+  for (const ExecStep &Step : R.Steps)
+    EXPECT_TRUE(Step.State.empty());
+}
+
+TEST(InterpTest, CalleeStatementsNotTraced) {
+  Program P = mustParse(R"(
+int helper(int x) { int y = x * 2; return y; }
+int f(int a) { int r = helper(a); return r; }
+)");
+  const FunctionDecl *F = P.findFunction("f");
+  ExecResult R = execute(P, *F, {Value::makeInt(4)});
+  ASSERT_TRUE(R.ok());
+  // Only f's two statements are traced, not helper's.
+  ASSERT_EQ(R.Steps.size(), 2u);
+  EXPECT_EQ(R.ReturnValue.asInt(), 8);
+  // And f's variable tuple does not contain helper's locals.
+  EXPECT_EQ(R.VarNames, (std::vector<std::string>{"a", "r"}));
+}
+
+TEST(InterpTest, MaxRecordedStepsCapsTrace) {
+  Program P = mustParse(
+      "int f(int n) { int s = 0; for (int i = 0; i < n; i++) s += i; "
+      "return s; }");
+  InterpOptions Options;
+  Options.MaxRecordedSteps = 10;
+  ExecResult R = execute(P, P.Functions[0], {Value::makeInt(100)}, Options);
+  ASSERT_TRUE(R.ok());
+  EXPECT_EQ(R.Steps.size(), 10u);
+  EXPECT_EQ(R.ReturnValue.asInt(), 4950); // execution still completed
+}
+
+//===----------------------------------------------------------------------===//
+// Value model
+//===----------------------------------------------------------------------===//
+
+TEST(ValueTest, DeepCopyDisconnectsStorage) {
+  Value A = intArray({1, 2, 3});
+  Value B = A.deepCopy();
+  A.elements()[0] = Value::makeInt(9);
+  EXPECT_EQ(B.elements()[0].asInt(), 1);
+}
+
+TEST(ValueTest, EqualsIsStructural) {
+  EXPECT_TRUE(intArray({1, 2}).equals(intArray({1, 2})));
+  EXPECT_FALSE(intArray({1, 2}).equals(intArray({2, 1})));
+  EXPECT_FALSE(intArray({1}).equals(intArray({1, 1})));
+  EXPECT_FALSE(Value::makeInt(1).equals(Value::makeBool(true)));
+  EXPECT_TRUE(Value::undef().equals(Value::undef()));
+}
+
+TEST(ValueTest, StrRendersPaperNotation) {
+  EXPECT_EQ(intArray({8, 5, 1}).str(), "[8, 5, 1]");
+  EXPECT_EQ(Value::makeInt(-3).str(), "-3");
+  EXPECT_EQ(Value::undef().str(), "⊥");
+  EXPECT_EQ(Value::makeString("ab").str(), "\"ab\"");
+}
+
+TEST(ValueTest, FlattenYieldsAttrArray) {
+  Value Arr = intArray({4, 7});
+  std::vector<Value> Leaves;
+  Arr.flatten(Leaves);
+  ASSERT_EQ(Leaves.size(), 2u);
+  EXPECT_EQ(Leaves[0].asInt(), 4);
+  EXPECT_EQ(Leaves[1].asInt(), 7);
+}
+
+TEST(ValueTest, ZeroOfTypes) {
+  EXPECT_EQ(Value::zeroOf(Type::intTy(), nullptr).asInt(), 0);
+  EXPECT_FALSE(Value::zeroOf(Type::boolTy(), nullptr).asBool());
+  EXPECT_EQ(Value::zeroOf(Type::stringTy(), nullptr).asString(), "");
+  EXPECT_TRUE(
+      Value::zeroOf(Type::arrayOf(TypeKind::Int), nullptr).elements().empty());
+}

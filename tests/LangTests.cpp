@@ -1,0 +1,440 @@
+//===-- tests/LangTests.cpp - Unit tests for the MiniLang front end -------===//
+//
+// Part of the LIGER reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/AstPrinter.h"
+#include "lang/AstTree.h"
+#include "lang/Lexer.h"
+#include "lang/Parser.h"
+#include "lang/TypeCheck.h"
+
+#include <gtest/gtest.h>
+
+using namespace liger;
+
+namespace {
+
+std::vector<Token> lexAll(const std::string &Source, DiagnosticSink &Diags) {
+  Lexer Lex(Source, Diags);
+  return Lex.lexAll();
+}
+
+Program mustParse(const std::string &Source) {
+  DiagnosticSink Diags;
+  std::optional<Program> P = parseAndCheck(Source, Diags);
+  EXPECT_TRUE(P.has_value()) << Diags.str();
+  if (!P)
+    return Program();
+  return std::move(*P);
+}
+
+bool failsToCheck(const std::string &Source) {
+  DiagnosticSink Diags;
+  return !parseAndCheck(Source, Diags).has_value();
+}
+
+/// The paper's Fig. 1(c) bubble sort with a swap flag, in MiniLang.
+const char *SortIII = R"(
+int[] sortIII(int[] A)
+{
+  int swapbit = 1;
+  while (swapbit != 0) {
+    swapbit = 0;
+    for (int i = 0; i < len(A) - 1; i++) {
+      if (A[i + 1] > A[i]) {
+      } else {
+        int tmp = A[i];
+        A[i] = A[i + 1];
+        A[i + 1] = tmp;
+        swapbit = 1;
+      }
+    }
+  }
+  return A;
+}
+)";
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Lexer
+//===----------------------------------------------------------------------===//
+
+TEST(LexerTest, Keywords) {
+  DiagnosticSink Diags;
+  auto Tokens = lexAll("int bool string if else while for return", Diags);
+  ASSERT_EQ(Tokens.size(), 9u);
+  EXPECT_EQ(Tokens[0].Kind, TokenKind::KwInt);
+  EXPECT_EQ(Tokens[3].Kind, TokenKind::KwIf);
+  EXPECT_EQ(Tokens[7].Kind, TokenKind::KwReturn);
+  EXPECT_EQ(Tokens[8].Kind, TokenKind::EndOfFile);
+  EXPECT_FALSE(Diags.hasErrors());
+}
+
+TEST(LexerTest, OperatorsMaximalMunch) {
+  DiagnosticSink Diags;
+  auto Tokens = lexAll("+= ++ + <= < == = != ! && ||", Diags);
+  std::vector<TokenKind> Kinds;
+  for (const Token &Tok : Tokens)
+    Kinds.push_back(Tok.Kind);
+  EXPECT_EQ(Kinds, (std::vector<TokenKind>{
+                       TokenKind::PlusAssign, TokenKind::PlusPlus,
+                       TokenKind::Plus, TokenKind::LessEqual, TokenKind::Less,
+                       TokenKind::EqualEqual, TokenKind::Assign,
+                       TokenKind::NotEqual, TokenKind::Bang, TokenKind::AmpAmp,
+                       TokenKind::PipePipe, TokenKind::EndOfFile}));
+}
+
+TEST(LexerTest, IntLiteralValue) {
+  DiagnosticSink Diags;
+  auto Tokens = lexAll("12345", Diags);
+  EXPECT_EQ(Tokens[0].IntValue, 12345);
+}
+
+TEST(LexerTest, StringEscapes) {
+  DiagnosticSink Diags;
+  auto Tokens = lexAll(R"("a\nb\t\"c\\")", Diags);
+  ASSERT_EQ(Tokens[0].Kind, TokenKind::StringLiteral);
+  EXPECT_EQ(Tokens[0].Text, "a\nb\t\"c\\");
+}
+
+TEST(LexerTest, CommentsSkipped) {
+  DiagnosticSink Diags;
+  auto Tokens = lexAll("1 // line\n 2 /* block\n lines */ 3", Diags);
+  ASSERT_EQ(Tokens.size(), 4u);
+  EXPECT_EQ(Tokens[2].IntValue, 3);
+  EXPECT_FALSE(Diags.hasErrors());
+}
+
+TEST(LexerTest, LineColumnsTracked) {
+  DiagnosticSink Diags;
+  auto Tokens = lexAll("a\n  b", Diags);
+  EXPECT_EQ(Tokens[0].Loc.Line, 1u);
+  EXPECT_EQ(Tokens[1].Loc.Line, 2u);
+  EXPECT_EQ(Tokens[1].Loc.Col, 3u);
+}
+
+TEST(LexerTest, UnterminatedStringDiagnosed) {
+  DiagnosticSink Diags;
+  lexAll("\"abc", Diags);
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(LexerTest, UnknownCharacterDiagnosed) {
+  DiagnosticSink Diags;
+  lexAll("@", Diags);
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+//===----------------------------------------------------------------------===//
+// Parser
+//===----------------------------------------------------------------------===//
+
+TEST(ParserTest, ParsesFigureOneProgram) {
+  Program P = mustParse(SortIII);
+  ASSERT_EQ(P.Functions.size(), 1u);
+  EXPECT_EQ(P.Functions[0].Name, "sortIII");
+  EXPECT_TRUE(P.Functions[0].ReturnType.isArray());
+  ASSERT_EQ(P.Functions[0].Params.size(), 1u);
+  EXPECT_EQ(P.Functions[0].Params[0].Name, "A");
+}
+
+TEST(ParserTest, PrecedenceClimbs) {
+  Program P = mustParse("int f(int a, int b) { return a + b * 2; }");
+  const auto *Ret =
+      cast<ReturnStmt>(P.Functions[0].Body->body().front());
+  const auto *Add = cast<BinaryExpr>(Ret->value());
+  EXPECT_EQ(Add->op(), BinaryOp::Add);
+  EXPECT_EQ(cast<BinaryExpr>(Add->rhs())->op(), BinaryOp::Mul);
+}
+
+TEST(ParserTest, IncDecSyntaxPreserved) {
+  Program P = mustParse("void f() { int i = 0; i++; i += 2; i = i + 3; }");
+  const auto &Body = P.Functions[0].Body->body();
+  ASSERT_EQ(Body.size(), 4u);
+  EXPECT_EQ(cast<AssignStmt>(Body[1])->syntax(), AssignSyntax::IncDec);
+  EXPECT_EQ(cast<AssignStmt>(Body[2])->syntax(), AssignSyntax::Compound);
+  EXPECT_EQ(cast<AssignStmt>(Body[3])->syntax(), AssignSyntax::Plain);
+}
+
+TEST(ParserTest, StructDeclAndUse) {
+  Program P = mustParse(R"(
+struct Point { int x; int y; }
+int getX(Point p) { return p.x; }
+)");
+  ASSERT_EQ(P.Structs.size(), 1u);
+  EXPECT_EQ(P.Structs[0].Fields.size(), 2u);
+  EXPECT_EQ(P.Structs[0].fieldIndex("y"), 1);
+  EXPECT_EQ(P.Structs[0].fieldIndex("z"), -1);
+}
+
+TEST(ParserTest, ArrayLiteralAndNew) {
+  Program P = mustParse(
+      "int f() { int[] a = [1, 2, 3]; int[] b = new int[5]; return a[0] + "
+      "len(b); }");
+  EXPECT_EQ(P.Functions.size(), 1u);
+}
+
+TEST(ParserTest, ForHeaderVariants) {
+  mustParse("void f(int n) { for (;;) { break; } }");
+  mustParse("void f(int n) { for (int i = 0; i < n; i++) {} }");
+  mustParse("void f(int n) { int i = 0; for (; i < n;) { i++; } }");
+}
+
+TEST(ParserTest, DanglingElseBindsInner) {
+  Program P = mustParse(
+      "int f(bool a, bool b) { if (a) if (b) return 1; else return 2; "
+      "return 3; }");
+  const auto *Outer = cast<IfStmt>(P.Functions[0].Body->body().front());
+  EXPECT_EQ(Outer->elseStmt(), nullptr);
+  const auto *Inner = cast<IfStmt>(Outer->thenStmt());
+  EXPECT_NE(Inner->elseStmt(), nullptr);
+}
+
+TEST(ParserTest, SyntaxErrorDiagnosed) {
+  DiagnosticSink Diags;
+  auto P = parseAndCheck("int f( { return 1; }", Diags);
+  EXPECT_FALSE(P.has_value());
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(ParserTest, MissingSemicolonDiagnosed) {
+  EXPECT_TRUE(failsToCheck("int f() { int x = 1 return x; }"));
+}
+
+//===----------------------------------------------------------------------===//
+// Type checker
+//===----------------------------------------------------------------------===//
+
+TEST(TypeCheckTest, RejectsTypeMismatch) {
+  EXPECT_TRUE(failsToCheck("int f() { int x = true; return x; }"));
+  EXPECT_TRUE(failsToCheck("int f() { return \"s\"; }"));
+  EXPECT_TRUE(failsToCheck("bool f(int a) { return a + true; }"));
+}
+
+TEST(TypeCheckTest, RejectsUndeclaredVariable) {
+  EXPECT_TRUE(failsToCheck("int f() { return y; }"));
+}
+
+TEST(TypeCheckTest, RejectsNonBoolCondition) {
+  EXPECT_TRUE(failsToCheck("void f(int a) { if (a) {} }"));
+  EXPECT_TRUE(failsToCheck("void f(int a) { while (a + 1) {} }"));
+}
+
+TEST(TypeCheckTest, RejectsBreakOutsideLoop) {
+  EXPECT_TRUE(failsToCheck("void f() { break; }"));
+  EXPECT_TRUE(failsToCheck("void f() { continue; }"));
+}
+
+TEST(TypeCheckTest, AcceptsBreakInsideLoop) {
+  EXPECT_FALSE(failsToCheck("void f() { while (true) { break; } }"));
+}
+
+TEST(TypeCheckTest, RejectsBadCalls) {
+  EXPECT_TRUE(failsToCheck("int f(int a) { return len(a); }"));
+  EXPECT_TRUE(failsToCheck("int f() { return g(); }"));
+  EXPECT_TRUE(
+      failsToCheck("int g(int a) { return a; } int f() { return g(); }"));
+}
+
+TEST(TypeCheckTest, AcceptsUserCalls) {
+  EXPECT_FALSE(failsToCheck(
+      "int g(int a) { return a * 2; } int f() { return g(21); }"));
+}
+
+TEST(TypeCheckTest, StringOperations) {
+  EXPECT_FALSE(failsToCheck(
+      R"(bool f(string a, string b) { return a + b == "ab"; })"));
+  EXPECT_TRUE(failsToCheck("string f(string a, int b) { return a + b; }"));
+}
+
+TEST(TypeCheckTest, CompoundAssignTypes) {
+  EXPECT_FALSE(failsToCheck("void f() { int i = 0; i += 2; }"));
+  EXPECT_FALSE(failsToCheck("void f() { string s = \"\"; s += \"x\"; }"));
+  EXPECT_TRUE(failsToCheck("void f() { bool b = true; b += true; }"));
+  EXPECT_TRUE(failsToCheck("void f() { string s = \"\"; s -= \"x\"; }"));
+}
+
+TEST(TypeCheckTest, StructFieldChecks) {
+  const char *Prelude = "struct Point { int x; int y; }\n";
+  EXPECT_FALSE(failsToCheck(std::string(Prelude) +
+                            "int f(Point p) { return p.x + p.y; }"));
+  EXPECT_TRUE(failsToCheck(std::string(Prelude) +
+                           "int f(Point p) { return p.z; }"));
+  EXPECT_TRUE(failsToCheck(std::string(Prelude) +
+                           "Point f() { return new Point(1); }"));
+  EXPECT_FALSE(failsToCheck(std::string(Prelude) +
+                            "Point f() { return new Point(1, 2); }"));
+}
+
+TEST(TypeCheckTest, RedeclarationInSameScope) {
+  EXPECT_TRUE(failsToCheck("void f() { int x = 1; int x = 2; }"));
+  // Shadowing in a nested scope is allowed.
+  EXPECT_FALSE(failsToCheck("void f() { int x = 1; { int x = 2; } }"));
+}
+
+TEST(TypeCheckTest, VoidReturnRules) {
+  EXPECT_TRUE(failsToCheck("void f() { return 1; }"));
+  EXPECT_TRUE(failsToCheck("int f() { return; }"));
+  EXPECT_FALSE(failsToCheck("void f() { return; }"));
+}
+
+//===----------------------------------------------------------------------===//
+// Pretty printer round trip
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Property: print → parse → print is a fixed point.
+void expectRoundTrip(const std::string &Source) {
+  Program P1 = mustParse(Source);
+  std::string Printed1 = printProgram(P1);
+  DiagnosticSink Diags;
+  std::optional<Program> P2 = parseAndCheck(Printed1, Diags);
+  ASSERT_TRUE(P2.has_value()) << "re-parse failed:\n"
+                              << Printed1 << Diags.str();
+  EXPECT_EQ(printProgram(*P2), Printed1);
+}
+
+} // namespace
+
+TEST(PrinterTest, RoundTripSortIII) { expectRoundTrip(SortIII); }
+
+TEST(PrinterTest, RoundTripOperators) {
+  expectRoundTrip(
+      "int f(int a, int b) { return (a + b) * (a - b) / (1 + a % 2); }");
+  expectRoundTrip("bool f(int a, int b) { return a < b == (b >= a) && "
+                  "!(a == 1) || a != b; }");
+}
+
+TEST(PrinterTest, RoundTripSurfaceForms) {
+  expectRoundTrip("void f() { int i = 0; i++; i--; i += 2; i *= 3; "
+                  "i = i + 1; }");
+}
+
+TEST(PrinterTest, RoundTripStructsAndStrings) {
+  expectRoundTrip(R"(
+struct Pair { int first; int second; }
+string f(Pair p, string s)
+{
+  string t = s + "x\n";
+  if (p.first > p.second)
+    return t;
+  return substring(t, 0, 1);
+}
+)");
+}
+
+TEST(PrinterTest, PreservesUnaryParens) {
+  // -(a + b) must not round-trip into -a + b.
+  Program P = mustParse("int f(int a, int b) { return -(a + b) * 2; }");
+  std::string Printed = printProgram(P);
+  DiagnosticSink Diags;
+  std::optional<Program> P2 = parseAndCheck(Printed, Diags);
+  ASSERT_TRUE(P2.has_value());
+  EXPECT_EQ(printProgram(*P2), Printed);
+  EXPECT_NE(Printed.find("-(a + b)"), std::string::npos);
+}
+
+TEST(PrinterTest, StmtHeadForControlFlow) {
+  Program P = mustParse(SortIII);
+  const auto *While =
+      cast<WhileStmt>(P.Functions[0].Body->body()[1]);
+  EXPECT_EQ(printStmtHead(While), "while (swapbit != 0)");
+}
+
+//===----------------------------------------------------------------------===//
+// AST trees and paths
+//===----------------------------------------------------------------------===//
+
+TEST(AstTreeTest, ExprTreeShape) {
+  Program P = mustParse("int f(int a) { return a + 1; }");
+  const auto *Ret = cast<ReturnStmt>(P.Functions[0].Body->body().front());
+  AstTree Tree = buildExprTree(Ret->value());
+  EXPECT_EQ(Tree.Label, "Op+");
+  ASSERT_EQ(Tree.Children.size(), 2u);
+  EXPECT_EQ(Tree.Children[0].Label, "a");
+  EXPECT_EQ(Tree.Children[1].Label, "1");
+}
+
+TEST(AstTreeTest, StmtHeadTreeDistinguishesSurfaceForms) {
+  Program P = mustParse("void f() { int i = 0; i++; i += 1; i = i + 1; }");
+  const auto &Body = P.Functions[0].Body->body();
+  EXPECT_EQ(buildStmtHeadTree(Body[1]).Label, "Increment");
+  EXPECT_EQ(buildStmtHeadTree(Body[2]).Label, "CompoundAssign+");
+  EXPECT_EQ(buildStmtHeadTree(Body[3]).Label, "Assign");
+}
+
+TEST(AstTreeTest, ConditionHeadsOnly) {
+  Program P = mustParse(SortIII);
+  const auto *While = cast<WhileStmt>(P.Functions[0].Body->body()[1]);
+  AstTree Tree = buildStmtHeadTree(While);
+  EXPECT_EQ(Tree.Label, "WhileCond");
+  // The while body must not be in the head tree.
+  EXPECT_LT(Tree.size(), 8u);
+}
+
+TEST(AstTreeTest, FunctionTreeHasAllLeaves) {
+  Program P = mustParse("int f(int a, int b) { return a + b; }");
+  AstTree Tree = buildFunctionTree(P.Functions[0]);
+  std::vector<std::string> Leaves;
+  Tree.collectLeaves(Leaves);
+  // Leaves: int a int b a b
+  EXPECT_EQ(Leaves, (std::vector<std::string>{"int", "a", "int", "b", "a",
+                                              "b"}));
+}
+
+TEST(AstPathTest, ExtractsLeafToLeafPaths) {
+  Program P = mustParse("int f(int a) { return a + 1; }");
+  AstTree Tree = buildFunctionTree(P.Functions[0]);
+  auto Paths = extractAstPaths(Tree, 100, 16, 16, 1);
+  ASSERT_FALSE(Paths.empty());
+  // Every path must have non-empty interior and distinct endpoints
+  // positions.
+  for (const AstPath &Path : Paths) {
+    EXPECT_FALSE(Path.InteriorLabels.empty());
+    EXPECT_FALSE(Path.SourceLeaf.empty());
+    EXPECT_FALSE(Path.TargetLeaf.empty());
+  }
+}
+
+TEST(AstPathTest, RespectsMaxPaths) {
+  Program P = mustParse(SortIII);
+  AstTree Tree = buildFunctionTree(P.Functions[0]);
+  auto Paths = extractAstPaths(Tree, 10, 16, 16, 7);
+  EXPECT_EQ(Paths.size(), 10u);
+}
+
+TEST(AstPathTest, DeterministicForFixedSeed) {
+  Program P = mustParse(SortIII);
+  AstTree Tree = buildFunctionTree(P.Functions[0]);
+  auto A = extractAstPaths(Tree, 10, 16, 16, 7);
+  auto B = extractAstPaths(Tree, 10, 16, 16, 7);
+  ASSERT_EQ(A.size(), B.size());
+  for (size_t I = 0; I < A.size(); ++I) {
+    EXPECT_EQ(A[I].SourceLeaf, B[I].SourceLeaf);
+    EXPECT_EQ(A[I].interiorKey(), B[I].interiorKey());
+    EXPECT_EQ(A[I].TargetLeaf, B[I].TargetLeaf);
+  }
+}
+
+TEST(AstPathTest, SameLabelSiblingsGetCorrectLca) {
+  // (a*b) + (c*d): the path from 'a' to 'c' must go through Op+, i.e.
+  // interior length 5: Op*^ up, Op+ , Op*_ down — not collapse into one
+  // Op* because the two Op* nodes have equal labels.
+  Program P = mustParse("int f(int a, int b, int c, int d) "
+                        "{ return a * b + c * d; }");
+  const auto *Ret = cast<ReturnStmt>(P.Functions[0].Body->body().front());
+  AstTree Tree = buildExprTree(Ret->value());
+  auto Paths = extractAstPaths(Tree, 1000, 16, 16, 1);
+  bool FoundAC = false;
+  for (const AstPath &Path : Paths) {
+    if (Path.SourceLeaf == "a" && Path.TargetLeaf == "c") {
+      FoundAC = true;
+      EXPECT_EQ(Path.interiorKey(), "Op*^|Op+|Op*_");
+    }
+  }
+  EXPECT_TRUE(FoundAC);
+}

@@ -1,0 +1,448 @@
+//===-- tests/ModelsTests.cpp - Unit tests for the neural models ----------===//
+//
+// Part of the LIGER reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "models/Code2Seq.h"
+#include "models/Code2Vec.h"
+#include "models/Dypro.h"
+#include "models/Liger.h"
+
+#include "lang/Parser.h"
+#include "nn/Optim.h"
+#include "support/StringUtils.h"
+#include "testgen/TraceCollector.h"
+
+#include <gtest/gtest.h>
+
+using namespace liger;
+
+namespace {
+
+/// Builds a MethodSample from source (the function is the last
+/// declaration) with labels derived from its name.
+MethodSample makeSample(const std::string &Source, int ClassId = -1) {
+  DiagnosticSink Diags;
+  std::optional<Program> P = parseAndCheck(Source, Diags);
+  EXPECT_TRUE(P.has_value()) << Diags.str();
+  MethodSample Sample;
+  Sample.Prog = std::make_shared<Program>(std::move(*P));
+  Sample.Fn = &Sample.Prog->Functions.back();
+  TestGenOptions Options;
+  Options.TargetPaths = 4;
+  Options.ExecutionsPerPath = 3;
+  Options.MaxAttempts = 60;
+  Sample.Traces = collectTraces(*Sample.Prog, *Sample.Fn, Options);
+  Sample.NameSubtokens = splitSubtokens(Sample.Fn->Name);
+  Sample.ClassId = ClassId;
+  Sample.Project = "test";
+  return Sample;
+}
+
+/// A small two-sample corpus with distinct semantics and names.
+std::vector<MethodSample> tinyCorpus() {
+  std::vector<MethodSample> Samples;
+  Samples.push_back(makeSample(R"(
+int sumArray(int[] arr) {
+  int total = 0;
+  for (int i = 0; i < len(arr); i++)
+    total += arr[i];
+  return total;
+}
+)", 0));
+  Samples.push_back(makeSample(R"(
+int maxArray(int[] arr) {
+  if (len(arr) == 0)
+    return 0;
+  int best = arr[0];
+  for (int i = 1; i < len(arr); i++)
+    if (arr[i] > best)
+      best = arr[i];
+  return best;
+}
+)", 1));
+  return Samples;
+}
+
+struct TinyVocabs {
+  Vocabulary Joint;
+  Vocabulary Target;
+};
+
+TinyVocabs buildVocabs(const std::vector<MethodSample> &Samples) {
+  TinyVocabs V;
+  for (const MethodSample &Sample : Samples) {
+    addSampleToVocabulary(Sample, V.Joint);
+    addVariableNamesToVocabulary(Sample, V.Joint);
+    addNameToVocabulary(Sample, V.Target);
+  }
+  V.Joint.freeze();
+  V.Target.freeze();
+  return V;
+}
+
+LigerConfig tinyLigerConfig() {
+  LigerConfig Config;
+  Config.EmbedDim = 12;
+  Config.Hidden = 12;
+  Config.AttnHidden = 12;
+  Config.MaxStepsPerTrace = 24;
+  return Config;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Common helpers
+//===----------------------------------------------------------------------===//
+
+TEST(CommonTest, NameTargetRoundTrip) {
+  Vocabulary Target;
+  Target.add("sum");
+  Target.add("array");
+  Target.freeze();
+  std::vector<int> Ids = nameTargetIds({"sum", "array"}, Target);
+  ASSERT_EQ(Ids.size(), 3u);
+  EXPECT_EQ(Ids.back(), Vocabulary::Eos);
+  EXPECT_EQ(idsToSubtokens(Ids, Target),
+            (std::vector<std::string>{"sum", "array"}));
+}
+
+TEST(CommonTest, UnknownSubtokensMapToUnk) {
+  Vocabulary Target;
+  Target.add("sum");
+  Target.freeze();
+  std::vector<int> Ids = nameTargetIds({"sum", "exotic"}, Target);
+  EXPECT_EQ(Ids[1], Vocabulary::Unk);
+  // Unk is skipped when decoding back.
+  EXPECT_EQ(idsToSubtokens(Ids, Target), (std::vector<std::string>{"sum"}));
+}
+
+TEST(CommonTest, VocabularyCoversTracesAndNames) {
+  auto Samples = tinyCorpus();
+  TinyVocabs V = buildVocabs(Samples);
+  // Statement labels, value tokens, and variable names must be present.
+  EXPECT_TRUE(V.Joint.contains("Decl"));
+  EXPECT_TRUE(V.Joint.contains("0"));
+  EXPECT_TRUE(V.Joint.contains("arr"));
+  EXPECT_TRUE(V.Target.contains("sum"));
+  EXPECT_TRUE(V.Target.contains("max"));
+  EXPECT_TRUE(V.Target.contains("array"));
+}
+
+//===----------------------------------------------------------------------===//
+// LIGER
+//===----------------------------------------------------------------------===//
+
+TEST(LigerTest, EncoderShapesAndDeterminism) {
+  auto Samples = tinyCorpus();
+  TinyVocabs V = buildVocabs(Samples);
+  LigerNamePredictor Net(V.Joint, V.Target, tinyLigerConfig(), 42);
+  Var Loss1 = Net.loss(Samples[0]);
+  Var Loss2 = Net.loss(Samples[0]);
+  EXPECT_FLOAT_EQ(Loss1->Value[0], Loss2->Value[0]); // same params, input
+  EXPECT_GT(Loss1->Value[0], 0.0f);
+  EXPECT_FALSE(std::isnan(Loss1->Value[0]));
+}
+
+TEST(LigerTest, SameSeedSameModel) {
+  auto Samples = tinyCorpus();
+  TinyVocabs V = buildVocabs(Samples);
+  LigerNamePredictor A(V.Joint, V.Target, tinyLigerConfig(), 7);
+  LigerNamePredictor B(V.Joint, V.Target, tinyLigerConfig(), 7);
+  EXPECT_FLOAT_EQ(A.loss(Samples[0])->Value[0],
+                  B.loss(Samples[0])->Value[0]);
+}
+
+TEST(LigerTest, BackwardProducesParameterGradients) {
+  auto Samples = tinyCorpus();
+  TinyVocabs V = buildVocabs(Samples);
+  LigerNamePredictor Net(V.Joint, V.Target, tinyLigerConfig(), 42);
+  backward(Net.loss(Samples[0]));
+  EXPECT_GT(Net.params().gradNorm(), 0.0);
+}
+
+TEST(LigerTest, OverfitsTinyCorpus) {
+  // Two distinct programs with distinct names: LIGER must be able to
+  // memorize them (sanity that all layers learn jointly).
+  auto Samples = tinyCorpus();
+  TinyVocabs V = buildVocabs(Samples);
+  LigerNamePredictor Net(V.Joint, V.Target, tinyLigerConfig(), 42);
+  AdamOptions Opts;
+  Opts.LearningRate = 0.01f;
+  Adam Opt(Net.params(), Opts);
+  for (int Iter = 0; Iter < 60; ++Iter) {
+    std::vector<Var> Losses;
+    for (const MethodSample &Sample : Samples)
+      Losses.push_back(Net.loss(Sample));
+    backward(meanLoss(Losses));
+    Opt.step();
+  }
+  EXPECT_EQ(Net.predict(Samples[0]), Samples[0].NameSubtokens);
+  EXPECT_EQ(Net.predict(Samples[1]), Samples[1].NameSubtokens);
+}
+
+TEST(LigerTest, FusionStatsAreSensible) {
+  auto Samples = tinyCorpus();
+  TinyVocabs V = buildVocabs(Samples);
+  LigerNamePredictor Net(V.Joint, V.Target, tinyLigerConfig(), 42);
+  FusionStats Stats;
+  Net.predict(Samples[0], &Stats);
+  EXPECT_GT(Stats.FusionSteps, 0u);
+  EXPECT_GE(Stats.staticMean(), 0.0);
+  EXPECT_LE(Stats.staticMean(), 1.0);
+}
+
+TEST(LigerTest, AblationsRunAndDiffer) {
+  auto Samples = tinyCorpus();
+  TinyVocabs V = buildVocabs(Samples);
+  LigerConfig Full = tinyLigerConfig();
+
+  LigerConfig NoStatic = Full;
+  NoStatic.UseStaticFeature = false;
+  LigerConfig NoDynamic = Full;
+  NoDynamic.UseDynamicFeature = false;
+  LigerConfig NoAttention = Full;
+  NoAttention.UseFusionAttention = false;
+  LigerConfig MeanPool = Full;
+  MeanPool.MeanPoolPrograms = true;
+
+  float FullLoss =
+      LigerNamePredictor(V.Joint, V.Target, Full, 42).loss(Samples[0])
+          ->Value[0];
+  for (const LigerConfig &Config :
+       {NoStatic, NoDynamic, NoAttention, MeanPool}) {
+    LigerNamePredictor Net(V.Joint, V.Target, Config, 42);
+    Var Loss = Net.loss(Samples[0]);
+    EXPECT_FALSE(std::isnan(Loss->Value[0]));
+    EXPECT_GT(Loss->Value[0], 0.0f);
+  }
+  // The no-dynamic ablation must actually change the computation.
+  LigerNamePredictor NoDynNet(V.Joint, V.Target, NoDynamic, 42);
+  EXPECT_NE(FullLoss, NoDynNet.loss(Samples[0])->Value[0]);
+}
+
+TEST(LigerTest, NoDynamicIgnoresConcreteTraces) {
+  auto Samples = tinyCorpus();
+  TinyVocabs V = buildVocabs(Samples);
+  LigerConfig NoDynamic = tinyLigerConfig();
+  NoDynamic.UseDynamicFeature = false;
+  LigerNamePredictor Net(V.Joint, V.Target, NoDynamic, 42);
+
+  // Dropping all concrete traces must not change the symbolic-only
+  // encoding.
+  MethodSample Stripped = Samples[0];
+  for (BlendedTrace &Path : Stripped.Traces.Paths) {
+    Path.Concrete.clear();
+    Path.Inputs.clear();
+  }
+  EXPECT_FLOAT_EQ(Net.loss(Samples[0])->Value[0],
+                  Net.loss(Stripped)->Value[0]);
+}
+
+TEST(LigerTest, ClassifierPredictsValidClass) {
+  auto Samples = tinyCorpus();
+  TinyVocabs V = buildVocabs(Samples);
+  LigerClassifier Net(V.Joint, 2, tinyLigerConfig(), 42);
+  int Predicted = Net.predict(Samples[0]);
+  EXPECT_GE(Predicted, 0);
+  EXPECT_LT(Predicted, 2);
+  Tensor Embedding = Net.embed(Samples[0].Traces);
+  EXPECT_EQ(Embedding.size(), tinyLigerConfig().Hidden);
+}
+
+TEST(LigerTest, ClassifierLearnsTinyCorpus) {
+  auto Samples = tinyCorpus();
+  TinyVocabs V = buildVocabs(Samples);
+  LigerClassifier Net(V.Joint, 2, tinyLigerConfig(), 42);
+  AdamOptions Opts;
+  Opts.LearningRate = 0.01f;
+  Adam Opt(Net.params(), Opts);
+  for (int Iter = 0; Iter < 40; ++Iter) {
+    std::vector<Var> Losses;
+    for (const MethodSample &Sample : Samples)
+      Losses.push_back(Net.loss(Sample));
+    backward(meanLoss(Losses));
+    Opt.step();
+  }
+  EXPECT_EQ(Net.predict(Samples[0]), 0);
+  EXPECT_EQ(Net.predict(Samples[1]), 1);
+}
+
+//===----------------------------------------------------------------------===//
+// DYPRO
+//===----------------------------------------------------------------------===//
+
+TEST(DyproTest, LossAndPredictRun) {
+  auto Samples = tinyCorpus();
+  TinyVocabs V = buildVocabs(Samples);
+  DyproConfig Config;
+  Config.EmbedDim = 12;
+  Config.Hidden = 12;
+  Config.AttnHidden = 12;
+  DyproNamePredictor Net(V.Joint, V.Target, Config, 42);
+  Var Loss = Net.loss(Samples[0]);
+  EXPECT_GT(Loss->Value[0], 0.0f);
+  backward(Loss);
+  EXPECT_GT(Net.params().gradNorm(), 0.0);
+  auto Predicted = Net.predict(Samples[0]);
+  EXPECT_LE(Predicted.size(), Config.MaxDecodeLen);
+}
+
+TEST(DyproTest, IgnoresSymbolicDimension) {
+  // DYPRO must be a pure dynamic model: replacing the symbolic trace
+  // steps with an empty sequence (keeping states) must not change it.
+  auto Samples = tinyCorpus();
+  TinyVocabs V = buildVocabs(Samples);
+  DyproConfig Config;
+  Config.EmbedDim = 12;
+  Config.Hidden = 12;
+  DyproNamePredictor Net(V.Joint, V.Target, Config, 42);
+
+  MethodSample Stripped = Samples[0];
+  for (BlendedTrace &Path : Stripped.Traces.Paths)
+    Path.Symbolic.Steps.clear();
+  EXPECT_FLOAT_EQ(Net.loss(Samples[0])->Value[0],
+                  Net.loss(Stripped)->Value[0]);
+}
+
+TEST(DyproTest, ClassifierLearns) {
+  auto Samples = tinyCorpus();
+  TinyVocabs V = buildVocabs(Samples);
+  DyproConfig Config;
+  Config.EmbedDim = 12;
+  Config.Hidden = 12;
+  DyproClassifier Net(V.Joint, 2, Config, 42);
+  AdamOptions Opts;
+  Opts.LearningRate = 0.01f;
+  Adam Opt(Net.params(), Opts);
+  for (int Iter = 0; Iter < 40; ++Iter) {
+    std::vector<Var> Losses;
+    for (const MethodSample &Sample : Samples)
+      Losses.push_back(Net.loss(Sample));
+    backward(meanLoss(Losses));
+    Opt.step();
+  }
+  EXPECT_EQ(Net.predict(Samples[0]), 0);
+  EXPECT_EQ(Net.predict(Samples[1]), 1);
+}
+
+//===----------------------------------------------------------------------===//
+// code2vec / code2seq
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+struct StaticVocabs {
+  Vocabulary Tokens, Paths, Names;
+  Vocabulary Subtokens, Nodes, Target;
+};
+
+StaticVocabs buildStaticVocabs(const std::vector<MethodSample> &Samples) {
+  StaticVocabs V;
+  Code2VecConfig C2v;
+  Code2SeqConfig C2s;
+  for (const MethodSample &Sample : Samples) {
+    addPathContextsToVocabulary(Sample, V.Tokens, V.Paths, C2v);
+    Code2VecNamePredictor::addNameToVocabulary(Sample, V.Names);
+    addSeqPathContextsToVocabulary(Sample, V.Subtokens, V.Nodes, C2s);
+    addNameToVocabulary(Sample, V.Target);
+  }
+  V.Tokens.freeze();
+  V.Paths.freeze();
+  V.Names.freeze();
+  V.Subtokens.freeze();
+  V.Nodes.freeze();
+  V.Target.freeze();
+  return V;
+}
+
+} // namespace
+
+TEST(Code2VecTest, ExtractionIsDeterministic) {
+  auto Samples = tinyCorpus();
+  StaticVocabs V = buildStaticVocabs(Samples);
+  Code2VecConfig Config;
+  auto A = extractPathContexts(Samples[0], V.Tokens, V.Paths, Config);
+  auto B = extractPathContexts(Samples[0], V.Tokens, V.Paths, Config);
+  ASSERT_EQ(A.size(), B.size());
+  ASSERT_FALSE(A.empty());
+  for (size_t I = 0; I < A.size(); ++I) {
+    EXPECT_EQ(A[I].Source, B[I].Source);
+    EXPECT_EQ(A[I].Path, B[I].Path);
+    EXPECT_EQ(A[I].Target, B[I].Target);
+  }
+}
+
+TEST(Code2VecTest, LearnsTinyCorpus) {
+  auto Samples = tinyCorpus();
+  StaticVocabs V = buildStaticVocabs(Samples);
+  Code2VecConfig Config;
+  Config.EmbedDim = 12;
+  Config.CodeDim = 12;
+  Code2VecNamePredictor Net(V.Tokens, V.Paths, V.Names, Config, 42);
+  AdamOptions Opts;
+  Opts.LearningRate = 0.02f;
+  Adam Opt(Net.params(), Opts);
+  for (int Iter = 0; Iter < 60; ++Iter) {
+    std::vector<Var> Losses;
+    for (const MethodSample &Sample : Samples)
+      Losses.push_back(Net.loss(Sample));
+    backward(meanLoss(Losses));
+    Opt.step();
+  }
+  EXPECT_EQ(Net.predict(Samples[0]), Samples[0].NameSubtokens);
+  EXPECT_EQ(Net.predict(Samples[1]), Samples[1].NameSubtokens);
+}
+
+TEST(Code2VecTest, StaticModelIgnoresTraces) {
+  auto Samples = tinyCorpus();
+  StaticVocabs V = buildStaticVocabs(Samples);
+  Code2VecConfig Config;
+  Config.EmbedDim = 12;
+  Config.CodeDim = 12;
+  Code2VecNamePredictor Net(V.Tokens, V.Paths, V.Names, Config, 42);
+  MethodSample Stripped = Samples[0];
+  Stripped.Traces.Paths.clear();
+  EXPECT_FLOAT_EQ(Net.loss(Samples[0])->Value[0],
+                  Net.loss(Stripped)->Value[0]);
+}
+
+TEST(Code2SeqTest, LearnsTinyCorpus) {
+  auto Samples = tinyCorpus();
+  StaticVocabs V = buildStaticVocabs(Samples);
+  Code2SeqConfig Config;
+  Config.EmbedDim = 12;
+  Config.Hidden = 12;
+  Config.AttnHidden = 12;
+  Code2SeqNamePredictor Net(V.Subtokens, V.Nodes, V.Target, Config, 42);
+  AdamOptions Opts;
+  Opts.LearningRate = 0.01f;
+  Adam Opt(Net.params(), Opts);
+  for (int Iter = 0; Iter < 80; ++Iter) {
+    std::vector<Var> Losses;
+    for (const MethodSample &Sample : Samples)
+      Losses.push_back(Net.loss(Sample));
+    backward(meanLoss(Losses));
+    Opt.step();
+  }
+  EXPECT_EQ(Net.predict(Samples[0]), Samples[0].NameSubtokens);
+  EXPECT_EQ(Net.predict(Samples[1]), Samples[1].NameSubtokens);
+}
+
+TEST(Code2SeqTest, ClassifierRuns) {
+  auto Samples = tinyCorpus();
+  StaticVocabs V = buildStaticVocabs(Samples);
+  Code2SeqConfig Config;
+  Config.EmbedDim = 12;
+  Config.Hidden = 12;
+  Code2SeqClassifier Net(V.Subtokens, V.Nodes, 2, Config, 42);
+  Var Loss = Net.loss(Samples[0]);
+  EXPECT_GT(Loss->Value[0], 0.0f);
+  backward(Loss);
+  EXPECT_GT(Net.params().gradNorm(), 0.0);
+  int Predicted = Net.predict(Samples[1]);
+  EXPECT_GE(Predicted, 0);
+  EXPECT_LT(Predicted, 2);
+}

@@ -1,0 +1,468 @@
+//===-- tests/NnTests.cpp - Unit tests for the autodiff/NN library --------===//
+//
+// Part of the LIGER reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "nn/GradCheck.h"
+#include "nn/Graph.h"
+#include "nn/Module.h"
+#include "nn/Optim.h"
+
+#include <gtest/gtest.h>
+
+using namespace liger;
+
+namespace {
+
+Var vec(std::initializer_list<float> Values) {
+  return constant(Tensor::fromVector(Values));
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Forward-value sanity
+//===----------------------------------------------------------------------===//
+
+TEST(GraphTest, MatvecForward) {
+  Rng R(1);
+  Tensor M = Tensor::zeros(2, 3);
+  M.at(0, 0) = 1;
+  M.at(0, 1) = 2;
+  M.at(0, 2) = 3;
+  M.at(1, 0) = 4;
+  M.at(1, 1) = 5;
+  M.at(1, 2) = 6;
+  Var Y = matvec(constant(M), vec({1, 0, -1}));
+  EXPECT_FLOAT_EQ(Y->Value[0], -2.0f);
+  EXPECT_FLOAT_EQ(Y->Value[1], -2.0f);
+}
+
+TEST(GraphTest, ElementwiseForward) {
+  Var A = vec({1, -2});
+  Var B = vec({3, 4});
+  EXPECT_FLOAT_EQ(add(A, B)->Value[1], 2.0f);
+  EXPECT_FLOAT_EQ(sub(A, B)->Value[0], -2.0f);
+  EXPECT_FLOAT_EQ(mul(A, B)->Value[1], -8.0f);
+  EXPECT_FLOAT_EQ(scale(A, 2.0f)->Value[0], 2.0f);
+  EXPECT_NEAR(tanhV(A)->Value[0], std::tanh(1.0f), 1e-6);
+  EXPECT_NEAR(sigmoidV(A)->Value[1], 1.0f / (1.0f + std::exp(2.0f)), 1e-6);
+  EXPECT_FLOAT_EQ(reluV(A)->Value[1], 0.0f);
+}
+
+TEST(GraphTest, ConcatAndStack) {
+  Var C = concat(vec({1, 2}), vec({3}));
+  ASSERT_EQ(C->Value.size(), 3u);
+  EXPECT_FLOAT_EQ(C->Value[2], 3.0f);
+
+  Var S = stackScalars({vec({7}), vec({8})});
+  EXPECT_FLOAT_EQ(S->Value[1], 8.0f);
+}
+
+TEST(GraphTest, SoftmaxNormalizes) {
+  Var S = softmax(vec({1, 2, 3}));
+  float Sum = S->Value[0] + S->Value[1] + S->Value[2];
+  EXPECT_NEAR(Sum, 1.0f, 1e-6);
+  EXPECT_GT(S->Value[2], S->Value[1]);
+}
+
+TEST(GraphTest, SoftmaxStableForLargeLogits) {
+  Var S = softmax(vec({1000, 1001}));
+  EXPECT_FALSE(std::isnan(S->Value[0]));
+  EXPECT_NEAR(S->Value[0] + S->Value[1], 1.0f, 1e-6);
+}
+
+TEST(GraphTest, PoolsAndCombine) {
+  std::vector<Var> Items{vec({1, 5}), vec({3, 2})};
+  Var Max = maxPool(Items);
+  EXPECT_FLOAT_EQ(Max->Value[0], 3.0f);
+  EXPECT_FLOAT_EQ(Max->Value[1], 5.0f);
+  Var Mean = meanPool(Items);
+  EXPECT_FLOAT_EQ(Mean->Value[0], 2.0f);
+  Var W = vec({0.25f, 0.75f});
+  Var Combined = weightedCombine(Items, W);
+  EXPECT_FLOAT_EQ(Combined->Value[0], 0.25f * 1 + 0.75f * 3);
+}
+
+TEST(GraphTest, CrossEntropyValue) {
+  Var L = softmaxCrossEntropy(vec({0, 0, 0}), 1);
+  EXPECT_NEAR(L->Value[0], std::log(3.0f), 1e-5);
+}
+
+TEST(GraphTest, ArgmaxHelper) {
+  EXPECT_EQ(argmax(Tensor::fromVector({0.1f, 0.9f, 0.5f})), 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Gradient checks per op
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Helper: one parameter vector, build a loss from it, gradcheck.
+void checkOp(const std::function<Var(const Var &)> &Build, size_t Dim = 4) {
+  ParamStore Store;
+  Rng R(7);
+  Var P = Store.addParam("p", Tensor::uniform(Dim, 0.8f, R));
+  GradCheckResult Result =
+      checkGradients(Store, [&] { return Build(P); });
+  EXPECT_TRUE(Result.Ok) << "max rel error " << Result.MaxRelError << " at "
+                         << Result.WorstParam;
+}
+
+} // namespace
+
+TEST(GradCheckTest, AddSubMulScale) {
+  checkOp([](const Var &P) {
+    Var Q = add(P, scale(P, 0.5f));
+    Q = sub(Q, mul(P, P));
+    return sumV(mul(Q, Q));
+  });
+}
+
+TEST(GradCheckTest, TanhSigmoidRelu) {
+  checkOp([](const Var &P) {
+    return sumV(mul(tanhV(P), sigmoidV(P)));
+  });
+  checkOp([](const Var &P) { return sumV(reluV(P)); });
+}
+
+TEST(GradCheckTest, MatvecAndDot) {
+  ParamStore Store;
+  Rng R(9);
+  Var M = Store.addParam("M", Tensor::xavier(3, 4, R));
+  Var X = Store.addParam("x", Tensor::uniform(4, 0.9f, R));
+  GradCheckResult Result = checkGradients(Store, [&] {
+    Var Y = matvec(M, X);
+    return dot(Y, Y);
+  });
+  EXPECT_TRUE(Result.Ok) << Result.MaxRelError << " at "
+                         << Result.WorstParam;
+}
+
+TEST(GradCheckTest, ConcatRowStack) {
+  ParamStore Store;
+  Rng R(11);
+  Var Table = Store.addParam("T", Tensor::xavier(5, 3, R));
+  Var X = Store.addParam("x", Tensor::uniform(2, 0.5f, R));
+  GradCheckResult Result = checkGradients(Store, [&] {
+    Var E = row(Table, 2);
+    Var C = concat(E, X);
+    Var S1 = dot(C, C);
+    Var S2 = sumV(row(Table, 2)); // same row twice: grads accumulate
+    return sumV(stackScalars({S1, S2}));
+  });
+  EXPECT_TRUE(Result.Ok) << Result.MaxRelError << " at "
+                         << Result.WorstParam;
+}
+
+TEST(GradCheckTest, SoftmaxAndCrossEntropy) {
+  checkOp([](const Var &P) { return softmaxCrossEntropy(P, 2); });
+  checkOp([](const Var &P) {
+    Var S = softmax(P);
+    return dot(S, S);
+  });
+}
+
+TEST(GradCheckTest, PoolingOps) {
+  ParamStore Store;
+  Rng R(13);
+  Var A = Store.addParam("a", Tensor::uniform(4, 0.9f, R));
+  Var B = Store.addParam("b", Tensor::uniform(4, 0.9f, R));
+  GradCheckResult Result = checkGradients(Store, [&] {
+    Var Mx = maxPool({A, B});
+    Var Mn = meanPool({A, B});
+    return add(dot(Mx, Mx), dot(Mn, Mn));
+  });
+  EXPECT_TRUE(Result.Ok) << Result.MaxRelError << " at "
+                         << Result.WorstParam;
+}
+
+TEST(GradCheckTest, WeightedCombineWithSoftmaxWeights) {
+  ParamStore Store;
+  Rng R(15);
+  Var A = Store.addParam("a", Tensor::uniform(3, 0.9f, R));
+  Var B = Store.addParam("b", Tensor::uniform(3, 0.9f, R));
+  Var Scores = Store.addParam("s", Tensor::uniform(2, 0.9f, R));
+  GradCheckResult Result = checkGradients(Store, [&] {
+    Var W = softmax(Scores);
+    Var C = weightedCombine({A, B}, W);
+    return dot(C, C);
+  });
+  EXPECT_TRUE(Result.Ok) << Result.MaxRelError << " at "
+                         << Result.WorstParam;
+}
+
+//===----------------------------------------------------------------------===//
+// Gradient checks per module
+//===----------------------------------------------------------------------===//
+
+TEST(GradCheckTest, LinearAndMlp) {
+  ParamStore Store;
+  Rng R(17);
+  Linear L(Store, "lin", 3, 2, R);
+  Mlp M(Store, "mlp", 3, 4, 2, R);
+  Var X = constant(Tensor::uniform(3, 0.9f, R));
+  GradCheckResult Result = checkGradients(Store, [&] {
+    Var Y = add(L.apply(X), M.apply(X));
+    return dot(Y, Y);
+  });
+  EXPECT_TRUE(Result.Ok) << Result.MaxRelError << " at "
+                         << Result.WorstParam;
+}
+
+namespace {
+
+void checkCell(CellKind Kind) {
+  ParamStore Store;
+  Rng R(19);
+  RecurrentCell Cell(Store, "cell", Kind, 3, 4, R);
+  std::vector<Var> Inputs{constant(Tensor::uniform(3, 0.9f, R)),
+                          constant(Tensor::uniform(3, 0.9f, R)),
+                          constant(Tensor::uniform(3, 0.9f, R))};
+  GradCheckResult Result = checkGradients(Store, [&] {
+    std::vector<RecState> States = Cell.run(Inputs);
+    Var Last = States.back().H;
+    return dot(Last, Last);
+  });
+  EXPECT_TRUE(Result.Ok) << Result.MaxRelError << " at "
+                         << Result.WorstParam;
+}
+
+} // namespace
+
+TEST(GradCheckTest, RnnCell) { checkCell(CellKind::Rnn); }
+TEST(GradCheckTest, GruCell) { checkCell(CellKind::Gru); }
+TEST(GradCheckTest, LstmCell) { checkCell(CellKind::Lstm); }
+
+TEST(GradCheckTest, TreeLstm) {
+  ParamStore Store;
+  Rng R(21);
+  ChildSumTreeLstm Tree(Store, "tree", 3, 4, R);
+  EmbeddingTable Emb(Store, "emb", 6, 3, R);
+
+  AstTree T;
+  T.Label = "plus";
+  AstTree L1N;
+  L1N.Label = "a";
+  AstTree L2N;
+  L2N.Label = "b";
+  AstTree Inner;
+  Inner.Label = "times";
+  Inner.Children = {L1N, L2N};
+  AstTree L3N;
+  L3N.Label = "c";
+  T.Children = {Inner, L3N};
+
+  auto Lookup = [&](const std::string &Label) {
+    int Id = Label == "plus" ? 0
+             : Label == "times" ? 1
+             : Label == "a" ? 2
+             : Label == "b" ? 3
+                            : 4;
+    return Emb.lookup(Id);
+  };
+  GradCheckResult Result = checkGradients(Store, [&] {
+    Var H = Tree.embed(T, Lookup);
+    return dot(H, H);
+  });
+  EXPECT_TRUE(Result.Ok) << Result.MaxRelError << " at "
+                         << Result.WorstParam;
+}
+
+TEST(GradCheckTest, AttentionScorer) {
+  ParamStore Store;
+  Rng R(23);
+  AttentionScorer Attn(Store, "attn", 3, 4, 5, R);
+  Var Q = constant(Tensor::uniform(3, 0.9f, R));
+  std::vector<Var> Keys{constant(Tensor::uniform(4, 0.9f, R)),
+                        constant(Tensor::uniform(4, 0.9f, R)),
+                        constant(Tensor::uniform(4, 0.9f, R))};
+  GradCheckResult Result = checkGradients(Store, [&] {
+    Var W = Attn.weights(Q, Keys);
+    Var C = weightedCombine(Keys, W);
+    return dot(C, C);
+  });
+  EXPECT_TRUE(Result.Ok) << Result.MaxRelError << " at "
+                         << Result.WorstParam;
+}
+
+//===----------------------------------------------------------------------===//
+// Learning sanity (end-to-end optimization)
+//===----------------------------------------------------------------------===//
+
+TEST(LearningTest, MlpLearnsXor) {
+  ParamStore Store;
+  Rng R(25);
+  Mlp Net(Store, "xor", 2, 8, 2, R);
+  Adam Opt(Store, [] {
+    AdamOptions O;
+    O.LearningRate = 0.02f;
+    return O;
+  }());
+
+  const float Inputs[4][2] = {{0, 0}, {0, 1}, {1, 0}, {1, 1}};
+  const size_t Targets[4] = {0, 1, 1, 0};
+
+  for (int Epoch = 0; Epoch < 300; ++Epoch) {
+    std::vector<Var> Losses;
+    for (int I = 0; I < 4; ++I) {
+      Var X = constant(Tensor::fromVector({Inputs[I][0], Inputs[I][1]}));
+      Losses.push_back(softmaxCrossEntropy(Net.apply(X), Targets[I]));
+    }
+    backward(meanLoss(Losses));
+    Opt.step();
+  }
+
+  for (int I = 0; I < 4; ++I) {
+    Var X = constant(Tensor::fromVector({Inputs[I][0], Inputs[I][1]}));
+    EXPECT_EQ(argmax(Net.apply(X)->Value), Targets[I]) << "input " << I;
+  }
+}
+
+TEST(LearningTest, GruLearnsLastToken) {
+  // Classify a 4-token sequence by its last token: requires memory.
+  ParamStore Store;
+  Rng R(27);
+  EmbeddingTable Emb(Store, "emb", 3, 6, R);
+  RecurrentCell Cell(Store, "gru", CellKind::Gru, 6, 8, R);
+  Linear Head(Store, "head", 8, 2, R);
+  Adam Opt(Store, [] {
+    AdamOptions O;
+    O.LearningRate = 0.02f;
+    return O;
+  }());
+
+  Rng DataRng(31);
+  auto Sample = [&](std::vector<int> &Tokens) -> size_t {
+    Tokens.clear();
+    for (int I = 0; I < 3; ++I)
+      Tokens.push_back(static_cast<int>(DataRng.nextBelow(3)));
+    size_t Label = DataRng.nextBelow(2);
+    Tokens.push_back(Label == 1 ? 1 : 0);
+    return Label;
+  };
+
+  for (int Iter = 0; Iter < 250; ++Iter) {
+    std::vector<Var> Losses;
+    for (int B = 0; B < 8; ++B) {
+      std::vector<int> Tokens;
+      size_t Label = Sample(Tokens);
+      std::vector<Var> Inputs;
+      for (int Tok : Tokens)
+        Inputs.push_back(Emb.lookup(Tok));
+      Var H = Cell.run(Inputs).back().H;
+      Losses.push_back(softmaxCrossEntropy(Head.apply(H), Label));
+    }
+    backward(meanLoss(Losses));
+    Opt.step();
+  }
+
+  int Correct = 0;
+  for (int I = 0; I < 50; ++I) {
+    std::vector<int> Tokens;
+    size_t Label = Sample(Tokens);
+    std::vector<Var> Inputs;
+    for (int Tok : Tokens)
+      Inputs.push_back(Emb.lookup(Tok));
+    Var H = Cell.run(Inputs).back().H;
+    if (argmax(Head.apply(H)->Value) == Label)
+      ++Correct;
+  }
+  EXPECT_GE(Correct, 45);
+}
+
+//===----------------------------------------------------------------------===//
+// Optimizer and store
+//===----------------------------------------------------------------------===//
+
+TEST(OptimTest, SgdReducesQuadratic) {
+  ParamStore Store;
+  Var P = Store.addParam("p", Tensor::fromVector({4.0f}));
+  Sgd Opt(Store, 0.1f);
+  for (int I = 0; I < 50; ++I) {
+    Var Loss = mul(P, P);
+    backward(Loss);
+    Opt.step();
+  }
+  EXPECT_NEAR(P->Value[0], 0.0f, 1e-3);
+}
+
+TEST(OptimTest, AdamReducesQuadratic) {
+  ParamStore Store;
+  Var P = Store.addParam("p", Tensor::fromVector({4.0f, -3.0f}));
+  Adam Opt(Store, [] {
+    AdamOptions O;
+    O.LearningRate = 0.2f;
+    return O;
+  }());
+  for (int I = 0; I < 200; ++I) {
+    Var Loss = sumV(mul(P, P));
+    backward(Loss);
+    Opt.step();
+  }
+  EXPECT_NEAR(P->Value[0], 0.0f, 1e-2);
+  EXPECT_NEAR(P->Value[1], 0.0f, 1e-2);
+}
+
+TEST(OptimTest, GradientClippingBoundsSteps) {
+  ParamStore Store;
+  Var P = Store.addParam("p", Tensor::fromVector({100.0f}));
+  Adam Opt(Store, [] {
+    AdamOptions O;
+    O.LearningRate = 0.1f;
+    O.ClipNorm = 1.0f;
+    return O;
+  }());
+  Var Loss = mul(P, P); // gradient 200, clipped to norm 1
+  backward(Loss);
+  double Norm = Opt.step();
+  EXPECT_NEAR(Norm, 200.0, 1e-3);
+  // Adam's normalized step is bounded by the learning rate regardless.
+  EXPECT_NEAR(P->Value[0], 100.0f - 0.1f, 1e-2);
+}
+
+TEST(ParamStoreTest, SaveLoadRoundTrip) {
+  std::string Path = testing::TempDir() + "/liger_params.bin";
+  Rng R(33);
+  ParamStore Store;
+  Var A = Store.addParam("a", Tensor::uniform(5, 1.0f, R));
+  Var M = Store.addParam("m", Tensor::xavier(3, 4, R));
+  Tensor SavedA = A->Value;
+  Tensor SavedM = M->Value;
+  ASSERT_TRUE(Store.save(Path));
+
+  // Perturb, then load back.
+  A->Value.zero();
+  M->Value.zero();
+  ASSERT_TRUE(Store.load(Path));
+  for (size_t I = 0; I < SavedA.size(); ++I)
+    EXPECT_FLOAT_EQ(A->Value[I], SavedA[I]);
+  for (size_t I = 0; I < SavedM.size(); ++I)
+    EXPECT_FLOAT_EQ(M->Value[I], SavedM[I]);
+}
+
+TEST(ParamStoreTest, LoadRejectsMismatchedStore) {
+  std::string Path = testing::TempDir() + "/liger_params2.bin";
+  Rng R(35);
+  ParamStore Store;
+  Store.addParam("a", Tensor::uniform(5, 1.0f, R));
+  ASSERT_TRUE(Store.save(Path));
+
+  ParamStore Other;
+  Other.addParam("b", Tensor::uniform(5, 1.0f, R));
+  EXPECT_FALSE(Other.load(Path)); // name mismatch
+
+  ParamStore WrongShape;
+  WrongShape.addParam("a", Tensor::uniform(6, 1.0f, R));
+  EXPECT_FALSE(WrongShape.load(Path));
+}
+
+TEST(ParamStoreTest, CountsScalars) {
+  Rng R(37);
+  ParamStore Store;
+  Store.addParam("a", Tensor::zeros(5));
+  Store.addParam("m", Tensor::zeros(3, 4));
+  EXPECT_EQ(Store.numScalars(), 17u);
+}

@@ -1,0 +1,228 @@
+//===-- tests/SupportTests.cpp - Unit tests for the support library -------===//
+//
+// Part of the LIGER reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Rng.h"
+#include "support/StringUtils.h"
+#include "support/Table.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+using namespace liger;
+
+//===----------------------------------------------------------------------===//
+// Rng
+//===----------------------------------------------------------------------===//
+
+TEST(RngTest, DeterministicForFixedSeed) {
+  Rng A(42), B(42);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng A(1), B(2);
+  int Same = 0;
+  for (int I = 0; I < 64; ++I)
+    if (A.next() == B.next())
+      ++Same;
+  EXPECT_EQ(Same, 0);
+}
+
+TEST(RngTest, NextBelowRespectsBound) {
+  Rng R(7);
+  for (int I = 0; I < 1000; ++I)
+    EXPECT_LT(R.nextBelow(17), 17u);
+}
+
+TEST(RngTest, NextBelowCoversAllResidues) {
+  Rng R(11);
+  std::set<uint64_t> Seen;
+  for (int I = 0; I < 500; ++I)
+    Seen.insert(R.nextBelow(5));
+  EXPECT_EQ(Seen.size(), 5u);
+}
+
+TEST(RngTest, NextIntInclusiveRange) {
+  Rng R(3);
+  bool SawLo = false, SawHi = false;
+  for (int I = 0; I < 2000; ++I) {
+    int64_t V = R.nextInt(-3, 3);
+    EXPECT_GE(V, -3);
+    EXPECT_LE(V, 3);
+    SawLo |= V == -3;
+    SawHi |= V == 3;
+  }
+  EXPECT_TRUE(SawLo);
+  EXPECT_TRUE(SawHi);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng R(5);
+  for (int I = 0; I < 1000; ++I) {
+    double V = R.nextDouble();
+    EXPECT_GE(V, 0.0);
+    EXPECT_LT(V, 1.0);
+  }
+}
+
+TEST(RngTest, GaussianRoughMoments) {
+  Rng R(13);
+  double Sum = 0, SumSq = 0;
+  const int N = 20000;
+  for (int I = 0; I < N; ++I) {
+    double V = R.nextGaussian();
+    Sum += V;
+    SumSq += V * V;
+  }
+  double Mean = Sum / N;
+  double Var = SumSq / N - Mean * Mean;
+  EXPECT_NEAR(Mean, 0.0, 0.05);
+  EXPECT_NEAR(Var, 1.0, 0.08);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng R(17);
+  std::vector<int> V{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> Original = V;
+  R.shuffle(V);
+  std::sort(V.begin(), V.end());
+  EXPECT_EQ(V, Original);
+}
+
+TEST(RngTest, PickWeightedFollowsWeights) {
+  Rng R(23);
+  std::vector<double> Weights{0.0, 1.0, 3.0};
+  int Counts[3] = {0, 0, 0};
+  for (int I = 0; I < 4000; ++I)
+    ++Counts[R.pickWeighted(Weights)];
+  EXPECT_EQ(Counts[0], 0);
+  EXPECT_GT(Counts[2], Counts[1] * 2);
+}
+
+TEST(RngTest, SplitProducesIndependentStream) {
+  Rng A(99);
+  Rng Child = A.split();
+  // The child stream should not replay the parent's next outputs.
+  EXPECT_NE(Child.next(), A.next());
+}
+
+//===----------------------------------------------------------------------===//
+// Sub-token splitting (the paper's evaluation metric tokenization)
+//===----------------------------------------------------------------------===//
+
+TEST(SubtokenTest, CamelCase) {
+  EXPECT_EQ(splitSubtokens("computeDiff"),
+            (std::vector<std::string>{"compute", "diff"}));
+}
+
+TEST(SubtokenTest, SingleWord) {
+  EXPECT_EQ(splitSubtokens("compute"), (std::vector<std::string>{"compute"}));
+}
+
+TEST(SubtokenTest, Snake) {
+  EXPECT_EQ(splitSubtokens("compute_file_diff"),
+            (std::vector<std::string>{"compute", "file", "diff"}));
+}
+
+TEST(SubtokenTest, AcronymBoundary) {
+  EXPECT_EQ(splitSubtokens("parseHTTPHeader"),
+            (std::vector<std::string>{"parse", "http", "header"}));
+}
+
+TEST(SubtokenTest, Digits) {
+  EXPECT_EQ(splitSubtokens("base64Encode"),
+            (std::vector<std::string>{"base", "64", "encode"}));
+}
+
+TEST(SubtokenTest, LeadingUpper) {
+  EXPECT_EQ(splitSubtokens("SortArray"),
+            (std::vector<std::string>{"sort", "array"}));
+}
+
+TEST(SubtokenTest, Empty) { EXPECT_TRUE(splitSubtokens("").empty()); }
+
+TEST(SubtokenTest, CamelCaseJoinRoundTrip) {
+  std::vector<std::string> Parts{"compute", "file", "diff"};
+  EXPECT_EQ(camelCaseJoin(Parts), "computeFileDiff");
+  EXPECT_EQ(splitSubtokens(camelCaseJoin(Parts)), Parts);
+}
+
+//===----------------------------------------------------------------------===//
+// String helpers
+//===----------------------------------------------------------------------===//
+
+TEST(StringUtilsTest, Join) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+}
+
+TEST(StringUtilsTest, ToLower) { EXPECT_EQ(toLower("AbC9_z"), "abc9_z"); }
+
+TEST(StringUtilsTest, StartsEndsWith) {
+  EXPECT_TRUE(startsWith("liger", "li"));
+  EXPECT_FALSE(startsWith("li", "liger"));
+  EXPECT_TRUE(endsWith("liger", "ger"));
+  EXPECT_FALSE(endsWith("ger", "liger"));
+}
+
+TEST(StringUtilsTest, Trim) {
+  EXPECT_EQ(trim("  a b \t\n"), "a b");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+}
+
+TEST(StringUtilsTest, SplitChar) {
+  EXPECT_EQ(splitChar("a,b,,c", ','),
+            (std::vector<std::string>{"a", "b", "", "c"}));
+  EXPECT_EQ(splitChar("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(StringUtilsTest, FormatDouble) {
+  EXPECT_EQ(formatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(formatDouble(2.0, 1), "2.0");
+}
+
+//===----------------------------------------------------------------------===//
+// TextTable
+//===----------------------------------------------------------------------===//
+
+TEST(TextTableTest, AlignsColumns) {
+  TextTable Table({"Model", "F1"});
+  Table.addRow({"code2seq", "25.07"});
+  Table.addRow({"LIGER", "32.30"});
+  std::string Out = Table.render();
+  EXPECT_NE(Out.find("Model"), std::string::npos);
+  EXPECT_NE(Out.find("LIGER"), std::string::npos);
+  // Every line has the same column start for "F1" values.
+  EXPECT_NE(Out.find("code2seq  25.07"), std::string::npos);
+  EXPECT_NE(Out.find("LIGER     32.30"), std::string::npos);
+}
+
+TEST(TextTableTest, CsvEscaping) {
+  TextTable Table({"a", "b"});
+  Table.addRow({"x,y", "He said \"hi\""});
+  std::string Path = testing::TempDir() + "/liger_table_test.csv";
+  ASSERT_TRUE(Table.writeCsv(Path));
+  FILE *F = fopen(Path.c_str(), "r");
+  ASSERT_NE(F, nullptr);
+  char Buffer[256];
+  std::string Content;
+  while (fgets(Buffer, sizeof(Buffer), F))
+    Content += Buffer;
+  fclose(F);
+  EXPECT_NE(Content.find("\"x,y\""), std::string::npos);
+  EXPECT_NE(Content.find("\"He said \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(TextTableTest, RowCount) {
+  TextTable Table({"only"});
+  EXPECT_EQ(Table.numRows(), 0u);
+  Table.addRow({"r"});
+  EXPECT_EQ(Table.numRows(), 1u);
+}

@@ -1,0 +1,248 @@
+//===-- tests/TraceTests.cpp - Unit tests for the trace data model --------===//
+//
+// Part of the LIGER reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "trace/Trace.h"
+#include "trace/Vocabulary.h"
+
+#include "lang/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace liger;
+
+namespace {
+
+Program mustParse(const std::string &Source) {
+  DiagnosticSink Diags;
+  std::optional<Program> P = parseAndCheck(Source, Diags);
+  EXPECT_TRUE(P.has_value()) << Diags.str();
+  if (!P)
+    return Program();
+  return std::move(*P);
+}
+
+Value intArray(std::initializer_list<int64_t> Values) {
+  std::vector<Value> Elements;
+  for (int64_t V : Values)
+    Elements.push_back(Value::makeInt(V));
+  return Value::makeArray(std::move(Elements));
+}
+
+const char *AbsProgram = R"(
+int myAbs(int a) {
+  if (a < 0)
+    return -a;
+  return a;
+}
+)";
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Projections (Defs. 2.1–2.3)
+//===----------------------------------------------------------------------===//
+
+TEST(TraceTest, SymbolicAndStateProjectionsAlign) {
+  Program P = mustParse(AbsProgram);
+  ExecResult R = execute(P, P.Functions[0], {Value::makeInt(-4)});
+  ASSERT_TRUE(R.ok());
+
+  SymbolicTrace Sym = extractSymbolicTrace(R);
+  StateTrace States = extractStateTrace(R);
+  EXPECT_EQ(Sym.Steps.size(), States.States.size());
+  EXPECT_EQ(Sym.Steps.size(), 2u); // if-cond (true), return
+  EXPECT_EQ(Sym.Steps[0].Kind, StepKind::CondTrue);
+}
+
+TEST(TraceTest, PathKeyDistinguishesBranches) {
+  Program P = mustParse(AbsProgram);
+  ExecResult Neg = execute(P, P.Functions[0], {Value::makeInt(-4)});
+  ExecResult Pos = execute(P, P.Functions[0], {Value::makeInt(4)});
+  EXPECT_NE(pathKeyOf(Neg), pathKeyOf(Pos));
+}
+
+TEST(TraceTest, PathKeySameForSamePathDifferentValues) {
+  Program P = mustParse(AbsProgram);
+  ExecResult A = execute(P, P.Functions[0], {Value::makeInt(-4)});
+  ExecResult B = execute(P, P.Functions[0], {Value::makeInt(-400)});
+  EXPECT_EQ(pathKeyOf(A), pathKeyOf(B));
+}
+
+TEST(TraceTest, PathKeyDependsOnLoopTripCount) {
+  Program P = mustParse(
+      "int f(int n) { int s = 0; for (int i = 0; i < n; i++) s += i; "
+      "return s; }");
+  ExecResult Two = execute(P, P.Functions[0], {Value::makeInt(2)});
+  ExecResult Three = execute(P, P.Functions[0], {Value::makeInt(3)});
+  EXPECT_NE(pathKeyOf(Two), pathKeyOf(Three));
+}
+
+TEST(TraceTest, CoveredLinesSubsetOfSource) {
+  Program P = mustParse(AbsProgram);
+  ExecResult R = execute(P, P.Functions[0], {Value::makeInt(4)});
+  SymbolicTrace Sym = extractSymbolicTrace(R);
+  std::set<unsigned> Lines = Sym.coveredLines();
+  EXPECT_EQ(Lines.size(), 2u); // the if line and the final return line
+  // The negative branch covers the other return.
+  ExecResult R2 = execute(P, P.Functions[0], {Value::makeInt(-4)});
+  std::set<unsigned> Lines2 = extractSymbolicTrace(R2).coveredLines();
+  EXPECT_NE(Lines, Lines2);
+}
+
+//===----------------------------------------------------------------------===//
+// Path grouping (blended traces, Def. 5.1)
+//===----------------------------------------------------------------------===//
+
+TEST(TraceTest, GroupByPathMergesSamePathExecutions) {
+  Program P = mustParse(AbsProgram);
+  std::vector<ExecResult> Results;
+  std::vector<std::vector<Value>> Inputs;
+  for (int64_t V : {-4, -1, 3, 9, -100}) {
+    Inputs.push_back({Value::makeInt(V)});
+    Results.push_back(execute(P, P.Functions[0], Inputs.back()));
+  }
+  MethodTraces Traces = groupByPath(P.Functions[0], Results, Inputs);
+  ASSERT_EQ(Traces.Paths.size(), 2u);
+  // First-seen order: the negative path first (3 executions), then the
+  // non-negative path (2 executions).
+  EXPECT_EQ(Traces.Paths[0].numConcrete(), 3u);
+  EXPECT_EQ(Traces.Paths[1].numConcrete(), 2u);
+  EXPECT_EQ(Traces.totalExecutions(), 5u);
+  EXPECT_EQ(Traces.Paths[0].Inputs.size(), 3u);
+}
+
+TEST(TraceTest, GroupByPathSkipsFailedExecutions) {
+  Program P = mustParse("int f(int a) { return 10 / a; }");
+  std::vector<ExecResult> Results;
+  std::vector<std::vector<Value>> Inputs;
+  for (int64_t V : {0, 2, 5}) {
+    Inputs.push_back({Value::makeInt(V)});
+    Results.push_back(execute(P, P.Functions[0], Inputs.back()));
+  }
+  MethodTraces Traces = groupByPath(P.Functions[0], Results, Inputs);
+  ASSERT_EQ(Traces.Paths.size(), 1u);
+  EXPECT_EQ(Traces.Paths[0].numConcrete(), 2u);
+}
+
+TEST(TraceTest, BlendedTraceStateLengthsMatchSymbolic) {
+  Program P = mustParse(R"(
+int[] sort(int[] A) {
+  for (int i = 0; i < len(A); i++) {
+    for (int j = 0; j + 1 < len(A) - i; j++) {
+      if (A[j] > A[j + 1]) {
+        int t = A[j];
+        A[j] = A[j + 1];
+        A[j + 1] = t;
+      }
+    }
+  }
+  return A;
+}
+)");
+  std::vector<ExecResult> Results;
+  std::vector<std::vector<Value>> Inputs;
+  // Two inputs with the same comparison outcomes follow the same path.
+  Inputs.push_back({intArray({3, 1, 2})});
+  Inputs.push_back({intArray({30, 10, 20})});
+  for (const auto &In : Inputs)
+    Results.push_back(execute(P, P.Functions[0], In));
+  MethodTraces Traces = groupByPath(P.Functions[0], Results, Inputs);
+  ASSERT_EQ(Traces.Paths.size(), 1u);
+  const BlendedTrace &Blended = Traces.Paths[0];
+  ASSERT_EQ(Blended.numConcrete(), 2u);
+  for (const StateTrace &States : Blended.Concrete)
+    EXPECT_EQ(States.States.size(), Blended.Symbolic.Steps.size());
+}
+
+TEST(TraceTest, RenderBlendedTraceShowsStatementsAndStates) {
+  Program P = mustParse(AbsProgram);
+  std::vector<std::vector<Value>> Inputs{{Value::makeInt(-4)}};
+  std::vector<ExecResult> Results{
+      execute(P, P.Functions[0], Inputs[0])};
+  MethodTraces Traces = groupByPath(P.Functions[0], Results, Inputs);
+  std::string Rendered =
+      renderBlendedTrace(Traces.Paths[0], Traces.VarNames);
+  EXPECT_NE(Rendered.find("if (a < 0)"), std::string::npos);
+  EXPECT_NE(Rendered.find("[true]"), std::string::npos);
+  EXPECT_NE(Rendered.find("a: -4"), std::string::npos);
+}
+
+TEST(TraceTest, ProgramStateStrMatchesPaperNotation) {
+  ProgramState State;
+  State.Values = {intArray({8, 5, 1, 4, 3}), Value::makeInt(0),
+                  Value::undef()};
+  EXPECT_EQ(State.str({"A", "left", "right"}),
+            "{A: [8, 5, 1, 4, 3]; left: 0; right: ⊥}");
+}
+
+//===----------------------------------------------------------------------===//
+// Vocabulary
+//===----------------------------------------------------------------------===//
+
+TEST(VocabularyTest, SpecialTokensPresent) {
+  Vocabulary V;
+  EXPECT_EQ(V.size(), 4);
+  EXPECT_EQ(V.lookup("<pad>"), Vocabulary::Pad);
+  EXPECT_EQ(V.lookup("<unk>"), Vocabulary::Unk);
+  EXPECT_EQ(V.lookup("<s>"), Vocabulary::Sos);
+  EXPECT_EQ(V.lookup("</s>"), Vocabulary::Eos);
+}
+
+TEST(VocabularyTest, AddIsIdempotent) {
+  Vocabulary V;
+  int A = V.add("x");
+  int B = V.add("x");
+  EXPECT_EQ(A, B);
+  EXPECT_EQ(V.size(), 5);
+}
+
+TEST(VocabularyTest, FrozenLookupReturnsUnk) {
+  Vocabulary V;
+  V.add("known");
+  V.freeze();
+  EXPECT_EQ(V.lookup("unknown"), Vocabulary::Unk);
+  EXPECT_NE(V.lookup("known"), Vocabulary::Unk);
+}
+
+TEST(VocabularyTest, TokenRoundTrip) {
+  Vocabulary V;
+  int Id = V.add("hello");
+  EXPECT_EQ(V.token(Id), "hello");
+}
+
+TEST(ValueTokenTest, SmallIntsExact) {
+  EXPECT_EQ(valueToken(Value::makeInt(0)), "0");
+  EXPECT_EQ(valueToken(Value::makeInt(-7)), "-7");
+  EXPECT_EQ(valueToken(Value::makeInt(64)), "64");
+}
+
+TEST(ValueTokenTest, LargeIntsBucketed) {
+  EXPECT_EQ(valueToken(Value::makeInt(100)), "<int+e2>");
+  EXPECT_EQ(valueToken(Value::makeInt(-100)), "<int-e2>");
+  EXPECT_EQ(valueToken(Value::makeInt(1000)), "<int+e3>");
+  EXPECT_EQ(valueToken(Value::makeInt(1000000)), "<int+big>");
+}
+
+TEST(ValueTokenTest, BucketingIsStable) {
+  // Two values in the same bucket share a token; across buckets differ.
+  EXPECT_EQ(valueToken(Value::makeInt(100)), valueToken(Value::makeInt(200)));
+  EXPECT_NE(valueToken(Value::makeInt(100)), valueToken(Value::makeInt(5000)));
+}
+
+TEST(ValueTokenTest, StringsAndBools) {
+  EXPECT_EQ(valueToken(Value::makeBool(true)), "true");
+  EXPECT_EQ(valueToken(Value::makeString("ab")), "\"ab\"");
+  EXPECT_EQ(valueToken(Value::makeString("abcdefghijklmnop")), "<str:len16>");
+  EXPECT_EQ(valueToken(Value::undef()), "⊥");
+}
+
+TEST(ValueTokenTest, FlattenedArrayTokens) {
+  Value Arr = intArray({1, 2});
+  std::vector<std::string> Tokens = valueTokens(Arr);
+  EXPECT_EQ(Tokens, (std::vector<std::string>{"1", "2"}));
+  Value Empty = Value::makeArray({});
+  EXPECT_EQ(valueTokens(Empty), (std::vector<std::string>{"<empty>"}));
+}
