@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_ablation_no_attention.dir/fig10_ablation_no_attention.cpp.o"
+  "CMakeFiles/fig10_ablation_no_attention.dir/fig10_ablation_no_attention.cpp.o.d"
+  "fig10_ablation_no_attention"
+  "fig10_ablation_no_attention.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_ablation_no_attention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

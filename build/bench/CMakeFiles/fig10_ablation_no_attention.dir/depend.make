@@ -1,0 +1,2 @@
+# Empty dependencies file for fig10_ablation_no_attention.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_data_reliance.dir/fig6_data_reliance.cpp.o"
+  "CMakeFiles/fig6_data_reliance.dir/fig6_data_reliance.cpp.o.d"
+  "fig6_data_reliance"
+  "fig6_data_reliance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_data_reliance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_coset_reliance.dir/fig7_coset_reliance.cpp.o"
+  "CMakeFiles/fig7_coset_reliance.dir/fig7_coset_reliance.cpp.o.d"
+  "fig7_coset_reliance"
+  "fig7_coset_reliance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_coset_reliance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

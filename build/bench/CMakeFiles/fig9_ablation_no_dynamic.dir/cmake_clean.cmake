@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_ablation_no_dynamic.dir/fig9_ablation_no_dynamic.cpp.o"
+  "CMakeFiles/fig9_ablation_no_dynamic.dir/fig9_ablation_no_dynamic.cpp.o.d"
+  "fig9_ablation_no_dynamic"
+  "fig9_ablation_no_dynamic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_ablation_no_dynamic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/table2_method_name.cpp" "bench/CMakeFiles/table2_method_name.dir/table2_method_name.cpp.o" "gcc" "bench/CMakeFiles/table2_method_name.dir/table2_method_name.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/eval/CMakeFiles/liger_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataset/CMakeFiles/liger_dataset.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/liger_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/liger_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/testgen/CMakeFiles/liger_testgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/symx/CMakeFiles/liger_symx.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/liger_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/liger_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/liger_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/liger_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_method_name.dir/table2_method_name.cpp.o"
+  "CMakeFiles/table2_method_name.dir/table2_method_name.cpp.o.d"
+  "table2_method_name"
+  "table2_method_name.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_method_name.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_coset.dir/table3_coset.cpp.o"
+  "CMakeFiles/table3_coset.dir/table3_coset.cpp.o.d"
+  "table3_coset"
+  "table3_coset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_coset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

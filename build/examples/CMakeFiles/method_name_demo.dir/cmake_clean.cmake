@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/method_name_demo.dir/method_name_demo.cpp.o"
+  "CMakeFiles/method_name_demo.dir/method_name_demo.cpp.o.d"
+  "method_name_demo"
+  "method_name_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/method_name_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sorting_semantics.dir/sorting_semantics.cpp.o"
+  "CMakeFiles/sorting_semantics.dir/sorting_semantics.cpp.o.d"
+  "sorting_semantics"
+  "sorting_semantics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sorting_semantics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/liger_dataset.dir/Corpus.cpp.o"
+  "CMakeFiles/liger_dataset.dir/Corpus.cpp.o.d"
+  "CMakeFiles/liger_dataset.dir/Tasks.cpp.o"
+  "CMakeFiles/liger_dataset.dir/Tasks.cpp.o.d"
+  "libliger_dataset.a"
+  "libliger_dataset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/liger_dataset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/liger_eval.dir/Experiments.cpp.o"
+  "CMakeFiles/liger_eval.dir/Experiments.cpp.o.d"
+  "CMakeFiles/liger_eval.dir/Metrics.cpp.o"
+  "CMakeFiles/liger_eval.dir/Metrics.cpp.o.d"
+  "CMakeFiles/liger_eval.dir/Training.cpp.o"
+  "CMakeFiles/liger_eval.dir/Training.cpp.o.d"
+  "libliger_eval.a"
+  "libliger_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/liger_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for liger_eval.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/liger_interp.dir/Interpreter.cpp.o"
+  "CMakeFiles/liger_interp.dir/Interpreter.cpp.o.d"
+  "CMakeFiles/liger_interp.dir/Value.cpp.o"
+  "CMakeFiles/liger_interp.dir/Value.cpp.o.d"
+  "libliger_interp.a"
+  "libliger_interp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/liger_interp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

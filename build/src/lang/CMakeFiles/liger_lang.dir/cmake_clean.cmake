@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/liger_lang.dir/Ast.cpp.o"
+  "CMakeFiles/liger_lang.dir/Ast.cpp.o.d"
+  "CMakeFiles/liger_lang.dir/AstPrinter.cpp.o"
+  "CMakeFiles/liger_lang.dir/AstPrinter.cpp.o.d"
+  "CMakeFiles/liger_lang.dir/AstTree.cpp.o"
+  "CMakeFiles/liger_lang.dir/AstTree.cpp.o.d"
+  "CMakeFiles/liger_lang.dir/Lexer.cpp.o"
+  "CMakeFiles/liger_lang.dir/Lexer.cpp.o.d"
+  "CMakeFiles/liger_lang.dir/Parser.cpp.o"
+  "CMakeFiles/liger_lang.dir/Parser.cpp.o.d"
+  "CMakeFiles/liger_lang.dir/TypeCheck.cpp.o"
+  "CMakeFiles/liger_lang.dir/TypeCheck.cpp.o.d"
+  "libliger_lang.a"
+  "libliger_lang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/liger_lang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

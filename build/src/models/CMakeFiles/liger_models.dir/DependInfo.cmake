@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/models/Code2Seq.cpp" "src/models/CMakeFiles/liger_models.dir/Code2Seq.cpp.o" "gcc" "src/models/CMakeFiles/liger_models.dir/Code2Seq.cpp.o.d"
+  "/root/repo/src/models/Code2Vec.cpp" "src/models/CMakeFiles/liger_models.dir/Code2Vec.cpp.o" "gcc" "src/models/CMakeFiles/liger_models.dir/Code2Vec.cpp.o.d"
+  "/root/repo/src/models/Common.cpp" "src/models/CMakeFiles/liger_models.dir/Common.cpp.o" "gcc" "src/models/CMakeFiles/liger_models.dir/Common.cpp.o.d"
+  "/root/repo/src/models/Decoder.cpp" "src/models/CMakeFiles/liger_models.dir/Decoder.cpp.o" "gcc" "src/models/CMakeFiles/liger_models.dir/Decoder.cpp.o.d"
+  "/root/repo/src/models/Dypro.cpp" "src/models/CMakeFiles/liger_models.dir/Dypro.cpp.o" "gcc" "src/models/CMakeFiles/liger_models.dir/Dypro.cpp.o.d"
+  "/root/repo/src/models/Liger.cpp" "src/models/CMakeFiles/liger_models.dir/Liger.cpp.o" "gcc" "src/models/CMakeFiles/liger_models.dir/Liger.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/liger_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/liger_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/liger_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/liger_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/liger_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/liger_models.dir/Code2Seq.cpp.o"
+  "CMakeFiles/liger_models.dir/Code2Seq.cpp.o.d"
+  "CMakeFiles/liger_models.dir/Code2Vec.cpp.o"
+  "CMakeFiles/liger_models.dir/Code2Vec.cpp.o.d"
+  "CMakeFiles/liger_models.dir/Common.cpp.o"
+  "CMakeFiles/liger_models.dir/Common.cpp.o.d"
+  "CMakeFiles/liger_models.dir/Decoder.cpp.o"
+  "CMakeFiles/liger_models.dir/Decoder.cpp.o.d"
+  "CMakeFiles/liger_models.dir/Dypro.cpp.o"
+  "CMakeFiles/liger_models.dir/Dypro.cpp.o.d"
+  "CMakeFiles/liger_models.dir/Liger.cpp.o"
+  "CMakeFiles/liger_models.dir/Liger.cpp.o.d"
+  "libliger_models.a"
+  "libliger_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/liger_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/GradCheck.cpp" "src/nn/CMakeFiles/liger_nn.dir/GradCheck.cpp.o" "gcc" "src/nn/CMakeFiles/liger_nn.dir/GradCheck.cpp.o.d"
+  "/root/repo/src/nn/Graph.cpp" "src/nn/CMakeFiles/liger_nn.dir/Graph.cpp.o" "gcc" "src/nn/CMakeFiles/liger_nn.dir/Graph.cpp.o.d"
+  "/root/repo/src/nn/Module.cpp" "src/nn/CMakeFiles/liger_nn.dir/Module.cpp.o" "gcc" "src/nn/CMakeFiles/liger_nn.dir/Module.cpp.o.d"
+  "/root/repo/src/nn/Optim.cpp" "src/nn/CMakeFiles/liger_nn.dir/Optim.cpp.o" "gcc" "src/nn/CMakeFiles/liger_nn.dir/Optim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lang/CMakeFiles/liger_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/liger_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

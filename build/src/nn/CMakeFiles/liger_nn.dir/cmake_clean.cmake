@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/liger_nn.dir/GradCheck.cpp.o"
+  "CMakeFiles/liger_nn.dir/GradCheck.cpp.o.d"
+  "CMakeFiles/liger_nn.dir/Graph.cpp.o"
+  "CMakeFiles/liger_nn.dir/Graph.cpp.o.d"
+  "CMakeFiles/liger_nn.dir/Module.cpp.o"
+  "CMakeFiles/liger_nn.dir/Module.cpp.o.d"
+  "CMakeFiles/liger_nn.dir/Optim.cpp.o"
+  "CMakeFiles/liger_nn.dir/Optim.cpp.o.d"
+  "libliger_nn.a"
+  "libliger_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/liger_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

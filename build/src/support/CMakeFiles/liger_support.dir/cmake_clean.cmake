@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/liger_support.dir/Rng.cpp.o"
+  "CMakeFiles/liger_support.dir/Rng.cpp.o.d"
+  "CMakeFiles/liger_support.dir/StringUtils.cpp.o"
+  "CMakeFiles/liger_support.dir/StringUtils.cpp.o.d"
+  "CMakeFiles/liger_support.dir/Table.cpp.o"
+  "CMakeFiles/liger_support.dir/Table.cpp.o.d"
+  "libliger_support.a"
+  "libliger_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/liger_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/liger_symx.dir/Solver.cpp.o"
+  "CMakeFiles/liger_symx.dir/Solver.cpp.o.d"
+  "CMakeFiles/liger_symx.dir/SymExec.cpp.o"
+  "CMakeFiles/liger_symx.dir/SymExec.cpp.o.d"
+  "CMakeFiles/liger_symx.dir/SymExpr.cpp.o"
+  "CMakeFiles/liger_symx.dir/SymExpr.cpp.o.d"
+  "libliger_symx.a"
+  "libliger_symx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/liger_symx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/liger_testgen.dir/Coverage.cpp.o"
+  "CMakeFiles/liger_testgen.dir/Coverage.cpp.o.d"
+  "CMakeFiles/liger_testgen.dir/InputGen.cpp.o"
+  "CMakeFiles/liger_testgen.dir/InputGen.cpp.o.d"
+  "CMakeFiles/liger_testgen.dir/TraceCollector.cpp.o"
+  "CMakeFiles/liger_testgen.dir/TraceCollector.cpp.o.d"
+  "libliger_testgen.a"
+  "libliger_testgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/liger_testgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/liger_trace.dir/Trace.cpp.o"
+  "CMakeFiles/liger_trace.dir/Trace.cpp.o.d"
+  "CMakeFiles/liger_trace.dir/Vocabulary.cpp.o"
+  "CMakeFiles/liger_trace.dir/Vocabulary.cpp.o.d"
+  "libliger_trace.a"
+  "libliger_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/liger_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

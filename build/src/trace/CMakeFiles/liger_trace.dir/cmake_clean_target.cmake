@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libliger_trace.a"
+)

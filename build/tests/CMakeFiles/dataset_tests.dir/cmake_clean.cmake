@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dataset_tests.dir/DatasetTests.cpp.o"
+  "CMakeFiles/dataset_tests.dir/DatasetTests.cpp.o.d"
+  "dataset_tests"
+  "dataset_tests.pdb"
+  "dataset_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dataset_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lang_tests.dir/LangTests.cpp.o"
+  "CMakeFiles/lang_tests.dir/LangTests.cpp.o.d"
+  "lang_tests"
+  "lang_tests.pdb"
+  "lang_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lang_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

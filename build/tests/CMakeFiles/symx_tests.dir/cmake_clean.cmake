@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/symx_tests.dir/SymxTests.cpp.o"
+  "CMakeFiles/symx_tests.dir/SymxTests.cpp.o.d"
+  "symx_tests"
+  "symx_tests.pdb"
+  "symx_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/symx_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/testgen_tests.dir/TestgenTests.cpp.o"
+  "CMakeFiles/testgen_tests.dir/TestgenTests.cpp.o.d"
+  "testgen_tests"
+  "testgen_tests.pdb"
+  "testgen_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/testgen_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/support_tests[1]_include.cmake")
+include("/root/repo/build/tests/lang_tests[1]_include.cmake")
+include("/root/repo/build/tests/interp_tests[1]_include.cmake")
+include("/root/repo/build/tests/trace_tests[1]_include.cmake")
+include("/root/repo/build/tests/symx_tests[1]_include.cmake")
+include("/root/repo/build/tests/nn_tests[1]_include.cmake")
+include("/root/repo/build/tests/testgen_tests[1]_include.cmake")
+include("/root/repo/build/tests/models_tests[1]_include.cmake")
+include("/root/repo/build/tests/dataset_tests[1]_include.cmake")
+include("/root/repo/build/tests/eval_tests[1]_include.cmake")
+include("/root/repo/build/tests/property_tests[1]_include.cmake")
