@@ -1,0 +1,154 @@
+//===-- bench/epoch_throughput.cpp - Training throughput benchmark --------===//
+//
+// Part of the LIGER reproduction project.
+//
+//===----------------------------------------------------------------------===//
+//
+// End-to-end training throughput of the parallel mini-batch epoch loop
+// (not a paper table). Trains the same LIGER name-prediction model from
+// the same seed at several worker-thread counts, and emits
+// BENCH_epoch.json with samples/sec per configuration, the speedup over
+// the serial run, the peak live graph-node count per sample, and a
+// determinism check (final epoch losses must be bitwise-identical
+// across thread counts).
+//
+// Usage: epoch_throughput [--methods=N] [--epochs=N] [--batch=N]
+//                         [--hidden=N] [--threads=N] ...
+// --threads sets the maximum thread count swept (default 4; the sweep
+// is {1, 2, ..max} by doubling).
+//
+//===----------------------------------------------------------------------===//
+
+#include "eval/Experiments.h"
+#include "eval/Training.h"
+#include "models/Liger.h"
+#include "support/Stopwatch.h"
+
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace liger;
+
+namespace {
+
+struct ConfigResult {
+  size_t Threads = 0;
+  double Seconds = 0;
+  double SamplesPerSec = 0;
+  double FinalLoss = 0;
+};
+
+LigerConfig modelConfig(const ExperimentScale &Scale) {
+  LigerConfig Config;
+  Config.EmbedDim = Scale.EmbedDim;
+  Config.Hidden = Scale.Hidden;
+  Config.AttnHidden = Scale.Hidden;
+  return Config;
+}
+
+/// Trains a fresh same-seed model with \p Threads workers.
+ConfigResult runConfig(const NameTask &Task, const ExperimentScale &Scale,
+                       size_t Threads) {
+  LigerNamePredictor Net(Task.Joint, Task.Target, modelConfig(Scale),
+                         Scale.Seed);
+  NameModelHooks Hooks;
+  Hooks.Loss = [&](const MethodSample &S) { return Net.loss(S); };
+  Hooks.Predict = [&](const MethodSample &S) { return Net.predict(S); };
+  Hooks.Params = &Net.params();
+
+  TrainOptions Options = Scale.trainOptions();
+  Options.Threads = Threads;
+  Options.SelectBestOnValidation = false; // time the epoch loop only
+
+  Stopwatch Timer;
+  TrainResult Train = trainNameModel(Hooks, Task.Split.Train,
+                                     std::vector<MethodSample>(), Options);
+  ConfigResult Result;
+  Result.Threads = Threads;
+  Result.Seconds = Timer.seconds();
+  Result.SamplesPerSec =
+      static_cast<double>(Task.Split.Train.size() * Options.Epochs) /
+      Result.Seconds;
+  Result.FinalLoss = Train.FinalTrainLoss;
+  return Result;
+}
+
+/// Peak live graph nodes over one serial pass (loss + backward per
+/// sample, arena reset between samples).
+size_t measurePeakNodes(const NameTask &Task, const ExperimentScale &Scale) {
+  LigerNamePredictor Net(Task.Joint, Task.Target, modelConfig(Scale),
+                         Scale.Seed);
+  GraphArena Arena;
+  GraphArena::Scope Scope(Arena);
+  GradSink Sink;
+  for (const MethodSample &Sample : Task.Split.Train) {
+    backward(Net.loss(Sample), Sink);
+    Sink.clear();
+    Arena.reset();
+  }
+  return Arena.peakLive();
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  ExperimentScale Scale = ExperimentScale::fromArgs(Argc, Argv);
+  size_t MaxThreads = Scale.Threads > 1 ? Scale.Threads : 4;
+
+  std::printf("building corpus (%zu methods)...\n", Scale.MethodsMed);
+  NameTask Task = buildNameTask(Scale, /*Large=*/false);
+  std::printf("train=%zu valid=%zu test=%zu, %zu epochs, batch %zu\n",
+              Task.Split.Train.size(), Task.Split.Valid.size(),
+              Task.Split.Test.size(), Scale.Epochs, Scale.BatchSize);
+
+  size_t PeakNodes = measurePeakNodes(Task, Scale);
+  std::printf("peak live graph nodes per sample: %zu\n", PeakNodes);
+
+  std::vector<ConfigResult> Results;
+  for (size_t Threads = 1; Threads <= MaxThreads; Threads *= 2) {
+    ConfigResult R = runConfig(Task, Scale, Threads);
+    std::printf("threads=%zu  %.2fs  %.1f samples/sec  final loss %.6f\n",
+                R.Threads, R.Seconds, R.SamplesPerSec, R.FinalLoss);
+    Results.push_back(R);
+  }
+
+  bool Deterministic = true;
+  for (const ConfigResult &R : Results)
+    if (R.FinalLoss != Results.front().FinalLoss)
+      Deterministic = false;
+  std::printf("determinism across thread counts: %s\n",
+              Deterministic ? "OK (bitwise)" : "FAILED");
+
+  FILE *F = std::fopen("BENCH_epoch.json", "w");
+  if (!F) {
+    std::fprintf(stderr, "cannot write BENCH_epoch.json\n");
+    return 1;
+  }
+  std::fprintf(F, "{\n");
+  std::fprintf(F, "  \"train_samples\": %zu,\n", Task.Split.Train.size());
+  std::fprintf(F, "  \"epochs\": %zu,\n", Scale.Epochs);
+  std::fprintf(F, "  \"batch_size\": %zu,\n", Scale.BatchSize);
+  std::fprintf(F, "  \"hidden\": %zu,\n", Scale.Hidden);
+  std::fprintf(F, "  \"peak_graph_nodes\": %zu,\n", PeakNodes);
+  std::fprintf(F, "  \"hardware_concurrency\": %u,\n",
+               std::thread::hardware_concurrency());
+  std::fprintf(F, "  \"deterministic_across_threads\": %s,\n",
+               Deterministic ? "true" : "false");
+  std::fprintf(F, "  \"configs\": [\n");
+  for (size_t I = 0; I < Results.size(); ++I) {
+    const ConfigResult &R = Results[I];
+    std::fprintf(F,
+                 "    {\"threads\": %zu, \"seconds\": %.3f, "
+                 "\"samples_per_sec\": %.2f, \"final_loss\": %.9g, "
+                 "\"speedup_vs_serial\": %.3f}%s\n",
+                 R.Threads, R.Seconds, R.SamplesPerSec, R.FinalLoss,
+                 Results.front().Seconds / R.Seconds,
+                 I + 1 < Results.size() ? "," : "");
+  }
+  std::fprintf(F, "  ]\n}\n");
+  std::fclose(F);
+  std::printf("wrote BENCH_epoch.json\n");
+  return 0;
+}

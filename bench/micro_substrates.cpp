@@ -113,11 +113,15 @@ BENCHMARK(BM_CollectTraces);
 void BM_MatvecHidden(benchmark::State &State) {
   size_t H = static_cast<size_t>(State.range(0));
   Rng R(1);
+  // Inputs live on the default arena, outside the per-iteration scope.
   Var M = parameter(Tensor::xavier(H, H, R));
   Var X = constant(Tensor::uniform(H, 1.0f, R));
+  GraphArena Arena;
+  GraphArena::Scope Scope(Arena);
   for (auto _ : State) {
     Var Y = matvec(M, X);
     benchmark::DoNotOptimize(Y->Value[0]);
+    Arena.reset();
   }
 }
 BENCHMARK(BM_MatvecHidden)->Arg(32)->Arg(64)->Arg(128);
@@ -129,12 +133,32 @@ void BM_GruSequence(benchmark::State &State) {
   std::vector<Var> Inputs;
   for (int I = 0; I < 30; ++I)
     Inputs.push_back(constant(Tensor::uniform(32, 1.0f, R)));
+  GraphArena Arena;
+  GraphArena::Scope Scope(Arena);
   for (auto _ : State) {
     auto States = Cell.run(Inputs);
     benchmark::DoNotOptimize(States.back().H->Value[0]);
+    Arena.reset();
   }
 }
 BENCHMARK(BM_GruSequence);
+
+void BM_ArenaGraphChurn(benchmark::State &State) {
+  // Build-and-reset cost of a deep elementwise chain: isolates node
+  // allocation, tensor-pool traffic, and arena reset from model math.
+  Rng R(1);
+  Var X = constant(Tensor::uniform(64, 1.0f, R));
+  GraphArena Arena;
+  GraphArena::Scope Scope(Arena);
+  for (auto _ : State) {
+    Var Y = X;
+    for (int I = 0; I < 100; ++I)
+      Y = tanhV(scale(Y, 0.99f));
+    benchmark::DoNotOptimize(Y->Value[0]);
+    Arena.reset();
+  }
+}
+BENCHMARK(BM_ArenaGraphChurn);
 
 void BM_LigerForwardBackward(benchmark::State &State) {
   Program &P = sortProgram();
@@ -157,11 +181,14 @@ void BM_LigerForwardBackward(benchmark::State &State) {
   Config.Hidden = 24;
   Config.AttnHidden = 24;
   LigerNamePredictor Net(Joint, Target, Config, 1);
+  GraphArena Arena;
+  GraphArena::Scope Scope(Arena);
   for (auto _ : State) {
     Var Loss = Net.loss(Sample);
     backward(Loss);
     Net.params().zeroGrads();
     benchmark::DoNotOptimize(Loss->Value[0]);
+    Arena.reset();
   }
 }
 BENCHMARK(BM_LigerForwardBackward);

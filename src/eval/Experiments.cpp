@@ -48,7 +48,8 @@ ExperimentScale ExperimentScale::fromArgs(int Argc, char **Argv) {
         TakeSize("epochs", Scale.Epochs) ||
         TakeSize("batch", Scale.BatchSize) ||
         TakeSize("hidden", Scale.Hidden) ||
-        TakeSize("embed", Scale.EmbedDim))
+        TakeSize("embed", Scale.EmbedDim) ||
+        TakeSize("threads", Scale.Threads))
       continue;
     if (TakeSize("paths", Tmp)) {
       Scale.TargetPaths = static_cast<unsigned>(Tmp);
@@ -88,6 +89,7 @@ TrainOptions ExperimentScale::trainOptions() const {
   Options.LearningRate = LearningRate;
   Options.Seed = Seed;
   Options.Verbose = Verbose;
+  Options.Threads = Threads;
   return Options;
 }
 
@@ -310,8 +312,12 @@ NameRunResult liger::runNameModel(NameModel Model, const NameTask &Task,
     // Evaluate with attention introspection.
     SubtokenScorer Scorer;
     FusionStats Fusion;
-    for (const MethodSample &Sample : Test)
+    GraphArena Arena;
+    GraphArena::Scope Scope(Arena);
+    for (const MethodSample &Sample : Test) {
       Scorer.add(Net.predict(Sample, &Fusion), Sample.NameSubtokens);
+      Arena.reset();
+    }
     Result.Test = Scorer.scores();
     Result.StaticAttention = Fusion.staticMean();
     return Result;

@@ -42,6 +42,7 @@ struct ExperimentScale {
   unsigned TargetPaths = 8;       ///< Symbolic traces/method (paper: 20).
   unsigned ExecutionsPerPath = 5; ///< Concrete traces/path (paper: 5).
   uint64_t Seed = 7;
+  size_t Threads = 1; ///< Training worker threads (results invariant).
   bool Verbose = false;
 
   /// Parses --key=value overrides (unknown keys are fatal).

@@ -7,8 +7,10 @@
 #include "eval/Training.h"
 
 #include "support/Stopwatch.h"
+#include "support/ThreadPool.h"
 
 #include <cstdio>
+#include <memory>
 
 using namespace liger;
 
@@ -30,29 +32,68 @@ void restoreParams(ParamStore &Store, const std::vector<Tensor> &Snapshot) {
 }
 
 /// Shared epoch loop: shuffled mini-batches, mean loss, Adam step.
+///
+/// Each sample in a batch is processed independently — its graph is
+/// built and differentiated into a per-sample GradSink, and its arena
+/// is reset immediately afterwards — so the samples of a batch can run
+/// on pool workers concurrently (parameters are read-only during the
+/// batch). The calling thread then reduces the sinks in sample-index
+/// order, scales by 1/B, and steps Adam once. Because the per-sample
+/// work and the reduction order are independent of which thread ran
+/// which sample, the result is bitwise-identical for any thread count.
 template <typename LossFn>
 double runEpoch(const std::vector<MethodSample> &Train, size_t BatchSize,
-                const LossFn &Loss, Adam &Opt, Rng &R) {
+                const LossFn &Loss, ParamStore &Store, Adam &Opt, Rng &R,
+                ThreadPool *Pool) {
   std::vector<size_t> Order(Train.size());
   for (size_t I = 0; I < Order.size(); ++I)
     Order[I] = I;
   R.shuffle(Order);
 
+  // Serial (and pool-of-zero) execution runs inline on this thread;
+  // scope a dedicated arena so per-sample resets cannot clobber graph
+  // nodes the caller may hold on the thread's default arena. Pool
+  // workers fall back to their own per-thread default arenas.
+  GraphArena EpochArena;
+  GraphArena::Scope EpochScope(EpochArena);
+
+  size_t MaxBatch = std::min(BatchSize, Order.size());
+  std::vector<GradSink> Sinks(MaxBatch);
+  std::vector<double> SampleLoss(MaxBatch);
+
   double EpochLoss = 0;
-  size_t NumLosses = 0;
   for (size_t Begin = 0; Begin < Order.size(); Begin += BatchSize) {
-    size_t End = std::min(Order.size(), Begin + BatchSize);
-    std::vector<Var> Losses;
-    for (size_t I = Begin; I < End; ++I)
-      Losses.push_back(Loss(Train[Order[I]]));
-    Var Batch = meanLoss(Losses);
-    EpochLoss += static_cast<double>(Batch->Value[0]) *
-                 static_cast<double>(Losses.size());
-    NumLosses += Losses.size();
-    backward(Batch);
+    size_t B = std::min(Order.size(), Begin + BatchSize) - Begin;
+    auto Work = [&](size_t K) {
+      // Clearing here (not after the reduction) returns the sink's
+      // buffers to the pool of the thread that will refill it.
+      Sinks[K].clear();
+      Var SampleVar = Loss(Train[Order[Begin + K]]);
+      SampleLoss[K] = static_cast<double>(SampleVar->Value[0]);
+      backward(SampleVar, Sinks[K]);
+      GraphArena::current().reset();
+    };
+    if (Pool)
+      Pool->run(B, Work);
+    else
+      for (size_t K = 0; K < B; ++K)
+        Work(K);
+
+    for (size_t K = 0; K < B; ++K) {
+      Store.accumulateSink(Sinks[K]);
+      EpochLoss += SampleLoss[K];
+    }
+    Store.scaleGrads(1.0f / static_cast<float>(B));
     Opt.step();
   }
-  return NumLosses == 0 ? 0.0 : EpochLoss / static_cast<double>(NumLosses);
+  return Order.empty() ? 0.0 : EpochLoss / static_cast<double>(Order.size());
+}
+
+/// The worker pool for \p Options, or null for inline execution.
+std::unique_ptr<ThreadPool> makePool(const TrainOptions &Options) {
+  if (Options.Threads <= 1)
+    return nullptr;
+  return std::make_unique<ThreadPool>(Options.Threads);
 }
 
 } // namespace
@@ -60,8 +101,12 @@ double runEpoch(const std::vector<MethodSample> &Train, size_t BatchSize,
 PrfScores liger::evaluateNameModel(const NameModelHooks &Hooks,
                                    const std::vector<MethodSample> &Samples) {
   SubtokenScorer Scorer;
-  for (const MethodSample &Sample : Samples)
+  GraphArena Arena;
+  GraphArena::Scope Scope(Arena);
+  for (const MethodSample &Sample : Samples) {
     Scorer.add(Hooks.Predict(Sample), Sample.NameSubtokens);
+    Arena.reset();
+  }
   return Scorer.scores();
 }
 
@@ -73,16 +118,18 @@ TrainResult liger::trainNameModel(const NameModelHooks &Hooks,
   Stopwatch Timer;
   AdamOptions AdamOpts;
   AdamOpts.LearningRate = Options.LearningRate;
+  AdamOpts.ClipNorm = Options.ClipNorm;
   Adam Opt(*Hooks.Params, AdamOpts);
   Rng R(Options.Seed);
+  std::unique_ptr<ThreadPool> Pool = makePool(Options);
 
   TrainResult Result;
   std::vector<Tensor> Best;
   bool TrackBest = Options.SelectBestOnValidation && !Valid.empty();
 
   for (size_t Epoch = 0; Epoch < Options.Epochs; ++Epoch) {
-    Result.FinalTrainLoss =
-        runEpoch(Train, Options.BatchSize, Hooks.Loss, Opt, R);
+    Result.FinalTrainLoss = runEpoch(Train, Options.BatchSize, Hooks.Loss,
+                                     *Hooks.Params, Opt, R, Pool.get());
     if (TrackBest) {
       PrfScores ValidScores = evaluateNameModel(Hooks, Valid);
       if (ValidScores.F1 >= Result.BestValidScore) {
@@ -107,8 +154,12 @@ ClassScores liger::evaluateClassifier(const ClassModelHooks &Hooks,
                                       const std::vector<MethodSample> &Samples,
                                       size_t NumClasses) {
   ClassificationScorer Scorer(NumClasses);
-  for (const MethodSample &Sample : Samples)
+  GraphArena Arena;
+  GraphArena::Scope Scope(Arena);
+  for (const MethodSample &Sample : Samples) {
     Scorer.add(Hooks.Predict(Sample), Sample.ClassId);
+    Arena.reset();
+  }
   ClassScores Out;
   Out.Accuracy = Scorer.accuracy();
   Out.MacroF1 = Scorer.macroF1();
@@ -124,16 +175,18 @@ TrainResult liger::trainClassifier(const ClassModelHooks &Hooks,
   Stopwatch Timer;
   AdamOptions AdamOpts;
   AdamOpts.LearningRate = Options.LearningRate;
+  AdamOpts.ClipNorm = Options.ClipNorm;
   Adam Opt(*Hooks.Params, AdamOpts);
   Rng R(Options.Seed);
+  std::unique_ptr<ThreadPool> Pool = makePool(Options);
 
   TrainResult Result;
   std::vector<Tensor> Best;
   bool TrackBest = Options.SelectBestOnValidation && !Valid.empty();
 
   for (size_t Epoch = 0; Epoch < Options.Epochs; ++Epoch) {
-    Result.FinalTrainLoss =
-        runEpoch(Train, Options.BatchSize, Hooks.Loss, Opt, R);
+    Result.FinalTrainLoss = runEpoch(Train, Options.BatchSize, Hooks.Loss,
+                                     *Hooks.Params, Opt, R, Pool.get());
     if (TrackBest) {
       ClassScores ValidScores =
           evaluateClassifier(Hooks, Valid, NumClasses);

@@ -33,6 +33,13 @@ struct TrainOptions {
   /// Select the epoch with the best validation score (F1 or accuracy);
   /// requires a non-empty validation set.
   bool SelectBestOnValidation = true;
+  /// Worker threads building/differentiating sample graphs within a
+  /// mini-batch. Results are bitwise-identical for any value: every
+  /// sample's gradient lands in its own accumulator, and accumulators
+  /// are reduced in sample order on the calling thread. 0 or 1 = serial.
+  size_t Threads = 1;
+  /// Clip the global gradient norm before each Adam step (0 = off).
+  float ClipNorm = 0.0f;
 };
 
 /// Hooks for a method-name prediction model.

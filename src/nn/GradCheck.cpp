@@ -13,20 +13,24 @@ GradCheckResult liger::checkGradients(ParamStore &Store,
                                       double Epsilon, double Tolerance) {
   GradCheckResult Result;
 
+  // Central differences call BuildLoss twice per scalar parameter;
+  // scope a local arena and reset it after every evaluation so the
+  // check runs in constant graph memory.
+  GraphArena Arena;
+  GraphArena::Scope Scope(Arena);
+
   // Analytic pass.
   Store.zeroGrads();
   Var Loss = BuildLoss();
   backward(Loss);
 
-  // Snapshot analytic gradients (step evaluation rebuilds the graph).
+  // Snapshot analytic gradients (the numeric loop rebuilds the graph;
+  // parameter nodes are store-owned, so the snapshot survives resets).
   std::vector<Tensor> Analytic;
   for (const Var &P : Store.params())
-    Analytic.push_back(P->Grad.empty()
-                           ? (P->Value.rank() == 1
-                                  ? Tensor::zeros(P->Value.dim(0))
-                                  : Tensor::zeros(P->Value.dim(0),
-                                                  P->Value.dim(1)))
-                           : P->Grad);
+    Analytic.push_back(P->Grad.empty() ? Tensor::zerosLike(P->Value)
+                                       : P->Grad);
+  Arena.reset();
 
   const auto &Params = Store.params();
   for (size_t PI = 0; PI < Params.size(); ++PI) {
@@ -35,8 +39,10 @@ GradCheckResult liger::checkGradients(ParamStore &Store,
       float Saved = P.Value[J];
       P.Value[J] = Saved + static_cast<float>(Epsilon);
       double LossPlus = static_cast<double>(BuildLoss()->Value[0]);
+      Arena.reset();
       P.Value[J] = Saved - static_cast<float>(Epsilon);
       double LossMinus = static_cast<double>(BuildLoss()->Value[0]);
+      Arena.reset();
       P.Value[J] = Saved;
 
       double Numeric = (LossPlus - LossMinus) / (2.0 * Epsilon);

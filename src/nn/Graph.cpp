@@ -13,40 +13,86 @@
 using namespace liger;
 
 namespace {
+
+/// Global creation counter. Creation order is a topological order of
+/// every DAG, including graphs whose nodes span arenas (a worker-arena
+/// graph consuming main-arena constants), so the counter is shared.
 std::atomic<uint64_t> NextSeq{1};
 
-Var makeNode(Tensor Value, std::vector<Var> Parents,
-             std::function<void(Node &)> BackwardFn) {
-  auto N = std::make_shared<Node>();
+/// Sink installed by backward(Loss, Sink) for the duration of the
+/// pass; Node::grad() routes parameter gradients through it.
+thread_local GradSink *ActiveSink = nullptr;
+
+Node *newNodeCommon(Tensor Value) {
+  Node *N = GraphArena::current().newNode();
   N->Value = std::move(Value);
-  N->Parents = std::move(Parents);
-  N->BackwardFn = std::move(BackwardFn);
   N->Seq = NextSeq.fetch_add(1, std::memory_order_relaxed);
-  for (const Var &Parent : N->Parents)
-    if (Parent->RequiresGrad) {
+  return N;
+}
+
+Node *finishNode(Node *N, void (*BackwardFn)(Node &)) {
+  N->BackwardFn = BackwardFn;
+  for (uint32_t I = 0; I < N->NumParents; ++I)
+    if (N->Parents[I]->RequiresGrad) {
       N->RequiresGrad = true;
       break;
     }
   return N;
 }
+
+Node *makeNode(Tensor Value, std::initializer_list<Var> Parents,
+               void (*BackwardFn)(Node &)) {
+  Node *N = newNodeCommon(std::move(Value));
+  N->NumParents = static_cast<uint32_t>(Parents.size());
+  N->Parents = GraphArena::current().allocArray<Node *>(N->NumParents);
+  size_t I = 0;
+  for (Var P : Parents)
+    N->Parents[I++] = P;
+  return finishNode(N, BackwardFn);
+}
+
+Node *makeNode(Tensor Value, const std::vector<Var> &Parents,
+               void (*BackwardFn)(Node &)) {
+  Node *N = newNodeCommon(std::move(Value));
+  N->NumParents = static_cast<uint32_t>(Parents.size());
+  N->Parents = GraphArena::current().allocArray<Node *>(N->NumParents);
+  for (size_t I = 0; I < Parents.size(); ++I)
+    N->Parents[I] = Parents[I];
+  return finishNode(N, BackwardFn);
+}
+
+/// Extra parent appended after \p Items (weightedCombine's weights).
+Node *makeNode(Tensor Value, const std::vector<Var> &Items, Var Extra,
+               void (*BackwardFn)(Node &)) {
+  Node *N = newNodeCommon(std::move(Value));
+  N->NumParents = static_cast<uint32_t>(Items.size() + 1);
+  N->Parents = GraphArena::current().allocArray<Node *>(N->NumParents);
+  for (size_t I = 0; I < Items.size(); ++I)
+    N->Parents[I] = Items[I];
+  N->Parents[Items.size()] = Extra;
+  return finishNode(N, BackwardFn);
+}
+
 } // namespace
 
 Tensor &Node::grad() {
-  if (Grad.empty() && !Value.empty()) {
-    if (Value.rank() == 1)
-      Grad = Tensor::zeros(Value.dim(0));
-    else
-      Grad = Tensor::zeros(Value.dim(0), Value.dim(1));
-  }
+  if (ParamIndex >= 0 && ActiveSink)
+    return ActiveSink->gradFor(*this);
+  if (Grad.empty() && !Value.empty())
+    Grad = Tensor::zerosLike(Value);
   return Grad;
 }
 
-Var liger::constant(Tensor Value) {
-  auto N = std::make_shared<Node>();
-  N->Value = std::move(Value);
-  N->Seq = NextSeq.fetch_add(1, std::memory_order_relaxed);
-  return N;
+Tensor &GradSink::gradFor(const Node &Param) {
+  size_t Index = static_cast<size_t>(Param.ParamIndex);
+  if (Index >= Grads.size())
+    Grads.resize(Index + 1);
+  if (Grads[Index].empty())
+    Grads[Index] = Tensor::zerosLike(Param.Value);
+  return Grads[Index];
 }
+
+Var liger::constant(Tensor Value) { return newNodeCommon(std::move(Value)); }
 
 Var liger::parameter(Tensor Value) {
   Var N = constant(std::move(Value));
@@ -54,174 +100,232 @@ Var liger::parameter(Tensor Value) {
   return N;
 }
 
+//===----------------------------------------------------------------------===//
+// Ops
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+void matvecBackward(Node &N) {
+  Node &MN = *N.Parents[0];
+  Node &XN = *N.Parents[1];
+  size_t Rows = MN.Value.dim(0), Cols = MN.Value.dim(1);
+  const float *G = N.Grad.data();
+  if (MN.RequiresGrad)
+    kernels::rank1Acc(Rows, Cols, G, XN.Value.data(), MN.grad().data());
+  if (XN.RequiresGrad)
+    kernels::matvecTAcc(Rows, Cols, MN.Value.data(), G, XN.grad().data());
+}
+
+} // namespace
+
 Var liger::matvec(const Var &M, const Var &X) {
   LIGER_CHECK(M->Value.rank() == 2 && X->Value.rank() == 1,
               "matvec expects matrix and vector");
   size_t Rows = M->Value.dim(0), Cols = M->Value.dim(1);
   LIGER_CHECK(Cols == X->Value.dim(0), "matvec dimension mismatch");
   Tensor Out = Tensor::zeros(Rows);
-  const float *MD = M->Value.data();
-  const float *XD = X->Value.data();
-  for (size_t R = 0; R < Rows; ++R) {
-    float Acc = 0.0f;
-    const float *RowPtr = MD + R * Cols;
-    for (size_t C = 0; C < Cols; ++C)
-      Acc += RowPtr[C] * XD[C];
-    Out[R] = Acc;
-  }
-  return makeNode(std::move(Out), {M, X}, [Rows, Cols](Node &N) {
-    Node &MN = *N.Parents[0];
-    Node &XN = *N.Parents[1];
-    const float *G = N.Grad.data();
-    if (MN.RequiresGrad) {
-      float *MG = MN.grad().data();
-      const float *XD = XN.Value.data();
-      for (size_t R = 0; R < Rows; ++R) {
-        float GR = G[R];
-        float *RowPtr = MG + R * Cols;
-        for (size_t C = 0; C < Cols; ++C)
-          RowPtr[C] += GR * XD[C];
-      }
-    }
-    if (XN.RequiresGrad) {
-      float *XG = XN.grad().data();
-      const float *MD = MN.Value.data();
-      for (size_t R = 0; R < Rows; ++R) {
-        float GR = G[R];
-        const float *RowPtr = MD + R * Cols;
-        for (size_t C = 0; C < Cols; ++C)
-          XG[C] += GR * RowPtr[C];
-      }
-    }
-  });
+  kernels::matvec(Rows, Cols, M->Value.data(), X->Value.data(), Out.data());
+  return makeNode(std::move(Out), {M, X}, matvecBackward);
 }
+
+namespace {
+
+void addBackward(Node &N) {
+  for (uint32_t P = 0; P < 2; ++P)
+    if (N.Parents[P]->RequiresGrad)
+      N.Parents[P]->grad().accumulate(N.Grad);
+}
+
+void subBackward(Node &N) {
+  if (N.Parents[0]->RequiresGrad)
+    N.Parents[0]->grad().accumulate(N.Grad);
+  if (N.Parents[1]->RequiresGrad)
+    kernels::axpy(N.Grad.size(), -1.0f, N.Grad.data(),
+                  N.Parents[1]->grad().data());
+}
+
+void mulBackward(Node &N) {
+  Node &AN = *N.Parents[0];
+  Node &BN = *N.Parents[1];
+  size_t Size = N.Grad.size();
+  const float *__restrict G = N.Grad.data();
+  if (AN.RequiresGrad) {
+    float *__restrict AG = AN.grad().data();
+    const float *__restrict BV = BN.Value.data();
+    for (size_t I = 0; I < Size; ++I)
+      AG[I] += G[I] * BV[I];
+  }
+  if (BN.RequiresGrad) {
+    float *__restrict BG = BN.grad().data();
+    const float *__restrict AV = AN.Value.data();
+    for (size_t I = 0; I < Size; ++I)
+      BG[I] += G[I] * AV[I];
+  }
+}
+
+void scaleBackward(Node &N) {
+  if (N.Parents[0]->RequiresGrad)
+    kernels::axpy(N.Grad.size(), N.FScalar, N.Grad.data(),
+                  N.Parents[0]->grad().data());
+}
+
+void tanhBackward(Node &N) {
+  if (!N.Parents[0]->RequiresGrad)
+    return;
+  float *__restrict AG = N.Parents[0]->grad().data();
+  const float *__restrict G = N.Grad.data();
+  const float *__restrict Y = N.Value.data();
+  for (size_t I = 0; I < N.Grad.size(); ++I)
+    AG[I] += G[I] * (1.0f - Y[I] * Y[I]);
+}
+
+void sigmoidBackward(Node &N) {
+  if (!N.Parents[0]->RequiresGrad)
+    return;
+  float *__restrict AG = N.Parents[0]->grad().data();
+  const float *__restrict G = N.Grad.data();
+  const float *__restrict Y = N.Value.data();
+  for (size_t I = 0; I < N.Grad.size(); ++I)
+    AG[I] += G[I] * Y[I] * (1.0f - Y[I]);
+}
+
+void reluBackward(Node &N) {
+  if (!N.Parents[0]->RequiresGrad)
+    return;
+  float *__restrict AG = N.Parents[0]->grad().data();
+  const float *__restrict G = N.Grad.data();
+  const float *__restrict Y = N.Value.data();
+  for (size_t I = 0; I < N.Grad.size(); ++I)
+    if (Y[I] > 0.0f)
+      AG[I] += G[I];
+}
+
+} // namespace
 
 Var liger::add(const Var &A, const Var &B) {
   LIGER_CHECK(A->Value.sameShape(B->Value), "add shape mismatch");
   Tensor Out = A->Value;
   Out.accumulate(B->Value);
-  return makeNode(std::move(Out), {A, B}, [](Node &N) {
-    for (int P = 0; P < 2; ++P)
-      if (N.Parents[P]->RequiresGrad)
-        N.Parents[P]->grad().accumulate(N.Grad);
-  });
+  return makeNode(std::move(Out), {A, B}, addBackward);
 }
 
 Var liger::sub(const Var &A, const Var &B) {
   LIGER_CHECK(A->Value.sameShape(B->Value), "sub shape mismatch");
   Tensor Out = A->Value;
-  for (size_t I = 0; I < Out.size(); ++I)
-    Out[I] -= B->Value[I];
-  return makeNode(std::move(Out), {A, B}, [](Node &N) {
-    if (N.Parents[0]->RequiresGrad)
-      N.Parents[0]->grad().accumulate(N.Grad);
-    if (N.Parents[1]->RequiresGrad) {
-      Tensor &BG = N.Parents[1]->grad();
-      for (size_t I = 0; I < BG.size(); ++I)
-        BG[I] -= N.Grad[I];
-    }
-  });
+  kernels::axpy(Out.size(), -1.0f, B->Value.data(), Out.data());
+  return makeNode(std::move(Out), {A, B}, subBackward);
 }
 
 Var liger::mul(const Var &A, const Var &B) {
   LIGER_CHECK(A->Value.sameShape(B->Value), "mul shape mismatch");
   Tensor Out = A->Value;
+  float *__restrict O = Out.data();
+  const float *__restrict BV = B->Value.data();
   for (size_t I = 0; I < Out.size(); ++I)
-    Out[I] *= B->Value[I];
-  return makeNode(std::move(Out), {A, B}, [](Node &N) {
-    Node &AN = *N.Parents[0];
-    Node &BN = *N.Parents[1];
-    if (AN.RequiresGrad) {
-      Tensor &AG = AN.grad();
-      for (size_t I = 0; I < AG.size(); ++I)
-        AG[I] += N.Grad[I] * BN.Value[I];
-    }
-    if (BN.RequiresGrad) {
-      Tensor &BG = BN.grad();
-      for (size_t I = 0; I < BG.size(); ++I)
-        BG[I] += N.Grad[I] * AN.Value[I];
-    }
-  });
+    O[I] *= BV[I];
+  return makeNode(std::move(Out), {A, B}, mulBackward);
 }
 
 Var liger::scale(const Var &A, float K) {
   Tensor Out = A->Value;
-  for (size_t I = 0; I < Out.size(); ++I)
-    Out[I] *= K;
-  return makeNode(std::move(Out), {A}, [K](Node &N) {
-    if (!N.Parents[0]->RequiresGrad)
-      return;
-    Tensor &AG = N.Parents[0]->grad();
-    for (size_t I = 0; I < AG.size(); ++I)
-      AG[I] += N.Grad[I] * K;
-  });
+  Out.scale(K);
+  Node *N = makeNode(std::move(Out), {A}, scaleBackward);
+  N->FScalar = K;
+  return N;
 }
 
 Var liger::tanhV(const Var &A) {
   Tensor Out = A->Value;
+  float *O = Out.data();
   for (size_t I = 0; I < Out.size(); ++I)
-    Out[I] = std::tanh(Out[I]);
-  return makeNode(std::move(Out), {A}, [](Node &N) {
-    if (!N.Parents[0]->RequiresGrad)
-      return;
-    Tensor &AG = N.Parents[0]->grad();
-    for (size_t I = 0; I < AG.size(); ++I) {
-      float Y = N.Value[I];
-      AG[I] += N.Grad[I] * (1.0f - Y * Y);
-    }
-  });
+    O[I] = std::tanh(O[I]);
+  return makeNode(std::move(Out), {A}, tanhBackward);
 }
 
 Var liger::sigmoidV(const Var &A) {
   Tensor Out = A->Value;
+  float *O = Out.data();
   for (size_t I = 0; I < Out.size(); ++I)
-    Out[I] = 1.0f / (1.0f + std::exp(-Out[I]));
-  return makeNode(std::move(Out), {A}, [](Node &N) {
-    if (!N.Parents[0]->RequiresGrad)
-      return;
-    Tensor &AG = N.Parents[0]->grad();
-    for (size_t I = 0; I < AG.size(); ++I) {
-      float Y = N.Value[I];
-      AG[I] += N.Grad[I] * Y * (1.0f - Y);
-    }
-  });
+    O[I] = 1.0f / (1.0f + std::exp(-O[I]));
+  return makeNode(std::move(Out), {A}, sigmoidBackward);
 }
 
 Var liger::reluV(const Var &A) {
   Tensor Out = A->Value;
+  float *O = Out.data();
   for (size_t I = 0; I < Out.size(); ++I)
-    Out[I] = Out[I] > 0.0f ? Out[I] : 0.0f;
-  return makeNode(std::move(Out), {A}, [](Node &N) {
-    if (!N.Parents[0]->RequiresGrad)
-      return;
-    Tensor &AG = N.Parents[0]->grad();
-    for (size_t I = 0; I < AG.size(); ++I)
-      if (N.Value[I] > 0.0f)
-        AG[I] += N.Grad[I];
-  });
+    O[I] = O[I] > 0.0f ? O[I] : 0.0f;
+  return makeNode(std::move(Out), {A}, reluBackward);
 }
+
+namespace {
+
+void concatBackward(Node &N) {
+  size_t NA = N.Parents[0]->Value.size();
+  size_t NB = N.Parents[1]->Value.size();
+  if (N.Parents[0]->RequiresGrad)
+    kernels::addAcc(NA, N.Grad.data(), N.Parents[0]->grad().data());
+  if (N.Parents[1]->RequiresGrad)
+    kernels::addAcc(NB, N.Grad.data() + NA, N.Parents[1]->grad().data());
+}
+
+void rowBackward(Node &N) {
+  if (!N.Parents[0]->RequiresGrad)
+    return;
+  size_t Cols = N.Value.size();
+  float *MG = N.Parents[0]->grad().data() + N.IScalar * Cols;
+  kernels::addAcc(Cols, N.Grad.data(), MG);
+}
+
+void stackScalarsBackward(Node &N) {
+  for (uint32_t I = 0; I < N.NumParents; ++I)
+    if (N.Parents[I]->RequiresGrad)
+      N.Parents[I]->grad()[0] += N.Grad[I];
+}
+
+void softmaxBackward(Node &N) {
+  if (!N.Parents[0]->RequiresGrad)
+    return;
+  // dL/dx_i = y_i (g_i - Σ_j g_j y_j)
+  size_t Size = N.Value.size();
+  const float *__restrict G = N.Grad.data();
+  const float *__restrict Y = N.Value.data();
+  float Mix = kernels::dot(Size, G, Y);
+  float *__restrict XG = N.Parents[0]->grad().data();
+  for (size_t I = 0; I < Size; ++I)
+    XG[I] += Y[I] * (G[I] - Mix);
+}
+
+void dotBackward(Node &N) {
+  float G = N.Grad[0];
+  Node &AN = *N.Parents[0];
+  Node &BN = *N.Parents[1];
+  if (AN.RequiresGrad)
+    kernels::axpy(AN.Value.size(), G, BN.Value.data(), AN.grad().data());
+  if (BN.RequiresGrad)
+    kernels::axpy(BN.Value.size(), G, AN.Value.data(), BN.grad().data());
+}
+
+void sumBackward(Node &N) {
+  if (!N.Parents[0]->RequiresGrad)
+    return;
+  float G = N.Grad[0];
+  float *AG = N.Parents[0]->grad().data();
+  for (size_t I = 0; I < N.Parents[0]->Value.size(); ++I)
+    AG[I] += G;
+}
+
+} // namespace
 
 Var liger::concat(const Var &A, const Var &B) {
   LIGER_CHECK(A->Value.rank() == 1 && B->Value.rank() == 1,
               "concat expects vectors");
   size_t NA = A->Value.dim(0), NB = B->Value.dim(0);
   Tensor Out = Tensor::zeros(NA + NB);
-  for (size_t I = 0; I < NA; ++I)
-    Out[I] = A->Value[I];
-  for (size_t I = 0; I < NB; ++I)
-    Out[NA + I] = B->Value[I];
-  return makeNode(std::move(Out), {A, B}, [NA, NB](Node &N) {
-    if (N.Parents[0]->RequiresGrad) {
-      Tensor &AG = N.Parents[0]->grad();
-      for (size_t I = 0; I < NA; ++I)
-        AG[I] += N.Grad[I];
-    }
-    if (N.Parents[1]->RequiresGrad) {
-      Tensor &BG = N.Parents[1]->grad();
-      for (size_t I = 0; I < NB; ++I)
-        BG[I] += N.Grad[NA + I];
-    }
-  });
+  std::memcpy(Out.data(), A->Value.data(), NA * sizeof(float));
+  std::memcpy(Out.data() + NA, B->Value.data(), NB * sizeof(float));
+  return makeNode(std::move(Out), {A, B}, concatBackward);
 }
 
 Var liger::row(const Var &M, size_t Index) {
@@ -229,15 +333,11 @@ Var liger::row(const Var &M, size_t Index) {
   LIGER_CHECK(Index < M->Value.dim(0), "row index out of range");
   size_t Cols = M->Value.dim(1);
   Tensor Out = Tensor::zeros(Cols);
-  for (size_t C = 0; C < Cols; ++C)
-    Out[C] = M->Value.at(Index, C);
-  return makeNode(std::move(Out), {M}, [Index, Cols](Node &N) {
-    if (!N.Parents[0]->RequiresGrad)
-      return;
-    Tensor &MG = N.Parents[0]->grad();
-    for (size_t C = 0; C < Cols; ++C)
-      MG.at(Index, C) += N.Grad[C];
-  });
+  std::memcpy(Out.data(), M->Value.data() + Index * Cols,
+              Cols * sizeof(float));
+  Node *N = makeNode(std::move(Out), {M}, rowBackward);
+  N->IScalar = Index;
+  return N;
 }
 
 Var liger::stackScalars(const std::vector<Var> &Scalars) {
@@ -248,64 +348,83 @@ Var liger::stackScalars(const std::vector<Var> &Scalars) {
                 "stackScalars inputs must be scalars");
     Out[I] = Scalars[I]->Value[0];
   }
-  return makeNode(std::move(Out), Scalars, [](Node &N) {
-    for (size_t I = 0; I < N.Parents.size(); ++I)
-      if (N.Parents[I]->RequiresGrad)
-        N.Parents[I]->grad()[0] += N.Grad[I];
-  });
+  return makeNode(std::move(Out), Scalars, stackScalarsBackward);
 }
 
 Var liger::softmax(const Var &Logits) {
   Tensor Out = Tensor::fromVector(softmaxValues(Logits->Value));
-  return makeNode(std::move(Out), {Logits}, [](Node &N) {
-    if (!N.Parents[0]->RequiresGrad)
-      return;
-    // dL/dx_i = y_i (g_i - Σ_j g_j y_j)
-    float Mix = 0.0f;
-    for (size_t J = 0; J < N.Value.size(); ++J)
-      Mix += N.Grad[J] * N.Value[J];
-    Tensor &G = N.Parents[0]->grad();
-    for (size_t I = 0; I < G.size(); ++I)
-      G[I] += N.Value[I] * (N.Grad[I] - Mix);
-  });
+  return makeNode(std::move(Out), {Logits}, softmaxBackward);
 }
 
 Var liger::dot(const Var &A, const Var &B) {
   LIGER_CHECK(A->Value.sameShape(B->Value), "dot shape mismatch");
-  float Acc = 0.0f;
-  for (size_t I = 0; I < A->Value.size(); ++I)
-    Acc += A->Value[I] * B->Value[I];
-  Tensor Out = Tensor::fromVector({Acc});
-  return makeNode(std::move(Out), {A, B}, [](Node &N) {
-    float G = N.Grad[0];
-    Node &AN = *N.Parents[0];
-    Node &BN = *N.Parents[1];
-    if (AN.RequiresGrad) {
-      Tensor &AG = AN.grad();
-      for (size_t I = 0; I < AG.size(); ++I)
-        AG[I] += G * BN.Value[I];
-    }
-    if (BN.RequiresGrad) {
-      Tensor &BG = BN.grad();
-      for (size_t I = 0; I < BG.size(); ++I)
-        BG[I] += G * AN.Value[I];
-    }
-  });
+  float Acc = kernels::dot(A->Value.size(), A->Value.data(), B->Value.data());
+  Tensor Out = Tensor::zeros(1);
+  Out[0] = Acc;
+  return makeNode(std::move(Out), {A, B}, dotBackward);
 }
 
 Var liger::sumV(const Var &A) {
   float Acc = 0.0f;
+  const float *AV = A->Value.data();
   for (size_t I = 0; I < A->Value.size(); ++I)
-    Acc += A->Value[I];
-  Tensor Out = Tensor::fromVector({Acc});
-  return makeNode(std::move(Out), {A}, [](Node &N) {
-    if (!N.Parents[0]->RequiresGrad)
-      return;
-    Tensor &AG = N.Parents[0]->grad();
-    for (size_t I = 0; I < AG.size(); ++I)
-      AG[I] += N.Grad[0];
-  });
+    Acc += AV[I];
+  Tensor Out = Tensor::zeros(1);
+  Out[0] = Acc;
+  return makeNode(std::move(Out), {A}, sumBackward);
 }
+
+namespace {
+
+void weightedCombineBackward(Node &N) {
+  uint32_t NumItems = N.NumParents - 1;
+  size_t Dim = N.Value.size();
+  Node &WN = *N.Parents[NumItems];
+  const float *__restrict G = N.Grad.data();
+  for (uint32_t I = 0; I < NumItems; ++I) {
+    Node &Item = *N.Parents[I];
+    float W = WN.Value[I];
+    if (Item.RequiresGrad)
+      kernels::axpy(Dim, W, G, Item.grad().data());
+    if (WN.RequiresGrad)
+      WN.grad()[I] += kernels::dot(Dim, G, Item.Value.data());
+  }
+}
+
+void maxPoolBackward(Node &N) {
+  size_t Dim = N.Value.size();
+  const size_t *ArgMax = N.AuxIdx;
+  for (size_t D = 0; D < Dim; ++D) {
+    Node &Winner = *N.Parents[ArgMax[D]];
+    if (Winner.RequiresGrad)
+      Winner.grad()[D] += N.Grad[D];
+  }
+}
+
+void meanPoolBackward(Node &N) {
+  size_t Dim = N.Value.size();
+  float Inv = N.FScalar;
+  for (uint32_t P = 0; P < N.NumParents; ++P) {
+    Node &Parent = *N.Parents[P];
+    if (Parent.RequiresGrad)
+      kernels::axpy(Dim, Inv, N.Grad.data(), Parent.grad().data());
+  }
+}
+
+void softmaxCrossEntropyBackward(Node &N) {
+  if (!N.Parents[0]->RequiresGrad)
+    return;
+  float G = N.Grad[0];
+  size_t Size = N.Parents[0]->Value.size();
+  size_t Target = N.IScalar;
+  const float *__restrict Probs = N.AuxF;
+  float *__restrict LG = N.Parents[0]->grad().data();
+  for (size_t I = 0; I < Size; ++I)
+    LG[I] += G * Probs[I];
+  LG[Target] -= G;
+}
+
+} // namespace
 
 Var liger::weightedCombine(const std::vector<Var> &Items,
                            const Var &Weights) {
@@ -315,59 +434,35 @@ Var liger::weightedCombine(const std::vector<Var> &Items,
               "one weight per item");
   size_t Dim = Items[0]->Value.dim(0);
   Tensor Out = Tensor::zeros(Dim);
+  float *__restrict O = Out.data();
   for (size_t I = 0; I < Items.size(); ++I) {
     LIGER_CHECK(Items[I]->Value.dim(0) == Dim,
                 "weightedCombine items must share shape");
-    float W = Weights->Value[I];
-    for (size_t D = 0; D < Dim; ++D)
-      Out[D] += W * Items[I]->Value[D];
+    kernels::axpy(Dim, Weights->Value[I], Items[I]->Value.data(), O);
   }
-  std::vector<Var> Parents = Items;
-  Parents.push_back(Weights);
-  size_t NumItems = Items.size();
-  return makeNode(std::move(Out), std::move(Parents),
-                  [NumItems, Dim](Node &N) {
-    Node &WN = *N.Parents[NumItems];
-    for (size_t I = 0; I < NumItems; ++I) {
-      Node &Item = *N.Parents[I];
-      float W = WN.Value[I];
-      if (Item.RequiresGrad) {
-        Tensor &IG = Item.grad();
-        for (size_t D = 0; D < Dim; ++D)
-          IG[D] += W * N.Grad[D];
-      }
-      if (WN.RequiresGrad) {
-        float Acc = 0.0f;
-        for (size_t D = 0; D < Dim; ++D)
-          Acc += N.Grad[D] * Item.Value[D];
-        WN.grad()[I] += Acc;
-      }
-    }
-  });
+  return makeNode(std::move(Out), Items, Weights, weightedCombineBackward);
 }
 
 Var liger::maxPool(const std::vector<Var> &Items) {
   LIGER_CHECK(!Items.empty(), "maxPool needs items");
   size_t Dim = Items[0]->Value.dim(0);
   Tensor Out = Items[0]->Value;
-  std::vector<size_t> ArgMax(Dim, 0);
+  size_t *ArgMax = GraphArena::current().allocArray<size_t>(Dim);
+  for (size_t D = 0; D < Dim; ++D)
+    ArgMax[D] = 0;
   for (size_t I = 1; I < Items.size(); ++I) {
     LIGER_CHECK(Items[I]->Value.dim(0) == Dim,
                 "maxPool items must share shape");
+    const float *V = Items[I]->Value.data();
     for (size_t D = 0; D < Dim; ++D)
-      if (Items[I]->Value[D] > Out[D]) {
-        Out[D] = Items[I]->Value[D];
+      if (V[D] > Out[D]) {
+        Out[D] = V[D];
         ArgMax[D] = I;
       }
   }
-  return makeNode(std::move(Out), Items,
-                  [ArgMax = std::move(ArgMax)](Node &N) {
-    for (size_t D = 0; D < ArgMax.size(); ++D) {
-      Node &Winner = *N.Parents[ArgMax[D]];
-      if (Winner.RequiresGrad)
-        Winner.grad()[D] += N.Grad[D];
-    }
-  });
+  Node *N = makeNode(std::move(Out), Items, maxPoolBackward);
+  N->AuxIdx = ArgMax;
+  return N;
 }
 
 Var liger::meanPool(const std::vector<Var> &Items) {
@@ -377,36 +472,25 @@ Var liger::meanPool(const std::vector<Var> &Items) {
   float Inv = 1.0f / static_cast<float>(Items.size());
   for (const Var &Item : Items) {
     LIGER_CHECK(Item->Value.dim(0) == Dim, "meanPool items must share shape");
-    for (size_t D = 0; D < Dim; ++D)
-      Out[D] += Item->Value[D] * Inv;
+    kernels::axpy(Dim, Inv, Item->Value.data(), Out.data());
   }
-  return makeNode(std::move(Out), Items, [Inv, Dim](Node &N) {
-    for (const Var &Parent : N.Parents) {
-      if (!Parent->RequiresGrad)
-        continue;
-      Tensor &PG = Parent->grad();
-      for (size_t D = 0; D < Dim; ++D)
-        PG[D] += N.Grad[D] * Inv;
-    }
-  });
+  Node *N = makeNode(std::move(Out), Items, meanPoolBackward);
+  N->FScalar = Inv;
+  return N;
 }
 
 Var liger::softmaxCrossEntropy(const Var &Logits, size_t Target) {
   LIGER_CHECK(Target < Logits->Value.size(), "target out of range");
   std::vector<float> Probs = softmaxValues(Logits->Value);
   float Loss = -std::log(std::max(Probs[Target], 1e-12f));
-  Tensor Out = Tensor::fromVector({Loss});
-  return makeNode(std::move(Out), {Logits},
-                  [Probs = std::move(Probs), Target](Node &N) {
-    if (!N.Parents[0]->RequiresGrad)
-      return;
-    float G = N.Grad[0];
-    Tensor &LG = N.Parents[0]->grad();
-    for (size_t I = 0; I < LG.size(); ++I) {
-      float Indicator = I == Target ? 1.0f : 0.0f;
-      LG[I] += G * (Probs[I] - Indicator);
-    }
-  });
+  Tensor Out = Tensor::zeros(1);
+  Out[0] = Loss;
+  float *ProbsCopy = GraphArena::current().allocArray<float>(Probs.size());
+  std::memcpy(ProbsCopy, Probs.data(), Probs.size() * sizeof(float));
+  Node *N = makeNode(std::move(Out), {Logits}, softmaxCrossEntropyBackward);
+  N->AuxF = ProbsCopy;
+  N->IScalar = Target;
+  return N;
 }
 
 Var liger::meanLoss(const std::vector<Var> &Losses) {
@@ -415,40 +499,62 @@ Var liger::meanLoss(const std::vector<Var> &Losses) {
                1.0f / static_cast<float>(Losses.size()));
 }
 
-void liger::backward(const Var &Loss) {
+//===----------------------------------------------------------------------===//
+// Backward driver
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+void runBackward(const Var &Loss) {
   LIGER_CHECK(Loss->Value.size() == 1, "backward starts from a scalar");
-  // Collect the reachable subgraph.
+  if (!Loss->RequiresGrad)
+    return;
+  // Collect the reachable subgraph, pruning subtrees with no trainable
+  // ancestors (RequiresGrad propagates upward at construction).
   std::vector<Node *> Order;
   std::unordered_set<Node *> Seen;
-  std::vector<Node *> Stack{Loss.get()};
+  std::vector<Node *> Stack{Loss};
   while (!Stack.empty()) {
     Node *N = Stack.back();
     Stack.pop_back();
     if (!Seen.insert(N).second)
       continue;
-    Order.push_back(N);
-    for (const Var &Parent : N->Parents)
-      Stack.push_back(Parent.get());
+    if (N->BackwardFn)
+      Order.push_back(N);
+    for (uint32_t I = 0; I < N->NumParents; ++I)
+      if (N->Parents[I]->RequiresGrad)
+        Stack.push_back(N->Parents[I]);
   }
   // Process in descending creation order: every consumer before its
   // producers (creation order is a topological order of the DAG).
   std::sort(Order.begin(), Order.end(),
             [](const Node *A, const Node *B) { return A->Seq > B->Seq; });
   Loss->grad()[0] += 1.0f;
-  for (Node *N : Order) {
-    if (N->BackwardFn && !N->Grad.empty() && N->RequiresGrad)
+  for (Node *N : Order)
+    if (!N->Grad.empty())
       N->BackwardFn(*N);
-  }
+}
+
+} // namespace
+
+void liger::backward(const Var &Loss) { runBackward(Loss); }
+
+void liger::backward(const Var &Loss, GradSink &Sink) {
+  GradSink *Prev = ActiveSink;
+  ActiveSink = &Sink;
+  runBackward(Loss);
+  ActiveSink = Prev;
 }
 
 std::vector<float> liger::softmaxValues(const Tensor &Logits) {
   std::vector<float> Out(Logits.size());
-  float MaxV = Logits[0];
+  const float *L = Logits.data();
+  float MaxV = L[0];
   for (size_t I = 1; I < Logits.size(); ++I)
-    MaxV = std::max(MaxV, Logits[I]);
+    MaxV = std::max(MaxV, L[I]);
   float Sum = 0.0f;
   for (size_t I = 0; I < Logits.size(); ++I) {
-    Out[I] = std::exp(Logits[I] - MaxV);
+    Out[I] = std::exp(L[I] - MaxV);
     Sum += Out[I];
   }
   for (float &V : Out)

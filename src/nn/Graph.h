@@ -7,8 +7,14 @@
 /// \file
 /// Define-by-run reverse-mode automatic differentiation. Each operation
 /// allocates a Node holding its value, its parents, and a backward
-/// closure; backward(loss) topologically sorts the reachable subgraph
+/// function; backward(loss) topologically sorts the reachable subgraph
 /// (by creation sequence number) and accumulates gradients.
+///
+/// Nodes are plain structs bump-allocated from the thread's current
+/// GraphArena: a Var is a raw Node pointer that stays valid until the
+/// owning arena is reset. Backward passes are plain function pointers
+/// with any per-op payload stored inline in the node (no std::function,
+/// no shared_ptr, no per-op heap allocation on the hot path).
 ///
 /// The op set is exactly what the LIGER/DYPRO/code2vec/code2seq models
 /// need: matrix-vector products, elementwise arithmetic, tanh/sigmoid,
@@ -16,41 +22,81 @@
 /// softmax, attention-style weighted combination, max/mean pooling, and
 /// a fused numerically-stable softmax-cross-entropy loss.
 ///
+/// Thread-parallel training: graphs built on different threads (each on
+/// its own arena) may share parameter nodes read-only. backward(Loss,
+/// Sink) redirects parameter-gradient accumulation into the given
+/// GradSink instead of the shared parameter nodes, so worker threads
+/// can differentiate concurrently without synchronizing; the trainer
+/// reduces the sinks in a fixed order afterwards.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef LIGER_NN_GRAPH_H
 #define LIGER_NN_GRAPH_H
 
+#include "nn/GraphArena.h"
 #include "nn/Tensor.h"
 
-#include <functional>
-#include <memory>
+#include <cstdint>
 #include <vector>
 
 namespace liger {
 
 struct Node;
-/// Shared handle to an autodiff node; ops compose these.
-using Var = std::shared_ptr<Node>;
+/// Handle to an autodiff node; ops compose these. Owned by a
+/// GraphArena (graph nodes) or a ParamStore (parameters).
+using Var = Node *;
 
 /// One autodiff graph node.
 struct Node {
   Tensor Value;
   Tensor Grad; ///< Allocated lazily (same shape as Value) on first use.
+  Node **Parents = nullptr; ///< Arena-allocated parent array.
+  uint32_t NumParents = 0;
   bool RequiresGrad = false;
-  std::vector<Var> Parents;
-  /// Propagates this node's Grad into Parents' Grads.
-  std::function<void(Node &)> BackwardFn;
+  /// Index in the owning ParamStore, or -1 for non-parameter nodes.
+  /// Parameter gradients are routed through the active GradSink (if
+  /// any) so concurrent backward passes never write to shared nodes.
+  int32_t ParamIndex = -1;
   uint64_t Seq = 0; ///< Creation order; backward processes descending.
+  /// Propagates this node's Grad into its parents' grads.
+  void (*BackwardFn)(Node &) = nullptr;
+  // Small fixed payload for BackwardFn (meaning depends on the op):
+  float FScalar = 0.0f;   ///< scale factor / 1-over-count
+  size_t IScalar = 0;     ///< row index / CE target
+  const float *AuxF = nullptr;   ///< arena-owned floats (CE probs)
+  const size_t *AuxIdx = nullptr; ///< arena-owned indices (maxPool argmax)
 
-  /// Ensures Grad exists (zero-initialized).
+  /// The tensor this node's gradient accumulates into: the active
+  /// GradSink's slot for parameters while a sink is installed,
+  /// otherwise this node's own Grad (zero-initialized on first use).
   Tensor &grad();
+};
+
+/// Per-sample accumulator for parameter gradients, used by the
+/// thread-parallel trainer. Slots are indexed by Node::ParamIndex and
+/// allocated (zeroed, matching the parameter's shape) on first touch.
+class GradSink {
+public:
+  /// The gradient slot for parameter \p Param (ParamIndex >= 0).
+  Tensor &gradFor(const Node &Param);
+
+  size_t size() const { return Grads.size(); }
+  bool touched(size_t I) const { return I < Grads.size() && !Grads[I].empty(); }
+  const Tensor &grad(size_t I) const { return Grads[I]; }
+
+  /// Releases every slot (buffers return to the thread-local pool).
+  void clear() { Grads.clear(); }
+
+private:
+  std::vector<Tensor> Grads;
 };
 
 /// Wraps a constant (no gradient).
 Var constant(Tensor Value);
 /// Wraps a trainable parameter (gradient accumulated across backward
-/// calls until the optimizer zeroes it).
+/// calls until the optimizer zeroes it). Allocated on the current
+/// arena; ParamStore-owned parameters use ParamStore::addParam.
 Var parameter(Tensor Value);
 
 /// y = M x (matrix [R x C] times vector [C] -> [R]).
@@ -98,6 +144,11 @@ Var meanLoss(const std::vector<Var> &Losses);
 
 /// Runs reverse-mode accumulation from scalar \p Loss (grad seeded 1).
 void backward(const Var &Loss);
+
+/// Like backward(Loss), but parameter gradients accumulate into
+/// \p Sink instead of the shared parameter nodes (thread-safe against
+/// concurrent backward passes over the same parameters).
+void backward(const Var &Loss, GradSink &Sink);
 
 /// Softmax probabilities of \p Logits as plain numbers (inference
 /// convenience; no graph node).

@@ -16,10 +16,17 @@ using namespace liger;
 //===----------------------------------------------------------------------===//
 
 Var ParamStore::addParam(const std::string &Name, Tensor Init) {
-  Var P = parameter(std::move(Init));
-  Params.push_back(P);
+  // Parameters are store-owned (not arena-owned): they must survive
+  // arena resets between samples/epochs. Seq stays 0 so every graph
+  // node (Seq >= 1) orders after its parameter parents.
+  Storage.emplace_back();
+  Node &N = Storage.back();
+  N.Value = std::move(Init);
+  N.RequiresGrad = true;
+  N.ParamIndex = static_cast<int32_t>(Params.size());
+  Params.push_back(&N);
   Names.push_back(Name);
-  return P;
+  return &N;
 }
 
 void ParamStore::zeroGrads() {
@@ -44,12 +51,19 @@ double ParamStore::gradNorm() const {
 }
 
 void ParamStore::scaleGrads(float Factor) {
-  for (const Var &P : Params) {
-    if (P->Grad.empty())
+  for (const Var &P : Params)
+    if (!P->Grad.empty())
+      P->Grad.scale(Factor);
+}
+
+void ParamStore::accumulateSink(const GradSink &Sink) {
+  for (size_t I = 0; I < Sink.size(); ++I) {
+    if (!Sink.touched(I))
       continue;
-    float *G = P->Grad.data();
-    for (size_t I = 0; I < P->Grad.size(); ++I)
-      G[I] *= Factor;
+    Node &P = *Params[I];
+    if (P.Grad.empty())
+      P.Grad = Tensor::zerosLike(P.Value);
+    P.Grad.accumulate(Sink.grad(I));
   }
 }
 

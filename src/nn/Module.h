@@ -17,8 +17,9 @@
 ///  - AttentionScorer — the feedforward score networks a1/a2.
 ///
 /// Every module registers its parameters in a ParamStore, which owns
-/// nothing but references the parameter Vars for the optimizer and for
-/// (de)serialization.
+/// the parameter nodes themselves (in a deque, so addresses are
+/// stable): unlike graph nodes, parameters outlive every arena reset,
+/// and the optimizer and (de)serialization reach them through here.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -28,13 +29,16 @@
 #include "lang/AstTree.h"
 #include "nn/Graph.h"
 
+#include <deque>
 #include <functional>
 #include <string>
 #include <vector>
 
 namespace liger {
 
-/// Registry of trainable parameters with names (for serialization).
+/// Registry and owner of trainable parameters with names (for
+/// serialization). Parameter nodes get consecutive ParamIndex values,
+/// which index GradSink slots during thread-parallel training.
 class ParamStore {
 public:
   Var addParam(const std::string &Name, Tensor Init);
@@ -54,6 +58,10 @@ public:
   /// Scales all gradients by \p Factor (gradient clipping support).
   void scaleGrads(float Factor);
 
+  /// Accumulates a per-sample sink into the parameter gradients
+  /// (Sink slot I corresponds to params()[I]).
+  void accumulateSink(const GradSink &Sink);
+
   /// Saves all parameters to \p Path (simple binary format with a
   /// header; name + shape checked on load). Returns false on I/O error.
   bool save(const std::string &Path) const;
@@ -61,6 +69,7 @@ public:
   bool load(const std::string &Path);
 
 private:
+  std::deque<Node> Storage; ///< Owns the nodes; deque keeps addresses stable.
   std::vector<Var> Params;
   std::vector<std::string> Names;
 };
@@ -78,7 +87,7 @@ public:
   size_t outDim() const { return W->Value.dim(0); }
 
 private:
-  Var W, B;
+  Var W = nullptr, B = nullptr;
 };
 
 /// Two-layer perceptron with tanh hidden activation; used as the
@@ -100,8 +109,8 @@ enum class CellKind { Rnn, Gru, Lstm };
 
 /// State of a recurrent cell: hidden vector (and cell vector for LSTM).
 struct RecState {
-  Var H;
-  Var C; ///< Null except for LSTM.
+  Var H = nullptr;
+  Var C = nullptr; ///< Null except for LSTM.
 };
 
 /// A single recurrent cell; step() consumes one input vector.
@@ -129,7 +138,8 @@ private:
   size_t Hidden = 0;
   // Rnn: Wx, Wh, b. Gru: per-gate z/r/n. Lstm: per-gate i/f/g/o.
   Linear L1, L2, L3, L4; ///< x-projections (gate order by kind)
-  Var U1, U2, U3, U4;    ///< h-projections (matrices, no bias)
+  Var U1 = nullptr, U2 = nullptr, U3 = nullptr,
+      U4 = nullptr; ///< h-projections (matrices, no bias)
 };
 
 /// Child-Sum TreeLSTM (§4.2, Tai et al.). Embeds a labelled ordered
@@ -149,7 +159,7 @@ public:
 
 private:
   struct NodeState {
-    Var H, C;
+    Var H = nullptr, C = nullptr;
   };
   NodeState embedNode(
       const AstTree &Tree,
@@ -157,7 +167,7 @@ private:
 
   size_t Hidden = 0;
   Linear Wi, Wf, Wo, Wu; ///< x-projections (input/forget/output/update)
-  Var Ui, Uf, Uo, Uu;    ///< h-projections
+  Var Ui = nullptr, Uf = nullptr, Uo = nullptr, Uu = nullptr; ///< h-projections
 };
 
 /// Learned embedding table over a vocabulary.
@@ -174,7 +184,7 @@ public:
   size_t vocabSize() const { return Table->Value.dim(0); }
 
 private:
-  Var Table;
+  Var Table = nullptr;
 };
 
 /// Bahdanau-style additive attention scorer: score(q, k) =

@@ -10,14 +10,8 @@ using namespace liger;
 
 Adam::Adam(ParamStore &Store, AdamOptions Opts) : Store(Store), Opts(Opts) {
   for (const Var &P : Store.params()) {
-    const Tensor &Val = P->Value;
-    if (Val.rank() == 1) {
-      M.push_back(Tensor::zeros(Val.dim(0)));
-      V.push_back(Tensor::zeros(Val.dim(0)));
-    } else {
-      M.push_back(Tensor::zeros(Val.dim(0), Val.dim(1)));
-      V.push_back(Tensor::zeros(Val.dim(0), Val.dim(1)));
-    }
+    M.push_back(Tensor::zerosLike(P->Value));
+    V.push_back(Tensor::zerosLike(P->Value));
   }
 }
 

@@ -27,8 +27,9 @@ struct AdamOptions {
   float Beta1 = 0.9f;
   float Beta2 = 0.999f;
   float Epsilon = 1e-8f;
-  /// Clip the global gradient norm before stepping (0 = off).
-  float ClipNorm = 5.0f;
+  /// Clip the global gradient norm before stepping (0 = off). Off by
+  /// default; trainers opt in via TrainOptions::ClipNorm.
+  float ClipNorm = 0.0f;
 };
 
 /// Adam (Kingma & Ba) with bias correction.

@@ -11,6 +11,13 @@
 /// a time (traces have ragged shapes), so activations are vectors and
 /// parameters are matrices — no batching machinery is needed.
 ///
+/// Storage comes from a thread-local buffer pool (a freelist keyed by
+/// exact element count): define-by-run training allocates and frees
+/// the same small set of shapes millions of times per epoch, so after
+/// warm-up every tensor allocation is a freelist pop instead of a
+/// malloc. Shapes are stored inline (rank <= 2), so constructing a
+/// tensor performs no heap allocation at all once the pool is warm.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef LIGER_NN_TENSOR_H
@@ -21,104 +28,257 @@
 
 #include <cmath>
 #include <cstddef>
+#include <cstdint>
+#include <cstring>
 #include <vector>
 
 namespace liger {
+
+namespace detail {
+/// Returns a float buffer of \p N elements (contents unspecified) from
+/// the calling thread's pool, falling back to operator new[].
+float *bufferAcquire(size_t N);
+/// Returns \p Data (of \p N elements) to the calling thread's pool.
+/// Buffers may be released on a different thread than they were
+/// acquired on; they then join the releasing thread's freelist.
+void bufferRelease(float *Data, size_t N);
+/// Frees every buffer cached by the calling thread's pool.
+void bufferPoolTrim();
+/// Bytes currently cached by the calling thread's pool.
+size_t bufferPoolCachedBytes();
+} // namespace detail
 
 /// Dense row-major float tensor of rank 1 (vector) or 2 (matrix).
 class Tensor {
 public:
   Tensor() = default;
 
+  ~Tensor() {
+    if (Data)
+      detail::bufferRelease(Data, N);
+  }
+
+  Tensor(const Tensor &Other) { copyFrom(Other); }
+
+  Tensor(Tensor &&Other) noexcept { steal(Other); }
+
+  Tensor &operator=(const Tensor &Other) {
+    if (this != &Other) {
+      release();
+      copyFrom(Other);
+    }
+    return *this;
+  }
+
+  Tensor &operator=(Tensor &&Other) noexcept {
+    if (this != &Other) {
+      release();
+      steal(Other);
+    }
+    return *this;
+  }
+
   /// Zero vector of dimension \p N.
-  static Tensor zeros(size_t N) { return Tensor({N}); }
+  static Tensor zeros(size_t N) {
+    Tensor T(N, 0, 1);
+    std::memset(T.Data, 0, N * sizeof(float));
+    return T;
+  }
   /// Zero matrix with \p Rows x \p Cols entries.
   static Tensor zeros(size_t Rows, size_t Cols) {
-    return Tensor({Rows, Cols});
+    Tensor T(Rows, Cols, 2);
+    std::memset(T.Data, 0, T.N * sizeof(float));
+    return T;
+  }
+  /// Zero tensor with the shape of \p Other.
+  static Tensor zerosLike(const Tensor &Other) {
+    return Other.rank() == 1 ? zeros(Other.dim(0))
+                             : zeros(Other.dim(0), Other.dim(1));
   }
   /// Vector from explicit values.
-  static Tensor fromVector(std::vector<float> Values) {
-    Tensor T;
-    T.Shape = {Values.size()};
-    T.Data = std::move(Values);
+  static Tensor fromVector(const std::vector<float> &Values) {
+    Tensor T(Values.size(), 0, 1);
+    if (!Values.empty())
+      std::memcpy(T.Data, Values.data(), Values.size() * sizeof(float));
     return T;
   }
   /// Xavier/Glorot-uniform initialized matrix.
   static Tensor xavier(size_t Rows, size_t Cols, Rng &R) {
-    Tensor T({Rows, Cols});
+    Tensor T = zeros(Rows, Cols);
     float Bound = std::sqrt(6.0f / static_cast<float>(Rows + Cols));
-    for (float &V : T.Data)
-      V = R.nextFloat(-Bound, Bound);
+    for (size_t I = 0; I < T.N; ++I)
+      T.Data[I] = R.nextFloat(-Bound, Bound);
     return T;
   }
   /// Uniform-initialized vector in [-Bound, Bound].
-  static Tensor uniform(size_t N, float Bound, Rng &R) {
-    Tensor T({N});
-    for (float &V : T.Data)
-      V = R.nextFloat(-Bound, Bound);
+  static Tensor uniform(size_t Count, float Bound, Rng &R) {
+    Tensor T = zeros(Count);
+    for (size_t I = 0; I < T.N; ++I)
+      T.Data[I] = R.nextFloat(-Bound, Bound);
     return T;
   }
 
-  bool empty() const { return Data.empty(); }
-  size_t rank() const { return Shape.size(); }
-  size_t size() const { return Data.size(); }
+  bool empty() const { return N == 0; }
+  size_t rank() const { return Rank; }
+  size_t size() const { return N; }
   size_t dim(size_t I) const {
-    LIGER_CHECK(I < Shape.size(), "dimension index out of range");
-    return Shape[I];
+    LIGER_CHECK(I < Rank, "dimension index out of range");
+    return Dims[I];
   }
-  const std::vector<size_t> &shape() const { return Shape; }
-  bool sameShape(const Tensor &Other) const { return Shape == Other.Shape; }
+  bool sameShape(const Tensor &Other) const {
+    return Rank == Other.Rank && Dims[0] == Other.Dims[0] &&
+           Dims[1] == Other.Dims[1];
+  }
 
-  float *data() { return Data.data(); }
-  const float *data() const { return Data.data(); }
+  float *data() { return Data; }
+  const float *data() const { return Data; }
 
   float &operator[](size_t I) {
-    LIGER_CHECK(I < Data.size(), "flat index out of range");
+    LIGER_CHECK(I < N, "flat index out of range");
     return Data[I];
   }
   float operator[](size_t I) const {
-    LIGER_CHECK(I < Data.size(), "flat index out of range");
+    LIGER_CHECK(I < N, "flat index out of range");
     return Data[I];
   }
   /// Matrix element (row-major).
   float &at(size_t Row, size_t Col) {
-    LIGER_CHECK(rank() == 2, "at(r,c) requires a matrix");
-    LIGER_CHECK(Row < Shape[0] && Col < Shape[1], "index out of range");
-    return Data[Row * Shape[1] + Col];
+    LIGER_CHECK(Rank == 2, "at(r,c) requires a matrix");
+    LIGER_CHECK(Row < Dims[0] && Col < Dims[1], "index out of range");
+    return Data[Row * Dims[1] + Col];
   }
   float at(size_t Row, size_t Col) const {
-    return const_cast<Tensor *>(this)->at(Row, Col);
+    LIGER_CHECK(Rank == 2, "at(r,c) requires a matrix");
+    LIGER_CHECK(Row < Dims[0] && Col < Dims[1], "index out of range");
+    return Data[Row * Dims[1] + Col];
   }
 
   /// Sets every entry to zero.
-  void zero() { std::fill(Data.begin(), Data.end(), 0.0f); }
+  void zero() {
+    if (Data)
+      std::memset(Data, 0, N * sizeof(float));
+  }
 
   /// Elementwise accumulate: this += Other (shapes must match).
   void accumulate(const Tensor &Other) {
     LIGER_CHECK(sameShape(Other), "accumulate shape mismatch");
-    for (size_t I = 0; I < Data.size(); ++I)
-      Data[I] += Other.Data[I];
+    float *__restrict D = Data;
+    const float *__restrict S = Other.Data;
+    for (size_t I = 0; I < N; ++I)
+      D[I] += S[I];
+  }
+
+  /// Elementwise scale: this *= Factor.
+  void scale(float Factor) {
+    float *__restrict D = Data;
+    for (size_t I = 0; I < N; ++I)
+      D[I] *= Factor;
   }
 
   /// Sum of squares (for gradient-norm clipping / diagnostics).
   double sumSquares() const {
     double S = 0;
-    for (float V : Data)
-      S += static_cast<double>(V) * V;
+    for (size_t I = 0; I < N; ++I)
+      S += static_cast<double>(Data[I]) * Data[I];
     return S;
   }
 
 private:
-  explicit Tensor(std::vector<size_t> Sh) : Shape(std::move(Sh)) {
-    size_t Total = 1;
-    for (size_t D : Shape)
-      Total *= D;
-    Data.assign(Total, 0.0f);
+  Tensor(size_t D0, size_t D1, uint32_t Rk) : Rank(Rk) {
+    Dims[0] = D0;
+    Dims[1] = D1;
+    N = Rk == 2 ? D0 * D1 : D0;
+    Data = detail::bufferAcquire(N);
   }
 
-  std::vector<size_t> Shape;
-  std::vector<float> Data;
+  void copyFrom(const Tensor &Other) {
+    Rank = Other.Rank;
+    Dims[0] = Other.Dims[0];
+    Dims[1] = Other.Dims[1];
+    N = Other.N;
+    Data = Other.Data ? detail::bufferAcquire(N) : nullptr;
+    if (Data)
+      std::memcpy(Data, Other.Data, N * sizeof(float));
+  }
+
+  void steal(Tensor &Other) noexcept {
+    Rank = Other.Rank;
+    Dims[0] = Other.Dims[0];
+    Dims[1] = Other.Dims[1];
+    N = Other.N;
+    Data = Other.Data;
+    Other.Data = nullptr;
+    Other.N = 0;
+    Other.Rank = 0;
+    Other.Dims[0] = Other.Dims[1] = 0;
+  }
+
+  void release() {
+    if (Data) {
+      detail::bufferRelease(Data, N);
+      Data = nullptr;
+    }
+    N = 0;
+    Rank = 0;
+    Dims[0] = Dims[1] = 0;
+  }
+
+  float *Data = nullptr;
+  size_t N = 0;
+  size_t Dims[2] = {0, 0};
+  uint32_t Rank = 0;
 };
+
+/// Restrict-qualified inner-loop kernels shared by the forward and
+/// backward passes in Graph.cpp. Keeping the pointer aliasing promises
+/// in one place lets the compiler vectorize without runtime checks.
+namespace kernels {
+
+/// Y[i] += A * X[i].
+inline void axpy(size_t N, float A, const float *__restrict X,
+                 float *__restrict Y) {
+  for (size_t I = 0; I < N; ++I)
+    Y[I] += A * X[I];
+}
+
+/// Y[i] += X[i].
+inline void addAcc(size_t N, const float *__restrict X,
+                   float *__restrict Y) {
+  for (size_t I = 0; I < N; ++I)
+    Y[I] += X[I];
+}
+
+/// Σ_i A[i] * B[i].
+inline float dot(size_t N, const float *__restrict A,
+                 const float *__restrict B) {
+  float Acc = 0.0f;
+  for (size_t I = 0; I < N; ++I)
+    Acc += A[I] * B[I];
+  return Acc;
+}
+
+/// Y = M x for a row-major [Rows x Cols] matrix.
+inline void matvec(size_t Rows, size_t Cols, const float *__restrict M,
+                   const float *__restrict X, float *__restrict Y) {
+  for (size_t R = 0; R < Rows; ++R)
+    Y[R] = dot(Cols, M + R * Cols, X);
+}
+
+/// MG[r][c] += G[r] * X[c] (outer-product gradient of matvec wrt M).
+inline void rank1Acc(size_t Rows, size_t Cols, const float *__restrict G,
+                     const float *__restrict X, float *__restrict MG) {
+  for (size_t R = 0; R < Rows; ++R)
+    axpy(Cols, G[R], X, MG + R * Cols);
+}
+
+/// XG[c] += Σ_r G[r] * M[r][c] (gradient of matvec wrt x).
+inline void matvecTAcc(size_t Rows, size_t Cols, const float *__restrict M,
+                       const float *__restrict G, float *__restrict XG) {
+  for (size_t R = 0; R < Rows; ++R)
+    axpy(Cols, G[R], M + R * Cols, XG);
+}
+
+} // namespace kernels
 
 } // namespace liger
 

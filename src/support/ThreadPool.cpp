@@ -1,0 +1,81 @@
+//===-- support/ThreadPool.cpp - Persistent worker pool --------------------===//
+//
+// Part of the LIGER reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ThreadPool.h"
+
+#include <algorithm>
+
+using namespace liger;
+
+ThreadPool::ThreadPool(size_t NumThreads) {
+  Workers.reserve(NumThreads);
+  for (size_t I = 0; I < NumThreads; ++I)
+    Workers.emplace_back([this, I] { workerLoop(I); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    ShuttingDown = true;
+  }
+  WakeWorkers.notify_all();
+  for (std::thread &W : Workers)
+    W.join();
+}
+
+void ThreadPool::run(size_t NumTasksIn, const std::function<void(size_t)> &FnIn) {
+  if (NumTasksIn == 0)
+    return;
+  if (Workers.empty()) {
+    for (size_t I = 0; I < NumTasksIn; ++I)
+      FnIn(I);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    NumTasks = NumTasksIn;
+    Fn = &FnIn;
+    WorkersLeft = Workers.size();
+    ++Generation;
+  }
+  WakeWorkers.notify_all();
+  std::unique_lock<std::mutex> Lock(Mutex);
+  BatchDone.wait(Lock, [this] { return WorkersLeft == 0; });
+  Fn = nullptr;
+}
+
+void ThreadPool::workerLoop(size_t WorkerIndex) {
+  uint64_t SeenGeneration = 0;
+  while (true) {
+    const std::function<void(size_t)> *BatchFn;
+    size_t BatchTasks;
+    {
+      std::unique_lock<std::mutex> Lock(Mutex);
+      WakeWorkers.wait(Lock, [&] {
+        return ShuttingDown || Generation != SeenGeneration;
+      });
+      if (ShuttingDown)
+        return;
+      SeenGeneration = Generation;
+      BatchFn = Fn;
+      BatchTasks = NumTasks;
+    }
+
+    // Contiguous chunk [Begin, End) for this worker; the same index
+    // always lands on the same worker for a fixed (tasks, threads).
+    size_t PerWorker = (BatchTasks + Workers.size() - 1) / Workers.size();
+    size_t Begin = WorkerIndex * PerWorker;
+    size_t End = std::min(BatchTasks, Begin + PerWorker);
+    for (size_t I = Begin; I < End; ++I)
+      (*BatchFn)(I);
+
+    {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      --WorkersLeft;
+    }
+    BatchDone.notify_one();
+  }
+}

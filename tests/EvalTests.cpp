@@ -123,16 +123,18 @@ TEST(MetricsTest, MacroF1IgnoresAbsentClasses) {
 TEST(ScaleTest, ParsesOverrides) {
   const char *Argv[] = {"bench",        "--methods=99", "--epochs=3",
                         "--hidden=16",  "--seed=123",   "--lr=0.005",
-                        "--verbose"};
+                        "--threads=4",  "--verbose"};
   ExperimentScale Scale =
-      ExperimentScale::fromArgs(7, const_cast<char **>(Argv));
+      ExperimentScale::fromArgs(8, const_cast<char **>(Argv));
   EXPECT_EQ(Scale.MethodsMed, 99u);
   EXPECT_EQ(Scale.MethodsLarge, 198u); // derived default
   EXPECT_EQ(Scale.Epochs, 3u);
   EXPECT_EQ(Scale.Hidden, 16u);
   EXPECT_EQ(Scale.Seed, 123u);
   EXPECT_FLOAT_EQ(Scale.LearningRate, 0.005f);
+  EXPECT_EQ(Scale.Threads, 4u);
   EXPECT_TRUE(Scale.Verbose);
+  EXPECT_EQ(Scale.trainOptions().Threads, 4u);
 }
 
 namespace {
@@ -228,14 +230,69 @@ TEST(TrainingIntegrationTest, LigerImprovesOverTraining) {
 
   // Loss must drop substantially from the untrained baseline.
   double InitialLoss = 0;
-  for (const MethodSample &Sample : Task.Split.Train)
-    InitialLoss += Net.loss(Sample)->Value[0];
+  {
+    GraphArena Arena;
+    GraphArena::Scope Scope(Arena);
+    for (const MethodSample &Sample : Task.Split.Train) {
+      InitialLoss += Net.loss(Sample)->Value[0];
+      Arena.reset();
+    }
+  }
   InitialLoss /= static_cast<double>(Task.Split.Train.size());
 
   TrainOptions Options = Scale.trainOptions();
   TrainResult Result =
       trainNameModel(Hooks, Task.Split.Train, Task.Split.Valid, Options);
   EXPECT_LT(Result.FinalTrainLoss, InitialLoss * 0.8);
+}
+
+TEST(TrainingIntegrationTest, ParallelEpochMatchesSerialBitwise) {
+  // Training distributes each mini-batch's samples over a worker pool,
+  // but per-sample gradients accumulate into per-sample sinks that are
+  // reduced in sample-index order — so any thread count must produce
+  // bitwise-identical losses and parameters.
+  ExperimentScale Scale;
+  Scale.MethodsMed = 30;
+  Scale.Epochs = 2;
+  Scale.Hidden = 12;
+  Scale.EmbedDim = 12;
+  Scale.TargetPaths = 3;
+  Scale.ExecutionsPerPath = 2;
+  Scale.Seed = 5;
+
+  NameTask Task = buildNameTask(Scale, false);
+  ASSERT_GE(Task.Split.Train.size(), 10u);
+
+  auto RunWith = [&](size_t Threads,
+                     std::vector<std::vector<float>> &ParamsOut) {
+    LigerConfig Config;
+    Config.EmbedDim = Scale.EmbedDim;
+    Config.Hidden = Scale.Hidden;
+    Config.AttnHidden = Scale.Hidden;
+    LigerNamePredictor Net(Task.Joint, Task.Target, Config, Scale.Seed);
+    NameModelHooks Hooks;
+    Hooks.Loss = [&](const MethodSample &S) { return Net.loss(S); };
+    Hooks.Predict = [&](const MethodSample &S) { return Net.predict(S); };
+    Hooks.Params = &Net.params();
+    TrainOptions Options = Scale.trainOptions();
+    Options.Threads = Threads;
+    Options.SelectBestOnValidation = false;
+    TrainResult Result = trainNameModel(Hooks, Task.Split.Train,
+                                        std::vector<MethodSample>(), Options);
+    for (const Var &P : Net.params().params())
+      ParamsOut.emplace_back(P->Value.data(),
+                             P->Value.data() + P->Value.size());
+    return Result.FinalTrainLoss;
+  };
+
+  std::vector<std::vector<float>> SerialParams, ParallelParams;
+  double SerialLoss = RunWith(1, SerialParams);
+  double ParallelLoss = RunWith(4, ParallelParams);
+
+  EXPECT_EQ(SerialLoss, ParallelLoss);
+  ASSERT_EQ(SerialParams.size(), ParallelParams.size());
+  for (size_t I = 0; I < SerialParams.size(); ++I)
+    EXPECT_EQ(SerialParams[I], ParallelParams[I]) << "parameter " << I;
 }
 
 TEST(TrainingIntegrationTest, ClassifierBeatsChanceOnCoset) {

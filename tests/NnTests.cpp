@@ -466,3 +466,107 @@ TEST(ParamStoreTest, CountsScalars) {
   Store.addParam("m", Tensor::zeros(3, 4));
   EXPECT_EQ(Store.numScalars(), 17u);
 }
+
+//===----------------------------------------------------------------------===//
+// GraphArena
+//===----------------------------------------------------------------------===//
+
+TEST(GraphArenaTest, ResetReclaimsNodesAndReusesMemory) {
+  GraphArena Arena;
+  GraphArena::Scope Scope(Arena);
+
+  Var First = vec({1, 2, 3});
+  void *FirstSlot = First;
+  for (int I = 0; I < 600; ++I) // several slabs' worth
+    First = scale(First, 1.0f);
+  EXPECT_EQ(Arena.numLive(), 601u);
+  EXPECT_EQ(Arena.peakLive(), 601u);
+
+  Arena.reset();
+  EXPECT_EQ(Arena.numLive(), 0u);
+  EXPECT_EQ(Arena.peakLive(), 601u); // high-water mark survives reset
+
+  // The next graph reuses the retained slabs: same node addresses.
+  Var Again = vec({4, 5, 6});
+  EXPECT_EQ(static_cast<void *>(Again), FirstSlot);
+  EXPECT_FLOAT_EQ(Again->Value[0], 4.0f);
+}
+
+TEST(GraphArenaTest, GraphsStayCorrectAcrossResets) {
+  // Values and gradients must be unaffected by buffer/slab recycling.
+  GraphArena Arena;
+  GraphArena::Scope Scope(Arena);
+  for (int Round = 0; Round < 3; ++Round) {
+    Var A = parameter(Tensor::fromVector({1, 2}));
+    Var B = vec({3, -1});
+    Var L = dot(mul(A, B), vec({1, 1})); // L = 3*1 + (-1)*2 = 1
+    backward(L);
+    EXPECT_FLOAT_EQ(L->Value[0], 1.0f);
+    EXPECT_FLOAT_EQ(A->Grad[0], 3.0f);
+    EXPECT_FLOAT_EQ(A->Grad[1], -1.0f);
+    Arena.reset();
+  }
+}
+
+TEST(GraphArenaTest, ScopeRestoresPreviousArena) {
+  GraphArena Outer;
+  GraphArena::Scope OuterScope(Outer);
+  Var Kept = vec({7});
+  {
+    GraphArena Inner;
+    GraphArena::Scope InnerScope(Inner);
+    vec({8});
+    EXPECT_EQ(Inner.numLive(), 1u);
+  } // Inner destroyed; Outer current again
+  Var After = vec({9});
+  EXPECT_EQ(Outer.numLive(), 2u);
+  EXPECT_FLOAT_EQ(Kept->Value[0], 7.0f);
+  EXPECT_FLOAT_EQ(After->Value[0], 9.0f);
+}
+
+//===----------------------------------------------------------------------===//
+// GradSink routing
+//===----------------------------------------------------------------------===//
+
+TEST(GradSinkTest, RoutesParamGradsAwayFromSharedNodes) {
+  Rng R(41);
+  ParamStore Store;
+  Var W = Store.addParam("w", Tensor::fromVector({2, -3}));
+  Var X = vec({1, 4});
+
+  GradSink Sink;
+  backward(dot(W, X), Sink);
+
+  // The shared parameter node is untouched; the sink holds dL/dW = X.
+  EXPECT_TRUE(W->Grad.empty());
+  ASSERT_TRUE(Sink.touched(0));
+  EXPECT_FLOAT_EQ(Sink.grad(0)[0], 1.0f);
+  EXPECT_FLOAT_EQ(Sink.grad(0)[1], 4.0f);
+
+  // Sinked gradients match a direct backward pass exactly.
+  backward(dot(W, X));
+  ASSERT_FALSE(W->Grad.empty());
+  EXPECT_EQ(W->Grad[0], Sink.grad(0)[0]);
+  EXPECT_EQ(W->Grad[1], Sink.grad(0)[1]);
+
+  // accumulateSink folds the sink back into the parameter gradient.
+  Store.accumulateSink(Sink);
+  EXPECT_FLOAT_EQ(W->Grad[0], 2.0f);
+  EXPECT_FLOAT_EQ(W->Grad[1], 8.0f);
+}
+
+TEST(GradSinkTest, UntouchedParamsHaveNoSlot) {
+  Rng R(43);
+  ParamStore Store;
+  Store.addParam("used", Tensor::fromVector({1, 1}));
+  Var Unused = Store.addParam("unused", Tensor::fromVector({5}));
+  GradSink Sink;
+  backward(sumV(mul(Store.params()[0], vec({2, 2}))), Sink);
+  EXPECT_TRUE(Sink.touched(0));
+  EXPECT_FALSE(Sink.touched(1));
+  EXPECT_TRUE(Unused->Grad.empty());
+}
+
+TEST(AdamOptionsTest, ClippingDefaultsOff) {
+  EXPECT_EQ(AdamOptions().ClipNorm, 0.0f);
+}
