@@ -38,6 +38,14 @@ ExperimentScale ExperimentScale::fromArgs(int Argc, char **Argv) {
       Scale.Verbose = true;
       continue;
     }
+    if (Arg == "--resume") {
+      Scale.Resume = true;
+      continue;
+    }
+    if (startsWith(Arg, "--checkpoint-dir=")) {
+      Scale.CheckpointDir = Arg.substr(std::strlen("--checkpoint-dir="));
+      continue;
+    }
     size_t Tmp;
     if (TakeSize("methods", Scale.MethodsMed)) {
       Scale.MethodsLarge = Scale.MethodsMed * 2;
@@ -49,7 +57,8 @@ ExperimentScale ExperimentScale::fromArgs(int Argc, char **Argv) {
         TakeSize("batch", Scale.BatchSize) ||
         TakeSize("hidden", Scale.Hidden) ||
         TakeSize("embed", Scale.EmbedDim) ||
-        TakeSize("threads", Scale.Threads))
+        TakeSize("threads", Scale.Threads) ||
+        TakeSize("checkpoint-every", Scale.CheckpointEveryEpochs))
       continue;
     if (TakeSize("paths", Tmp)) {
       Scale.TargetPaths = static_cast<unsigned>(Tmp);
@@ -90,6 +99,9 @@ TrainOptions ExperimentScale::trainOptions() const {
   Options.Seed = Seed;
   Options.Verbose = Verbose;
   Options.Threads = Threads;
+  Options.CheckpointDir = CheckpointDir;
+  Options.CheckpointEveryEpochs = CheckpointEveryEpochs;
+  Options.Resume = Resume;
   return Options;
 }
 
@@ -179,6 +191,43 @@ DyproConfig dyproConfig(const ExperimentScale &Scale) {
   return Config;
 }
 
+const char *modelId(NameModel Model) {
+  switch (Model) {
+  case NameModel::Code2Vec:
+    return "code2vec";
+  case NameModel::Code2Seq:
+    return "code2seq";
+  case NameModel::Dypro:
+    return "dypro";
+  case NameModel::Liger:
+    return "liger";
+  }
+  LIGER_UNREACHABLE("covered switch");
+}
+
+const char *modelId(ClassModel Model) {
+  switch (Model) {
+  case ClassModel::Code2Vec:
+    return "code2vec";
+  case ClassModel::Code2Seq:
+    return "code2seq";
+  case ClassModel::Dypro:
+    return "dypro";
+  case ClassModel::Liger:
+    return "liger";
+  }
+  LIGER_UNREACHABLE("covered switch");
+}
+
+/// Scopes the experiment-wide checkpoint root to one (task, model)
+/// run, so multi-model/multi-dataset binaries never collide on the
+/// same state file.
+void scopeCheckpointDir(TrainOptions &Opts, const std::string &Tag,
+                        const char *Model) {
+  if (!Opts.CheckpointDir.empty())
+    Opts.CheckpointDir += "/" + Tag + "-" + Model;
+}
+
 /// Fills the shared vocabularies from a training split.
 void buildVocabularies(const std::vector<MethodSample> &Train,
                        const ExperimentScale &Scale, Vocabulary &Joint,
@@ -217,6 +266,7 @@ NameTask liger::buildNameTask(const ExperimentScale &Scale, bool Large) {
   Options.Seed = Scale.Seed + (Large ? 1000 : 0);
 
   NameTask Task;
+  Task.Tag = Large ? "large" : "med";
   std::vector<MethodSample> Samples =
       generateMethodCorpus(Options, &Task.Stats);
   Task.Split = splitByProject(std::move(Samples), 0.15, 0.2,
@@ -234,6 +284,7 @@ CosetTask liger::buildCosetTask(const ExperimentScale &Scale) {
   Options.Seed = Scale.Seed + 2000;
 
   CosetTask Task;
+  Task.Tag = "coset";
   std::vector<MethodSample> Samples =
       generateCosetCorpus(Options, Task.ClassNames);
   Task.NumClasses = Task.ClassNames.size();
@@ -262,6 +313,7 @@ NameRunResult liger::runNameModel(NameModel Model, const NameTask &Task,
   NameRunResult Result;
   traceBudget(Test, Result.AvgPaths, Result.AvgExecutions);
   TrainOptions TrainOpts = Scale.trainOptions();
+  scopeCheckpointDir(TrainOpts, Task.Tag, modelId(Model));
 
   switch (Model) {
   case NameModel::Code2Vec: {
@@ -344,6 +396,7 @@ ClassRunResult liger::runCosetModel(ClassModel Model, const CosetTask &Task,
   ClassRunResult Result;
   traceBudget(Test, Result.AvgPaths, Result.AvgExecutions);
   TrainOptions TrainOpts = Scale.trainOptions();
+  scopeCheckpointDir(TrainOpts, Task.Tag, modelId(Model));
 
   auto Run = [&](auto &Net) {
     ClassModelHooks Hooks;

@@ -44,6 +44,15 @@ struct ExperimentScale {
   uint64_t Seed = 7;
   size_t Threads = 1; ///< Training worker threads (results invariant).
   bool Verbose = false;
+  /// Root directory for crash-safe training checkpoints (empty =
+  /// disabled). Each trained model checkpoints under its own
+  /// "<tag>-<model>" subdirectory, so one directory serves a whole
+  /// multi-model, multi-dataset experiment binary.
+  std::string CheckpointDir;
+  /// Write a state checkpoint every N completed epochs.
+  size_t CheckpointEveryEpochs = 1;
+  /// Resume every training run from its state checkpoint when present.
+  bool Resume = false;
 
   /// Parses --key=value overrides (unknown keys are fatal).
   static ExperimentScale fromArgs(int Argc, char **Argv);
@@ -68,6 +77,7 @@ TraceTransform reduceSymbolicTransform(size_t K, size_t ConcretePerPath);
 
 /// Everything a name-prediction experiment needs.
 struct NameTask {
+  std::string Tag; ///< "med"/"large"; names the checkpoint subdirectory.
   SplitCorpus Split;
   CorpusStats Stats;
   Vocabulary Joint;   ///< Ds ∪ Dd ∪ variable names (LIGER, DYPRO).
@@ -112,6 +122,7 @@ NameRunResult runNameModel(NameModel Model, const NameTask &Task,
 
 /// Everything a COSET-style experiment needs.
 struct CosetTask {
+  std::string Tag; ///< Names the checkpoint subdirectory.
   SplitCorpus Split;
   std::vector<std::string> ClassNames;
   size_t NumClasses = 0;

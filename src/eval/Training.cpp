@@ -6,6 +6,8 @@
 
 #include "eval/Training.h"
 
+#include "nn/Checkpoint.h"
+#include "support/BinaryIO.h"
 #include "support/Stopwatch.h"
 #include "support/ThreadPool.h"
 
@@ -44,7 +46,8 @@ void restoreParams(ParamStore &Store, const std::vector<Tensor> &Snapshot) {
 template <typename LossFn>
 double runEpoch(const std::vector<MethodSample> &Train, size_t BatchSize,
                 const LossFn &Loss, ParamStore &Store, Adam &Opt, Rng &R,
-                ThreadPool *Pool) {
+                ThreadPool *Pool, size_t EpochIndex,
+                const std::function<void(size_t, size_t)> &StepHook) {
   std::vector<size_t> Order(Train.size());
   for (size_t I = 0; I < Order.size(); ++I)
     Order[I] = I;
@@ -85,6 +88,8 @@ double runEpoch(const std::vector<MethodSample> &Train, size_t BatchSize,
     }
     Store.scaleGrads(1.0f / static_cast<float>(B));
     Opt.step();
+    if (StepHook)
+      StepHook(EpochIndex, Begin / BatchSize);
   }
   return Order.empty() ? 0.0 : EpochLoss / static_cast<double>(Order.size());
 }
@@ -94,6 +99,116 @@ std::unique_ptr<ThreadPool> makePool(const TrainOptions &Options) {
   if (Options.Threads <= 1)
     return nullptr;
   return std::make_unique<ThreadPool>(Options.Threads);
+}
+
+/// Shared training driver for both task types: Adam over shuffled
+/// epochs with best-on-validation tracking, optional crash-safe
+/// checkpointing, and resume. \p Validate returns the current
+/// validation score (F1 or accuracy) and is only called when
+/// \p TrackBest.
+///
+/// Checkpoint/resume correctness: state.ckpt is written atomically at
+/// the end of a checkpointed epoch and captures everything the loop
+/// consumes — parameters, Adam moments + step count, the shuffle Rng
+/// state, the epoch cursor, and the best-snapshot bookkeeping. Since
+/// epochs are deterministic for any thread count (per-sample sinks
+/// reduced in sample order), restoring that state and rerunning the
+/// remaining epochs is bitwise-identical to never having stopped.
+template <typename LossFn, typename ValidateFn>
+TrainResult runTrainingLoop(const LossFn &Loss, ParamStore &Store,
+                            const std::vector<MethodSample> &Train,
+                            bool TrackBest, const ValidateFn &Validate,
+                            const char *ScoreName,
+                            const TrainOptions &Options) {
+  Stopwatch Timer;
+  AdamOptions AdamOpts;
+  AdamOpts.LearningRate = Options.LearningRate;
+  AdamOpts.ClipNorm = Options.ClipNorm;
+  Adam Opt(Store, AdamOpts);
+  Rng R(Options.Seed);
+
+  TrainResult Result;
+  std::vector<Tensor> Best;
+
+  const bool Checkpointing = !Options.CheckpointDir.empty();
+  const std::string StatePath = Options.CheckpointDir + "/state.ckpt";
+  const std::string BestPath = Options.CheckpointDir + "/best.ckpt";
+  if (Checkpointing)
+    LIGER_CHECK(ensureDirExists(Options.CheckpointDir),
+                "cannot create the checkpoint directory");
+
+  size_t StartEpoch = 0;
+  if (Checkpointing && Options.Resume && fileExists(StatePath)) {
+    TrainerState TS;
+    std::string Err;
+    if (!loadCheckpoint(StatePath, Store, &Opt, &TS, &Err)) {
+      // Refusing beats silently retraining from scratch: the atomic
+      // writer never leaves a torn file, so damage here is real.
+      std::fprintf(stderr, "cannot resume: %s\n", Err.c_str());
+      reportFatalError("--resume found an unreadable state checkpoint");
+    }
+    R.setState(TS.RngState);
+    StartEpoch = static_cast<size_t>(TS.NextEpoch);
+    Result.BestValidScore = TS.BestValidScore;
+    Result.BestEpoch = static_cast<size_t>(TS.BestEpoch);
+    Result.FinalTrainLoss = TS.FinalTrainLoss;
+    if (TS.HasBest)
+      Best = std::move(TS.BestParams);
+    Result.Resumed = true;
+    if (Options.Verbose)
+      std::printf("  resuming at epoch %zu (best %s %.4f at epoch %zu)\n",
+                  StartEpoch, ScoreName, Result.BestValidScore,
+                  Result.BestEpoch);
+  }
+  Result.StartEpoch = StartEpoch;
+
+  std::unique_ptr<ThreadPool> Pool = makePool(Options);
+  const size_t Cadence = std::max<size_t>(1, Options.CheckpointEveryEpochs);
+  for (size_t Epoch = StartEpoch; Epoch < Options.Epochs; ++Epoch) {
+    Result.FinalTrainLoss = runEpoch(Train, Options.BatchSize, Loss, Store,
+                                     Opt, R, Pool.get(), Epoch,
+                                     Options.StepHook);
+    if (TrackBest) {
+      double Score = Validate();
+      if (Score >= Result.BestValidScore) {
+        Result.BestValidScore = Score;
+        Result.BestEpoch = Epoch;
+        Best = snapshotParams(Store);
+        if (Checkpointing) {
+          std::string Err;
+          if (!Store.save(BestPath, &Err))
+            std::fprintf(stderr,
+                         "warning: best-snapshot checkpoint failed: %s\n",
+                         Err.c_str());
+        }
+      }
+      if (Options.Verbose)
+        std::printf("  epoch %zu  loss %.4f  %s %.4f\n", Epoch,
+                    Result.FinalTrainLoss, ScoreName, Score);
+    } else if (Options.Verbose) {
+      std::printf("  epoch %zu  loss %.4f\n", Epoch, Result.FinalTrainLoss);
+    }
+    if (Checkpointing &&
+        ((Epoch + 1) % Cadence == 0 || Epoch + 1 == Options.Epochs)) {
+      TrainerState TS;
+      TS.NextEpoch = Epoch + 1;
+      TS.BestEpoch = Result.BestEpoch;
+      TS.BestValidScore = Result.BestValidScore;
+      TS.FinalTrainLoss = Result.FinalTrainLoss;
+      TS.RngState = R.state();
+      TS.HasBest = !Best.empty();
+      TS.BestParams = Best;
+      std::string Err;
+      if (!saveCheckpoint(StatePath, Store, &Opt, &TS, &Err)) {
+        std::fprintf(stderr, "cannot checkpoint: %s\n", Err.c_str());
+        reportFatalError("failed to write the training state checkpoint");
+      }
+    }
+  }
+  if (TrackBest && !Best.empty())
+    restoreParams(Store, Best);
+  Result.Seconds = Timer.seconds();
+  return Result;
 }
 
 } // namespace
@@ -115,39 +230,11 @@ TrainResult liger::trainNameModel(const NameModelHooks &Hooks,
                                   const std::vector<MethodSample> &Valid,
                                   const TrainOptions &Options) {
   LIGER_CHECK(Hooks.Params, "hooks must expose the parameter store");
-  Stopwatch Timer;
-  AdamOptions AdamOpts;
-  AdamOpts.LearningRate = Options.LearningRate;
-  AdamOpts.ClipNorm = Options.ClipNorm;
-  Adam Opt(*Hooks.Params, AdamOpts);
-  Rng R(Options.Seed);
-  std::unique_ptr<ThreadPool> Pool = makePool(Options);
-
-  TrainResult Result;
-  std::vector<Tensor> Best;
   bool TrackBest = Options.SelectBestOnValidation && !Valid.empty();
-
-  for (size_t Epoch = 0; Epoch < Options.Epochs; ++Epoch) {
-    Result.FinalTrainLoss = runEpoch(Train, Options.BatchSize, Hooks.Loss,
-                                     *Hooks.Params, Opt, R, Pool.get());
-    if (TrackBest) {
-      PrfScores ValidScores = evaluateNameModel(Hooks, Valid);
-      if (ValidScores.F1 >= Result.BestValidScore) {
-        Result.BestValidScore = ValidScores.F1;
-        Result.BestEpoch = Epoch;
-        Best = snapshotParams(*Hooks.Params);
-      }
-      if (Options.Verbose)
-        std::printf("  epoch %zu  loss %.4f  valid F1 %.2f\n", Epoch,
-                    Result.FinalTrainLoss, ValidScores.F1);
-    } else if (Options.Verbose) {
-      std::printf("  epoch %zu  loss %.4f\n", Epoch, Result.FinalTrainLoss);
-    }
-  }
-  if (TrackBest && !Best.empty())
-    restoreParams(*Hooks.Params, Best);
-  Result.Seconds = Timer.seconds();
-  return Result;
+  return runTrainingLoop(
+      Hooks.Loss, *Hooks.Params, Train, TrackBest,
+      [&] { return evaluateNameModel(Hooks, Valid).F1; }, "valid F1",
+      Options);
 }
 
 ClassScores liger::evaluateClassifier(const ClassModelHooks &Hooks,
@@ -172,38 +259,9 @@ TrainResult liger::trainClassifier(const ClassModelHooks &Hooks,
                                    size_t NumClasses,
                                    const TrainOptions &Options) {
   LIGER_CHECK(Hooks.Params, "hooks must expose the parameter store");
-  Stopwatch Timer;
-  AdamOptions AdamOpts;
-  AdamOpts.LearningRate = Options.LearningRate;
-  AdamOpts.ClipNorm = Options.ClipNorm;
-  Adam Opt(*Hooks.Params, AdamOpts);
-  Rng R(Options.Seed);
-  std::unique_ptr<ThreadPool> Pool = makePool(Options);
-
-  TrainResult Result;
-  std::vector<Tensor> Best;
   bool TrackBest = Options.SelectBestOnValidation && !Valid.empty();
-
-  for (size_t Epoch = 0; Epoch < Options.Epochs; ++Epoch) {
-    Result.FinalTrainLoss = runEpoch(Train, Options.BatchSize, Hooks.Loss,
-                                     *Hooks.Params, Opt, R, Pool.get());
-    if (TrackBest) {
-      ClassScores ValidScores =
-          evaluateClassifier(Hooks, Valid, NumClasses);
-      if (ValidScores.Accuracy >= Result.BestValidScore) {
-        Result.BestValidScore = ValidScores.Accuracy;
-        Result.BestEpoch = Epoch;
-        Best = snapshotParams(*Hooks.Params);
-      }
-      if (Options.Verbose)
-        std::printf("  epoch %zu  loss %.4f  valid acc %.3f\n", Epoch,
-                    Result.FinalTrainLoss, ValidScores.Accuracy);
-    } else if (Options.Verbose) {
-      std::printf("  epoch %zu  loss %.4f\n", Epoch, Result.FinalTrainLoss);
-    }
-  }
-  if (TrackBest && !Best.empty())
-    restoreParams(*Hooks.Params, Best);
-  Result.Seconds = Timer.seconds();
-  return Result;
+  return runTrainingLoop(
+      Hooks.Loss, *Hooks.Params, Train, TrackBest,
+      [&] { return evaluateClassifier(Hooks, Valid, NumClasses).Accuracy; },
+      "valid acc", Options);
 }

@@ -40,6 +40,26 @@ struct TrainOptions {
   size_t Threads = 1;
   /// Clip the global gradient norm before each Adam step (0 = off).
   float ClipNorm = 0.0f;
+  /// Directory for crash-safe training checkpoints (empty = disabled;
+  /// created on demand). "state.ckpt" holds the full training state —
+  /// parameters, Adam moments and step count, shuffle-Rng state, epoch
+  /// cursor, best-on-validation bookkeeping — written atomically after
+  /// each checkpointed epoch; "best.ckpt" holds the best-on-validation
+  /// parameters as an inference-ready params-only snapshot.
+  std::string CheckpointDir;
+  /// Write state.ckpt every N completed epochs (and always after the
+  /// final one). Best-on-validation snapshots are written whenever the
+  /// validation score improves, regardless of cadence.
+  size_t CheckpointEveryEpochs = 1;
+  /// Resume from CheckpointDir/state.ckpt when it exists; training
+  /// then restarts at the first incomplete epoch and finishes bitwise
+  /// identical to an uninterrupted run (for any Threads value). A
+  /// missing state file starts a fresh run; a corrupt one is fatal.
+  bool Resume = false;
+  /// Optional hook called after every optimizer step with the 0-based
+  /// epoch and the batch index within it (progress reporting; tests
+  /// use it to kill a run mid-epoch).
+  std::function<void(size_t Epoch, size_t Batch)> StepHook;
 };
 
 /// Hooks for a method-name prediction model.
@@ -62,6 +82,8 @@ struct TrainResult {
   double BestValidScore = 0; ///< F1 (names) or accuracy (classes).
   size_t BestEpoch = 0;
   double Seconds = 0;
+  size_t StartEpoch = 0; ///< First epoch this run executed (resume).
+  bool Resumed = false;  ///< Whether a state checkpoint was restored.
 };
 
 /// Evaluates a name model on \p Samples.

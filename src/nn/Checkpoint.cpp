@@ -1,0 +1,333 @@
+//===-- nn/Checkpoint.cpp - Versioned training checkpoints ----------------===//
+//
+// Part of the LIGER reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "nn/Checkpoint.h"
+
+#include "support/BinaryIO.h"
+
+#include <cstdio>
+
+using namespace liger;
+
+namespace {
+
+/// Section tags, spelled as four ASCII bytes (little-endian u32).
+constexpr uint32_t tagOf(char A, char B, char C, char D) {
+  return static_cast<uint32_t>(static_cast<uint8_t>(A)) |
+         static_cast<uint32_t>(static_cast<uint8_t>(B)) << 8 |
+         static_cast<uint32_t>(static_cast<uint8_t>(C)) << 16 |
+         static_cast<uint32_t>(static_cast<uint8_t>(D)) << 24;
+}
+constexpr uint32_t TagParams = tagOf('P', 'R', 'M', 'S');
+constexpr uint32_t TagAdam = tagOf('A', 'D', 'A', 'M');
+constexpr uint32_t TagRng = tagOf('R', 'N', 'G', 'S');
+constexpr uint32_t TagTrainer = tagOf('T', 'R', 'N', 'R');
+
+/// Longest parameter name the reader accepts; real names are short
+/// ("liger.decoder.gru.Wz"), so anything bigger marks corruption.
+constexpr uint64_t MaxNameLen = 4096;
+/// Sanity bound on the header's section count.
+constexpr uint32_t MaxSections = 64;
+
+void setError(std::string *Error, const std::string &Msg) {
+  if (Error)
+    *Error = Msg;
+}
+
+/// Serialized size of one tensor-data blob list (count + raw floats).
+uint64_t tensorBlobListSize(const ParamStore &Store) {
+  uint64_t Size = sizeof(uint64_t);
+  for (const Var &P : Store.params())
+    Size += P->Value.size() * sizeof(float);
+  return Size;
+}
+
+uint64_t paramsSectionSize(const ParamStore &Store) {
+  uint64_t Size = sizeof(uint64_t); // param count
+  for (size_t I = 0; I < Store.params().size(); ++I) {
+    const Tensor &T = Store.params()[I]->Value;
+    Size += sizeof(uint64_t) + Store.names()[I].size(); // name
+    Size += sizeof(uint64_t) * (1 + T.rank());          // rank + dims
+    Size += T.size() * sizeof(float);                   // data
+  }
+  return Size;
+}
+
+uint64_t adamSectionSize(const ParamStore &Store) {
+  // step + count + (M, V) blobs per parameter.
+  uint64_t Size = 2 * sizeof(uint64_t);
+  for (const Var &P : Store.params())
+    Size += 2 * P->Value.size() * sizeof(float);
+  return Size;
+}
+
+uint64_t trainerSectionSize(const ParamStore &Store,
+                            const TrainerState &TS) {
+  uint64_t Size = 4 * sizeof(uint64_t) /*epochs + 2 doubles*/ + 1;
+  if (TS.HasBest)
+    Size += tensorBlobListSize(Store);
+  return Size;
+}
+
+void writeParamsSection(BinaryWriter &W, const ParamStore &Store) {
+  W.writeU32(TagParams);
+  W.writeU64(paramsSectionSize(Store));
+  W.writeU64(Store.params().size());
+  for (size_t I = 0; I < Store.params().size(); ++I) {
+    const Tensor &T = Store.params()[I]->Value;
+    W.writeString(Store.names()[I]);
+    W.writeU64(T.rank());
+    for (size_t D = 0; D < T.rank(); ++D)
+      W.writeU64(T.dim(D));
+    W.writeFloats(T.data(), T.size());
+  }
+}
+
+void writeAdamSection(BinaryWriter &W, const ParamStore &Store,
+                      const Adam &Opt) {
+  W.writeU32(TagAdam);
+  W.writeU64(adamSectionSize(Store));
+  W.writeU64(Opt.stepCount());
+  W.writeU64(Store.params().size());
+  for (size_t I = 0; I < Store.params().size(); ++I) {
+    W.writeFloats(Opt.firstMoments()[I].data(), Opt.firstMoments()[I].size());
+    W.writeFloats(Opt.secondMoments()[I].data(),
+                  Opt.secondMoments()[I].size());
+  }
+}
+
+void writeRngSection(BinaryWriter &W, const TrainerState &TS) {
+  W.writeU32(TagRng);
+  W.writeU64(4 * sizeof(uint64_t));
+  for (uint64_t Word : TS.RngState)
+    W.writeU64(Word);
+}
+
+void writeTrainerSection(BinaryWriter &W, const ParamStore &Store,
+                         const TrainerState &TS) {
+  W.writeU32(TagTrainer);
+  W.writeU64(trainerSectionSize(Store, TS));
+  W.writeU64(TS.NextEpoch);
+  W.writeU64(TS.BestEpoch);
+  W.writeF64(TS.BestValidScore);
+  W.writeF64(TS.FinalTrainLoss);
+  W.writeU8(TS.HasBest ? 1 : 0);
+  if (TS.HasBest) {
+    W.writeU64(TS.BestParams.size());
+    for (const Tensor &T : TS.BestParams)
+      W.writeFloats(T.data(), T.size());
+  }
+}
+
+/// Reads a list of raw tensor blobs whose shapes are dictated by the
+/// store (never by the file — corrupt counts cannot over-allocate).
+bool readTensorBlobList(BinaryReader &R, const ParamStore &Store,
+                        std::vector<Tensor> &Out, const char *What,
+                        std::string *Error) {
+  uint64_t Count = 0;
+  if (!R.readU64(Count) || Count != Store.params().size()) {
+    setError(Error, std::string("checkpoint ") + What + " block has " +
+                        std::to_string(Count) + " tensors, store expects " +
+                        std::to_string(Store.params().size()));
+    return false;
+  }
+  Out.clear();
+  Out.reserve(Store.params().size());
+  for (const Var &P : Store.params()) {
+    Tensor T = Tensor::zerosLike(P->Value);
+    if (!R.readFloats(T.data(), T.size())) {
+      setError(Error, std::string("checkpoint truncated inside ") + What +
+                          " block");
+      return false;
+    }
+    Out.push_back(std::move(T));
+  }
+  return true;
+}
+
+} // namespace
+
+bool liger::saveCheckpoint(const std::string &Path, const ParamStore &Params,
+                           const Adam *Opt, const TrainerState *Trainer,
+                           std::string *Error) {
+  if (Trainer && Trainer->HasBest &&
+      Trainer->BestParams.size() != Params.params().size()) {
+    setError(Error, "trainer best-snapshot size does not match the store");
+    return false;
+  }
+  return atomicWriteFile(
+      Path,
+      [&](BinaryWriter &W) {
+        uint32_t Sections = 1 + (Opt ? 1 : 0) + (Trainer ? 2 : 0);
+        W.writeU32(CheckpointMagic);
+        W.writeU32(CheckpointVersion);
+        W.writeU32(Sections);
+        W.writeU32(0); // reserved
+        writeParamsSection(W, Params);
+        if (Opt)
+          writeAdamSection(W, Params, *Opt);
+        if (Trainer) {
+          writeRngSection(W, *Trainer);
+          writeTrainerSection(W, Params, *Trainer);
+        }
+      },
+      Error);
+}
+
+bool liger::loadCheckpoint(const std::string &Path, ParamStore &Params,
+                           Adam *Opt, TrainerState *Trainer,
+                           std::string *Error) {
+  uint64_t Size = fileSize(Path);
+  FILE *F = std::fopen(Path.c_str(), "rb");
+  if (!F || Size == UINT64_MAX) {
+    if (F)
+      std::fclose(F);
+    setError(Error, "cannot open checkpoint " + Path);
+    return false;
+  }
+  BinaryReader R(F, Size);
+  auto Fail = [&](const std::string &Msg) {
+    setError(Error, Msg + " (" + Path + ")");
+    std::fclose(F);
+    return false;
+  };
+
+  // Header.
+  uint32_t Magic = 0, Version = 0, NumSections = 0, Reserved = 0;
+  if (!R.readU32(Magic) || !R.readU32(Version) || !R.readU32(NumSections) ||
+      !R.readU32(Reserved))
+    return Fail("checkpoint too short for the LGCK header");
+  if (Magic != CheckpointMagic)
+    return Fail("not a LIGER checkpoint (bad magic)");
+  if (Version != CheckpointVersion)
+    return Fail("unsupported checkpoint format version " +
+                std::to_string(Version) + " (expected " +
+                std::to_string(CheckpointVersion) + ")");
+  if (NumSections > MaxSections)
+    return Fail("implausible section count " + std::to_string(NumSections));
+
+  // Stage everything; nothing caller-visible mutates until the whole
+  // file has validated.
+  std::vector<Tensor> StagedParams;
+  uint64_t StagedStep = 0;
+  std::vector<Tensor> StagedM, StagedV;
+  TrainerState StagedTrainer;
+  bool SawParams = false, SawAdam = false, SawRng = false,
+       SawTrainer = false;
+
+  for (uint32_t S = 0; S < NumSections; ++S) {
+    uint32_t Tag = 0;
+    uint64_t Len = 0;
+    if (!R.readU32(Tag) || !R.readU64(Len))
+      return Fail("checkpoint truncated in the section directory");
+    if (Len > R.remaining())
+      return Fail("section payload extends past end of file");
+    uint64_t Before = R.remaining();
+
+    if (Tag == TagParams) {
+      uint64_t Count = 0;
+      if (!R.readU64(Count) || Count != Params.params().size())
+        return Fail("checkpoint holds " + std::to_string(Count) +
+                    " parameters, store expects " +
+                    std::to_string(Params.params().size()));
+      StagedParams.clear();
+      StagedParams.reserve(Params.params().size());
+      for (size_t I = 0; I < Params.params().size(); ++I) {
+        std::string Name;
+        if (!R.readString(Name, MaxNameLen))
+          return Fail("checkpoint truncated in a parameter name");
+        if (Name != Params.names()[I])
+          return Fail("parameter " + std::to_string(I) + " is '" + Name +
+                      "' in the checkpoint but '" + Params.names()[I] +
+                      "' in the store");
+        const Tensor &Expect = Params.params()[I]->Value;
+        uint64_t Rank = 0;
+        if (!R.readU64(Rank) || Rank != Expect.rank())
+          return Fail("parameter '" + Name + "' has rank " +
+                      std::to_string(Rank) + ", store expects " +
+                      std::to_string(Expect.rank()));
+        for (size_t D = 0; D < Expect.rank(); ++D) {
+          uint64_t Dim = 0;
+          if (!R.readU64(Dim) || Dim != Expect.dim(D))
+            return Fail("parameter '" + Name + "' shape mismatch");
+        }
+        Tensor T = Tensor::zerosLike(Expect);
+        if (!R.readFloats(T.data(), T.size()))
+          return Fail("checkpoint truncated in parameter '" + Name + "'");
+        StagedParams.push_back(std::move(T));
+      }
+      SawParams = true;
+    } else if (Tag == TagAdam && Opt) {
+      uint64_t Count = 0;
+      if (!R.readU64(StagedStep) || !R.readU64(Count) ||
+          Count != Params.params().size())
+        return Fail("checkpoint optimizer block is malformed");
+      StagedM.clear();
+      StagedV.clear();
+      for (const Var &P : Params.params()) {
+        Tensor M = Tensor::zerosLike(P->Value);
+        Tensor V = Tensor::zerosLike(P->Value);
+        if (!R.readFloats(M.data(), M.size()) ||
+            !R.readFloats(V.data(), V.size()))
+          return Fail("checkpoint truncated in the optimizer block");
+        StagedM.push_back(std::move(M));
+        StagedV.push_back(std::move(V));
+      }
+      SawAdam = true;
+    } else if (Tag == TagRng && Trainer) {
+      for (uint64_t &Word : StagedTrainer.RngState)
+        if (!R.readU64(Word))
+          return Fail("checkpoint truncated in the RNG block");
+      SawRng = true;
+    } else if (Tag == TagTrainer && Trainer) {
+      uint8_t HasBest = 0;
+      if (!R.readU64(StagedTrainer.NextEpoch) ||
+          !R.readU64(StagedTrainer.BestEpoch) ||
+          !R.readF64(StagedTrainer.BestValidScore) ||
+          !R.readF64(StagedTrainer.FinalTrainLoss) || !R.readU8(HasBest) ||
+          HasBest > 1)
+        return Fail("checkpoint trainer block is malformed");
+      StagedTrainer.HasBest = HasBest == 1;
+      if (StagedTrainer.HasBest &&
+          !readTensorBlobList(R, Params, StagedTrainer.BestParams,
+                              "best-snapshot", Error)) {
+        std::fclose(F);
+        return false;
+      }
+      SawTrainer = true;
+    } else {
+      // Unknown (or unrequested) section: skip its payload.
+      if (!R.skip(Len))
+        return Fail("checkpoint truncated in a skipped section");
+    }
+
+    if (Before - R.remaining() != Len)
+      return Fail("section length disagrees with its contents (corrupt)");
+  }
+  std::fclose(F);
+
+  if (!SawParams) {
+    setError(Error, "checkpoint has no parameter section (" + Path + ")");
+    return false;
+  }
+  if (Opt && !SawAdam) {
+    setError(Error, "checkpoint has no optimizer state (" + Path + ")");
+    return false;
+  }
+  if (Trainer && (!SawRng || !SawTrainer)) {
+    setError(Error, "checkpoint has no trainer/RNG state (" + Path + ")");
+    return false;
+  }
+
+  // Commit.
+  for (size_t I = 0; I < Params.params().size(); ++I)
+    Params.params()[I]->Value = std::move(StagedParams[I]);
+  if (Opt)
+    Opt->setState(StagedStep, std::move(StagedM), std::move(StagedV));
+  if (Trainer)
+    *Trainer = std::move(StagedTrainer);
+  return true;
+}

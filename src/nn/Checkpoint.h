@@ -1,0 +1,90 @@
+//===-- nn/Checkpoint.h - Versioned training checkpoints --------*- C++ -*-===//
+//
+// Part of the LIGER reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Crash-safe, versioned serialization of training state. A checkpoint
+/// file ("LGCK" format, see DESIGN.md §7 for the byte-level layout) is
+/// self-describing — magic, format version, section directory — and is
+/// always written atomically through support/BinaryIO, so an
+/// interrupted save can never leave a torn file where a good one was.
+///
+/// A file carries up to four sections:
+///
+///  - PRMS — every ParamStore tensor with its name and shape (always
+///    present; a params-only file is a model snapshot usable for
+///    inference or fine-tuning);
+///  - ADAM — the optimizer step counter and first/second moment
+///    estimates;
+///  - RNGS — the raw xoshiro256** state of the training Rng (the
+///    shuffle cursor: restoring it replays the exact epoch order);
+///  - TRNR — trainer bookkeeping: next epoch, best-on-validation
+///    score/epoch and the best parameter snapshot, last train loss.
+///
+/// With all four sections, resuming reproduces an uninterrupted run
+/// bitwise (training is deterministic for any --threads value; PR 1).
+///
+/// Loads are transactional: the whole file is parsed and validated
+/// into staging buffers first, and the store / optimizer / trainer are
+/// only mutated when everything checked out. A truncated or corrupt
+/// file therefore fails cleanly — with a diagnostic, without crashing,
+/// without over-allocating (every length is bounded by the file size
+/// and the expected shapes), and without disturbing in-memory state.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIGER_NN_CHECKPOINT_H
+#define LIGER_NN_CHECKPOINT_H
+
+#include "nn/Module.h"
+#include "nn/Optim.h"
+
+#include <array>
+#include <string>
+
+namespace liger {
+
+/// File magic "LGCK" (little-endian) and the current format version.
+/// Bump the version on any layout change; readers reject other
+/// versions with a clear diagnostic instead of misparsing.
+constexpr uint32_t CheckpointMagic = 0x4B43474Cu;
+constexpr uint32_t CheckpointVersion = 1;
+
+/// Trainer bookkeeping saved alongside parameters and optimizer state
+/// (the TRNR and RNGS sections).
+struct TrainerState {
+  uint64_t NextEpoch = 0;      ///< First epoch not yet completed.
+  uint64_t BestEpoch = 0;      ///< Epoch of the best validation score.
+  double BestValidScore = 0;   ///< Best validation F1/accuracy so far.
+  double FinalTrainLoss = 0;   ///< Mean train loss of the last epoch.
+  std::array<uint64_t, 4> RngState = {0, 0, 0, 0}; ///< Shuffle Rng.
+  bool HasBest = false;        ///< Whether BestParams is populated.
+  /// Best-on-validation parameter snapshot, aligned with
+  /// ParamStore::params() (shapes must match).
+  std::vector<Tensor> BestParams;
+};
+
+/// Atomically writes a checkpoint of \p Params — plus optimizer state
+/// when \p Opt is non-null and trainer state when \p Trainer is
+/// non-null — to \p Path. Returns false (diagnostic in \p Error) on
+/// any I/O failure; the previous file at \p Path, if any, survives
+/// failed saves intact.
+bool saveCheckpoint(const std::string &Path, const ParamStore &Params,
+                    const Adam *Opt, const TrainerState *Trainer,
+                    std::string *Error = nullptr);
+
+/// Loads a checkpoint written by saveCheckpoint(). Parameter names and
+/// shapes must match \p Params exactly. Requires an ADAM section when
+/// \p Opt is non-null (which must be an optimizer over \p Params) and
+/// RNGS+TRNR sections when \p Trainer is non-null; extra sections are
+/// skipped, so a full training checkpoint also loads as a params-only
+/// snapshot. On failure returns false with a diagnostic in \p Error
+/// and leaves \p Params / \p Opt / \p Trainer completely unmodified.
+bool loadCheckpoint(const std::string &Path, ParamStore &Params, Adam *Opt,
+                    TrainerState *Trainer, std::string *Error = nullptr);
+
+} // namespace liger
+
+#endif // LIGER_NN_CHECKPOINT_H

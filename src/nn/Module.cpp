@@ -6,6 +6,8 @@
 
 #include "nn/Module.h"
 
+#include "nn/Checkpoint.h"
+
 #include <cstdio>
 #include <cstring>
 
@@ -67,63 +69,12 @@ void ParamStore::accumulateSink(const GradSink &Sink) {
   }
 }
 
-bool ParamStore::save(const std::string &Path) const {
-  FILE *F = std::fopen(Path.c_str(), "wb");
-  if (!F)
-    return false;
-  uint64_t Count = Params.size();
-  std::fwrite(&Count, sizeof(Count), 1, F);
-  for (size_t I = 0; I < Params.size(); ++I) {
-    const std::string &Name = Names[I];
-    uint64_t NameLen = Name.size();
-    std::fwrite(&NameLen, sizeof(NameLen), 1, F);
-    std::fwrite(Name.data(), 1, Name.size(), F);
-    const Tensor &T = Params[I]->Value;
-    uint64_t Rank = T.rank();
-    std::fwrite(&Rank, sizeof(Rank), 1, F);
-    for (size_t D = 0; D < T.rank(); ++D) {
-      uint64_t Dim = T.dim(D);
-      std::fwrite(&Dim, sizeof(Dim), 1, F);
-    }
-    std::fwrite(T.data(), sizeof(float), T.size(), F);
-  }
-  bool Ok = std::fclose(F) == 0;
-  return Ok;
+bool ParamStore::save(const std::string &Path, std::string *Error) const {
+  return saveCheckpoint(Path, *this, nullptr, nullptr, Error);
 }
 
-bool ParamStore::load(const std::string &Path) {
-  FILE *F = std::fopen(Path.c_str(), "rb");
-  if (!F)
-    return false;
-  auto Fail = [&] {
-    std::fclose(F);
-    return false;
-  };
-  uint64_t Count = 0;
-  if (std::fread(&Count, sizeof(Count), 1, F) != 1 || Count != Params.size())
-    return Fail();
-  for (size_t I = 0; I < Params.size(); ++I) {
-    uint64_t NameLen = 0;
-    if (std::fread(&NameLen, sizeof(NameLen), 1, F) != 1 || NameLen > 4096)
-      return Fail();
-    std::string Name(NameLen, '\0');
-    if (std::fread(Name.data(), 1, NameLen, F) != NameLen ||
-        Name != Names[I])
-      return Fail();
-    Tensor &T = Params[I]->Value;
-    uint64_t Rank = 0;
-    if (std::fread(&Rank, sizeof(Rank), 1, F) != 1 || Rank != T.rank())
-      return Fail();
-    for (size_t D = 0; D < T.rank(); ++D) {
-      uint64_t Dim = 0;
-      if (std::fread(&Dim, sizeof(Dim), 1, F) != 1 || Dim != T.dim(D))
-        return Fail();
-    }
-    if (std::fread(T.data(), sizeof(float), T.size(), F) != T.size())
-      return Fail();
-  }
-  std::fclose(F);
-  return true;
+bool ParamStore::load(const std::string &Path, std::string *Error) {
+  return loadCheckpoint(Path, *this, nullptr, nullptr, Error);
 }
 
 //===----------------------------------------------------------------------===//

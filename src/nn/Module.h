@@ -62,11 +62,18 @@ public:
   /// (Sink slot I corresponds to params()[I]).
   void accumulateSink(const GradSink &Sink);
 
-  /// Saves all parameters to \p Path (simple binary format with a
-  /// header; name + shape checked on load). Returns false on I/O error.
-  bool save(const std::string &Path) const;
-  /// Loads parameters saved by save(); shapes and names must match.
-  bool load(const std::string &Path);
+  /// Saves all parameters to \p Path as a params-only "LGCK"
+  /// checkpoint (versioned header, per-tensor name/shape records; see
+  /// nn/Checkpoint.h). The file is written atomically — temp file,
+  /// checked writes, flush+fsync, rename — so a failed or interrupted
+  /// save never corrupts an existing file. Returns false on I/O error,
+  /// with a diagnostic in \p Error when non-null.
+  bool save(const std::string &Path, std::string *Error = nullptr) const;
+  /// Loads parameters saved by save() — or the parameter section of a
+  /// full training checkpoint. Names and shapes must match this store;
+  /// a corrupt or truncated file fails cleanly with a diagnostic and
+  /// leaves the store unmodified.
+  bool load(const std::string &Path, std::string *Error = nullptr);
 
 private:
   std::deque<Node> Storage; ///< Owns the nodes; deque keeps addresses stable.

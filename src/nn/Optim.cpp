@@ -15,6 +15,21 @@ Adam::Adam(ParamStore &Store, AdamOptions Opts) : Store(Store), Opts(Opts) {
   }
 }
 
+void Adam::setState(uint64_t Step, std::vector<Tensor> NewM,
+                    std::vector<Tensor> NewV) {
+  const auto &Params = Store.params();
+  LIGER_CHECK(NewM.size() == Params.size() && NewV.size() == Params.size(),
+              "Adam state has wrong number of moment tensors");
+  for (size_t I = 0; I < Params.size(); ++I) {
+    LIGER_CHECK(NewM[I].size() == Params[I]->Value.size() &&
+                    NewV[I].size() == Params[I]->Value.size(),
+                "Adam moment shape mismatch");
+  }
+  T = Step;
+  M = std::move(NewM);
+  V = std::move(NewV);
+}
+
 double Adam::step() {
   double Norm = Store.gradNorm();
   if (Opts.ClipNorm > 0.0f && Norm > Opts.ClipNorm)

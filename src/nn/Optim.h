@@ -44,6 +44,18 @@ public:
   void setLearningRate(float Lr) { Opts.LearningRate = Lr; }
   float learningRate() const { return Opts.LearningRate; }
 
+  /// Serializable optimizer state (checkpointing): the step counter
+  /// and per-parameter first/second moment estimates.
+  uint64_t stepCount() const { return T; }
+  const std::vector<Tensor> &firstMoments() const { return M; }
+  const std::vector<Tensor> &secondMoments() const { return V; }
+
+  /// Restores state captured by the accessors above; moment shapes
+  /// must match the store's parameters. A subsequent step() then
+  /// behaves bitwise-identically to the original optimizer's next step.
+  void setState(uint64_t Step, std::vector<Tensor> NewM,
+                std::vector<Tensor> NewV);
+
 private:
   ParamStore &Store;
   AdamOptions Opts;

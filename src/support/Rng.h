@@ -19,6 +19,7 @@
 
 #include "support/Error.h"
 
+#include <array>
 #include <cmath>
 #include <cstdint>
 #include <vector>
@@ -113,6 +114,18 @@ public:
   /// Derives an independent child generator (useful for parallel or
   /// per-item determinism regardless of consumption order).
   Rng split() { return Rng(next() ^ 0xD1B54A32D192ED03ULL); }
+
+  /// The raw generator state, for checkpoint serialization: restoring
+  /// it with setState() resumes the exact draw sequence.
+  std::array<uint64_t, 4> state() const {
+    return {State[0], State[1], State[2], State[3]};
+  }
+
+  /// Restores a state captured by state().
+  void setState(const std::array<uint64_t, 4> &S) {
+    for (size_t I = 0; I < 4; ++I)
+      State[I] = S[I];
+  }
 
 private:
   static uint64_t rotl(uint64_t X, int K) {

@@ -66,7 +66,13 @@ std::string liger::valueToken(const Value &V) {
     const std::string &S = V.asString();
     if (S.size() <= 8)
       return "\"" + S + "\"";
-    return "<str:len" + std::to_string(std::min<size_t>(S.size(), 64)) + ">";
+    // Power-of-two length buckets (16/32/64, 64 also catching longer
+    // strings), mirroring the integer magnitude buckets above: three
+    // tokens in Dd instead of one per distinct length.
+    size_t Bucket = 16;
+    while (Bucket < S.size() && Bucket < 64)
+      Bucket *= 2;
+    return "<str:len" + std::to_string(Bucket) + ">";
   }
   case ValueKind::Array:
   case ValueKind::Struct:

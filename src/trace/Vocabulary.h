@@ -12,9 +12,11 @@
 ///
 /// Runtime values are tokenized by valueToken(): small integers keep
 /// their exact spelling (so the model can learn e.g. what 0 means),
-/// larger magnitudes fall into logarithmic buckets, and long strings
-/// fall into length buckets — an out-of-vocabulary control identical in
-/// spirit to the paper's "special symbol for values of objects whose
+/// larger magnitudes fall into logarithmic buckets, and strings longer
+/// than 8 characters fall into power-of-two length buckets
+/// (<str:len16>, <str:len32>, <str:len64> — the last also catching
+/// anything longer) — an out-of-vocabulary control identical in spirit
+/// to the paper's "special symbol for values of objects whose
 /// definitions are not accessible".
 ///
 //===----------------------------------------------------------------------===//

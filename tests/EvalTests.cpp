@@ -8,7 +8,15 @@
 #include "eval/Metrics.h"
 #include "eval/Training.h"
 
+#include "support/BinaryIO.h"
+
 #include <gtest/gtest.h>
+
+#include <csignal>
+#include <cstdio>
+
+#include <sys/wait.h>
+#include <unistd.h>
 
 using namespace liger;
 
@@ -313,4 +321,217 @@ TEST(TrainingIntegrationTest, ClassifierBeatsChanceOnCoset) {
   ClassRunResult Result = runCosetModel(ClassModel::Liger, Task, Scale);
   double Chance = 1.0 / static_cast<double>(Task.NumClasses);
   EXPECT_GT(Result.Test.Accuracy, Chance * 2);
+}
+
+//===----------------------------------------------------------------------===//
+// Checkpoint / resume (crash safety)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+ExperimentScale resumeScale() {
+  ExperimentScale Scale;
+  Scale.MethodsMed = 60; // enough projects for a non-empty valid split
+  Scale.Epochs = 4;
+  Scale.Hidden = 12;
+  Scale.EmbedDim = 12;
+  Scale.TargetPaths = 3;
+  Scale.ExecutionsPerPath = 2;
+  Scale.Seed = 5;
+  return Scale;
+}
+
+/// The corpus is comparatively slow to generate, so the resume tests
+/// below share one.
+const NameTask &resumeTask() {
+  static NameTask Task = buildNameTask(resumeScale(), false);
+  return Task;
+}
+
+/// Trains a freshly initialized Liger net on the shared task under
+/// \p Options and appends every final parameter value to \p ParamsOut.
+double trainFreshNet(const TrainOptions &Options,
+                     std::vector<std::vector<float>> *ParamsOut,
+                     TrainResult *ResultOut = nullptr) {
+  const NameTask &Task = resumeTask();
+  ExperimentScale Scale = resumeScale();
+  LigerConfig Config;
+  Config.EmbedDim = Scale.EmbedDim;
+  Config.Hidden = Scale.Hidden;
+  Config.AttnHidden = Scale.Hidden;
+  LigerNamePredictor Net(Task.Joint, Task.Target, Config, Scale.Seed);
+  NameModelHooks Hooks;
+  Hooks.Loss = [&](const MethodSample &S) { return Net.loss(S); };
+  Hooks.Predict = [&](const MethodSample &S) { return Net.predict(S); };
+  Hooks.Params = &Net.params();
+  TrainResult Result =
+      trainNameModel(Hooks, Task.Split.Train, Task.Split.Valid, Options);
+  if (ParamsOut)
+    for (const Var &P : Net.params().params())
+      ParamsOut->emplace_back(P->Value.data(),
+                              P->Value.data() + P->Value.size());
+  if (ResultOut)
+    *ResultOut = Result;
+  return Result.FinalTrainLoss;
+}
+
+/// Per-test checkpoint directory with any stale snapshots removed.
+std::string freshCheckpointDir(const std::string &Name) {
+  std::string Dir = "eval-ckpt-" + Name;
+  std::remove((Dir + "/state.ckpt").c_str());
+  std::remove((Dir + "/best.ckpt").c_str());
+  return Dir;
+}
+
+} // namespace
+
+TEST(CheckpointResumeTest, ResumeMatchesUninterruptedBitwise) {
+  // Train 4 epochs straight through; then train 2 epochs with
+  // checkpointing, throw the net away, and resume a fresh one for the
+  // remaining epochs. Parameters, loss, and best-epoch bookkeeping
+  // must be bitwise identical at every thread count.
+  ASSERT_FALSE(resumeTask().Split.Valid.empty())
+      << "the scale must produce a validation split so best-snapshot "
+         "tracking is exercised";
+  for (size_t Threads : {size_t(1), size_t(2)}) {
+    TrainOptions Full = resumeScale().trainOptions();
+    Full.Threads = Threads;
+    std::vector<std::vector<float>> FullParams;
+    TrainResult FullResult;
+    double FullLoss = trainFreshNet(Full, &FullParams, &FullResult);
+
+    std::string Dir =
+        freshCheckpointDir("bitwise-t" + std::to_string(Threads));
+    TrainOptions Half = Full;
+    Half.Epochs = 2;
+    Half.CheckpointDir = Dir;
+    trainFreshNet(Half, nullptr);
+
+    TrainOptions Rest = Full;
+    Rest.CheckpointDir = Dir;
+    Rest.Resume = true;
+    std::vector<std::vector<float>> ResumedParams;
+    TrainResult ResumedResult;
+    double ResumedLoss = trainFreshNet(Rest, &ResumedParams, &ResumedResult);
+
+    EXPECT_TRUE(ResumedResult.Resumed);
+    EXPECT_EQ(ResumedResult.StartEpoch, 2u);
+    EXPECT_EQ(FullLoss, ResumedLoss) << "threads " << Threads;
+    EXPECT_EQ(FullResult.BestEpoch, ResumedResult.BestEpoch);
+    EXPECT_EQ(FullResult.BestValidScore, ResumedResult.BestValidScore);
+    ASSERT_EQ(FullParams.size(), ResumedParams.size());
+    for (size_t I = 0; I < FullParams.size(); ++I)
+      EXPECT_EQ(FullParams[I], ResumedParams[I])
+          << "parameter " << I << " threads " << Threads;
+  }
+}
+
+TEST(CheckpointResumeTest, ResumeAcrossThreadCounts) {
+  // A checkpoint written by a single-threaded run resumes under a
+  // worker pool (and still matches the uninterrupted run): the state
+  // file stores no thread-dependent data.
+  TrainOptions Full = resumeScale().trainOptions();
+  Full.Threads = 2;
+  std::vector<std::vector<float>> FullParams;
+  double FullLoss = trainFreshNet(Full, &FullParams);
+
+  std::string Dir = freshCheckpointDir("crossthread");
+  TrainOptions Half = Full;
+  Half.Epochs = 2;
+  Half.Threads = 1;
+  Half.CheckpointDir = Dir;
+  trainFreshNet(Half, nullptr);
+
+  TrainOptions Rest = Full;
+  Rest.CheckpointDir = Dir;
+  Rest.Resume = true;
+  std::vector<std::vector<float>> ResumedParams;
+  double ResumedLoss = trainFreshNet(Rest, &ResumedParams);
+
+  EXPECT_EQ(FullLoss, ResumedLoss);
+  ASSERT_EQ(FullParams.size(), ResumedParams.size());
+  for (size_t I = 0; I < FullParams.size(); ++I)
+    EXPECT_EQ(FullParams[I], ResumedParams[I]) << "parameter " << I;
+}
+
+TEST(CheckpointResumeTest, SigkillMidEpochThenResumeIsBitwise) {
+  // Simulate a real crash: a child process trains with checkpointing
+  // and SIGKILLs itself in the middle of epoch 2, after the epoch-1
+  // snapshot. The on-disk state must survive (atomic writes) and a
+  // resumed run must match the uninterrupted one bitwise. The child
+  // forks before the parent ever trains, so no worker threads are lost
+  // to fork(); it also trains single-threaded.
+  std::string Dir = freshCheckpointDir("sigkill");
+  TrainOptions ChildOpts = resumeScale().trainOptions();
+  ChildOpts.Threads = 1;
+  ChildOpts.CheckpointDir = Dir;
+  ChildOpts.StepHook = [](size_t Epoch, size_t Batch) {
+    if (Epoch == 2 && Batch == 1)
+      raise(SIGKILL);
+  };
+
+  pid_t Child = fork();
+  ASSERT_GE(Child, 0) << "fork failed";
+  if (Child == 0) {
+    trainFreshNet(ChildOpts, nullptr);
+    _exit(0); // Not reached: the hook kills the process first.
+  }
+  int Status = 0;
+  ASSERT_EQ(waitpid(Child, &Status, 0), Child);
+  ASSERT_TRUE(WIFSIGNALED(Status)) << "child was expected to die mid-epoch";
+  EXPECT_EQ(WTERMSIG(Status), SIGKILL);
+
+  TrainOptions Full = resumeScale().trainOptions();
+  Full.Threads = 1;
+  std::vector<std::vector<float>> FullParams;
+  double FullLoss = trainFreshNet(Full, &FullParams);
+
+  TrainOptions Rest = Full;
+  Rest.CheckpointDir = Dir;
+  Rest.Resume = true;
+  std::vector<std::vector<float>> ResumedParams;
+  TrainResult ResumedResult;
+  double ResumedLoss = trainFreshNet(Rest, &ResumedParams, &ResumedResult);
+
+  EXPECT_TRUE(ResumedResult.Resumed);
+  EXPECT_EQ(ResumedResult.StartEpoch, 2u); // killed before epoch 2 finished
+  EXPECT_EQ(FullLoss, ResumedLoss);
+  ASSERT_EQ(FullParams.size(), ResumedParams.size());
+  for (size_t I = 0; I < FullParams.size(); ++I)
+    EXPECT_EQ(FullParams[I], ResumedParams[I]) << "parameter " << I;
+}
+
+TEST(CheckpointResumeTest, ResumeWithoutCheckpointStartsFresh) {
+  TrainOptions Full = resumeScale().trainOptions();
+  std::vector<std::vector<float>> FullParams;
+  double FullLoss = trainFreshNet(Full, &FullParams);
+
+  // --resume with an empty directory is a fresh run, not an error.
+  std::string Dir = freshCheckpointDir("fresh");
+  TrainOptions Opts = Full;
+  Opts.CheckpointDir = Dir;
+  Opts.Resume = true;
+  std::vector<std::vector<float>> Params;
+  TrainResult Result;
+  double Loss = trainFreshNet(Opts, &Params, &Result);
+
+  EXPECT_FALSE(Result.Resumed);
+  EXPECT_EQ(Result.StartEpoch, 0u);
+  EXPECT_EQ(FullLoss, Loss);
+  ASSERT_EQ(FullParams.size(), Params.size());
+  for (size_t I = 0; I < FullParams.size(); ++I)
+    EXPECT_EQ(FullParams[I], Params[I]) << "parameter " << I;
+
+  // The run also leaves an inference-ready best.ckpt behind that loads
+  // into a freshly built net's ParamStore.
+  ASSERT_TRUE(fileExists(Dir + "/best.ckpt"));
+  const NameTask &Task = resumeTask();
+  ExperimentScale Scale = resumeScale();
+  LigerConfig Config;
+  Config.EmbedDim = Scale.EmbedDim;
+  Config.Hidden = Scale.Hidden;
+  Config.AttnHidden = Scale.Hidden;
+  LigerNamePredictor Net(Task.Joint, Task.Target, Config, Scale.Seed + 1);
+  std::string Error;
+  EXPECT_TRUE(Net.params().load(Dir + "/best.ckpt", &Error)) << Error;
 }

@@ -11,6 +11,8 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+
 using namespace liger;
 
 namespace {
@@ -237,6 +239,31 @@ TEST(ValueTokenTest, StringsAndBools) {
   EXPECT_EQ(valueToken(Value::makeString("ab")), "\"ab\"");
   EXPECT_EQ(valueToken(Value::makeString("abcdefghijklmnop")), "<str:len16>");
   EXPECT_EQ(valueToken(Value::undef()), "⊥");
+}
+
+TEST(ValueTokenTest, StringLengthsBucketPowerOfTwo) {
+  // Lengths 9..64 share three power-of-two buckets instead of one
+  // token per distinct length; longer strings join the largest bucket.
+  EXPECT_EQ(valueToken(Value::makeString(std::string(9, 'x'))),
+            "<str:len16>");
+  EXPECT_EQ(valueToken(Value::makeString(std::string(16, 'x'))),
+            "<str:len16>");
+  EXPECT_EQ(valueToken(Value::makeString(std::string(17, 'x'))),
+            "<str:len32>");
+  EXPECT_EQ(valueToken(Value::makeString(std::string(32, 'x'))),
+            "<str:len32>");
+  EXPECT_EQ(valueToken(Value::makeString(std::string(33, 'x'))),
+            "<str:len64>");
+  EXPECT_EQ(valueToken(Value::makeString(std::string(64, 'x'))),
+            "<str:len64>");
+  EXPECT_EQ(valueToken(Value::makeString(std::string(1000, 'x'))),
+            "<str:len64>");
+
+  // The whole 9.. length range maps to exactly three distinct tokens.
+  std::set<std::string> Buckets;
+  for (size_t Len = 9; Len <= 200; ++Len)
+    Buckets.insert(valueToken(Value::makeString(std::string(Len, 'x'))));
+  EXPECT_EQ(Buckets.size(), 3u);
 }
 
 TEST(ValueTokenTest, FlattenedArrayTokens) {
