@@ -6,9 +6,17 @@
 //
 // google-benchmark microbenchmarks for the substrates (not a paper
 // table): front-end parsing, instrumented interpretation, symbolic path
-// enumeration, trace collection, tensor ops, and a full LIGER
-// forward/backward step. Useful for tracking performance regressions of
-// the pipeline that every experiment sits on.
+// enumeration, trace collection, tensor ops, SIMD kernels, fused vs
+// unfused recurrent-cell steps, and a full LIGER forward/backward step.
+// Useful for tracking performance regressions of the pipeline that
+// every experiment sits on.
+//
+// Beyond the standard google-benchmark flags, the custom main accepts:
+//   --kernels-only   run only the kernel / cell-step / sequence benches
+//   --smoke          short measurement time (CI / verify script)
+//   --json=PATH      write the google-benchmark JSON report to PATH
+//                    (BENCH_kernels.json is the conventional evidence
+//                    file for the kernel suite)
 //
 //===----------------------------------------------------------------------===//
 
@@ -19,6 +27,9 @@
 #include "testgen/TraceCollector.h"
 
 #include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
 
 using namespace liger;
 
@@ -126,6 +137,134 @@ void BM_MatvecHidden(benchmark::State &State) {
 }
 BENCHMARK(BM_MatvecHidden)->Arg(32)->Arg(64)->Arg(128);
 
+//===----------------------------------------------------------------------===//
+// Raw kernel benches (no graph): the SIMD substrate itself.
+//===----------------------------------------------------------------------===//
+
+void BM_KernelDot(benchmark::State &State) {
+  size_t N = static_cast<size_t>(State.range(0));
+  Rng R(1);
+  Tensor A = Tensor::uniform(N, 1.0f, R);
+  Tensor B = Tensor::uniform(N, 1.0f, R);
+  for (auto _ : State) {
+    float S = kernels::dot(N, A.data(), B.data());
+    benchmark::DoNotOptimize(S);
+  }
+  State.SetItemsProcessed(State.iterations() * N);
+}
+BENCHMARK(BM_KernelDot)->Arg(64)->Arg(256)->Arg(1024);
+
+// One gate at a time over a packed [4H x H] matrix...
+void BM_KernelMatvecPerGate(benchmark::State &State) {
+  size_t H = static_cast<size_t>(State.range(0));
+  Rng R(1);
+  Tensor W = Tensor::xavier(4 * H, H, R);
+  Tensor X = Tensor::uniform(H, 1.0f, R);
+  Tensor Y = Tensor::raw(4 * H);
+  for (auto _ : State) {
+    for (size_t G = 0; G < 4; ++G)
+      kernels::matvec(H, H, W.data() + G * H * H, X.data(), Y.data() + G * H);
+    benchmark::DoNotOptimize(Y.data()[0]);
+  }
+  State.SetItemsProcessed(State.iterations() * 4 * H * H);
+}
+BENCHMARK(BM_KernelMatvecPerGate)->Arg(32)->Arg(64)->Arg(128);
+
+// ... versus all four gates in one packed pass.
+void BM_KernelMatvecN(benchmark::State &State) {
+  size_t H = static_cast<size_t>(State.range(0));
+  Rng R(1);
+  Tensor W = Tensor::xavier(4 * H, H, R);
+  Tensor X = Tensor::uniform(H, 1.0f, R);
+  Tensor Y = Tensor::raw(4 * H);
+  for (auto _ : State) {
+    kernels::matvecN(4, H, H, W.data(), X.data(), Y.data());
+    benchmark::DoNotOptimize(Y.data()[0]);
+  }
+  State.SetItemsProcessed(State.iterations() * 4 * H * H);
+}
+BENCHMARK(BM_KernelMatvecN)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_KernelAxpy(benchmark::State &State) {
+  size_t N = static_cast<size_t>(State.range(0));
+  Rng R(1);
+  Tensor X = Tensor::uniform(N, 1.0f, R);
+  Tensor Y = Tensor::uniform(N, 1.0f, R);
+  for (auto _ : State) {
+    kernels::axpy(N, 0.5f, X.data(), Y.data());
+    benchmark::DoNotOptimize(Y.data()[0]);
+  }
+  State.SetItemsProcessed(State.iterations() * N);
+}
+BENCHMARK(BM_KernelAxpy)->Arg(256)->Arg(1024);
+
+//===----------------------------------------------------------------------===//
+// Fused vs unfused cell steps: Arg(0) = per-gate reference graph,
+// Arg(1) = fused single-node op. Same math bit-for-bit; the delta is
+// pure graph/kernel overhead.
+//===----------------------------------------------------------------------===//
+
+void runCellForward(benchmark::State &State, CellKind Kind) {
+  bool Fused = State.range(0) != 0;
+  bool Saved = fusedCellsEnabled();
+  setFusedCellsEnabled(Fused);
+  Rng R(1);
+  ParamStore Store;
+  RecurrentCell Cell(Store, "cell", Kind, 32, 32, R);
+  std::vector<Var> Inputs;
+  for (int I = 0; I < 8; ++I)
+    Inputs.push_back(constant(Tensor::uniform(32, 1.0f, R)));
+  GraphArena Arena;
+  GraphArena::Scope Scope(Arena);
+  for (auto _ : State) {
+    auto States = Cell.run(Inputs);
+    benchmark::DoNotOptimize(States.back().H->Value[0]);
+    Arena.reset();
+  }
+  setFusedCellsEnabled(Saved);
+}
+
+void runCellForwardBackward(benchmark::State &State, CellKind Kind) {
+  bool Fused = State.range(0) != 0;
+  bool Saved = fusedCellsEnabled();
+  setFusedCellsEnabled(Fused);
+  Rng R(1);
+  ParamStore Store;
+  RecurrentCell Cell(Store, "cell", Kind, 32, 32, R);
+  std::vector<Var> Inputs;
+  for (int I = 0; I < 8; ++I)
+    Inputs.push_back(constant(Tensor::uniform(32, 1.0f, R)));
+  GraphArena Arena;
+  GraphArena::Scope Scope(Arena);
+  for (auto _ : State) {
+    auto States = Cell.run(Inputs);
+    backward(dot(States.back().H, States.back().H));
+    Store.zeroGrads();
+    Arena.reset();
+  }
+  setFusedCellsEnabled(Saved);
+}
+
+void BM_GruCellForward(benchmark::State &State) {
+  runCellForward(State, CellKind::Gru);
+}
+BENCHMARK(BM_GruCellForward)->Arg(0)->Arg(1);
+
+void BM_GruCellForwardBackward(benchmark::State &State) {
+  runCellForwardBackward(State, CellKind::Gru);
+}
+BENCHMARK(BM_GruCellForwardBackward)->Arg(0)->Arg(1);
+
+void BM_LstmCellForward(benchmark::State &State) {
+  runCellForward(State, CellKind::Lstm);
+}
+BENCHMARK(BM_LstmCellForward)->Arg(0)->Arg(1);
+
+void BM_LstmCellForwardBackward(benchmark::State &State) {
+  runCellForwardBackward(State, CellKind::Lstm);
+}
+BENCHMARK(BM_LstmCellForwardBackward)->Arg(0)->Arg(1);
+
 void BM_GruSequence(benchmark::State &State) {
   Rng R(1);
   ParamStore Store;
@@ -195,4 +334,43 @@ BENCHMARK(BM_LigerForwardBackward);
 
 } // namespace
 
-BENCHMARK_MAIN();
+// Custom main: thin convenience flags on top of google-benchmark (see
+// the file header), everything else forwarded untouched.
+int main(int argc, char **argv) {
+  bool KernelsOnly = false, Smoke = false;
+  std::string JsonPath;
+  std::vector<char *> Args;
+  for (int I = 0; I < argc; ++I) {
+    std::string A = argv[I];
+    if (A == "--kernels-only") {
+      KernelsOnly = true;
+    } else if (A == "--smoke") {
+      Smoke = true;
+    } else if (A.rfind("--json=", 0) == 0) {
+      JsonPath = A.substr(7);
+    } else {
+      Args.push_back(argv[I]);
+    }
+  }
+  std::vector<std::string> Injected;
+  if (KernelsOnly)
+    Injected.push_back("--benchmark_filter="
+                       "BM_Kernel|BM_GruCell|BM_LstmCell|BM_MatvecHidden|"
+                       "BM_GruSequence|BM_LigerForwardBackward");
+  if (Smoke)
+    Injected.push_back("--benchmark_min_time=0.02");
+  if (!JsonPath.empty()) {
+    Injected.push_back("--benchmark_out=" + JsonPath);
+    Injected.push_back("--benchmark_out_format=json");
+  }
+  for (std::string &S : Injected)
+    Args.push_back(S.data());
+  int Argc = static_cast<int>(Args.size());
+  Args.push_back(nullptr);
+  benchmark::Initialize(&Argc, Args.data());
+  if (benchmark::ReportUnrecognizedArguments(Argc, Args.data()))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

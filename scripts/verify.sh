@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+#===-- scripts/verify.sh - Full local verification gate ------------------===//
+#
+# Part of the LIGER reproduction project.
+#
+# Runs, in order:
+#   1. tier-1: build + full ctest in the primary build tree
+#      (LIGER_VERIFY_BUILD_DIR, default ./build);
+#   2. sanitized gradcheck: ASan+UBSan build (build-asan) running the
+#      autodiff grad-check, arena, grad-sink, checkpoint, and
+#      fused-equivalence suites;
+#   3. scalar fallback: LIGER_NATIVE_SIMD=OFF build (build-scalar) +
+#      full ctest, so the portable kernels stay green alongside the
+#      AVX2 ones;
+#   4. kernel benches in smoke mode (sanity that the bench harness and
+#      the fused ops still run; timings are not checked here).
+#
+# Invoke directly or via `cmake --build build --target liger_verify`.
+#
+#===----------------------------------------------------------------------===//
+
+set -euo pipefail
+
+REPO="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${LIGER_VERIFY_BUILD_DIR:-$REPO/build}"
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+step() { printf '\n=== verify: %s ===\n' "$*"; }
+
+step "tier-1 build + ctest ($BUILD)"
+cmake -B "$BUILD" -S "$REPO"
+cmake --build "$BUILD" -j "$JOBS"
+ctest --test-dir "$BUILD" --output-on-failure -j "$JOBS"
+
+step "sanitized gradcheck build (build-asan)"
+cmake -B "$REPO/build-asan" -S "$REPO" -DLIGER_SANITIZE=ON
+cmake --build "$REPO/build-asan" -j "$JOBS" --target nn_tests
+"$REPO/build-asan/tests/nn_tests" \
+  --gtest_filter='GradCheckTest.*:GraphArenaTest.*:GradSinkTest.*:CheckpointTest.*:ParamStoreTest.*:FusedEquivalenceTest.*'
+
+step "scalar fallback build + ctest (build-scalar, LIGER_NATIVE_SIMD=OFF)"
+cmake -B "$REPO/build-scalar" -S "$REPO" -DLIGER_NATIVE_SIMD=OFF
+cmake --build "$REPO/build-scalar" -j "$JOBS"
+ctest --test-dir "$REPO/build-scalar" --output-on-failure -j "$JOBS"
+
+step "kernel benches (smoke)"
+"$BUILD/bench/micro_substrates" --kernels-only --smoke
+
+step "all gates passed"

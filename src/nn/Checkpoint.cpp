@@ -9,6 +9,8 @@
 #include "support/BinaryIO.h"
 
 #include <cstdio>
+#include <unordered_map>
+#include <unordered_set>
 
 using namespace liger;
 
@@ -122,28 +124,43 @@ void writeTrainerSection(BinaryWriter &W, const ParamStore &Store,
   }
 }
 
-/// Reads a list of raw tensor blobs whose shapes are dictated by the
-/// store (never by the file — corrupt counts cannot over-allocate).
+/// Where one parameter tensor of the file lands in the store: either a
+/// whole parameter or (for checkpoints written before gate weights
+/// were packed) a legacy-view region of one. Recorded in file order —
+/// the optimizer and best-snapshot blob lists carry no names of their
+/// own and follow the parameter section's tensor order.
+struct FileEntry {
+  size_t Param = 0;  ///< Index into ParamStore::params().
+  size_t Offset = 0; ///< Flat element offset inside that parameter.
+  size_t Count = 0;  ///< Element count.
+};
+
+/// Reads a list of raw tensor blobs laid out like the parameter
+/// section's entries. Shapes and offsets are dictated by the store's
+/// resolution of the parameter section (never by the file — corrupt
+/// counts cannot over-allocate); \p Out gets one full-shaped tensor
+/// per store parameter, assembled from the entry regions.
 bool readTensorBlobList(BinaryReader &R, const ParamStore &Store,
+                        const std::vector<FileEntry> &Entries,
                         std::vector<Tensor> &Out, const char *What,
                         std::string *Error) {
   uint64_t Count = 0;
-  if (!R.readU64(Count) || Count != Store.params().size()) {
+  if (!R.readU64(Count) || Count != Entries.size()) {
     setError(Error, std::string("checkpoint ") + What + " block has " +
-                        std::to_string(Count) + " tensors, store expects " +
-                        std::to_string(Store.params().size()));
+                        std::to_string(Count) + " tensors, expected " +
+                        std::to_string(Entries.size()));
     return false;
   }
   Out.clear();
   Out.reserve(Store.params().size());
-  for (const Var &P : Store.params()) {
-    Tensor T = Tensor::zerosLike(P->Value);
-    if (!R.readFloats(T.data(), T.size())) {
+  for (const Var &P : Store.params())
+    Out.push_back(Tensor::zerosLike(P->Value));
+  for (const FileEntry &E : Entries) {
+    if (!R.readFloats(Out[E.Param].data() + E.Offset, E.Count)) {
       setError(Error, std::string("checkpoint truncated inside ") + What +
                           " block");
       return false;
     }
-    Out.push_back(std::move(T));
   }
   return true;
 }
@@ -209,9 +226,50 @@ bool liger::loadCheckpoint(const std::string &Path, ParamStore &Params,
   if (NumSections > MaxSections)
     return Fail("implausible section count " + std::to_string(NumSections));
 
+  // Resolve names against the store: every current parameter name plus
+  // every registered legacy view (checkpoints from before gate-weight
+  // packing). The file never dictates a size or destination the store
+  // did not declare.
+  std::unordered_map<std::string, FileEntry> Resolver;
+  for (size_t I = 0; I < Params.params().size(); ++I) {
+    FileEntry E;
+    E.Param = I;
+    E.Offset = 0;
+    E.Count = Params.params()[I]->Value.size();
+    Resolver.emplace(Params.names()[I], E);
+  }
+  std::unordered_map<const Node *, size_t> ParamIndexOf;
+  for (size_t I = 0; I < Params.params().size(); ++I)
+    ParamIndexOf.emplace(Params.params()[I], I);
+  for (const auto &[Name, View] : Params.legacyViews()) {
+    FileEntry E;
+    E.Param = ParamIndexOf.at(View.Param);
+    E.Offset = View.Offset;
+    E.Count = 1;
+    for (size_t D : View.Dims)
+      E.Count *= D;
+    Resolver.emplace(Name, E);
+  }
+  auto expectedDims = [&](const std::string &Name,
+                          const FileEntry &E) -> std::vector<size_t> {
+    const Tensor &T = Params.params()[E.Param]->Value;
+    if (E.Offset == 0 && E.Count == T.size() &&
+        Params.names()[E.Param] == Name) {
+      std::vector<size_t> Dims;
+      for (size_t D = 0; D < T.rank(); ++D)
+        Dims.push_back(T.dim(D));
+      return Dims;
+    }
+    for (const auto &[ViewName, View] : Params.legacyViews())
+      if (ViewName == Name)
+        return View.Dims;
+    return {};
+  };
+
   // Stage everything; nothing caller-visible mutates until the whole
   // file has validated.
   std::vector<Tensor> StagedParams;
+  std::vector<FileEntry> Entries; ///< Parameter-section tensors, file order.
   uint64_t StagedStep = 0;
   std::vector<Tensor> StagedM, StagedV;
   TrainerState StagedTrainer;
@@ -229,52 +287,72 @@ bool liger::loadCheckpoint(const std::string &Path, ParamStore &Params,
 
     if (Tag == TagParams) {
       uint64_t Count = 0;
-      if (!R.readU64(Count) || Count != Params.params().size())
+      uint64_t MaxEntries =
+          Params.params().size() + Params.legacyViews().size();
+      if (!R.readU64(Count) || Count > MaxEntries)
         return Fail("checkpoint holds " + std::to_string(Count) +
-                    " parameters, store expects " +
-                    std::to_string(Params.params().size()));
+                    " parameter tensors, store can resolve at most " +
+                    std::to_string(MaxEntries));
       StagedParams.clear();
       StagedParams.reserve(Params.params().size());
-      for (size_t I = 0; I < Params.params().size(); ++I) {
+      for (const Var &P : Params.params())
+        StagedParams.push_back(Tensor::zerosLike(P->Value));
+      Entries.clear();
+      Entries.reserve(Count);
+      std::vector<size_t> Covered(Params.params().size(), 0);
+      std::unordered_set<std::string> Seen;
+      for (uint64_t I = 0; I < Count; ++I) {
         std::string Name;
         if (!R.readString(Name, MaxNameLen))
           return Fail("checkpoint truncated in a parameter name");
-        if (Name != Params.names()[I])
-          return Fail("parameter " + std::to_string(I) + " is '" + Name +
-                      "' in the checkpoint but '" + Params.names()[I] +
-                      "' in the store");
-        const Tensor &Expect = Params.params()[I]->Value;
+        if (!Seen.insert(Name).second)
+          return Fail("parameter '" + Name + "' appears twice");
+        auto It = Resolver.find(Name);
+        if (It == Resolver.end())
+          return Fail("checkpoint parameter '" + Name +
+                      "' does not match any store parameter or legacy name");
+        const FileEntry &E = It->second;
+        std::vector<size_t> Expect = expectedDims(Name, E);
         uint64_t Rank = 0;
-        if (!R.readU64(Rank) || Rank != Expect.rank())
+        if (!R.readU64(Rank) || Rank != Expect.size())
           return Fail("parameter '" + Name + "' has rank " +
                       std::to_string(Rank) + ", store expects " +
-                      std::to_string(Expect.rank()));
-        for (size_t D = 0; D < Expect.rank(); ++D) {
-          uint64_t Dim = 0;
-          if (!R.readU64(Dim) || Dim != Expect.dim(D))
+                      std::to_string(Expect.size()));
+        for (size_t Dim : Expect) {
+          uint64_t D = 0;
+          if (!R.readU64(D) || D != Dim)
             return Fail("parameter '" + Name + "' shape mismatch");
         }
-        Tensor T = Tensor::zerosLike(Expect);
-        if (!R.readFloats(T.data(), T.size()))
+        if (!R.readFloats(StagedParams[E.Param].data() + E.Offset, E.Count))
           return Fail("checkpoint truncated in parameter '" + Name + "'");
-        StagedParams.push_back(std::move(T));
+        Covered[E.Param] += E.Count;
+        Entries.push_back(E);
       }
+      for (size_t I = 0; I < Params.params().size(); ++I)
+        if (Covered[I] != Params.params()[I]->Value.size())
+          return Fail("parameter '" + Params.names()[I] +
+                      "' is not fully covered by the checkpoint (" +
+                      std::to_string(Covered[I]) + " of " +
+                      std::to_string(Params.params()[I]->Value.size()) +
+                      " elements)");
       SawParams = true;
     } else if (Tag == TagAdam && Opt) {
+      if (!SawParams)
+        return Fail("optimizer section precedes the parameter section");
       uint64_t Count = 0;
       if (!R.readU64(StagedStep) || !R.readU64(Count) ||
-          Count != Params.params().size())
+          Count != Entries.size())
         return Fail("checkpoint optimizer block is malformed");
       StagedM.clear();
       StagedV.clear();
       for (const Var &P : Params.params()) {
-        Tensor M = Tensor::zerosLike(P->Value);
-        Tensor V = Tensor::zerosLike(P->Value);
-        if (!R.readFloats(M.data(), M.size()) ||
-            !R.readFloats(V.data(), V.size()))
+        StagedM.push_back(Tensor::zerosLike(P->Value));
+        StagedV.push_back(Tensor::zerosLike(P->Value));
+      }
+      for (const FileEntry &E : Entries) {
+        if (!R.readFloats(StagedM[E.Param].data() + E.Offset, E.Count) ||
+            !R.readFloats(StagedV[E.Param].data() + E.Offset, E.Count))
           return Fail("checkpoint truncated in the optimizer block");
-        StagedM.push_back(std::move(M));
-        StagedV.push_back(std::move(V));
       }
       SawAdam = true;
     } else if (Tag == TagRng && Trainer) {
@@ -291,8 +369,10 @@ bool liger::loadCheckpoint(const std::string &Path, ParamStore &Params,
           HasBest > 1)
         return Fail("checkpoint trainer block is malformed");
       StagedTrainer.HasBest = HasBest == 1;
+      if (StagedTrainer.HasBest && !SawParams)
+        return Fail("trainer best-snapshot precedes the parameter section");
       if (StagedTrainer.HasBest &&
-          !readTensorBlobList(R, Params, StagedTrainer.BestParams,
+          !readTensorBlobList(R, Params, Entries, StagedTrainer.BestParams,
                               "best-snapshot", Error)) {
         std::fclose(F);
         return false;

@@ -8,6 +8,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstring>
 #include <unordered_set>
 
 using namespace liger;
@@ -149,19 +150,11 @@ void mulBackward(Node &N) {
   Node &AN = *N.Parents[0];
   Node &BN = *N.Parents[1];
   size_t Size = N.Grad.size();
-  const float *__restrict G = N.Grad.data();
-  if (AN.RequiresGrad) {
-    float *__restrict AG = AN.grad().data();
-    const float *__restrict BV = BN.Value.data();
-    for (size_t I = 0; I < Size; ++I)
-      AG[I] += G[I] * BV[I];
-  }
-  if (BN.RequiresGrad) {
-    float *__restrict BG = BN.grad().data();
-    const float *__restrict AV = AN.Value.data();
-    for (size_t I = 0; I < Size; ++I)
-      BG[I] += G[I] * AV[I];
-  }
+  const float *G = N.Grad.data();
+  if (AN.RequiresGrad)
+    kernels::mulAcc(Size, G, BN.Value.data(), AN.grad().data());
+  if (BN.RequiresGrad)
+    kernels::mulAcc(Size, G, AN.Value.data(), BN.grad().data());
 }
 
 void scaleBackward(Node &N) {
@@ -173,21 +166,15 @@ void scaleBackward(Node &N) {
 void tanhBackward(Node &N) {
   if (!N.Parents[0]->RequiresGrad)
     return;
-  float *__restrict AG = N.Parents[0]->grad().data();
-  const float *__restrict G = N.Grad.data();
-  const float *__restrict Y = N.Value.data();
-  for (size_t I = 0; I < N.Grad.size(); ++I)
-    AG[I] += G[I] * (1.0f - Y[I] * Y[I]);
+  kernels::tanhGradAcc(N.Grad.size(), N.Grad.data(), N.Value.data(),
+                       N.Parents[0]->grad().data());
 }
 
 void sigmoidBackward(Node &N) {
   if (!N.Parents[0]->RequiresGrad)
     return;
-  float *__restrict AG = N.Parents[0]->grad().data();
-  const float *__restrict G = N.Grad.data();
-  const float *__restrict Y = N.Value.data();
-  for (size_t I = 0; I < N.Grad.size(); ++I)
-    AG[I] += G[I] * Y[I] * (1.0f - Y[I]);
+  kernels::sigmoidGradAcc(N.Grad.size(), N.Grad.data(), N.Value.data(),
+                          N.Parents[0]->grad().data());
 }
 
 void reluBackward(Node &N) {
@@ -237,17 +224,13 @@ Var liger::scale(const Var &A, float K) {
 
 Var liger::tanhV(const Var &A) {
   Tensor Out = A->Value;
-  float *O = Out.data();
-  for (size_t I = 0; I < Out.size(); ++I)
-    O[I] = std::tanh(O[I]);
+  kernels::tanhMap(Out.size(), Out.data(), Out.data());
   return makeNode(std::move(Out), {A}, tanhBackward);
 }
 
 Var liger::sigmoidV(const Var &A) {
   Tensor Out = A->Value;
-  float *O = Out.data();
-  for (size_t I = 0; I < Out.size(); ++I)
-    O[I] = 1.0f / (1.0f + std::exp(-O[I]));
+  kernels::sigmoidMap(Out.size(), Out.data(), Out.data());
   return makeNode(std::move(Out), {A}, sigmoidBackward);
 }
 
@@ -365,10 +348,7 @@ Var liger::dot(const Var &A, const Var &B) {
 }
 
 Var liger::sumV(const Var &A) {
-  float Acc = 0.0f;
-  const float *AV = A->Value.data();
-  for (size_t I = 0; I < A->Value.size(); ++I)
-    Acc += AV[I];
+  float Acc = kernels::sum(A->Value.size(), A->Value.data());
   Tensor Out = Tensor::zeros(1);
   Out[0] = Acc;
   return makeNode(std::move(Out), {A}, sumBackward);
@@ -500,6 +480,494 @@ Var liger::meanLoss(const std::vector<Var> &Losses) {
 }
 
 //===----------------------------------------------------------------------===//
+// Packed-parameter views
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Backward for rowsView/sliceView: scatter the view's grad back into
+/// the flat range [IScalar, IScalar + size) of the parent.
+void viewBackward(Node &N) {
+  if (!N.Parents[0]->RequiresGrad)
+    return;
+  kernels::addAcc(N.Grad.size(), N.Grad.data(),
+                  N.Parents[0]->grad().data() + N.IScalar);
+}
+
+} // namespace
+
+Var liger::rowsView(const Var &M, size_t Row0, size_t Rows) {
+  LIGER_CHECK(M->Value.rank() == 2, "rowsView expects a matrix");
+  LIGER_CHECK(Row0 + Rows <= M->Value.dim(0), "rowsView range out of bounds");
+  size_t Cols = M->Value.dim(1);
+  Tensor Out = Tensor::zeros(Rows, Cols);
+  std::memcpy(Out.data(), M->Value.data() + Row0 * Cols,
+              Rows * Cols * sizeof(float));
+  Node *N = makeNode(std::move(Out), {M}, viewBackward);
+  N->IScalar = Row0 * Cols;
+  return N;
+}
+
+Var liger::sliceView(const Var &V, size_t Off, size_t Count) {
+  LIGER_CHECK(V->Value.rank() == 1, "sliceView expects a vector");
+  LIGER_CHECK(Off + Count <= V->Value.size(), "sliceView range out of bounds");
+  Tensor Out = Tensor::zeros(Count);
+  std::memcpy(Out.data(), V->Value.data() + Off, Count * sizeof(float));
+  Node *N = makeNode(std::move(Out), {V}, viewBackward);
+  N->IScalar = Off;
+  return N;
+}
+
+//===----------------------------------------------------------------------===//
+// Fused recurrent-cell ops
+//===----------------------------------------------------------------------===//
+//
+// Each op collapses one cell step's ~12-16 graph nodes into one or two.
+// The forwards compute all gate pre-activations through the packed
+// weight blocks (matvecN: one pass over x / h for every gate), and a
+// single backward closure replays the reference per-gate graph's
+// backward node by node, in the same order, through the same kernels —
+// so losses and gradients are bitwise-identical to the unfused path
+// (FusedEquivalenceTest pins this).
+//
+// Determinism/bitwise notes:
+//  - every elementwise loop performs exactly one float operation per
+//    element (separate loops over materialized buffers), so no
+//    cross-operation FMA contraction can change roundings relative to
+//    the reference chain of single-op graph nodes;
+//  - gradient buffers start zeroed and are accumulated with +=, never
+//    assigned, matching the reference nodes' fl(0 + g) behavior;
+//  - per-row reductions share kernels::dot/matvec with the reference
+//    matvec op.
+//
+// LSTM-style cells produce two values (h, c) but a node has one Value,
+// so those ops build two nodes: the c-node (created first) holds the
+// inputs as parents, the gate activations in AuxM, and the combined
+// backward; the h-node (created second, so its backward runs first)
+// has the c-node as its only parent and routes ∂h/∂o into the shared
+// AuxM payload and ∂h/∂c into the c-node's grad.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Allocates a 64-byte-aligned float payload on the current arena.
+float *allocCellPayload(size_t Floats) {
+  return static_cast<float *>(
+      GraphArena::current().allocBytes(Floats * sizeof(float), 64));
+}
+
+/// Parameter/input gradient contributions of one gate: the backward of
+/// the reference chain σ/tanh(add(add(matvec(Wx_g, x), bx_g),
+/// matvec(Wh_g, hvec))), with \p PG the gate's pre-activation grad and
+/// the packed-parameter regions addressed at gate row offset \p Row0.
+void gateBackward(Node &WxN, Node &BxN, Node &WhN, Node &XN, Node &HVecN,
+                  size_t Row0, size_t H, size_t In, const float *PG) {
+  if (WhN.RequiresGrad)
+    kernels::rank1Acc(H, H, PG, HVecN.Value.data(),
+                      WhN.grad().data() + Row0 * H);
+  if (HVecN.RequiresGrad)
+    kernels::matvecTAcc(H, H, WhN.Value.data() + Row0 * H, PG,
+                        HVecN.grad().data());
+  if (BxN.RequiresGrad)
+    kernels::addAcc(H, PG, BxN.grad().data() + Row0);
+  if (WxN.RequiresGrad)
+    kernels::rank1Acc(H, In, PG, XN.Value.data(),
+                      WxN.grad().data() + Row0 * In);
+  if (XN.RequiresGrad)
+    kernels::matvecTAcc(H, In, WxN.Value.data() + Row0 * In, PG,
+                        XN.grad().data());
+}
+
+/// GRU payload: z, r, n (3H floats).
+void gruCellBackward(Node &N) {
+  Node &WxN = *N.Parents[0];
+  Node &BxN = *N.Parents[1];
+  Node &WhN = *N.Parents[2];
+  Node &XN = *N.Parents[3];
+  Node &HN = *N.Parents[4];
+  size_t H = N.Value.size();
+  size_t In = XN.Value.size();
+  const float *G = N.Grad.data();
+  const float *Z = N.AuxM, *R = N.AuxM + H, *Nn = N.AuxM + 2 * H;
+  const float *WhV = WhN.Value.data();
+  const float *HV = HN.Value.data();
+
+  // h' = add(n, zd), zd = mul(z, d), d = sub(h, n).
+  Tensor DBuf = Tensor::raw(H);
+  float *__restrict D = DBuf.data();
+  for (size_t I = 0; I < H; ++I)
+    D[I] = HV[I] - Nn[I];
+  Tensor ZG = Tensor::zeros(H); // z's grad: G ⊙ d
+  kernels::mulAcc(H, G, D, ZG.data());
+  Tensor DG = Tensor::zeros(H); // d's grad: G ⊙ z
+  kernels::mulAcc(H, G, Z, DG.data());
+  if (HN.RequiresGrad)
+    kernels::addAcc(H, DG.data(), HN.grad().data());
+  Tensor DN = Tensor::zeros(H); // n's grad: G - G ⊙ z
+  kernels::addAcc(H, G, DN.data());
+  kernels::axpy(H, -1.0f, DG.data(), DN.data());
+
+  // n = tanh((Wx_n·x + bx_n) + Wh_n·(r ⊙ h)).
+  Tensor PNG = Tensor::zeros(H);
+  kernels::tanhGradAcc(H, DN.data(), Nn, PNG.data());
+  Tensor RH = Tensor::raw(H);
+  float *__restrict RHp = RH.data();
+  for (size_t I = 0; I < H; ++I)
+    RHp[I] = R[I] * HV[I];
+  if (WhN.RequiresGrad)
+    kernels::rank1Acc(H, H, PNG.data(), RHp, WhN.grad().data() + 2 * H * H);
+  Tensor RHG = Tensor::zeros(H); // (r ⊙ h)'s grad
+  kernels::matvecTAcc(H, H, WhV + 2 * H * H, PNG.data(), RHG.data());
+  Tensor RG = Tensor::zeros(H); // r's grad: rh-grad ⊙ h
+  kernels::mulAcc(H, RHG.data(), HV, RG.data());
+  if (HN.RequiresGrad)
+    kernels::mulAcc(H, RHG.data(), R, HN.grad().data());
+  if (BxN.RequiresGrad)
+    kernels::addAcc(H, PNG.data(), BxN.grad().data() + 2 * H);
+  if (WxN.RequiresGrad)
+    kernels::rank1Acc(H, In, PNG.data(), XN.Value.data(),
+                      WxN.grad().data() + 2 * H * In);
+  if (XN.RequiresGrad)
+    kernels::matvecTAcc(H, In, WxN.Value.data() + 2 * H * In, PNG.data(),
+                        XN.grad().data());
+
+  // r and z gates (descending creation order of the reference graph).
+  Tensor PRG = Tensor::zeros(H);
+  kernels::sigmoidGradAcc(H, RG.data(), R, PRG.data());
+  gateBackward(WxN, BxN, WhN, XN, HN, H, H, In, PRG.data());
+  Tensor PZG = Tensor::zeros(H);
+  kernels::sigmoidGradAcc(H, ZG.data(), Z, PZG.data());
+  gateBackward(WxN, BxN, WhN, XN, HN, 0, H, In, PZG.data());
+}
+
+/// LSTM payload: i, f, g, o, tanh(c'), dO (6H floats; dO zeroed at
+/// forward, filled by the h-node's backward, consumed by the c-node's).
+void lstmCellBackwardH(Node &N) {
+  Node &CN = *N.Parents[0];
+  size_t H = N.Value.size();
+  const float *G = N.Grad.data();
+  const float *O = N.AuxM + 3 * H, *Tc = N.AuxM + 4 * H;
+  float *DO = N.AuxM + 5 * H;
+  // h = mul(o, tc): o's grad parks in the payload until the c-node's
+  // backward reaches the o gate; tc's grad flows through tanh into c.
+  kernels::mulAcc(H, G, Tc, DO);
+  Tensor TCG = Tensor::zeros(H);
+  kernels::mulAcc(H, G, O, TCG.data());
+  kernels::tanhGradAcc(H, TCG.data(), Tc, CN.grad().data());
+}
+
+void lstmCellBackwardC(Node &N) {
+  Node &WxN = *N.Parents[0];
+  Node &BxN = *N.Parents[1];
+  Node &WhN = *N.Parents[2];
+  Node &XN = *N.Parents[3];
+  Node &HN = *N.Parents[4];
+  Node &CPN = *N.Parents[5];
+  size_t H = N.Value.size();
+  size_t In = XN.Value.size();
+  const float *Cg = N.Grad.data();
+  const float *Ai = N.AuxM, *Af = N.AuxM + H, *Ag = N.AuxM + 2 * H,
+              *Ao = N.AuxM + 3 * H, *DO = N.AuxM + 5 * H;
+
+  // c' = add(mul(f, c), mul(i, g)).
+  Tensor IGr = Tensor::zeros(H); // i's grad: Cg ⊙ g
+  kernels::mulAcc(H, Cg, Ag, IGr.data());
+  Tensor GG = Tensor::zeros(H); // g's grad: Cg ⊙ i
+  kernels::mulAcc(H, Cg, Ai, GG.data());
+  Tensor FG = Tensor::zeros(H); // f's grad: Cg ⊙ c_prev
+  kernels::mulAcc(H, Cg, CPN.Value.data(), FG.data());
+  if (CPN.RequiresGrad)
+    kernels::mulAcc(H, Cg, Af, CPN.grad().data());
+
+  // Gates o, g, f, i — descending creation order of the reference
+  // graph (pack order is i, f, g, o).
+  Tensor PG = Tensor::zeros(H);
+  kernels::sigmoidGradAcc(H, DO, Ao, PG.data());
+  gateBackward(WxN, BxN, WhN, XN, HN, 3 * H, H, In, PG.data());
+  PG.zero();
+  kernels::tanhGradAcc(H, GG.data(), Ag, PG.data());
+  gateBackward(WxN, BxN, WhN, XN, HN, 2 * H, H, In, PG.data());
+  PG.zero();
+  kernels::sigmoidGradAcc(H, FG.data(), Af, PG.data());
+  gateBackward(WxN, BxN, WhN, XN, HN, H, H, In, PG.data());
+  PG.zero();
+  kernels::sigmoidGradAcc(H, IGr.data(), Ai, PG.data());
+  gateBackward(WxN, BxN, WhN, XN, HN, 0, H, In, PG.data());
+}
+
+/// TreeLSTM payload: i, o, u (3H), per-child f (K*H), tanh(c), dO
+/// ((5+K)*H floats total); K lives in IScalar of both nodes.
+void treeLstmBackwardH(Node &N) {
+  Node &CN = *N.Parents[0];
+  size_t H = N.Value.size();
+  size_t K = N.IScalar;
+  const float *G = N.Grad.data();
+  const float *O = N.AuxM + H, *Tc = N.AuxM + (3 + K) * H;
+  float *DO = N.AuxM + (4 + K) * H;
+  kernels::mulAcc(H, G, Tc, DO);
+  Tensor TCG = Tensor::zeros(H);
+  kernels::mulAcc(H, G, O, TCG.data());
+  kernels::tanhGradAcc(H, TCG.data(), Tc, CN.grad().data());
+}
+
+void treeLstmBackwardC(Node &N) {
+  Node &WxN = *N.Parents[0];
+  Node &BxN = *N.Parents[1];
+  Node &WhN = *N.Parents[2];
+  Node &XN = *N.Parents[3];
+  Node &HSumN = *N.Parents[4];
+  size_t K = N.IScalar;
+  size_t H = N.Value.size();
+  size_t In = XN.Value.size();
+  const float *Cg = N.Grad.data();
+  const float *Ai = N.AuxM, *Ao = N.AuxM + H, *Au = N.AuxM + 2 * H,
+              *F = N.AuxM + 3 * H, *DO = N.AuxM + (4 + K) * H;
+
+  // Per-child forget-gate blocks, last child first (descending
+  // creation order); the add chain hands every f_k ⊙ c_k term the full
+  // incoming grad.
+  for (size_t KI = K; KI-- > 0;) {
+    Node &ChildHN = *N.Parents[5 + KI];
+    Node &ChildCN = *N.Parents[5 + K + KI];
+    const float *Fk = F + KI * H;
+    Tensor FKG = Tensor::zeros(H); // f_k's grad: Cg ⊙ c_k
+    kernels::mulAcc(H, Cg, ChildCN.Value.data(), FKG.data());
+    if (ChildCN.RequiresGrad)
+      kernels::mulAcc(H, Cg, Fk, ChildCN.grad().data());
+    Tensor PF = Tensor::zeros(H);
+    kernels::sigmoidGradAcc(H, FKG.data(), Fk, PF.data());
+    gateBackward(WxN, BxN, WhN, XN, ChildHN, 3 * H, H, In, PF.data());
+  }
+
+  // c0 = mul(i, u), then gates u, o, i (descending creation order;
+  // pack order is i, o, u, f).
+  Tensor IGr = Tensor::zeros(H);
+  kernels::mulAcc(H, Cg, Au, IGr.data());
+  Tensor UG = Tensor::zeros(H);
+  kernels::mulAcc(H, Cg, Ai, UG.data());
+  Tensor PG = Tensor::zeros(H);
+  kernels::tanhGradAcc(H, UG.data(), Au, PG.data());
+  gateBackward(WxN, BxN, WhN, XN, HSumN, 2 * H, H, In, PG.data());
+  PG.zero();
+  kernels::sigmoidGradAcc(H, DO, Ao, PG.data());
+  gateBackward(WxN, BxN, WhN, XN, HSumN, H, H, In, PG.data());
+  PG.zero();
+  kernels::sigmoidGradAcc(H, IGr.data(), Ai, PG.data());
+  gateBackward(WxN, BxN, WhN, XN, HSumN, 0, H, In, PG.data());
+}
+
+} // namespace
+
+Var liger::gruCellOp(const Var &Wx, const Var &Bx, const Var &Wh,
+                     const Var &X, const Var &HPrev) {
+  size_t H = HPrev->Value.dim(0);
+  size_t In = X->Value.dim(0);
+  LIGER_CHECK(Wx->Value.rank() == 2 && Wx->Value.dim(0) == 3 * H &&
+                  Wx->Value.dim(1) == In,
+              "gruCellOp packed Wx shape mismatch");
+  LIGER_CHECK(Bx->Value.size() == 3 * H, "gruCellOp packed bias mismatch");
+  LIGER_CHECK(Wh->Value.rank() == 2 && Wh->Value.dim(0) == 3 * H &&
+                  Wh->Value.dim(1) == H,
+              "gruCellOp packed Wh shape mismatch");
+
+  float *Gates = allocCellPayload(3 * H);
+  float *Z = Gates, *R = Gates + H, *Nn = Gates + 2 * H;
+  const float *WhV = Wh->Value.data();
+  const float *XV = X->Value.data(), *HV = HPrev->Value.data();
+
+  // All x-side pre-activations in one pass, then the hidden-side
+  // projections: z and r rows see h, the n rows see r ⊙ h.
+  Tensor Pre = Tensor::raw(3 * H);
+  float *P = Pre.data();
+  kernels::matvecN(3, H, In, Wx->Value.data(), XV, P);
+  kernels::addAcc(3 * H, Bx->Value.data(), P);
+  Tensor Hh = Tensor::raw(2 * H);
+  kernels::matvecN(2, H, H, WhV, HV, Hh.data());
+  kernels::addAcc(2 * H, Hh.data(), P);
+  kernels::sigmoidMap(H, P, Z);
+  kernels::sigmoidMap(H, P + H, R);
+
+  Tensor RH = Tensor::raw(H);
+  float *__restrict RHp = RH.data();
+  for (size_t I = 0; I < H; ++I)
+    RHp[I] = R[I] * HV[I];
+  Tensor Un = Tensor::raw(H);
+  kernels::matvec(H, H, WhV + 2 * H * H, RHp, Un.data());
+  kernels::addAcc(H, Un.data(), P + 2 * H);
+  kernels::tanhMap(H, P + 2 * H, Nn);
+
+  // h' = n + z ⊙ (h - n), one float op per loop (see the determinism
+  // notes above).
+  Tensor D = Tensor::raw(H);
+  float *__restrict Dp = D.data();
+  for (size_t I = 0; I < H; ++I)
+    Dp[I] = HV[I] - Nn[I];
+  Tensor ZD = Tensor::raw(H);
+  float *__restrict ZDp = ZD.data();
+  for (size_t I = 0; I < H; ++I)
+    ZDp[I] = Z[I] * Dp[I];
+  Tensor Out = Tensor::raw(H);
+  float *__restrict Op = Out.data();
+  for (size_t I = 0; I < H; ++I)
+    Op[I] = Nn[I] + ZDp[I];
+
+  Node *N = makeNode(std::move(Out), {Wx, Bx, Wh, X, HPrev}, gruCellBackward);
+  N->AuxM = Gates;
+  return N;
+}
+
+CellOut liger::lstmCellOp(const Var &Wx, const Var &Bx, const Var &Wh,
+                          const Var &X, const Var &HPrev, const Var &CPrev) {
+  size_t H = HPrev->Value.dim(0);
+  size_t In = X->Value.dim(0);
+  LIGER_CHECK(Wx->Value.rank() == 2 && Wx->Value.dim(0) == 4 * H &&
+                  Wx->Value.dim(1) == In,
+              "lstmCellOp packed Wx shape mismatch");
+  LIGER_CHECK(Bx->Value.size() == 4 * H, "lstmCellOp packed bias mismatch");
+  LIGER_CHECK(Wh->Value.rank() == 2 && Wh->Value.dim(0) == 4 * H &&
+                  Wh->Value.dim(1) == H,
+              "lstmCellOp packed Wh shape mismatch");
+  LIGER_CHECK(CPrev->Value.size() == H, "lstmCellOp cell-state mismatch");
+
+  float *Pay = allocCellPayload(6 * H);
+  float *Ai = Pay, *Af = Pay + H, *Ag = Pay + 2 * H, *Ao = Pay + 3 * H,
+        *Tc = Pay + 4 * H, *DO = Pay + 5 * H;
+  std::memset(DO, 0, H * sizeof(float));
+  const float *XV = X->Value.data(), *HV = HPrev->Value.data(),
+              *CPV = CPrev->Value.data();
+
+  Tensor Pre = Tensor::raw(4 * H);
+  float *P = Pre.data();
+  kernels::matvecN(4, H, In, Wx->Value.data(), XV, P);
+  kernels::addAcc(4 * H, Bx->Value.data(), P);
+  Tensor Hh = Tensor::raw(4 * H);
+  kernels::matvecN(4, H, H, Wh->Value.data(), HV, Hh.data());
+  kernels::addAcc(4 * H, Hh.data(), P);
+  kernels::sigmoidMap(H, P, Ai);
+  kernels::sigmoidMap(H, P + H, Af);
+  kernels::tanhMap(H, P + 2 * H, Ag);
+  kernels::sigmoidMap(H, P + 3 * H, Ao);
+
+  Tensor FC = Tensor::raw(H);
+  float *__restrict FCp = FC.data();
+  for (size_t I = 0; I < H; ++I)
+    FCp[I] = Af[I] * CPV[I];
+  Tensor IG = Tensor::raw(H);
+  float *__restrict IGp = IG.data();
+  for (size_t I = 0; I < H; ++I)
+    IGp[I] = Ai[I] * Ag[I];
+  Tensor C = Tensor::raw(H);
+  float *__restrict Cp = C.data();
+  for (size_t I = 0; I < H; ++I)
+    Cp[I] = FCp[I] + IGp[I];
+  kernels::tanhMap(H, Cp, Tc);
+  Tensor HOut = Tensor::raw(H);
+  float *__restrict Hp = HOut.data();
+  for (size_t I = 0; I < H; ++I)
+    Hp[I] = Ao[I] * Tc[I];
+
+  Node *CN = makeNode(std::move(C), {Wx, Bx, Wh, X, HPrev, CPrev},
+                      lstmCellBackwardC);
+  CN->AuxM = Pay;
+  Node *HN = makeNode(std::move(HOut), {CN}, lstmCellBackwardH);
+  HN->AuxM = Pay;
+  CellOut Result;
+  Result.H = HN;
+  Result.C = CN;
+  return Result;
+}
+
+CellOut liger::treeLstmNodeOp(const Var &Wx, const Var &Bx, const Var &Wh,
+                              const Var &X, const Var &HSum,
+                              const std::vector<Var> &ChildH,
+                              const std::vector<Var> &ChildC) {
+  size_t K = ChildH.size();
+  LIGER_CHECK(ChildC.size() == K, "treeLstmNodeOp child state mismatch");
+  size_t H = HSum->Value.dim(0);
+  size_t In = X->Value.dim(0);
+  LIGER_CHECK(Wx->Value.rank() == 2 && Wx->Value.dim(0) == 4 * H &&
+                  Wx->Value.dim(1) == In,
+              "treeLstmNodeOp packed Wx shape mismatch");
+  LIGER_CHECK(Bx->Value.size() == 4 * H,
+              "treeLstmNodeOp packed bias mismatch");
+  LIGER_CHECK(Wh->Value.rank() == 2 && Wh->Value.dim(0) == 4 * H &&
+                  Wh->Value.dim(1) == H,
+              "treeLstmNodeOp packed Wh shape mismatch");
+
+  float *Pay = allocCellPayload((5 + K) * H);
+  float *Ai = Pay, *Ao = Pay + H, *Au = Pay + 2 * H, *F = Pay + 3 * H,
+        *Tc = Pay + (3 + K) * H, *DO = Pay + (4 + K) * H;
+  std::memset(DO, 0, H * sizeof(float));
+  const float *WhV = Wh->Value.data();
+  const float *XV = X->Value.data(), *HSV = HSum->Value.data();
+
+  // x-side pre-activations for all four gate blocks; h~ projections
+  // for the contiguous i/o/u rows.
+  Tensor Pre = Tensor::raw(4 * H);
+  float *P = Pre.data();
+  kernels::matvecN(4, H, In, Wx->Value.data(), XV, P);
+  kernels::addAcc(4 * H, Bx->Value.data(), P);
+  Tensor Hs = Tensor::raw(3 * H);
+  kernels::matvecN(3, H, H, WhV, HSV, Hs.data());
+  kernels::addAcc(3 * H, Hs.data(), P);
+  kernels::sigmoidMap(H, P, Ai);
+  kernels::sigmoidMap(H, P + H, Ao);
+  kernels::tanhMap(H, P + 2 * H, Au);
+
+  // c = i ⊙ u + Σ_k f_k ⊙ c_k with f_k = σ((Wx_f·x + bx_f) + Wh_f·h_k).
+  Tensor C = Tensor::raw(H);
+  float *__restrict Cp = C.data();
+  for (size_t I = 0; I < H; ++I)
+    Cp[I] = Ai[I] * Au[I];
+  Tensor PreF = Tensor::raw(H);
+  Tensor Uf = Tensor::raw(H);
+  Tensor FCk = Tensor::raw(H);
+  for (size_t KI = 0; KI < K; ++KI) {
+    LIGER_CHECK(ChildH[KI]->Value.size() == H &&
+                    ChildC[KI]->Value.size() == H,
+                "treeLstmNodeOp child shape mismatch");
+    float *Fk = F + KI * H;
+    std::memcpy(PreF.data(), P + 3 * H, H * sizeof(float));
+    kernels::matvec(H, H, WhV + 3 * H * H, ChildH[KI]->Value.data(),
+                    Uf.data());
+    kernels::addAcc(H, Uf.data(), PreF.data());
+    kernels::sigmoidMap(H, PreF.data(), Fk);
+    const float *CkV = ChildC[KI]->Value.data();
+    float *__restrict FCp = FCk.data();
+    for (size_t I = 0; I < H; ++I)
+      FCp[I] = Fk[I] * CkV[I];
+    kernels::addAcc(H, FCp, Cp);
+  }
+  kernels::tanhMap(H, Cp, Tc);
+  Tensor HOut = Tensor::raw(H);
+  float *__restrict Hp = HOut.data();
+  for (size_t I = 0; I < H; ++I)
+    Hp[I] = Ao[I] * Tc[I];
+
+  std::vector<Var> Parents;
+  Parents.reserve(5 + 2 * K);
+  Parents.push_back(Wx);
+  Parents.push_back(Bx);
+  Parents.push_back(Wh);
+  Parents.push_back(X);
+  Parents.push_back(HSum);
+  for (const Var &Hk : ChildH)
+    Parents.push_back(Hk);
+  for (const Var &Ck : ChildC)
+    Parents.push_back(Ck);
+  Node *CN = makeNode(std::move(C), Parents, treeLstmBackwardC);
+  CN->AuxM = Pay;
+  CN->IScalar = K;
+  Node *HN = makeNode(std::move(HOut), {CN}, treeLstmBackwardH);
+  HN->AuxM = Pay;
+  HN->IScalar = K;
+  CellOut Result;
+  Result.H = HN;
+  Result.C = CN;
+  return Result;
+}
+
+//===----------------------------------------------------------------------===//
 // Backward driver
 //===----------------------------------------------------------------------===//
 
@@ -552,11 +1020,11 @@ std::vector<float> liger::softmaxValues(const Tensor &Logits) {
   float MaxV = L[0];
   for (size_t I = 1; I < Logits.size(); ++I)
     MaxV = std::max(MaxV, L[I]);
-  float Sum = 0.0f;
-  for (size_t I = 0; I < Logits.size(); ++I) {
+  for (size_t I = 0; I < Logits.size(); ++I)
     Out[I] = std::exp(L[I] - MaxV);
-    Sum += Out[I];
-  }
+  // 4-partial-accumulator reduction: shorter error chain than a single
+  // running sum over wide vocabularies.
+  float Sum = kernels::sum(Out.size(), Out.data());
   for (float &V : Out)
     V /= Sum;
   return Out;

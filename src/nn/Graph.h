@@ -63,9 +63,12 @@ struct Node {
   void (*BackwardFn)(Node &) = nullptr;
   // Small fixed payload for BackwardFn (meaning depends on the op):
   float FScalar = 0.0f;   ///< scale factor / 1-over-count
-  size_t IScalar = 0;     ///< row index / CE target
+  size_t IScalar = 0;     ///< row index / CE target / view offset
   const float *AuxF = nullptr;   ///< arena-owned floats (CE probs)
   const size_t *AuxIdx = nullptr; ///< arena-owned indices (maxPool argmax)
+  float *AuxM = nullptr; ///< arena-owned mutable floats (fused-cell
+                         ///< activations, shared between the cell's
+                         ///< c-node and h-node backward closures)
 
   /// The tensor this node's gradient accumulates into: the active
   /// GradSink's slot for parameters while a sink is installed,
@@ -141,6 +144,58 @@ Var meanPool(const std::vector<Var> &Items);
 Var softmaxCrossEntropy(const Var &Logits, size_t Target);
 /// Mean of scalar losses.
 Var meanLoss(const std::vector<Var> &Losses);
+
+//===----------------------------------------------------------------------===//
+// Packed-parameter views and fused recurrent-cell ops
+//===----------------------------------------------------------------------===//
+
+/// Rows [Row0, Row0 + Rows) of matrix \p M as a matrix view (a copy;
+/// backward scatters into that row range). With sliceView, this is how
+/// the legacy per-gate reference paths address packed gate weights.
+Var rowsView(const Var &M, size_t Row0, size_t Rows);
+/// Entries [Off, Off + Count) of vector \p V as a vector.
+Var sliceView(const Var &V, size_t Off, size_t Count);
+
+/// Both outputs of a fused LSTM-style cell step.
+struct CellOut {
+  Var H = nullptr;
+  Var C = nullptr;
+};
+
+/// Fused GRU step: one graph node computing
+///   z = σ(Wx[0:H]·x + bx[0:H] + Wh[0:H]·h)
+///   r = σ(Wx[H:2H]·x + bx[H:2H] + Wh[H:2H]·h)
+///   n = tanh(Wx[2H:3H]·x + bx[2H:3H] + Wh[2H:3H]·(r ⊙ h))
+///   h' = n + z ⊙ (h - n)
+/// with packed parameters Wx [3H x In], bx [3H], Wh [3H x H] (gate
+/// order z, r, n). The single backward closure emits every parameter
+/// and input gradient, replacing the ~16 nodes of the per-gate graph.
+/// Bitwise-identical to the RecurrentCell::stepUnfused reference path.
+Var gruCellOp(const Var &Wx, const Var &Bx, const Var &Wh, const Var &X,
+              const Var &HPrev);
+
+/// Fused LSTM step with packed Wx [4H x In], bx [4H], Wh [4H x H]
+/// (gate order i, f, g, o):
+///   c' = f ⊙ c + i ⊙ g,  h' = o ⊙ tanh(c')
+/// Two nodes: the c-node owns the gate activations and the combined
+/// backward; the h-node only routes ∂h into the shared payload.
+CellOut lstmCellOp(const Var &Wx, const Var &Bx, const Var &Wh, const Var &X,
+                   const Var &HPrev, const Var &CPrev);
+
+/// Fused Child-Sum TreeLSTM node (per-child forget gates) with packed
+/// Wx [4H x In], bx [4H], Wh [4H x H] in gate order i, o, u, f — i/o/u
+/// rows contiguous so one matvecN covers the h~-side projections, the
+/// per-child f block last:
+///   i = σ(..h~..), o = σ(..h~..), u = tanh(..h~..)
+///   f_k = σ(Wx_f·x + bx_f + Wh_f·h_k)
+///   c = i ⊙ u + Σ_k f_k ⊙ c_k,  h = o ⊙ tanh(c)
+/// \p ChildH / \p ChildC are the K children's states; \p HSum is their
+/// pre-summed h~ (kept as ordinary graph nodes so its gradient flows
+/// through the existing add chain).
+CellOut treeLstmNodeOp(const Var &Wx, const Var &Bx, const Var &Wh,
+                       const Var &X, const Var &HSum,
+                       const std::vector<Var> &ChildH,
+                       const std::vector<Var> &ChildC);
 
 /// Runs reverse-mode accumulation from scalar \p Loss (grad seeded 1).
 void backward(const Var &Loss);

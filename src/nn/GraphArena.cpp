@@ -32,12 +32,20 @@ struct GraphArena::NodeSlab {
 };
 
 /// One block of the POD byte arena. Oversized requests get a dedicated
-/// chunk of exactly the requested size.
+/// chunk of exactly the requested size. Backing memory is cache-line
+/// aligned so a 64-byte-aligned allocBytes request (fused-cell
+/// activation payloads) is satisfiable at any offset.
 struct GraphArena::ByteChunk {
   explicit ByteChunk(size_t Bytes)
-      : Mem(new std::byte[Bytes]), Capacity(Bytes) {}
+      : Mem(static_cast<std::byte *>(
+            ::operator new(Bytes, std::align_val_t(64)))),
+        Capacity(Bytes) {}
 
-  std::unique_ptr<std::byte[]> Mem;
+  ~ByteChunk() { ::operator delete(Mem, std::align_val_t(64)); }
+  ByteChunk(const ByteChunk &) = delete;
+  ByteChunk &operator=(const ByteChunk &) = delete;
+
+  std::byte *Mem;
   size_t Capacity;
 };
 
@@ -67,7 +75,7 @@ void *GraphArena::allocBytes(size_t Bytes, size_t Align) {
     // Dedicated chunk; insert behind the cursor so bump allocation can
     // continue in the current chunk.
     auto Dedicated = std::make_unique<ByteChunk>(Bytes);
-    void *P = Dedicated->Mem.get();
+    void *P = Dedicated->Mem;
     Chunks.insert(Chunks.begin() + static_cast<long>(ChunkIndex),
                   std::move(Dedicated));
     ++ChunkIndex;
@@ -82,7 +90,7 @@ void *GraphArena::allocBytes(size_t Bytes, size_t Align) {
     size_t Offset = (ChunkUsed + Align - 1) & ~(Align - 1);
     if (Offset + Bytes <= C.Capacity) {
       ChunkUsed = Offset + Bytes;
-      return C.Mem.get() + Offset;
+      return C.Mem + Offset;
     }
     ++ChunkIndex;
     ChunkUsed = 0;

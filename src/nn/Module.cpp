@@ -8,10 +8,38 @@
 
 #include "nn/Checkpoint.h"
 
+#include <atomic>
 #include <cstdio>
 #include <cstring>
 
 using namespace liger;
+
+namespace {
+
+/// Process-wide fused-cell toggle (see Module.h).
+std::atomic<bool> FusedCells{true};
+
+/// Draws a Glorot-uniform [Rows x Cols] block into rows
+/// [Row0, Row0 + Rows) of \p Packed, consuming exactly the Rng draws
+/// the per-gate Tensor::xavier(Rows, Cols, R) call made — a fixed seed
+/// yields the same initial weights as the pre-packing layout.
+void xavierRows(Tensor &Packed, size_t Row0, size_t Rows, size_t Cols,
+                Rng &R) {
+  float Bound = std::sqrt(6.0f / static_cast<float>(Rows + Cols));
+  float *D = Packed.data() + Row0 * Cols;
+  for (size_t I = 0; I < Rows * Cols; ++I)
+    D[I] = R.nextFloat(-Bound, Bound);
+}
+
+} // namespace
+
+bool liger::fusedCellsEnabled() {
+  return FusedCells.load(std::memory_order_relaxed);
+}
+
+void liger::setFusedCellsEnabled(bool Enabled) {
+  FusedCells.store(Enabled, std::memory_order_relaxed);
+}
 
 //===----------------------------------------------------------------------===//
 // ParamStore
@@ -29,6 +57,20 @@ Var ParamStore::addParam(const std::string &Name, Tensor Init) {
   Params.push_back(&N);
   Names.push_back(Name);
   return &N;
+}
+
+void ParamStore::addLegacyView(const std::string &Name, const Var &Param,
+                               size_t Offset, std::vector<size_t> Dims) {
+  size_t Count = 1;
+  for (size_t D : Dims)
+    Count *= D;
+  LIGER_CHECK(Offset + Count <= Param->Value.size(),
+              "legacy view exceeds parameter bounds");
+  LegacyView View;
+  View.Param = Param;
+  View.Offset = Offset;
+  View.Dims = std::move(Dims);
+  Views.emplace_back(Name, std::move(View));
 }
 
 void ParamStore::zeroGrads() {
@@ -104,33 +146,40 @@ Var Mlp::apply(const Var &X) const {
 
 RecurrentCell::RecurrentCell(ParamStore &Store, const std::string &Name,
                              CellKind Kind, size_t In, size_t Hidden, Rng &R)
-    : Kind(Kind), Hidden(Hidden) {
-  auto HMat = [&](const char *Suffix) {
-    return Store.addParam(Name + Suffix, Tensor::xavier(Hidden, Hidden, R));
-  };
-  switch (Kind) {
-  case CellKind::Rnn:
+    : Kind(Kind), In(In), Hidden(Hidden) {
+  if (Kind == CellKind::Rnn) {
     L1 = Linear(Store, Name + ".Wx", In, Hidden, R);
-    U1 = HMat(".Wh");
-    break;
-  case CellKind::Gru:
-    L1 = Linear(Store, Name + ".Wz", In, Hidden, R);
-    L2 = Linear(Store, Name + ".Wr", In, Hidden, R);
-    L3 = Linear(Store, Name + ".Wn", In, Hidden, R);
-    U1 = HMat(".Uz");
-    U2 = HMat(".Ur");
-    U3 = HMat(".Un");
-    break;
-  case CellKind::Lstm:
-    L1 = Linear(Store, Name + ".Wi", In, Hidden, R);
-    L2 = Linear(Store, Name + ".Wf", In, Hidden, R);
-    L3 = Linear(Store, Name + ".Wg", In, Hidden, R);
-    L4 = Linear(Store, Name + ".Wo", In, Hidden, R);
-    U1 = HMat(".Ui");
-    U2 = HMat(".Uf");
-    U3 = HMat(".Ug");
-    U4 = HMat(".Uo");
-    break;
+    U1 = Store.addParam(Name + ".Wh", Tensor::xavier(Hidden, Hidden, R));
+    return;
+  }
+  // Gated cells store the gate weights packed (z, r, n / i, f, g, o);
+  // per-gate blocks are drawn in the pre-packing creation order (all
+  // x-projections, then all h-projections) so fixed seeds reproduce.
+  size_t K = Kind == CellKind::Gru ? 3 : 4;
+  Tensor Wx = Tensor::zeros(K * Hidden, In);
+  for (size_t G = 0; G < K; ++G)
+    xavierRows(Wx, G * Hidden, Hidden, In, R);
+  Tensor Wh = Tensor::zeros(K * Hidden, Hidden);
+  for (size_t G = 0; G < K; ++G)
+    xavierRows(Wh, G * Hidden, Hidden, Hidden, R);
+  PWx = Store.addParam(Name + ".Wx", std::move(Wx));
+  PBx = Store.addParam(Name + ".bx", Tensor::zeros(K * Hidden));
+  PWh = Store.addParam(Name + ".Wh", std::move(Wh));
+
+  // Checkpoints written before packing address the gates by their old
+  // per-tensor names; register those as views for the loader.
+  static const char *GruX[] = {".Wz", ".Wr", ".Wn"};
+  static const char *GruH[] = {".Uz", ".Ur", ".Un"};
+  static const char *LstmX[] = {".Wi", ".Wf", ".Wg", ".Wo"};
+  static const char *LstmH[] = {".Ui", ".Uf", ".Ug", ".Uo"};
+  const char **XNames = Kind == CellKind::Gru ? GruX : LstmX;
+  const char **HNames = Kind == CellKind::Gru ? GruH : LstmH;
+  for (size_t G = 0; G < K; ++G) {
+    Store.addLegacyView(Name + XNames[G] + ".W", PWx, G * Hidden * In,
+                        {Hidden, In});
+    Store.addLegacyView(Name + XNames[G] + ".b", PBx, G * Hidden, {Hidden});
+    Store.addLegacyView(Name + HNames[G], PWh, G * Hidden * Hidden,
+                        {Hidden, Hidden});
   }
 }
 
@@ -143,6 +192,31 @@ RecState RecurrentCell::initial() const {
 }
 
 RecState RecurrentCell::step(const Var &X, const RecState &Prev) const {
+  if (Kind == CellKind::Rnn) {
+    RecState S;
+    S.H = tanhV(add(L1.apply(X), matvec(U1, Prev.H)));
+    return S;
+  }
+  if (!fusedCellsEnabled())
+    return stepUnfused(X, Prev);
+  RecState S;
+  if (Kind == CellKind::Gru) {
+    S.H = gruCellOp(PWx, PBx, PWh, X, Prev.H);
+  } else {
+    CellOut Out = lstmCellOp(PWx, PBx, PWh, X, Prev.H, Prev.C);
+    S.H = Out.H;
+    S.C = Out.C;
+  }
+  return S;
+}
+
+RecState RecurrentCell::stepUnfused(const Var &X, const RecState &Prev) const {
+  // Node creation order below is load-bearing: the fused cell ops'
+  // backward closures replay gradient accumulation in exactly this
+  // graph's descending-Seq order, which is what makes the two paths
+  // bitwise-identical. Keep every op an explicitly sequenced statement
+  // (nested calls would leave argument evaluation order unspecified).
+  size_t H = Hidden;
   switch (Kind) {
   case CellKind::Rnn: {
     RecState S;
@@ -150,22 +224,62 @@ RecState RecurrentCell::step(const Var &X, const RecState &Prev) const {
     return S;
   }
   case CellKind::Gru: {
-    Var Z = sigmoidV(add(L1.apply(X), matvec(U1, Prev.H)));
-    Var Rg = sigmoidV(add(L2.apply(X), matvec(U2, Prev.H)));
-    Var N = tanhV(add(L3.apply(X), matvec(U3, mul(Rg, Prev.H))));
+    Var Wz = rowsView(PWx, 0, H);
+    Var Wr = rowsView(PWx, H, H);
+    Var Wn = rowsView(PWx, 2 * H, H);
+    Var Bz = sliceView(PBx, 0, H);
+    Var Br = sliceView(PBx, H, H);
+    Var Bn = sliceView(PBx, 2 * H, H);
+    Var Uz = rowsView(PWh, 0, H);
+    Var Ur = rowsView(PWh, H, H);
+    Var Un = rowsView(PWh, 2 * H, H);
+    auto Gate = [&](const Var &W, const Var &B, const Var &U,
+                    const Var &HVec) {
+      Var A = matvec(W, X);
+      Var Ab = add(A, B);
+      Var Uh = matvec(U, HVec);
+      return add(Ab, Uh);
+    };
+    Var Z = sigmoidV(Gate(Wz, Bz, Uz, Prev.H));
+    Var Rg = sigmoidV(Gate(Wr, Br, Ur, Prev.H));
+    Var RH = mul(Rg, Prev.H);
+    Var N = tanhV(Gate(Wn, Bn, Un, RH));
     // h = (1 - z) * n + z * h_prev  =  n + z * (h_prev - n)
+    Var D = sub(Prev.H, N);
+    Var ZD = mul(Z, D);
     RecState S;
-    S.H = add(N, mul(Z, sub(Prev.H, N)));
+    S.H = add(N, ZD);
     return S;
   }
   case CellKind::Lstm: {
-    Var I = sigmoidV(add(L1.apply(X), matvec(U1, Prev.H)));
-    Var F = sigmoidV(add(L2.apply(X), matvec(U2, Prev.H)));
-    Var G = tanhV(add(L3.apply(X), matvec(U3, Prev.H)));
-    Var O = sigmoidV(add(L4.apply(X), matvec(U4, Prev.H)));
+    Var Wi = rowsView(PWx, 0, H);
+    Var Wf = rowsView(PWx, H, H);
+    Var Wg = rowsView(PWx, 2 * H, H);
+    Var Wo = rowsView(PWx, 3 * H, H);
+    Var Bi = sliceView(PBx, 0, H);
+    Var Bf = sliceView(PBx, H, H);
+    Var Bg = sliceView(PBx, 2 * H, H);
+    Var Bo = sliceView(PBx, 3 * H, H);
+    Var Ui = rowsView(PWh, 0, H);
+    Var Uf = rowsView(PWh, H, H);
+    Var Ug = rowsView(PWh, 2 * H, H);
+    Var Uo = rowsView(PWh, 3 * H, H);
+    auto Gate = [&](const Var &W, const Var &B, const Var &U) {
+      Var A = matvec(W, X);
+      Var Ab = add(A, B);
+      Var Uh = matvec(U, Prev.H);
+      return add(Ab, Uh);
+    };
+    Var I = sigmoidV(Gate(Wi, Bi, Ui));
+    Var F = sigmoidV(Gate(Wf, Bf, Uf));
+    Var G = tanhV(Gate(Wg, Bg, Ug));
+    Var O = sigmoidV(Gate(Wo, Bo, Uo));
+    Var FC = mul(F, Prev.C);
+    Var IG = mul(I, G);
     RecState S;
-    S.C = add(mul(F, Prev.C), mul(I, G));
-    S.H = mul(O, tanhV(S.C));
+    S.C = add(FC, IG);
+    Var TC = tanhV(S.C);
+    S.H = mul(O, TC);
     return S;
   }
   }
@@ -190,15 +304,59 @@ RecurrentCell::run(const std::vector<Var> &Inputs) const {
 
 ChildSumTreeLstm::ChildSumTreeLstm(ParamStore &Store, const std::string &Name,
                                    size_t In, size_t Hidden, Rng &R)
-    : Hidden(Hidden), Wi(Store, Name + ".Wi", In, Hidden, R),
-      Wf(Store, Name + ".Wf", In, Hidden, R),
-      Wo(Store, Name + ".Wo", In, Hidden, R),
-      Wu(Store, Name + ".Wu", In, Hidden, R) {
-  Ui = Store.addParam(Name + ".Ui", Tensor::xavier(Hidden, Hidden, R));
-  Uf = Store.addParam(Name + ".Uf", Tensor::xavier(Hidden, Hidden, R));
-  Uo = Store.addParam(Name + ".Uo", Tensor::xavier(Hidden, Hidden, R));
-  Uu = Store.addParam(Name + ".Uu", Tensor::xavier(Hidden, Hidden, R));
+    : In(In), Hidden(Hidden) {
+  // Pack order is i, o, u, f (the i/o/u rows are the h~-side matvecN
+  // block; the per-child forget block sits last), while the Rng draws
+  // happen in the pre-packing creation order Wi, Wf, Wo, Wu / Ui, Uf,
+  // Uo, Uu so fixed seeds reproduce the old initial weights.
+  constexpr size_t RowI = 0, RowO = 1, RowU = 2, RowF = 3;
+  Tensor Wx = Tensor::zeros(4 * Hidden, In);
+  xavierRows(Wx, RowI * Hidden, Hidden, In, R);
+  xavierRows(Wx, RowF * Hidden, Hidden, In, R);
+  xavierRows(Wx, RowO * Hidden, Hidden, In, R);
+  xavierRows(Wx, RowU * Hidden, Hidden, In, R);
+  Tensor Wh = Tensor::zeros(4 * Hidden, Hidden);
+  xavierRows(Wh, RowI * Hidden, Hidden, Hidden, R);
+  xavierRows(Wh, RowF * Hidden, Hidden, Hidden, R);
+  xavierRows(Wh, RowO * Hidden, Hidden, Hidden, R);
+  xavierRows(Wh, RowU * Hidden, Hidden, Hidden, R);
+  PWx = Store.addParam(Name + ".Wx", std::move(Wx));
+  PBx = Store.addParam(Name + ".bx", Tensor::zeros(4 * Hidden));
+  PWh = Store.addParam(Name + ".Wh", std::move(Wh));
+
+  struct GateNames {
+    const char *X;
+    const char *U;
+    size_t Row;
+  };
+  static const GateNames Gates[] = {{".Wi", ".Ui", RowI},
+                                    {".Wf", ".Uf", RowF},
+                                    {".Wo", ".Uo", RowO},
+                                    {".Wu", ".Uu", RowU}};
+  for (const GateNames &G : Gates) {
+    Store.addLegacyView(Name + G.X + ".W", PWx, G.Row * Hidden * In,
+                        {Hidden, In});
+    Store.addLegacyView(Name + G.X + ".b", PBx, G.Row * Hidden, {Hidden});
+    Store.addLegacyView(Name + G.U, PWh, G.Row * Hidden * Hidden,
+                        {Hidden, Hidden});
+  }
 }
+
+namespace {
+
+/// h~ = Σ_k h_k (zero vector for leaves). Shared by the fused and
+/// reference paths — the chain's nodes (and thus its gradient
+/// roundings) are identical in both.
+Var childHSum(const std::vector<Var> &ChildHs, size_t Hidden) {
+  if (ChildHs.empty())
+    return constant(Tensor::zeros(Hidden));
+  Var HSum = ChildHs.size() == 1 ? ChildHs[0] : add(ChildHs[0], ChildHs[1]);
+  for (size_t I = 2; I < ChildHs.size(); ++I)
+    HSum = add(HSum, ChildHs[I]);
+  return HSum;
+}
+
+} // namespace
 
 ChildSumTreeLstm::NodeState ChildSumTreeLstm::embedNode(
     const AstTree &Tree,
@@ -211,41 +369,92 @@ ChildSumTreeLstm::NodeState ChildSumTreeLstm::embedNode(
 
   Var X = Embed(Tree.Label);
 
-  // h~ = Σ_k h_k  (zero vector for leaves).
-  Var HSum;
-  if (Children.empty()) {
-    HSum = constant(Tensor::zeros(Hidden));
-  } else {
-    std::vector<Var> ChildHs;
-    for (const NodeState &Child : Children)
-      ChildHs.push_back(Child.H);
-    HSum = ChildHs.size() == 1 ? ChildHs[0] : add(ChildHs[0], ChildHs[1]);
-    for (size_t I = 2; I < ChildHs.size(); ++I)
-      HSum = add(HSum, ChildHs[I]);
+  std::vector<Var> ChildHs, ChildCs;
+  ChildHs.reserve(Children.size());
+  ChildCs.reserve(Children.size());
+  for (const NodeState &Child : Children) {
+    ChildHs.push_back(Child.H);
+    ChildCs.push_back(Child.C);
   }
+  Var HSum = childHSum(ChildHs, Hidden);
 
-  Var I = sigmoidV(add(Wi.apply(X), matvec(Ui, HSum)));
-  Var O = sigmoidV(add(Wo.apply(X), matvec(Uo, HSum)));
-  Var U = tanhV(add(Wu.apply(X), matvec(Uu, HSum)));
+  CellOut Out = treeLstmNodeOp(PWx, PBx, PWh, X, HSum, ChildHs, ChildCs);
+  NodeState Result;
+  Result.H = Out.H;
+  Result.C = Out.C;
+  return Result;
+}
+
+ChildSumTreeLstm::NodeState ChildSumTreeLstm::embedNodeUnfused(
+    const AstTree &Tree,
+    const std::function<Var(const std::string &)> &Embed) const {
+  std::vector<NodeState> Children;
+  Children.reserve(Tree.Children.size());
+  for (const AstTree &Child : Tree.Children)
+    Children.push_back(embedNodeUnfused(Child, Embed));
+
+  Var X = Embed(Tree.Label);
+
+  std::vector<Var> ChildHs;
+  for (const NodeState &Child : Children)
+    ChildHs.push_back(Child.H);
+  Var HSum = childHSum(ChildHs, Hidden);
+
+  size_t H = Hidden;
+  Var WiV = rowsView(PWx, 0, H);
+  Var BiV = sliceView(PBx, 0, H);
+  Var UiV = rowsView(PWh, 0, H);
+  Var WoV = rowsView(PWx, H, H);
+  Var BoV = sliceView(PBx, H, H);
+  Var UoV = rowsView(PWh, H, H);
+  Var WuV = rowsView(PWx, 2 * H, H);
+  Var BuV = sliceView(PBx, 2 * H, H);
+  Var UuV = rowsView(PWh, 2 * H, H);
+  auto Gate = [&](const Var &W, const Var &B, const Var &U,
+                  const Var &HVec) {
+    Var A = matvec(W, X);
+    Var Ab = add(A, B);
+    Var Uh = matvec(U, HVec);
+    return add(Ab, Uh);
+  };
+  Var I = sigmoidV(Gate(WiV, BiV, UiV, HSum));
+  Var O = sigmoidV(Gate(WoV, BoV, UoV, HSum));
+  Var U = tanhV(Gate(WuV, BuV, UuV, HSum));
 
   // c = i ⊙ u + Σ_k f_k ⊙ c_k, with a per-child forget gate
-  // f_k = σ(Wf x + Uf h_k).
+  // f_k = σ(Wf x + Uf h_k). The f views are created fresh per child:
+  // a shared view would pre-aggregate the children's weight gradients
+  // before scattering, rounding differently from the fused op's (and
+  // the pre-packing layout's) direct per-child accumulation.
   Var C = mul(I, U);
   for (const NodeState &Child : Children) {
-    Var Fk = sigmoidV(add(Wf.apply(X), matvec(Uf, Child.H)));
-    C = add(C, mul(Fk, Child.C));
+    Var WfV = rowsView(PWx, 3 * H, H);
+    Var BfV = sliceView(PBx, 3 * H, H);
+    Var UfV = rowsView(PWh, 3 * H, H);
+    Var Fk = sigmoidV(Gate(WfV, BfV, UfV, Child.H));
+    Var FC = mul(Fk, Child.C);
+    C = add(C, FC);
   }
 
+  Var TC = tanhV(C);
   NodeState Result;
   Result.C = C;
-  Result.H = mul(O, tanhV(C));
+  Result.H = mul(O, TC);
   return Result;
 }
 
 Var ChildSumTreeLstm::embed(
     const AstTree &Tree,
     const std::function<Var(const std::string &)> &Embed) const {
+  if (!fusedCellsEnabled())
+    return embedNodeUnfused(Tree, Embed).H;
   return embedNode(Tree, Embed).H;
+}
+
+Var ChildSumTreeLstm::embedUnfused(
+    const AstTree &Tree,
+    const std::function<Var(const std::string &)> &Embed) const {
+  return embedNodeUnfused(Tree, Embed).H;
 }
 
 //===----------------------------------------------------------------------===//

@@ -43,6 +43,27 @@ class ParamStore {
 public:
   Var addParam(const std::string &Name, Tensor Init);
 
+  /// A named alias for a contiguous region of an existing parameter.
+  /// Checkpoints written before gate weights were packed store per-gate
+  /// tensors ("gru.Wz.W", "gru.Uz", ...); the loader resolves such
+  /// names through this registry and copies the payload into the
+  /// parameter at \p Offset. Dims describe the legacy tensor's shape.
+  struct LegacyView {
+    Var Param = nullptr;
+    size_t Offset = 0;
+    std::vector<size_t> Dims;
+  };
+
+  /// Registers \p Name as a legacy alias of \p Param's elements
+  /// [Offset, Offset + product(Dims)).
+  void addLegacyView(const std::string &Name, const Var &Param, size_t Offset,
+                     std::vector<size_t> Dims);
+
+  /// Legacy-name -> view registry (checkpoint migration).
+  const std::vector<std::pair<std::string, LegacyView>> &legacyViews() const {
+    return Views;
+  }
+
   const std::vector<Var> &params() const { return Params; }
   const std::vector<std::string> &names() const { return Names; }
 
@@ -79,7 +100,15 @@ private:
   std::deque<Node> Storage; ///< Owns the nodes; deque keeps addresses stable.
   std::vector<Var> Params;
   std::vector<std::string> Names;
+  std::vector<std::pair<std::string, LegacyView>> Views;
 };
+
+/// Whether recurrent cells route through the fused single-node graph
+/// ops (the default) or the per-gate reference graphs. The two paths
+/// are bitwise-identical (FusedEquivalenceTest); the toggle exists for
+/// A/B testing and the equivalence suite itself.
+bool fusedCellsEnabled();
+void setFusedCellsEnabled(bool Enabled);
 
 /// Fully connected layer: y = W x + b.
 class Linear {
@@ -140,13 +169,23 @@ public:
   size_t hiddenDim() const { return Hidden; }
   CellKind kind() const { return Kind; }
 
+  /// Per-gate reference implementation of step(): builds the packed
+  /// parameters' gate blocks as explicit view nodes and composes the
+  /// legacy one-op-per-node graph. Bitwise-identical to the fused
+  /// step(); kept as the equivalence/gradcheck oracle.
+  RecState stepUnfused(const Var &X, const RecState &Prev) const;
+
 private:
   CellKind Kind = CellKind::Gru;
+  size_t In = 0;
   size_t Hidden = 0;
-  // Rnn: Wx, Wh, b. Gru: per-gate z/r/n. Lstm: per-gate i/f/g/o.
-  Linear L1, L2, L3, L4; ///< x-projections (gate order by kind)
-  Var U1 = nullptr, U2 = nullptr, U3 = nullptr,
-      U4 = nullptr; ///< h-projections (matrices, no bias)
+  // Rnn keeps the legacy layout: one Linear + one h-matrix.
+  Linear L1;
+  Var U1 = nullptr;
+  // Gru/Lstm store gate weights packed: PWx [K*H x In], PBx [K*H],
+  // PWh [K*H x H] with K = 3 (z, r, n) or 4 (i, f, g, o). Legacy
+  // per-gate names are registered as checkpoint views.
+  Var PWx = nullptr, PBx = nullptr, PWh = nullptr;
 };
 
 /// Child-Sum TreeLSTM (§4.2, Tai et al.). Embeds a labelled ordered
@@ -164,6 +203,10 @@ public:
 
   size_t hiddenDim() const { return Hidden; }
 
+  /// Per-gate reference embedding (see RecurrentCell::stepUnfused).
+  Var embedUnfused(const AstTree &Tree,
+                   const std::function<Var(const std::string &)> &Embed) const;
+
 private:
   struct NodeState {
     Var H = nullptr, C = nullptr;
@@ -171,10 +214,16 @@ private:
   NodeState embedNode(
       const AstTree &Tree,
       const std::function<Var(const std::string &)> &Embed) const;
+  NodeState embedNodeUnfused(
+      const AstTree &Tree,
+      const std::function<Var(const std::string &)> &Embed) const;
 
+  size_t In = 0;
   size_t Hidden = 0;
-  Linear Wi, Wf, Wo, Wu; ///< x-projections (input/forget/output/update)
-  Var Ui = nullptr, Uf = nullptr, Uo = nullptr, Uu = nullptr; ///< h-projections
+  // Packed gate weights [4H x ...] in gate order i, o, u, f: the i/o/u
+  // rows are contiguous so one matvecN covers every h~-side
+  // projection; the per-child forget block sits last.
+  Var PWx = nullptr, PBx = nullptr, PWh = nullptr;
 };
 
 /// Learned embedding table over a vocabulary.

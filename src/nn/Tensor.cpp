@@ -22,6 +22,7 @@
 
 #include "nn/Tensor.h"
 
+#include <new>
 #include <unordered_map>
 
 using namespace liger;
@@ -32,6 +33,17 @@ namespace {
 /// freed eagerly. Bounds freelist growth when buffers migrate between
 /// threads (worker-allocated gradients released by the main thread).
 constexpr size_t PoolCapBytes = size_t(128) << 20;
+
+/// Every pool buffer starts on a cache-line boundary, so an 8-lane
+/// vector load of a fresh tensor never straddles two lines and the
+/// compiler/CPU see consistently aligned hot loops.
+constexpr std::align_val_t BufferAlign{64};
+
+float *allocAligned(size_t N) {
+  return static_cast<float *>(::operator new(N * sizeof(float), BufferAlign));
+}
+
+void freeAligned(float *Data) { ::operator delete(Data, BufferAlign); }
 
 struct BufferPool {
   std::unordered_map<size_t, std::vector<float *>> Free;
@@ -46,7 +58,7 @@ struct BufferPool {
   void trim() {
     for (auto &Entry : Free)
       for (float *Buffer : Entry.second)
-        delete[] Buffer;
+        freeAligned(Buffer);
     Free.clear();
     CachedBytes = 0;
   }
@@ -74,19 +86,19 @@ float *liger::detail::bufferAcquire(size_t N) {
       return Buffer;
     }
   }
-  return new float[N];
+  return allocAligned(N);
 }
 
 void liger::detail::bufferRelease(float *Data, size_t N) {
   if (!Data)
     return;
   if (BufferPool::Destroyed) {
-    delete[] Data;
+    freeAligned(Data);
     return;
   }
   BufferPool &P = pool();
   if (P.CachedBytes + N * sizeof(float) > PoolCapBytes) {
-    delete[] Data;
+    freeAligned(Data);
     return;
   }
   P.Free[N].push_back(Data);

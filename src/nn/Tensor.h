@@ -32,11 +32,16 @@
 #include <cstring>
 #include <vector>
 
+#if defined(LIGER_SIMD_AVX2)
+#include <immintrin.h>
+#endif
+
 namespace liger {
 
 namespace detail {
 /// Returns a float buffer of \p N elements (contents unspecified) from
-/// the calling thread's pool, falling back to operator new[].
+/// the calling thread's pool, falling back to a fresh 64-byte-aligned
+/// allocation (every pooled buffer is cache-line aligned).
 float *bufferAcquire(size_t N);
 /// Returns \p Data (of \p N elements) to the calling thread's pool.
 /// Buffers may be released on a different thread than they were
@@ -95,6 +100,9 @@ public:
     return Other.rank() == 1 ? zeros(Other.dim(0))
                              : zeros(Other.dim(0), Other.dim(1));
   }
+  /// Uninitialized vector of dimension \p N — for outputs every entry
+  /// of which is about to be overwritten (kernel destinations).
+  static Tensor raw(size_t N) { return Tensor(N, 0, 1); }
   /// Vector from explicit values.
   static Tensor fromVector(const std::vector<float> &Values) {
     Tensor T(Values.size(), 0, 1);
@@ -232,13 +240,200 @@ private:
 /// Restrict-qualified inner-loop kernels shared by the forward and
 /// backward passes in Graph.cpp. Keeping the pointer aliasing promises
 /// in one place lets the compiler vectorize without runtime checks.
+///
+/// Two configurations exist, chosen at configure time (LIGER_SIMD_AVX2,
+/// set by the LIGER_NATIVE_SIMD cmake option): explicit AVX2/FMA
+/// intrinsics, or a portable scalar path unrolled with independent
+/// partial accumulators. The two produce different float roundings, but
+/// each is individually deterministic: for a fixed configuration every
+/// reduction runs in one fixed order, so results are bitwise-stable
+/// across runs and across --threads values.
+///
+/// Every reduction in the library — dot(), each matvec/matvecN row, the
+/// fused cell ops — funnels through dot()'s accumulation scheme, so an
+/// [R x C] block multiplied row-by-row and the same rows computed via
+/// matvecN are bitwise-identical. The fused/unfused cell equivalence
+/// test (NnTests.cpp, FusedEquivalenceTest) leans on this.
 namespace kernels {
 
+/// Pins \p P (a float or vector of floats) into a register so the
+/// compiler cannot contract a neighboring mul and add into an FMA.
+/// axpy() must round its product before the add — see the comment
+/// there — and under -ffp-contract=fast GCC fuses across statements
+/// and even through mul/add intrinsics unless blocked.
+#if defined(__GNUC__) && (defined(__x86_64__) || defined(__i386__))
+#define LIGER_BLOCK_CONTRACT(P) asm volatile("" : "+x"(P))
+#elif defined(__GNUC__)
+#define LIGER_BLOCK_CONTRACT(P) asm volatile("" : "+w"(P))
+#else
+#define LIGER_BLOCK_CONTRACT(P) (void)(P)
+#endif
+
+#if defined(LIGER_SIMD_AVX2)
+
+/// Fixed-order horizontal sum of one 8-lane accumulator: lanes are
+/// reduced pairwise (0+4, 1+5, 2+6, 3+7), then (01+23), then the final
+/// pair — the same tree every call, part of the determinism contract.
+inline float hadd8(__m256 V) {
+  __m128 Lo = _mm256_castps256_ps128(V);
+  __m128 Hi = _mm256_extractf128_ps(V, 1);
+  __m128 S = _mm_add_ps(Lo, Hi);
+  S = _mm_add_ps(S, _mm_movehl_ps(S, S));
+  S = _mm_add_ss(S, _mm_shuffle_ps(S, S, 1));
+  return _mm_cvtss_f32(S);
+}
+
+/// Σ_i A[i] * B[i]. Two 8-wide FMA accumulators hide the FMA latency;
+/// the remainder runs scalar in index order.
+inline float dot(size_t N, const float *__restrict A,
+                 const float *__restrict B) {
+  __m256 Acc0 = _mm256_setzero_ps();
+  __m256 Acc1 = _mm256_setzero_ps();
+  size_t I = 0;
+  for (; I + 16 <= N; I += 16) {
+    Acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(A + I), _mm256_loadu_ps(B + I),
+                           Acc0);
+    Acc1 = _mm256_fmadd_ps(_mm256_loadu_ps(A + I + 8),
+                           _mm256_loadu_ps(B + I + 8), Acc1);
+  }
+  if (I + 8 <= N) {
+    Acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(A + I), _mm256_loadu_ps(B + I),
+                           Acc0);
+    I += 8;
+  }
+  float Acc = hadd8(_mm256_add_ps(Acc0, Acc1));
+  for (; I < N; ++I)
+    Acc = std::fma(A[I], B[I], Acc);
+  return Acc;
+}
+
 /// Y[i] += A * X[i].
+///
+/// Deliberately mul-then-add with the product pinned by
+/// LIGER_BLOCK_CONTRACT, NOT fmadd: gradients that accumulate through
+/// a zero-initialized staging buffer (view nodes over packed
+/// parameters) round the product before the add, so the direct fused
+/// accumulation must round it too or the two paths drift in the low
+/// bits. Under -ffp-contract=fast GCC re-fuses even mul/add
+/// *intrinsics* into FMA, hence the barrier. Pure reductions
+/// (dot/matvec) are free to use FMA — both paths call them on
+/// identical inputs.
 inline void axpy(size_t N, float A, const float *__restrict X,
                  float *__restrict Y) {
-  for (size_t I = 0; I < N; ++I)
-    Y[I] += A * X[I];
+  __m256 VA = _mm256_set1_ps(A);
+  size_t I = 0;
+  for (; I + 8 <= N; I += 8) {
+    __m256 P = _mm256_mul_ps(VA, _mm256_loadu_ps(X + I));
+    LIGER_BLOCK_CONTRACT(P);
+    _mm256_storeu_ps(Y + I, _mm256_add_ps(_mm256_loadu_ps(Y + I), P));
+  }
+  for (; I < N; ++I) {
+    float P = A * X[I];
+    LIGER_BLOCK_CONTRACT(P);
+    Y[I] += P;
+  }
+}
+
+/// Y[i] += X[i].
+inline void addAcc(size_t N, const float *__restrict X,
+                   float *__restrict Y) {
+  size_t I = 0;
+  for (; I + 8 <= N; I += 8)
+    _mm256_storeu_ps(Y + I, _mm256_add_ps(_mm256_loadu_ps(Y + I),
+                                          _mm256_loadu_ps(X + I)));
+  for (; I < N; ++I)
+    Y[I] += X[I];
+}
+
+/// Y = M x for a row-major [Rows x Cols] matrix. Rows are processed
+/// four at a time so each load of X feeds four FMA chains; every row's
+/// reduction is bit-identical to dot(Cols, row, X) — same 2-accumulator
+/// split, same remainder handling, same horizontal-add tree.
+inline void matvec(size_t Rows, size_t Cols, const float *__restrict M,
+                   const float *__restrict X, float *__restrict Y) {
+  size_t R = 0;
+  for (; R + 4 <= Rows; R += 4) {
+    const float *R0 = M + R * Cols;
+    const float *R1 = R0 + Cols;
+    const float *R2 = R1 + Cols;
+    const float *R3 = R2 + Cols;
+    __m256 A00 = _mm256_setzero_ps(), A01 = _mm256_setzero_ps();
+    __m256 A10 = _mm256_setzero_ps(), A11 = _mm256_setzero_ps();
+    __m256 A20 = _mm256_setzero_ps(), A21 = _mm256_setzero_ps();
+    __m256 A30 = _mm256_setzero_ps(), A31 = _mm256_setzero_ps();
+    size_t I = 0;
+    for (; I + 16 <= Cols; I += 16) {
+      __m256 X0 = _mm256_loadu_ps(X + I);
+      __m256 X1 = _mm256_loadu_ps(X + I + 8);
+      A00 = _mm256_fmadd_ps(_mm256_loadu_ps(R0 + I), X0, A00);
+      A01 = _mm256_fmadd_ps(_mm256_loadu_ps(R0 + I + 8), X1, A01);
+      A10 = _mm256_fmadd_ps(_mm256_loadu_ps(R1 + I), X0, A10);
+      A11 = _mm256_fmadd_ps(_mm256_loadu_ps(R1 + I + 8), X1, A11);
+      A20 = _mm256_fmadd_ps(_mm256_loadu_ps(R2 + I), X0, A20);
+      A21 = _mm256_fmadd_ps(_mm256_loadu_ps(R2 + I + 8), X1, A21);
+      A30 = _mm256_fmadd_ps(_mm256_loadu_ps(R3 + I), X0, A30);
+      A31 = _mm256_fmadd_ps(_mm256_loadu_ps(R3 + I + 8), X1, A31);
+    }
+    if (I + 8 <= Cols) {
+      __m256 X0 = _mm256_loadu_ps(X + I);
+      A00 = _mm256_fmadd_ps(_mm256_loadu_ps(R0 + I), X0, A00);
+      A10 = _mm256_fmadd_ps(_mm256_loadu_ps(R1 + I), X0, A10);
+      A20 = _mm256_fmadd_ps(_mm256_loadu_ps(R2 + I), X0, A20);
+      A30 = _mm256_fmadd_ps(_mm256_loadu_ps(R3 + I), X0, A30);
+      I += 8;
+    }
+    float S0 = hadd8(_mm256_add_ps(A00, A01));
+    float S1 = hadd8(_mm256_add_ps(A10, A11));
+    float S2 = hadd8(_mm256_add_ps(A20, A21));
+    float S3 = hadd8(_mm256_add_ps(A30, A31));
+    for (; I < Cols; ++I) {
+      float XI = X[I];
+      S0 = std::fma(R0[I], XI, S0);
+      S1 = std::fma(R1[I], XI, S1);
+      S2 = std::fma(R2[I], XI, S2);
+      S3 = std::fma(R3[I], XI, S3);
+    }
+    Y[R] = S0;
+    Y[R + 1] = S1;
+    Y[R + 2] = S2;
+    Y[R + 3] = S3;
+  }
+  for (; R < Rows; ++R)
+    Y[R] = dot(Cols, M + R * Cols, X);
+}
+
+#else // scalar fallback
+
+/// Σ_i A[i] * B[i]. Four independent partial accumulators break the
+/// serial add chain (better ILP and a shorter error chain than one
+/// running sum); the final combine order (0+1)+(2+3) is fixed.
+inline float dot(size_t N, const float *__restrict A,
+                 const float *__restrict B) {
+  float P0 = 0.0f, P1 = 0.0f, P2 = 0.0f, P3 = 0.0f;
+  size_t I = 0;
+  for (; I + 4 <= N; I += 4) {
+    P0 += A[I] * B[I];
+    P1 += A[I + 1] * B[I + 1];
+    P2 += A[I + 2] * B[I + 2];
+    P3 += A[I + 3] * B[I + 3];
+  }
+  float Acc = (P0 + P1) + (P2 + P3);
+  for (; I < N; ++I)
+    Acc += A[I] * B[I];
+  return Acc;
+}
+
+/// Y[i] += A * X[i].
+/// Mul-then-add with the product pinned, never FMA — the fused and
+/// staged gradient accumulation paths must round identically (see the
+/// AVX2 axpy above).
+inline void axpy(size_t N, float A, const float *__restrict X,
+                 float *__restrict Y) {
+  for (size_t I = 0; I < N; ++I) {
+    float P = A * X[I];
+    LIGER_BLOCK_CONTRACT(P);
+    Y[I] += P;
+  }
 }
 
 /// Y[i] += X[i].
@@ -248,20 +443,25 @@ inline void addAcc(size_t N, const float *__restrict X,
     Y[I] += X[I];
 }
 
-/// Σ_i A[i] * B[i].
-inline float dot(size_t N, const float *__restrict A,
-                 const float *__restrict B) {
-  float Acc = 0.0f;
-  for (size_t I = 0; I < N; ++I)
-    Acc += A[I] * B[I];
-  return Acc;
-}
-
 /// Y = M x for a row-major [Rows x Cols] matrix.
 inline void matvec(size_t Rows, size_t Cols, const float *__restrict M,
                    const float *__restrict X, float *__restrict Y) {
   for (size_t R = 0; R < Rows; ++R)
     Y[R] = dot(Cols, M + R * Cols, X);
+}
+
+#endif // LIGER_SIMD_AVX2
+
+/// Y = [M_0; M_1; ...; M_{K-1}] x for K stacked [Rows x Cols] blocks
+/// packed contiguously in \p M — one pass over X computing K outputs.
+/// Row r of the result is bitwise-identical to matvec over that block
+/// alone (both delegate to the same per-row reduction), which is what
+/// lets the packed gate weights coexist with the per-gate reference
+/// path.
+inline void matvecN(size_t K, size_t Rows, size_t Cols,
+                    const float *__restrict M, const float *__restrict X,
+                    float *__restrict Y) {
+  matvec(K * Rows, Cols, M, X, Y);
 }
 
 /// MG[r][c] += G[r] * X[c] (outer-product gradient of matvec wrt M).
@@ -276,6 +476,68 @@ inline void matvecTAcc(size_t Rows, size_t Cols, const float *__restrict M,
                        const float *__restrict G, float *__restrict XG) {
   for (size_t R = 0; R < Rows; ++R)
     axpy(Cols, G[R], M + R * Cols, XG);
+}
+
+/// Σ_i A[i], with the same 4-partial-accumulator scheme as the scalar
+/// dot (softmax normalization and friends).
+inline float sum(size_t N, const float *__restrict A) {
+  float P0 = 0.0f, P1 = 0.0f, P2 = 0.0f, P3 = 0.0f;
+  size_t I = 0;
+  for (; I + 4 <= N; I += 4) {
+    P0 += A[I];
+    P1 += A[I + 1];
+    P2 += A[I + 2];
+    P3 += A[I + 3];
+  }
+  float Acc = (P0 + P1) + (P2 + P3);
+  for (; I < N; ++I)
+    Acc += A[I];
+  return Acc;
+}
+
+//===--------------------------------------------------------------------===//
+// Elementwise helpers shared between the per-op backward closures in
+// Graph.cpp and the fused cell ops. Sharing one definition guarantees
+// the two paths compile to the same float operations (same contraction
+// decisions), which the fused/unfused bitwise-equivalence test relies
+// on.
+//===--------------------------------------------------------------------===//
+
+/// The logistic function, spelled exactly as sigmoidV applies it.
+inline float sigmoidScalar(float X) { return 1.0f / (1.0f + std::exp(-X)); }
+
+/// Y[i] = sigmoid(X[i]) (X and Y may be the same buffer — not
+/// restrict-qualified for that reason).
+inline void sigmoidMap(size_t N, const float *X, float *Y) {
+  for (size_t I = 0; I < N; ++I)
+    Y[I] = sigmoidScalar(X[I]);
+}
+
+/// Y[i] = tanh(X[i]) (in-place allowed).
+inline void tanhMap(size_t N, const float *X, float *Y) {
+  for (size_t I = 0; I < N; ++I)
+    Y[I] = std::tanh(X[I]);
+}
+
+/// Y[i] += G[i] * V[i] (mul backward wrt one operand).
+inline void mulAcc(size_t N, const float *__restrict G,
+                   const float *__restrict V, float *__restrict Y) {
+  for (size_t I = 0; I < N; ++I)
+    Y[I] += G[I] * V[I];
+}
+
+/// AG[i] += G[i] * (1 - Y[i]^2) — tanh backward through output Y.
+inline void tanhGradAcc(size_t N, const float *__restrict G,
+                        const float *__restrict Y, float *__restrict AG) {
+  for (size_t I = 0; I < N; ++I)
+    AG[I] += G[I] * (1.0f - Y[I] * Y[I]);
+}
+
+/// AG[i] += G[i] * Y[i] * (1 - Y[i]) — sigmoid backward through Y.
+inline void sigmoidGradAcc(size_t N, const float *__restrict G,
+                           const float *__restrict Y, float *__restrict AG) {
+  for (size_t I = 0; I < N; ++I)
+    AG[I] += G[I] * Y[I] * (1.0f - Y[I]);
 }
 
 } // namespace kernels

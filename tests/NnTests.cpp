@@ -809,3 +809,432 @@ TEST(GradSinkTest, UntouchedParamsHaveNoSlot) {
 TEST(AdamOptionsTest, ClippingDefaultsOff) {
   EXPECT_EQ(AdamOptions().ClipNorm, 0.0f);
 }
+
+//===----------------------------------------------------------------------===//
+// Fused recurrent-cell kernels
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// RAII toggle for the fused-cell dispatch.
+struct FusedGuard {
+  explicit FusedGuard(bool Enabled) : Prev(fusedCellsEnabled()) {
+    setFusedCellsEnabled(Enabled);
+  }
+  ~FusedGuard() { setFusedCellsEnabled(Prev); }
+  bool Prev;
+};
+
+/// The three-node / two-level AST used by the TreeLSTM tests.
+AstTree buildTestTree() {
+  AstTree T;
+  T.Label = "plus";
+  AstTree L1N;
+  L1N.Label = "a";
+  AstTree L2N;
+  L2N.Label = "b";
+  AstTree Inner;
+  Inner.Label = "times";
+  Inner.Children = {L1N, L2N};
+  AstTree L3N;
+  L3N.Label = "c";
+  T.Children = {Inner, L3N};
+  return T;
+}
+
+std::function<Var(const std::string &)> treeLookup(const EmbeddingTable &Emb) {
+  return [&Emb](const std::string &Label) {
+    int Id = Label == "plus" ? 0
+             : Label == "times" ? 1
+             : Label == "a" ? 2
+             : Label == "b" ? 3
+                            : 4;
+    return Emb.lookup(Id);
+  };
+}
+
+} // namespace
+
+// The per-gate reference paths (view nodes over the packed weights)
+// must satisfy the same finite-difference checks as the fused default.
+TEST(GradCheckTest, GruCellUnfusedReference) {
+  FusedGuard Guard(false);
+  checkCell(CellKind::Gru);
+}
+
+TEST(GradCheckTest, LstmCellUnfusedReference) {
+  FusedGuard Guard(false);
+  checkCell(CellKind::Lstm);
+}
+
+TEST(GradCheckTest, TreeLstmUnfusedReference) {
+  FusedGuard Guard(false);
+  ParamStore Store;
+  Rng R(21);
+  ChildSumTreeLstm Tree(Store, "tree", 3, 4, R);
+  EmbeddingTable Emb(Store, "emb", 6, 3, R);
+  AstTree T = buildTestTree();
+  auto Lookup = treeLookup(Emb);
+  GradCheckResult Result = checkGradients(Store, [&] {
+    Var H = Tree.embed(T, Lookup);
+    return dot(H, H);
+  });
+  EXPECT_TRUE(Result.Ok) << Result.MaxRelError << " at "
+                         << Result.WorstParam;
+}
+
+// Direct finite-difference checks of the fused ops, at sizes that
+// exercise the SIMD kernels' remainder rows and scalar tails (neither
+// H nor In a multiple of 8). Two chained steps make the state gradient
+// flow through a second fused node.
+TEST(GradCheckTest, GruCellOpPacked) {
+  ParamStore Store;
+  Rng R(51);
+  const size_t In = 5, H = 6;
+  Var Wx = Store.addParam("Wx", Tensor::xavier(3 * H, In, R));
+  Var Bx = Store.addParam("bx", Tensor::uniform(3 * H, 0.2f, R));
+  Var Wh = Store.addParam("Wh", Tensor::xavier(3 * H, H, R));
+  Var X = Store.addParam("x", Tensor::uniform(In, 0.9f, R));
+  Var H0 = Store.addParam("h0", Tensor::uniform(H, 0.9f, R));
+  GradCheckResult Result = checkGradients(Store, [&] {
+    Var H1 = gruCellOp(Wx, Bx, Wh, X, H0);
+    Var H2 = gruCellOp(Wx, Bx, Wh, X, H1);
+    return dot(H2, H2);
+  });
+  EXPECT_TRUE(Result.Ok) << Result.MaxRelError << " at "
+                         << Result.WorstParam;
+}
+
+TEST(GradCheckTest, LstmCellOpPacked) {
+  ParamStore Store;
+  Rng R(53);
+  const size_t In = 5, H = 6;
+  Var Wx = Store.addParam("Wx", Tensor::xavier(4 * H, In, R));
+  Var Bx = Store.addParam("bx", Tensor::uniform(4 * H, 0.2f, R));
+  Var Wh = Store.addParam("Wh", Tensor::xavier(4 * H, H, R));
+  Var X = Store.addParam("x", Tensor::uniform(In, 0.9f, R));
+  Var H0 = Store.addParam("h0", Tensor::uniform(H, 0.9f, R));
+  Var C0 = Store.addParam("c0", Tensor::uniform(H, 0.9f, R));
+  GradCheckResult Result = checkGradients(Store, [&] {
+    CellOut S1 = lstmCellOp(Wx, Bx, Wh, X, H0, C0);
+    CellOut S2 = lstmCellOp(Wx, Bx, Wh, X, S1.H, S1.C);
+    return add(dot(S2.H, S2.H), dot(S2.C, S2.C));
+  });
+  EXPECT_TRUE(Result.Ok) << Result.MaxRelError << " at "
+                         << Result.WorstParam;
+}
+
+TEST(GradCheckTest, TreeLstmNodeOpPacked) {
+  ParamStore Store;
+  Rng R(55);
+  const size_t In = 5, H = 6;
+  Var Wx = Store.addParam("Wx", Tensor::xavier(4 * H, In, R));
+  Var Bx = Store.addParam("bx", Tensor::uniform(4 * H, 0.2f, R));
+  Var Wh = Store.addParam("Wh", Tensor::xavier(4 * H, H, R));
+  Var X = Store.addParam("x", Tensor::uniform(In, 0.9f, R));
+  Var H1 = Store.addParam("h1", Tensor::uniform(H, 0.9f, R));
+  Var C1 = Store.addParam("c1", Tensor::uniform(H, 0.9f, R));
+  Var H2 = Store.addParam("h2", Tensor::uniform(H, 0.9f, R));
+  Var C2 = Store.addParam("c2", Tensor::uniform(H, 0.9f, R));
+  GradCheckResult Result = checkGradients(Store, [&] {
+    Var HSum = add(H1, H2);
+    CellOut Out = treeLstmNodeOp(Wx, Bx, Wh, X, HSum, {H1, H2}, {C1, C2});
+    return add(dot(Out.H, Out.H), dot(Out.C, Out.C));
+  });
+  EXPECT_TRUE(Result.Ok) << Result.MaxRelError << " at "
+                         << Result.WorstParam;
+}
+
+//===----------------------------------------------------------------------===//
+// Fused vs unfused bitwise equivalence
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+std::vector<std::vector<float>> dumpGrads(const ParamStore &Store) {
+  std::vector<std::vector<float>> Out;
+  for (const Var &P : Store.params()) {
+    if (P->Grad.empty())
+      Out.emplace_back();
+    else
+      Out.emplace_back(P->Grad.data(), P->Grad.data() + P->Grad.size());
+  }
+  return Out;
+}
+
+struct StepResult {
+  float Loss = 0.0f;
+  std::vector<std::vector<float>> Grads;
+  std::vector<std::vector<float>> ParamsAfter;
+};
+
+/// One full training step (batched loss, backward, Adam update) of a
+/// sequence classifier built on \p Kind, with the fused dispatch
+/// toggled by \p Fused. Identical seeds make the runs comparable down
+/// to the bit.
+StepResult runCellTrainingStep(CellKind Kind, bool Fused) {
+  FusedGuard Guard(Fused);
+  ParamStore Store;
+  Rng R(61);
+  EmbeddingTable Emb(Store, "emb", 5, 6, R);
+  RecurrentCell Cell(Store, "cell", Kind, 6, 8, R);
+  Linear Head(Store, "head", 8, 3, R);
+  Adam Opt(Store);
+
+  const int Tokens[3][4] = {{0, 1, 2, 3}, {4, 3, 2, 1}, {1, 1, 0, 2}};
+  std::vector<Var> Losses;
+  for (int S = 0; S < 3; ++S) {
+    std::vector<Var> Inputs;
+    for (int T = 0; T < 4; ++T)
+      Inputs.push_back(Emb.lookup(Tokens[S][T]));
+    Var H = Cell.run(Inputs).back().H;
+    Losses.push_back(softmaxCrossEntropy(Head.apply(H), S));
+  }
+  Var Loss = meanLoss(Losses);
+  backward(Loss);
+
+  StepResult Result;
+  Result.Loss = Loss->Value[0];
+  Result.Grads = dumpGrads(Store);
+  Opt.step();
+  Result.ParamsAfter = dumpParams(Store);
+  return Result;
+}
+
+StepResult runTreeTrainingStep(bool Fused) {
+  FusedGuard Guard(Fused);
+  ParamStore Store;
+  Rng R(63);
+  ChildSumTreeLstm Tree(Store, "tree", 6, 8, R);
+  EmbeddingTable Emb(Store, "emb", 6, 6, R);
+  Linear Head(Store, "head", 8, 3, R);
+  Adam Opt(Store);
+
+  AstTree T = buildTestTree();
+  auto Lookup = treeLookup(Emb);
+  Var H = Tree.embed(T, Lookup);
+  Var Loss = softmaxCrossEntropy(Head.apply(H), 1);
+  backward(Loss);
+
+  StepResult Result;
+  Result.Loss = Loss->Value[0];
+  Result.Grads = dumpGrads(Store);
+  Opt.step();
+  Result.ParamsAfter = dumpParams(Store);
+  return Result;
+}
+
+} // namespace
+
+TEST(FusedEquivalenceTest, GruTrainingStepIsBitwise) {
+  StepResult Fused = runCellTrainingStep(CellKind::Gru, true);
+  StepResult Ref = runCellTrainingStep(CellKind::Gru, false);
+  EXPECT_EQ(Fused.Loss, Ref.Loss);
+  EXPECT_EQ(Fused.Grads, Ref.Grads);
+  EXPECT_EQ(Fused.ParamsAfter, Ref.ParamsAfter);
+}
+
+TEST(FusedEquivalenceTest, LstmTrainingStepIsBitwise) {
+  StepResult Fused = runCellTrainingStep(CellKind::Lstm, true);
+  StepResult Ref = runCellTrainingStep(CellKind::Lstm, false);
+  EXPECT_EQ(Fused.Loss, Ref.Loss);
+  EXPECT_EQ(Fused.Grads, Ref.Grads);
+  EXPECT_EQ(Fused.ParamsAfter, Ref.ParamsAfter);
+}
+
+TEST(FusedEquivalenceTest, TreeLstmTrainingStepIsBitwise) {
+  StepResult Fused = runTreeTrainingStep(true);
+  StepResult Ref = runTreeTrainingStep(false);
+  EXPECT_EQ(Fused.Loss, Ref.Loss);
+  EXPECT_EQ(Fused.Grads, Ref.Grads);
+  EXPECT_EQ(Fused.ParamsAfter, Ref.ParamsAfter);
+}
+
+TEST(FusedEquivalenceTest, GradSinkRoutingIsBitwise) {
+  // The thread-parallel trainer differentiates into per-sample sinks;
+  // the fused backward must route parameter gradients through the sink
+  // exactly like the reference graph does.
+  auto RunSink = [](bool Fused) {
+    FusedGuard Guard(Fused);
+    ParamStore Store;
+    Rng R(65);
+    RecurrentCell Cell(Store, "cell", CellKind::Gru, 4, 6, R);
+    std::vector<Var> Inputs{constant(Tensor::uniform(4, 0.9f, R)),
+                            constant(Tensor::uniform(4, 0.9f, R))};
+    Var H = Cell.run(Inputs).back().H;
+    GradSink Sink;
+    backward(dot(H, H), Sink);
+    std::vector<std::vector<float>> Out;
+    for (size_t I = 0; I < Store.params().size(); ++I) {
+      if (!Sink.touched(I))
+        Out.emplace_back();
+      else
+        Out.emplace_back(Sink.grad(I).data(),
+                         Sink.grad(I).data() + Sink.grad(I).size());
+    }
+    return Out;
+  };
+  EXPECT_EQ(RunSink(true), RunSink(false));
+}
+
+//===----------------------------------------------------------------------===//
+// Checkpoint migration: per-gate legacy layout -> packed gate weights
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// A store laid out like the pre-packing GRU registration: per-gate
+/// Linear weights and biases, then per-gate hidden matrices, in the old
+/// creation order.
+void buildLegacyGruStore(ParamStore &Store, size_t In, size_t H,
+                         uint64_t Seed) {
+  Rng R(Seed);
+  const char *Gates[] = {".Wz", ".Wr", ".Wn"};
+  for (const char *G : Gates) {
+    Store.addParam(std::string("gru") + G + ".W", Tensor::xavier(H, In, R));
+    Store.addParam(std::string("gru") + G + ".b",
+                   Tensor::uniform(H, 0.5f, R));
+  }
+  const char *HMats[] = {".Uz", ".Ur", ".Un"};
+  for (const char *U : HMats)
+    Store.addParam(std::string("gru") + U, Tensor::xavier(H, H, R));
+}
+
+} // namespace
+
+TEST(CheckpointTest, LegacyPerGateCheckpointLoadsIntoPackedStore) {
+  // A full training checkpoint (params + Adam moments + trainer best
+  // snapshot) written from the per-gate layout must load bit-exactly
+  // into today's packed-parameter store through the legacy-view
+  // registry.
+  std::string Path = testing::TempDir() + "/liger_legacy_gru.ckpt";
+  const size_t In = 3, H = 4;
+  ParamStore Legacy;
+  buildLegacyGruStore(Legacy, In, H, 67);
+  Adam LegacyOpt(Legacy);
+  stepAdamABit(Legacy, LegacyOpt, 3);
+  TrainerState TS;
+  TS.NextEpoch = 5;
+  TS.HasBest = true;
+  for (const Var &P : Legacy.params())
+    TS.BestParams.push_back(P->Value);
+  std::string Error;
+  ASSERT_TRUE(saveCheckpoint(Path, Legacy, &LegacyOpt, &TS, &Error)) << Error;
+
+  ParamStore Packed;
+  Rng R(69);
+  RecurrentCell Cell(Packed, "gru", CellKind::Gru, In, H, R);
+  ASSERT_EQ(Packed.params().size(), 3u);
+  Adam PackedOpt(Packed);
+  TrainerState Loaded;
+  ASSERT_TRUE(loadCheckpoint(Path, Packed, &PackedOpt, &Loaded, &Error))
+      << Error;
+
+  // params() order in the packed store: Wx [3H x In], bx [3H],
+  // Wh [3H x H]; legacy store order: Wz.W, Wz.b, Wr.W, Wr.b, Wn.W,
+  // Wn.b, Uz, Ur, Un.
+  const Tensor &Wx = Packed.params()[0]->Value;
+  const Tensor &Bx = Packed.params()[1]->Value;
+  const Tensor &Wh = Packed.params()[2]->Value;
+  for (size_t G = 0; G < 3; ++G) {
+    const Tensor &LW = Legacy.params()[2 * G]->Value;
+    const Tensor &LB = Legacy.params()[2 * G + 1]->Value;
+    const Tensor &LU = Legacy.params()[6 + G]->Value;
+    EXPECT_EQ(std::memcmp(Wx.data() + G * H * In, LW.data(),
+                          H * In * sizeof(float)),
+              0)
+        << "x-weights of gate " << G;
+    EXPECT_EQ(std::memcmp(Bx.data() + G * H, LB.data(), H * sizeof(float)),
+              0)
+        << "bias of gate " << G;
+    EXPECT_EQ(
+        std::memcmp(Wh.data() + G * H * H, LU.data(), H * H * sizeof(float)),
+        0)
+        << "h-weights of gate " << G;
+  }
+
+  // Adam moments and the best snapshot migrate region-by-region too.
+  EXPECT_EQ(PackedOpt.stepCount(), LegacyOpt.stepCount());
+  ASSERT_TRUE(Loaded.HasBest);
+  ASSERT_EQ(Loaded.BestParams.size(), 3u);
+  for (size_t G = 0; G < 3; ++G) {
+    EXPECT_EQ(std::memcmp(PackedOpt.firstMoments()[0].data() + G * H * In,
+                          LegacyOpt.firstMoments()[2 * G].data(),
+                          H * In * sizeof(float)),
+              0);
+    EXPECT_EQ(std::memcmp(PackedOpt.secondMoments()[2].data() + G * H * H,
+                          LegacyOpt.secondMoments()[6 + G].data(),
+                          H * H * sizeof(float)),
+              0);
+    EXPECT_EQ(std::memcmp(Loaded.BestParams[0].data() + G * H * In,
+                          TS.BestParams[2 * G].data(),
+                          H * In * sizeof(float)),
+              0);
+  }
+  EXPECT_EQ(Loaded.NextEpoch, TS.NextEpoch);
+}
+
+TEST(CheckpointTest, PartialLegacyCoverageIsRejected) {
+  // Dropping one per-gate tensor must fail the coverage check and
+  // leave the target store untouched.
+  std::string Path = testing::TempDir() + "/liger_legacy_partial.ckpt";
+  const size_t In = 3, H = 4;
+  ParamStore Partial;
+  Rng R0(71);
+  Partial.addParam("gru.Wz.W", Tensor::xavier(H, In, R0));
+  Partial.addParam("gru.Wz.b", Tensor::uniform(H, 0.5f, R0));
+  // .Wr/.Wn and the hidden matrices are missing entirely.
+  ASSERT_TRUE(Partial.save(Path));
+
+  ParamStore Packed;
+  Rng R(73);
+  RecurrentCell Cell(Packed, "gru", CellKind::Gru, In, H, R);
+  std::vector<std::vector<float>> Pristine = dumpParams(Packed);
+  std::string Error;
+  EXPECT_FALSE(Packed.load(Path, &Error));
+  EXPECT_NE(Error.find("not fully covered"), std::string::npos) << Error;
+  EXPECT_EQ(dumpParams(Packed), Pristine);
+}
+
+TEST(CheckpointTest, TreeLstmLegacyNamesMapToPackOrder) {
+  // The TreeLSTM packs gates i, o, u, f while the legacy creation
+  // order was Wi, Wf, Wo, Wu — the loader must honor the registered
+  // row offsets, not positional order.
+  std::string Path = testing::TempDir() + "/liger_legacy_tree.ckpt";
+  const size_t In = 3, H = 4;
+  ParamStore Legacy;
+  Rng R0(75);
+  const char *XNames[] = {".Wi", ".Wf", ".Wo", ".Wu"};
+  for (const char *G : XNames) {
+    Legacy.addParam(std::string("tree") + G + ".W", Tensor::xavier(H, In, R0));
+    Legacy.addParam(std::string("tree") + G + ".b",
+                    Tensor::uniform(H, 0.5f, R0));
+  }
+  const char *UNames[] = {".Ui", ".Uf", ".Uo", ".Uu"};
+  for (const char *U : UNames)
+    Legacy.addParam(std::string("tree") + U, Tensor::xavier(H, H, R0));
+  ASSERT_TRUE(Legacy.save(Path));
+
+  ParamStore Packed;
+  Rng R(77);
+  ChildSumTreeLstm Tree(Packed, "tree", In, H, R);
+  std::string Error;
+  ASSERT_TRUE(Packed.load(Path, &Error)) << Error;
+
+  // Pack rows: i = 0, o = 1, u = 2, f = 3; legacy param order i, f, o, u.
+  const size_t PackRow[] = {0, 3, 1, 2}; // for legacy order Wi, Wf, Wo, Wu
+  const Tensor &Wx = Packed.params()[0]->Value;
+  const Tensor &Wh = Packed.params()[2]->Value;
+  for (size_t L = 0; L < 4; ++L) {
+    const Tensor &LW = Legacy.params()[2 * L]->Value;
+    const Tensor &LU = Legacy.params()[8 + L]->Value;
+    EXPECT_EQ(std::memcmp(Wx.data() + PackRow[L] * H * In, LW.data(),
+                          H * In * sizeof(float)),
+              0)
+        << "x-weights " << XNames[L];
+    EXPECT_EQ(std::memcmp(Wh.data() + PackRow[L] * H * H, LU.data(),
+                          H * H * sizeof(float)),
+              0)
+        << "h-weights " << UNames[L];
+  }
+}
