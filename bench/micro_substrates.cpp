@@ -13,6 +13,8 @@
 //
 // Beyond the standard google-benchmark flags, the custom main accepts:
 //   --kernels-only   run only the kernel / cell-step / sequence benches
+//   --attention-only run only the attention / decoder / LIGER benches
+//                    (BENCH_attention.json is their evidence file)
 //   --smoke          short measurement time (CI / verify script)
 //   --json=PATH      write the google-benchmark JSON report to PATH
 //                    (BENCH_kernels.json is the conventional evidence
@@ -282,6 +284,77 @@ void BM_GruSequence(benchmark::State &State) {
 }
 BENCHMARK(BM_GruSequence);
 
+//===----------------------------------------------------------------------===//
+// Batched vs per-pair attention: Arg(0) = per-pair reference graph
+// (split score MLP, one chain per key), Arg(1) = fused key-projection +
+// softmax-context nodes. Same math bit-for-bit.
+//===----------------------------------------------------------------------===//
+
+void BM_AttentionScore(benchmark::State &State) {
+  // One attention read over a 16-vector memory, forward + backward:
+  // the LIGER fusion-site shape (fresh prepare every step).
+  bool Fused = State.range(0) != 0;
+  bool Saved = fusedAttentionEnabled();
+  setFusedAttentionEnabled(Fused);
+  Rng R(1);
+  ParamStore Store;
+  const size_t Dim = 32, T = 16;
+  AttentionScorer Attn(Store, "attn", Dim, Dim, Dim, R);
+  Var Query = constant(Tensor::uniform(Dim, 1.0f, R));
+  std::vector<Var> Keys;
+  for (size_t I = 0; I < T; ++I)
+    Keys.push_back(constant(Tensor::uniform(Dim, 1.0f, R)));
+  GraphArena Arena;
+  GraphArena::Scope Scope(Arena);
+  for (auto _ : State) {
+    AttentionScorer::Memory Mem = Attn.prepare(Keys);
+    AttentionScorer::Result Out = Attn.contextOf(Query, Mem);
+    backward(dot(Out.Context, Out.Context));
+    Store.zeroGrads();
+    Arena.reset();
+  }
+  State.SetItemsProcessed(State.iterations() * T);
+  setFusedAttentionEnabled(Saved);
+}
+BENCHMARK(BM_AttentionScore)->Arg(0)->Arg(1);
+
+void BM_DecoderStep(benchmark::State &State) {
+  // Teacher-forced decode over a 20-vector memory, forward + backward:
+  // the SeqDecoder shape, where the key-side projections are computed
+  // once per decode and shared by every step.
+  bool Fused = State.range(0) != 0;
+  bool Saved = fusedAttentionEnabled();
+  setFusedAttentionEnabled(Fused);
+  Rng R(1);
+  ParamStore Store;
+  SeqDecoderConfig Config;
+  Config.TargetVocabSize = 24;
+  Config.EmbedDim = 24;
+  Config.Hidden = 24;
+  Config.AttnHidden = 24;
+  Config.MemoryDim = 24;
+  Config.InitDim = 24;
+  SeqDecoder Decoder(Store, "dec", Config, R);
+  Var Program = constant(Tensor::uniform(Config.InitDim, 1.0f, R));
+  std::vector<Var> Memory;
+  for (int I = 0; I < 20; ++I)
+    Memory.push_back(constant(Tensor::uniform(Config.MemoryDim, 1.0f, R)));
+  std::vector<int> Targets = {4, 5, 6, 7, 8, Vocabulary::Eos};
+  GraphArena Arena;
+  GraphArena::Scope Scope(Arena);
+  for (auto _ : State) {
+    Var Loss = Decoder.loss(Program, Memory, Targets);
+    backward(Loss);
+    Store.zeroGrads();
+    benchmark::DoNotOptimize(Loss->Value[0]);
+    Arena.reset();
+  }
+  // Report per-decode; one iteration = Targets.size() decode steps.
+  State.SetItemsProcessed(State.iterations() * Targets.size());
+  setFusedAttentionEnabled(Saved);
+}
+BENCHMARK(BM_DecoderStep)->Arg(0)->Arg(1);
+
 void BM_ArenaGraphChurn(benchmark::State &State) {
   // Build-and-reset cost of a deep elementwise chain: isolates node
   // allocation, tensor-pool traffic, and arena reset from model math.
@@ -337,13 +410,15 @@ BENCHMARK(BM_LigerForwardBackward);
 // Custom main: thin convenience flags on top of google-benchmark (see
 // the file header), everything else forwarded untouched.
 int main(int argc, char **argv) {
-  bool KernelsOnly = false, Smoke = false;
+  bool KernelsOnly = false, AttentionOnly = false, Smoke = false;
   std::string JsonPath;
   std::vector<char *> Args;
   for (int I = 0; I < argc; ++I) {
     std::string A = argv[I];
     if (A == "--kernels-only") {
       KernelsOnly = true;
+    } else if (A == "--attention-only") {
+      AttentionOnly = true;
     } else if (A == "--smoke") {
       Smoke = true;
     } else if (A.rfind("--json=", 0) == 0) {
@@ -356,7 +431,12 @@ int main(int argc, char **argv) {
   if (KernelsOnly)
     Injected.push_back("--benchmark_filter="
                        "BM_Kernel|BM_GruCell|BM_LstmCell|BM_MatvecHidden|"
-                       "BM_GruSequence|BM_LigerForwardBackward");
+                       "BM_GruSequence|BM_AttentionScore|BM_DecoderStep|"
+                       "BM_LigerForwardBackward");
+  if (AttentionOnly)
+    Injected.push_back("--benchmark_filter="
+                       "BM_AttentionScore|BM_DecoderStep|"
+                       "BM_LigerForwardBackward");
   if (Smoke)
     Injected.push_back("--benchmark_min_time=0.02");
   if (!JsonPath.empty()) {

@@ -6,6 +6,8 @@
 
 #include "models/Decoder.h"
 
+#include <unordered_map>
+
 using namespace liger;
 
 SeqDecoder::SeqDecoder(ParamStore &Store, const std::string &Name,
@@ -22,13 +24,14 @@ SeqDecoder::SeqDecoder(ParamStore &Store, const std::string &Name,
               Cfg.TargetVocabSize, R) {}
 
 Var SeqDecoder::stepLogits(const Var &PrevEmbed, RecState &State,
-                           const std::vector<Var> &Memory) const {
-  // Context from attention over the memory with the current hidden
-  // state as the query (µ_t = a2(H^d_{t-1}, H^e_{i_j})).
-  Var Weights = Attn.weights(State.H, Memory);
-  Var Context = weightedCombine(Memory, Weights);
-  State = Cell.step(concat(PrevEmbed, Context), State);
-  return OutProj.apply(concat(State.H, Context));
+                           const AttentionScorer::Memory &Mem) const {
+  // Context from attention over the prepared memory with the current
+  // hidden state as the query (µ_t = a2(H^d_{t-1}, H^e_{i_j})); the
+  // key-side projections were computed once in prepare(), so each step
+  // costs one fused attention node.
+  AttentionScorer::Result Attention = Attn.contextOf(State.H, Mem);
+  State = Cell.step(concat(PrevEmbed, Attention.Context), State);
+  return OutProj.apply(concat(State.H, Attention.Context));
 }
 
 Var SeqDecoder::loss(const Var &ProgramEmbedding,
@@ -37,18 +40,43 @@ Var SeqDecoder::loss(const Var &ProgramEmbedding,
   LIGER_CHECK(!Memory.empty(), "decoder needs a non-empty memory");
   LIGER_CHECK(!TargetIds.empty() && TargetIds.back() == Vocabulary::Eos,
               "targets must end with Eos");
+  // Validate every target id once, ahead of the step loop (they feed
+  // both the embedding lookups and the cross-entropy targets).
+  for (int Id : TargetIds)
+    LIGER_CHECK(Id >= 0 &&
+                    static_cast<size_t>(Id) < Config.TargetVocabSize,
+                "decoder target id out of range");
+
   RecState State;
   State.H = tanhV(InitProj.apply(ProgramEmbedding));
   if (Config.Cell == CellKind::Lstm)
     State.C = constant(Tensor::zeros(Config.Hidden));
 
-  std::vector<Var> Losses;
+  // Key-side attention projections: once per decode, shared by every
+  // step below.
+  AttentionScorer::Memory Mem = Attn.prepare(Memory);
+
+  // Teacher-forced inputs are [Sos, T_0, ..., T_{n-2}]; hoist the
+  // embedding lookups out of the step loop and look each distinct id
+  // up once (repeated sub-tokens share one graph node).
+  std::vector<Var> Inputs;
+  Inputs.reserve(TargetIds.size());
+  std::unordered_map<int, Var> EmbedCache;
   int Prev = Vocabulary::Sos;
   for (int Target : TargetIds) {
-    Var Logits = stepLogits(TargetEmbed.lookup(Prev), State, Memory);
-    Losses.push_back(
-        softmaxCrossEntropy(Logits, static_cast<size_t>(Target)));
+    Var &Embed = EmbedCache[Prev];
+    if (!Embed)
+      Embed = TargetEmbed.lookup(Prev);
+    Inputs.push_back(Embed);
     Prev = Target; // teacher forcing
+  }
+
+  std::vector<Var> Losses;
+  Losses.reserve(TargetIds.size());
+  for (size_t I = 0; I < TargetIds.size(); ++I) {
+    Var Logits = stepLogits(Inputs[I], State, Mem);
+    Losses.push_back(
+        softmaxCrossEntropy(Logits, static_cast<size_t>(TargetIds[I])));
   }
   return meanLoss(Losses);
 }
@@ -62,10 +90,12 @@ std::vector<int> SeqDecoder::decodeGreedy(const Var &ProgramEmbedding,
   if (Config.Cell == CellKind::Lstm)
     State.C = constant(Tensor::zeros(Config.Hidden));
 
+  AttentionScorer::Memory Mem = Attn.prepare(Memory);
+
   std::vector<int> Output;
   int Prev = Vocabulary::Sos;
   for (size_t Step = 0; Step < MaxLen; ++Step) {
-    Var Logits = stepLogits(TargetEmbed.lookup(Prev), State, Memory);
+    Var Logits = stepLogits(TargetEmbed.lookup(Prev), State, Mem);
     // Never emit the structural specials other than Eos.
     Tensor Masked = Logits->Value;
     Masked[Vocabulary::Pad] = -1e30f;

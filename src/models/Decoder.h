@@ -51,9 +51,11 @@ public:
                                 size_t MaxLen) const;
 
 private:
-  /// Shared per-step computation: emits logits for the next token.
+  /// Shared per-step computation: emits logits for the next token,
+  /// attending over a prepared memory (key-side projections cached
+  /// once per decode by AttentionScorer::prepare).
   Var stepLogits(const Var &PrevEmbed, RecState &State,
-                 const std::vector<Var> &Memory) const;
+                 const AttentionScorer::Memory &Mem) const;
 
   SeqDecoderConfig Config;
   EmbeddingTable TargetEmbed;

@@ -50,30 +50,54 @@ Var LigerEncoder::embedStatement(const Stmt *S, EncodeContext &Ctx) const {
 
 Var LigerEncoder::embedState(const ProgramState &State,
                              EncodeContext &Ctx) const {
-  // Per-variable embeddings h'_{v}: primitives embed directly; object
-  // (array/struct) values run f1 over their flattened attr sequence
-  // (Eq. 3).
-  std::vector<Var> VarEmbeds;
-  VarEmbeds.reserve(State.Values.size());
+  // Equal variable valuations embed identically; key the state by its
+  // full token signature so repeated states (loop iterations, shared
+  // prefixes across executions) cost one f1/f2 run per encode.
+  std::string Key;
+  std::vector<std::vector<std::string>> ValueTokens;
+  ValueTokens.reserve(State.Values.size());
   for (const Value &V : State.Values) {
     if (V.isArray() || V.isStruct()) {
       std::vector<std::string> Tokens = valueTokens(V);
       if (Tokens.size() > Config.MaxFlattenedValues)
         Tokens.resize(Config.MaxFlattenedValues);
+      ValueTokens.push_back(std::move(Tokens));
+    } else {
+      ValueTokens.push_back({valueToken(V)});
+    }
+    for (const std::string &Token : ValueTokens.back()) {
+      Key += Token;
+      Key += '\x1f'; // token separator
+    }
+    Key += '\x1e'; // value separator (tokens can't merge across values)
+  }
+  auto It = Ctx.StateCache.find(Key);
+  if (It != Ctx.StateCache.end())
+    return It->second;
+
+  // Per-variable embeddings h'_{v}: primitives embed directly; object
+  // (array/struct) values run f1 over their flattened attr sequence
+  // (Eq. 3).
+  std::vector<Var> VarEmbeds;
+  VarEmbeds.reserve(State.Values.size());
+  for (size_t I = 0; I < State.Values.size(); ++I) {
+    const Value &V = State.Values[I];
+    if (V.isArray() || V.isStruct()) {
       std::vector<Var> Inputs;
-      Inputs.reserve(Tokens.size());
-      for (const std::string &Token : Tokens)
+      Inputs.reserve(ValueTokens[I].size());
+      for (const std::string &Token : ValueTokens[I])
         Inputs.push_back(lookupToken(Token, Ctx));
       VarEmbeds.push_back(F1.run(Inputs).back().H);
     } else {
-      VarEmbeds.push_back(lookupToken(valueToken(V), Ctx));
+      VarEmbeds.push_back(lookupToken(ValueTokens[I][0], Ctx));
     }
   }
-  if (VarEmbeds.empty())
-    return constant(Tensor::zeros(Config.Hidden));
   // f2 folds variable embeddings (fixed variable order) into the state
   // vector.
-  return F2.run(VarEmbeds).back().H;
+  Var H = VarEmbeds.empty() ? constant(Tensor::zeros(Config.Hidden))
+                            : F2.run(VarEmbeds).back().H;
+  Ctx.StateCache.emplace(std::move(Key), H);
+  return H;
 }
 
 Var LigerEncoder::encodePath(const BlendedTrace &Path, EncodeContext &Ctx,
@@ -118,11 +142,15 @@ Var LigerEncoder::encodePath(const BlendedTrace &Path, EncodeContext &Ctx,
         ++Ctx.Stats->FusionSteps;
       }
     } else {
-      Var Weights = A1.weights(PrevH, Components);
-      Fused = weightedCombine(Components, Weights);
+      // Components change every step, so the key-side projections are
+      // prepared fresh here; the win is the fused two-node step (key
+      // projection + attention op) replacing the per-pair score chain.
+      AttentionScorer::Memory Mem = A1.prepare(Components);
+      AttentionScorer::Result Fusion = A1.contextOf(PrevH, Mem);
+      Fused = Fusion.Context;
       if (Ctx.Stats && Config.UseStaticFeature) {
         Ctx.Stats->StaticWeightSum +=
-            static_cast<double>(Weights->Value[0]);
+            static_cast<double>(Fusion.Weights[0]);
         ++Ctx.Stats->FusionSteps;
       }
     }

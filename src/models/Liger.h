@@ -94,6 +94,12 @@ private:
   struct EncodeContext {
     std::unordered_map<const Stmt *, Var> StmtCache;
     std::unordered_map<std::string, Var> TokenCache;
+    /// State embeddings keyed by the state's full token signature:
+    /// concrete executions of the same path revisit identical variable
+    /// valuations constantly (loop iterations, repeated inputs), and
+    /// the f1/f2 recurrences over equal token sequences produce the
+    /// same graph value, so equal states share one node.
+    std::unordered_map<std::string, Var> StateCache;
     FusionStats *Stats = nullptr;
   };
 

@@ -271,13 +271,8 @@ void softmaxBackward(Node &N) {
   if (!N.Parents[0]->RequiresGrad)
     return;
   // dL/dx_i = y_i (g_i - Σ_j g_j y_j)
-  size_t Size = N.Value.size();
-  const float *__restrict G = N.Grad.data();
-  const float *__restrict Y = N.Value.data();
-  float Mix = kernels::dot(Size, G, Y);
-  float *__restrict XG = N.Parents[0]->grad().data();
-  for (size_t I = 0; I < Size; ++I)
-    XG[I] += Y[I] * (G[I] - Mix);
+  kernels::softmaxGradAcc(N.Value.size(), N.Grad.data(), N.Value.data(),
+                          N.Parents[0]->grad().data());
 }
 
 void dotBackward(Node &N) {
@@ -494,6 +489,17 @@ void viewBackward(Node &N) {
                   N.Parents[0]->grad().data() + N.IScalar);
 }
 
+/// Backward for colsView: scatter each row of the view's grad into the
+/// parent's column band starting at column IScalar, rows ascending.
+void colsViewBackward(Node &N) {
+  if (!N.Parents[0]->RequiresGrad)
+    return;
+  size_t Rows = N.Value.dim(0), Cols = N.Value.dim(1);
+  size_t ParentCols = N.Parents[0]->Value.dim(1);
+  kernels::addAcc2d(Rows, Cols, N.Grad.data(), Cols,
+                    N.Parents[0]->grad().data() + N.IScalar, ParentCols);
+}
+
 } // namespace
 
 Var liger::rowsView(const Var &M, size_t Row0, size_t Rows) {
@@ -515,6 +521,19 @@ Var liger::sliceView(const Var &V, size_t Off, size_t Count) {
   std::memcpy(Out.data(), V->Value.data() + Off, Count * sizeof(float));
   Node *N = makeNode(std::move(Out), {V}, viewBackward);
   N->IScalar = Off;
+  return N;
+}
+
+Var liger::colsView(const Var &M, size_t Col0, size_t Cols) {
+  LIGER_CHECK(M->Value.rank() == 2, "colsView expects a matrix");
+  LIGER_CHECK(Col0 + Cols <= M->Value.dim(1), "colsView range out of bounds");
+  size_t Rows = M->Value.dim(0), ParentCols = M->Value.dim(1);
+  Tensor Out = Tensor::zeros(Rows, Cols);
+  for (size_t R = 0; R < Rows; ++R)
+    std::memcpy(Out.data() + R * Cols,
+                M->Value.data() + R * ParentCols + Col0, Cols * sizeof(float));
+  Node *N = makeNode(std::move(Out), {M}, colsViewBackward);
+  N->IScalar = Col0;
   return N;
 }
 
@@ -964,6 +983,228 @@ CellOut liger::treeLstmNodeOp(const Var &Wx, const Var &Bx, const Var &Wh,
   CellOut Result;
   Result.H = HN;
   Result.C = CN;
+  return Result;
+}
+
+//===----------------------------------------------------------------------===//
+// Fused attention ops
+//===----------------------------------------------------------------------===//
+//
+// Two node kinds cover a whole attended decode. The KeyProj node
+// computes the key-side half of every score's first layer once per
+// memory ([T x Hidden]; keys are constant across decoder steps). Each
+// step then adds one attention node fusing broadcast query projection →
+// tanh → second-layer matvec → softmax → weighted context sum, the same
+// 1-2-nodes-per-step discipline as the fused cells above.
+//
+// Both backwards replay the unfused reference graph (colsView / matvec
+// / add / tanhV / stackScalars / softmax / weightedCombine, see
+// AttentionScorer's reference path in Module.cpp) node by node in
+// descending creation order through the same kernels, so losses and
+// gradients are bitwise-identical to the per-pair path
+// (AttentionEquivalenceTest pins this). The W1 halves are addressed as
+// column bands of the packed [Hidden x (KeyDim+QueryDim)] parameter —
+// strided matvecs forward, fresh-zeroed staging blocks scattered with
+// addAcc2d backward, matching the reference's colsView copy + scatter.
+//
+// Step-node parents: W1, W2, B2, Query, KeyProj, Key_0..Key_{T-1}
+// (T = NumParents - 5); payload AuxM holds the [T x Hidden] tanh
+// activations then the T softmax weights. KeyProj-node parents: W1,
+// B1, Key_0..Key_{T-1}; created before any step node, its backward
+// runs after every step's — exactly where the reference's shared
+// per-key projection nodes sit in the schedule.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+void attentionKeyProjBackward(Node &N) {
+  Node &W1N = *N.Parents[0];
+  Node &B1N = *N.Parents[1];
+  size_t T = N.NumParents - 2;
+  size_t H = N.Value.dim(1);
+  size_t K = N.Parents[2]->Value.size();
+  size_t W1Cols = W1N.Value.dim(1);
+  const float *G = N.Grad.data();
+  const float *W1V = W1N.Value.data();
+
+  // Per-key chains, last key first (descending creation order): the
+  // add hands b1 its row grad, then the matvec splits between the
+  // key-side weight band (staged, like the reference's colsView copy)
+  // and the key itself.
+  Tensor WkStage = Tensor::zeros(H, K);
+  for (size_t TI = T; TI-- > 0;) {
+    const float *GRow = G + TI * H;
+    Node &KeyN = *N.Parents[2 + TI];
+    if (B1N.RequiresGrad)
+      kernels::addAcc(H, GRow, B1N.grad().data());
+    kernels::rank1Acc(H, K, GRow, KeyN.Value.data(), WkStage.data());
+    if (KeyN.RequiresGrad)
+      kernels::matvecTAccStrided(H, K, W1Cols, W1V, GRow,
+                                 KeyN.grad().data());
+  }
+  if (W1N.RequiresGrad)
+    kernels::addAcc2d(H, K, WkStage.data(), K, W1N.grad().data(), W1Cols);
+}
+
+void attentionBackward(Node &N) {
+  Node &W1N = *N.Parents[0];
+  Node &W2N = *N.Parents[1];
+  Node &B2N = *N.Parents[2];
+  Node &QN = *N.Parents[3];
+  Node &KPN = *N.Parents[4];
+  size_t T = N.NumParents - 5;
+  size_t K = N.Value.size();
+  size_t H = KPN.Value.dim(1);
+  size_t Q = QN.Value.size();
+  size_t W1Cols = W1N.Value.dim(1);
+  const float *G = N.Grad.data();
+  const float *Ht = N.AuxM, *A = N.AuxM + T * H;
+  const float *W1V = W1N.Value.data(), *W2V = W2N.Value.data();
+
+  // context = weightedCombine(keys, a): keys ascending, each taking
+  // a_t-scaled context grad; the weight grads are per-key dots.
+  Tensor AG = Tensor::zeros(T);
+  for (size_t TI = 0; TI < T; ++TI) {
+    Node &KeyN = *N.Parents[5 + TI];
+    if (KeyN.RequiresGrad)
+      kernels::axpy(K, A[TI], G, KeyN.grad().data());
+    AG[TI] += kernels::dot(K, G, KeyN.Value.data());
+  }
+
+  // a = softmax(s), s = stackScalars(s_0..s_{T-1}).
+  Tensor SvG = Tensor::zeros(T);
+  kernels::softmaxGradAcc(T, AG.data(), A, SvG.data());
+
+  // Per-key score chains, last key first: s_t = (W2 · h_t) + b2,
+  // h_t = tanh(KeyProj[t] + Mq).
+  Tensor HG = Tensor::zeros(H);
+  Tensor PreG = Tensor::zeros(H);
+  Tensor MqG = Tensor::zeros(H);
+  float *KPG = KPN.RequiresGrad ? KPN.grad().data() : nullptr;
+  for (size_t TI = T; TI-- > 0;) {
+    float Gt = SvG[TI];
+    const float *HtRow = Ht + TI * H;
+    if (B2N.RequiresGrad)
+      B2N.grad()[0] += Gt;
+    if (W2N.RequiresGrad)
+      kernels::axpy(H, Gt, HtRow, W2N.grad().data());
+    HG.zero();
+    kernels::axpy(H, Gt, W2V, HG.data());
+    PreG.zero();
+    kernels::tanhGradAcc(H, HG.data(), HtRow, PreG.data());
+    if (KPG)
+      kernels::addAcc(H, PreG.data(), KPG + TI * H);
+    kernels::addAcc(H, PreG.data(), MqG.data());
+  }
+
+  // Mq = matvec(Wq, q) through the query-side band of W1: weight grad
+  // staged (the reference's colsView node), query grad strided.
+  Tensor WqStage = Tensor::zeros(H, Q);
+  kernels::rank1Acc(H, Q, MqG.data(), QN.Value.data(), WqStage.data());
+  if (QN.RequiresGrad)
+    kernels::matvecTAccStrided(H, Q, W1Cols, W1V + K, MqG.data(),
+                               QN.grad().data());
+  if (W1N.RequiresGrad)
+    kernels::addAcc2d(H, Q, WqStage.data(), Q, W1N.grad().data() + K,
+                      W1Cols);
+}
+
+} // namespace
+
+Var liger::attentionKeyProj(const Var &W1, const Var &B1,
+                            const std::vector<Var> &Keys) {
+  LIGER_CHECK(!Keys.empty(), "attentionKeyProj needs keys");
+  size_t H = B1->Value.size();
+  size_t K = Keys[0]->Value.size();
+  size_t W1Cols = W1->Value.dim(1);
+  LIGER_CHECK(W1->Value.rank() == 2 && W1->Value.dim(0) == H &&
+                  W1Cols >= K,
+              "attentionKeyProj packed W1 shape mismatch");
+
+  size_t T = Keys.size();
+  Tensor Out = Tensor::zeros(T, H);
+  for (size_t TI = 0; TI < T; ++TI) {
+    LIGER_CHECK(Keys[TI]->Value.size() == K,
+                "attentionKeyProj keys must share shape");
+    float *Row = Out.data() + TI * H;
+    kernels::matvecStrided(H, K, W1Cols, W1->Value.data(),
+                           Keys[TI]->Value.data(), Row);
+    kernels::addAcc(H, B1->Value.data(), Row);
+  }
+
+  std::vector<Var> Parents;
+  Parents.reserve(2 + T);
+  Parents.push_back(W1);
+  Parents.push_back(B1);
+  for (const Var &Key : Keys)
+    Parents.push_back(Key);
+  return makeNode(std::move(Out), Parents, attentionKeyProjBackward);
+}
+
+AttnOut liger::attentionOp(const Var &W1, const Var &W2, const Var &B2,
+                           const Var &Query, const Var &KeyProj,
+                           const std::vector<Var> &Keys) {
+  size_t T = Keys.size();
+  LIGER_CHECK(T > 0, "attentionOp needs keys");
+  size_t K = Keys[0]->Value.size();
+  size_t Q = Query->Value.size();
+  size_t H = W1->Value.dim(0);
+  size_t W1Cols = W1->Value.dim(1);
+  LIGER_CHECK(W1->Value.rank() == 2 && W1Cols == K + Q,
+              "attentionOp packed W1 shape mismatch");
+  LIGER_CHECK(W2->Value.rank() == 2 && W2->Value.dim(0) == 1 &&
+                  W2->Value.dim(1) == H,
+              "attentionOp W2 shape mismatch");
+  LIGER_CHECK(B2->Value.size() == 1, "attentionOp B2 shape mismatch");
+  LIGER_CHECK(KeyProj->Value.rank() == 2 && KeyProj->Value.dim(0) == T &&
+                  KeyProj->Value.dim(1) == H,
+              "attentionOp key projection mismatch");
+
+  float *Pay = allocCellPayload(T * H + T);
+  float *Ht = Pay, *A = Pay + T * H;
+  const float *KPV = KeyProj->Value.data();
+  const float *W2V = W2->Value.data();
+
+  // Broadcast query-side projection, shared by every key's score.
+  Tensor Mq = Tensor::raw(H);
+  kernels::matvecStrided(H, Q, W1Cols, W1->Value.data() + K,
+                         Query->Value.data(), Mq.data());
+  const float *__restrict MqV = Mq.data();
+  Tensor Pre = Tensor::raw(H);
+  float *__restrict PreV = Pre.data();
+  Tensor Sv = Tensor::zeros(T);
+  for (size_t TI = 0; TI < T; ++TI) {
+    LIGER_CHECK(Keys[TI]->Value.size() == K,
+                "attentionOp keys must share shape");
+    const float *__restrict KPRow = KPV + TI * H;
+    for (size_t I = 0; I < H; ++I)
+      PreV[I] = KPRow[I] + MqV[I];
+    float *HtRow = Ht + TI * H;
+    kernels::tanhMap(H, PreV, HtRow);
+    float S = kernels::dot(H, W2V, HtRow);
+    Sv[TI] = S + B2->Value[0];
+  }
+
+  std::vector<float> Probs = softmaxValues(Sv);
+  std::memcpy(A, Probs.data(), T * sizeof(float));
+  Tensor Out = Tensor::zeros(K);
+  for (size_t TI = 0; TI < T; ++TI)
+    kernels::axpy(K, A[TI], Keys[TI]->Value.data(), Out.data());
+
+  std::vector<Var> Parents;
+  Parents.reserve(5 + T);
+  Parents.push_back(W1);
+  Parents.push_back(W2);
+  Parents.push_back(B2);
+  Parents.push_back(Query);
+  Parents.push_back(KeyProj);
+  for (const Var &Key : Keys)
+    Parents.push_back(Key);
+  Node *N = makeNode(std::move(Out), Parents, attentionBackward);
+  N->AuxM = Pay;
+  AttnOut Result;
+  Result.Context = N;
+  Result.Weights = A;
   return Result;
 }
 

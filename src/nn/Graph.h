@@ -155,6 +155,12 @@ Var meanLoss(const std::vector<Var> &Losses);
 Var rowsView(const Var &M, size_t Row0, size_t Rows);
 /// Entries [Off, Off + Count) of vector \p V as a vector.
 Var sliceView(const Var &V, size_t Off, size_t Count);
+/// Columns [Col0, Col0 + Cols) of matrix \p M as a matrix (a copy;
+/// backward scatters row-by-row into that column band). This is how the
+/// attention score MLP's reference path addresses the key-side and
+/// query-side halves of its packed [Hidden x (KeyDim+QueryDim)] first
+/// layer without splitting the stored parameter.
+Var colsView(const Var &M, size_t Col0, size_t Cols);
 
 /// Both outputs of a fused LSTM-style cell step.
 struct CellOut {
@@ -196,6 +202,41 @@ CellOut treeLstmNodeOp(const Var &Wx, const Var &Bx, const Var &Wh,
                        const Var &X, const Var &HSum,
                        const std::vector<Var> &ChildH,
                        const std::vector<Var> &ChildC);
+
+//===----------------------------------------------------------------------===//
+// Fused attention ops
+//===----------------------------------------------------------------------===//
+
+/// Key-side half of a batched additive-attention score: one node whose
+/// [T x Hidden] value holds W1[:, 0:KeyDim] · key_t + b1 for every key,
+/// computed with one strided matvec per key over the packed
+/// [Hidden x (KeyDim+QueryDim)] first-layer weight \p W1. Keys are
+/// constant across decoder steps, so callers build this once per
+/// memory and share it across every attentionOp step. Bitwise-identical
+/// to the per-key add(matvec(colsView(W1, 0, KeyDim), key), b1) chain.
+Var attentionKeyProj(const Var &W1, const Var &B1,
+                     const std::vector<Var> &Keys);
+
+/// Result of one fused attention step: the context vector node plus a
+/// read-only peek at the T softmax weights (arena-owned, valid until
+/// the arena resets — for attention statistics, not a graph node).
+struct AttnOut {
+  Var Context = nullptr;
+  const float *Weights = nullptr;
+};
+
+/// Fused additive-attention step over a prepared key projection: one
+/// graph node computing, for every key t,
+///   s_t = W2 · tanh(KeyProj[t] + W1[:, KeyDim:] · q) + b2
+///   a = softmax(s),  context = Σ_t a_t · key_t
+/// with a single backward closure emitting all gradients (W1, W2, b2,
+/// query, KeyProj, keys) — the same 1-2-nodes-per-step discipline as
+/// gruCellOp, replacing the ~6·T nodes of the per-pair score chain.
+/// Bitwise-identical to the unfused reference path
+/// (AttentionEquivalenceTest pins this).
+AttnOut attentionOp(const Var &W1, const Var &W2, const Var &B2,
+                    const Var &Query, const Var &KeyProj,
+                    const std::vector<Var> &Keys);
 
 /// Runs reverse-mode accumulation from scalar \p Loss (grad seeded 1).
 void backward(const Var &Loss);

@@ -19,6 +19,9 @@ namespace {
 /// Process-wide fused-cell toggle (see Module.h).
 std::atomic<bool> FusedCells{true};
 
+/// Process-wide fused-attention toggle (see Module.h).
+std::atomic<bool> FusedAttention{true};
+
 /// Draws a Glorot-uniform [Rows x Cols] block into rows
 /// [Row0, Row0 + Rows) of \p Packed, consuming exactly the Rng draws
 /// the per-gate Tensor::xavier(Rows, Cols, R) call made — a fixed seed
@@ -39,6 +42,14 @@ bool liger::fusedCellsEnabled() {
 
 void liger::setFusedCellsEnabled(bool Enabled) {
   FusedCells.store(Enabled, std::memory_order_relaxed);
+}
+
+bool liger::fusedAttentionEnabled() {
+  return FusedAttention.load(std::memory_order_relaxed);
+}
+
+void liger::setFusedAttentionEnabled(bool Enabled) {
+  FusedAttention.store(Enabled, std::memory_order_relaxed);
 }
 
 //===----------------------------------------------------------------------===//
@@ -475,18 +486,113 @@ Var EmbeddingTable::lookup(int Id) const {
 AttentionScorer::AttentionScorer(ParamStore &Store, const std::string &Name,
                                  size_t QueryDim, size_t KeyDim,
                                  size_t Hidden, Rng &R)
-    : Net(Store, Name, QueryDim + KeyDim, Hidden, 1, R) {}
+    : QueryDim(QueryDim), KeyDim(KeyDim), Hidden(Hidden) {
+  // Same parameter names, shapes, and Rng draw order as the
+  // Mlp(Name, KeyDim + QueryDim, Hidden, 1) this class used to wrap,
+  // so existing checkpoints load bit-exactly and fixed seeds reproduce:
+  // the key/query split is purely how the packed first layer is
+  // *computed* (column bands), never how it is stored.
+  W1 = Store.addParam(Name + ".l1.W",
+                      Tensor::xavier(Hidden, KeyDim + QueryDim, R));
+  B1 = Store.addParam(Name + ".l1.b", Tensor::zeros(Hidden));
+  W2 = Store.addParam(Name + ".l2.W", Tensor::xavier(1, Hidden, R));
+  B2 = Store.addParam(Name + ".l2.b", Tensor::zeros(1));
+}
+
+Var AttentionScorer::scoreUnfused(const Var &Query, const Var &Key) const {
+  // Split-first-layer reference chain for one pair; the batched paths
+  // share the key-side half of this computation across steps.
+  Var Wk = colsView(W1, 0, KeyDim);
+  Var Mk = matvec(Wk, Key);
+  Var KP = add(Mk, B1);
+  Var Wq = colsView(W1, KeyDim, QueryDim);
+  Var Mq = matvec(Wq, Query);
+  Var Pre = add(KP, Mq);
+  Var Act = tanhV(Pre);
+  Var M2 = matvec(W2, Act);
+  return add(M2, B2);
+}
 
 Var AttentionScorer::score(const Var &Query, const Var &Key) const {
-  return Net.apply(concat(Key, Query));
+  return scoreUnfused(Query, Key);
+}
+
+AttentionScorer::Memory
+AttentionScorer::prepare(const std::vector<Var> &Keys) const {
+  if (Keys.empty())
+    reportFatalError("attention over an empty key set (memory size 0, "
+                     "query dim " +
+                     std::to_string(QueryDim) + ", key dim " +
+                     std::to_string(KeyDim) + ")");
+  Memory Mem;
+  Mem.Keys = Keys;
+  Mem.Fused = fusedAttentionEnabled();
+  if (Mem.Fused) {
+    Mem.KeyProj = attentionKeyProj(W1, B1, Keys);
+    return Mem;
+  }
+  Var Wk = colsView(W1, 0, KeyDim);
+  Mem.KeyProjRows.reserve(Keys.size());
+  for (const Var &Key : Keys) {
+    Var Mk = matvec(Wk, Key);
+    Var KP = add(Mk, B1);
+    Mem.KeyProjRows.push_back(KP);
+  }
+  return Mem;
+}
+
+Var AttentionScorer::scoreAllRows(
+    const Var &Query, const std::vector<Var> &KeyProjRows) const {
+  // Node creation order here is load-bearing: the fused attentionOp's
+  // backward replays exactly this graph in descending creation order
+  // (query-side view + matvec first, then each key's chain).
+  Var Wq = colsView(W1, KeyDim, QueryDim);
+  Var Mq = matvec(Wq, Query);
+  std::vector<Var> Scores;
+  Scores.reserve(KeyProjRows.size());
+  for (const Var &KP : KeyProjRows) {
+    Var Pre = add(KP, Mq);
+    Var Act = tanhV(Pre);
+    Var M2 = matvec(W2, Act);
+    Scores.push_back(add(M2, B2));
+  }
+  return stackScalars(Scores);
+}
+
+Var AttentionScorer::scoreAll(const Var &Query,
+                              const std::vector<Var> &Keys) const {
+  if (Keys.empty())
+    reportFatalError("attention over an empty key set (memory size 0, "
+                     "query dim " +
+                     std::to_string(QueryDim) + ", key dim " +
+                     std::to_string(KeyDim) + ")");
+  Var Wk = colsView(W1, 0, KeyDim);
+  std::vector<Var> Rows;
+  Rows.reserve(Keys.size());
+  for (const Var &Key : Keys) {
+    Var Mk = matvec(Wk, Key);
+    Rows.push_back(add(Mk, B1));
+  }
+  return scoreAllRows(Query, Rows);
+}
+
+AttentionScorer::Result
+AttentionScorer::contextOf(const Var &Query, const Memory &Mem) const {
+  Result Out;
+  if (Mem.Fused) {
+    AttnOut Fused = attentionOp(W1, W2, B2, Query, Mem.KeyProj, Mem.Keys);
+    Out.Context = Fused.Context;
+    Out.Weights = Fused.Weights;
+    return Out;
+  }
+  Var Scores = scoreAllRows(Query, Mem.KeyProjRows);
+  Var A = softmax(Scores);
+  Out.Context = weightedCombine(Mem.Keys, A);
+  Out.Weights = A->Value.data();
+  return Out;
 }
 
 Var AttentionScorer::weights(const Var &Query,
                              const std::vector<Var> &Keys) const {
-  LIGER_CHECK(!Keys.empty(), "attention over an empty key set");
-  std::vector<Var> Scores;
-  Scores.reserve(Keys.size());
-  for (const Var &Key : Keys)
-    Scores.push_back(score(Query, Key));
-  return softmax(stackScalars(Scores));
+  return softmax(scoreAll(Query, Keys));
 }

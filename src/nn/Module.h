@@ -243,22 +243,85 @@ private:
   Var Table = nullptr;
 };
 
+/// Whether attention routes through the fused attentionKeyProj /
+/// attentionOp graph nodes (the default) or the per-pair reference
+/// graph. Bitwise-identical paths (AttentionEquivalenceTest); the
+/// toggle exists for A/B benchmarks and the equivalence suite.
+bool fusedAttentionEnabled();
+void setFusedAttentionEnabled(bool Enabled);
+
 /// Bahdanau-style additive attention scorer: score(q, k) =
-/// v · tanh(W [q ⊕ k] + b). The paper's a1 (fusion) and a2 (decoder).
+/// v · tanh(W1 [k ⊕ q] + b1) — the paper's a1 (fusion) and a2
+/// (decoder) networks. The first layer stays stored as one packed
+/// [Hidden x (KeyDim+QueryDim)] matrix (checkpoint layout unchanged
+/// from the old Mlp form), but is *computed* split: the key-side half
+/// is projected once per memory via prepare() and cached, each step
+/// only adds the broadcast query-side matvec (contextOf).
 class AttentionScorer {
 public:
   AttentionScorer() = default;
   AttentionScorer(ParamStore &Store, const std::string &Name, size_t QueryDim,
                   size_t KeyDim, size_t Hidden, Rng &R);
 
-  /// Scalar score node for one (query, key) pair.
+  /// Per-decode attention memory: the keys plus their cached key-side
+  /// first-layer projections. Build once per memory with prepare(),
+  /// reuse across every decoder step. Whether the fused or reference
+  /// graph form is held is latched from fusedAttentionEnabled() at
+  /// prepare() time.
+  struct Memory {
+    std::vector<Var> Keys;
+    Var KeyProj = nullptr;             ///< Fused [T x Hidden] node.
+    std::vector<Var> KeyProjRows;      ///< Reference per-key nodes.
+    bool Fused = true;
+  };
+
+  /// One attention step's outputs: the context node plus a read-only
+  /// peek at the T softmax weights (arena-owned; for attention
+  /// statistics, not a graph node).
+  struct Result {
+    Var Context = nullptr;
+    const float *Weights = nullptr;
+  };
+
+  /// Projects every key through the key-side half of the first layer
+  /// (the expensive part, independent of the query) and packages it
+  /// with the keys for repeated contextOf() calls.
+  Memory prepare(const std::vector<Var> &Keys) const;
+
+  /// Attended context for one query over a prepared memory: softmax of
+  /// all scores, then the weighted key sum — one fused graph node (or
+  /// the reference chain when the memory was prepared unfused).
+  Result contextOf(const Var &Query, const Memory &Mem) const;
+
+  /// All T pre-softmax scores of \p Query against \p Keys as one [T]
+  /// node, sharing the key projections across scores (reference graph
+  /// form; differentiable).
+  Var scoreAll(const Var &Query, const std::vector<Var> &Keys) const;
+
+  /// Scalar score node for one (query, key) pair. Kept as the unfused
+  /// reference the equivalence suite checks the batched path against.
+  Var scoreUnfused(const Var &Query, const Var &Key) const;
+
+  /// Alias of scoreUnfused (legacy call sites).
   Var score(const Var &Query, const Var &Key) const;
 
   /// Softmax-normalized weights for one query over many keys.
   Var weights(const Var &Query, const std::vector<Var> &Keys) const;
 
+  size_t queryDim() const { return QueryDim; }
+  size_t keyDim() const { return KeyDim; }
+
 private:
-  Mlp Net;
+  /// Shared tail of scoreAll/contextOf: the query-side matvec plus the
+  /// per-key tanh → second-layer chains over prepared projections.
+  Var scoreAllRows(const Var &Query,
+                   const std::vector<Var> &KeyProjRows) const;
+
+  size_t QueryDim = 0, KeyDim = 0, Hidden = 0;
+  // Packed score MLP, same names/shapes/init draws as the Mlp this
+  // class used to wrap: W1 [Hidden x (KeyDim+QueryDim)], B1 [Hidden],
+  // W2 [1 x Hidden], B2 [1].
+  Var W1 = nullptr, B1 = nullptr, W2 = nullptr, B2 = nullptr;
 };
 
 } // namespace liger

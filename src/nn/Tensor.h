@@ -345,18 +345,23 @@ inline void addAcc(size_t N, const float *__restrict X,
     Y[I] += X[I];
 }
 
-/// Y = M x for a row-major [Rows x Cols] matrix. Rows are processed
-/// four at a time so each load of X feeds four FMA chains; every row's
-/// reduction is bit-identical to dot(Cols, row, X) — same 2-accumulator
-/// split, same remainder handling, same horizontal-add tree.
-inline void matvec(size_t Rows, size_t Cols, const float *__restrict M,
-                   const float *__restrict X, float *__restrict Y) {
+/// Y = M x where M is a [Rows x Cols] band inside a row-major matrix
+/// whose rows are \p RowStride floats apart (RowStride == Cols for a
+/// dense matrix). Rows are processed four at a time so each load of X
+/// feeds four FMA chains; every row's reduction is bit-identical to
+/// dot(Cols, row, X) — same 2-accumulator split, same remainder
+/// handling, same horizontal-add tree. The stride lets the attention
+/// score MLP multiply by the key-side or query-side column half of its
+/// packed first-layer weight without copying it out.
+inline void matvecStrided(size_t Rows, size_t Cols, size_t RowStride,
+                          const float *__restrict M, const float *__restrict X,
+                          float *__restrict Y) {
   size_t R = 0;
   for (; R + 4 <= Rows; R += 4) {
-    const float *R0 = M + R * Cols;
-    const float *R1 = R0 + Cols;
-    const float *R2 = R1 + Cols;
-    const float *R3 = R2 + Cols;
+    const float *R0 = M + R * RowStride;
+    const float *R1 = R0 + RowStride;
+    const float *R2 = R1 + RowStride;
+    const float *R3 = R2 + RowStride;
     __m256 A00 = _mm256_setzero_ps(), A01 = _mm256_setzero_ps();
     __m256 A10 = _mm256_setzero_ps(), A11 = _mm256_setzero_ps();
     __m256 A20 = _mm256_setzero_ps(), A21 = _mm256_setzero_ps();
@@ -399,7 +404,13 @@ inline void matvec(size_t Rows, size_t Cols, const float *__restrict M,
     Y[R + 3] = S3;
   }
   for (; R < Rows; ++R)
-    Y[R] = dot(Cols, M + R * Cols, X);
+    Y[R] = dot(Cols, M + R * RowStride, X);
+}
+
+/// Y = M x for a dense row-major [Rows x Cols] matrix.
+inline void matvec(size_t Rows, size_t Cols, const float *__restrict M,
+                   const float *__restrict X, float *__restrict Y) {
+  matvecStrided(Rows, Cols, Cols, M, X, Y);
 }
 
 #else // scalar fallback
@@ -443,11 +454,20 @@ inline void addAcc(size_t N, const float *__restrict X,
     Y[I] += X[I];
 }
 
-/// Y = M x for a row-major [Rows x Cols] matrix.
+/// Y = M x where M is a [Rows x Cols] band whose rows sit \p RowStride
+/// floats apart (RowStride == Cols for a dense matrix). Each row is
+/// dot(Cols, row, X), the same reduction the dense matvec uses.
+inline void matvecStrided(size_t Rows, size_t Cols, size_t RowStride,
+                          const float *__restrict M, const float *__restrict X,
+                          float *__restrict Y) {
+  for (size_t R = 0; R < Rows; ++R)
+    Y[R] = dot(Cols, M + R * RowStride, X);
+}
+
+/// Y = M x for a dense row-major [Rows x Cols] matrix.
 inline void matvec(size_t Rows, size_t Cols, const float *__restrict M,
                    const float *__restrict X, float *__restrict Y) {
-  for (size_t R = 0; R < Rows; ++R)
-    Y[R] = dot(Cols, M + R * Cols, X);
+  matvecStrided(Rows, Cols, Cols, M, X, Y);
 }
 
 #endif // LIGER_SIMD_AVX2
@@ -471,11 +491,32 @@ inline void rank1Acc(size_t Rows, size_t Cols, const float *__restrict G,
     axpy(Cols, G[R], X, MG + R * Cols);
 }
 
+/// XG[c] += Σ_r G[r] * M[r][c] where M is a [Rows x Cols] band with
+/// rows \p RowStride apart (gradient of matvecStrided wrt x). Row
+/// order and per-row axpy match matvecTAcc on a dense copy of the
+/// band, bit for bit.
+inline void matvecTAccStrided(size_t Rows, size_t Cols, size_t RowStride,
+                              const float *__restrict M,
+                              const float *__restrict G,
+                              float *__restrict XG) {
+  for (size_t R = 0; R < Rows; ++R)
+    axpy(Cols, G[R], M + R * RowStride, XG);
+}
+
 /// XG[c] += Σ_r G[r] * M[r][c] (gradient of matvec wrt x).
 inline void matvecTAcc(size_t Rows, size_t Cols, const float *__restrict M,
                        const float *__restrict G, float *__restrict XG) {
+  matvecTAccStrided(Rows, Cols, Cols, M, G, XG);
+}
+
+/// Y[r][0..Cols) += X[r][0..Cols) with independent row strides — the
+/// strided scatter that lands a contiguous [Rows x Cols] gradient
+/// staging block into a column band of a packed parameter (and the
+/// backward of a column view). Rows ascend; each row is one addAcc.
+inline void addAcc2d(size_t Rows, size_t Cols, const float *__restrict X,
+                     size_t XStride, float *__restrict Y, size_t YStride) {
   for (size_t R = 0; R < Rows; ++R)
-    axpy(Cols, G[R], M + R * Cols, XG);
+    addAcc(Cols, X + R * XStride, Y + R * YStride);
 }
 
 /// Σ_i A[i], with the same 4-partial-accumulator scheme as the scalar
@@ -538,6 +579,16 @@ inline void sigmoidGradAcc(size_t N, const float *__restrict G,
                            const float *__restrict Y, float *__restrict AG) {
   for (size_t I = 0; I < N; ++I)
     AG[I] += G[I] * Y[I] * (1.0f - Y[I]);
+}
+
+/// XG[i] += Y[i] * (G[i] - Σ_j G[j] Y[j]) — softmax backward through
+/// output Y. Shared between the softmax op and the fused attention
+/// op's replay of it.
+inline void softmaxGradAcc(size_t N, const float *__restrict G,
+                           const float *__restrict Y, float *__restrict XG) {
+  float Mix = dot(N, G, Y);
+  for (size_t I = 0; I < N; ++I)
+    XG[I] += Y[I] * (G[I] - Mix);
 }
 
 } // namespace kernels

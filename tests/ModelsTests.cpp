@@ -196,6 +196,39 @@ TEST(LigerTest, FusionStatsAreSensible) {
   EXPECT_LE(Stats.staticMean(), 1.0);
 }
 
+TEST(LigerTest, FusedAttentionTrainingStepIsBitwise) {
+  // End-to-end check that the fused attention path (both the encoder
+  // fusion site A1 and the cached decoder memory) is bitwise identical
+  // to the per-pair reference graph through loss, gradients, and one
+  // Adam step.
+  auto Samples = tinyCorpus();
+  TinyVocabs V = buildVocabs(Samples);
+  auto RunStep = [&](bool Fused) {
+    bool Prev = fusedAttentionEnabled();
+    setFusedAttentionEnabled(Fused);
+    LigerNamePredictor Net(V.Joint, V.Target, tinyLigerConfig(), 42);
+    Adam Opt(Net.params());
+    std::vector<Var> Losses;
+    for (const MethodSample &Sample : Samples)
+      Losses.push_back(Net.loss(Sample));
+    Var Loss = meanLoss(Losses);
+    backward(Loss);
+    std::vector<std::vector<float>> Grads, Params;
+    for (const Var &P : Net.params().params())
+      Grads.emplace_back(P->Grad.data(), P->Grad.data() + P->Grad.size());
+    Opt.step();
+    for (const Var &P : Net.params().params())
+      Params.emplace_back(P->Value.data(), P->Value.data() + P->Value.size());
+    setFusedAttentionEnabled(Prev);
+    return std::make_tuple(Loss->Value[0], Grads, Params);
+  };
+  auto [FusedLoss, FusedGrads, FusedParams] = RunStep(true);
+  auto [RefLoss, RefGrads, RefParams] = RunStep(false);
+  EXPECT_EQ(FusedLoss, RefLoss);
+  EXPECT_EQ(FusedGrads, RefGrads);
+  EXPECT_EQ(FusedParams, RefParams);
+}
+
 TEST(LigerTest, AblationsRunAndDiffer) {
   auto Samples = tinyCorpus();
   TinyVocabs V = buildVocabs(Samples);

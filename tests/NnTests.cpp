@@ -1238,3 +1238,267 @@ TEST(CheckpointTest, TreeLstmLegacyNamesMapToPackOrder) {
         << "h-weights " << UNames[L];
   }
 }
+
+//===----------------------------------------------------------------------===//
+// Fused attention kernels
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// RAII toggle for the fused-attention dispatch.
+struct FusedAttnGuard {
+  explicit FusedAttnGuard(bool Enabled) : Prev(fusedAttentionEnabled()) {
+    setFusedAttentionEnabled(Enabled);
+  }
+  ~FusedAttnGuard() { setFusedAttentionEnabled(Prev); }
+  bool Prev;
+};
+
+/// Finite-difference check of one prepare() + contextOf() attention
+/// step with every parameter and input (query, keys) perturbed. Odd
+/// dims exercise the SIMD kernels' remainder lanes; \p T sweeps the
+/// memory-size remainder cases.
+void checkAttentionAt(size_t T) {
+  ParamStore Store;
+  Rng R(81);
+  const size_t QDim = 5, KDim = 6, Hidden = 7;
+  AttentionScorer Attn(Store, "attn", QDim, KDim, Hidden, R);
+  Var Q = Store.addParam("q", Tensor::uniform(QDim, 0.9f, R));
+  std::vector<Var> Keys;
+  for (size_t I = 0; I < T; ++I)
+    Keys.push_back(
+        Store.addParam("k" + std::to_string(I), Tensor::uniform(KDim, 0.9f, R)));
+  GradCheckResult Result = checkGradients(Store, [&] {
+    AttentionScorer::Memory Mem = Attn.prepare(Keys);
+    AttentionScorer::Result Out = Attn.contextOf(Q, Mem);
+    return dot(Out.Context, Out.Context);
+  });
+  EXPECT_TRUE(Result.Ok) << Result.MaxRelError << " at "
+                         << Result.WorstParam;
+}
+
+} // namespace
+
+// SIMD-remainder memory sizes: below, at, and just past the kernels'
+// vector widths.
+TEST(GradCheckTest, AttentionOpMemory1) { checkAttentionAt(1); }
+TEST(GradCheckTest, AttentionOpMemory3) { checkAttentionAt(3); }
+TEST(GradCheckTest, AttentionOpMemory7) { checkAttentionAt(7); }
+TEST(GradCheckTest, AttentionOpMemory9) { checkAttentionAt(9); }
+
+// The per-pair reference graph must satisfy the same checks.
+TEST(GradCheckTest, AttentionUnfusedReference) {
+  FusedAttnGuard Guard(false);
+  checkAttentionAt(3);
+}
+
+//===----------------------------------------------------------------------===//
+// Batched vs per-pair attention bitwise equivalence
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+struct AttnStepResult {
+  float Loss = 0.0f;
+  std::vector<std::vector<float>> StepWeights;
+  std::vector<std::vector<float>> Grads;
+  std::vector<std::vector<float>> ParamsAfter;
+};
+
+/// One training step of a miniature teacher-forced attention decoder
+/// (embedding -> recurrent cell with attended context -> logits), the
+/// decoder shape SeqDecoder builds, with the fused-attention dispatch
+/// toggled by \p Fused. The key projections are prepared once and
+/// shared across every step, in both modes.
+AttnStepResult runAttentionDecoderStep(CellKind Kind, bool Fused) {
+  FusedAttnGuard Guard(Fused);
+  ParamStore Store;
+  Rng R(83);
+  const size_t EmbDim = 6, Hidden = 8, KeyDim = 5, AttnHidden = 9,
+               Vocab = 7;
+  EmbeddingTable Emb(Store, "emb", Vocab, EmbDim, R);
+  RecurrentCell Cell(Store, "cell", Kind, EmbDim + KeyDim, Hidden, R);
+  AttentionScorer Attn(Store, "attn", Hidden, KeyDim, AttnHidden, R);
+  Linear Head(Store, "head", Hidden + KeyDim, Vocab, R);
+  std::vector<Var> Memory;
+  for (int I = 0; I < 4; ++I)
+    Memory.push_back(
+        Store.addParam("m" + std::to_string(I), Tensor::uniform(KeyDim, 0.9f, R)));
+  Adam Opt(Store);
+
+  const int Targets[] = {4, 5, 6, 4, 2};
+  AttentionScorer::Memory Mem = Attn.prepare(Memory);
+  RecState State = Cell.initial();
+  AttnStepResult Result;
+  std::vector<Var> Losses;
+  int Prev = 3;
+  for (int Target : Targets) {
+    AttentionScorer::Result Step = Attn.contextOf(State.H, Mem);
+    Result.StepWeights.emplace_back(Step.Weights,
+                                    Step.Weights + Memory.size());
+    State = Cell.step(concat(Emb.lookup(Prev), Step.Context), State);
+    Var Logits = Head.apply(concat(State.H, Step.Context));
+    Losses.push_back(softmaxCrossEntropy(Logits, static_cast<size_t>(Target)));
+    Prev = Target;
+  }
+  Var Loss = meanLoss(Losses);
+  backward(Loss);
+
+  Result.Loss = Loss->Value[0];
+  Result.Grads = dumpGrads(Store);
+  Opt.step();
+  Result.ParamsAfter = dumpParams(Store);
+  return Result;
+}
+
+/// One training step in the LIGER fusion-site shape: the component set
+/// is re-prepared every step (components change per trace step there)
+/// and the query is the evolving recurrent state.
+AttnStepResult runFusionStyleStep(bool Fused) {
+  FusedAttnGuard Guard(Fused);
+  ParamStore Store;
+  Rng R(85);
+  const size_t Dim = 6, AttnHidden = 7;
+  RecurrentCell Cell(Store, "cell", CellKind::Gru, Dim, Dim, R);
+  AttentionScorer A1(Store, "a1", Dim, Dim, AttnHidden, R);
+  std::vector<Var> Components;
+  for (int I = 0; I < 3; ++I)
+    Components.push_back(
+        Store.addParam("c" + std::to_string(I), Tensor::uniform(Dim, 0.9f, R)));
+  Adam Opt(Store);
+
+  AttnStepResult Result;
+  RecState State = Cell.initial();
+  for (int J = 0; J < 3; ++J) {
+    AttentionScorer::Memory Mem = A1.prepare(Components);
+    AttentionScorer::Result Fusion = A1.contextOf(State.H, Mem);
+    Result.StepWeights.emplace_back(Fusion.Weights,
+                                    Fusion.Weights + Components.size());
+    State = Cell.step(Fusion.Context, State);
+  }
+  Var Loss = dot(State.H, State.H);
+  backward(Loss);
+
+  Result.Loss = Loss->Value[0];
+  Result.Grads = dumpGrads(Store);
+  Opt.step();
+  Result.ParamsAfter = dumpParams(Store);
+  return Result;
+}
+
+} // namespace
+
+TEST(AttentionEquivalenceTest, GruDecoderTrainingStepIsBitwise) {
+  AttnStepResult Fused = runAttentionDecoderStep(CellKind::Gru, true);
+  AttnStepResult Ref = runAttentionDecoderStep(CellKind::Gru, false);
+  EXPECT_EQ(Fused.Loss, Ref.Loss);
+  EXPECT_EQ(Fused.StepWeights, Ref.StepWeights);
+  EXPECT_EQ(Fused.Grads, Ref.Grads);
+  EXPECT_EQ(Fused.ParamsAfter, Ref.ParamsAfter);
+}
+
+TEST(AttentionEquivalenceTest, LstmDecoderTrainingStepIsBitwise) {
+  AttnStepResult Fused = runAttentionDecoderStep(CellKind::Lstm, true);
+  AttnStepResult Ref = runAttentionDecoderStep(CellKind::Lstm, false);
+  EXPECT_EQ(Fused.Loss, Ref.Loss);
+  EXPECT_EQ(Fused.StepWeights, Ref.StepWeights);
+  EXPECT_EQ(Fused.Grads, Ref.Grads);
+  EXPECT_EQ(Fused.ParamsAfter, Ref.ParamsAfter);
+}
+
+TEST(AttentionEquivalenceTest, FusionStyleChainIsBitwise) {
+  AttnStepResult Fused = runFusionStyleStep(true);
+  AttnStepResult Ref = runFusionStyleStep(false);
+  EXPECT_EQ(Fused.Loss, Ref.Loss);
+  EXPECT_EQ(Fused.StepWeights, Ref.StepWeights);
+  EXPECT_EQ(Fused.Grads, Ref.Grads);
+  EXPECT_EQ(Fused.ParamsAfter, Ref.ParamsAfter);
+}
+
+TEST(AttentionEquivalenceTest, ScoreAllMatchesPerPairScores) {
+  // The batched pre-softmax scores must be bitwise what the per-pair
+  // reference chain computes for each key.
+  ParamStore Store;
+  Rng R(87);
+  AttentionScorer Attn(Store, "attn", 5, 6, 7, R);
+  Var Q = constant(Tensor::uniform(5, 0.9f, R));
+  std::vector<Var> Keys;
+  for (int I = 0; I < 4; ++I)
+    Keys.push_back(constant(Tensor::uniform(6, 0.9f, R)));
+  Var Batched = Attn.scoreAll(Q, Keys);
+  ASSERT_EQ(Batched->Value.size(), Keys.size());
+  for (size_t I = 0; I < Keys.size(); ++I)
+    EXPECT_EQ(Attn.scoreUnfused(Q, Keys[I])->Value[0], Batched->Value[I]);
+}
+
+TEST(AttentionEquivalenceTest, KeyProjMatchesReferenceRows) {
+  // The fused [T x Hidden] key projection must be bitwise the
+  // reference per-key add(matvec(colsView(W1), key), b1) rows.
+  FusedAttnGuard FusedOn(true);
+  ParamStore Store;
+  Rng R(89);
+  AttentionScorer Attn(Store, "attn", 5, 6, 7, R);
+  std::vector<Var> Keys;
+  for (int I = 0; I < 5; ++I)
+    Keys.push_back(constant(Tensor::uniform(6, 0.9f, R)));
+  AttentionScorer::Memory FusedMem = Attn.prepare(Keys);
+  FusedAttnGuard FusedOff(false);
+  AttentionScorer::Memory RefMem = Attn.prepare(Keys);
+  ASSERT_NE(FusedMem.KeyProj, nullptr);
+  ASSERT_EQ(RefMem.KeyProjRows.size(), Keys.size());
+  for (size_t T = 0; T < Keys.size(); ++T) {
+    const Tensor &Row = RefMem.KeyProjRows[T]->Value;
+    EXPECT_EQ(std::memcmp(FusedMem.KeyProj->Value.data() + T * Row.size(),
+                          Row.data(), Row.size() * sizeof(float)),
+              0)
+        << "key projection row " << T;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Checkpoint compatibility: pre-split attention checkpoints
+//===----------------------------------------------------------------------===//
+
+TEST(CheckpointTest, AttentionMlpCheckpointLoadsUnchanged) {
+  // AttentionScorer used to wrap an Mlp; the packed first layer is now
+  // computed split (key-side / query-side column bands) but stored
+  // unchanged, so a checkpoint written from the old Mlp layout must
+  // load bit-exactly — params, Adam moments, and best snapshot alike.
+  std::string Path = testing::TempDir() + "/liger_legacy_attn.ckpt";
+  const size_t QDim = 3, KDim = 4, Hidden = 5;
+  ParamStore Legacy;
+  Rng R0(91);
+  Mlp LegacyNet(Legacy, "attn", QDim + KDim, Hidden, 1, R0);
+  Adam LegacyOpt(Legacy);
+  stepAdamABit(Legacy, LegacyOpt, 3);
+  TrainerState TS;
+  TS.NextEpoch = 2;
+  TS.HasBest = true;
+  for (const Var &P : Legacy.params())
+    TS.BestParams.push_back(P->Value);
+  std::string Error;
+  ASSERT_TRUE(saveCheckpoint(Path, Legacy, &LegacyOpt, &TS, &Error)) << Error;
+
+  ParamStore Split;
+  Rng R(93);
+  AttentionScorer Attn(Split, "attn", QDim, KDim, Hidden, R);
+  ASSERT_EQ(Split.params().size(), Legacy.params().size());
+  Adam SplitOpt(Split);
+  TrainerState Loaded;
+  ASSERT_TRUE(loadCheckpoint(Path, Split, &SplitOpt, &Loaded, &Error))
+      << Error;
+
+  EXPECT_EQ(dumpParams(Split), dumpParams(Legacy));
+  EXPECT_EQ(SplitOpt.stepCount(), LegacyOpt.stepCount());
+  ASSERT_TRUE(Loaded.HasBest);
+  for (size_t I = 0; I < Legacy.params().size(); ++I) {
+    EXPECT_EQ(std::memcmp(SplitOpt.firstMoments()[I].data(),
+                          LegacyOpt.firstMoments()[I].data(),
+                          SplitOpt.firstMoments()[I].size() * sizeof(float)),
+              0);
+    EXPECT_EQ(std::memcmp(Loaded.BestParams[I].data(),
+                          TS.BestParams[I].data(),
+                          Loaded.BestParams[I].size() * sizeof(float)),
+              0);
+  }
+}
