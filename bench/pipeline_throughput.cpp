@@ -1,0 +1,212 @@
+//===-- bench/pipeline_throughput.cpp - Trace-pipeline throughput ---------===//
+//
+// Part of the LIGER reproduction project.
+//
+//===----------------------------------------------------------------------===//
+//
+// End-to-end throughput of the parallel, content-addressed trace-
+// construction pipeline (not a paper table). Regenerates the Table 1
+// "mini-med" workload (raw methods with the paper-shaped defect mix)
+// under three regimes:
+//
+//  - cache off (the pre-cache baseline),
+//  - cold: an empty on-disk cache being populated, at 1/2/4 worker
+//    threads (the parallel-scaling axis),
+//  - warm: a fresh process pointed at the populated directory, so every
+//    hit is served from disk.
+//
+// Emits BENCH_pipeline.json with seconds per regime, the warm speedup,
+// per-phase breakdowns, cache counters, and two determinism checks:
+// the corpus fingerprint must be identical across thread counts and
+// across off/cold/warm.
+//
+// Usage: pipeline_throughput [--methods=N] [--paths=N] [--execs=N]
+//                            [--seed=N] [--threads=N]
+//                            [--trace-cache-dir=PATH]
+// --threads sets the maximum cold thread count swept (default 4).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+#include "support/Stopwatch.h"
+#include "testgen/TraceCache.h"
+
+#include <filesystem>
+#include <thread>
+#include <vector>
+
+using namespace liger;
+
+namespace {
+
+struct RunResult {
+  size_t Threads = 0;
+  double Seconds = 0;
+  uint64_t Fingerprint = 0;
+  CorpusStats Stats;
+};
+
+/// One full generation of the Table 1 mini-med workload.
+RunResult runWorkload(const ExperimentScale &Scale, size_t Threads,
+                      TraceCache *Cache) {
+  CorpusOptions Options;
+  Options.NumMethods = Scale.MethodsMed * 8;
+  Options.TraceGen = Scale.traceGenOptions();
+  Options.Seed = Scale.Seed + 41;
+  Options.SyntaxDefectRate = 0.20;
+  Options.ExternalRefRate = 0.45;
+  Options.NonTerminationRate = 0.05;
+  Options.TooSmallRate = 0.12;
+  Options.Threads = Threads;
+  Options.Cache = Cache;
+
+  RunResult Result;
+  Result.Threads = Threads;
+  Stopwatch Timer;
+  std::vector<MethodSample> Samples =
+      generateMethodCorpus(Options, &Result.Stats);
+  Result.Seconds = Timer.seconds();
+  Result.Fingerprint = corpusFingerprint(Samples);
+  return Result;
+}
+
+void printRun(const char *Label, const RunResult &R) {
+  std::printf("%-18s threads=%zu  %.2fs  kept=%zu  hit/miss/bypass="
+              "%zu/%zu/%zu  fingerprint=%016llx\n",
+              Label, R.Threads, R.Seconds, R.Stats.Kept, R.Stats.CacheHits,
+              R.Stats.CacheMisses, R.Stats.CacheBypassed,
+              static_cast<unsigned long long>(R.Fingerprint));
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  ExperimentScale Scale = ExperimentScale::fromArgs(Argc, Argv);
+  printBanner("Trace-construction pipeline throughput (cache + threads)",
+              Scale);
+
+  size_t MaxThreads = Scale.Threads > 1 ? Scale.Threads : 4;
+  std::vector<size_t> ThreadCounts;
+  for (size_t T = 1; T <= MaxThreads; T *= 2)
+    ThreadCounts.push_back(T);
+
+  std::string CacheRoot = Scale.TraceCacheDir.empty()
+                              ? std::string("pipeline-bench-cache")
+                              : Scale.TraceCacheDir;
+
+  // Regime 1: cache off — the pre-cache serial baseline.
+  RunResult Off = runWorkload(Scale, /*Threads=*/1, /*Cache=*/nullptr);
+  printRun("off", Off);
+
+  // Regime 2: cold — populate a fresh on-disk cache per thread count.
+  // Every run must reproduce the off-run corpus bit for bit.
+  std::vector<RunResult> Cold;
+  std::string WarmDir; // the t=1 cold directory, reused by warm runs
+  for (size_t T : ThreadCounts) {
+    std::string Dir = CacheRoot + "/cold-t" + std::to_string(T);
+    std::error_code Ec;
+    std::filesystem::remove_all(Dir, Ec); // stale results must not hit
+    TraceCache Cache(TraceCacheMode::Full, Dir);
+    RunResult R = runWorkload(Scale, T, &Cache);
+    printRun("cold", R);
+    Cold.push_back(R);
+    if (T == 1)
+      WarmDir = Dir;
+  }
+
+  // Regime 3: warm — a fresh TraceCache instance (empty memory map, as
+  // after a process restart) reading the populated t=1 directory.
+  std::vector<RunResult> Warm;
+  for (size_t T : ThreadCounts) {
+    TraceCache Cache(TraceCacheMode::Full, WarmDir);
+    RunResult R = runWorkload(Scale, T, &Cache);
+    printRun("warm", R);
+    Warm.push_back(R);
+  }
+
+  // Warm replay through the interpreter (inputs mode): the fallback
+  // regime when full traces were not stored.
+  TraceCache InputsCache(TraceCacheMode::Inputs, WarmDir);
+  RunResult WarmInputs = runWorkload(Scale, 1, &InputsCache);
+  printRun("warm(inputs)", WarmInputs);
+
+  bool ColdDeterministic = true;
+  for (const RunResult &R : Cold)
+    if (R.Fingerprint != Off.Fingerprint)
+      ColdDeterministic = false;
+  bool WarmIdentical = WarmInputs.Fingerprint == Off.Fingerprint;
+  for (const RunResult &R : Warm)
+    if (R.Fingerprint != Off.Fingerprint)
+      WarmIdentical = false;
+  bool WarmAllHits = WarmInputs.Stats.CacheMisses == 0;
+  for (const RunResult &R : Warm)
+    if (R.Stats.CacheMisses != 0 || R.Stats.CacheHits == 0)
+      WarmAllHits = false;
+
+  double WarmSpeedup = Warm.front().Seconds > 0
+                           ? Cold.front().Seconds / Warm.front().Seconds
+                           : 0;
+  std::printf("\nwarm speedup over cold (t=1): %.1fx\n", WarmSpeedup);
+  std::printf("corpus identical across thread counts: %s\n",
+              ColdDeterministic ? "OK (bitwise)" : "FAILED");
+  std::printf("corpus identical off/cold/warm: %s\n",
+              WarmIdentical ? "OK (bitwise)" : "FAILED");
+  std::printf("warm runs fully cache-served: %s\n",
+              WarmAllHits ? "OK" : "FAILED");
+
+  FILE *F = std::fopen("BENCH_pipeline.json", "w");
+  if (!F) {
+    std::fprintf(stderr, "cannot write BENCH_pipeline.json\n");
+    return 1;
+  }
+  std::fprintf(F, "{\n");
+  std::fprintf(F, "  \"raw_methods\": %zu,\n", Off.Stats.Requested);
+  std::fprintf(F, "  \"kept_methods\": %zu,\n", Off.Stats.Kept);
+  std::fprintf(F, "  \"target_paths\": %u,\n", Scale.TargetPaths);
+  std::fprintf(F, "  \"execs_per_path\": %u,\n", Scale.ExecutionsPerPath);
+  std::fprintf(F, "  \"seed\": %llu,\n",
+               static_cast<unsigned long long>(Scale.Seed));
+  std::fprintf(F, "  \"hardware_concurrency\": %u,\n",
+               std::thread::hardware_concurrency());
+  std::fprintf(F, "  \"baseline_off_seconds\": %.3f,\n", Off.Seconds);
+  std::fprintf(F,
+               "  \"phase_seconds_cold\": {\"explore\": %.3f, \"symbolic\": "
+               "%.3f, \"mutate\": %.3f, \"record\": %.3f},\n",
+               Cold.front().Stats.PhaseExploreSeconds,
+               Cold.front().Stats.PhaseSymbolicSeconds,
+               Cold.front().Stats.PhaseMutateSeconds,
+               Cold.front().Stats.PhaseRecordSeconds);
+  std::fprintf(F, "  \"phase_seconds_warm\": {\"replay\": %.3f},\n",
+               Warm.front().Stats.PhaseReplaySeconds);
+  auto EmitRuns = [F](const char *Key, const std::vector<RunResult> &Runs,
+                      const RunResult &Off) {
+    std::fprintf(F, "  \"%s\": [\n", Key);
+    for (size_t I = 0; I < Runs.size(); ++I) {
+      const RunResult &R = Runs[I];
+      std::fprintf(F,
+                   "    {\"threads\": %zu, \"seconds\": %.3f, "
+                   "\"cache_hits\": %zu, \"cache_misses\": %zu, "
+                   "\"fingerprint_matches_off\": %s}%s\n",
+                   R.Threads, R.Seconds, R.Stats.CacheHits,
+                   R.Stats.CacheMisses,
+                   R.Fingerprint == Off.Fingerprint ? "true" : "false",
+                   I + 1 < Runs.size() ? "," : "");
+    }
+    std::fprintf(F, "  ],\n");
+  };
+  EmitRuns("cold", Cold, Off);
+  EmitRuns("warm", Warm, Off);
+  std::fprintf(F, "  \"warm_inputs_seconds\": %.3f,\n", WarmInputs.Seconds);
+  std::fprintf(F, "  \"warm_speedup_vs_cold\": %.2f,\n", WarmSpeedup);
+  std::fprintf(F, "  \"deterministic_across_threads\": %s,\n",
+               ColdDeterministic ? "true" : "false");
+  std::fprintf(F, "  \"identical_off_cold_warm\": %s,\n",
+               WarmIdentical ? "true" : "false");
+  std::fprintf(F, "  \"warm_fully_cache_served\": %s\n",
+               WarmAllHits ? "true" : "false");
+  std::fprintf(F, "}\n");
+  std::fclose(F);
+  std::printf("wrote BENCH_pipeline.json\n");
+
+  return (ColdDeterministic && WarmIdentical && WarmAllHits) ? 0 : 1;
+}

@@ -40,6 +40,8 @@ FunnelRow runFunnel(const char *Name, size_t RawMethods, uint64_t Seed,
   Options.ExternalRefRate = 0.45;
   Options.NonTerminationRate = 0.05;
   Options.TooSmallRate = 0.12;
+  Options.Threads = Scale.Threads;
+  Options.Cache = Scale.Cache.get();
 
   FunnelRow Row;
   Row.Dataset = Name;
@@ -75,6 +77,26 @@ int main(int Argc, char **Argv) {
                    std::to_string(Row->Stats.NoTraces),
                    std::to_string(Row->Stats.Kept)});
   Funnel.print();
+
+  std::printf("\nTrace-construction observability (per-phase CPU seconds "
+              "and cache outcomes):\n");
+  TextTable Phases({"Dataset", "Explore", "Symbolic", "Mutate", "Record",
+                    "Replay", "Hit", "Miss", "Bypass"});
+  auto Secs = [](double S) {
+    char Buf[32];
+    std::snprintf(Buf, sizeof(Buf), "%.2fs", S);
+    return std::string(Buf);
+  };
+  for (const FunnelRow *Row : {&Med, &Large})
+    Phases.addRow({Row->Dataset, Secs(Row->Stats.PhaseExploreSeconds),
+                   Secs(Row->Stats.PhaseSymbolicSeconds),
+                   Secs(Row->Stats.PhaseMutateSeconds),
+                   Secs(Row->Stats.PhaseRecordSeconds),
+                   Secs(Row->Stats.PhaseReplaySeconds),
+                   std::to_string(Row->Stats.CacheHits),
+                   std::to_string(Row->Stats.CacheMisses),
+                   std::to_string(Row->Stats.CacheBypassed)});
+  Phases.print();
 
   std::printf("\nSplit of the filtered sets (by project, as in the "
               "paper):\n");

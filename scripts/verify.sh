@@ -9,11 +9,15 @@
 #   2. sanitized gradcheck: ASan+UBSan build (build-asan) running the
 #      autodiff grad-check, arena, grad-sink, checkpoint, and
 #      fused-equivalence suites;
-#   3. scalar fallback: LIGER_NATIVE_SIMD=OFF build (build-scalar) +
+#   3. sanitized trace cache + parallel corpus: the LGTR fuzz suite and
+#      the thread-determinism corpus suites under ASan+UBSan;
+#   4. scalar fallback: LIGER_NATIVE_SIMD=OFF build (build-scalar) +
 #      full ctest, so the portable kernels stay green alongside the
 #      AVX2 ones;
-#   4. kernel benches in smoke mode (sanity that the bench harness and
-#      the fused ops still run; timings are not checked here).
+#   5. kernel benches in smoke mode (sanity that the bench harness and
+#      the fused ops still run; timings are not checked here);
+#   6. trace pipeline bench in smoke mode (off/cold/warm determinism
+#      checks at a tiny scale; exits non-zero on any mismatch).
 #
 # Invoke directly or via `cmake --build build --target liger_verify`.
 #
@@ -34,9 +38,14 @@ ctest --test-dir "$BUILD" --output-on-failure -j "$JOBS"
 
 step "sanitized gradcheck build (build-asan)"
 cmake -B "$REPO/build-asan" -S "$REPO" -DLIGER_SANITIZE=ON
-cmake --build "$REPO/build-asan" -j "$JOBS" --target nn_tests
+cmake --build "$REPO/build-asan" -j "$JOBS" --target nn_tests testgen_tests dataset_tests
 "$REPO/build-asan/tests/nn_tests" \
   --gtest_filter='GradCheckTest.*:GraphArenaTest.*:GradSinkTest.*:CheckpointTest.*:ParamStoreTest.*:FusedEquivalenceTest.*:AttentionEquivalenceTest.*'
+
+step "sanitized trace cache + parallel corpus (build-asan)"
+"$REPO/build-asan/tests/testgen_tests" --gtest_filter='TraceCacheTest.*'
+"$REPO/build-asan/tests/dataset_tests" \
+  --gtest_filter='CorpusParallelEquivalenceTest.*:CorpusTraceCacheTest.*'
 
 step "scalar fallback build + ctest (build-scalar, LIGER_NATIVE_SIMD=OFF)"
 cmake -B "$REPO/build-scalar" -S "$REPO" -DLIGER_NATIVE_SIMD=OFF
@@ -45,5 +54,12 @@ ctest --test-dir "$REPO/build-scalar" --output-on-failure -j "$JOBS"
 
 step "kernel benches (smoke)"
 "$BUILD/bench/micro_substrates" --kernels-only --smoke
+
+step "trace pipeline bench (smoke)"
+# Run from inside the build tree so the smoke-scale BENCH_pipeline.json
+# (and the bench's scratch cache directory) land there, not over the
+# checked-in full-scale result at the repo root.
+(cd "$BUILD" && ./bench/pipeline_throughput --methods=6 \
+   --trace-cache-dir="$BUILD/pipeline-verify-cache")
 
 step "all gates passed"

@@ -7,7 +7,10 @@
 #include "dataset/Corpus.h"
 
 #include "lang/Parser.h"
+#include "support/Hash.h"
 #include "support/StringUtils.h"
+#include "support/ThreadPool.h"
+#include "testgen/TraceCache.h"
 
 #include <map>
 #include <set>
@@ -169,11 +172,22 @@ size_t countStatements(const Stmt *S) {
   }
 }
 
+/// Stable per-task seed: mixing through StableHash decorrelates the
+/// streams of adjacent indices (plain Seed + Index would make worker
+/// RNGs start one step apart).
+uint64_t perTaskSeed(uint64_t Seed, uint64_t Index, uint64_t Salt) {
+  StableHash H;
+  H.addU64(Seed);
+  H.addU64(Index);
+  H.addU64(Salt);
+  return H.digest();
+}
+
 /// Builds one MethodSample from instantiated source. Returns false
 /// (with the right counter bumped) when a filter rejects it.
 bool buildSample(const std::string &Source, const std::string &MethodName,
                  const TestGenOptions &TraceGen, uint64_t TraceSeed,
-                 CorpusStats &Stats, MethodSample &Out) {
+                 TraceCache *Cache, CorpusStats &Stats, MethodSample &Out) {
   std::string Final = replaceIdentifier(Source, "FN", MethodName);
   DiagnosticSink Diags;
   std::optional<Program> Parsed = parseAndCheck(Final, Diags);
@@ -203,7 +217,16 @@ bool buildSample(const std::string &Source, const std::string &MethodName,
   TestGenOptions PerMethod = TraceGen;
   PerMethod.Seed = TraceSeed;
   CollectStats Collect;
-  MethodTraces Traces = collectTraces(*Prog, *Fn, PerMethod, &Collect);
+  MethodTraces Traces =
+      collectTracesCached(*Prog, *Fn, Final, PerMethod, Cache, &Collect);
+  Stats.CacheHits += Collect.CacheHits;
+  Stats.CacheMisses += Collect.CacheMisses;
+  Stats.CacheBypassed += Collect.CacheBypasses;
+  Stats.PhaseExploreSeconds += Collect.ExploreSeconds;
+  Stats.PhaseSymbolicSeconds += Collect.SymbolicSeconds;
+  Stats.PhaseMutateSeconds += Collect.MutateSeconds;
+  Stats.PhaseRecordSeconds += Collect.RecordSeconds;
+  Stats.PhaseReplaySeconds += Collect.ReplaySeconds;
   if (Collect.allTimedOut()) {
     ++Stats.TestgenTimeouts;
     return false;
@@ -221,18 +244,50 @@ bool buildSample(const std::string &Source, const std::string &MethodName,
   return true;
 }
 
+/// Adds every counter and timing of \p From into \p Into (the
+/// index-order reduction of per-worker stats).
+void accumulateStats(CorpusStats &Into, const CorpusStats &From) {
+  Into.Requested += From.Requested;
+  Into.ParseFailures += From.ParseFailures;
+  Into.ExternalRefFailures += From.ExternalRefFailures;
+  Into.TestgenTimeouts += From.TestgenTimeouts;
+  Into.TooSmall += From.TooSmall;
+  Into.NoTraces += From.NoTraces;
+  Into.Kept += From.Kept;
+  Into.CacheHits += From.CacheHits;
+  Into.CacheMisses += From.CacheMisses;
+  Into.CacheBypassed += From.CacheBypassed;
+  Into.PhaseExploreSeconds += From.PhaseExploreSeconds;
+  Into.PhaseSymbolicSeconds += From.PhaseSymbolicSeconds;
+  Into.PhaseMutateSeconds += From.PhaseMutateSeconds;
+  Into.PhaseRecordSeconds += From.PhaseRecordSeconds;
+  Into.PhaseReplaySeconds += From.PhaseReplaySeconds;
+}
+
 } // namespace
 
 std::vector<MethodSample>
 liger::generateMethodCorpus(const CorpusOptions &Options,
                             CorpusStats *StatsOut) {
-  Rng R(Options.Seed);
-  CorpusStats Stats;
-  std::vector<MethodSample> Samples;
+  // One independent slot per raw method: workers never touch shared
+  // state, and the reduction below runs in index order, so the corpus
+  // is a pure function of Options regardless of the thread count.
+  struct SampleSlot {
+    bool Kept = false;
+    MethodSample Sample;
+    CorpusStats Stats;
+  };
+  std::vector<SampleSlot> Slots(Options.NumMethods);
+
+  // Force the magic statics (task library, interner-style pools)
+  // before the parallel region.
   const std::vector<TaskSpec> &Library = taskLibrary();
 
-  for (size_t Index = 0; Index < Options.NumMethods; ++Index) {
-    ++Stats.Requested;
+  ThreadPool Pool(Options.Threads <= 1 ? 0 : Options.Threads);
+  Pool.run(Options.NumMethods, [&](size_t Index) {
+    SampleSlot &Slot = Slots[Index];
+    ++Slot.Stats.Requested;
+    Rng R(perTaskSeed(Options.Seed, Index, /*Salt=*/0x4D455448)); // "METH"
     const TaskSpec &Task = Library[R.nextBelow(Library.size())];
     const TaskVariant &Variant =
         Task.Variants[R.nextBelow(Task.Variants.size())];
@@ -257,13 +312,21 @@ liger::generateMethodCorpus(const CorpusOptions &Options,
       Defect = DefectKind::TooSmall;
     Source = applyDefect(std::move(Source), Defect, R);
 
-    MethodSample Sample;
-    if (!buildSample(Source, composeName(Task, R), Options.TraceGen,
-                     Options.Seed * 7919 + Index, Stats, Sample))
+    Slot.Kept = buildSample(Source, composeName(Task, R), Options.TraceGen,
+                            Options.Seed * 7919 + Index, Options.Cache,
+                            Slot.Stats, Slot.Sample);
+  });
+
+  CorpusStats Stats;
+  std::vector<MethodSample> Samples;
+  Samples.reserve(Options.NumMethods);
+  for (SampleSlot &Slot : Slots) {
+    accumulateStats(Stats, Slot.Stats);
+    if (!Slot.Kept)
       continue;
-    Sample.Project =
+    Slot.Sample.Project =
         "proj" + std::to_string(Samples.size() / Options.MethodsPerProject);
-    Samples.push_back(std::move(Sample));
+    Samples.push_back(std::move(Slot.Sample));
   }
 
   if (StatsOut)
@@ -273,40 +336,111 @@ liger::generateMethodCorpus(const CorpusOptions &Options,
 
 std::vector<MethodSample>
 liger::generateCosetCorpus(const CosetOptions &Options,
-                           std::vector<std::string> &ClassNames) {
-  Rng R(Options.Seed);
-  std::vector<MethodSample> Samples;
+                           std::vector<std::string> &ClassNames,
+                           CorpusStats *StatsOut) {
   ClassNames.clear();
 
-  CorpusStats Stats; // COSET pipeline only drops crashing programs
-  for (const TaskSpec *Problem : cosetProblems()) {
+  // Enumerate (problem, algorithm) classes up front; each class is one
+  // independent parallel task with its own RNG stream and trace seeds,
+  // reduced in class order.
+  struct ClassSpec {
+    const TaskSpec *Problem = nullptr;
+    const TaskVariant *Variant = nullptr;
+  };
+  std::vector<ClassSpec> Classes;
+  for (const TaskSpec *Problem : cosetProblems())
     for (const TaskVariant &Variant : Problem->Variants) {
-      int ClassId = static_cast<int>(ClassNames.size());
+      Classes.push_back({Problem, &Variant});
       ClassNames.push_back(Problem->Key + "/" + Variant.Algorithm);
-      size_t Made = 0;
-      size_t Attempts = 0;
-      while (Made < Options.ProgramsPerClass &&
-             Attempts < Options.ProgramsPerClass * 3) {
-        ++Attempts;
-        std::string Source = Variant.Source;
-        if (R.nextBool(Options.DeadCodeProb))
-          Source = injectDeadCode(Source, R);
-        Source = mutateIdentifiers(Source, *Problem, Options.GenericNameProb,
-                                   Options.MisleadingNameProb, R);
-        MethodSample Sample;
-        if (!buildSample(Source, composeName(*Problem, R), Options.TraceGen,
-                         Options.Seed * 104729 + Samples.size() * 31 +
-                             Attempts,
-                         Stats, Sample))
-          continue;
-        Sample.ClassId = ClassId;
-        Sample.Project = "coset" + std::to_string(Samples.size() % 10);
-        Samples.push_back(std::move(Sample));
-        ++Made;
-      }
+    }
+
+  struct ClassSlot {
+    std::vector<MethodSample> Samples;
+    CorpusStats Stats; // COSET pipeline only drops crashing programs
+  };
+  std::vector<ClassSlot> Slots(Classes.size());
+
+  ThreadPool Pool(Options.Threads <= 1 ? 0 : Options.Threads);
+  Pool.run(Classes.size(), [&](size_t C) {
+    const ClassSpec &Spec = Classes[C];
+    ClassSlot &Slot = Slots[C];
+    Rng R(perTaskSeed(Options.Seed, C, /*Salt=*/0x434F5345)); // "COSE"
+    size_t Made = 0;
+    size_t Attempts = 0;
+    while (Made < Options.ProgramsPerClass &&
+           Attempts < Options.ProgramsPerClass * 3) {
+      ++Attempts;
+      ++Slot.Stats.Requested;
+      std::string Source = Spec.Variant->Source;
+      if (R.nextBool(Options.DeadCodeProb))
+        Source = injectDeadCode(Source, R);
+      Source = mutateIdentifiers(Source, *Spec.Problem,
+                                 Options.GenericNameProb,
+                                 Options.MisleadingNameProb, R);
+      MethodSample Sample;
+      if (!buildSample(Source, composeName(*Spec.Problem, R),
+                       Options.TraceGen,
+                       Options.Seed * 104729 + C * 131071 + Attempts,
+                       Options.Cache, Slot.Stats, Sample))
+        continue;
+      Sample.ClassId = static_cast<int>(C);
+      Slot.Samples.push_back(std::move(Sample));
+      ++Made;
+    }
+  });
+
+  CorpusStats Stats;
+  std::vector<MethodSample> Samples;
+  for (ClassSlot &Slot : Slots) {
+    accumulateStats(Stats, Slot.Stats);
+    for (MethodSample &Sample : Slot.Samples) {
+      Sample.Project = "coset" + std::to_string(Samples.size() % 10);
+      Samples.push_back(std::move(Sample));
     }
   }
+  if (StatsOut)
+    *StatsOut = Stats;
   return Samples;
+}
+
+uint64_t liger::corpusFingerprint(const std::vector<MethodSample> &Samples) {
+  StableHash H;
+  H.addU64(Samples.size());
+  for (const MethodSample &Sample : Samples) {
+    H.addString(Sample.Fn ? Sample.Fn->Name : std::string());
+    H.addI64(Sample.ClassId);
+    H.addString(Sample.Project);
+    H.addU64(Sample.NameSubtokens.size());
+    for (const std::string &Tok : Sample.NameSubtokens)
+      H.addString(Tok);
+    H.addU64(Sample.Traces.VarNames.size());
+    for (const std::string &Name : Sample.Traces.VarNames)
+      H.addString(Name);
+    H.addU64(Sample.Traces.Paths.size());
+    for (const BlendedTrace &Path : Sample.Traces.Paths) {
+      H.addU64(Path.Symbolic.Steps.size());
+      for (const SymbolicStep &Step : Path.Symbolic.Steps) {
+        H.addU32(Step.Statement->id());
+        H.addU8(static_cast<uint8_t>(Step.Kind));
+      }
+      auto AddState = [&H](const std::vector<Value> &Values) {
+        H.addU64(Values.size());
+        for (const Value &V : Values)
+          H.addString(V.str());
+      };
+      H.addU64(Path.Concrete.size());
+      for (const StateTrace &ST : Path.Concrete) {
+        AddState(ST.Initial.Values);
+        H.addU64(ST.States.size());
+        for (const ProgramState &State : ST.States)
+          AddState(State.Values);
+      }
+      H.addU64(Path.Inputs.size());
+      for (const std::vector<Value> &Inputs : Path.Inputs)
+        AddState(Inputs);
+    }
+  }
+  return H.digest();
 }
 
 SplitCorpus liger::splitByProject(std::vector<MethodSample> Samples,

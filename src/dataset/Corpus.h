@@ -31,6 +31,8 @@
 
 namespace liger {
 
+class TraceCache;
+
 /// Generation options for the method-name corpus.
 struct CorpusOptions {
   /// Number of *raw* methods to generate (before filtering).
@@ -38,6 +40,13 @@ struct CorpusOptions {
   /// Methods per synthetic "project" (split unit; the paper splits by
   /// project, §6.1).
   size_t MethodsPerProject = 8;
+  /// Worker threads for trace construction (<= 1 runs inline). Each
+  /// raw method draws its randomness from a seed derived from
+  /// (Seed, method index), and results are assembled in index order,
+  /// so the corpus is bitwise-identical for any thread count.
+  size_t Threads = 1;
+  /// Optional trace cache shared by all workers (null: no caching).
+  TraceCache *Cache = nullptr;
   /// Probability that a renameable identifier is replaced by a generic
   /// name (a, b, x, tmp1...).
   double GenericNameProb = 0.25;
@@ -58,7 +67,9 @@ struct CorpusOptions {
   double TooSmallRate = 0.0;
 };
 
-/// Filter-pipeline counts (drives the Table 1 bench).
+/// Filter-pipeline counts (drives the Table 1 bench), plus trace-cache
+/// counters and per-phase timings aggregated over every method that
+/// reached trace construction.
 struct CorpusStats {
   size_t Requested = 0;
   size_t ParseFailures = 0;       ///< "do not compile"
@@ -67,6 +78,21 @@ struct CorpusStats {
   size_t TooSmall = 0;            ///< "too small to be considered"
   size_t NoTraces = 0;            ///< no successful execution at all
   size_t Kept = 0;
+
+  /// Trace-cache outcomes (one per method that ran the pipeline; the
+  /// three sum to the number of collectTracesCached invocations).
+  size_t CacheHits = 0;
+  size_t CacheMisses = 0;
+  size_t CacheBypassed = 0;
+
+  /// Summed wall-clock seconds per pipeline phase across methods.
+  /// With several workers these can exceed elapsed time (they are CPU
+  /// phase totals, not a wall-clock breakdown).
+  double PhaseExploreSeconds = 0;
+  double PhaseSymbolicSeconds = 0;
+  double PhaseMutateSeconds = 0;
+  double PhaseRecordSeconds = 0;
+  double PhaseReplaySeconds = 0;
 };
 
 /// Generates the method-name corpus.
@@ -82,13 +108,26 @@ struct CosetOptions {
   double DeadCodeProb = 0.35;
   TestGenOptions TraceGen;
   uint64_t Seed = 2;
+  /// Worker threads, parallel over (problem, algorithm) classes; same
+  /// determinism contract as CorpusOptions::Threads.
+  size_t Threads = 1;
+  /// Optional trace cache shared by all workers (null: no caching).
+  TraceCache *Cache = nullptr;
 };
 
 /// Generates the COSET-like corpus; \p ClassNames receives the label
 /// names ("sortArray/bubble", ...) indexed by ClassId.
 std::vector<MethodSample>
 generateCosetCorpus(const CosetOptions &Options,
-                    std::vector<std::string> &ClassNames);
+                    std::vector<std::string> &ClassNames,
+                    CorpusStats *Stats = nullptr);
+
+/// A stable fingerprint of everything downstream training consumes
+/// from \p Samples: method names, labels, projects, and the full
+/// blended traces (statement ids, branch outcomes, every recorded
+/// state and input value). Two corpora with equal fingerprints train
+/// identically; used to verify thread-count and cache invariance.
+uint64_t corpusFingerprint(const std::vector<MethodSample> &Samples);
 
 /// A three-way split.
 struct SplitCorpus {

@@ -46,6 +46,20 @@ ExperimentScale ExperimentScale::fromArgs(int Argc, char **Argv) {
       Scale.CheckpointDir = Arg.substr(std::strlen("--checkpoint-dir="));
       continue;
     }
+    if (startsWith(Arg, "--trace-cache-dir=")) {
+      Scale.TraceCacheDir = Arg.substr(std::strlen("--trace-cache-dir="));
+      continue;
+    }
+    if (startsWith(Arg, "--trace-cache=")) {
+      std::string Mode = Arg.substr(std::strlen("--trace-cache="));
+      if (!parseTraceCacheMode(Mode, Scale.CacheMode)) {
+        std::fprintf(stderr,
+                     "bad --trace-cache mode '%s' (off|inputs|full)\n",
+                     Mode.c_str());
+        std::exit(2);
+      }
+      continue;
+    }
     size_t Tmp;
     if (TakeSize("methods", Scale.MethodsMed)) {
       Scale.MethodsLarge = Scale.MethodsMed * 2;
@@ -81,6 +95,13 @@ ExperimentScale ExperimentScale::fromArgs(int Argc, char **Argv) {
     std::fprintf(stderr, "unknown experiment flag: %s\n", Arg.c_str());
     std::exit(2);
   }
+  // A directory without an explicit mode means "cache as much as
+  // possible": full reuse.
+  if (Scale.CacheMode == TraceCacheMode::Off && !Scale.TraceCacheDir.empty())
+    Scale.CacheMode = TraceCacheMode::Full;
+  if (Scale.CacheMode != TraceCacheMode::Off)
+    Scale.Cache =
+        std::make_shared<TraceCache>(Scale.CacheMode, Scale.TraceCacheDir);
   return Scale;
 }
 
@@ -264,6 +285,8 @@ NameTask liger::buildNameTask(const ExperimentScale &Scale, bool Large) {
   Options.NumMethods = Large ? Scale.MethodsLarge : Scale.MethodsMed;
   Options.TraceGen = Scale.traceGenOptions();
   Options.Seed = Scale.Seed + (Large ? 1000 : 0);
+  Options.Threads = Scale.Threads;
+  Options.Cache = Scale.Cache.get();
 
   NameTask Task;
   Task.Tag = Large ? "large" : "med";
@@ -282,6 +305,8 @@ CosetTask liger::buildCosetTask(const ExperimentScale &Scale) {
   Options.ProgramsPerClass = Scale.CosetPerClass;
   Options.TraceGen = Scale.traceGenOptions();
   Options.Seed = Scale.Seed + 2000;
+  Options.Threads = Scale.Threads;
+  Options.Cache = Scale.Cache.get();
 
   CosetTask Task;
   Task.Tag = "coset";

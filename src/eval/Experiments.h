@@ -26,6 +26,9 @@
 #include "dataset/Corpus.h"
 #include "eval/Training.h"
 #include "models/Liger.h"
+#include "testgen/TraceCache.h"
+
+#include <memory>
 
 namespace liger {
 
@@ -53,6 +56,15 @@ struct ExperimentScale {
   size_t CheckpointEveryEpochs = 1;
   /// Resume every training run from its state checkpoint when present.
   bool Resume = false;
+  /// Trace-cache mode (--trace-cache=off|inputs|full). Giving
+  /// --trace-cache-dir without a mode implies Full.
+  TraceCacheMode CacheMode = TraceCacheMode::Off;
+  /// On-disk trace-cache directory (--trace-cache-dir=PATH; empty =
+  /// memory-only when a mode is set).
+  std::string TraceCacheDir;
+  /// The cache instance built from the two knobs above (shared by all
+  /// corpora of one experiment binary; null when CacheMode is Off).
+  std::shared_ptr<TraceCache> Cache;
 
   /// Parses --key=value overrides (unknown keys are fatal).
   static ExperimentScale fromArgs(int Argc, char **Argv);

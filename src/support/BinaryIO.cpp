@@ -6,6 +6,7 @@
 
 #include "support/BinaryIO.h"
 
+#include <atomic>
 #include <cerrno>
 #include <cstring>
 #include <sys/stat.h>
@@ -84,7 +85,13 @@ bool liger::atomicWriteFile(
     return false;
   };
 
-  std::string TmpPath = Path + ".tmp";
+  // The temp name carries the pid and a process-wide counter so that
+  // concurrent writers of the same target (e.g. two corpus workers
+  // storing the same trace-cache key) never interleave into one temp
+  // file; whichever rename lands last wins, and both files are whole.
+  static std::atomic<uint64_t> TmpCounter{0};
+  std::string TmpPath = Path + ".tmp." + std::to_string(::getpid()) + "." +
+                        std::to_string(TmpCounter.fetch_add(1));
   FILE *F = std::fopen(TmpPath.c_str(), "wb");
   if (!F)
     return Fail("cannot create temp file " + TmpPath);

@@ -1,0 +1,54 @@
+//===-- support/Hash.cpp - Stable content hashing --------------------------===//
+//
+// Part of the LIGER reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Hash.h"
+
+#include <cstring>
+
+using namespace liger;
+
+namespace {
+
+constexpr uint64_t FnvPrime = 0x100000001B3ULL;
+
+/// splitmix64 finalizer: avalanches the raw FNV state so that digests
+/// of short inputs still differ in every bit position.
+uint64_t finish(uint64_t Z) {
+  Z = (Z ^ (Z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  Z = (Z ^ (Z >> 27)) * 0x94D049BB133111EBULL;
+  return Z ^ (Z >> 31);
+}
+
+} // namespace
+
+void StableHash::addBytes(const void *Data, size_t Size) {
+  const auto *Bytes = static_cast<const uint8_t *>(Data);
+  for (size_t I = 0; I < Size; ++I) {
+    A = (A ^ Bytes[I]) * FnvPrime;
+    B = (B ^ Bytes[I]) * FnvPrime;
+  }
+}
+
+void StableHash::addF64(double V) {
+  uint64_t Bits;
+  std::memcpy(&Bits, &V, sizeof(Bits));
+  addU64(Bits);
+}
+
+uint64_t StableHash::digest() const { return finish(A); }
+
+Digest128 StableHash::digest128() const { return {finish(A), finish(B)}; }
+
+std::string Digest128::hex() const {
+  static const char *Digits = "0123456789abcdef";
+  std::string Out(32, '0');
+  uint64_t Words[2] = {Hi, Lo};
+  for (int W = 0; W < 2; ++W)
+    for (int I = 0; I < 16; ++I)
+      Out[W * 16 + I] =
+          Digits[(Words[W] >> (60 - 4 * I)) & 0xF];
+  return Out;
+}

@@ -1,0 +1,82 @@
+//===-- support/Hash.h - Stable content hashing -----------------*- C++ -*-===//
+//
+// Part of the LIGER reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A stable, process-independent content hash used wherever a value
+/// must be addressed or fingerprinted across runs: trace-cache keys,
+/// cache-entry checksums, and corpus fingerprints. std::hash is
+/// explicitly unsuitable (implementation-defined and often randomized
+/// per process); this hash is a fixed function of the fed bytes.
+///
+/// The construction is two independent FNV-1a lanes over the same byte
+/// stream, each finished with a splitmix64 avalanche, yielding a
+/// 128-bit digest. Not cryptographic — it addresses cache entries and
+/// detects corruption, it does not defend against adversaries.
+///
+/// Multi-byte integers are fed in their native little-endian layout
+/// (the only platform we target, same convention as support/BinaryIO).
+/// Variable-length fields are length-prefixed so that ("ab", "c") and
+/// ("a", "bc") hash differently.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIGER_SUPPORT_HASH_H
+#define LIGER_SUPPORT_HASH_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace liger {
+
+/// A 128-bit stable digest (two finished 64-bit lanes).
+struct Digest128 {
+  uint64_t Lo = 0;
+  uint64_t Hi = 0;
+
+  bool operator==(const Digest128 &O) const {
+    return Lo == O.Lo && Hi == O.Hi;
+  }
+  bool operator!=(const Digest128 &O) const { return !(*this == O); }
+
+  /// 32 lowercase hex characters (Hi then Lo), usable as a file name.
+  std::string hex() const;
+};
+
+/// Streaming stable hasher. Feed bytes/values, then read digest() or
+/// digest128(); feeding more afterwards and re-reading is allowed.
+class StableHash {
+public:
+  void addBytes(const void *Data, size_t Size);
+
+  void addU8(uint8_t V) { addBytes(&V, sizeof(V)); }
+  void addU32(uint32_t V) { addBytes(&V, sizeof(V)); }
+  void addU64(uint64_t V) { addBytes(&V, sizeof(V)); }
+  void addI64(int64_t V) { addU64(static_cast<uint64_t>(V)); }
+  void addBool(bool V) { addU8(V ? 1 : 0); }
+  /// Hashes the bit pattern (so -0.0 and 0.0 differ; NaNs are stable).
+  void addF64(double V);
+  /// Length-prefixed, so adjacent strings cannot alias.
+  void addString(const std::string &S) {
+    addU64(S.size());
+    addBytes(S.data(), S.size());
+  }
+
+  /// The finished 64-bit digest (low lane).
+  uint64_t digest() const;
+  /// The finished 128-bit digest.
+  Digest128 digest128() const;
+
+private:
+  // FNV-1a lanes: standard offset basis, and the same basis with the
+  // halves swapped for the second lane.
+  uint64_t A = 0xCBF29CE484222325ULL;
+  uint64_t B = 0x84222325CBF29CE4ULL;
+};
+
+} // namespace liger
+
+#endif // LIGER_SUPPORT_HASH_H

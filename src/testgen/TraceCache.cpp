@@ -1,0 +1,771 @@
+//===-- testgen/TraceCache.cpp - Content-addressed trace cache ------------===//
+//
+// Part of the LIGER reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "testgen/TraceCache.h"
+
+#include "support/BinaryIO.h"
+
+#include <cstdio>
+#include <cstring>
+#include <unordered_map>
+
+using namespace liger;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// LGTR container constants
+//===----------------------------------------------------------------------===//
+
+/// Section tags, spelled as four ASCII bytes (little-endian u32) —
+/// same discipline as the LGCK checkpoint format.
+constexpr uint32_t tagOf(char A, char B, char C, char D) {
+  return static_cast<uint32_t>(static_cast<uint8_t>(A)) |
+         static_cast<uint32_t>(static_cast<uint8_t>(B)) << 8 |
+         static_cast<uint32_t>(static_cast<uint8_t>(C)) << 16 |
+         static_cast<uint32_t>(static_cast<uint8_t>(D)) << 24;
+}
+constexpr uint32_t MagicLGTR = tagOf('L', 'G', 'T', 'R');
+constexpr uint32_t FormatVersion = 1;
+constexpr uint32_t TagStats = tagOf('S', 'T', 'A', 'T');
+constexpr uint32_t TagInputs = tagOf('I', 'N', 'P', 'T');
+constexpr uint32_t TagTraces = tagOf('T', 'R', 'C', 'E');
+
+/// Bump to invalidate every existing key when the hashed field set of
+/// traceCacheKey changes.
+constexpr uint64_t KeySalt = 0x4C47545201ULL; // "LGTR" + key schema 01
+
+/// Sanity bounds: real entries are small, so anything bigger marks
+/// corruption and is rejected before any allocation happens.
+constexpr uint64_t MaxStringLen = 1ULL << 20;
+constexpr uint64_t MaxSections = 16;
+constexpr uint64_t MaxEntryBytes = 1ULL << 30;
+constexpr unsigned MaxValueDepth = 64;
+
+//===----------------------------------------------------------------------===//
+// In-memory byte stream helpers
+//===----------------------------------------------------------------------===//
+// Entries are serialized into a buffer first so the payload checksum
+// can be computed before anything touches the disk, and parsed from a
+// buffer so a checksum mismatch rejects the file before any payload
+// byte is interpreted. Reads are bounded exactly like BinaryReader:
+// a truncated or corrupt buffer can never read past its end or induce
+// an oversized allocation.
+
+void putBytes(std::string &Out, const void *Data, size_t Size) {
+  Out.append(static_cast<const char *>(Data), Size);
+}
+void putU8(std::string &Out, uint8_t V) { putBytes(Out, &V, sizeof(V)); }
+void putU32(std::string &Out, uint32_t V) { putBytes(Out, &V, sizeof(V)); }
+void putU64(std::string &Out, uint64_t V) { putBytes(Out, &V, sizeof(V)); }
+void putI64(std::string &Out, int64_t V) {
+  putU64(Out, static_cast<uint64_t>(V));
+}
+void putString(std::string &Out, const std::string &S) {
+  putU64(Out, S.size());
+  putBytes(Out, S.data(), S.size());
+}
+
+/// Bounded reader over a byte buffer. After the first failure every
+/// later call fails too.
+class BufReader {
+public:
+  BufReader(const char *Data, size_t Size) : Data(Data), Left(Size) {}
+
+  bool readBytes(void *Out, size_t Size) {
+    if (Failed || Size > Left) {
+      Failed = true;
+      return false;
+    }
+    std::memcpy(Out, Data, Size);
+    Data += Size;
+    Left -= Size;
+    return true;
+  }
+  bool readU8(uint8_t &V) { return readBytes(&V, sizeof(V)); }
+  bool readU32(uint32_t &V) { return readBytes(&V, sizeof(V)); }
+  bool readU64(uint64_t &V) { return readBytes(&V, sizeof(V)); }
+  bool readI64(int64_t &V) {
+    uint64_t U = 0;
+    if (!readU64(U))
+      return false;
+    V = static_cast<int64_t>(U);
+    return true;
+  }
+  bool readString(std::string &Out, uint64_t MaxLen) {
+    uint64_t Len = 0;
+    if (!readU64(Len))
+      return false;
+    if (Len > MaxLen || Len > Left) {
+      Failed = true;
+      return false;
+    }
+    Out.assign(Data, static_cast<size_t>(Len));
+    Data += Len;
+    Left -= Len;
+    return true;
+  }
+  bool skip(uint64_t Count) {
+    if (Failed || Count > Left) {
+      Failed = true;
+      return false;
+    }
+    Data += Count;
+    Left -= Count;
+    return true;
+  }
+  /// A stored element count can never exceed the remaining bytes (every
+  /// element costs at least one byte), so this check rejects corrupt
+  /// counts before any reserve/resize.
+  bool plausibleCount(uint64_t Count) const { return Count <= Left; }
+
+  uint64_t remaining() const { return Left; }
+  bool ok() const { return !Failed; }
+
+private:
+  const char *Data;
+  uint64_t Left;
+  bool Failed = false;
+};
+
+//===----------------------------------------------------------------------===//
+// Portable value serialization
+//===----------------------------------------------------------------------===//
+
+void putValue(std::string &Out, const PortableValue &V) {
+  putU8(Out, static_cast<uint8_t>(V.Kind));
+  switch (V.Kind) {
+  case ValueKind::Undef:
+    break;
+  case ValueKind::Int:
+    putI64(Out, V.Int);
+    break;
+  case ValueKind::Bool:
+    putU8(Out, V.Bool ? 1 : 0);
+    break;
+  case ValueKind::String:
+    putString(Out, V.Str);
+    break;
+  case ValueKind::Struct:
+    putString(Out, V.Str); // struct type name
+    [[fallthrough]];
+  case ValueKind::Array:
+    putU64(Out, V.Elements.size());
+    for (const PortableValue &E : V.Elements)
+      putValue(Out, E);
+    break;
+  }
+}
+
+bool readValue(BufReader &R, PortableValue &Out, unsigned Depth) {
+  if (Depth > MaxValueDepth)
+    return false;
+  uint8_t Kind = 0;
+  if (!R.readU8(Kind) || Kind > static_cast<uint8_t>(ValueKind::Struct))
+    return false;
+  Out.Kind = static_cast<ValueKind>(Kind);
+  Out.Elements.clear();
+  switch (Out.Kind) {
+  case ValueKind::Undef:
+    return true;
+  case ValueKind::Int:
+    return R.readI64(Out.Int);
+  case ValueKind::Bool: {
+    uint8_t B = 0;
+    if (!R.readU8(B))
+      return false;
+    Out.Bool = B != 0;
+    return true;
+  }
+  case ValueKind::String:
+    return R.readString(Out.Str, MaxStringLen);
+  case ValueKind::Struct:
+    if (!R.readString(Out.Str, MaxStringLen))
+      return false;
+    [[fallthrough]];
+  case ValueKind::Array: {
+    uint64_t Count = 0;
+    if (!R.readU64(Count) || !R.plausibleCount(Count))
+      return false;
+    Out.Elements.resize(static_cast<size_t>(Count));
+    for (PortableValue &E : Out.Elements)
+      if (!readValue(R, E, Depth + 1))
+        return false;
+    return true;
+  }
+  }
+  return false;
+}
+
+void putValueList(std::string &Out, const std::vector<PortableValue> &Vs) {
+  putU64(Out, Vs.size());
+  for (const PortableValue &V : Vs)
+    putValue(Out, V);
+}
+
+bool readValueList(BufReader &R, std::vector<PortableValue> &Out) {
+  uint64_t Count = 0;
+  if (!R.readU64(Count) || !R.plausibleCount(Count))
+    return false;
+  Out.resize(static_cast<size_t>(Count));
+  for (PortableValue &V : Out)
+    if (!readValue(R, V, 0))
+      return false;
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Section payloads
+//===----------------------------------------------------------------------===//
+
+std::string statsSection(const CachedTraceEntry &E) {
+  std::string Out;
+  putU32(Out, E.Attempts);
+  putU32(Out, E.OkRuns);
+  putU32(Out, E.Faults);
+  putU32(Out, E.Timeouts);
+  putU32(Out, E.SymbolicSeeds);
+  return Out;
+}
+
+bool readStatsSection(BufReader &R, CachedTraceEntry &E) {
+  return R.readU32(E.Attempts) && R.readU32(E.OkRuns) &&
+         R.readU32(E.Faults) && R.readU32(E.Timeouts) &&
+         R.readU32(E.SymbolicSeeds);
+}
+
+std::string inputsSection(const CachedTraceEntry &E) {
+  std::string Out;
+  putU64(Out, E.AcceptedInputs.size());
+  for (const std::vector<PortableValue> &In : E.AcceptedInputs)
+    putValueList(Out, In);
+  return Out;
+}
+
+bool readInputsSection(BufReader &R, CachedTraceEntry &E) {
+  uint64_t Count = 0;
+  if (!R.readU64(Count) || !R.plausibleCount(Count))
+    return false;
+  E.AcceptedInputs.resize(static_cast<size_t>(Count));
+  for (std::vector<PortableValue> &In : E.AcceptedInputs)
+    if (!readValueList(R, In))
+      return false;
+  return true;
+}
+
+std::string tracesSection(const PortableMethodTraces &T) {
+  std::string Out;
+  putU64(Out, T.VarNames.size());
+  for (const std::string &Name : T.VarNames)
+    putString(Out, Name);
+  putU64(Out, T.Paths.size());
+  for (const PortableBlendedTrace &Path : T.Paths) {
+    putU64(Out, Path.Steps.size());
+    for (const PortableStep &Step : Path.Steps) {
+      putU32(Out, Step.StmtId);
+      putU8(Out, static_cast<uint8_t>(Step.Kind));
+    }
+    putU64(Out, Path.Concrete.size());
+    for (const PortableStateTrace &ST : Path.Concrete) {
+      putValueList(Out, ST.Initial);
+      putU64(Out, ST.States.size());
+      for (const std::vector<PortableValue> &State : ST.States)
+        putValueList(Out, State);
+    }
+    putU64(Out, Path.Inputs.size());
+    for (const std::vector<PortableValue> &In : Path.Inputs)
+      putValueList(Out, In);
+  }
+  return Out;
+}
+
+bool readTracesSection(BufReader &R, PortableMethodTraces &T) {
+  uint64_t Count = 0;
+  if (!R.readU64(Count) || !R.plausibleCount(Count))
+    return false;
+  T.VarNames.resize(static_cast<size_t>(Count));
+  for (std::string &Name : T.VarNames)
+    if (!R.readString(Name, MaxStringLen))
+      return false;
+  if (!R.readU64(Count) || !R.plausibleCount(Count))
+    return false;
+  T.Paths.resize(static_cast<size_t>(Count));
+  for (PortableBlendedTrace &Path : T.Paths) {
+    if (!R.readU64(Count) || !R.plausibleCount(Count))
+      return false;
+    Path.Steps.resize(static_cast<size_t>(Count));
+    for (PortableStep &Step : Path.Steps) {
+      uint8_t Kind = 0;
+      if (!R.readU32(Step.StmtId) || !R.readU8(Kind) ||
+          Kind > static_cast<uint8_t>(StepKind::CondFalse))
+        return false;
+      Step.Kind = static_cast<StepKind>(Kind);
+    }
+    if (!R.readU64(Count) || !R.plausibleCount(Count))
+      return false;
+    Path.Concrete.resize(static_cast<size_t>(Count));
+    for (PortableStateTrace &ST : Path.Concrete) {
+      if (!readValueList(R, ST.Initial))
+        return false;
+      if (!R.readU64(Count) || !R.plausibleCount(Count))
+        return false;
+      ST.States.resize(static_cast<size_t>(Count));
+      for (std::vector<PortableValue> &State : ST.States)
+        if (!readValueList(R, State))
+          return false;
+    }
+    if (!R.readU64(Count) || !R.plausibleCount(Count))
+      return false;
+    Path.Inputs.resize(static_cast<size_t>(Count));
+    for (std::vector<PortableValue> &In : Path.Inputs)
+      if (!readValueList(R, In))
+        return false;
+  }
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Statement re-binding
+//===----------------------------------------------------------------------===//
+
+void collectStmtIds(const Stmt *S,
+                    std::unordered_map<uint32_t, const Stmt *> &Map) {
+  if (!S)
+    return;
+  Map.emplace(S->id(), S);
+  switch (S->kind()) {
+  case StmtKind::Block:
+    for (const Stmt *Child : cast<BlockStmt>(S)->body())
+      collectStmtIds(Child, Map);
+    break;
+  case StmtKind::If: {
+    const auto *If = cast<IfStmt>(S);
+    collectStmtIds(If->thenStmt(), Map);
+    collectStmtIds(If->elseStmt(), Map);
+    break;
+  }
+  case StmtKind::While:
+    collectStmtIds(cast<WhileStmt>(S)->body(), Map);
+    break;
+  case StmtKind::For: {
+    const auto *For = cast<ForStmt>(S);
+    collectStmtIds(For->init(), Map);
+    collectStmtIds(For->step(), Map);
+    collectStmtIds(For->body(), Map);
+    break;
+  }
+  default:
+    break;
+  }
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Mode parsing and key computation
+//===----------------------------------------------------------------------===//
+
+bool liger::parseTraceCacheMode(const std::string &Text,
+                                TraceCacheMode &Out) {
+  if (Text == "off")
+    Out = TraceCacheMode::Off;
+  else if (Text == "inputs")
+    Out = TraceCacheMode::Inputs;
+  else if (Text == "full")
+    Out = TraceCacheMode::Full;
+  else
+    return false;
+  return true;
+}
+
+TraceCacheKey liger::traceCacheKey(const std::string &SourceText,
+                                   const std::string &MethodName,
+                                   const TestGenOptions &Options) {
+  StableHash H;
+  H.addU64(KeySalt);
+  H.addString(SourceText);
+  H.addString(MethodName);
+  // Input domain.
+  H.addI64(Options.Input.IntLo);
+  H.addI64(Options.Input.IntHi);
+  H.addU64(Options.Input.ArrayLenChoices.size());
+  for (size_t Len : Options.Input.ArrayLenChoices)
+    H.addU64(Len);
+  H.addU64(Options.Input.StringPool.size());
+  for (const std::string &S : Options.Input.StringPool)
+    H.addString(S);
+  H.addF64(Options.Input.InterestingProb);
+  // Interpreter budgets. RecordStates is deliberately excluded: the
+  // pipeline overrides it per phase, so it never affects the output.
+  H.addU64(Options.Interp.Fuel);
+  H.addU64(Options.Interp.MaxRecordedSteps);
+  // Pipeline budgets and seed.
+  H.addU32(Options.TargetPaths);
+  H.addU32(Options.ExecutionsPerPath);
+  H.addU32(Options.MaxAttempts);
+  H.addU32(Options.MutationAttemptsPerPath);
+  H.addBool(Options.UseSymbolicSeeding);
+  H.addU64(Options.Seed);
+  return H.digest128();
+}
+
+//===----------------------------------------------------------------------===//
+// Portable value conversion
+//===----------------------------------------------------------------------===//
+
+PortableValue liger::toPortable(const Value &V) {
+  PortableValue Out;
+  Out.Kind = V.kind();
+  switch (V.kind()) {
+  case ValueKind::Undef:
+    break;
+  case ValueKind::Int:
+    Out.Int = V.asInt();
+    break;
+  case ValueKind::Bool:
+    Out.Bool = V.asBool();
+    break;
+  case ValueKind::String:
+    Out.Str = V.asString();
+    break;
+  case ValueKind::Struct:
+    Out.Str = V.structDecl()->Name;
+    [[fallthrough]];
+  case ValueKind::Array:
+    Out.Elements.reserve(V.elements().size());
+    for (const Value &E : V.elements())
+      Out.Elements.push_back(toPortable(E));
+    break;
+  }
+  return Out;
+}
+
+bool liger::fromPortable(const PortableValue &PV, const Program &P,
+                         Value &Out) {
+  switch (PV.Kind) {
+  case ValueKind::Undef:
+    Out = Value::undef();
+    return true;
+  case ValueKind::Int:
+    Out = Value::makeInt(PV.Int);
+    return true;
+  case ValueKind::Bool:
+    Out = Value::makeBool(PV.Bool);
+    return true;
+  case ValueKind::String:
+    Out = Value::makeString(PV.Str);
+    return true;
+  case ValueKind::Array: {
+    std::vector<Value> Elements;
+    Elements.reserve(PV.Elements.size());
+    for (const PortableValue &E : PV.Elements) {
+      Value V;
+      if (!fromPortable(E, P, V))
+        return false;
+      Elements.push_back(std::move(V));
+    }
+    Out = Value::makeArray(std::move(Elements));
+    return true;
+  }
+  case ValueKind::Struct: {
+    const StructDecl *Decl = P.findStruct(PV.Str);
+    if (!Decl || Decl->Fields.size() != PV.Elements.size())
+      return false;
+    std::vector<Value> Fields;
+    Fields.reserve(PV.Elements.size());
+    for (const PortableValue &E : PV.Elements) {
+      Value V;
+      if (!fromPortable(E, P, V))
+        return false;
+      Fields.push_back(std::move(V));
+    }
+    Out = Value::makeStruct(Decl, std::move(Fields));
+    return true;
+  }
+  }
+  return false;
+}
+
+//===----------------------------------------------------------------------===//
+// Portable trace conversion
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+std::vector<PortableValue> toPortableList(const std::vector<Value> &Vs) {
+  std::vector<PortableValue> Out;
+  Out.reserve(Vs.size());
+  for (const Value &V : Vs)
+    Out.push_back(toPortable(V));
+  return Out;
+}
+
+bool fromPortableList(const std::vector<PortableValue> &PVs,
+                      const Program &P, std::vector<Value> &Out) {
+  Out.clear();
+  Out.reserve(PVs.size());
+  for (const PortableValue &PV : PVs) {
+    Value V;
+    if (!fromPortable(PV, P, V))
+      return false;
+    Out.push_back(std::move(V));
+  }
+  return true;
+}
+
+} // namespace
+
+PortableMethodTraces liger::toPortable(const MethodTraces &Traces) {
+  PortableMethodTraces Out;
+  Out.VarNames = Traces.VarNames;
+  Out.Paths.reserve(Traces.Paths.size());
+  for (const BlendedTrace &Path : Traces.Paths) {
+    PortableBlendedTrace PPath;
+    PPath.Steps.reserve(Path.Symbolic.Steps.size());
+    for (const SymbolicStep &Step : Path.Symbolic.Steps)
+      PPath.Steps.push_back({Step.Statement->id(), Step.Kind});
+    PPath.Concrete.reserve(Path.Concrete.size());
+    for (const StateTrace &ST : Path.Concrete) {
+      PortableStateTrace PST;
+      PST.Initial = toPortableList(ST.Initial.Values);
+      PST.States.reserve(ST.States.size());
+      for (const ProgramState &State : ST.States)
+        PST.States.push_back(toPortableList(State.Values));
+      PPath.Concrete.push_back(std::move(PST));
+    }
+    PPath.Inputs.reserve(Path.Inputs.size());
+    for (const std::vector<Value> &In : Path.Inputs)
+      PPath.Inputs.push_back(toPortableList(In));
+    Out.Paths.push_back(std::move(PPath));
+  }
+  return Out;
+}
+
+bool liger::materializeTraces(const PortableMethodTraces &PT,
+                              const Program &P, const FunctionDecl &Fn,
+                              MethodTraces &Out) {
+  // Statements can come from any function in the program (the
+  // interpreter records across calls), so index them all.
+  std::unordered_map<uint32_t, const Stmt *> StmtById;
+  for (const FunctionDecl &F : P.Functions)
+    collectStmtIds(F.Body, StmtById);
+
+  Out = MethodTraces();
+  Out.Fn = &Fn;
+  Out.VarNames = PT.VarNames;
+  Out.Paths.reserve(PT.Paths.size());
+  for (const PortableBlendedTrace &PPath : PT.Paths) {
+    BlendedTrace Path;
+    Path.Symbolic.Steps.reserve(PPath.Steps.size());
+    for (const PortableStep &Step : PPath.Steps) {
+      auto It = StmtById.find(Step.StmtId);
+      if (It == StmtById.end())
+        return false;
+      Path.Symbolic.Steps.push_back({It->second, Step.Kind});
+    }
+    Path.Concrete.reserve(PPath.Concrete.size());
+    for (const PortableStateTrace &PST : PPath.Concrete) {
+      StateTrace ST;
+      if (!fromPortableList(PST.Initial, P, ST.Initial.Values))
+        return false;
+      ST.States.reserve(PST.States.size());
+      for (const std::vector<PortableValue> &State : PST.States) {
+        ProgramState PS;
+        if (!fromPortableList(State, P, PS.Values))
+          return false;
+        ST.States.push_back(std::move(PS));
+      }
+      Path.Concrete.push_back(std::move(ST));
+    }
+    Path.Inputs.reserve(PPath.Inputs.size());
+    for (const std::vector<PortableValue> &In : PPath.Inputs) {
+      std::vector<Value> Values;
+      if (!fromPortableList(In, P, Values))
+        return false;
+      Path.Inputs.push_back(std::move(Values));
+    }
+    Out.Paths.push_back(std::move(Path));
+  }
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Container serialization
+//===----------------------------------------------------------------------===//
+
+std::string liger::serializeCacheEntry(const TraceCacheKey &Key,
+                                       const CachedTraceEntry &Entry) {
+  // Payload: section count, then tag/size/bytes per section.
+  std::string Payload;
+  std::vector<std::pair<uint32_t, std::string>> Sections;
+  Sections.emplace_back(TagStats, statsSection(Entry));
+  Sections.emplace_back(TagInputs, inputsSection(Entry));
+  if (Entry.HasTraces)
+    Sections.emplace_back(TagTraces, tracesSection(Entry.Traces));
+  putU32(Payload, static_cast<uint32_t>(Sections.size()));
+  for (const auto &[Tag, Bytes] : Sections) {
+    putU32(Payload, Tag);
+    putU64(Payload, Bytes.size());
+    Payload += Bytes;
+  }
+
+  StableHash Checksum;
+  Checksum.addBytes(Payload.data(), Payload.size());
+  Digest128 Sum = Checksum.digest128();
+
+  std::string Out;
+  putU32(Out, MagicLGTR);
+  putU32(Out, FormatVersion);
+  putU64(Out, Key.Hi);
+  putU64(Out, Key.Lo);
+  putU64(Out, Payload.size());
+  putU64(Out, Sum.Hi);
+  putU64(Out, Sum.Lo);
+  Out += Payload;
+  return Out;
+}
+
+bool liger::deserializeCacheEntry(const std::string &Bytes,
+                                  const TraceCacheKey &Key,
+                                  CachedTraceEntry &Out) {
+  BufReader Header(Bytes.data(), Bytes.size());
+  uint32_t Magic = 0, Version = 0;
+  uint64_t KeyHi = 0, KeyLo = 0, PayloadSize = 0, SumHi = 0, SumLo = 0;
+  if (!Header.readU32(Magic) || Magic != MagicLGTR)
+    return false;
+  if (!Header.readU32(Version) || Version != FormatVersion)
+    return false;
+  if (!Header.readU64(KeyHi) || !Header.readU64(KeyLo) ||
+      KeyHi != Key.Hi || KeyLo != Key.Lo)
+    return false;
+  if (!Header.readU64(PayloadSize) || !Header.readU64(SumHi) ||
+      !Header.readU64(SumLo) || PayloadSize != Header.remaining())
+    return false;
+
+  const char *Payload = Bytes.data() + (Bytes.size() - PayloadSize);
+  StableHash Checksum;
+  Checksum.addBytes(Payload, static_cast<size_t>(PayloadSize));
+  Digest128 Sum = Checksum.digest128();
+  if (Sum.Hi != SumHi || Sum.Lo != SumLo)
+    return false;
+
+  BufReader R(Payload, static_cast<size_t>(PayloadSize));
+  uint32_t NumSections = 0;
+  if (!R.readU32(NumSections) || NumSections > MaxSections)
+    return false;
+  Out = CachedTraceEntry();
+  bool SawStats = false, SawInputs = false;
+  for (uint32_t I = 0; I < NumSections; ++I) {
+    uint32_t Tag = 0;
+    uint64_t Size = 0;
+    if (!R.readU32(Tag) || !R.readU64(Size) || Size > R.remaining())
+      return false;
+    uint64_t Before = R.remaining();
+    if (Tag == TagStats) {
+      if (!readStatsSection(R, Out))
+        return false;
+      SawStats = true;
+    } else if (Tag == TagInputs) {
+      if (!readInputsSection(R, Out))
+        return false;
+      SawInputs = true;
+    } else if (Tag == TagTraces) {
+      if (!readTracesSection(R, Out.Traces))
+        return false;
+      Out.HasTraces = true;
+    } else {
+      // Unknown section from a future writer at the same version is
+      // still corruption here (the version gates format changes), but
+      // skipping keeps the reader total either way.
+      if (!R.skip(Size))
+        return false;
+    }
+    // A section must consume exactly the bytes it declared.
+    if (Before - R.remaining() != Size)
+      return false;
+  }
+  return R.ok() && R.remaining() == 0 && SawStats && SawInputs;
+}
+
+//===----------------------------------------------------------------------===//
+// TraceCache
+//===----------------------------------------------------------------------===//
+
+TraceCache::TraceCache(TraceCacheMode Mode, std::string Dir)
+    : Mode(Mode), Dir(std::move(Dir)) {}
+
+std::string TraceCache::entryFileName(const TraceCacheKey &Key) {
+  return Key.hex() + ".lgtr";
+}
+
+std::string TraceCache::entryPath(const TraceCacheKey &Key) const {
+  if (Dir.empty())
+    return "";
+  return Dir + "/" + entryFileName(Key);
+}
+
+namespace {
+
+/// Reads a whole regular file into \p Out (bounded). Returns false on
+/// any I/O error or oversized file.
+bool slurpEntryFile(const std::string &Path, std::string &Out) {
+  uint64_t Size = fileSize(Path);
+  if (Size == UINT64_MAX || Size > MaxEntryBytes)
+    return false;
+  FILE *F = std::fopen(Path.c_str(), "rb");
+  if (!F)
+    return false;
+  Out.assign(static_cast<size_t>(Size), '\0');
+  bool Ok = Size == 0 ||
+            std::fread(Out.data(), 1, static_cast<size_t>(Size), F) == Size;
+  std::fclose(F);
+  return Ok;
+}
+
+} // namespace
+
+bool TraceCache::lookup(const TraceCacheKey &Key, CachedTraceEntry &Out) {
+  std::string Hex = Key.hex();
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    auto It = Memory.find(Hex);
+    if (It != Memory.end()) {
+      Out = It->second;
+      Hits.fetch_add(1);
+      return true;
+    }
+  }
+  if (!Dir.empty()) {
+    std::string Path = entryPath(Key);
+    std::string Bytes;
+    if (fileExists(Path)) {
+      if (slurpEntryFile(Path, Bytes) &&
+          deserializeCacheEntry(Bytes, Key, Out)) {
+        std::lock_guard<std::mutex> Lock(Mutex);
+        Memory.emplace(std::move(Hex), Out);
+        Hits.fetch_add(1);
+        return true;
+      }
+      BadEntries.fetch_add(1);
+    }
+  }
+  Misses.fetch_add(1);
+  return false;
+}
+
+void TraceCache::store(const TraceCacheKey &Key, CachedTraceEntry Entry) {
+  if (!Dir.empty() && ensureDirExists(Dir)) {
+    std::string Bytes = serializeCacheEntry(Key, Entry);
+    // Failures are non-fatal: the entry still serves from memory, and
+    // the next cold run will simply re-store it.
+    atomicWriteFile(entryPath(Key), [&](BinaryWriter &W) {
+      W.writeBytes(Bytes.data(), Bytes.size());
+    });
+  }
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Memory[Key.hex()] = std::move(Entry);
+  Stores.fetch_add(1);
+}

@@ -6,7 +6,9 @@
 
 #include "testgen/TraceCollector.h"
 
+#include "support/Stopwatch.h"
 #include "symx/SymExec.h"
+#include "testgen/TraceCache.h"
 
 #include <map>
 
@@ -14,9 +16,21 @@ using namespace liger;
 
 namespace {
 
-/// Inputs selected per path, in path-discovery order.
+/// Inputs selected per path, in path-discovery order. Runs accepted
+/// during the recording phases (symbolic seeding, mutation) already
+/// carry their state-recorded ExecResult, so phase 4 reuses them
+/// instead of executing the same inputs a second time; Recorded and
+/// HasRecorded are parallel to Inputs.
 struct PathBucket {
   std::vector<std::vector<Value>> Inputs;
+  std::vector<ExecResult> Recorded;
+  std::vector<char> HasRecorded;
+
+  void accept(const std::vector<Value> &In, ExecResult Run, bool Record) {
+    Inputs.push_back(In);
+    HasRecorded.push_back(Record ? 1 : 0);
+    Recorded.push_back(Record ? std::move(Run) : ExecResult());
+  }
 };
 
 /// Execution mutates reference-typed arguments in place (arrays are
@@ -30,45 +44,63 @@ std::vector<Value> deepCopyInputs(const std::vector<Value> &Inputs) {
   return Copy;
 }
 
-} // namespace
-
-MethodTraces liger::collectTraces(const Program &P, const FunctionDecl &Fn,
-                                  const TestGenOptions &Options,
-                                  CollectStats *Stats) {
+/// The four-phase discovery pipeline. Fills \p LocalStats (discovery
+/// counters plus per-phase timings) and, when \p AcceptedOut is
+/// non-null, the accepted inputs flattened in phase-4 order — exactly
+/// what a cache entry needs to replay this invocation.
+///
+/// Output is a pure function of (P, Fn, Options): the interpreter and
+/// both input generators are deterministic, and state recording never
+/// influences path keys or control flow (the recorded-step cap applies
+/// identically with recording on or off), so accepting a run straight
+/// from a recording execution is bitwise-equivalent to probing first
+/// and re-executing later.
+MethodTraces runPipeline(const Program &P, const FunctionDecl &Fn,
+                         const TestGenOptions &Options,
+                         CollectStats &LocalStats,
+                         std::vector<std::vector<Value>> *AcceptedOut) {
   Rng R(Options.Seed);
-  CollectStats LocalStats;
+  Stopwatch Phase;
 
   InterpOptions ProbeOptions = Options.Interp;
-  ProbeOptions.RecordStates = false; // discovery runs skip snapshots
+  ProbeOptions.RecordStates = false; // discovery probes skip snapshots
+  InterpOptions FullOptions = Options.Interp;
+  FullOptions.RecordStates = true;
 
   std::map<std::string, size_t> PathIndex;
   std::vector<PathBucket> Buckets;
 
-  auto TryInput = [&](const std::vector<Value> &Inputs) -> bool {
+  // Executes one candidate input and accepts it if it discovers a new
+  // path or fills an unsaturated one. With \p Record set the execution
+  // snapshots states and, on acceptance, is kept for phase 4 — used by
+  // the phases whose acceptance rate is high enough that recording
+  // up front is cheaper than re-executing later.
+  auto TryInput = [&](const std::vector<Value> &Inputs, bool Record) -> bool {
     ++LocalStats.Attempts;
-    ExecResult Probe = execute(P, Fn, deepCopyInputs(Inputs), ProbeOptions);
-    if (Probe.Status == ExecStatus::OutOfFuel) {
+    ExecResult Run = execute(P, Fn, deepCopyInputs(Inputs),
+                             Record ? FullOptions : ProbeOptions);
+    if (Run.Status == ExecStatus::OutOfFuel) {
       ++LocalStats.Timeouts;
       return false;
     }
-    if (Probe.Status == ExecStatus::RuntimeError) {
+    if (Run.Status == ExecStatus::RuntimeError) {
       ++LocalStats.Faults;
       return false;
     }
     ++LocalStats.OkRuns;
-    std::string Key = pathKeyOf(Probe);
+    std::string Key = pathKeyOf(Run);
     auto It = PathIndex.find(Key);
     if (It == PathIndex.end()) {
       if (Buckets.size() >= Options.TargetPaths)
         return false; // enough paths; ignore further novelty
       PathIndex.emplace(std::move(Key), Buckets.size());
       Buckets.emplace_back();
-      Buckets.back().Inputs.push_back(Inputs);
+      Buckets.back().accept(Inputs, std::move(Run), Record);
       return true;
     }
     PathBucket &Bucket = Buckets[It->second];
     if (Bucket.Inputs.size() < Options.ExecutionsPerPath) {
-      Bucket.Inputs.push_back(Inputs);
+      Bucket.accept(Inputs, std::move(Run), Record);
       return true;
     }
     return false;
@@ -77,6 +109,8 @@ MethodTraces liger::collectTraces(const Program &P, const FunctionDecl &Fn,
   // Phase 1: random exploration. Methods that look non-terminating
   // (every early probe exhausts its fuel) are abandoned quickly — the
   // Table 1 "takes too long" filter should not itself take long.
+  // Probes stay recording-free: most random inputs are rejected, so
+  // snapshotting them up front would be wasted work.
   for (unsigned Attempt = 0; Attempt < Options.MaxAttempts; ++Attempt) {
     if (LocalStats.Timeouts >= 8 &&
         LocalStats.Timeouts == LocalStats.Attempts)
@@ -92,10 +126,14 @@ MethodTraces liger::collectTraces(const Program &P, const FunctionDecl &Fn,
       if (AllFull)
         break;
     }
-    TryInput(randomInputs(Fn, P, R, Options.Input));
+    TryInput(randomInputs(Fn, P, R, Options.Input), /*Record=*/false);
   }
+  LocalStats.ExploreSeconds = Phase.seconds();
 
-  // Phase 2: symbolic seeding of paths random testing missed.
+  // Phase 2: symbolic seeding of paths random testing missed. Witness
+  // inputs target an undiscovered path, so acceptance is near-certain:
+  // record immediately and spare phase 4 the re-execution.
+  Phase.reset();
   if (Options.UseSymbolicSeeding &&
       Buckets.size() < Options.TargetPaths) {
     SymxOptions Symx;
@@ -106,34 +144,170 @@ MethodTraces liger::collectTraces(const Program &P, const FunctionDecl &Fn,
         break;
       if (PathIndex.count(Path.Trace.pathKey()))
         continue;
-      if (TryInput(Path.WitnessInputs))
+      if (TryInput(Path.WitnessInputs, /*Record=*/true))
         ++LocalStats.SymbolicSeeds;
     }
   }
+  LocalStats.SymbolicSeconds = Phase.seconds();
 
   // Phase 3: mutate per-path representatives to fill concrete slots.
+  // Mutants mostly stay on their seed's path, so record these too.
+  Phase.reset();
   for (size_t Index = 0; Index < Buckets.size(); ++Index) {
     unsigned Budget = Options.MutationAttemptsPerPath;
     while (Buckets[Index].Inputs.size() < Options.ExecutionsPerPath &&
            Budget-- > 0) {
       const std::vector<Value> &Seed =
           Buckets[Index].Inputs[R.nextBelow(Buckets[Index].Inputs.size())];
-      TryInput(mutateInputs(Seed, R, Options.Input));
+      TryInput(mutateInputs(Seed, R, Options.Input), /*Record=*/true);
     }
   }
+  LocalStats.MutateSeconds = Phase.seconds();
 
-  // Phase 4: re-execute every selected input with state recording.
+  // Phase 4: assemble every selected input's state-recorded execution,
+  // running the interpreter only for inputs accepted without recording
+  // (phase-1 discoveries).
+  Phase.reset();
+  size_t TotalAccepted = 0;
+  for (const PathBucket &Bucket : Buckets)
+    TotalAccepted += Bucket.Inputs.size();
   std::vector<ExecResult> Results;
   std::vector<std::vector<Value>> AllInputs;
-  InterpOptions FullOptions = Options.Interp;
-  FullOptions.RecordStates = true;
-  for (const PathBucket &Bucket : Buckets)
-    for (const std::vector<Value> &Inputs : Bucket.Inputs) {
-      Results.push_back(execute(P, Fn, deepCopyInputs(Inputs), FullOptions));
-      AllInputs.push_back(Inputs);
+  Results.reserve(TotalAccepted);
+  AllInputs.reserve(TotalAccepted);
+  if (AcceptedOut) {
+    AcceptedOut->clear();
+    AcceptedOut->reserve(TotalAccepted);
+  }
+  for (PathBucket &Bucket : Buckets)
+    for (size_t I = 0; I < Bucket.Inputs.size(); ++I) {
+      if (Bucket.HasRecorded[I])
+        Results.push_back(std::move(Bucket.Recorded[I]));
+      else
+        Results.push_back(
+            execute(P, Fn, deepCopyInputs(Bucket.Inputs[I]), FullOptions));
+      AllInputs.push_back(Bucket.Inputs[I]);
+      if (AcceptedOut)
+        AcceptedOut->push_back(Bucket.Inputs[I]);
     }
+  MethodTraces Out = groupByPath(Fn, Results, AllInputs);
+  LocalStats.RecordSeconds = Phase.seconds();
+  return Out;
+}
+
+/// Reproduces a pipeline invocation from a cache entry. Restores the
+/// discovery counters (so corpus filter decisions match the cold run),
+/// then either re-binds the cached traces (full entries) or replays the
+/// cached accepted inputs through the recording interpreter. Returns
+/// false — with \p Out untouched — when the entry cannot be applied to
+/// this program; callers fall back to the full pipeline.
+bool replayEntry(const Program &P, const FunctionDecl &Fn,
+                 const TestGenOptions &Options, const CachedTraceEntry &Entry,
+                 TraceCacheMode Mode, CollectStats &LocalStats,
+                 MethodTraces &Out) {
+  Stopwatch Replay;
+  if (Mode == TraceCacheMode::Full && Entry.HasTraces) {
+    if (!materializeTraces(Entry.Traces, P, Fn, Out))
+      return false;
+  } else {
+    InterpOptions FullOptions = Options.Interp;
+    FullOptions.RecordStates = true;
+    std::vector<ExecResult> Results;
+    std::vector<std::vector<Value>> AllInputs;
+    Results.reserve(Entry.AcceptedInputs.size());
+    AllInputs.reserve(Entry.AcceptedInputs.size());
+    for (const std::vector<PortableValue> &PIn : Entry.AcceptedInputs) {
+      std::vector<Value> Inputs;
+      Inputs.reserve(PIn.size());
+      for (const PortableValue &PV : PIn) {
+        Value V;
+        if (!fromPortable(PV, P, V))
+          return false;
+        Inputs.push_back(std::move(V));
+      }
+      // Arity is implied by the key (the signature is part of the
+      // hashed source); still guard so a colliding or hand-edited
+      // entry degrades to a miss instead of tripping interpreter
+      // invariants.
+      if (Inputs.size() != Fn.Params.size())
+        return false;
+      Results.push_back(execute(P, Fn, deepCopyInputs(Inputs), FullOptions));
+      AllInputs.push_back(std::move(Inputs));
+    }
+    Out = groupByPath(Fn, Results, AllInputs);
+  }
+  LocalStats.Attempts = Entry.Attempts;
+  LocalStats.OkRuns = Entry.OkRuns;
+  LocalStats.Faults = Entry.Faults;
+  LocalStats.Timeouts = Entry.Timeouts;
+  LocalStats.SymbolicSeeds = Entry.SymbolicSeeds;
+  LocalStats.ReplaySeconds = Replay.seconds();
+  return true;
+}
+
+} // namespace
+
+MethodTraces liger::collectTraces(const Program &P, const FunctionDecl &Fn,
+                                  const TestGenOptions &Options,
+                                  CollectStats *Stats) {
+  CollectStats LocalStats;
+  LocalStats.CacheBypasses = 1;
+  MethodTraces Out = runPipeline(P, Fn, Options, LocalStats, nullptr);
+  if (Stats)
+    *Stats = LocalStats;
+  return Out;
+}
+
+MethodTraces liger::collectTracesCached(const Program &P,
+                                        const FunctionDecl &Fn,
+                                        const std::string &SourceText,
+                                        const TestGenOptions &Options,
+                                        TraceCache *Cache,
+                                        CollectStats *Stats) {
+  if (!Cache || Cache->mode() == TraceCacheMode::Off)
+    return collectTraces(P, Fn, Options, Stats);
+
+  CollectStats LocalStats;
+  TraceCacheKey Key = traceCacheKey(SourceText, Fn.Name, Options);
+  CachedTraceEntry Entry;
+  if (Cache->lookup(Key, Entry)) {
+    MethodTraces Out;
+    if (replayEntry(P, Fn, Options, Entry, Cache->mode(), LocalStats, Out)) {
+      LocalStats.CacheHits = 1;
+      if (Stats)
+        *Stats = LocalStats;
+      return Out;
+    }
+    // Unapplicable entry (e.g. hashed-field-set change without a salt
+    // bump during development): recompute from scratch.
+    LocalStats = CollectStats();
+  }
+
+  LocalStats.CacheMisses = 1;
+  std::vector<std::vector<Value>> Accepted;
+  MethodTraces Out = runPipeline(P, Fn, Options, LocalStats, &Accepted);
+
+  CachedTraceEntry NewEntry;
+  NewEntry.Attempts = LocalStats.Attempts;
+  NewEntry.OkRuns = LocalStats.OkRuns;
+  NewEntry.Faults = LocalStats.Faults;
+  NewEntry.Timeouts = LocalStats.Timeouts;
+  NewEntry.SymbolicSeeds = LocalStats.SymbolicSeeds;
+  NewEntry.AcceptedInputs.reserve(Accepted.size());
+  for (const std::vector<Value> &Inputs : Accepted) {
+    std::vector<PortableValue> PIn;
+    PIn.reserve(Inputs.size());
+    for (const Value &V : Inputs)
+      PIn.push_back(toPortable(V));
+    NewEntry.AcceptedInputs.push_back(std::move(PIn));
+  }
+  if (Cache->mode() == TraceCacheMode::Full) {
+    NewEntry.HasTraces = true;
+    NewEntry.Traces = toPortable(Out);
+  }
+  Cache->store(Key, std::move(NewEntry));
 
   if (Stats)
     *Stats = LocalStats;
-  return groupByPath(Fn, Results, AllInputs);
+  return Out;
 }

@@ -14,6 +14,14 @@
 /// siblings; optionally the bounded symbolic executor seeds paths that
 /// random testing missed.
 ///
+/// The pipeline runs in four phases — random exploration, symbolic
+/// seeding, mutation, state recording — each timed into CollectStats.
+/// collectTracesCached() additionally consults a TraceCache keyed on
+/// (instantiated source, method name, options, seed): a hit skips the
+/// discovery phases entirely by replaying the cached accepted inputs
+/// (or, in full mode, by rebinding the cached traces to the re-parsed
+/// AST without running the interpreter at all). See DESIGN.md §10.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef LIGER_TESTGEN_TRACECOLLECTOR_H
@@ -23,6 +31,8 @@
 #include "trace/Trace.h"
 
 namespace liger {
+
+class TraceCache;
 
 /// Pipeline configuration.
 struct TestGenOptions {
@@ -41,13 +51,34 @@ struct TestGenOptions {
   uint64_t Seed = 1;
 };
 
-/// Outcome statistics (drives the Table 1 filter pipeline).
+/// Outcome statistics (drives the Table 1 filter pipeline), plus the
+/// per-phase timings and cache counters the throughput bench reports.
+///
+/// The discovery counters (Attempts..SymbolicSeeds) are part of the
+/// pipeline's deterministic output: a cache hit restores the values the
+/// original discovery produced, so filter decisions (allTimedOut) and
+/// corpus funnel counts are identical between cold and warm runs. The
+/// Seconds fields are wall-clock observability only and are never
+/// compared.
 struct CollectStats {
   unsigned Attempts = 0;
   unsigned OkRuns = 0;
   unsigned Faults = 0;
   unsigned Timeouts = 0;
   unsigned SymbolicSeeds = 0;
+
+  /// Cache outcome for this method: exactly one of the three is 1.
+  /// Bypassed means the pipeline ran with caching disabled.
+  unsigned CacheHits = 0;
+  unsigned CacheMisses = 0;
+  unsigned CacheBypasses = 0;
+
+  /// Wall-clock seconds per phase (zero for phases that did not run).
+  double ExploreSeconds = 0;  ///< Phase 1: random exploration.
+  double SymbolicSeconds = 0; ///< Phase 2: symbolic seeding.
+  double MutateSeconds = 0;   ///< Phase 3: same-path mutation.
+  double RecordSeconds = 0;   ///< Phase 4: state-recording runs.
+  double ReplaySeconds = 0;   ///< Cache-hit replay / materialization.
 
   /// True when every single run timed out (the "takes too long" filter).
   bool allTimedOut() const { return Attempts > 0 && Timeouts == Attempts; }
@@ -58,6 +89,17 @@ struct CollectStats {
 MethodTraces collectTraces(const Program &P, const FunctionDecl &Fn,
                            const TestGenOptions &Options = {},
                            CollectStats *Stats = nullptr);
+
+/// Like collectTraces, but consults \p Cache (when non-null and not in
+/// Off mode) under the key derived from (\p SourceText, Fn.Name,
+/// \p Options). Misses run the full pipeline and store an entry;
+/// corrupt or stale entries are silently treated as misses. The result
+/// is bitwise-identical to collectTraces for any cache state.
+MethodTraces collectTracesCached(const Program &P, const FunctionDecl &Fn,
+                                 const std::string &SourceText,
+                                 const TestGenOptions &Options,
+                                 TraceCache *Cache,
+                                 CollectStats *Stats = nullptr);
 
 } // namespace liger
 

@@ -12,9 +12,11 @@
 #include "lang/AstPrinter.h"
 #include "lang/Parser.h"
 #include "testgen/InputGen.h"
+#include "testgen/TraceCache.h"
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
 #include <set>
 
 using namespace liger;
@@ -290,4 +292,122 @@ TEST(TaskLibraryTest, EveryVariantRoundTripsThroughPrinter) {
           << Task.Key << "/" << Variant.Algorithm;
     }
   }
+}
+
+//===----------------------------------------------------------------------===//
+// Parallel determinism and the trace cache
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+void expectFunnelEqual(const CorpusStats &A, const CorpusStats &B) {
+  EXPECT_EQ(A.Requested, B.Requested);
+  EXPECT_EQ(A.ParseFailures, B.ParseFailures);
+  EXPECT_EQ(A.ExternalRefFailures, B.ExternalRefFailures);
+  EXPECT_EQ(A.TestgenTimeouts, B.TestgenTimeouts);
+  EXPECT_EQ(A.TooSmall, B.TooSmall);
+  EXPECT_EQ(A.NoTraces, B.NoTraces);
+  EXPECT_EQ(A.Kept, B.Kept);
+}
+
+} // namespace
+
+TEST(CorpusParallelEquivalenceTest, MethodCorpusBitwiseAcrossThreads) {
+  CorpusOptions Options = smallCorpusOptions();
+  // Include every filter stage so scheduling can't silently reorder
+  // the funnel accounting either.
+  Options.NumMethods = 48;
+  Options.SyntaxDefectRate = 0.10;
+  Options.ExternalRefRate = 0.10;
+  Options.NonTerminationRate = 0.05;
+  Options.TooSmallRate = 0.08;
+
+  uint64_t Baseline = 0;
+  CorpusStats BaseStats;
+  for (size_t Threads : {1u, 2u, 4u}) {
+    Options.Threads = Threads;
+    CorpusStats Stats;
+    auto Samples = generateMethodCorpus(Options, &Stats);
+    uint64_t Fingerprint = corpusFingerprint(Samples);
+    if (Threads == 1) {
+      Baseline = Fingerprint;
+      BaseStats = Stats;
+      EXPECT_GT(Samples.size(), 0u);
+      continue;
+    }
+    EXPECT_EQ(Fingerprint, Baseline) << "threads=" << Threads;
+    expectFunnelEqual(Stats, BaseStats);
+  }
+}
+
+TEST(CorpusParallelEquivalenceTest, CosetCorpusBitwiseAcrossThreads) {
+  CosetOptions Options;
+  Options.ProgramsPerClass = 2;
+  Options.TraceGen.TargetPaths = 3;
+  Options.TraceGen.ExecutionsPerPath = 2;
+  Options.TraceGen.MaxAttempts = 40;
+  Options.Seed = 21;
+
+  uint64_t Baseline = 0;
+  CorpusStats BaseStats;
+  std::vector<std::string> BaseNames;
+  for (size_t Threads : {1u, 4u}) {
+    Options.Threads = Threads;
+    std::vector<std::string> ClassNames;
+    CorpusStats Stats;
+    auto Samples = generateCosetCorpus(Options, ClassNames, &Stats);
+    uint64_t Fingerprint = corpusFingerprint(Samples);
+    if (Threads == 1) {
+      Baseline = Fingerprint;
+      BaseStats = Stats;
+      BaseNames = ClassNames;
+      EXPECT_GT(Samples.size(), 0u);
+      continue;
+    }
+    EXPECT_EQ(Fingerprint, Baseline) << "threads=" << Threads;
+    EXPECT_EQ(ClassNames, BaseNames);
+    expectFunnelEqual(Stats, BaseStats);
+  }
+}
+
+TEST(CorpusTraceCacheTest, OffColdWarmBitwiseIdentical) {
+  CorpusOptions Options = smallCorpusOptions();
+  Options.NumMethods = 24;
+  std::string Dir = testing::TempDir() + "/liger_corpus_trace_cache";
+  std::error_code Ec;
+  std::filesystem::remove_all(Dir, Ec);
+
+  CorpusStats OffStats;
+  auto OffSamples = generateMethodCorpus(Options, &OffStats);
+  uint64_t OffFp = corpusFingerprint(OffSamples);
+  EXPECT_GT(OffStats.CacheBypassed, 0u);
+  EXPECT_EQ(OffStats.CacheHits + OffStats.CacheMisses, 0u);
+
+  CorpusStats ColdStats;
+  uint64_t ColdFp;
+  {
+    TraceCache Cache(TraceCacheMode::Full, Dir);
+    Options.Cache = &Cache;
+    auto Samples = generateMethodCorpus(Options, &ColdStats);
+    ColdFp = corpusFingerprint(Samples);
+    // Same pipeline invocations as the off run, all misses.
+    EXPECT_EQ(ColdStats.CacheMisses, OffStats.CacheBypassed);
+    EXPECT_EQ(ColdStats.CacheHits, 0u);
+  }
+
+  // A fresh cache on the same directory simulates a restarted process:
+  // every method must be served from disk.
+  TraceCache Warm(TraceCacheMode::Full, Dir);
+  Options.Cache = &Warm;
+  Options.Threads = 4; // hits must be deterministic under threading too
+  CorpusStats WarmStats;
+  auto WarmSamples = generateMethodCorpus(Options, &WarmStats);
+  uint64_t WarmFp = corpusFingerprint(WarmSamples);
+
+  EXPECT_EQ(ColdFp, OffFp);
+  EXPECT_EQ(WarmFp, OffFp);
+  EXPECT_EQ(WarmStats.CacheMisses, 0u);
+  EXPECT_EQ(WarmStats.CacheHits, OffStats.CacheBypassed);
+  expectFunnelEqual(ColdStats, OffStats);
+  expectFunnelEqual(WarmStats, OffStats);
 }

@@ -4,6 +4,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "support/Hash.h"
 #include "support/Rng.h"
 #include "support/StringUtils.h"
 #include "support/Table.h"
@@ -225,4 +226,71 @@ TEST(TextTableTest, RowCount) {
   EXPECT_EQ(Table.numRows(), 0u);
   Table.addRow({"r"});
   EXPECT_EQ(Table.numRows(), 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// StableHash
+//===----------------------------------------------------------------------===//
+
+TEST(StableHashTest, DeterministicForSameFeed) {
+  auto Feed = [](StableHash &H) {
+    H.addU64(7);
+    H.addString("collect");
+    H.addI64(-3);
+    H.addBool(true);
+    H.addF64(0.25);
+  };
+  StableHash A, B;
+  Feed(A);
+  Feed(B);
+  EXPECT_EQ(A.digest(), B.digest());
+  EXPECT_EQ(A.digest128(), B.digest128());
+  EXPECT_NE(A.digest(), 0u);
+}
+
+TEST(StableHashTest, LengthPrefixPreventsStringAliasing) {
+  StableHash A, B;
+  A.addString("ab");
+  A.addString("c");
+  B.addString("a");
+  B.addString("bc");
+  EXPECT_NE(A.digest(), B.digest());
+}
+
+TEST(StableHashTest, OrderSensitive) {
+  StableHash A, B;
+  A.addU64(1);
+  A.addU64(2);
+  B.addU64(2);
+  B.addU64(1);
+  EXPECT_NE(A.digest(), B.digest());
+}
+
+TEST(StableHashTest, FloatBitPatternDistinguishesSignedZero) {
+  StableHash A, B;
+  A.addF64(0.0);
+  B.addF64(-0.0);
+  EXPECT_NE(A.digest(), B.digest());
+}
+
+TEST(StableHashTest, HexIs32LowercaseChars) {
+  StableHash H;
+  H.addString("liger");
+  Digest128 D = H.digest128();
+  std::string Hex = D.hex();
+  ASSERT_EQ(Hex.size(), 32u);
+  for (char C : Hex)
+    EXPECT_TRUE((C >= '0' && C <= '9') || (C >= 'a' && C <= 'f')) << Hex;
+  StableHash Other;
+  Other.addString("tiger");
+  EXPECT_NE(Other.digest128().hex(), Hex);
+}
+
+TEST(StableHashTest, StreamingMatchesOneShot) {
+  const char Data[] = "stable content hashing";
+  StableHash A, B;
+  A.addBytes(Data, sizeof(Data) - 1);
+  for (size_t I = 0; I + 1 < sizeof(Data); ++I)
+    B.addBytes(Data + I, 1);
+  EXPECT_EQ(A.digest128(), B.digest128());
 }

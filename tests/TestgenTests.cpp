@@ -6,11 +6,14 @@
 
 #include "testgen/Coverage.h"
 #include "testgen/InputGen.h"
+#include "testgen/TraceCache.h"
 #include "testgen/TraceCollector.h"
 
 #include "lang/Parser.h"
 
 #include <gtest/gtest.h>
+
+#include <filesystem>
 
 using namespace liger;
 
@@ -301,4 +304,388 @@ TEST(CoverageTest, ReduceSymbolicBelowFloorDropsCoverage) {
   MethodTraces Reduced = reduceSymbolicTraces(Traces, 1, R);
   EXPECT_EQ(Reduced.Paths.size(), 1u);
   EXPECT_LT(lineCoverageRatio(Reduced), 1.0);
+}
+
+//===----------------------------------------------------------------------===//
+// Trace cache
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+const char *StructProgram = R"(
+struct Pt { int x; int y; }
+int manhattan(Pt p, int scale) {
+  int dx = p.x;
+  if (dx < 0)
+    dx = -dx;
+  int dy = p.y;
+  if (dy < 0)
+    dy = -dy;
+  return (dx + dy) * scale;
+}
+)";
+
+TestGenOptions tinyTraceGen() {
+  TestGenOptions Options;
+  Options.TargetPaths = 3;
+  Options.ExecutionsPerPath = 2;
+  Options.MaxAttempts = 40;
+  Options.Seed = 11;
+  return Options;
+}
+
+/// Cross-program value equality: Value::equals compares struct Decl
+/// pointers, but warm traces are re-bound against a re-parsed Program,
+/// so structs must compare by type name + contents here.
+bool valuesMatch(const Value &A, const Value &B) {
+  if (A.kind() != B.kind())
+    return false;
+  if (A.isStruct()) {
+    if (A.structDecl()->Name != B.structDecl()->Name ||
+        A.elements().size() != B.elements().size())
+      return false;
+    for (size_t I = 0; I < A.elements().size(); ++I)
+      if (!valuesMatch(A.elements()[I], B.elements()[I]))
+        return false;
+    return true;
+  }
+  if (A.isArray()) {
+    if (A.elements().size() != B.elements().size())
+      return false;
+    for (size_t I = 0; I < A.elements().size(); ++I)
+      if (!valuesMatch(A.elements()[I], B.elements()[I]))
+        return false;
+    return true;
+  }
+  return A.equals(B);
+}
+
+/// Structural equality of two MethodTraces (statement identity by
+/// NodeId, values by valuesMatch so re-parsed programs compare equal).
+void expectTracesEqual(const MethodTraces &A, const MethodTraces &B) {
+  EXPECT_EQ(A.VarNames, B.VarNames);
+  ASSERT_EQ(A.Paths.size(), B.Paths.size());
+  for (size_t P = 0; P < A.Paths.size(); ++P) {
+    const BlendedTrace &PA = A.Paths[P];
+    const BlendedTrace &PB = B.Paths[P];
+    ASSERT_EQ(PA.Symbolic.Steps.size(), PB.Symbolic.Steps.size());
+    for (size_t S = 0; S < PA.Symbolic.Steps.size(); ++S) {
+      EXPECT_EQ(PA.Symbolic.Steps[S].Statement->id(),
+                PB.Symbolic.Steps[S].Statement->id());
+      EXPECT_EQ(PA.Symbolic.Steps[S].Kind, PB.Symbolic.Steps[S].Kind);
+    }
+    ASSERT_EQ(PA.Concrete.size(), PB.Concrete.size());
+    for (size_t C = 0; C < PA.Concrete.size(); ++C) {
+      const StateTrace &SA = PA.Concrete[C];
+      const StateTrace &SB = PB.Concrete[C];
+      ASSERT_EQ(SA.Initial.Values.size(), SB.Initial.Values.size());
+      for (size_t V = 0; V < SA.Initial.Values.size(); ++V)
+        EXPECT_TRUE(valuesMatch(SA.Initial.Values[V], SB.Initial.Values[V]))
+            << SA.Initial.Values[V].str() << " vs "
+            << SB.Initial.Values[V].str();
+      ASSERT_EQ(SA.States.size(), SB.States.size());
+      for (size_t St = 0; St < SA.States.size(); ++St) {
+        ASSERT_EQ(SA.States[St].Values.size(), SB.States[St].Values.size());
+        for (size_t V = 0; V < SA.States[St].Values.size(); ++V)
+          EXPECT_TRUE(valuesMatch(SA.States[St].Values[V],
+                                  SB.States[St].Values[V]))
+              << SA.States[St].Values[V].str() << " vs "
+              << SB.States[St].Values[V].str();
+      }
+    }
+    ASSERT_EQ(PA.Inputs.size(), PB.Inputs.size());
+    for (size_t I = 0; I < PA.Inputs.size(); ++I) {
+      ASSERT_EQ(PA.Inputs[I].size(), PB.Inputs[I].size());
+      for (size_t V = 0; V < PA.Inputs[I].size(); ++V)
+        EXPECT_TRUE(valuesMatch(PA.Inputs[I][V], PB.Inputs[I][V]));
+    }
+  }
+}
+
+void expectDiscoveryStatsEqual(const CollectStats &A, const CollectStats &B) {
+  EXPECT_EQ(A.Attempts, B.Attempts);
+  EXPECT_EQ(A.OkRuns, B.OkRuns);
+  EXPECT_EQ(A.Faults, B.Faults);
+  EXPECT_EQ(A.Timeouts, B.Timeouts);
+  EXPECT_EQ(A.SymbolicSeeds, B.SymbolicSeeds);
+}
+
+} // namespace
+
+TEST(TraceCacheTest, KeyStableAndSensitive) {
+  TestGenOptions Options = tinyTraceGen();
+  TraceCacheKey Base = traceCacheKey(SortProgram, "sort", Options);
+  EXPECT_EQ(traceCacheKey(SortProgram, "sort", Options), Base);
+
+  EXPECT_NE(traceCacheKey(AbsProgram, "sort", Options), Base);
+  EXPECT_NE(traceCacheKey(SortProgram, "sortB", Options), Base);
+
+  TestGenOptions Changed = Options;
+  Changed.Seed = Options.Seed + 1;
+  EXPECT_NE(traceCacheKey(SortProgram, "sort", Changed), Base);
+  Changed = Options;
+  Changed.TargetPaths = Options.TargetPaths + 1;
+  EXPECT_NE(traceCacheKey(SortProgram, "sort", Changed), Base);
+  Changed = Options;
+  Changed.Interp.Fuel = Options.Interp.Fuel + 1;
+  EXPECT_NE(traceCacheKey(SortProgram, "sort", Changed), Base);
+  Changed = Options;
+  Changed.Input.IntHi = Options.Input.IntHi + 1;
+  EXPECT_NE(traceCacheKey(SortProgram, "sort", Changed), Base);
+  Changed = Options;
+  Changed.UseSymbolicSeeding = !Options.UseSymbolicSeeding;
+  EXPECT_NE(traceCacheKey(SortProgram, "sort", Changed), Base);
+
+  // RecordStates is overridden internally by the pipeline and must NOT
+  // change the key.
+  Changed = Options;
+  Changed.Interp.RecordStates = !Options.Interp.RecordStates;
+  EXPECT_EQ(traceCacheKey(SortProgram, "sort", Changed), Base);
+}
+
+TEST(TraceCacheTest, PortableValueRoundTrip) {
+  Program P = mustParse(StructProgram);
+  const StructDecl *Pt = P.findStruct("Pt");
+  ASSERT_NE(Pt, nullptr);
+
+  std::vector<Value> Originals;
+  Originals.push_back(Value::undef());
+  Originals.push_back(Value::makeInt(-42));
+  Originals.push_back(Value::makeBool(true));
+  Originals.push_back(Value::makeString("ab\"c"));
+  Originals.push_back(Value::makeArray(
+      {Value::makeInt(1), Value::makeInt(2), Value::makeInt(3)}));
+  Originals.push_back(
+      Value::makeStruct(Pt, {Value::makeInt(5), Value::makeInt(-7)}));
+
+  for (const Value &V : Originals) {
+    PortableValue PV = toPortable(V);
+    Value Back;
+    ASSERT_TRUE(fromPortable(PV, P, Back)) << V.str();
+    EXPECT_TRUE(V.equals(Back)) << V.str() << " vs " << Back.str();
+  }
+
+  // A struct type the program does not declare fails softly.
+  PortableValue Unknown;
+  Unknown.Kind = ValueKind::Struct;
+  Unknown.Str = "NoSuchStruct";
+  Value Back;
+  EXPECT_FALSE(fromPortable(Unknown, P, Back));
+
+  // Field-count mismatch (stale entry against an evolved struct) too.
+  PortableValue WrongArity = toPortable(Originals.back());
+  WrongArity.Elements.pop_back();
+  EXPECT_FALSE(fromPortable(WrongArity, P, Back));
+}
+
+TEST(TraceCacheTest, ColdWarmEquivalenceInputsMode) {
+  Program P = mustParse(StructProgram);
+  const FunctionDecl &Fn = P.Functions[0];
+  TestGenOptions Options = tinyTraceGen();
+
+  CollectStats Baseline;
+  MethodTraces Plain = collectTraces(P, Fn, Options, &Baseline);
+  EXPECT_EQ(Baseline.CacheBypasses, 1u);
+
+  TraceCache Cache(TraceCacheMode::Inputs, "");
+  CollectStats Cold, Warm;
+  MethodTraces ColdTraces =
+      collectTracesCached(P, Fn, StructProgram, Options, &Cache, &Cold);
+  MethodTraces WarmTraces =
+      collectTracesCached(P, Fn, StructProgram, Options, &Cache, &Warm);
+
+  EXPECT_EQ(Cold.CacheMisses, 1u);
+  EXPECT_EQ(Warm.CacheHits, 1u);
+  expectDiscoveryStatsEqual(Baseline, Cold);
+  expectDiscoveryStatsEqual(Baseline, Warm);
+  expectTracesEqual(Plain, ColdTraces);
+  expectTracesEqual(Plain, WarmTraces);
+  EXPECT_EQ(Cache.hits(), 1u);
+  EXPECT_EQ(Cache.misses(), 1u);
+}
+
+TEST(TraceCacheTest, ColdWarmEquivalenceFullModeOnDisk) {
+  Program P = mustParse(StructProgram);
+  const FunctionDecl &Fn = P.Functions[0];
+  TestGenOptions Options = tinyTraceGen();
+  std::string Dir = testing::TempDir() + "/liger_trace_cache_full";
+  std::error_code Ec;
+  std::filesystem::remove_all(Dir, Ec); // stale entries from prior runs
+
+  CollectStats Cold;
+  MethodTraces ColdTraces;
+  {
+    TraceCache Cache(TraceCacheMode::Full, Dir);
+    ColdTraces =
+        collectTracesCached(P, Fn, StructProgram, Options, &Cache, &Cold);
+    EXPECT_EQ(Cold.CacheMisses, 1u);
+    EXPECT_EQ(Cache.stores(), 1u);
+  }
+
+  // A fresh cache object (empty memory map, as after a process
+  // restart) must serve the entry from disk, and in Full mode a
+  // re-parsed Program must accept the re-bound statements.
+  Program P2 = mustParse(StructProgram);
+  const FunctionDecl &Fn2 = P2.Functions[0];
+  TraceCache Fresh(TraceCacheMode::Full, Dir);
+  CollectStats Warm;
+  MethodTraces WarmTraces =
+      collectTracesCached(P2, Fn2, StructProgram, Options, &Fresh, &Warm);
+  EXPECT_EQ(Warm.CacheHits, 1u);
+  EXPECT_EQ(Warm.CacheMisses, 0u);
+  EXPECT_EQ(Fresh.hits(), 1u);
+  expectDiscoveryStatsEqual(Cold, Warm);
+  expectTracesEqual(ColdTraces, WarmTraces);
+  EXPECT_EQ(WarmTraces.Fn, &Fn2); // re-bound, not dangling into P
+}
+
+TEST(TraceCacheTest, SerializedEntryRoundTrips) {
+  Program P = mustParse(StructProgram);
+  const FunctionDecl &Fn = P.Functions[0];
+  TestGenOptions Options = tinyTraceGen();
+  std::string Dir = testing::TempDir() + "/liger_trace_cache_rt";
+  std::error_code Ec;
+  std::filesystem::remove_all(Dir, Ec); // stale entries from prior runs
+
+  TraceCache Cache(TraceCacheMode::Full, Dir);
+  CollectStats Cold;
+  collectTracesCached(P, Fn, StructProgram, Options, &Cache, &Cold);
+
+  TraceCacheKey Key = traceCacheKey(StructProgram, Fn.Name, Options);
+  CachedTraceEntry Entry;
+  ASSERT_TRUE(Cache.lookup(Key, Entry));
+  std::string Bytes = serializeCacheEntry(Key, Entry);
+
+  CachedTraceEntry Back;
+  ASSERT_TRUE(deserializeCacheEntry(Bytes, Key, Back));
+  EXPECT_EQ(Back.Attempts, Entry.Attempts);
+  EXPECT_EQ(Back.OkRuns, Entry.OkRuns);
+  EXPECT_EQ(Back.AcceptedInputs.size(), Entry.AcceptedInputs.size());
+  EXPECT_EQ(Back.HasTraces, Entry.HasTraces);
+  EXPECT_EQ(Back.Traces.Paths.size(), Entry.Traces.Paths.size());
+
+  // A different key must reject the same bytes.
+  TestGenOptions Other = Options;
+  Other.Seed += 1;
+  TraceCacheKey WrongKey = traceCacheKey(StructProgram, Fn.Name, Other);
+  EXPECT_FALSE(deserializeCacheEntry(Bytes, WrongKey, Back));
+}
+
+TEST(TraceCacheTest, TruncationAtEveryOffsetIsMiss) {
+  // The acceptance bar for the LGTR reader: an entry cut at ANY byte
+  // offset must deserialize to false — no crash, no sanitizer finding,
+  // no over-allocation.
+  Program P = mustParse(StructProgram);
+  const FunctionDecl &Fn = P.Functions[0];
+  TestGenOptions Options = tinyTraceGen();
+  Options.TargetPaths = 2;
+  Options.ExecutionsPerPath = 1;
+
+  TraceCache Cache(TraceCacheMode::Full, "");
+  CollectStats Cold;
+  collectTracesCached(P, Fn, StructProgram, Options, &Cache, &Cold);
+  TraceCacheKey Key = traceCacheKey(StructProgram, Fn.Name, Options);
+  CachedTraceEntry Entry;
+  ASSERT_TRUE(Cache.lookup(Key, Entry));
+  std::string Bytes = serializeCacheEntry(Key, Entry);
+  ASSERT_GT(Bytes.size(), 48u);
+
+  for (size_t Len = 0; Len < Bytes.size(); ++Len) {
+    CachedTraceEntry Out;
+    EXPECT_FALSE(deserializeCacheEntry(Bytes.substr(0, Len), Key, Out))
+        << "truncation at " << Len << " parsed successfully";
+  }
+  CachedTraceEntry Out;
+  EXPECT_TRUE(deserializeCacheEntry(Bytes, Key, Out));
+}
+
+TEST(TraceCacheTest, ByteFlipAtEveryOffsetIsMiss) {
+  // The payload checksum must catch ANY single-byte corruption — even
+  // flips inside stored values that would otherwise parse fine.
+  Program P = mustParse(AbsProgram);
+  const FunctionDecl &Fn = P.Functions[0];
+  TestGenOptions Options = tinyTraceGen();
+  Options.TargetPaths = 2;
+  Options.ExecutionsPerPath = 1;
+
+  TraceCache Cache(TraceCacheMode::Full, "");
+  CollectStats Cold;
+  collectTracesCached(P, Fn, AbsProgram, Options, &Cache, &Cold);
+  TraceCacheKey Key = traceCacheKey(AbsProgram, Fn.Name, Options);
+  CachedTraceEntry Entry;
+  ASSERT_TRUE(Cache.lookup(Key, Entry));
+  std::string Bytes = serializeCacheEntry(Key, Entry);
+
+  for (size_t I = 0; I < Bytes.size(); ++I) {
+    std::string Bad = Bytes;
+    Bad[I] = static_cast<char>(Bad[I] ^ 0x5A);
+    CachedTraceEntry Out;
+    EXPECT_FALSE(deserializeCacheEntry(Bad, Key, Out))
+        << "byte flip at " << I << " parsed successfully";
+  }
+}
+
+TEST(TraceCacheTest, CorruptDiskEntryRecomputesCleanly) {
+  Program P = mustParse(StructProgram);
+  const FunctionDecl &Fn = P.Functions[0];
+  TestGenOptions Options = tinyTraceGen();
+  std::string Dir = testing::TempDir() + "/liger_trace_cache_corrupt";
+  std::error_code Ec;
+  std::filesystem::remove_all(Dir, Ec); // stale entries from prior runs
+
+  CollectStats Cold;
+  MethodTraces ColdTraces;
+  {
+    TraceCache Cache(TraceCacheMode::Full, Dir);
+    ColdTraces =
+        collectTracesCached(P, Fn, StructProgram, Options, &Cache, &Cold);
+  }
+
+  // Vandalize the stored entry, then look it up with a fresh cache:
+  // the corrupt file must count as a miss and the pipeline recompute
+  // must match the cold run.
+  TraceCacheKey Key = traceCacheKey(StructProgram, Fn.Name, Options);
+  TraceCache Fresh(TraceCacheMode::Full, Dir);
+  std::string Path = Fresh.entryPath(Key);
+  FILE *F = fopen(Path.c_str(), "wb");
+  ASSERT_NE(F, nullptr);
+  fputs("not an LGTR entry", F);
+  fclose(F);
+
+  CollectStats Redo;
+  MethodTraces RedoTraces =
+      collectTracesCached(P, Fn, StructProgram, Options, &Fresh, &Redo);
+  EXPECT_EQ(Redo.CacheMisses, 1u);
+  EXPECT_EQ(Fresh.badEntries(), 1u);
+  expectDiscoveryStatsEqual(Cold, Redo);
+  expectTracesEqual(ColdTraces, RedoTraces);
+}
+
+TEST(TraceCacheTest, NullOrOffCacheBypasses) {
+  Program P = mustParse(AbsProgram);
+  const FunctionDecl &Fn = P.Functions[0];
+  TestGenOptions Options = tinyTraceGen();
+
+  CollectStats NoCache;
+  collectTracesCached(P, Fn, AbsProgram, Options, nullptr, &NoCache);
+  EXPECT_EQ(NoCache.CacheBypasses, 1u);
+  EXPECT_EQ(NoCache.CacheHits + NoCache.CacheMisses, 0u);
+
+  TraceCache Off(TraceCacheMode::Off, "");
+  CollectStats OffStats;
+  collectTracesCached(P, Fn, AbsProgram, Options, &Off, &OffStats);
+  EXPECT_EQ(OffStats.CacheBypasses, 1u);
+  EXPECT_EQ(Off.hits() + Off.misses(), 0u);
+}
+
+TEST(TraceCacheTest, ModeParsing) {
+  TraceCacheMode Mode;
+  EXPECT_TRUE(parseTraceCacheMode("off", Mode));
+  EXPECT_EQ(Mode, TraceCacheMode::Off);
+  EXPECT_TRUE(parseTraceCacheMode("inputs", Mode));
+  EXPECT_EQ(Mode, TraceCacheMode::Inputs);
+  EXPECT_TRUE(parseTraceCacheMode("full", Mode));
+  EXPECT_EQ(Mode, TraceCacheMode::Full);
+  EXPECT_FALSE(parseTraceCacheMode("Full", Mode));
+  EXPECT_FALSE(parseTraceCacheMode("", Mode));
 }
