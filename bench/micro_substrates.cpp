@@ -30,6 +30,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
 #include <string>
 #include <vector>
 
@@ -200,6 +201,37 @@ void BM_KernelAxpy(benchmark::State &State) {
 }
 BENCHMARK(BM_KernelAxpy)->Arg(256)->Arg(1024);
 
+// The GEMM substrate: B stacked [4H x H] gate projections as one tiled
+// matmul (Arg(1)) versus the same rows as a per-vector matvecStrided
+// loop (Arg(0)). Outputs are bitwise-identical; the delta is the
+// register tile's reuse of loaded M rows across vectors.
+void BM_MatmulTiled(benchmark::State &State) {
+  bool Tiled = State.range(1) != 0;
+  size_t H = 100;
+  size_t B = static_cast<size_t>(State.range(0));
+  Rng R(1);
+  Tensor W = Tensor::xavier(4 * H, H, R);
+  Tensor X = Tensor::uniform(B * H, 1.0f, R);
+  Tensor Y = Tensor::raw(B, 4 * H);
+  for (auto _ : State) {
+    if (Tiled) {
+      kernels::matmul(B, 4 * H, H, W.data(), H, X.data(), H, Y.data(),
+                      4 * H);
+    } else {
+      for (size_t Bi = 0; Bi < B; ++Bi)
+        kernels::matvecStrided(4 * H, H, H, W.data(), X.data() + Bi * H,
+                               Y.data() + Bi * 4 * H);
+    }
+    benchmark::DoNotOptimize(Y.data()[0]);
+  }
+  State.SetItemsProcessed(State.iterations() * B * 4 * H * H);
+}
+BENCHMARK(BM_MatmulTiled)
+    ->Args({3, 0})
+    ->Args({3, 1})
+    ->Args({8, 0})
+    ->Args({8, 1});
+
 //===----------------------------------------------------------------------===//
 // Fused vs unfused cell steps: Arg(0) = per-gate reference graph,
 // Arg(1) = fused single-node op. Same math bit-for-bit; the delta is
@@ -284,6 +316,54 @@ void BM_GruSequence(benchmark::State &State) {
 }
 BENCHMARK(BM_GruSequence);
 
+// B concurrently-advancing 30-step sequences in lockstep, forward +
+// backward: Arg(1) routes each timestep through the matmul-backed
+// batch op with the fused descending-lane batch backward, Arg(0)
+// through the per-sample fused step() loop. Bitwise-identical states
+// and gradients. The forward matmul is roughly a wash at this size —
+// the batch win is the backward's single walk over each shared
+// parameter-gradient matrix instead of one walk per lane.
+void BM_GruSequenceBatched(benchmark::State &State) {
+  size_t B = static_cast<size_t>(State.range(0));
+  bool Batched = State.range(1) != 0;
+  bool Saved = batchedCellsEnabled();
+  setBatchedCellsEnabled(Batched);
+  Rng R(1);
+  ParamStore Store;
+  RecurrentCell Cell(Store, "gru", CellKind::Gru, 100, 100, R);
+  std::vector<std::vector<Var>> Inputs(30);
+  for (auto &Step : Inputs)
+    for (size_t I = 0; I < B; ++I)
+      Step.push_back(constant(Tensor::uniform(100, 1.0f, R)));
+  GraphArena Arena;
+  GraphArena::Scope Scope(Arena);
+  for (auto _ : State) {
+    std::vector<RecState> States(B);
+    for (size_t I = 0; I < B; ++I)
+      States[I] = Cell.initial();
+    for (const std::vector<Var> &Step : Inputs)
+      States = Cell.stepBatch(Step, States);
+    std::vector<Var> Norms;
+    Norms.reserve(B);
+    for (const RecState &S : States)
+      Norms.push_back(dot(S.H, S.H));
+    backward(sumV(stackScalars(Norms)));
+    benchmark::DoNotOptimize(States.back().H->Value[0]);
+    Store.zeroGrads();
+    Arena.reset();
+  }
+  State.SetItemsProcessed(State.iterations() * B * Inputs.size());
+  setBatchedCellsEnabled(Saved);
+}
+BENCHMARK(BM_GruSequenceBatched)
+    ->Args({1, 1})
+    ->Args({3, 0})
+    ->Args({3, 1})
+    ->Args({8, 0})
+    ->Args({8, 1})
+    ->Args({24, 0})
+    ->Args({24, 1});
+
 //===----------------------------------------------------------------------===//
 // Batched vs per-pair attention: Arg(0) = per-pair reference graph
 // (split score MLP, one chain per key), Arg(1) = fused key-projection +
@@ -318,42 +398,100 @@ void BM_AttentionScore(benchmark::State &State) {
 }
 BENCHMARK(BM_AttentionScore)->Arg(0)->Arg(1);
 
+// Q queries against one shared prepared memory, forward + backward:
+// Arg(1) scores the whole block through the single multi-query node,
+// Arg(0) loops per-query contextOf. Bitwise-identical contexts; the
+// delta is the amortized key-memory walk (the beam-decode shape).
+void BM_AttentionScoreMultiQuery(benchmark::State &State) {
+  size_t Q = static_cast<size_t>(State.range(0));
+  bool Batched = State.range(1) != 0;
+  bool Saved = batchedAttentionEnabled();
+  setBatchedAttentionEnabled(Batched);
+  Rng R(1);
+  ParamStore Store;
+  const size_t Dim = 100, T = 16;
+  AttentionScorer Attn(Store, "attn", Dim, Dim, Dim, R);
+  std::vector<Var> Queries;
+  for (size_t I = 0; I < Q; ++I)
+    Queries.push_back(constant(Tensor::uniform(Dim, 1.0f, R)));
+  std::vector<Var> Keys;
+  for (size_t I = 0; I < T; ++I)
+    Keys.push_back(constant(Tensor::uniform(Dim, 1.0f, R)));
+  GraphArena Arena;
+  GraphArena::Scope Scope(Arena);
+  for (auto _ : State) {
+    AttentionScorer::Memory Mem = Attn.prepare(Keys);
+    std::vector<AttentionScorer::Result> Out =
+        Attn.contextOfMulti(Queries, Mem);
+    std::vector<Var> Norms;
+    Norms.reserve(Out.size());
+    for (const AttentionScorer::Result &Ctx : Out)
+      Norms.push_back(dot(Ctx.Context, Ctx.Context));
+    backward(sumV(stackScalars(Norms)));
+    Store.zeroGrads();
+    Arena.reset();
+  }
+  State.SetItemsProcessed(State.iterations() * Q * T);
+  setBatchedAttentionEnabled(Saved);
+}
+BENCHMARK(BM_AttentionScoreMultiQuery)
+    ->Args({1, 1})
+    ->Args({4, 0})
+    ->Args({4, 1});
+
 void BM_DecoderStep(benchmark::State &State) {
   // Teacher-forced decode over a 20-vector memory, forward + backward:
   // the SeqDecoder shape, where the key-side projections are computed
-  // once per decode and shared by every step.
-  bool Fused = State.range(0) != 0;
+  // once per decode and shared by every step. Mode 0 = per-pair
+  // reference attention, 1 = fused attention (both single-lane), 2 =
+  // four lanes decoded in lockstep through lossBatch with the batched
+  // cell steps on; items are normalized per decode step, so /1 vs /2
+  // is the per-step batching gain.
+  const int Mode = static_cast<int>(State.range(0));
+  const size_t Lanes = Mode == 2 ? 4 : 1;
   bool Saved = fusedAttentionEnabled();
-  setFusedAttentionEnabled(Fused);
+  bool SavedBatched = batchedCellsEnabled();
+  setFusedAttentionEnabled(Mode != 0);
+  setBatchedCellsEnabled(Mode == 2);
   Rng R(1);
   ParamStore Store;
   SeqDecoderConfig Config;
-  Config.TargetVocabSize = 24;
-  Config.EmbedDim = 24;
-  Config.Hidden = 24;
-  Config.AttnHidden = 24;
-  Config.MemoryDim = 24;
-  Config.InitDim = 24;
+  Config.TargetVocabSize = 100;
+  Config.EmbedDim = 100;
+  Config.Hidden = 100;
+  Config.AttnHidden = 100;
+  Config.MemoryDim = 100;
+  Config.InitDim = 100;
   SeqDecoder Decoder(Store, "dec", Config, R);
   Var Program = constant(Tensor::uniform(Config.InitDim, 1.0f, R));
   std::vector<Var> Memory;
   for (int I = 0; I < 20; ++I)
     Memory.push_back(constant(Tensor::uniform(Config.MemoryDim, 1.0f, R)));
   std::vector<int> Targets = {4, 5, 6, 7, 8, Vocabulary::Eos};
+  std::vector<Var> Programs(Lanes, Program);
+  std::vector<std::vector<Var>> Memories(Lanes, Memory);
+  std::vector<std::vector<int>> AllTargets(Lanes, Targets);
   GraphArena Arena;
   GraphArena::Scope Scope(Arena);
   for (auto _ : State) {
-    Var Loss = Decoder.loss(Program, Memory, Targets);
-    backward(Loss);
+    if (Mode == 2) {
+      std::vector<Var> Losses = Decoder.lossBatch(Programs, Memories, AllTargets);
+      backward(sumV(stackScalars(Losses)));
+      benchmark::DoNotOptimize(Losses[0]->Value[0]);
+    } else {
+      Var Loss = Decoder.loss(Program, Memory, Targets);
+      backward(Loss);
+      benchmark::DoNotOptimize(Loss->Value[0]);
+    }
     Store.zeroGrads();
-    benchmark::DoNotOptimize(Loss->Value[0]);
     Arena.reset();
   }
-  // Report per-decode; one iteration = Targets.size() decode steps.
-  State.SetItemsProcessed(State.iterations() * Targets.size());
+  // Report per-decode-step; one iteration = Lanes * Targets.size() steps.
+  State.SetItemsProcessed(State.iterations() * Lanes * Targets.size());
   setFusedAttentionEnabled(Saved);
+  setBatchedCellsEnabled(SavedBatched);
 }
-BENCHMARK(BM_DecoderStep)->Arg(0)->Arg(1);
+BENCHMARK(BM_DecoderStep)->Arg(0)->Arg(1)->Arg(2);
 
 void BM_ArenaGraphChurn(benchmark::State &State) {
   // Build-and-reset cost of a deep elementwise chain: isolates node
@@ -389,28 +527,63 @@ void BM_LigerForwardBackward(benchmark::State &State) {
   Target.freeze();
 
   LigerConfig Config;
-  Config.EmbedDim = 24;
-  Config.Hidden = 24;
-  Config.AttnHidden = 24;
+  Config.EmbedDim = 100;
+  Config.Hidden = 100;
+  Config.AttnHidden = 100;
   LigerNamePredictor Net(Joint, Target, Config, 1);
+  // Arg 0 = one sample per iteration through loss() (the trajectory
+  // point tracked since the shared_ptr-graph rewrite); arg N > 0 = N
+  // samples per iteration encoded and decoded in lockstep through
+  // lossBatch with the batched cell steps on. Items are per sample, so
+  // /0 vs /N items-per-second is the end-to-end batching gain.
+  const bool Batched = State.range(0) != 0;
+  const size_t Group = Batched ? static_cast<size_t>(State.range(0)) : 1;
+  bool SavedBatched = batchedCellsEnabled();
+  setBatchedCellsEnabled(Batched);
+  std::vector<const MethodSample *> Samples(Group, &Sample);
   GraphArena Arena;
   GraphArena::Scope Scope(Arena);
   for (auto _ : State) {
-    Var Loss = Net.loss(Sample);
-    backward(Loss);
+    if (Batched) {
+      std::vector<Var> Losses = Net.lossBatch(Samples);
+      backward(sumV(stackScalars(Losses)));
+      benchmark::DoNotOptimize(Losses[0]->Value[0]);
+    } else {
+      Var Loss = Net.loss(Sample);
+      backward(Loss);
+      benchmark::DoNotOptimize(Loss->Value[0]);
+    }
     Net.params().zeroGrads();
-    benchmark::DoNotOptimize(Loss->Value[0]);
     Arena.reset();
   }
+  State.SetItemsProcessed(State.iterations() * Group);
+  setBatchedCellsEnabled(SavedBatched);
 }
-BENCHMARK(BM_LigerForwardBackward);
+// Group 4 captures the batching win on one core; wider groups (8+)
+// only plateau — the live graph outgrows the cache working set about
+// as fast as the matmuls widen.
+BENCHMARK(BM_LigerForwardBackward)->Arg(0)->Arg(4);
 
 } // namespace
 
+// Whether this binary's own code was compiled optimized. The checked-in
+// BENCH_*.json evidence files must come from optimized builds; the
+// packaged google-benchmark library reports its *own* build type
+// ("library_build_type"), which says nothing about our kernels.
+#if defined(NDEBUG) && defined(__OPTIMIZE__)
+constexpr bool OptimizedBenchBuild = true;
+#else
+constexpr bool OptimizedBenchBuild = false;
+#endif
+
 // Custom main: thin convenience flags on top of google-benchmark (see
-// the file header), everything else forwarded untouched.
+// the file header), everything else forwarded untouched. Also accepts
+//   --allow-unoptimized  benchmark a non-optimized build anyway (the
+//                        default is to refuse, so debug numbers can't
+//                        land in the evidence files unnoticed)
 int main(int argc, char **argv) {
   bool KernelsOnly = false, AttentionOnly = false, Smoke = false;
+  bool AllowUnoptimized = false;
   std::string JsonPath;
   std::vector<char *> Args;
   for (int I = 0; I < argc; ++I) {
@@ -421,18 +594,42 @@ int main(int argc, char **argv) {
       AttentionOnly = true;
     } else if (A == "--smoke") {
       Smoke = true;
+    } else if (A == "--allow-unoptimized") {
+      AllowUnoptimized = true;
     } else if (A.rfind("--json=", 0) == 0) {
       JsonPath = A.substr(7);
     } else {
       Args.push_back(argv[I]);
     }
   }
+  if (!OptimizedBenchBuild && !AllowUnoptimized) {
+    std::fprintf(stderr,
+                 "refusing to benchmark: this binary was compiled without "
+                 "optimization (assertions on or -O0). Re-run cmake with "
+                 "-DCMAKE_BUILD_TYPE=Release (or RelWithDebInfo), or pass "
+                 "--allow-unoptimized to measure anyway.\n");
+    return 2;
+  }
+  if (!OptimizedBenchBuild)
+    std::fprintf(stderr, "warning: benchmarking an UNOPTIMIZED build "
+                         "(--allow-unoptimized); do not check these "
+                         "numbers in as evidence\n");
+  // Report our build's provenance next to google-benchmark's own
+  // "library_build_type" so the JSON is self-describing.
+  benchmark::AddCustomContext("liger_build_type",
+                              OptimizedBenchBuild ? "optimized"
+                                                  : "unoptimized");
+#if defined(LIGER_SIMD_AVX2)
+  benchmark::AddCustomContext("liger_kernels", "avx2");
+#else
+  benchmark::AddCustomContext("liger_kernels", "scalar");
+#endif
   std::vector<std::string> Injected;
   if (KernelsOnly)
     Injected.push_back("--benchmark_filter="
-                       "BM_Kernel|BM_GruCell|BM_LstmCell|BM_MatvecHidden|"
-                       "BM_GruSequence|BM_AttentionScore|BM_DecoderStep|"
-                       "BM_LigerForwardBackward");
+                       "BM_Kernel|BM_Matmul|BM_GruCell|BM_LstmCell|"
+                       "BM_MatvecHidden|BM_GruSequence|BM_AttentionScore|"
+                       "BM_DecoderStep|BM_LigerForwardBackward");
   if (AttentionOnly)
     Injected.push_back("--benchmark_filter="
                        "BM_AttentionScore|BM_DecoderStep|"

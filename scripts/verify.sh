@@ -14,8 +14,10 @@
 #   4. scalar fallback: LIGER_NATIVE_SIMD=OFF build (build-scalar) +
 #      full ctest, so the portable kernels stay green alongside the
 #      AVX2 ones;
-#   5. kernel benches in smoke mode (sanity that the bench harness and
-#      the fused ops still run; timings are not checked here);
+#   5. kernel benches in smoke mode on both the SIMD and the scalar
+#      build (sanity that the bench harness, the fused ops, and the
+#      batched matmul/cell/attention paths still run; timings are not
+#      checked here);
 #   6. trace pipeline bench in smoke mode (off/cold/warm determinism
 #      checks at a tiny scale; exits non-zero on any mismatch).
 #
@@ -40,7 +42,7 @@ step "sanitized gradcheck build (build-asan)"
 cmake -B "$REPO/build-asan" -S "$REPO" -DLIGER_SANITIZE=ON
 cmake --build "$REPO/build-asan" -j "$JOBS" --target nn_tests testgen_tests dataset_tests
 "$REPO/build-asan/tests/nn_tests" \
-  --gtest_filter='GradCheckTest.*:GraphArenaTest.*:GradSinkTest.*:CheckpointTest.*:ParamStoreTest.*:FusedEquivalenceTest.*:AttentionEquivalenceTest.*'
+  --gtest_filter='GradCheckTest.*:GraphArenaTest.*:GradSinkTest.*:CheckpointTest.*:ParamStoreTest.*:FusedEquivalenceTest.*:AttentionEquivalenceTest.*:BatchedKernelEquivalenceTest.*'
 
 step "sanitized trace cache + parallel corpus (build-asan)"
 "$REPO/build-asan/tests/testgen_tests" --gtest_filter='TraceCacheTest.*'
@@ -54,6 +56,9 @@ ctest --test-dir "$REPO/build-scalar" --output-on-failure -j "$JOBS"
 
 step "kernel benches (smoke)"
 "$BUILD/bench/micro_substrates" --kernels-only --smoke
+# Same smoke through the portable kernels: the scalar build drives the
+# batched matmul/cell/attention benches down the non-AVX2 path.
+"$REPO/build-scalar/bench/micro_substrates" --kernels-only --smoke
 
 step "trace pipeline bench (smoke)"
 # Run from inside the build tree so the smoke-scale BENCH_pipeline.json

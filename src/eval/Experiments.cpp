@@ -42,6 +42,10 @@ ExperimentScale ExperimentScale::fromArgs(int Argc, char **Argv) {
       Scale.Resume = true;
       continue;
     }
+    if (Arg == "--batched-samples") {
+      Scale.BatchedSamples = true;
+      continue;
+    }
     if (startsWith(Arg, "--checkpoint-dir=")) {
       Scale.CheckpointDir = Arg.substr(std::strlen("--checkpoint-dir="));
       continue;
@@ -120,6 +124,7 @@ TrainOptions ExperimentScale::trainOptions() const {
   Options.Seed = Seed;
   Options.Verbose = Verbose;
   Options.Threads = Threads;
+  Options.BatchedSamples = BatchedSamples;
   Options.CheckpointDir = CheckpointDir;
   Options.CheckpointEveryEpochs = CheckpointEveryEpochs;
   Options.Resume = Resume;
@@ -382,6 +387,9 @@ NameRunResult liger::runNameModel(NameModel Model, const NameTask &Task,
                            ligerConfig(Scale, Ablation), Scale.Seed);
     NameModelHooks Hooks;
     Hooks.Loss = [&](const MethodSample &S) { return Net.loss(S); };
+    Hooks.LossBatch = [&](const std::vector<const MethodSample *> &Group) {
+      return Net.lossBatch(Group);
+    };
     Hooks.Predict = [&](const MethodSample &S) { return Net.predict(S); };
     Hooks.Params = &Net.params();
     Result.TrainSeconds =

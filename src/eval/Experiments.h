@@ -46,6 +46,10 @@ struct ExperimentScale {
   unsigned ExecutionsPerPath = 5; ///< Concrete traces/path (paper: 5).
   uint64_t Seed = 7;
   size_t Threads = 1; ///< Training worker threads (results invariant).
+  /// Train models exposing a LossBatch hook (currently LIGER name
+  /// prediction) with lockstep-batched mini-batch graphs
+  /// (--batched-samples; see TrainOptions::BatchedSamples).
+  bool BatchedSamples = false;
   bool Verbose = false;
   /// Root directory for crash-safe training checkpoints (empty =
   /// disabled). Each trained model checkpoints under its own

@@ -94,6 +94,59 @@ double runEpoch(const std::vector<MethodSample> &Train, size_t BatchSize,
   return Order.empty() ? 0.0 : EpochLoss / static_cast<double>(Order.size());
 }
 
+/// Batched-sample epoch loop: each mini-batch is ONE combined lockstep
+/// graph (the model's BatchLossFn), differentiated once from the sum
+/// of the per-sample losses into a single sink, then scaled by 1/B so
+/// the parameter update matches runEpoch's mean-gradient semantics.
+///
+/// One backward over the summed loss — not one per sample — is
+/// load-bearing: the samples share graph nodes (batch cell steps, and
+/// non-parameter node gradients persist within an arena generation),
+/// so repeated per-sample backwards over the combined graph would
+/// double-count every shared subgraph. The mode is deterministic
+/// (single-threaded graph build, fixed accumulation order) but orders
+/// gradient accumulation differently from the per-sample-sink mode,
+/// so the two modes are not bitwise comparable.
+double runEpochBatched(const std::vector<MethodSample> &Train,
+                       size_t BatchSize, const BatchLossFn &Loss,
+                       ParamStore &Store, Adam &Opt, Rng &R,
+                       size_t EpochIndex,
+                       const std::function<void(size_t, size_t)> &StepHook) {
+  std::vector<size_t> Order(Train.size());
+  for (size_t I = 0; I < Order.size(); ++I)
+    Order[I] = I;
+  R.shuffle(Order);
+
+  GraphArena EpochArena;
+  GraphArena::Scope EpochScope(EpochArena);
+  GradSink Sink;
+
+  double EpochLoss = 0;
+  for (size_t Begin = 0; Begin < Order.size(); Begin += BatchSize) {
+    size_t B = std::min(Order.size(), Begin + BatchSize) - Begin;
+    std::vector<const MethodSample *> Group;
+    Group.reserve(B);
+    for (size_t K = 0; K < B; ++K)
+      Group.push_back(&Train[Order[Begin + K]]);
+    Sink.clear();
+    std::vector<Var> SampleLosses = Loss(Group);
+    LIGER_CHECK(SampleLosses.size() == B,
+                "batched loss hook must return one loss per sample");
+    for (const Var &L : SampleLosses)
+      EpochLoss += static_cast<double>(L->Value[0]);
+    Var Sum = sumV(stackScalars(SampleLosses));
+    backward(Sum, Sink);
+    GraphArena::current().reset();
+
+    Store.accumulateSink(Sink);
+    Store.scaleGrads(1.0f / static_cast<float>(B));
+    Opt.step();
+    if (StepHook)
+      StepHook(EpochIndex, Begin / BatchSize);
+  }
+  return Order.empty() ? 0.0 : EpochLoss / static_cast<double>(Order.size());
+}
+
 /// The worker pool for \p Options, or null for inline execution.
 std::unique_ptr<ThreadPool> makePool(const TrainOptions &Options) {
   if (Options.Threads <= 1)
@@ -115,7 +168,8 @@ std::unique_ptr<ThreadPool> makePool(const TrainOptions &Options) {
 /// reduced in sample order), restoring that state and rerunning the
 /// remaining epochs is bitwise-identical to never having stopped.
 template <typename LossFn, typename ValidateFn>
-TrainResult runTrainingLoop(const LossFn &Loss, ParamStore &Store,
+TrainResult runTrainingLoop(const LossFn &Loss, const BatchLossFn &BatchLoss,
+                            ParamStore &Store,
                             const std::vector<MethodSample> &Train,
                             bool TrackBest, const ValidateFn &Validate,
                             const char *ScoreName,
@@ -165,9 +219,11 @@ TrainResult runTrainingLoop(const LossFn &Loss, ParamStore &Store,
   std::unique_ptr<ThreadPool> Pool = makePool(Options);
   const size_t Cadence = std::max<size_t>(1, Options.CheckpointEveryEpochs);
   for (size_t Epoch = StartEpoch; Epoch < Options.Epochs; ++Epoch) {
-    Result.FinalTrainLoss = runEpoch(Train, Options.BatchSize, Loss, Store,
-                                     Opt, R, Pool.get(), Epoch,
-                                     Options.StepHook);
+    Result.FinalTrainLoss =
+        BatchLoss ? runEpochBatched(Train, Options.BatchSize, BatchLoss,
+                                    Store, Opt, R, Epoch, Options.StepHook)
+                  : runEpoch(Train, Options.BatchSize, Loss, Store, Opt, R,
+                             Pool.get(), Epoch, Options.StepHook);
     if (TrackBest) {
       double Score = Validate();
       if (Score >= Result.BestValidScore) {
@@ -231,8 +287,14 @@ TrainResult liger::trainNameModel(const NameModelHooks &Hooks,
                                   const TrainOptions &Options) {
   LIGER_CHECK(Hooks.Params, "hooks must expose the parameter store");
   bool TrackBest = Options.SelectBestOnValidation && !Valid.empty();
+  // Models without a LossBatch hook (the baselines) silently train
+  // per-sample under --batched-samples, as TrainOptions documents —
+  // multi-model drivers pass one TrainOptions to every model.
+  BatchLossFn BatchLoss;
+  if (Options.BatchedSamples && Hooks.LossBatch)
+    BatchLoss = Hooks.LossBatch;
   return runTrainingLoop(
-      Hooks.Loss, *Hooks.Params, Train, TrackBest,
+      Hooks.Loss, BatchLoss, *Hooks.Params, Train, TrackBest,
       [&] { return evaluateNameModel(Hooks, Valid).F1; }, "valid F1",
       Options);
 }
@@ -260,8 +322,10 @@ TrainResult liger::trainClassifier(const ClassModelHooks &Hooks,
                                    const TrainOptions &Options) {
   LIGER_CHECK(Hooks.Params, "hooks must expose the parameter store");
   bool TrackBest = Options.SelectBestOnValidation && !Valid.empty();
+  // Classifier encodes are one-step graphs with nothing to lockstep;
+  // BatchedSamples deliberately has no effect here.
   return runTrainingLoop(
-      Hooks.Loss, *Hooks.Params, Train, TrackBest,
+      Hooks.Loss, BatchLossFn(), *Hooks.Params, Train, TrackBest,
       [&] { return evaluateClassifier(Hooks, Valid, NumClasses).Accuracy; },
       "valid acc", Options);
 }

@@ -60,11 +60,26 @@ struct TrainOptions {
   /// epoch and the batch index within it (progress reporting; tests
   /// use it to kill a run mid-epoch).
   std::function<void(size_t Epoch, size_t Batch)> StepHook;
+  /// Build each mini-batch as one combined lockstep graph through the
+  /// model's LossBatch hook (same-timestep samples share matmul-backed
+  /// batch ops) instead of per-sample graphs. Requires the hook;
+  /// deterministic, but a distinct gradient-accumulation order from
+  /// the per-sample-sink mode, so the two modes are not bitwise
+  /// comparable. Ignored (with the per-sample path) by models without
+  /// a LossBatch hook and by the classifier driver.
+  bool BatchedSamples = false;
 };
+
+/// Batched loss hook: per-sample mean losses for a whole mini-batch,
+/// built as one lockstep graph (see SeqDecoder::lossBatch).
+using BatchLossFn =
+    std::function<std::vector<Var>(const std::vector<const MethodSample *> &)>;
 
 /// Hooks for a method-name prediction model.
 struct NameModelHooks {
   std::function<Var(const MethodSample &)> Loss;
+  /// Optional batched variant of Loss (TrainOptions::BatchedSamples).
+  BatchLossFn LossBatch;
   std::function<std::vector<std::string>(const MethodSample &)> Predict;
   ParamStore *Params = nullptr;
 };

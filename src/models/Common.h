@@ -68,6 +68,26 @@ std::vector<int> nameTargetIds(const std::vector<std::string> &Subtokens,
 std::vector<std::string> idsToSubtokens(const std::vector<int> &Ids,
                                         const Vocabulary &TargetVocab);
 
+/// Lockstep batching schedule over variable-length sequences: entry t
+/// lists the indices of every sequence still active at timestep t
+/// (Lens[i] > t), in ascending index order. The schedule has
+/// max(Lens) timesteps; callers feed each timestep's active lanes to
+/// one batched cell/attention step so same-timestep samples share a
+/// matmul.
+std::vector<std::vector<size_t>>
+lockstepSchedule(const std::vector<size_t> &Lens);
+
+/// Runs one shared recurrent cell over many variable-length sequences
+/// in lockstep: at each timestep every still-active sequence advances
+/// through one batched cell step (RecurrentCell::stepBatch), so
+/// same-timestep lanes share a matmul when batching is enabled and
+/// degrade to per-lane steps in lane order when it is not. Returns
+/// each sequence's final state; per-lane values are bitwise-identical
+/// to RecurrentCell::run over that sequence alone.
+std::vector<RecState>
+runCellLockstep(const RecurrentCell &Cell,
+                const std::vector<std::vector<Var>> &Seqs);
+
 } // namespace liger
 
 #endif // LIGER_MODELS_COMMON_H

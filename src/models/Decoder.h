@@ -44,11 +44,33 @@ public:
   Var loss(const Var &ProgramEmbedding, const std::vector<Var> &Memory,
            const std::vector<int> &TargetIds) const;
 
+  /// Teacher-forced losses for B samples decoded in lockstep: the
+  /// batching scheduler (lockstepSchedule) groups the samples still
+  /// active at each timestep into one batched cell step, so
+  /// same-timestep samples share a matmul. Per-sample loss values are
+  /// bitwise-identical to loss() on each sample; the graph is always
+  /// built timestep-major, so flipping batchedCellsEnabled() only
+  /// swaps the batch op's internals (BatchedLossEquivalenceTest pins
+  /// both). Returns each sample's mean loss.
+  std::vector<Var>
+  lossBatch(const std::vector<Var> &ProgramEmbeddings,
+            const std::vector<std::vector<Var>> &Memories,
+            const std::vector<std::vector<int>> &TargetIds) const;
+
   /// Greedy decoding until Eos or \p MaxLen tokens. Returned ids do not
   /// include Eos.
   std::vector<int> decodeGreedy(const Var &ProgramEmbedding,
                                 const std::vector<Var> &Memory,
                                 size_t MaxLen) const;
+
+  /// Beam-search decoding with \p Width hypotheses: every step scores
+  /// the whole live hypothesis set through one multi-query attention
+  /// node and one batched cell step (the decoder-side consumer of the
+  /// batching scheduler). Width 1 reproduces decodeGreedy exactly.
+  /// Returned ids do not include Eos.
+  std::vector<int> decodeBeam(const Var &ProgramEmbedding,
+                              const std::vector<Var> &Memory, size_t MaxLen,
+                              size_t Width) const;
 
 private:
   /// Shared per-step computation: emits logits for the next token,

@@ -86,6 +86,18 @@ public:
   LigerEncoding encode(const MethodTraces &Traces,
                        FusionStats *Stats = nullptr) const;
 
+  /// Encodes a mini-batch of methods with every blended trace advanced
+  /// in lockstep: at each step index the per-path component fusions
+  /// run per lane (each path attends over its own components), then
+  /// all live paths advance through one batched F3 step
+  /// (RecurrentCell::stepBatch). Per-sample values are
+  /// bitwise-identical to encode(); only node creation order — and so
+  /// gradient accumulation order across lanes — follows the
+  /// timestep-major schedule SeqDecoder::lossBatch already uses, which
+  /// is the same schedule whether batching is toggled on or off.
+  std::vector<LigerEncoding>
+  encodeBatch(const std::vector<const MethodTraces *> &Batch) const;
+
   const LigerConfig &config() const { return Config; }
 
 private:
@@ -103,9 +115,38 @@ private:
     FusionStats *Stats = nullptr;
   };
 
+  /// One state an encodeBatch round still needs embedded: the owning
+  /// sample's context, the state, and its precomputed cache key and
+  /// per-variable token sequences.
+  struct StateEmbedRequest {
+    EncodeContext *Ctx;
+    const ProgramState *State;
+    std::string Key;
+    std::vector<std::vector<std::string>> ValueTokens;
+  };
+
   Var lookupToken(const std::string &Token, EncodeContext &Ctx) const;
   Var embedStatement(const Stmt *S, EncodeContext &Ctx) const;
+  /// Computes a state's cache key and fills \p ValueTokens with each
+  /// variable's flattened token sequence (truncated to
+  /// MaxFlattenedValues for object values).
+  std::string
+  stateKey(const ProgramState &State,
+           std::vector<std::vector<std::string>> &ValueTokens) const;
   Var embedState(const ProgramState &State, EncodeContext &Ctx) const;
+  /// Embeds every requested state through lockstep-batched f1/f2 runs
+  /// (runCellLockstep) and parks the results in each request's
+  /// per-sample StateCache; per-state values are bitwise-identical to
+  /// embedState.
+  void embedStatesBatch(std::vector<StateEmbedRequest> &Requests) const;
+  /// Fuses step \p J of one path (statement + state components through
+  /// the fusion rule) or returns null when the step has no components.
+  /// When \p StateComps is non-null it supplies the step's state
+  /// embeddings (resolved up front by encodeBatch's prefetch) instead
+  /// of the per-state embedState walk.
+  Var fuseStep(const BlendedTrace &Path, size_t J, size_t NumConcrete,
+               Var PrevH, EncodeContext &Ctx,
+               const std::vector<Var> *StateComps = nullptr) const;
   Var encodePath(const BlendedTrace &Path, EncodeContext &Ctx,
                  std::vector<Var> &StepMemory) const;
 
@@ -128,6 +169,13 @@ public:
 
   /// Teacher-forced loss for one sample.
   Var loss(const MethodSample &Sample) const;
+
+  /// Teacher-forced losses for a mini-batch decoded in lockstep (see
+  /// SeqDecoder::lossBatch): encodes every sample, then advances all
+  /// decoders together so same-timestep samples share one batched cell
+  /// step. Per-sample values are bitwise-identical to loss().
+  std::vector<Var>
+  lossBatch(const std::vector<const MethodSample *> &Samples) const;
 
   /// Greedy prediction of name sub-tokens; \p Stats optionally receives
   /// fusion attention statistics.

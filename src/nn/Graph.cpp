@@ -310,10 +310,11 @@ Var liger::row(const Var &M, size_t Index) {
   LIGER_CHECK(M->Value.rank() == 2, "row expects a matrix");
   LIGER_CHECK(Index < M->Value.dim(0), "row index out of range");
   size_t Cols = M->Value.dim(1);
-  Tensor Out = Tensor::zeros(Cols);
-  std::memcpy(Out.data(), M->Value.data() + Index * Cols,
-              Cols * sizeof(float));
-  Node *N = makeNode(std::move(Out), {M}, rowBackward);
+  // Zero-copy: the row node's value aliases the parent matrix (nodes
+  // never mutate their values, and parent and view share one arena
+  // lifetime), so lockstep-batched steps pay no per-lane copy.
+  Node *N = makeNode(Tensor::view(M->Value.data() + Index * Cols, Cols),
+                     {M}, rowBackward);
   N->IScalar = Index;
   return N;
 }
@@ -597,17 +598,26 @@ void gateBackward(Node &WxN, Node &BxN, Node &WhN, Node &XN, Node &HVecN,
                         XN.grad().data());
 }
 
-/// GRU payload: z, r, n (3H floats).
-void gruCellBackward(Node &N) {
-  Node &WxN = *N.Parents[0];
-  Node &BxN = *N.Parents[1];
-  Node &WhN = *N.Parents[2];
-  Node &XN = *N.Parents[3];
-  Node &HN = *N.Parents[4];
-  size_t H = N.Value.size();
-  size_t In = XN.Value.size();
-  const float *G = N.Grad.data();
-  const float *Z = N.AuxM, *R = N.AuxM + H, *Nn = N.AuxM + 2 * H;
+/// Input-gradient half of gateBackward: the per-sample lane pass of the
+/// fused batch backward applies ∂x/∂h here (disjoint per-sample
+/// buffers, so within-sample order is all that matters) and leaves the
+/// shared-parameter updates to the batched rank-1 kernels.
+void laneGateBackward(const float *WxV, const float *WhV, Node &XN,
+                      Node &HVecN, size_t Row0, size_t H, size_t In,
+                      const float *PG) {
+  if (HVecN.RequiresGrad)
+    kernels::matvecTAcc(H, H, WhV + Row0 * H, PG, HVecN.grad().data());
+  if (XN.RequiresGrad)
+    kernels::matvecTAcc(H, In, WxV + Row0 * In, PG, XN.grad().data());
+}
+
+/// One sample's GRU backward: the replay the single-sample op runs
+/// directly and the batch op runs per sample (descending) with its
+/// grad row and payload slice. \p Aux holds z, r, n (3H floats).
+void gruCellBackwardOne(Node &WxN, Node &BxN, Node &WhN, Node &XN, Node &HN,
+                        size_t H, size_t In, const float *G,
+                        const float *Aux) {
+  const float *Z = Aux, *R = Aux + H, *Nn = Aux + 2 * H;
   const float *WhV = WhN.Value.data();
   const float *HV = HN.Value.data();
 
@@ -659,34 +669,141 @@ void gruCellBackward(Node &N) {
   gateBackward(WxN, BxN, WhN, XN, HN, 0, H, In, PZG.data());
 }
 
+/// GRU payload: z, r, n (3H floats).
+void gruCellBackward(Node &N) {
+  gruCellBackwardOne(*N.Parents[0], *N.Parents[1], *N.Parents[2],
+                     *N.Parents[3], *N.Parents[4], N.Value.size(),
+                     N.Parents[3]->Value.size(), N.Grad.data(), N.AuxM);
+}
+
+/// One lane of the fused GRU batch backward: gruCellBackwardOne minus
+/// the shared-parameter updates. Writes the three gate pre-activation
+/// grads (and r ⊙ h, the n gate's Wh operand) into caller-provided
+/// rows so the batch backward can apply every Wx/Bx/Wh region once
+/// with the descending-lane kernels, and applies this sample's ∂x/∂h
+/// in the exact reference within-sample order.
+void gruCellBackwardLane(const float *WxV, const float *WhV, Node &XN,
+                         Node &HN, size_t H, size_t In, const float *G,
+                         const float *Aux, float *PZG, float *PRG,
+                         float *PNG, float *RHp) {
+  const float *Z = Aux, *R = Aux + H, *Nn = Aux + 2 * H;
+  const float *HV = HN.Value.data();
+
+  Tensor DBuf = Tensor::raw(H);
+  float *__restrict D = DBuf.data();
+  for (size_t I = 0; I < H; ++I)
+    D[I] = HV[I] - Nn[I];
+  Tensor ZG = Tensor::zeros(H);
+  kernels::mulAcc(H, G, D, ZG.data());
+  Tensor DG = Tensor::zeros(H);
+  kernels::mulAcc(H, G, Z, DG.data());
+  if (HN.RequiresGrad)
+    kernels::addAcc(H, DG.data(), HN.grad().data());
+  Tensor DN = Tensor::zeros(H);
+  kernels::addAcc(H, G, DN.data());
+  kernels::axpy(H, -1.0f, DG.data(), DN.data());
+
+  std::memset(PNG, 0, H * sizeof(float));
+  kernels::tanhGradAcc(H, DN.data(), Nn, PNG);
+  for (size_t I = 0; I < H; ++I)
+    RHp[I] = R[I] * HV[I];
+  Tensor RHG = Tensor::zeros(H);
+  kernels::matvecTAcc(H, H, WhV + 2 * H * H, PNG, RHG.data());
+  Tensor RG = Tensor::zeros(H);
+  kernels::mulAcc(H, RHG.data(), HV, RG.data());
+  if (HN.RequiresGrad)
+    kernels::mulAcc(H, RHG.data(), R, HN.grad().data());
+  if (XN.RequiresGrad)
+    kernels::matvecTAcc(H, In, WxV + 2 * H * In, PNG, XN.grad().data());
+
+  std::memset(PRG, 0, H * sizeof(float));
+  kernels::sigmoidGradAcc(H, RG.data(), R, PRG);
+  laneGateBackward(WxV, WhV, XN, HN, H, H, In, PRG);
+  std::memset(PZG, 0, H * sizeof(float));
+  kernels::sigmoidGradAcc(H, ZG.data(), Z, PZG);
+  laneGateBackward(WxV, WhV, XN, HN, 0, H, In, PZG);
+}
+
+/// Batch-node backward: parents are Wx, Bx, Wh, X_0..X_{B-1},
+/// H_0..H_{B-1} (B in IScalar), payload B stacked 3H gate slices.
+/// Fused schedule: a descending per-lane pass computes each sample's
+/// gate pre-activation grads and applies its input grads, then each
+/// shared-parameter gradient region is walked exactly once by the
+/// descending-lane batch kernels. Every parameter element's
+/// accumulation chain (per-lane mul then add, descending) is the one
+/// the per-sample replay produces, so the result stays
+/// bitwise-identical to the unbatched schedule.
+void gruCellBatchBackward(Node &N) {
+  size_t B = N.IScalar;
+  size_t H = N.Value.dim(1);
+  size_t In = N.Parents[3]->Value.size();
+  Node &WxN = *N.Parents[0], &BxN = *N.Parents[1], &WhN = *N.Parents[2];
+  const float *G = N.Grad.data();
+  const float *WxV = WxN.Value.data(), *WhV = WhN.Value.data();
+
+  Tensor Scratch = Tensor::raw(4 * B, H);
+  float *PZG = Scratch.data(), *PRG = PZG + B * H, *PNG = PRG + B * H,
+        *RH = PNG + B * H;
+  std::vector<const float *> Ptrs(3 * B);
+  const float **XP = Ptrs.data(), **HP = XP + B, **RP = HP + B;
+  for (size_t Bi = B; Bi-- > 0;) {
+    Node &XN = *N.Parents[3 + Bi];
+    Node &HN = *N.Parents[3 + B + Bi];
+    XP[Bi] = XN.Value.data();
+    HP[Bi] = HN.Value.data();
+    RP[Bi] = RH + Bi * H;
+    gruCellBackwardLane(WxV, WhV, XN, HN, H, In, G + Bi * H,
+                        N.AuxM + Bi * 3 * H, PZG + Bi * H, PRG + Bi * H,
+                        PNG + Bi * H, RH + Bi * H);
+  }
+  if (WhN.RequiresGrad) {
+    float *WhG = WhN.grad().data();
+    kernels::rank1AccBatchDesc(B, H, H, PNG, H, RP, WhG + 2 * H * H);
+    kernels::rank1AccBatchDesc(B, H, H, PRG, H, HP, WhG + H * H);
+    kernels::rank1AccBatchDesc(B, H, H, PZG, H, HP, WhG);
+  }
+  if (BxN.RequiresGrad) {
+    float *BxG = BxN.grad().data();
+    kernels::addAccBatchDesc(B, H, PNG, H, BxG + 2 * H);
+    kernels::addAccBatchDesc(B, H, PRG, H, BxG + H);
+    kernels::addAccBatchDesc(B, H, PZG, H, BxG);
+  }
+  if (WxN.RequiresGrad) {
+    float *WxG = WxN.grad().data();
+    kernels::rank1AccBatchDesc(B, H, In, PNG, H, XP, WxG + 2 * H * In);
+    kernels::rank1AccBatchDesc(B, H, In, PRG, H, XP, WxG + H * In);
+    kernels::rank1AccBatchDesc(B, H, In, PZG, H, XP, WxG);
+  }
+}
+
+/// One sample's ∂h routing (the h-node's backward): o's grad parks in
+/// the payload slice until the c backward reaches the o gate; tc's
+/// grad flows through tanh into the c grad \p CG. \p Aux is the
+/// sample's 6H payload slice i, f, g, o, tanh(c'), dO.
+void lstmCellBackwardHOne(size_t H, const float *G, float *Aux, float *CG) {
+  const float *O = Aux + 3 * H, *Tc = Aux + 4 * H;
+  float *DO = Aux + 5 * H;
+  kernels::mulAcc(H, G, Tc, DO);
+  Tensor TCG = Tensor::zeros(H);
+  kernels::mulAcc(H, G, O, TCG.data());
+  kernels::tanhGradAcc(H, TCG.data(), Tc, CG);
+}
+
 /// LSTM payload: i, f, g, o, tanh(c'), dO (6H floats; dO zeroed at
 /// forward, filled by the h-node's backward, consumed by the c-node's).
 void lstmCellBackwardH(Node &N) {
   Node &CN = *N.Parents[0];
-  size_t H = N.Value.size();
-  const float *G = N.Grad.data();
-  const float *O = N.AuxM + 3 * H, *Tc = N.AuxM + 4 * H;
-  float *DO = N.AuxM + 5 * H;
-  // h = mul(o, tc): o's grad parks in the payload until the c-node's
-  // backward reaches the o gate; tc's grad flows through tanh into c.
-  kernels::mulAcc(H, G, Tc, DO);
-  Tensor TCG = Tensor::zeros(H);
-  kernels::mulAcc(H, G, O, TCG.data());
-  kernels::tanhGradAcc(H, TCG.data(), Tc, CN.grad().data());
+  lstmCellBackwardHOne(N.Value.size(), N.Grad.data(), N.AuxM,
+                       CN.grad().data());
 }
 
-void lstmCellBackwardC(Node &N) {
-  Node &WxN = *N.Parents[0];
-  Node &BxN = *N.Parents[1];
-  Node &WhN = *N.Parents[2];
-  Node &XN = *N.Parents[3];
-  Node &HN = *N.Parents[4];
-  Node &CPN = *N.Parents[5];
-  size_t H = N.Value.size();
-  size_t In = XN.Value.size();
-  const float *Cg = N.Grad.data();
-  const float *Ai = N.AuxM, *Af = N.AuxM + H, *Ag = N.AuxM + 2 * H,
-              *Ao = N.AuxM + 3 * H, *DO = N.AuxM + 5 * H;
+/// One sample's combined c backward (gate chains + c' products), shared
+/// by the single-sample op and the batch op's descending replay.
+void lstmCellBackwardCOne(Node &WxN, Node &BxN, Node &WhN, Node &XN,
+                          Node &HN, Node &CPN, size_t H, size_t In,
+                          const float *Cg, const float *Aux) {
+  const float *Ai = Aux, *Af = Aux + H, *Ag = Aux + 2 * H,
+              *Ao = Aux + 3 * H, *DO = Aux + 5 * H;
 
   // c' = add(mul(f, c), mul(i, g)).
   Tensor IGr = Tensor::zeros(H); // i's grad: Cg ⊙ g
@@ -712,6 +829,111 @@ void lstmCellBackwardC(Node &N) {
   PG.zero();
   kernels::sigmoidGradAcc(H, IGr.data(), Ai, PG.data());
   gateBackward(WxN, BxN, WhN, XN, HN, 0, H, In, PG.data());
+}
+
+void lstmCellBackwardC(Node &N) {
+  lstmCellBackwardCOne(*N.Parents[0], *N.Parents[1], *N.Parents[2],
+                       *N.Parents[3], *N.Parents[4], *N.Parents[5],
+                       N.Value.size(), N.Parents[3]->Value.size(),
+                       N.Grad.data(), N.AuxM);
+}
+
+/// h-batch-node backward: every sample's ∂h routing. Samples touch
+/// only their own payload slice and c-batch grad row, so the order is
+/// immaterial bitwise; descending matches the c replay. Runs before
+/// the c-batch backward (the h node is created second) and after every
+/// downstream row view — the same slot the per-sample h nodes occupy.
+void lstmCellBatchBackwardH(Node &N) {
+  Node &CN = *N.Parents[0];
+  size_t B = N.IScalar;
+  size_t H = N.Value.dim(1);
+  const float *G = N.Grad.data();
+  float *CG = CN.grad().data();
+  for (size_t Bi = B; Bi-- > 0;)
+    lstmCellBackwardHOne(H, G + Bi * H, N.AuxM + Bi * 6 * H, CG + Bi * H);
+}
+
+/// One lane of the fused LSTM c backward: lstmCellBackwardCOne minus
+/// the shared-parameter updates. Writes the four gate pre-activation
+/// grads into caller-provided rows (pack order i, f, g, o) and applies
+/// this sample's ∂x/∂h/∂c' in the exact reference within-sample order.
+void lstmCellBackwardLaneC(const float *WxV, const float *WhV, Node &XN,
+                           Node &HN, Node &CPN, size_t H, size_t In,
+                           const float *Cg, const float *Aux, float *PI,
+                           float *PF, float *PGg, float *PO) {
+  const float *Ai = Aux, *Af = Aux + H, *Ag = Aux + 2 * H,
+              *Ao = Aux + 3 * H, *DO = Aux + 5 * H;
+
+  Tensor IGr = Tensor::zeros(H);
+  kernels::mulAcc(H, Cg, Ag, IGr.data());
+  Tensor GG = Tensor::zeros(H);
+  kernels::mulAcc(H, Cg, Ai, GG.data());
+  Tensor FG = Tensor::zeros(H);
+  kernels::mulAcc(H, Cg, CPN.Value.data(), FG.data());
+  if (CPN.RequiresGrad)
+    kernels::mulAcc(H, Cg, Af, CPN.grad().data());
+
+  // Gates o, g, f, i — descending creation order of the reference
+  // graph (pack order is i, f, g, o).
+  std::memset(PO, 0, H * sizeof(float));
+  kernels::sigmoidGradAcc(H, DO, Ao, PO);
+  laneGateBackward(WxV, WhV, XN, HN, 3 * H, H, In, PO);
+  std::memset(PGg, 0, H * sizeof(float));
+  kernels::tanhGradAcc(H, GG.data(), Ag, PGg);
+  laneGateBackward(WxV, WhV, XN, HN, 2 * H, H, In, PGg);
+  std::memset(PF, 0, H * sizeof(float));
+  kernels::sigmoidGradAcc(H, FG.data(), Af, PF);
+  laneGateBackward(WxV, WhV, XN, HN, H, H, In, PF);
+  std::memset(PI, 0, H * sizeof(float));
+  kernels::sigmoidGradAcc(H, IGr.data(), Ai, PI);
+  laneGateBackward(WxV, WhV, XN, HN, 0, H, In, PI);
+}
+
+/// c-batch-node backward: parents are Wx, Bx, Wh, X_0..X_{B-1},
+/// H_0..H_{B-1}, C_0..C_{B-1} (B in IScalar). Fused schedule as in
+/// gruCellBatchBackward: descending per-lane input grads plus one
+/// descending-lane batch-kernel pass per shared-parameter gate region,
+/// bitwise-identical to the per-sample replay.
+void lstmCellBatchBackwardC(Node &N) {
+  size_t B = N.IScalar;
+  size_t H = N.Value.dim(1);
+  size_t In = N.Parents[3]->Value.size();
+  Node &WxN = *N.Parents[0], &BxN = *N.Parents[1], &WhN = *N.Parents[2];
+  const float *G = N.Grad.data();
+  const float *WxV = WxN.Value.data(), *WhV = WhN.Value.data();
+
+  Tensor Scratch = Tensor::raw(4 * B, H);
+  float *PI = Scratch.data(), *PF = PI + B * H, *PGg = PF + B * H,
+        *PO = PGg + B * H;
+  std::vector<const float *> Ptrs(2 * B);
+  const float **XP = Ptrs.data(), **HP = XP + B;
+  for (size_t Bi = B; Bi-- > 0;) {
+    Node &XN = *N.Parents[3 + Bi];
+    Node &HN = *N.Parents[3 + B + Bi];
+    XP[Bi] = XN.Value.data();
+    HP[Bi] = HN.Value.data();
+    lstmCellBackwardLaneC(WxV, WhV, XN, HN, *N.Parents[3 + 2 * B + Bi], H,
+                          In, G + Bi * H, N.AuxM + Bi * 6 * H, PI + Bi * H,
+                          PF + Bi * H, PGg + Bi * H, PO + Bi * H);
+  }
+  const float *Gates[4] = {PI, PF, PGg, PO};
+  if (WhN.RequiresGrad) {
+    float *WhG = WhN.grad().data();
+    for (size_t Gi = 0; Gi < 4; ++Gi)
+      kernels::rank1AccBatchDesc(B, H, H, Gates[Gi], H, HP,
+                                 WhG + Gi * H * H);
+  }
+  if (BxN.RequiresGrad) {
+    float *BxG = BxN.grad().data();
+    for (size_t Gi = 0; Gi < 4; ++Gi)
+      kernels::addAccBatchDesc(B, H, Gates[Gi], H, BxG + Gi * H);
+  }
+  if (WxN.RequiresGrad) {
+    float *WxG = WxN.grad().data();
+    for (size_t Gi = 0; Gi < 4; ++Gi)
+      kernels::rank1AccBatchDesc(B, H, In, Gates[Gi], H, XP,
+                                 WxG + Gi * H * In);
+  }
 }
 
 /// TreeLSTM payload: i, o, u (3H), per-child f (K*H), tanh(c), dO
@@ -896,6 +1118,218 @@ CellOut liger::lstmCellOp(const Var &Wx, const Var &Bx, const Var &Wh,
   return Result;
 }
 
+namespace {
+
+/// Returns a contiguous [B x Dim] value block for \p Vars — the matmul
+/// right-hand side. When every value already sits Dim apart in one
+/// buffer (zero-copy row views of the previous batch node, the steady
+/// lockstep state), that storage is used directly; otherwise the
+/// values are copied into \p Scratch.
+const float *stackedValues(const std::vector<Var> &Vars, size_t Dim,
+                           Tensor &Scratch) {
+  const float *Base = Vars[0]->Value.data();
+  bool Contiguous = true;
+  for (size_t I = 0; I < Vars.size(); ++I) {
+    LIGER_CHECK(Vars[I]->Value.size() == Dim,
+                "batch op inputs must share shape");
+    Contiguous = Contiguous && Vars[I]->Value.data() == Base + I * Dim;
+  }
+  if (Contiguous)
+    return Base;
+  Scratch = Tensor::raw(Vars.size(), Dim);
+  for (size_t I = 0; I < Vars.size(); ++I)
+    std::memcpy(Scratch.data() + I * Dim, Vars[I]->Value.data(),
+                Dim * sizeof(float));
+  return Scratch.data();
+}
+
+/// Parent array Wx, Bx, Wh followed by each sample group in turn.
+std::vector<Var> cellBatchParents(const Var &Wx, const Var &Bx,
+                                  const Var &Wh,
+                                  std::initializer_list<const std::vector<Var> *>
+                                      Groups) {
+  std::vector<Var> Parents;
+  size_t Total = 3;
+  for (const std::vector<Var> *G : Groups)
+    Total += G->size();
+  Parents.reserve(Total);
+  Parents.push_back(Wx);
+  Parents.push_back(Bx);
+  Parents.push_back(Wh);
+  for (const std::vector<Var> *G : Groups)
+    for (const Var &V : *G)
+      Parents.push_back(V);
+  return Parents;
+}
+
+} // namespace
+
+std::vector<Var> liger::gruCellBatchOp(const Var &Wx, const Var &Bx,
+                                       const Var &Wh,
+                                       const std::vector<Var> &Xs,
+                                       const std::vector<Var> &HPrevs) {
+  size_t B = Xs.size();
+  LIGER_CHECK(B > 0 && HPrevs.size() == B,
+              "gruCellBatchOp needs matching non-empty input/state sets");
+  size_t H = HPrevs[0]->Value.dim(0);
+  size_t In = Xs[0]->Value.dim(0);
+  LIGER_CHECK(Wx->Value.rank() == 2 && Wx->Value.dim(0) == 3 * H &&
+                  Wx->Value.dim(1) == In,
+              "gruCellBatchOp packed Wx shape mismatch");
+  LIGER_CHECK(Bx->Value.size() == 3 * H,
+              "gruCellBatchOp packed bias mismatch");
+  LIGER_CHECK(Wh->Value.rank() == 2 && Wh->Value.dim(0) == 3 * H &&
+                  Wh->Value.dim(1) == H,
+              "gruCellBatchOp packed Wh shape mismatch");
+
+  float *Gates = allocCellPayload(B * 3 * H);
+  const float *WhV = Wh->Value.data();
+  Tensor XScratch, HScratch;
+  const float *XBufV = stackedValues(Xs, In, XScratch);
+  const float *HBufV = stackedValues(HPrevs, H, HScratch);
+
+  // Every sample's x-side pre-activations in one tiled matmul (each
+  // output row bitwise-identical to the single-sample matvecN row),
+  // then the z/r hidden-side block and the n rows over r ⊙ h.
+  Tensor Pre = Tensor::raw(B, 3 * H);
+  kernels::matmul(B, 3 * H, In, Wx->Value.data(), In, XBufV, In,
+                  Pre.data(), 3 * H);
+  Tensor Hzr = Tensor::raw(B, 2 * H);
+  kernels::matmul(B, 2 * H, H, WhV, H, HBufV, H, Hzr.data(), 2 * H);
+  Tensor RH = Tensor::raw(B, H);
+  for (size_t Bi = 0; Bi < B; ++Bi) {
+    float *P = Pre.data() + Bi * 3 * H;
+    kernels::addAcc(3 * H, Bx->Value.data(), P);
+    kernels::addAcc(2 * H, Hzr.data() + Bi * 2 * H, P);
+    float *Gb = Gates + Bi * 3 * H;
+    kernels::sigmoidMap(H, P, Gb);
+    kernels::sigmoidMap(H, P + H, Gb + H);
+    const float *HV = HBufV + Bi * H;
+    float *__restrict RHp = RH.data() + Bi * H;
+    for (size_t I = 0; I < H; ++I)
+      RHp[I] = Gb[H + I] * HV[I];
+  }
+  Tensor Un = Tensor::raw(B, H);
+  kernels::matmul(B, H, H, WhV + 2 * H * H, H, RH.data(), H, Un.data(), H);
+
+  Tensor Out = Tensor::raw(B, H);
+  for (size_t Bi = 0; Bi < B; ++Bi) {
+    float *P = Pre.data() + Bi * 3 * H;
+    float *Gb = Gates + Bi * 3 * H;
+    const float *Z = Gb, *Nn = Gb + 2 * H;
+    const float *HV = HBufV + Bi * H;
+    kernels::addAcc(H, Un.data() + Bi * H, P + 2 * H);
+    kernels::tanhMap(H, P + 2 * H, Gb + 2 * H);
+    // h' = n + z ⊙ (h - n), one float op per loop as in gruCellOp.
+    Tensor D = Tensor::raw(H);
+    float *__restrict Dp = D.data();
+    for (size_t I = 0; I < H; ++I)
+      Dp[I] = HV[I] - Nn[I];
+    Tensor ZD = Tensor::raw(H);
+    float *__restrict ZDp = ZD.data();
+    for (size_t I = 0; I < H; ++I)
+      ZDp[I] = Z[I] * Dp[I];
+    float *__restrict Op = Out.data() + Bi * H;
+    for (size_t I = 0; I < H; ++I)
+      Op[I] = Nn[I] + ZDp[I];
+  }
+
+  Node *N = makeNode(std::move(Out), cellBatchParents(Wx, Bx, Wh, {&Xs, &HPrevs}),
+                     gruCellBatchBackward);
+  N->AuxM = Gates;
+  N->IScalar = B;
+  std::vector<Var> Outs;
+  Outs.reserve(B);
+  for (size_t Bi = 0; Bi < B; ++Bi)
+    Outs.push_back(row(N, Bi));
+  return Outs;
+}
+
+std::vector<CellOut> liger::lstmCellBatchOp(const Var &Wx, const Var &Bx,
+                                            const Var &Wh,
+                                            const std::vector<Var> &Xs,
+                                            const std::vector<Var> &HPrevs,
+                                            const std::vector<Var> &CPrevs) {
+  size_t B = Xs.size();
+  LIGER_CHECK(B > 0 && HPrevs.size() == B && CPrevs.size() == B,
+              "lstmCellBatchOp needs matching non-empty input/state sets");
+  size_t H = HPrevs[0]->Value.dim(0);
+  size_t In = Xs[0]->Value.dim(0);
+  LIGER_CHECK(Wx->Value.rank() == 2 && Wx->Value.dim(0) == 4 * H &&
+                  Wx->Value.dim(1) == In,
+              "lstmCellBatchOp packed Wx shape mismatch");
+  LIGER_CHECK(Bx->Value.size() == 4 * H,
+              "lstmCellBatchOp packed bias mismatch");
+  LIGER_CHECK(Wh->Value.rank() == 2 && Wh->Value.dim(0) == 4 * H &&
+                  Wh->Value.dim(1) == H,
+              "lstmCellBatchOp packed Wh shape mismatch");
+
+  float *Pay = allocCellPayload(B * 6 * H);
+  Tensor XScratch, HScratch;
+  const float *XBufV = stackedValues(Xs, In, XScratch);
+  const float *HBufV = stackedValues(HPrevs, H, HScratch);
+
+  Tensor Pre = Tensor::raw(B, 4 * H);
+  kernels::matmul(B, 4 * H, In, Wx->Value.data(), In, XBufV, In,
+                  Pre.data(), 4 * H);
+  Tensor Hh = Tensor::raw(B, 4 * H);
+  kernels::matmul(B, 4 * H, H, Wh->Value.data(), H, HBufV, H,
+                  Hh.data(), 4 * H);
+
+  Tensor C = Tensor::raw(B, H);
+  Tensor HOut = Tensor::raw(B, H);
+  for (size_t Bi = 0; Bi < B; ++Bi) {
+    LIGER_CHECK(CPrevs[Bi]->Value.size() == H,
+                "lstmCellBatchOp cell-state mismatch");
+    float *P = Pre.data() + Bi * 4 * H;
+    kernels::addAcc(4 * H, Bx->Value.data(), P);
+    kernels::addAcc(4 * H, Hh.data() + Bi * 4 * H, P);
+    float *Slice = Pay + Bi * 6 * H;
+    float *Ai = Slice, *Af = Slice + H, *Ag = Slice + 2 * H,
+          *Ao = Slice + 3 * H, *Tc = Slice + 4 * H, *DO = Slice + 5 * H;
+    std::memset(DO, 0, H * sizeof(float));
+    kernels::sigmoidMap(H, P, Ai);
+    kernels::sigmoidMap(H, P + H, Af);
+    kernels::tanhMap(H, P + 2 * H, Ag);
+    kernels::sigmoidMap(H, P + 3 * H, Ao);
+
+    const float *CPV = CPrevs[Bi]->Value.data();
+    Tensor FC = Tensor::raw(H);
+    float *__restrict FCp = FC.data();
+    for (size_t I = 0; I < H; ++I)
+      FCp[I] = Af[I] * CPV[I];
+    Tensor IG = Tensor::raw(H);
+    float *__restrict IGp = IG.data();
+    for (size_t I = 0; I < H; ++I)
+      IGp[I] = Ai[I] * Ag[I];
+    float *__restrict Cp = C.data() + Bi * H;
+    for (size_t I = 0; I < H; ++I)
+      Cp[I] = FCp[I] + IGp[I];
+    kernels::tanhMap(H, Cp, Tc);
+    float *__restrict Hp = HOut.data() + Bi * H;
+    for (size_t I = 0; I < H; ++I)
+      Hp[I] = Ao[I] * Tc[I];
+  }
+
+  Node *CN = makeNode(std::move(C),
+                      cellBatchParents(Wx, Bx, Wh, {&Xs, &HPrevs, &CPrevs}),
+                      lstmCellBatchBackwardC);
+  CN->AuxM = Pay;
+  CN->IScalar = B;
+  Node *HN = makeNode(std::move(HOut), {CN}, lstmCellBatchBackwardH);
+  HN->AuxM = Pay;
+  HN->IScalar = B;
+  std::vector<CellOut> Outs;
+  Outs.reserve(B);
+  for (size_t Bi = 0; Bi < B; ++Bi) {
+    CellOut Sample;
+    Sample.C = row(CN, Bi);
+    Sample.H = row(HN, Bi);
+    Outs.push_back(Sample);
+  }
+  return Outs;
+}
+
 CellOut liger::treeLstmNodeOp(const Var &Wx, const Var &Bx, const Var &Wh,
                               const Var &X, const Var &HSum,
                               const std::vector<Var> &ChildH,
@@ -1046,26 +1480,21 @@ void attentionKeyProjBackward(Node &N) {
     kernels::addAcc2d(H, K, WkStage.data(), K, W1N.grad().data(), W1Cols);
 }
 
-void attentionBackward(Node &N) {
-  Node &W1N = *N.Parents[0];
-  Node &W2N = *N.Parents[1];
-  Node &B2N = *N.Parents[2];
-  Node &QN = *N.Parents[3];
-  Node &KPN = *N.Parents[4];
-  size_t T = N.NumParents - 5;
-  size_t K = N.Value.size();
-  size_t H = KPN.Value.dim(1);
-  size_t Q = QN.Value.size();
+/// One query's attention backward over the shared key memory; the
+/// whole chain for a single-query node, and one replay step of the
+/// multi-query node (KeyParents points at the shared Key_0.. span).
+void attentionBackwardOne(Node &W1N, Node &W2N, Node &B2N, Node &QN,
+                          Node &KPN, Node *const *KeyParents, size_t T,
+                          size_t K, size_t H, size_t Q, const float *G,
+                          const float *Ht, const float *A) {
   size_t W1Cols = W1N.Value.dim(1);
-  const float *G = N.Grad.data();
-  const float *Ht = N.AuxM, *A = N.AuxM + T * H;
   const float *W1V = W1N.Value.data(), *W2V = W2N.Value.data();
 
   // context = weightedCombine(keys, a): keys ascending, each taking
   // a_t-scaled context grad; the weight grads are per-key dots.
   Tensor AG = Tensor::zeros(T);
   for (size_t TI = 0; TI < T; ++TI) {
-    Node &KeyN = *N.Parents[5 + TI];
+    Node &KeyN = *KeyParents[TI];
     if (KeyN.RequiresGrad)
       kernels::axpy(K, A[TI], G, KeyN.grad().data());
     AG[TI] += kernels::dot(K, G, KeyN.Value.data());
@@ -1107,6 +1536,38 @@ void attentionBackward(Node &N) {
   if (W1N.RequiresGrad)
     kernels::addAcc2d(H, Q, WqStage.data(), Q, W1N.grad().data() + K,
                       W1Cols);
+}
+
+void attentionBackward(Node &N) {
+  Node &KPN = *N.Parents[4];
+  size_t T = N.NumParents - 5;
+  size_t H = KPN.Value.dim(1);
+  attentionBackwardOne(*N.Parents[0], *N.Parents[1], *N.Parents[2],
+                       *N.Parents[3], KPN, N.Parents + 5, T,
+                       N.Value.size(), H, N.Parents[3]->Value.size(),
+                       N.Grad.data(), N.AuxM, N.AuxM + T * H);
+}
+
+/// Multi-query node: parents W1, W2, B2, Query_0..Query_{Qn-1},
+/// KeyProj, Key_0..Key_{T-1}; payload is Qn slices of (T*H tanh
+/// activations + T weights). Queries replay in descending order —
+/// where ascending-created single-query nodes sit in the global
+/// descending-Seq schedule — so shared-parameter accumulation is
+/// bitwise-identical to the per-query reference.
+void attentionMultiQueryBackward(Node &N) {
+  size_t Qn = N.IScalar;
+  Node &KPN = *N.Parents[3 + Qn];
+  size_t T = N.NumParents - 4 - Qn;
+  size_t K = N.Value.dim(1);
+  size_t H = KPN.Value.dim(1);
+  const float *G = N.Grad.data();
+  for (size_t Qi = Qn; Qi-- > 0;) {
+    const float *Slice = N.AuxM + Qi * (T * H + T);
+    attentionBackwardOne(*N.Parents[0], *N.Parents[1], *N.Parents[2],
+                         *N.Parents[3 + Qi], KPN, N.Parents + 4 + Qn, T,
+                         K, H, N.Parents[3 + Qi]->Value.size(),
+                         G + Qi * K, Slice, Slice + T * H);
+  }
 }
 
 } // namespace
@@ -1206,6 +1667,93 @@ AttnOut liger::attentionOp(const Var &W1, const Var &W2, const Var &B2,
   Result.Context = N;
   Result.Weights = A;
   return Result;
+}
+
+std::vector<AttnOut> liger::attentionMultiQueryOp(
+    const Var &W1, const Var &W2, const Var &B2,
+    const std::vector<Var> &Queries, const Var &KeyProj,
+    const std::vector<Var> &Keys) {
+  size_t Qn = Queries.size();
+  size_t T = Keys.size();
+  LIGER_CHECK(Qn > 0, "attentionMultiQueryOp needs queries");
+  LIGER_CHECK(T > 0, "attentionMultiQueryOp needs keys");
+  size_t K = Keys[0]->Value.size();
+  size_t Q = Queries[0]->Value.size();
+  size_t H = W1->Value.dim(0);
+  size_t W1Cols = W1->Value.dim(1);
+  LIGER_CHECK(W1->Value.rank() == 2 && W1Cols == K + Q,
+              "attentionMultiQueryOp packed W1 shape mismatch");
+  LIGER_CHECK(W2->Value.rank() == 2 && W2->Value.dim(0) == 1 &&
+                  W2->Value.dim(1) == H,
+              "attentionMultiQueryOp W2 shape mismatch");
+  LIGER_CHECK(B2->Value.size() == 1,
+              "attentionMultiQueryOp B2 shape mismatch");
+  LIGER_CHECK(KeyProj->Value.rank() == 2 && KeyProj->Value.dim(0) == T &&
+                  KeyProj->Value.dim(1) == H,
+              "attentionMultiQueryOp key projection mismatch");
+  for (size_t TI = 0; TI < T; ++TI)
+    LIGER_CHECK(Keys[TI]->Value.size() == K,
+                "attentionMultiQueryOp keys must share shape");
+
+  float *Pay = allocCellPayload(Qn * (T * H + T));
+  const float *KPV = KeyProj->Value.data();
+  const float *W2V = W2->Value.data();
+
+  // All queries' broadcast projections in one tiled matmul over the
+  // query-side band of W1 (each row bitwise ≡ the single-query
+  // matvecStrided).
+  Tensor QScratch;
+  const float *QBufV = stackedValues(Queries, Q, QScratch);
+  Tensor Mq = Tensor::raw(Qn, H);
+  kernels::matmul(Qn, H, Q, W1->Value.data() + K, W1Cols, QBufV, Q,
+                  Mq.data(), H);
+
+  Tensor Out = Tensor::zeros(Qn, K);
+  Tensor Pre = Tensor::raw(H);
+  float *__restrict PreV = Pre.data();
+  for (size_t Qi = 0; Qi < Qn; ++Qi) {
+    float *Slice = Pay + Qi * (T * H + T);
+    float *Ht = Slice, *A = Slice + T * H;
+    const float *__restrict MqV = Mq.data() + Qi * H;
+    Tensor Sv = Tensor::zeros(T);
+    for (size_t TI = 0; TI < T; ++TI) {
+      const float *__restrict KPRow = KPV + TI * H;
+      for (size_t I = 0; I < H; ++I)
+        PreV[I] = KPRow[I] + MqV[I];
+      float *HtRow = Ht + TI * H;
+      kernels::tanhMap(H, PreV, HtRow);
+      float S = kernels::dot(H, W2V, HtRow);
+      Sv[TI] = S + B2->Value[0];
+    }
+    std::vector<float> Probs = softmaxValues(Sv);
+    std::memcpy(A, Probs.data(), T * sizeof(float));
+    float *OutRow = Out.data() + Qi * K;
+    for (size_t TI = 0; TI < T; ++TI)
+      kernels::axpy(K, A[TI], Keys[TI]->Value.data(), OutRow);
+  }
+
+  std::vector<Var> Parents;
+  Parents.reserve(4 + Qn + T);
+  Parents.push_back(W1);
+  Parents.push_back(W2);
+  Parents.push_back(B2);
+  for (const Var &Qv : Queries)
+    Parents.push_back(Qv);
+  Parents.push_back(KeyProj);
+  for (const Var &Key : Keys)
+    Parents.push_back(Key);
+  Node *N = makeNode(std::move(Out), Parents, attentionMultiQueryBackward);
+  N->AuxM = Pay;
+  N->IScalar = Qn;
+  std::vector<AttnOut> Results;
+  Results.reserve(Qn);
+  for (size_t Qi = 0; Qi < Qn; ++Qi) {
+    AttnOut R;
+    R.Context = row(N, Qi);
+    R.Weights = Pay + Qi * (T * H + T) + T * H;
+    Results.push_back(R);
+  }
+  return Results;
 }
 
 //===----------------------------------------------------------------------===//

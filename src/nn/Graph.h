@@ -204,6 +204,38 @@ CellOut treeLstmNodeOp(const Var &Wx, const Var &Bx, const Var &Wh,
                        const std::vector<Var> &ChildC);
 
 //===----------------------------------------------------------------------===//
+// Batched recurrent-cell ops
+//===----------------------------------------------------------------------===//
+
+/// Fused GRU step advanced for B concurrently-running sequences in one
+/// batch node: inputs and previous states are stacked into contiguous
+/// [B x In] / [B x H] blocks so every packed gate costs one tiled
+/// matmul instead of B matvecs. The node's [B x H] value holds every
+/// sample's h'; the returned Vars are per-sample row views (forward: a
+/// row copy; backward: an addAcc into the batch node's grad row). The
+/// batch backward replays the single-sample gruCellOp backward per
+/// sample in descending sample order — exactly where B per-sample cell
+/// nodes created in ascending order would sit in the global
+/// descending-Seq schedule — so losses, gradients, and optimizer steps
+/// are bitwise-identical to B gruCellOp calls
+/// (BatchedKernelEquivalenceTest pins this).
+std::vector<Var> gruCellBatchOp(const Var &Wx, const Var &Bx, const Var &Wh,
+                                const std::vector<Var> &Xs,
+                                const std::vector<Var> &HPrevs);
+
+/// Fused LSTM step for B sequences (see gruCellBatchOp). Two batch
+/// nodes mirror the single-sample op's c-node/h-node split: the
+/// c-batch node owns the stacked gate payload and the combined
+/// per-sample backward replay; the h-batch node routes every sample's
+/// ∂h into the shared payload first. Returned CellOuts are per-sample
+/// row views of the two nodes. Bitwise-identical to B lstmCellOp calls.
+std::vector<CellOut> lstmCellBatchOp(const Var &Wx, const Var &Bx,
+                                     const Var &Wh,
+                                     const std::vector<Var> &Xs,
+                                     const std::vector<Var> &HPrevs,
+                                     const std::vector<Var> &CPrevs);
+
+//===----------------------------------------------------------------------===//
 // Fused attention ops
 //===----------------------------------------------------------------------===//
 
@@ -237,6 +269,21 @@ struct AttnOut {
 AttnOut attentionOp(const Var &W1, const Var &W2, const Var &B2,
                     const Var &Query, const Var &KeyProj,
                     const std::vector<Var> &Keys);
+
+/// Multi-query fused attention: scores a block of Q queries against
+/// one shared prepared key projection in a single node, so beam
+/// hypotheses (and any same-memory query group) amortize the memory
+/// walk and the query-side projection becomes one [Q x Hidden] tiled
+/// matmul. The node's [Q x KeyDim] value holds every query's context;
+/// returned AttnOuts are per-query row views plus arena-owned weight
+/// peeks. The backward replays the single-query attentionOp backward
+/// per query in descending query order — bitwise-identical to Q
+/// attentionOp calls over the same memory.
+std::vector<AttnOut> attentionMultiQueryOp(const Var &W1, const Var &W2,
+                                           const Var &B2,
+                                           const std::vector<Var> &Queries,
+                                           const Var &KeyProj,
+                                           const std::vector<Var> &Keys);
 
 /// Runs reverse-mode accumulation from scalar \p Loss (grad seeded 1).
 void backward(const Var &Loss);

@@ -22,6 +22,12 @@ std::atomic<bool> FusedCells{true};
 /// Process-wide fused-attention toggle (see Module.h).
 std::atomic<bool> FusedAttention{true};
 
+/// Process-wide batched-cell toggle (see Module.h).
+std::atomic<bool> BatchedCells{true};
+
+/// Process-wide batched-attention toggle (see Module.h).
+std::atomic<bool> BatchedAttention{true};
+
 /// Draws a Glorot-uniform [Rows x Cols] block into rows
 /// [Row0, Row0 + Rows) of \p Packed, consuming exactly the Rng draws
 /// the per-gate Tensor::xavier(Rows, Cols, R) call made — a fixed seed
@@ -50,6 +56,22 @@ bool liger::fusedAttentionEnabled() {
 
 void liger::setFusedAttentionEnabled(bool Enabled) {
   FusedAttention.store(Enabled, std::memory_order_relaxed);
+}
+
+bool liger::batchedCellsEnabled() {
+  return BatchedCells.load(std::memory_order_relaxed);
+}
+
+void liger::setBatchedCellsEnabled(bool Enabled) {
+  BatchedCells.store(Enabled, std::memory_order_relaxed);
+}
+
+bool liger::batchedAttentionEnabled() {
+  return BatchedAttention.load(std::memory_order_relaxed);
+}
+
+void liger::setBatchedAttentionEnabled(bool Enabled) {
+  BatchedAttention.store(Enabled, std::memory_order_relaxed);
 }
 
 //===----------------------------------------------------------------------===//
@@ -219,6 +241,47 @@ RecState RecurrentCell::step(const Var &X, const RecState &Prev) const {
     S.C = Out.C;
   }
   return S;
+}
+
+std::vector<RecState>
+RecurrentCell::stepBatch(const std::vector<Var> &Xs,
+                         const std::vector<RecState> &Prev) const {
+  LIGER_CHECK(Xs.size() == Prev.size() && !Xs.empty(),
+              "stepBatch needs matching non-empty input/state sets");
+  size_t B = Xs.size();
+  if (Kind == CellKind::Rnn || B == 1 || !batchedCellsEnabled() ||
+      !fusedCellsEnabled()) {
+    std::vector<RecState> Out;
+    Out.reserve(B);
+    for (size_t I = 0; I < B; ++I)
+      Out.push_back(step(Xs[I], Prev[I]));
+    return Out;
+  }
+  std::vector<RecState> Out(B);
+  if (Kind == CellKind::Gru) {
+    std::vector<Var> HPrevs;
+    HPrevs.reserve(B);
+    for (const RecState &S : Prev)
+      HPrevs.push_back(S.H);
+    std::vector<Var> Hs = gruCellBatchOp(PWx, PBx, PWh, Xs, HPrevs);
+    for (size_t I = 0; I < B; ++I)
+      Out[I].H = Hs[I];
+    return Out;
+  }
+  std::vector<Var> HPrevs, CPrevs;
+  HPrevs.reserve(B);
+  CPrevs.reserve(B);
+  for (const RecState &S : Prev) {
+    HPrevs.push_back(S.H);
+    CPrevs.push_back(S.C);
+  }
+  std::vector<CellOut> Cells =
+      lstmCellBatchOp(PWx, PBx, PWh, Xs, HPrevs, CPrevs);
+  for (size_t I = 0; I < B; ++I) {
+    Out[I].H = Cells[I].H;
+    Out[I].C = Cells[I].C;
+  }
+  return Out;
 }
 
 RecState RecurrentCell::stepUnfused(const Var &X, const RecState &Prev) const {
@@ -589,6 +652,27 @@ AttentionScorer::contextOf(const Var &Query, const Memory &Mem) const {
   Var A = softmax(Scores);
   Out.Context = weightedCombine(Mem.Keys, A);
   Out.Weights = A->Value.data();
+  return Out;
+}
+
+std::vector<AttentionScorer::Result>
+AttentionScorer::contextOfMulti(const std::vector<Var> &Queries,
+                                const Memory &Mem) const {
+  LIGER_CHECK(!Queries.empty(), "contextOfMulti needs queries");
+  if (Queries.size() == 1 || !Mem.Fused || !batchedAttentionEnabled()) {
+    std::vector<Result> Out;
+    Out.reserve(Queries.size());
+    for (const Var &Q : Queries)
+      Out.push_back(contextOf(Q, Mem));
+    return Out;
+  }
+  std::vector<AttnOut> Fused =
+      attentionMultiQueryOp(W1, W2, B2, Queries, Mem.KeyProj, Mem.Keys);
+  std::vector<Result> Out(Queries.size());
+  for (size_t I = 0; I < Queries.size(); ++I) {
+    Out[I].Context = Fused[I].Context;
+    Out[I].Weights = Fused[I].Weights;
+  }
   return Out;
 }
 

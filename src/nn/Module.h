@@ -110,6 +110,13 @@ private:
 bool fusedCellsEnabled();
 void setFusedCellsEnabled(bool Enabled);
 
+/// Whether stepBatch() stacks same-timestep samples into the matmul-
+/// backed batch cell ops (the default) or loops the per-sample fused
+/// step(). Bitwise-identical paths (BatchedKernelEquivalenceTest); the
+/// toggle exists for A/B benchmarks and the equivalence suite.
+bool batchedCellsEnabled();
+void setBatchedCellsEnabled(bool Enabled);
+
 /// Fully connected layer: y = W x + b.
 class Linear {
 public:
@@ -161,6 +168,16 @@ public:
 
   /// One time step.
   RecState step(const Var &X, const RecState &Prev) const;
+
+  /// One time step for B concurrently-advancing sequences: stacks the
+  /// inputs/states into one matmul-backed batch op per packed gate
+  /// block (gruCellBatchOp/lstmCellBatchOp) and hands back per-sample
+  /// row views. Falls back to a per-sample step() loop for Rnn cells,
+  /// B == 1, or when batchedCellsEnabled()/fusedCellsEnabled() is off;
+  /// either way results are bitwise-identical to calling step() on
+  /// each sample in order.
+  std::vector<RecState> stepBatch(const std::vector<Var> &Xs,
+                                  const std::vector<RecState> &Prev) const;
 
   /// Folds a sequence left-to-right; returns every state (useful for
   /// attention) — States[i] is the state after consuming Inputs[i].
@@ -250,6 +267,12 @@ private:
 bool fusedAttentionEnabled();
 void setFusedAttentionEnabled(bool Enabled);
 
+/// Whether contextOfMulti() scores its query block through the single
+/// multi-query attention node (the default) or loops per-query
+/// contextOf(). Bitwise-identical paths (BatchedKernelEquivalenceTest).
+bool batchedAttentionEnabled();
+void setBatchedAttentionEnabled(bool Enabled);
+
 /// Bahdanau-style additive attention scorer: score(q, k) =
 /// v · tanh(W1 [k ⊕ q] + b1) — the paper's a1 (fusion) and a2
 /// (decoder) networks. The first layer stays stored as one packed
@@ -292,6 +315,16 @@ public:
   /// all scores, then the weighted key sum — one fused graph node (or
   /// the reference chain when the memory was prepared unfused).
   Result contextOf(const Var &Query, const Memory &Mem) const;
+
+  /// Attended contexts for a block of queries over one shared prepared
+  /// memory: a single multi-query node amortizes the key-memory walk
+  /// (decoder hypothesis sets, same-timestep batched decodes). Falls
+  /// back to a per-query contextOf() loop for a single query, an
+  /// unfused memory, or when batchedAttentionEnabled() is off; either
+  /// way results are bitwise-identical to per-query contextOf() calls
+  /// in order.
+  std::vector<Result> contextOfMulti(const std::vector<Var> &Queries,
+                                     const Memory &Mem) const;
 
   /// All T pre-softmax scores of \p Query against \p Keys as one [T]
   /// node, sharing the key projections across scores (reference graph

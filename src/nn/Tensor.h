@@ -59,7 +59,7 @@ public:
   Tensor() = default;
 
   ~Tensor() {
-    if (Data)
+    if (Data && !Borrowed)
       detail::bufferRelease(Data, N);
   }
 
@@ -103,6 +103,22 @@ public:
   /// Uninitialized vector of dimension \p N — for outputs every entry
   /// of which is about to be overwritten (kernel destinations).
   static Tensor raw(size_t N) { return Tensor(N, 0, 1); }
+  /// Uninitialized [Rows x Cols] matrix (batched kernel destinations).
+  static Tensor raw(size_t Rows, size_t Cols) {
+    return Tensor(Rows, Cols, 2);
+  }
+  /// Non-owning rank-1 view of \p Count floats at \p Values (row views
+  /// into a batch node's value). The viewed storage must outlive the
+  /// view; copies of a view are deep, owning copies.
+  static Tensor view(float *Values, size_t Count) {
+    Tensor T;
+    T.Data = Values;
+    T.N = Count;
+    T.Rank = 1;
+    T.Dims[0] = Count;
+    T.Borrowed = true;
+    return T;
+  }
   /// Vector from explicit values.
   static Tensor fromVector(const std::vector<float> &Values) {
     Tensor T(Values.size(), 0, 1);
@@ -207,6 +223,7 @@ private:
     Data = Other.Data ? detail::bufferAcquire(N) : nullptr;
     if (Data)
       std::memcpy(Data, Other.Data, N * sizeof(float));
+    Borrowed = false;
   }
 
   void steal(Tensor &Other) noexcept {
@@ -215,26 +232,29 @@ private:
     Dims[1] = Other.Dims[1];
     N = Other.N;
     Data = Other.Data;
+    Borrowed = Other.Borrowed;
     Other.Data = nullptr;
     Other.N = 0;
     Other.Rank = 0;
     Other.Dims[0] = Other.Dims[1] = 0;
+    Other.Borrowed = false;
   }
 
   void release() {
-    if (Data) {
+    if (Data && !Borrowed)
       detail::bufferRelease(Data, N);
-      Data = nullptr;
-    }
+    Data = nullptr;
     N = 0;
     Rank = 0;
     Dims[0] = Dims[1] = 0;
+    Borrowed = false;
   }
 
   float *Data = nullptr;
   size_t N = 0;
   size_t Dims[2] = {0, 0};
   uint32_t Rank = 0;
+  bool Borrowed = false;
 };
 
 /// Restrict-qualified inner-loop kernels shared by the forward and
@@ -413,6 +433,147 @@ inline void matvec(size_t Rows, size_t Cols, const float *__restrict M,
   matvecStrided(Rows, Cols, Cols, M, X, Y);
 }
 
+/// Y_b = M x_b for B right-hand-side vectors: the [B x Cols] operand's
+/// rows sit \p XStride floats apart, the [B x Rows] result's rows
+/// \p YStride apart, and M is a [Rows x Cols] band with rows \p MStride
+/// apart (MStride == Cols for a dense matrix). Register-blocked 2
+/// M-rows x 2 vectors, so each loaded M chunk feeds two outputs and
+/// each loaded x chunk feeds two rows — the data reuse a per-sample
+/// matvec loop cannot get. Every output element is bitwise-identical to
+/// dot(Cols, M_row, x_b): same two-accumulator chunk schedule, same
+/// extra-8 chunk into the first accumulator, same horizontal-add tree,
+/// same scalar fma tail. Edge rows/vectors fall back to dot /
+/// matvecStrided, which share that contract.
+inline void matmul(size_t B, size_t Rows, size_t Cols,
+                   const float *__restrict M, size_t MStride,
+                   const float *__restrict X, size_t XStride,
+                   float *__restrict Y, size_t YStride) {
+  size_t Bi = 0;
+  for (; Bi + 2 <= B; Bi += 2) {
+    const float *Xa = X + Bi * XStride;
+    const float *Xb = Xa + XStride;
+    float *Ya = Y + Bi * YStride;
+    float *Yb = Ya + YStride;
+    size_t R = 0;
+    for (; R + 2 <= Rows; R += 2) {
+      const float *M0 = M + R * MStride;
+      const float *M1 = M0 + MStride;
+      __m256 A0a0 = _mm256_setzero_ps(), A0a1 = _mm256_setzero_ps();
+      __m256 A0b0 = _mm256_setzero_ps(), A0b1 = _mm256_setzero_ps();
+      __m256 A1a0 = _mm256_setzero_ps(), A1a1 = _mm256_setzero_ps();
+      __m256 A1b0 = _mm256_setzero_ps(), A1b1 = _mm256_setzero_ps();
+      size_t I = 0;
+      for (; I + 16 <= Cols; I += 16) {
+        __m256 Xa0 = _mm256_loadu_ps(Xa + I);
+        __m256 Xa1 = _mm256_loadu_ps(Xa + I + 8);
+        __m256 Xb0 = _mm256_loadu_ps(Xb + I);
+        __m256 Xb1 = _mm256_loadu_ps(Xb + I + 8);
+        __m256 M00 = _mm256_loadu_ps(M0 + I);
+        __m256 M01 = _mm256_loadu_ps(M0 + I + 8);
+        __m256 M10 = _mm256_loadu_ps(M1 + I);
+        __m256 M11 = _mm256_loadu_ps(M1 + I + 8);
+        A0a0 = _mm256_fmadd_ps(M00, Xa0, A0a0);
+        A0a1 = _mm256_fmadd_ps(M01, Xa1, A0a1);
+        A0b0 = _mm256_fmadd_ps(M00, Xb0, A0b0);
+        A0b1 = _mm256_fmadd_ps(M01, Xb1, A0b1);
+        A1a0 = _mm256_fmadd_ps(M10, Xa0, A1a0);
+        A1a1 = _mm256_fmadd_ps(M11, Xa1, A1a1);
+        A1b0 = _mm256_fmadd_ps(M10, Xb0, A1b0);
+        A1b1 = _mm256_fmadd_ps(M11, Xb1, A1b1);
+      }
+      if (I + 8 <= Cols) {
+        __m256 Xa0 = _mm256_loadu_ps(Xa + I);
+        __m256 Xb0 = _mm256_loadu_ps(Xb + I);
+        __m256 M00 = _mm256_loadu_ps(M0 + I);
+        __m256 M10 = _mm256_loadu_ps(M1 + I);
+        A0a0 = _mm256_fmadd_ps(M00, Xa0, A0a0);
+        A0b0 = _mm256_fmadd_ps(M00, Xb0, A0b0);
+        A1a0 = _mm256_fmadd_ps(M10, Xa0, A1a0);
+        A1b0 = _mm256_fmadd_ps(M10, Xb0, A1b0);
+        I += 8;
+      }
+      float S0a = hadd8(_mm256_add_ps(A0a0, A0a1));
+      float S0b = hadd8(_mm256_add_ps(A0b0, A0b1));
+      float S1a = hadd8(_mm256_add_ps(A1a0, A1a1));
+      float S1b = hadd8(_mm256_add_ps(A1b0, A1b1));
+      for (; I < Cols; ++I) {
+        float XaI = Xa[I], XbI = Xb[I];
+        S0a = std::fma(M0[I], XaI, S0a);
+        S0b = std::fma(M0[I], XbI, S0b);
+        S1a = std::fma(M1[I], XaI, S1a);
+        S1b = std::fma(M1[I], XbI, S1b);
+      }
+      Ya[R] = S0a;
+      Ya[R + 1] = S1a;
+      Yb[R] = S0b;
+      Yb[R + 1] = S1b;
+    }
+    for (; R < Rows; ++R) {
+      const float *MR = M + R * MStride;
+      Ya[R] = dot(Cols, MR, Xa);
+      Yb[R] = dot(Cols, MR, Xb);
+    }
+  }
+  if (Bi < B)
+    matvecStrided(Rows, Cols, MStride, M, X + Bi * XStride, Y + Bi * YStride);
+}
+
+/// Shared-parameter rank-1 accumulation over a batch in DESCENDING
+/// sample order: MG[r][c] += PG[b * PGStride + r] * X[b][c] for
+/// b = B-1..0, with the same round-the-product-then-add pair axpy
+/// performs (contraction blocked). Each gradient element's addition
+/// chain is therefore bitwise-identical to B rank1Acc calls replayed
+/// in descending sample order — but the gradient matrix is walked
+/// once instead of once per sample.
+inline void rank1AccBatchDesc(size_t B, size_t Rows, size_t Cols,
+                              const float *__restrict PG, size_t PGStride,
+                              const float *const *X,
+                              float *__restrict MG) {
+  for (size_t R = 0; R < Rows; ++R) {
+    float *M = MG + R * Cols;
+    size_t I = 0;
+    for (; I + 8 <= Cols; I += 8) {
+      __m256 Acc = _mm256_loadu_ps(M + I);
+      for (size_t Bi = B; Bi-- > 0;) {
+        __m256 VA = _mm256_set1_ps(PG[Bi * PGStride + R]);
+        __m256 P = _mm256_mul_ps(VA, _mm256_loadu_ps(X[Bi] + I));
+        LIGER_BLOCK_CONTRACT(P);
+        Acc = _mm256_add_ps(Acc, P);
+      }
+      _mm256_storeu_ps(M + I, Acc);
+    }
+    for (; I < Cols; ++I) {
+      float Acc = M[I];
+      for (size_t Bi = B; Bi-- > 0;) {
+        float P = PG[Bi * PGStride + R] * X[Bi][I];
+        LIGER_BLOCK_CONTRACT(P);
+        Acc += P;
+      }
+      M[I] = Acc;
+    }
+  }
+}
+
+/// Bias accumulation over a batch in descending sample order:
+/// Y[i] += PG[b * PGStride + i] for b = B-1..0 — bitwise-identical to
+/// B addAcc calls replayed descending (plain adds in both).
+inline void addAccBatchDesc(size_t B, size_t N, const float *__restrict PG,
+                            size_t PGStride, float *__restrict Y) {
+  size_t I = 0;
+  for (; I + 8 <= N; I += 8) {
+    __m256 Acc = _mm256_loadu_ps(Y + I);
+    for (size_t Bi = B; Bi-- > 0;)
+      Acc = _mm256_add_ps(Acc, _mm256_loadu_ps(PG + Bi * PGStride + I));
+    _mm256_storeu_ps(Y + I, Acc);
+  }
+  for (; I < N; ++I) {
+    float Acc = Y[I];
+    for (size_t Bi = B; Bi-- > 0;)
+      Acc += PG[Bi * PGStride + I];
+    Y[I] = Acc;
+  }
+}
+
 #else // scalar fallback
 
 /// Σ_i A[i] * B[i]. Four independent partial accumulators break the
@@ -470,6 +631,52 @@ inline void matvec(size_t Rows, size_t Cols, const float *__restrict M,
   matvecStrided(Rows, Cols, Cols, M, X, Y);
 }
 
+/// Y_b = M x_b for B right-hand-side vectors (strides as in the AVX2
+/// variant). The scalar configuration's per-row reduction is already
+/// dot()'s 4-partial scheme, so the batched product is simply the
+/// per-vector strided matvec — bitwise-identical per output element by
+/// construction.
+inline void matmul(size_t B, size_t Rows, size_t Cols,
+                   const float *__restrict M, size_t MStride,
+                   const float *__restrict X, size_t XStride,
+                   float *__restrict Y, size_t YStride) {
+  for (size_t Bi = 0; Bi < B; ++Bi)
+    matvecStrided(Rows, Cols, MStride, M, X + Bi * XStride, Y + Bi * YStride);
+}
+
+/// Scalar rank-1 batch accumulation, descending sample order (see the
+/// AVX2 variant): per element the same mul-then-add chain as B
+/// descending rank1Acc calls.
+inline void rank1AccBatchDesc(size_t B, size_t Rows, size_t Cols,
+                              const float *__restrict PG, size_t PGStride,
+                              const float *const *X,
+                              float *__restrict MG) {
+  for (size_t R = 0; R < Rows; ++R) {
+    float *M = MG + R * Cols;
+    for (size_t I = 0; I < Cols; ++I) {
+      float Acc = M[I];
+      for (size_t Bi = B; Bi-- > 0;) {
+        float P = PG[Bi * PGStride + R] * X[Bi][I];
+        LIGER_BLOCK_CONTRACT(P);
+        Acc += P;
+      }
+      M[I] = Acc;
+    }
+  }
+}
+
+/// Scalar bias batch accumulation, descending sample order (see the
+/// AVX2 variant).
+inline void addAccBatchDesc(size_t B, size_t N, const float *__restrict PG,
+                            size_t PGStride, float *__restrict Y) {
+  for (size_t I = 0; I < N; ++I) {
+    float Acc = Y[I];
+    for (size_t Bi = B; Bi-- > 0;)
+      Acc += PG[Bi * PGStride + I];
+    Y[I] = Acc;
+  }
+}
+
 #endif // LIGER_SIMD_AVX2
 
 /// Y = [M_0; M_1; ...; M_{K-1}] x for K stacked [Rows x Cols] blocks
@@ -507,6 +714,20 @@ inline void matvecTAccStrided(size_t Rows, size_t Cols, size_t RowStride,
 inline void matvecTAcc(size_t Rows, size_t Cols, const float *__restrict M,
                        const float *__restrict G, float *__restrict XG) {
   matvecTAccStrided(Rows, Cols, Cols, M, G, XG);
+}
+
+/// XG_b += M^T G_b for B gradient rows (strides as in matmul) — the
+/// input-side backward of matmul. Per-vector it is exactly
+/// matvecTAccStrided, so batched and per-sample backward replays
+/// accumulate identically; the axpy row order inside each vector is
+/// the shared bitwise contract.
+inline void matmulTAcc(size_t B, size_t Rows, size_t Cols,
+                       const float *__restrict M, size_t MStride,
+                       const float *__restrict G, size_t GStride,
+                       float *__restrict XG, size_t XGStride) {
+  for (size_t Bi = 0; Bi < B; ++Bi)
+    matvecTAccStrided(Rows, Cols, MStride, M, G + Bi * GStride,
+                      XG + Bi * XGStride);
 }
 
 /// Y[r][0..Cols) += X[r][0..Cols) with independent row strides — the

@@ -303,6 +303,55 @@ TEST(TrainingIntegrationTest, ParallelEpochMatchesSerialBitwise) {
     EXPECT_EQ(SerialParams[I], ParallelParams[I]) << "parameter " << I;
 }
 
+TEST(TrainingIntegrationTest, BatchedSamplesWithoutHookFallsBackPerSample) {
+  // Multi-model drivers hand one TrainOptions to every model, so
+  // BatchedSamples must be a silent no-op for models that expose no
+  // LossBatch hook — same per-sample path, bitwise-identical results.
+  ExperimentScale Scale;
+  Scale.MethodsMed = 30;
+  Scale.Epochs = 2;
+  Scale.Hidden = 12;
+  Scale.EmbedDim = 12;
+  Scale.TargetPaths = 3;
+  Scale.ExecutionsPerPath = 2;
+  Scale.Seed = 5;
+
+  NameTask Task = buildNameTask(Scale, false);
+  ASSERT_GE(Task.Split.Train.size(), 10u);
+
+  auto RunWith = [&](bool Batched,
+                     std::vector<std::vector<float>> &ParamsOut) {
+    LigerConfig Config;
+    Config.EmbedDim = Scale.EmbedDim;
+    Config.Hidden = Scale.Hidden;
+    Config.AttnHidden = Scale.Hidden;
+    LigerNamePredictor Net(Task.Joint, Task.Target, Config, Scale.Seed);
+    NameModelHooks Hooks;
+    Hooks.Loss = [&](const MethodSample &S) { return Net.loss(S); };
+    Hooks.Predict = [&](const MethodSample &S) { return Net.predict(S); };
+    Hooks.Params = &Net.params();
+    // Deliberately no Hooks.LossBatch.
+    TrainOptions Options = Scale.trainOptions();
+    Options.BatchedSamples = Batched;
+    Options.SelectBestOnValidation = false;
+    TrainResult Result = trainNameModel(Hooks, Task.Split.Train,
+                                        std::vector<MethodSample>(), Options);
+    for (const Var &P : Net.params().params())
+      ParamsOut.emplace_back(P->Value.data(),
+                             P->Value.data() + P->Value.size());
+    return Result.FinalTrainLoss;
+  };
+
+  std::vector<std::vector<float>> PlainParams, BatchedParams;
+  double PlainLoss = RunWith(false, PlainParams);
+  double BatchedLoss = RunWith(true, BatchedParams);
+
+  EXPECT_EQ(PlainLoss, BatchedLoss);
+  ASSERT_EQ(PlainParams.size(), BatchedParams.size());
+  for (size_t I = 0; I < PlainParams.size(); ++I)
+    EXPECT_EQ(PlainParams[I], BatchedParams[I]) << "parameter " << I;
+}
+
 TEST(TrainingIntegrationTest, ClassifierBeatsChanceOnCoset) {
   ExperimentScale Scale;
   Scale.CosetPerClass = 5;

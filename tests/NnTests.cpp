@@ -1502,3 +1502,285 @@ TEST(CheckpointTest, AttentionMlpCheckpointLoadsUnchanged) {
               0);
   }
 }
+
+//===----------------------------------------------------------------------===//
+// Batched (matmul-backed) vs per-sample bitwise equivalence
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+struct BatchedGuard {
+  explicit BatchedGuard(bool Enabled)
+      : PrevCells(batchedCellsEnabled()),
+        PrevAttn(batchedAttentionEnabled()) {
+    setBatchedCellsEnabled(Enabled);
+    setBatchedAttentionEnabled(Enabled);
+  }
+  ~BatchedGuard() {
+    setBatchedCellsEnabled(PrevCells);
+    setBatchedAttentionEnabled(PrevAttn);
+  }
+  bool PrevCells, PrevAttn;
+};
+
+/// One training step of B token sequences advancing in lockstep
+/// through stepBatch, with the batched dispatch toggled by \p Batched
+/// (off = the per-sample fused step() loop). Identical seeds make the
+/// runs comparable down to the bit.
+StepResult runBatchedCellTrainingStep(CellKind Kind, size_t B,
+                                      bool Batched) {
+  BatchedGuard Guard(Batched);
+  ParamStore Store;
+  Rng R(71);
+  EmbeddingTable Emb(Store, "emb", 5, 6, R);
+  RecurrentCell Cell(Store, "cell", Kind, 6, 8, R);
+  Linear Head(Store, "head", 8, 3, R);
+  Adam Opt(Store);
+
+  std::vector<RecState> States(B);
+  for (size_t S = 0; S < B; ++S)
+    States[S] = Cell.initial();
+  for (int T = 0; T < 4; ++T) {
+    std::vector<Var> Inputs;
+    for (size_t S = 0; S < B; ++S)
+      Inputs.push_back(Emb.lookup(static_cast<int>((S * 7 + T * 3) % 5)));
+    States = Cell.stepBatch(Inputs, States);
+  }
+  std::vector<Var> Losses;
+  for (size_t S = 0; S < B; ++S)
+    Losses.push_back(
+        softmaxCrossEntropy(Head.apply(States[S].H), S % 3));
+  Var Loss = meanLoss(Losses);
+  backward(Loss);
+
+  StepResult Result;
+  Result.Loss = Loss->Value[0];
+  Result.Grads = dumpGrads(Store);
+  Opt.step();
+  Result.ParamsAfter = dumpParams(Store);
+  return Result;
+}
+
+/// One training step scoring Q recurrent queries against one shared
+/// prepared memory through contextOfMulti, with the multi-query
+/// dispatch toggled by \p Batched (off = per-query contextOf loop).
+AttnStepResult runMultiQueryStep(size_t Q, bool Batched) {
+  BatchedGuard Guard(Batched);
+  ParamStore Store;
+  Rng R(73);
+  const size_t QDim = 6, KeyDim = 5, AttnHidden = 7;
+  AttentionScorer Attn(Store, "attn", QDim, KeyDim, AttnHidden, R);
+  std::vector<Var> Queries;
+  for (size_t I = 0; I < Q; ++I)
+    Queries.push_back(
+        Store.addParam("q" + std::to_string(I), Tensor::uniform(QDim, 0.9f, R)));
+  std::vector<Var> Memory;
+  for (int I = 0; I < 4; ++I)
+    Memory.push_back(
+        Store.addParam("m" + std::to_string(I), Tensor::uniform(KeyDim, 0.9f, R)));
+  Adam Opt(Store);
+
+  AttentionScorer::Memory Mem = Attn.prepare(Memory);
+  std::vector<AttentionScorer::Result> Out = Attn.contextOfMulti(Queries, Mem);
+  AttnStepResult Result;
+  std::vector<Var> Norms;
+  for (const AttentionScorer::Result &Ctx : Out) {
+    Result.StepWeights.emplace_back(Ctx.Weights, Ctx.Weights + Memory.size());
+    Norms.push_back(dot(Ctx.Context, Ctx.Context));
+  }
+  Var Loss = meanLoss(Norms);
+  backward(Loss);
+
+  Result.Loss = Loss->Value[0];
+  Result.Grads = dumpGrads(Store);
+  Opt.step();
+  Result.ParamsAfter = dumpParams(Store);
+  return Result;
+}
+
+void expectCellStepBitwise(CellKind Kind, size_t B) {
+  StepResult Batched = runBatchedCellTrainingStep(Kind, B, true);
+  StepResult Ref = runBatchedCellTrainingStep(Kind, B, false);
+  EXPECT_EQ(Batched.Loss, Ref.Loss) << "B=" << B;
+  EXPECT_EQ(Batched.Grads, Ref.Grads) << "B=" << B;
+  EXPECT_EQ(Batched.ParamsAfter, Ref.ParamsAfter) << "B=" << B;
+}
+
+void expectMultiQueryBitwise(size_t Q) {
+  AttnStepResult Batched = runMultiQueryStep(Q, true);
+  AttnStepResult Ref = runMultiQueryStep(Q, false);
+  EXPECT_EQ(Batched.Loss, Ref.Loss) << "Q=" << Q;
+  EXPECT_EQ(Batched.StepWeights, Ref.StepWeights) << "Q=" << Q;
+  EXPECT_EQ(Batched.Grads, Ref.Grads) << "Q=" << Q;
+  EXPECT_EQ(Batched.ParamsAfter, Ref.ParamsAfter) << "Q=" << Q;
+}
+
+} // namespace
+
+TEST(BatchedKernelEquivalenceTest, MatmulRowsMatchMatvec) {
+  // Every [B x Rows] tiled-matmul output row must be bitwise the
+  // per-vector matvecStrided row (and with it the dot reduction).
+  // Sizes cover the register tile's edges: odd row counts, odd vector
+  // counts, and reduction lengths below/at/past the SIMD chunk widths.
+  Rng R(75);
+  for (size_t Rows : {1u, 2u, 5u, 8u}) {
+    for (size_t Cols : {1u, 5u, 16u, 37u}) {
+      for (size_t B : {1u, 2u, 3u, 8u}) {
+        Tensor M = Tensor::uniform(Rows * Cols, 1.0f, R);
+        Tensor X = Tensor::uniform(B * Cols, 1.0f, R);
+        Tensor Tiled = Tensor::raw(B, Rows);
+        kernels::matmul(B, Rows, Cols, M.data(), Cols, X.data(), Cols,
+                        Tiled.data(), Rows);
+        Tensor Ref = Tensor::raw(B, Rows);
+        for (size_t Bi = 0; Bi < B; ++Bi)
+          kernels::matvecStrided(Rows, Cols, Cols, M.data(),
+                                 X.data() + Bi * Cols,
+                                 Ref.data() + Bi * Rows);
+        EXPECT_EQ(std::memcmp(Tiled.data(), Ref.data(),
+                              B * Rows * sizeof(float)),
+                  0)
+            << "Rows=" << Rows << " Cols=" << Cols << " B=" << B;
+      }
+    }
+  }
+}
+
+TEST(BatchedKernelEquivalenceTest, MatmulTAccMatchesMatvecTAcc) {
+  Rng R(77);
+  for (size_t Rows : {2u, 5u}) {
+    for (size_t Cols : {5u, 19u}) {
+      for (size_t B : {1u, 3u}) {
+        Tensor M = Tensor::uniform(Rows * Cols, 1.0f, R);
+        Tensor G = Tensor::uniform(B * Rows, 1.0f, R);
+        Tensor Acc = Tensor::zeros(B, Cols);
+        kernels::matmulTAcc(B, Rows, Cols, M.data(), Cols, G.data(), Rows,
+                            Acc.data(), Cols);
+        Tensor Ref = Tensor::zeros(B, Cols);
+        for (size_t Bi = 0; Bi < B; ++Bi)
+          kernels::matvecTAccStrided(Rows, Cols, Cols, M.data(),
+                                     G.data() + Bi * Rows,
+                                     Ref.data() + Bi * Cols);
+        EXPECT_EQ(std::memcmp(Acc.data(), Ref.data(),
+                              B * Cols * sizeof(float)),
+                  0)
+            << "Rows=" << Rows << " Cols=" << Cols << " B=" << B;
+      }
+    }
+  }
+}
+
+TEST(BatchedKernelEquivalenceTest, GruStepIsBitwiseAtB1) {
+  expectCellStepBitwise(CellKind::Gru, 1);
+}
+TEST(BatchedKernelEquivalenceTest, GruStepIsBitwiseAtB3) {
+  expectCellStepBitwise(CellKind::Gru, 3);
+}
+TEST(BatchedKernelEquivalenceTest, GruStepIsBitwiseAtB8) {
+  expectCellStepBitwise(CellKind::Gru, 8);
+}
+TEST(BatchedKernelEquivalenceTest, LstmStepIsBitwiseAtB1) {
+  expectCellStepBitwise(CellKind::Lstm, 1);
+}
+TEST(BatchedKernelEquivalenceTest, LstmStepIsBitwiseAtB3) {
+  expectCellStepBitwise(CellKind::Lstm, 3);
+}
+TEST(BatchedKernelEquivalenceTest, LstmStepIsBitwiseAtB8) {
+  expectCellStepBitwise(CellKind::Lstm, 8);
+}
+
+TEST(BatchedKernelEquivalenceTest, MultiQueryAttentionIsBitwiseAtQ1) {
+  expectMultiQueryBitwise(1);
+}
+TEST(BatchedKernelEquivalenceTest, MultiQueryAttentionIsBitwiseAtQ4) {
+  expectMultiQueryBitwise(4);
+}
+
+// Direct finite-difference checks of the batch ops, at sizes that
+// exercise the matmul tile's edge rows and scalar tails. Two chained
+// batch steps make state gradients flow through the row views.
+TEST(GradCheckTest, GruCellBatchOpPacked) {
+  ParamStore Store;
+  Rng R(79);
+  const size_t In = 5, H = 6, B = 3;
+  Var Wx = Store.addParam("Wx", Tensor::xavier(3 * H, In, R));
+  Var Bx = Store.addParam("bx", Tensor::uniform(3 * H, 0.2f, R));
+  Var Wh = Store.addParam("Wh", Tensor::xavier(3 * H, H, R));
+  std::vector<Var> Xs, H0s;
+  for (size_t I = 0; I < B; ++I) {
+    Xs.push_back(Store.addParam("x" + std::to_string(I),
+                                Tensor::uniform(In, 0.9f, R)));
+    H0s.push_back(Store.addParam("h" + std::to_string(I),
+                                 Tensor::uniform(H, 0.9f, R)));
+  }
+  GradCheckResult Result = checkGradients(Store, [&] {
+    std::vector<Var> H1 = gruCellBatchOp(Wx, Bx, Wh, Xs, H0s);
+    std::vector<Var> H2 = gruCellBatchOp(Wx, Bx, Wh, Xs, H1);
+    std::vector<Var> Norms;
+    for (const Var &Hv : H2)
+      Norms.push_back(dot(Hv, Hv));
+    return sumV(stackScalars(Norms));
+  });
+  EXPECT_TRUE(Result.Ok) << Result.MaxRelError << " at "
+                         << Result.WorstParam;
+}
+
+TEST(GradCheckTest, LstmCellBatchOpPacked) {
+  ParamStore Store;
+  Rng R(81);
+  const size_t In = 5, H = 6, B = 3;
+  Var Wx = Store.addParam("Wx", Tensor::xavier(4 * H, In, R));
+  Var Bx = Store.addParam("bx", Tensor::uniform(4 * H, 0.2f, R));
+  Var Wh = Store.addParam("Wh", Tensor::xavier(4 * H, H, R));
+  std::vector<Var> Xs, H0s, C0s;
+  for (size_t I = 0; I < B; ++I) {
+    Xs.push_back(Store.addParam("x" + std::to_string(I),
+                                Tensor::uniform(In, 0.9f, R)));
+    H0s.push_back(Store.addParam("h" + std::to_string(I),
+                                 Tensor::uniform(H, 0.9f, R)));
+    C0s.push_back(Store.addParam("c" + std::to_string(I),
+                                 Tensor::uniform(H, 0.9f, R)));
+  }
+  GradCheckResult Result = checkGradients(Store, [&] {
+    std::vector<CellOut> S1 = lstmCellBatchOp(Wx, Bx, Wh, Xs, H0s, C0s);
+    std::vector<Var> H1s, C1s;
+    for (const CellOut &S : S1) {
+      H1s.push_back(S.H);
+      C1s.push_back(S.C);
+    }
+    std::vector<CellOut> S2 = lstmCellBatchOp(Wx, Bx, Wh, Xs, H1s, C1s);
+    std::vector<Var> Norms;
+    for (const CellOut &S : S2)
+      Norms.push_back(add(dot(S.H, S.H), dot(S.C, S.C)));
+    return sumV(stackScalars(Norms));
+  });
+  EXPECT_TRUE(Result.Ok) << Result.MaxRelError << " at "
+                         << Result.WorstParam;
+}
+
+TEST(GradCheckTest, AttentionMultiQueryOpPacked) {
+  ParamStore Store;
+  Rng R(83);
+  const size_t QDim = 5, KeyDim = 4, H = 6, Q = 2, T = 3;
+  Var W1 = Store.addParam("W1", Tensor::xavier(H, KeyDim + QDim, R));
+  Var B1 = Store.addParam("b1", Tensor::uniform(H, 0.2f, R));
+  Var W2 = Store.addParam("W2", Tensor::xavier(1, H, R));
+  Var B2 = Store.addParam("b2", Tensor::uniform(1, 0.2f, R));
+  std::vector<Var> Queries, Keys;
+  for (size_t I = 0; I < Q; ++I)
+    Queries.push_back(Store.addParam("q" + std::to_string(I),
+                                     Tensor::uniform(QDim, 0.9f, R)));
+  for (size_t I = 0; I < T; ++I)
+    Keys.push_back(Store.addParam("k" + std::to_string(I),
+                                  Tensor::uniform(KeyDim, 0.9f, R)));
+  GradCheckResult Result = checkGradients(Store, [&] {
+    Var KP = attentionKeyProj(W1, B1, Keys);
+    std::vector<AttnOut> Out =
+        attentionMultiQueryOp(W1, W2, B2, Queries, KP, Keys);
+    std::vector<Var> Norms;
+    for (const AttnOut &A : Out)
+      Norms.push_back(dot(A.Context, A.Context));
+    return sumV(stackScalars(Norms));
+  });
+  EXPECT_TRUE(Result.Ok) << Result.MaxRelError << " at "
+                         << Result.WorstParam;
+}
