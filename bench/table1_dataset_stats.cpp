@@ -67,12 +67,14 @@ int main(int Argc, char **Argv) {
                               Scale.Seed + 42, Scale);
 
   TextTable Funnel({"Dataset", "Original", "NoCompile", "ExternalRef",
-                    "Timeout", "TooSmall", "NoTraces", "Filtered(kept)"});
+                    "Timeout", "MemBomb", "TooSmall", "NoTraces",
+                    "Filtered(kept)"});
   for (const FunnelRow *Row : {&Med, &Large})
     Funnel.addRow({Row->Dataset, std::to_string(Row->Stats.Requested),
                    std::to_string(Row->Stats.ParseFailures),
                    std::to_string(Row->Stats.ExternalRefFailures),
                    std::to_string(Row->Stats.TestgenTimeouts),
+                   std::to_string(Row->Stats.TestgenMemoryBombs),
                    std::to_string(Row->Stats.TooSmall),
                    std::to_string(Row->Stats.NoTraces),
                    std::to_string(Row->Stats.Kept)});

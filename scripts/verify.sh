@@ -11,6 +11,10 @@
 #      fused-equivalence suites;
 #   3. sanitized trace cache + parallel corpus: the LGTR fuzz suite and
 #      the thread-determinism corpus suites under ASan+UBSan;
+#   3b. sanitized hardening: the bounded-execution suites (parser depth
+#      budget, lexer byte totality, interpreter memory budget) plus a
+#      liger_fuzz smoke burst and the regression-corpus replay, all
+#      under ASan+UBSan (DESIGN.md §12);
 #   4. scalar fallback: LIGER_NATIVE_SIMD=OFF build (build-scalar) +
 #      full ctest, so the portable kernels stay green alongside the
 #      AVX2 ones;
@@ -40,7 +44,8 @@ ctest --test-dir "$BUILD" --output-on-failure -j "$JOBS"
 
 step "sanitized gradcheck build (build-asan)"
 cmake -B "$REPO/build-asan" -S "$REPO" -DLIGER_SANITIZE=ON
-cmake --build "$REPO/build-asan" -j "$JOBS" --target nn_tests testgen_tests dataset_tests
+cmake --build "$REPO/build-asan" -j "$JOBS" \
+  --target nn_tests testgen_tests dataset_tests interp_tests lang_tests liger_fuzz
 "$REPO/build-asan/tests/nn_tests" \
   --gtest_filter='GradCheckTest.*:GraphArenaTest.*:GradSinkTest.*:CheckpointTest.*:ParamStoreTest.*:FusedEquivalenceTest.*:AttentionEquivalenceTest.*:BatchedKernelEquivalenceTest.*'
 
@@ -48,6 +53,12 @@ step "sanitized trace cache + parallel corpus (build-asan)"
 "$REPO/build-asan/tests/testgen_tests" --gtest_filter='TraceCacheTest.*'
 "$REPO/build-asan/tests/dataset_tests" \
   --gtest_filter='CorpusParallelEquivalenceTest.*:CorpusTraceCacheTest.*'
+
+step "sanitized hardening: depth/memory budgets + fuzz smoke (build-asan)"
+"$REPO/build-asan/tests/interp_tests" --gtest_filter='InterpHardeningTest.*'
+"$REPO/build-asan/tests/lang_tests" \
+  --gtest_filter='ParserDepthTest.*:LexerHardeningTest.*'
+"$REPO/build-asan/tools/liger_fuzz" --smoke --replay "$REPO/tests/fuzz-corpus"
 
 step "scalar fallback build + ctest (build-scalar, LIGER_NATIVE_SIMD=OFF)"
 cmake -B "$REPO/build-scalar" -S "$REPO" -DLIGER_NATIVE_SIMD=OFF

@@ -231,6 +231,10 @@ bool buildSample(const std::string &Source, const std::string &MethodName,
     ++Stats.TestgenTimeouts;
     return false;
   }
+  if (Collect.allMemoryExceeded()) {
+    ++Stats.TestgenMemoryBombs;
+    return false;
+  }
   if (Traces.Paths.empty()) {
     ++Stats.NoTraces;
     return false;
@@ -251,6 +255,7 @@ void accumulateStats(CorpusStats &Into, const CorpusStats &From) {
   Into.ParseFailures += From.ParseFailures;
   Into.ExternalRefFailures += From.ExternalRefFailures;
   Into.TestgenTimeouts += From.TestgenTimeouts;
+  Into.TestgenMemoryBombs += From.TestgenMemoryBombs;
   Into.TooSmall += From.TooSmall;
   Into.NoTraces += From.NoTraces;
   Into.Kept += From.Kept;

@@ -75,6 +75,7 @@ struct CorpusStats {
   size_t ParseFailures = 0;       ///< "do not compile"
   size_t ExternalRefFailures = 0; ///< "reference external packages"
   size_t TestgenTimeouts = 0;     ///< "take too long for Randoop"
+  size_t TestgenMemoryBombs = 0;  ///< every run blew the memory budget
   size_t TooSmall = 0;            ///< "too small to be considered"
   size_t NoTraces = 0;            ///< no successful execution at all
   size_t Kept = 0;

@@ -42,16 +42,26 @@ public:
     if (Options.RecordStates)
       Result.InitialState = snapshotState();
 
+    // The initial snapshot is charged whether or not it is materialized
+    // so that probe and recording runs consume the budget identically.
+    chargeMemory(stateBytes());
     Flow F = Flow::Normal;
-    if (Fn.Body)
+    if (Fn.Body && !stopped())
       F = execBlock(Fn.Body, /*Instrument=*/true);
     popFrame();
 
     if (Failed) {
       Result.Status = ExecStatus::RuntimeError;
       Result.ErrorMessage = ErrorMessage;
+    } else if (MemoryExceeded) {
+      Result.Status = ExecStatus::MemoryLimit;
+      Result.ErrorMessage = "memory budget exceeded (" +
+                            std::to_string(Options.MaxMemoryBytes) +
+                            " bytes)";
     } else if (OutOfFuel) {
       Result.Status = ExecStatus::OutOfFuel;
+      Result.ErrorMessage = "fuel budget exhausted (" +
+                            std::to_string(Options.Fuel) + " statements)";
     } else {
       Result.Status = ExecStatus::Ok;
       if (F == Flow::Return)
@@ -105,6 +115,22 @@ private:
     return State;
   }
 
+  /// What snapshotState() would allocate, without allocating it. Used
+  /// to charge snapshot costs identically whether states are recorded
+  /// or not (see InterpOptions::MaxMemoryBytes).
+  uint64_t stateBytes() {
+    uint64_t Total = 0;
+    for (const std::string &Name : *TraceVarNames) {
+      if (Value *V = lookup(Name)) {
+        Total += V->approxBytes();
+        continue;
+      }
+      auto It = LastKnown.find(Name);
+      Total += It == LastKnown.end() ? 16 : It->second.approxBytes();
+    }
+    return Total;
+  }
+
   //===--------------------------------------------------------------------===//
   // Errors and fuel
   //===--------------------------------------------------------------------===//
@@ -127,7 +153,41 @@ private:
     return true;
   }
 
-  bool stopped() const { return Failed || OutOfFuel; }
+  /// Charges \p Bytes against the monotone allocation budget; returns
+  /// false (and latches MemoryExceeded) once the budget is blown.
+  bool chargeMemory(uint64_t Bytes) {
+    BytesCharged += Bytes;
+    if (BytesCharged > Options.MaxMemoryBytes) {
+      MemoryExceeded = true;
+      return false;
+    }
+    return true;
+  }
+
+  bool stopped() const { return Failed || OutOfFuel || MemoryExceeded; }
+
+  /// Extracts an int operand or fails with a RuntimeError. Hostile
+  /// input can reach the interpreter without a type check (or with one
+  /// the parser's error placeholders confused), so no operand kind is
+  /// ever trusted.
+  bool wantInt(const Value &V, int64_t &Out, const char *What) {
+    if (!V.isInt()) {
+      fail(std::string(What) + " is not an integer");
+      return false;
+    }
+    Out = V.asInt();
+    return true;
+  }
+
+  /// Extracts a bool operand or fails with a RuntimeError.
+  bool wantBool(const Value &V, bool &Out, const char *What) {
+    if (!V.isBool()) {
+      fail(std::string(What) + " is not a boolean");
+      return false;
+    }
+    Out = V.asBool();
+    return true;
+  }
 
   //===--------------------------------------------------------------------===//
   // Instrumentation
@@ -135,6 +195,12 @@ private:
 
   void record(const Stmt *S, StepKind Kind, bool Instrument) {
     if (!Instrument || Trace->Steps.size() >= Options.MaxRecordedSteps)
+      return;
+    // Snapshot cost counts against the memory budget even when states
+    // are not materialized (RecordStates off), so discovery probes and
+    // recording runs reach identical terminal states. A blown budget
+    // leaves the already-recorded prefix intact: truncated but valid.
+    if (!chargeMemory(stateBytes()))
       return;
     ExecStep Step;
     Step.Statement = S;
@@ -178,9 +244,15 @@ private:
         if (stopped())
           return Flow::Normal;
       } else {
-        const StructDecl *SD = Decl->declType().isStruct()
-                                   ? P.findStruct(Decl->declType().structName())
-                                   : nullptr;
+        const StructDecl *SD = nullptr;
+        if (Decl->declType().isStruct()) {
+          SD = P.findStruct(Decl->declType().structName());
+          if (!SD) {
+            fail("declaration of undeclared struct type '" +
+                 Decl->declType().structName() + "'");
+            return Flow::Normal;
+          }
+        }
         Init = Value::zeroOf(Decl->declType(), SD);
       }
       declare(Decl->name(), Init);
@@ -197,9 +269,9 @@ private:
     case StmtKind::If: {
       const auto *If = cast<IfStmt>(S);
       Value Cond = evalExpr(If->cond());
-      if (stopped())
+      bool Taken = false;
+      if (stopped() || !wantBool(Cond, Taken, "if condition"))
         return Flow::Normal;
-      bool Taken = Cond.asBool();
       record(S, Taken ? StepKind::CondTrue : StepKind::CondFalse, Instrument);
       if (Taken)
         return execStmt(If->thenStmt(), Instrument);
@@ -213,9 +285,9 @@ private:
         if (!burnFuel())
           return Flow::Normal;
         Value Cond = evalExpr(While->cond());
-        if (stopped())
+        bool Taken = false;
+        if (stopped() || !wantBool(Cond, Taken, "while condition"))
           return Flow::Normal;
-        bool Taken = Cond.asBool();
         record(S, Taken ? StepKind::CondTrue : StepKind::CondFalse,
                Instrument);
         if (!Taken)
@@ -244,9 +316,8 @@ private:
         bool Taken = true;
         if (For->cond()) {
           Value Cond = evalExpr(For->cond());
-          if (stopped())
+          if (stopped() || !wantBool(Cond, Taken, "for condition"))
             break;
-          Taken = Cond.asBool();
           record(S, Taken ? StepKind::CondTrue : StepKind::CondFalse,
                  Instrument);
         }
@@ -324,7 +395,9 @@ private:
         fail("cannot assign into a non-array");
         return;
       }
-      int64_t I = Idx.asInt();
+      int64_t I = 0;
+      if (!wantInt(Idx, I, "array index"))
+        return;
       std::vector<Value> &Elems = Base.elements();
       if (I < 0 || static_cast<size_t>(I) >= Elems.size()) {
         fail("array index " + std::to_string(I) + " out of range [0, " +
@@ -359,6 +432,11 @@ private:
 
     // Compound assignment: int arithmetic or string concatenation.
     if (Cell->isString() && NewValue.isString() && S->op() == AssignOp::Add) {
+      // `s += s` doubles the string every statement — charge the result
+      // size so the growth trips MemoryLimit, not the fuel budget.
+      if (!chargeMemory(32 + Cell->asString().size() +
+                        NewValue.asString().size()))
+        return;
       *Cell = Value::makeString(Cell->asString() + NewValue.asString());
       syncLastKnown(S->target());
       return;
@@ -432,6 +510,8 @@ private:
         if (stopped())
           return Value::undef();
       }
+      if (!chargeMemory(32 + 16 * static_cast<uint64_t>(Elements.size())))
+        return Value::undef();
       return Value::makeArray(std::move(Elements));
     }
     case ExprKind::NewArray: {
@@ -439,25 +519,50 @@ private:
       Value Size = evalExpr(New->size());
       if (stopped())
         return Value::undef();
-      int64_t N = Size.asInt();
+      // The size expression's value is not trusted: with the type
+      // checker bypassed it can be any kind.
+      int64_t N = 0;
+      if (!wantInt(Size, N, "array size"))
+        return Value::undef();
       if (N < 0 || N > 1000000) {
         fail("invalid array size " + std::to_string(N));
         return Value::undef();
       }
-      std::vector<Value> Elements(
-          static_cast<size_t>(N), Value::zeroOf(New->elemType(), nullptr));
+      const StructDecl *ElemDecl = nullptr;
+      if (New->elemType().isStruct()) {
+        ElemDecl = P.findStruct(New->elemType().structName());
+        if (!ElemDecl) {
+          fail("array of undeclared struct type '" +
+               New->elemType().structName() + "'");
+          return Value::undef();
+        }
+      }
+      Value Zero = Value::zeroOf(New->elemType(), ElemDecl);
+      if (!chargeMemory(32 + Zero.approxBytes() * static_cast<uint64_t>(N)))
+        return Value::undef();
+      std::vector<Value> Elements(static_cast<size_t>(N), Zero);
       return Value::makeArray(std::move(Elements));
     }
     case ExprKind::NewStruct: {
       const auto *New = cast<NewStructExpr>(E);
       const StructDecl *Decl = P.findStruct(New->structName());
-      LIGER_CHECK(Decl, "type checker admits only declared structs");
+      if (!Decl) {
+        fail("construction of undeclared struct '" + New->structName() + "'");
+        return Value::undef();
+      }
+      if (New->args().size() != Decl->Fields.size()) {
+        fail("struct '" + New->structName() + "' expects " +
+             std::to_string(Decl->Fields.size()) + " field values");
+        return Value::undef();
+      }
       std::vector<Value> Fields;
       for (const Expr *Arg : New->args()) {
         Fields.push_back(evalExpr(Arg));
         if (stopped())
           return Value::undef();
       }
+      if (!chargeMemory(32 + 16 * static_cast<uint64_t>(Fields.size())))
+        return Value::undef();
       return Value::makeStruct(Decl, std::move(Fields));
     }
     case ExprKind::Index: {
@@ -466,7 +571,9 @@ private:
       Value Idx = evalExpr(Index->index());
       if (stopped())
         return Value::undef();
-      int64_t I = Idx.asInt();
+      int64_t I = 0;
+      if (!wantInt(Idx, I, "index"))
+        return Value::undef();
       if (Base.isArray()) {
         const std::vector<Value> &Elems = Base.elements();
         if (I < 0 || static_cast<size_t>(I) >= Elems.size()) {
@@ -509,9 +616,16 @@ private:
       Value Operand = evalExpr(Unary->operand());
       if (stopped())
         return Value::undef();
-      if (Unary->op() == UnaryOp::Neg)
-        return Value::makeInt(-Operand.asInt());
-      return Value::makeBool(!Operand.asBool());
+      if (Unary->op() == UnaryOp::Neg) {
+        int64_t V = 0;
+        if (!wantInt(Operand, V, "negation operand"))
+          return Value::undef();
+        return Value::makeInt(-V);
+      }
+      bool B = false;
+      if (!wantBool(Operand, B, "'!' operand"))
+        return Value::undef();
+      return Value::makeBool(!B);
     }
     case ExprKind::Binary:
       return evalBinary(cast<BinaryExpr>(E));
@@ -527,7 +641,9 @@ private:
       Value L = evalExpr(E->lhs());
       if (stopped())
         return Value::undef();
-      bool LeftTrue = L.asBool();
+      bool LeftTrue = false;
+      if (!wantBool(L, LeftTrue, "logical operand"))
+        return Value::undef();
       if (E->op() == BinaryOp::And && !LeftTrue)
         return Value::makeBool(false);
       if (E->op() == BinaryOp::Or && LeftTrue)
@@ -535,7 +651,10 @@ private:
       Value R = evalExpr(E->rhs());
       if (stopped())
         return Value::undef();
-      return Value::makeBool(R.asBool());
+      bool RightTrue = false;
+      if (!wantBool(R, RightTrue, "logical operand"))
+        return Value::undef();
+      return Value::makeBool(RightTrue);
     }
 
     Value L = evalExpr(E->lhs());
@@ -543,42 +662,59 @@ private:
     if (stopped())
       return Value::undef();
 
+    // Structural equality works on any kinds.
+    if (E->op() == BinaryOp::Eq)
+      return Value::makeBool(L.equals(R));
+    if (E->op() == BinaryOp::Ne)
+      return Value::makeBool(!L.equals(R));
+
+    // String concatenation: like the compound-assignment form, charge
+    // the result size so `s = s + s` in a loop hits the memory budget
+    // instead of doubling until the process OOMs.
+    if (E->op() == BinaryOp::Add && L.isString() && R.isString()) {
+      if (!chargeMemory(32 + L.asString().size() + R.asString().size()))
+        return Value::undef();
+      return Value::makeString(L.asString() + R.asString());
+    }
+
+    // Everything else is int × int.
+    int64_t LI = 0, RI = 0;
+    if (!wantInt(L, LI, "arithmetic operand") ||
+        !wantInt(R, RI, "arithmetic operand"))
+      return Value::undef();
+
     switch (E->op()) {
     case BinaryOp::Add:
-      if (L.isString())
-        return Value::makeString(L.asString() + R.asString());
-      return Value::makeInt(L.asInt() + R.asInt());
+      return Value::makeInt(LI + RI);
     case BinaryOp::Sub:
-      return Value::makeInt(L.asInt() - R.asInt());
+      return Value::makeInt(LI - RI);
     case BinaryOp::Mul:
-      return Value::makeInt(L.asInt() * R.asInt());
+      return Value::makeInt(LI * RI);
     case BinaryOp::Div:
-      if (R.asInt() == 0) {
+      if (RI == 0) {
         fail("division by zero");
         return Value::undef();
       }
-      return Value::makeInt(L.asInt() / R.asInt());
+      return Value::makeInt(LI / RI);
     case BinaryOp::Mod:
-      if (R.asInt() == 0) {
+      if (RI == 0) {
         fail("modulo by zero");
         return Value::undef();
       }
-      return Value::makeInt(L.asInt() % R.asInt());
+      return Value::makeInt(LI % RI);
     case BinaryOp::Lt:
-      return Value::makeBool(L.asInt() < R.asInt());
+      return Value::makeBool(LI < RI);
     case BinaryOp::Le:
-      return Value::makeBool(L.asInt() <= R.asInt());
+      return Value::makeBool(LI <= RI);
     case BinaryOp::Gt:
-      return Value::makeBool(L.asInt() > R.asInt());
+      return Value::makeBool(LI > RI);
     case BinaryOp::Ge:
-      return Value::makeBool(L.asInt() >= R.asInt());
+      return Value::makeBool(LI >= RI);
     case BinaryOp::Eq:
-      return Value::makeBool(L.equals(R));
     case BinaryOp::Ne:
-      return Value::makeBool(!L.equals(R));
     case BinaryOp::And:
     case BinaryOp::Or:
-      LIGER_UNREACHABLE("short-circuit ops handled above");
+      LIGER_UNREACHABLE("handled above");
     }
     LIGER_UNREACHABLE("covered switch");
   }
@@ -592,8 +728,19 @@ private:
         return Value::undef();
     }
 
+    // Builtin arity and operand kinds are re-validated here: hostile
+    // ASTs reach evalCall without a type check, so Args[N] accesses
+    // must be guarded.
     const std::string &Callee = E->callee();
+    auto wantArity = [&](size_t N) {
+      if (Args.size() == N)
+        return true;
+      fail("'" + Callee + "' expects " + std::to_string(N) + " argument(s)");
+      return false;
+    };
     if (Callee == "len") {
+      if (!wantArity(1))
+        return Value::undef();
       const Value &V = Args[0];
       if (V.isArray())
         return Value::makeInt(static_cast<int64_t>(V.elements().size()));
@@ -603,9 +750,17 @@ private:
       return Value::undef();
     }
     if (Callee == "substring") {
+      if (!wantArity(3))
+        return Value::undef();
+      if (!Args[0].isString()) {
+        fail("'substring' applied to a non-string");
+        return Value::undef();
+      }
       const std::string &S = Args[0].asString();
-      int64_t Start = Args[1].asInt();
-      int64_t Count = Args[2].asInt();
+      int64_t Start = 0, Count = 0;
+      if (!wantInt(Args[1], Start, "substring start") ||
+          !wantInt(Args[2], Count, "substring count"))
+        return Value::undef();
       if (Start < 0 || Count < 0 ||
           static_cast<size_t>(Start) + static_cast<size_t>(Count) > S.size()) {
         fail("substring(" + std::to_string(Start) + ", " +
@@ -613,17 +768,24 @@ private:
              std::to_string(S.size()));
         return Value::undef();
       }
+      if (!chargeMemory(32 + static_cast<uint64_t>(Count)))
+        return Value::undef();
       return Value::makeString(S.substr(static_cast<size_t>(Start),
                                         static_cast<size_t>(Count)));
     }
     if (Callee == "abs") {
-      int64_t V = Args[0].asInt();
+      int64_t V = 0;
+      if (!wantArity(1) || !wantInt(Args[0], V, "'abs' argument"))
+        return Value::undef();
       return Value::makeInt(V < 0 ? -V : V);
     }
-    if (Callee == "min")
-      return Value::makeInt(std::min(Args[0].asInt(), Args[1].asInt()));
-    if (Callee == "max")
-      return Value::makeInt(std::max(Args[0].asInt(), Args[1].asInt()));
+    if (Callee == "min" || Callee == "max") {
+      int64_t A = 0, B = 0;
+      if (!wantArity(2) || !wantInt(Args[0], A, "'min'/'max' argument") ||
+          !wantInt(Args[1], B, "'min'/'max' argument"))
+        return Value::undef();
+      return Value::makeInt(Callee == "min" ? std::min(A, B) : std::max(A, B));
+    }
 
     // User function: fresh activation, instrumentation off, shared fuel.
     const FunctionDecl *Fn = P.findFunction(Callee);
@@ -635,8 +797,11 @@ private:
       fail("call depth limit exceeded (possible unbounded recursion)");
       return Value::undef();
     }
-    LIGER_CHECK(Args.size() == Fn->Params.size(),
-                "type checker enforces call arity");
+    if (Args.size() != Fn->Params.size()) {
+      fail("function '" + Callee + "' expects " +
+           std::to_string(Fn->Params.size()) + " argument(s)");
+      return Value::undef();
+    }
 
     size_t SavedFrameCount = Frames.size();
     Value SavedReturn = ReturnValue;
@@ -669,6 +834,8 @@ private:
 
   bool Failed = false;
   bool OutOfFuel = false;
+  bool MemoryExceeded = false;
+  uint64_t BytesCharged = 0;
   std::string ErrorMessage;
   Value ReturnValue;
 

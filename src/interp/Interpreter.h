@@ -17,9 +17,12 @@
 /// program path).
 ///
 /// Execution is fuel-bounded (infinite loops become OutOfFuel — the
-/// Table 1 "takes too long" filter) and total: runtime errors (division
-/// by zero, index out of range, ...) produce a RuntimeError status, not
-/// a crash.
+/// Table 1 "takes too long" filter), memory-bounded (allocation bombs
+/// like `s = s + s` in a loop become MemoryLimit before they can OOM
+/// the process), and total: runtime errors (division by zero, index out
+/// of range, type-confused operands when the type checker was bypassed,
+/// ...) produce a RuntimeError status, not a crash. The bounded-
+/// execution contract is documented in DESIGN.md §12.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -39,6 +42,7 @@ enum class ExecStatus {
   Ok,           ///< Function returned (or fell off the end of a void body).
   OutOfFuel,    ///< Statement budget exhausted (likely non-termination).
   RuntimeError, ///< Division by zero, index out of range, etc.
+  MemoryLimit,  ///< Allocation budget exhausted (likely a memory bomb).
 };
 
 /// Classification of a recorded trace step.
@@ -84,6 +88,16 @@ struct InterpOptions {
   /// Hard cap on recorded steps to bound trace memory; execution
   /// continues uninstrumented past the cap.
   size_t MaxRecordedSteps = 4096;
+  /// Cumulative allocation budget in modelled bytes (Value::approxBytes
+  /// of every string/array/struct the execution creates, plus the
+  /// snapshot cost of each recorded step). Accounting is monotone —
+  /// bytes are charged at allocation and never refunded — so it bounds
+  /// both peak memory and allocation churn; exceeding it terminates the
+  /// execution with ExecStatus::MemoryLimit. Snapshot costs are charged
+  /// whether or not RecordStates is set, keeping the terminal status a
+  /// pure function of (program, inputs, budgets) — the determinism the
+  /// trace collector's probe-then-record pipeline relies on.
+  uint64_t MaxMemoryBytes = 64ull << 20;
 };
 
 /// Returns the fixed variable tuple of \p Fn: parameters then every

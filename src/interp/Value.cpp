@@ -60,6 +60,25 @@ Value Value::deepCopy() const {
   LIGER_UNREACHABLE("covered switch");
 }
 
+uint64_t Value::approxBytes() const {
+  switch (Kind) {
+  case ValueKind::Undef:
+  case ValueKind::Int:
+  case ValueKind::Bool:
+    return 16;
+  case ValueKind::String:
+    return 32 + StringVal->size();
+  case ValueKind::Array:
+  case ValueKind::Struct: {
+    uint64_t Total = 32;
+    for (const Value &Elem : *Elements)
+      Total += Elem.approxBytes();
+    return Total;
+  }
+  }
+  LIGER_UNREACHABLE("covered switch");
+}
+
 bool Value::equals(const Value &Other) const {
   if (Kind != Other.Kind)
     return false;

@@ -115,6 +115,13 @@ public:
   /// Deep structural copy: reference types get fresh storage.
   Value deepCopy() const;
 
+  /// Deterministic estimate of the heap bytes this value owns (what a
+  /// deepCopy would allocate): scalars count a fixed 16 bytes, strings
+  /// 32 + length, arrays/structs 32 + their elements. Drives the
+  /// interpreter's per-execution memory budget (DESIGN.md §12), so it
+  /// is a platform-independent model, not sizeof arithmetic.
+  uint64_t approxBytes() const;
+
   /// Deep structural equality (arrays/structs compared element-wise).
   bool equals(const Value &Other) const;
 

@@ -129,6 +129,43 @@ void Lexer::skipTrivia() {
   }
 }
 
+/// True for bytes that can begin a MiniLang token (or trivia). Anything
+/// else is garbage the lexer should skip over in one recovery step.
+static bool isTokenStartByte(char C) {
+  if (std::isalnum(static_cast<unsigned char>(C)) || C == '_')
+    return true;
+  switch (C) {
+  case ' ': case '\t': case '\r': case '\n':
+  case '"': case '(': case ')': case '{': case '}': case '[': case ']':
+  case ',': case ';': case '.': case '+': case '-': case '*': case '/':
+  case '%': case '=': case '!': case '<': case '>': case '&': case '|':
+    return true;
+  default:
+    return false;
+  }
+}
+
+/// Renders up to 8 bytes of \p Bytes printably for a diagnostic,
+/// escaping control and non-ASCII bytes as \xNN.
+static std::string printableBytes(const std::string &Bytes) {
+  static const char Hex[] = "0123456789abcdef";
+  std::string Out;
+  size_t Shown = std::min<size_t>(Bytes.size(), 8);
+  for (size_t I = 0; I < Shown; ++I) {
+    unsigned char C = static_cast<unsigned char>(Bytes[I]);
+    if (C >= 0x20 && C < 0x7F) {
+      Out.push_back(static_cast<char>(C));
+    } else {
+      Out += "\\x";
+      Out.push_back(Hex[C >> 4]);
+      Out.push_back(Hex[C & 0xF]);
+    }
+  }
+  if (Bytes.size() > Shown)
+    Out += "...";
+  return Out;
+}
+
 Token Lexer::makeToken(TokenKind Kind, SourceLoc Loc, std::string Text) {
   Token Tok;
   Tok.Kind = Kind;
@@ -277,8 +314,18 @@ Token Lexer::lex() {
   default:
     break;
   }
-  Diags.error(Loc, std::string("unexpected character '") + C + "'");
-  return makeToken(TokenKind::Error, Loc, std::string(1, C));
+  // Invalid byte. Recover by swallowing the whole run of bytes that
+  // cannot begin any token, so hostile input (a megabyte of '\x00' or
+  // '@') yields one Error token and one diagnostic per run instead of
+  // one per byte.
+  std::string Bad(1, C);
+  while (peek() != '\0' && !isTokenStartByte(peek()))
+    Bad.push_back(advance());
+  Diags.error(Loc, Bad.size() == 1
+                       ? "unexpected character '" + printableBytes(Bad) + "'"
+                       : "unexpected characters '" + printableBytes(Bad) +
+                             "' (" + std::to_string(Bad.size()) + " bytes)");
+  return makeToken(TokenKind::Error, Loc, std::move(Bad));
 }
 
 std::vector<Token> Lexer::lexAll() {

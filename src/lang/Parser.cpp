@@ -64,13 +64,29 @@ void Parser::synchronizeToDeclBoundary() {
 }
 
 void Parser::synchronizeToStmtBoundary() {
+  // Only ever called when the current token cannot be used, so always
+  // consume at least one token — checking previous() before advancing
+  // stalls recovery loops whenever the last accepted token was already
+  // a ';' (the caller re-errors on the same token forever). Stop after
+  // eating a ';' or before a '}' so the enclosing block's loop ends.
   while (!atEnd()) {
-    if (previous().is(TokenKind::Semicolon))
-      return;
     if (check(TokenKind::RBrace))
       return;
-    advance();
+    if (advance().is(TokenKind::Semicolon))
+      return;
   }
+}
+
+bool Parser::atDepthLimit() {
+  if (Depth < MaxParseDepth)
+    return false;
+  if (!DepthDiagnosed) {
+    DepthDiagnosed = true;
+    Diags.error(peek().Loc,
+                "nesting too deep (limit " + std::to_string(MaxParseDepth) +
+                    " levels of statements/expressions)");
+  }
+  return true;
 }
 
 //===----------------------------------------------------------------------===//
@@ -93,6 +109,14 @@ Program Parser::parseProgram() {
   size_t StructCursor = 0;
   while (!atEnd()) {
     if (check(TokenKind::KwStruct)) {
+      // `struct` without a name was not pre-scanned — reject it here
+      // rather than asserting a shell exists.
+      if (!peek(1).is(TokenKind::Identifier)) {
+        Diags.error(peek().Loc, "expected struct name");
+        advance();
+        synchronizeToDeclBoundary();
+        continue;
+      }
       // Fill in the pre-scanned shell in declaration order.
       LIGER_CHECK(StructCursor < P.Structs.size(),
                   "pre-scan missed a struct declaration");
@@ -243,15 +267,27 @@ const BlockStmt *Parser::parseBlock(Program &P) {
   expect(TokenKind::LBrace, "to open block");
   std::vector<const Stmt *> Body;
   while (!check(TokenKind::RBrace) && !atEnd()) {
+    size_t Before = Pos;
     const Stmt *S = parseStmt(P);
     if (S)
       Body.push_back(S);
+    // A statement parser can error without consuming (e.g. an
+    // expression statement whose expression was cut off by the depth
+    // budget one level down); the loop invariant is that every
+    // iteration makes token progress, so force recovery if not.
+    if (Pos == Before)
+      synchronizeToStmtBoundary();
   }
   expect(TokenKind::RBrace, "to close block");
   return P.context().createStmt<BlockStmt>(Loc, std::move(Body));
 }
 
 const Stmt *Parser::parseStmt(Program &P) {
+  if (atDepthLimit()) {
+    synchronizeToStmtBoundary();
+    return nullptr;
+  }
+  DepthGuard G(*this);
   if (check(TokenKind::LBrace))
     return parseBlock(P);
   if (check(TokenKind::KwIf))
@@ -399,7 +435,15 @@ const Expr *Parser::makeErrorExpr(Program &P, SourceLoc Loc) {
   return P.context().createExpr<IntLitExpr>(Loc, 0);
 }
 
-const Expr *Parser::parseExpr(Program &P) { return parseOr(P); }
+const Expr *Parser::parseExpr(Program &P) {
+  if (atDepthLimit())
+    // No token is consumed here; every caller reached this point by
+    // consuming at least one opening token per nesting level, so the
+    // parse still terminates.
+    return makeErrorExpr(P, peek().Loc);
+  DepthGuard G(*this);
+  return parseOr(P);
+}
 
 const Expr *Parser::parseOr(Program &P) {
   const Expr *Lhs = parseAnd(P);
@@ -492,15 +536,18 @@ const Expr *Parser::parseMultiplicative(Program &P) {
 }
 
 const Expr *Parser::parseUnary(Program &P) {
-  if (check(TokenKind::Minus)) {
+  if (check(TokenKind::Minus) || check(TokenKind::Bang)) {
+    // Self-recursive production ("!!!!...x"): budget it like any other
+    // nesting level so operator chains cannot overflow the stack.
+    if (atDepthLimit()) {
+      SourceLoc Loc = advance().Loc; // consume the operator: progress
+      return makeErrorExpr(P, Loc);
+    }
+    DepthGuard G(*this);
+    UnaryOp Op = check(TokenKind::Minus) ? UnaryOp::Neg : UnaryOp::Not;
     SourceLoc Loc = advance().Loc;
     const Expr *Operand = parseUnary(P);
-    return P.context().createExpr<UnaryExpr>(Loc, UnaryOp::Neg, Operand);
-  }
-  if (check(TokenKind::Bang)) {
-    SourceLoc Loc = advance().Loc;
-    const Expr *Operand = parseUnary(P);
-    return P.context().createExpr<UnaryExpr>(Loc, UnaryOp::Not, Operand);
+    return P.context().createExpr<UnaryExpr>(Loc, Op, Operand);
   }
   return parsePostfix(P);
 }

@@ -22,6 +22,12 @@
 /// not abort corpus processing (the Table 1 filter pipeline depends on
 /// being able to *count* unparseable programs).
 ///
+/// Recursion is depth-budgeted: statements and expressions may nest at
+/// most MaxParseDepth levels. Deeper input (e.g. ten thousand nested
+/// parentheses) produces a clean "nesting too deep" diagnostic instead
+/// of overflowing the C stack — a hard requirement once the pipeline
+/// accepts arbitrary byte input (see DESIGN.md §12).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef LIGER_LANG_PARSER_H
@@ -38,6 +44,13 @@ namespace liger {
 /// Parses token streams into Programs.
 class Parser {
 public:
+  /// Maximum nesting depth of statements + expressions. Each nested
+  /// statement, each nested expression (one per parenthesis/index/call
+  /// level), and each chained unary operator consumes one level. The
+  /// value bounds every downstream recursion over the AST (type check,
+  /// tree building, interpretation) to a few thousand stack frames.
+  static constexpr size_t MaxParseDepth = 200;
+
   Parser(std::vector<Token> Tokens, DiagnosticSink &Diags);
 
   /// Parses a whole compilation unit. Check Diags.hasErrors() afterwards;
@@ -45,6 +58,16 @@ public:
   Program parseProgram();
 
 private:
+  /// RAII nesting-depth accounting for the recursive productions.
+  struct DepthGuard {
+    explicit DepthGuard(Parser &P) : P(P) { ++P.Depth; }
+    ~DepthGuard() { --P.Depth; }
+    Parser &P;
+  };
+
+  /// True when one more nesting level would exceed the budget; emits
+  /// the (single) depth diagnostic on first trip.
+  bool atDepthLimit();
   // Token cursor helpers.
   const Token &peek(size_t Ahead = 0) const;
   const Token &previous() const;
@@ -84,6 +107,8 @@ private:
   std::vector<Token> Tokens;
   DiagnosticSink &Diags;
   size_t Pos = 0;
+  size_t Depth = 0;
+  bool DepthDiagnosed = false;
 };
 
 /// Convenience: lex, parse, and type check \p Source in one call.

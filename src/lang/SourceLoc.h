@@ -39,16 +39,31 @@ struct Diagnostic {
 
 /// Collects diagnostics; the front end never throws or aborts on bad
 /// input, it records errors here and the caller inspects hasErrors().
+///
+/// Storage is capped: hostile inputs (e.g. a megabyte of invalid bytes,
+/// each producing its own lexer error) would otherwise make the sink
+/// itself the memory bomb. Errors past the cap are counted but not
+/// stored — hasErrors() and errorCount() see every error regardless.
 class DiagnosticSink {
 public:
+  /// Maximum number of diagnostics kept verbatim.
+  static constexpr size_t MaxStoredDiags = 256;
+
   void error(SourceLoc Loc, const std::string &Message) {
-    Diags.push_back({Loc, Message});
+    ++ErrorCount;
+    if (Diags.size() < MaxStoredDiags)
+      Diags.push_back({Loc, Message});
   }
 
-  bool hasErrors() const { return !Diags.empty(); }
+  bool hasErrors() const { return ErrorCount != 0; }
+  /// Total errors reported, including those dropped past the cap.
+  size_t errorCount() const { return ErrorCount; }
+  /// Errors reported but not stored because the cap was reached.
+  size_t droppedCount() const { return ErrorCount - Diags.size(); }
   const std::vector<Diagnostic> &diagnostics() const { return Diags; }
 
-  /// Renders all diagnostics as "line:col: message" lines.
+  /// Renders all stored diagnostics as "line:col: message" lines, plus
+  /// a trailing note when some were dropped at the cap.
   std::string str() const {
     std::string Result;
     for (const Diagnostic &D : Diags) {
@@ -57,11 +72,15 @@ public:
       Result += D.Message;
       Result += '\n';
     }
+    if (size_t Dropped = droppedCount())
+      Result += "note: " + std::to_string(Dropped) +
+                " further error(s) not shown\n";
     return Result;
   }
 
 private:
   std::vector<Diagnostic> Diags;
+  size_t ErrorCount = 0;
 };
 
 } // namespace liger

@@ -105,7 +105,7 @@ struct Shape {
 class SymEngine {
 public:
   enum class RunEnd { Completed, ChoicePending, Fault, Unsupported,
-                      StepLimit };
+                      StepLimit, MemoryLimit };
 
   struct RunResult {
     RunEnd End = RunEnd::Fault;
@@ -128,6 +128,7 @@ public:
     PC.clear();
     Trace.Steps.clear();
     StepsLeft = Options.MaxSteps;
+    BytesCharged = 0;
     Frames.clear();
     CallDepth = 0;
     Status = RunEnd::Completed;
@@ -428,6 +429,17 @@ private:
     return true;
   }
 
+  /// Charges concretely-allocated bytes (string concat, array element
+  /// storage) against the per-run budget; false once blown.
+  bool chargeBytes(uint64_t Bytes) {
+    BytesCharged += Bytes;
+    if (BytesCharged > Options.MaxConcreteBytes) {
+      stop(RunEnd::MemoryLimit);
+      return false;
+    }
+    return true;
+  }
+
   //===--------------------------------------------------------------------===//
   // Statements (mirrors the concrete interpreter's instrumentation)
   //===--------------------------------------------------------------------===//
@@ -652,6 +664,8 @@ private:
       return;
     }
     if (Cell->isStr() && NewValue.isStr() && S->op() == AssignOp::Add) {
+      if (!chargeBytes(Cell->S.size() + NewValue.S.size()))
+        return;
       Cell->S += NewValue.S;
       return;
     }
@@ -739,6 +753,8 @@ private:
           return SValue::undef();
         Len = *Decided;
       }
+      if (!chargeBytes(16 * static_cast<uint64_t>(Len)))
+        return SValue::undef();
       std::vector<SValue> Elements(Len, zeroOf(New->elemType()));
       return SValue::array(std::move(Elements));
     }
@@ -835,8 +851,11 @@ private:
 
     switch (E->op()) {
     case BinaryOp::Add:
-      if (L.isStr() && R.isStr())
+      if (L.isStr() && R.isStr()) {
+        if (!chargeBytes(L.S.size() + R.S.size()))
+          return SValue::undef();
         return SValue::str(L.S + R.S);
+      }
       return SValue::intExpr(SymExpr::binary(SymOp::Add, L.E, R.E));
     case BinaryOp::Sub:
       return SValue::intExpr(SymExpr::binary(SymOp::Sub, L.E, R.E));
@@ -986,6 +1005,7 @@ private:
   std::vector<SymExprPtr> PC;
   SymbolicTrace Trace;
   size_t StepsLeft = 0;
+  uint64_t BytesCharged = 0;
   std::vector<Frame> Frames;
   unsigned CallDepth = 0;
   RunEnd Status = RunEnd::Completed;
@@ -1046,10 +1066,11 @@ std::vector<Shape> enumerateShapes(const FunctionDecl &Fn,
 /// Recursive DFS over decision prefixes for one shape.
 void explorePrefix(SymEngine &Engine, std::vector<uint8_t> &Prefix,
                    const SymxOptions &Options,
-                   std::set<std::string> &SeenKeys,
+                   std::set<std::string> &SeenKeys, size_t &RunsLeft,
                    std::vector<SymbolicPath> &Out) {
-  if (Out.size() >= Options.MaxPaths)
+  if (Out.size() >= Options.MaxPaths || RunsLeft == 0)
     return;
+  --RunsLeft;
   SymEngine::RunResult Result = Engine.runOnce(Prefix);
   switch (Result.End) {
   case SymEngine::RunEnd::Completed: {
@@ -1071,16 +1092,17 @@ void explorePrefix(SymEngine &Engine, std::vector<uint8_t> &Prefix,
   }
   case SymEngine::RunEnd::ChoicePending:
     for (uint8_t Outcome : Result.FeasibleOutcomes) {
-      if (Out.size() >= Options.MaxPaths)
+      if (Out.size() >= Options.MaxPaths || RunsLeft == 0)
         return;
       Prefix.push_back(Outcome);
-      explorePrefix(Engine, Prefix, Options, SeenKeys, Out);
+      explorePrefix(Engine, Prefix, Options, SeenKeys, RunsLeft, Out);
       Prefix.pop_back();
     }
     return;
   case SymEngine::RunEnd::Fault:
   case SymEngine::RunEnd::Unsupported:
   case SymEngine::RunEnd::StepLimit:
+  case SymEngine::RunEnd::MemoryLimit:
     return; // dropped
   }
 }
@@ -1092,12 +1114,13 @@ std::vector<SymbolicPath> liger::enumeratePaths(const Program &P,
                                                 const SymxOptions &Options) {
   std::vector<SymbolicPath> Paths;
   std::set<std::string> SeenKeys;
+  size_t RunsLeft = Options.MaxRuns;
   for (const Shape &Sh : enumerateShapes(Fn, Options)) {
-    if (Paths.size() >= Options.MaxPaths)
+    if (Paths.size() >= Options.MaxPaths || RunsLeft == 0)
       break;
     SymEngine Engine(P, Fn, Sh, Options);
     std::vector<uint8_t> Prefix;
-    explorePrefix(Engine, Prefix, Options, SeenKeys, Paths);
+    explorePrefix(Engine, Prefix, Options, SeenKeys, RunsLeft, Paths);
   }
   return Paths;
 }

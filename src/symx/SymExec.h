@@ -64,8 +64,21 @@ struct SymxOptions {
   size_t MaxPaths = 24;
   /// Per-run statement budget (bounds loop unrolling).
   size_t MaxSteps = 600;
+  /// Per-run budget for concretely-carried bytes (strings are tracked
+  /// as real std::strings, so unrolled `s = s + s` would otherwise
+  /// double a real allocation each step; arrays allocate real element
+  /// vectors). Monotone like InterpOptions::MaxMemoryBytes; runs that
+  /// blow it are dropped like StepLimit runs (DESIGN.md §12).
+  uint64_t MaxConcreteBytes = 4u << 20;
   /// Cap on fan-out at one choice point (symbolic indices/lengths).
   unsigned MaxChoiceOutcomes = 8;
+  /// Global cap on re-executions (runOnce calls) across all shapes of
+  /// one enumeratePaths call. MaxPaths alone does not bound work:
+  /// only *completed, witnessed, novel* paths count toward it, while
+  /// chained symbolic-index choices explore an exponential prefix
+  /// tree whose arms all dedup to the same path key (or all fault).
+  /// This is the DFS's own fuel (DESIGN.md §12).
+  size_t MaxRuns = 2000;
   /// Concrete lengths tried for each array parameter (one shape each).
   std::vector<size_t> ArrayLengths = {4};
   /// Concrete candidates tried for each string parameter.

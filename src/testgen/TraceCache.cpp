@@ -29,14 +29,14 @@ constexpr uint32_t tagOf(char A, char B, char C, char D) {
          static_cast<uint32_t>(static_cast<uint8_t>(D)) << 24;
 }
 constexpr uint32_t MagicLGTR = tagOf('L', 'G', 'T', 'R');
-constexpr uint32_t FormatVersion = 1;
+constexpr uint32_t FormatVersion = 2; // v2: MemoryExceeded in STAT
 constexpr uint32_t TagStats = tagOf('S', 'T', 'A', 'T');
 constexpr uint32_t TagInputs = tagOf('I', 'N', 'P', 'T');
 constexpr uint32_t TagTraces = tagOf('T', 'R', 'C', 'E');
 
 /// Bump to invalidate every existing key when the hashed field set of
 /// traceCacheKey changes.
-constexpr uint64_t KeySalt = 0x4C47545201ULL; // "LGTR" + key schema 01
+constexpr uint64_t KeySalt = 0x4C47545202ULL; // "LGTR" + key schema 02
 
 /// Sanity bounds: real entries are small, so anything bigger marks
 /// corruption and is rejected before any allocation happens.
@@ -227,6 +227,7 @@ std::string statsSection(const CachedTraceEntry &E) {
   putU32(Out, E.OkRuns);
   putU32(Out, E.Faults);
   putU32(Out, E.Timeouts);
+  putU32(Out, E.MemoryExceeded);
   putU32(Out, E.SymbolicSeeds);
   return Out;
 }
@@ -234,7 +235,7 @@ std::string statsSection(const CachedTraceEntry &E) {
 bool readStatsSection(BufReader &R, CachedTraceEntry &E) {
   return R.readU32(E.Attempts) && R.readU32(E.OkRuns) &&
          R.readU32(E.Faults) && R.readU32(E.Timeouts) &&
-         R.readU32(E.SymbolicSeeds);
+         R.readU32(E.MemoryExceeded) && R.readU32(E.SymbolicSeeds);
 }
 
 std::string inputsSection(const CachedTraceEntry &E) {
@@ -402,6 +403,7 @@ TraceCacheKey liger::traceCacheKey(const std::string &SourceText,
   // pipeline overrides it per phase, so it never affects the output.
   H.addU64(Options.Interp.Fuel);
   H.addU64(Options.Interp.MaxRecordedSteps);
+  H.addU64(Options.Interp.MaxMemoryBytes);
   // Pipeline budgets and seed.
   H.addU32(Options.TargetPaths);
   H.addU32(Options.ExecutionsPerPath);

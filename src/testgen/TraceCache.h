@@ -114,6 +114,7 @@ struct CachedTraceEntry {
   uint32_t OkRuns = 0;
   uint32_t Faults = 0;
   uint32_t Timeouts = 0;
+  uint32_t MemoryExceeded = 0;
   uint32_t SymbolicSeeds = 0;
   /// Accepted inputs, flattened in phase-4 (bucket, then acceptance)
   /// order — replaying them in this order reproduces groupByPath's

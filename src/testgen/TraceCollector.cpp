@@ -83,6 +83,10 @@ MethodTraces runPipeline(const Program &P, const FunctionDecl &Fn,
       ++LocalStats.Timeouts;
       return false;
     }
+    if (Run.Status == ExecStatus::MemoryLimit) {
+      ++LocalStats.MemoryExceeded;
+      return false;
+    }
     if (Run.Status == ExecStatus::RuntimeError) {
       ++LocalStats.Faults;
       return false;
@@ -106,14 +110,15 @@ MethodTraces runPipeline(const Program &P, const FunctionDecl &Fn,
     return false;
   };
 
-  // Phase 1: random exploration. Methods that look non-terminating
-  // (every early probe exhausts its fuel) are abandoned quickly — the
-  // Table 1 "takes too long" filter should not itself take long.
+  // Phase 1: random exploration. Methods that look hostile (every
+  // early probe exhausts its fuel or memory budget) are abandoned
+  // quickly — the Table 1 "takes too long" filter and its allocation-
+  // bomb sibling should not themselves take long.
   // Probes stay recording-free: most random inputs are rejected, so
   // snapshotting them up front would be wasted work.
   for (unsigned Attempt = 0; Attempt < Options.MaxAttempts; ++Attempt) {
-    if (LocalStats.Timeouts >= 8 &&
-        LocalStats.Timeouts == LocalStats.Attempts)
+    unsigned Hostile = LocalStats.Timeouts + LocalStats.MemoryExceeded;
+    if (Hostile >= 8 && Hostile == LocalStats.Attempts)
       break;
     if (Buckets.size() >= Options.TargetPaths) {
       // Stop early once every discovered path is also saturated.
@@ -240,6 +245,7 @@ bool replayEntry(const Program &P, const FunctionDecl &Fn,
   LocalStats.OkRuns = Entry.OkRuns;
   LocalStats.Faults = Entry.Faults;
   LocalStats.Timeouts = Entry.Timeouts;
+  LocalStats.MemoryExceeded = Entry.MemoryExceeded;
   LocalStats.SymbolicSeeds = Entry.SymbolicSeeds;
   LocalStats.ReplaySeconds = Replay.seconds();
   return true;
@@ -292,6 +298,7 @@ MethodTraces liger::collectTracesCached(const Program &P,
   NewEntry.OkRuns = LocalStats.OkRuns;
   NewEntry.Faults = LocalStats.Faults;
   NewEntry.Timeouts = LocalStats.Timeouts;
+  NewEntry.MemoryExceeded = LocalStats.MemoryExceeded;
   NewEntry.SymbolicSeeds = LocalStats.SymbolicSeeds;
   NewEntry.AcceptedInputs.reserve(Accepted.size());
   for (const std::vector<Value> &Inputs : Accepted) {

@@ -65,6 +65,7 @@ struct CollectStats {
   unsigned OkRuns = 0;
   unsigned Faults = 0;
   unsigned Timeouts = 0;
+  unsigned MemoryExceeded = 0;
   unsigned SymbolicSeeds = 0;
 
   /// Cache outcome for this method: exactly one of the three is 1.
@@ -82,6 +83,12 @@ struct CollectStats {
 
   /// True when every single run timed out (the "takes too long" filter).
   bool allTimedOut() const { return Attempts > 0 && Timeouts == Attempts; }
+
+  /// True when every single run blew the memory budget (the allocation-
+  /// bomb filter; DESIGN.md §12).
+  bool allMemoryExceeded() const {
+    return Attempts > 0 && MemoryExceeded == Attempts;
+  }
 };
 
 /// Collects blended traces for \p Fn. The returned MethodTraces holds

@@ -203,7 +203,8 @@ TEST(CorpusTest, FilterPipelineCountsDefects) {
   EXPECT_GT(Stats.TooSmall, 0u);
   EXPECT_LT(Stats.Kept, Stats.Requested);
   EXPECT_EQ(Stats.Kept + Stats.ParseFailures + Stats.ExternalRefFailures +
-                Stats.TestgenTimeouts + Stats.TooSmall + Stats.NoTraces,
+                Stats.TestgenTimeouts + Stats.TestgenMemoryBombs +
+                Stats.TooSmall + Stats.NoTraces,
             Stats.Requested);
   EXPECT_EQ(Samples.size(), Stats.Kept);
 }
@@ -305,6 +306,7 @@ void expectFunnelEqual(const CorpusStats &A, const CorpusStats &B) {
   EXPECT_EQ(A.ParseFailures, B.ParseFailures);
   EXPECT_EQ(A.ExternalRefFailures, B.ExternalRefFailures);
   EXPECT_EQ(A.TestgenTimeouts, B.TestgenTimeouts);
+  EXPECT_EQ(A.TestgenMemoryBombs, B.TestgenMemoryBombs);
   EXPECT_EQ(A.TooSmall, B.TooSmall);
   EXPECT_EQ(A.NoTraces, B.NoTraces);
   EXPECT_EQ(A.Kept, B.Kept);

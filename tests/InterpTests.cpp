@@ -6,6 +6,7 @@
 
 #include "interp/Interpreter.h"
 
+#include "lang/Lexer.h"
 #include "lang/Parser.h"
 
 #include <gtest/gtest.h>
@@ -470,4 +471,188 @@ TEST(ValueTest, ZeroOfTypes) {
   EXPECT_EQ(Value::zeroOf(Type::stringTy(), nullptr).asString(), "");
   EXPECT_TRUE(
       Value::zeroOf(Type::arrayOf(TypeKind::Int), nullptr).elements().empty());
+}
+
+//===----------------------------------------------------------------------===//
+// Hardening: memory budget, totality on hostile inputs (DESIGN.md §12)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Lex + parse only, skipping the type checker — models hostile inputs
+/// that reach the interpreter without the checker's guarantees (testgen
+/// runs methods whose checking stage was bypassed or raced).
+Program parseOnly(const std::string &Source) {
+  DiagnosticSink Diags;
+  Lexer Lex(Source, Diags);
+  Parser P(Lex.lexAll(), Diags);
+  Program Prog = P.parseProgram();
+  EXPECT_FALSE(Prog.Functions.empty()) << Diags.str();
+  return Prog;
+}
+
+} // namespace
+
+TEST(InterpHardeningTest, StringDoublingHitsMemoryLimit) {
+  // s = s + s doubles every iteration: 2^60 bytes long before fuel runs
+  // out. Pre-budget this OOM'd the process.
+  Program P = mustParse(R"(
+    int f() {
+      string s = "aaaaaaaaaaaaaaaa";
+      for (int i = 0; i < 60; i++) { s = s + s; }
+      return len(s);
+    }
+  )");
+  InterpOptions Options;
+  Options.MaxMemoryBytes = 1u << 20;
+  ExecResult R = execute(P, P.Functions[0], {}, Options);
+  EXPECT_EQ(R.Status, ExecStatus::MemoryLimit);
+}
+
+TEST(InterpHardeningTest, ArrayChurnHitsMemoryLimit) {
+  // Each allocation is modest but accounting is monotone, so repeated
+  // large allocations exhaust the budget even though peak live memory
+  // stays flat.
+  Program P = mustParse(R"(
+    int f() {
+      int total = 0;
+      for (int i = 0; i < 100000; i++) {
+        int[] a = new int[10000];
+        total = total + len(a);
+      }
+      return total;
+    }
+  )");
+  InterpOptions Options;
+  Options.MaxMemoryBytes = 4u << 20;
+  ExecResult R = execute(P, P.Functions[0], {}, Options);
+  EXPECT_EQ(R.Status, ExecStatus::MemoryLimit);
+}
+
+TEST(InterpHardeningTest, GenerousBudgetLeavesNormalRunsUntouched) {
+  Program P = mustParse(SortI);
+  ExecResult R = execute(P, P.Functions[0], {intArray({5, 2, 4, 1, 3})});
+  ASSERT_EQ(R.Status, ExecStatus::Ok);
+  EXPECT_EQ(toInts(R.ReturnValue), (std::vector<int64_t>{1, 2, 3, 4, 5}));
+}
+
+TEST(InterpHardeningTest, AllTerminalStatusesWellFormed) {
+  // Table-driven sweep over the four terminal statuses: every result —
+  // truncated or not — must carry consistent bookkeeping.
+  struct Case {
+    const char *Name;
+    const char *Source;
+    ExecStatus Expected;
+  };
+  const Case Cases[] = {
+      {"ok", "int f() { int x = 1; return x + 1; }", ExecStatus::Ok},
+      {"fuel", "int f() { int x = 0; while (true) { x = x + 1; } return x; }",
+       ExecStatus::OutOfFuel},
+      {"runtime", "int f() { int x = 0; return 1 / x; }",
+       ExecStatus::RuntimeError},
+      {"memory",
+       "int f() { string s = \"aaaaaaaa\"; while (true) { s = s + s; } "
+       "return len(s); }",
+       ExecStatus::MemoryLimit},
+  };
+  InterpOptions Options;
+  Options.Fuel = 2000;
+  Options.MaxMemoryBytes = 1u << 20;
+  Options.MaxRecordedSteps = 64;
+  for (const Case &C : Cases) {
+    Program P = mustParse(C.Source);
+    ExecResult R = execute(P, P.Functions[0], {}, Options);
+    EXPECT_EQ(R.Status, C.Expected) << C.Name << ": " << R.ErrorMessage;
+    EXPECT_GT(R.FuelUsed, 0u) << C.Name;
+    EXPECT_LE(R.FuelUsed, Options.Fuel) << C.Name;
+    EXPECT_LE(R.Steps.size(), Options.MaxRecordedSteps) << C.Name;
+    EXPECT_EQ(R.InitialState.size(), R.VarNames.size()) << C.Name;
+    // Even a truncated trace is valid: every recorded snapshot aligns
+    // with the variable tuple.
+    for (const ExecStep &S : R.Steps) {
+      ASSERT_NE(S.Statement, nullptr) << C.Name;
+      EXPECT_EQ(S.State.size(), R.VarNames.size()) << C.Name;
+    }
+    if (C.Expected != ExecStatus::Ok)
+      EXPECT_FALSE(R.ErrorMessage.empty()) << C.Name;
+  }
+}
+
+TEST(InterpHardeningTest, ProbeAndRecordReachSameTerminalState) {
+  // The trace collector probes with RecordStates=false, then re-runs
+  // recording. Snapshot bytes are charged in both modes, so the
+  // terminal status and fuel must not depend on the recording flag.
+  const char *Sources[] = {
+      "int f() { int x = 1; for (int i = 0; i < 50; i++) { x = x * 2; } "
+      "return x; }",
+      "int f() { string s = \"aaaaaaaa\"; while (true) { s = s + s; } "
+      "return len(s); }",
+      "int f() { int x = 0; while (true) { x = x + 1; } return x; }",
+  };
+  for (const char *Source : Sources) {
+    Program P = mustParse(Source);
+    InterpOptions Probe;
+    Probe.Fuel = 3000;
+    Probe.MaxMemoryBytes = 1u << 20;
+    Probe.RecordStates = false;
+    InterpOptions Record = Probe;
+    Record.RecordStates = true;
+    ExecResult A = execute(P, P.Functions[0], {}, Probe);
+    ExecResult B = execute(P, P.Functions[0], {}, Record);
+    EXPECT_EQ(A.Status, B.Status) << Source;
+    EXPECT_EQ(A.FuelUsed, B.FuelUsed) << Source;
+  }
+}
+
+TEST(InterpHardeningTest, NonIntegerArraySizeIsRuntimeError) {
+  // `new int[b]` with a bool size never passes the type checker, but the
+  // interpreter must still reject it (satellite c: typecheck bypassed).
+  Program P = parseOnly(
+      "int f(bool b) { int[] a = new int[b]; return len(a); }");
+  ExecResult R = execute(P, P.Functions[0], {Value::makeBool(true)});
+  EXPECT_EQ(R.Status, ExecStatus::RuntimeError);
+  EXPECT_NE(R.ErrorMessage.find("array size"), std::string::npos)
+      << R.ErrorMessage;
+}
+
+TEST(InterpHardeningTest, TypeConfusedOperandsAreRuntimeErrors) {
+  // Un-typechecked ASTs exercise every operand trust point; all must
+  // fail totally instead of asserting.
+  const char *Sources[] = {
+      "int f() { string s = \"a\"; return s + 1; }",
+      "int f(bool b) { return -b; }",
+      "int f() { if (1) { return 1; } return 0; }",
+      "int f() { P p; return 0; }",
+      "int g(int x) { return x; } int f() { return g(); }",
+      "int f() { string s = \"a\"; return s[0] * 2; }",
+      "int f(bool b) { while (b + 1) { return 1; } return 0; }",
+  };
+  for (const char *Source : Sources) {
+    Program P = parseOnly(Source);
+    const FunctionDecl *Fn = P.findFunction("f");
+    ASSERT_NE(Fn, nullptr) << Source;
+    std::vector<Value> Args;
+    for (size_t I = 0; I < Fn->Params.size(); ++I)
+      Args.push_back(Value::makeBool(true));
+    ExecResult R = execute(P, *Fn, Args);
+    EXPECT_EQ(R.Status, ExecStatus::RuntimeError) << Source;
+    EXPECT_FALSE(R.ErrorMessage.empty()) << Source;
+  }
+}
+
+TEST(InterpHardeningTest, SubstringChargesAndBoundsChecks) {
+  Program P = mustParse(R"(
+    string f(string s, int i, int n) { return substring(s, i, n); }
+  )");
+  // In-bounds works.
+  ExecResult Ok = execute(
+      P, P.Functions[0],
+      {Value::makeString("hello"), Value::makeInt(1), Value::makeInt(3)});
+  ASSERT_EQ(Ok.Status, ExecStatus::Ok);
+  EXPECT_EQ(Ok.ReturnValue.asString(), "ell");
+  // Out-of-bounds is a runtime error, not UB.
+  ExecResult Bad = execute(
+      P, P.Functions[0],
+      {Value::makeString("hello"), Value::makeInt(3), Value::makeInt(9)});
+  EXPECT_EQ(Bad.Status, ExecStatus::RuntimeError);
 }

@@ -417,3 +417,31 @@ int quadrant(Point p) {
   EXPECT_GE(Paths.size(), 5u);
   expectWitnessesReplay(P, P.Functions[0], Paths);
 }
+
+TEST(SymExecTest, RunBudgetBoundsPrefixBlowup) {
+  // Eight chained symbolic-index writes fan out into 8^8 decision
+  // prefixes whose arms all dedup to the same statement-level path
+  // key, so MaxPaths alone never stops the DFS. MaxRuns is the DFS's
+  // own fuel: enumeration must return (with however many paths it
+  // found) instead of wedging for hours (DESIGN.md §12).
+  Program P = mustParse(R"(
+int f(int a1, int a2, int a3, int a4, int a5, int a6, int a7, int a8) {
+  int[] a = new int[8];
+  a[a1] = 1;
+  a[a2] = 2;
+  a[a3] = 3;
+  a[a4] = 4;
+  a[a5] = 5;
+  a[a6] = 6;
+  a[a7] = 7;
+  a[a8] = 8;
+  return a[0];
+}
+)");
+  SymxOptions Options;
+  Options.MaxRuns = 200;
+  auto Paths = enumeratePaths(P, P.Functions[0], Options);
+  // One statement-level path exists and the budget is plenty to
+  // complete (and dedup) at least one arm of it.
+  EXPECT_EQ(Paths.size(), 1u);
+}

@@ -199,6 +199,25 @@ TEST(TraceCollectorTest, TimeoutsCounted) {
   EXPECT_TRUE(Stats.allTimedOut());
 }
 
+TEST(TraceCollectorTest, MemoryBombsCounted) {
+  // Every attempted execution of a memory bomb ends with MemoryLimit;
+  // the collector counts them like timeouts (Table 1's "takes too
+  // long" filter, extended to "takes too much memory").
+  Program P = mustParse(
+      "void f() { string s = \"aaaaaaaa\"; while (true) { s = s + s; } }");
+  TestGenOptions Options;
+  Options.Interp.Fuel = 2000;
+  Options.Interp.MaxMemoryBytes = 1u << 20;
+  Options.MaxAttempts = 5;
+  Options.UseSymbolicSeeding = false;
+  CollectStats Stats;
+  MethodTraces Traces = collectTraces(P, P.Functions[0], Options, &Stats);
+  EXPECT_TRUE(Traces.Paths.empty());
+  EXPECT_GT(Stats.MemoryExceeded, 0u);
+  EXPECT_TRUE(Stats.allMemoryExceeded());
+  EXPECT_EQ(Stats.Timeouts, 0u);
+}
+
 TEST(TraceCollectorTest, DeterministicUnderSeed) {
   Program P = mustParse(SortProgram);
   TestGenOptions Options;
@@ -407,6 +426,7 @@ void expectDiscoveryStatsEqual(const CollectStats &A, const CollectStats &B) {
   EXPECT_EQ(A.OkRuns, B.OkRuns);
   EXPECT_EQ(A.Faults, B.Faults);
   EXPECT_EQ(A.Timeouts, B.Timeouts);
+  EXPECT_EQ(A.MemoryExceeded, B.MemoryExceeded);
   EXPECT_EQ(A.SymbolicSeeds, B.SymbolicSeeds);
 }
 
@@ -428,6 +448,9 @@ TEST(TraceCacheTest, KeyStableAndSensitive) {
   EXPECT_NE(traceCacheKey(SortProgram, "sort", Changed), Base);
   Changed = Options;
   Changed.Interp.Fuel = Options.Interp.Fuel + 1;
+  EXPECT_NE(traceCacheKey(SortProgram, "sort", Changed), Base);
+  Changed = Options;
+  Changed.Interp.MaxMemoryBytes = Options.Interp.MaxMemoryBytes / 2;
   EXPECT_NE(traceCacheKey(SortProgram, "sort", Changed), Base);
   Changed = Options;
   Changed.Input.IntHi = Options.Input.IntHi + 1;
@@ -688,4 +711,41 @@ TEST(TraceCacheTest, ModeParsing) {
   EXPECT_EQ(Mode, TraceCacheMode::Full);
   EXPECT_FALSE(parseTraceCacheMode("Full", Mode));
   EXPECT_FALSE(parseTraceCacheMode("", Mode));
+}
+
+TEST(TraceCacheTest, MemoryStatsSurviveDiskRoundTrip) {
+  // A memory-bomb method produces a "filtered" entry — no paths, but
+  // the MemoryExceeded count must survive the on-disk LGTR format so
+  // corpus filtering stays correct on warm runs.
+  const char *Bomb =
+      "void f() { string s = \"aaaaaaaa\"; while (true) { s = s + s; } }";
+  Program P = mustParse(Bomb);
+  TestGenOptions Options = tinyTraceGen();
+  Options.Interp.Fuel = 2000;
+  Options.Interp.MaxMemoryBytes = 1u << 20;
+  Options.MaxAttempts = 5;
+  Options.UseSymbolicSeeding = false;
+  std::string Dir = testing::TempDir() + "/liger_trace_cache_membomb";
+  std::error_code Ec;
+  std::filesystem::remove_all(Dir, Ec);
+
+  CollectStats Cold;
+  {
+    TraceCache Cache(TraceCacheMode::Full, Dir);
+    MethodTraces Traces =
+        collectTracesCached(P, P.Functions[0], Bomb, Options, &Cache, &Cold);
+    EXPECT_TRUE(Traces.Paths.empty());
+    EXPECT_TRUE(Cold.allMemoryExceeded());
+    EXPECT_EQ(Cache.stores(), 1u);
+  }
+
+  Program P2 = mustParse(Bomb);
+  TraceCache Fresh(TraceCacheMode::Full, Dir);
+  CollectStats Warm;
+  MethodTraces WarmTraces = collectTracesCached(P2, P2.Functions[0], Bomb,
+                                                Options, &Fresh, &Warm);
+  EXPECT_EQ(Warm.CacheHits, 1u);
+  EXPECT_TRUE(WarmTraces.Paths.empty());
+  EXPECT_TRUE(Warm.allMemoryExceeded());
+  expectDiscoveryStatsEqual(Cold, Warm);
 }
