@@ -20,10 +20,27 @@
 #include "eval/Experiments.h"
 #include "support/StringUtils.h"
 #include "support/Table.h"
+#include "testgen/TraceCache.h"
 
 #include <cstdio>
+#include <memory>
 
 namespace liger {
+
+/// Default cache-mode directory shared by the figure benches (and the
+/// verify.sh smoke steps): the Table 1 / fig6–fig11 sweeps regenerate
+/// the same corpora, so pointing them at one Full-mode directory pays
+/// trace construction exactly once per (method, options) across the
+/// whole sweep. Explicit --trace-cache / --trace-cache-dir flags win;
+/// --trace-cache=off still disables caching entirely.
+inline void applySharedTraceCacheDefault(ExperimentScale &Scale) {
+  if (Scale.CacheFlagsExplicit || Scale.Cache)
+    return;
+  Scale.CacheMode = TraceCacheMode::Full;
+  Scale.TraceCacheDir = "liger-trace-cache";
+  Scale.Cache =
+      std::make_shared<TraceCache>(Scale.CacheMode, Scale.TraceCacheDir);
+}
 
 /// Prints the standard banner with the effective scale. Also switches
 /// stdout to line buffering so progress lines appear promptly when the

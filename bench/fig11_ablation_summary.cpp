@@ -18,6 +18,7 @@ using namespace liger;
 
 int main(int Argc, char **Argv) {
   ExperimentScale Scale = ExperimentScale::fromArgs(Argc, Argv);
+  applySharedTraceCacheDefault(Scale);
   printBanner("Figure 11 — ablation summary", Scale);
 
   std::printf("building corpus...\n");

@@ -24,6 +24,7 @@ using namespace liger;
 
 int main(int Argc, char **Argv) {
   ExperimentScale Scale = ExperimentScale::fromArgs(Argc, Argv);
+  applySharedTraceCacheDefault(Scale);
   printBanner("Figure 6 — data reliance (method name prediction, mini-med)",
               Scale);
 

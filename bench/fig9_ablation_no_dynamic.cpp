@@ -19,6 +19,7 @@ using namespace liger;
 
 int main(int Argc, char **Argv) {
   ExperimentScale Scale = ExperimentScale::fromArgs(Argc, Argv);
+  applySharedTraceCacheDefault(Scale);
   printBanner("Figure 9 — ablation: LIGER without the dynamic feature "
               "dimension",
               Scale);

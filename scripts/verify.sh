@@ -15,6 +15,10 @@
 #      budget, lexer byte totality, interpreter memory budget) plus a
 #      liger_fuzz smoke burst and the regression-corpus replay, all
 #      under ASan+UBSan (DESIGN.md §12);
+#   3c. sanitized serving: the forward-only runtime suites (bitwise
+#      inference equivalence, LGWI truncation/corruption fuzz, shared
+#      trace-cache concurrency) and a liger_serve --smoke burst under
+#      ASan+UBSan (DESIGN.md §13);
 #   4. scalar fallback: LIGER_NATIVE_SIMD=OFF build (build-scalar) +
 #      full ctest, so the portable kernels stay green alongside the
 #      AVX2 ones;
@@ -23,7 +27,15 @@
 #      batched matmul/cell/attention paths still run; timings are not
 #      checked here);
 #   6. trace pipeline bench in smoke mode (off/cold/warm determinism
-#      checks at a tiny scale; exits non-zero on any mismatch).
+#      checks at a tiny scale; exits non-zero on any mismatch);
+#   7. serve smoke on the SIMD build: liger_serve --smoke starts the
+#      engine, answers a burst including hostile and deadline-starved
+#      methods, and shuts down cleanly.
+#
+# The smoke steps (6, 7, and 3c's serve burst) share one on-disk trace
+# cache ($BUILD/verify-trace-cache, wiped once up front) — the same
+# concurrent-reader contract the figure benches rely on (DESIGN.md
+# §13.3).
 #
 # Invoke directly or via `cmake --build build --target liger_verify`.
 #
@@ -34,6 +46,8 @@ set -euo pipefail
 REPO="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD="${LIGER_VERIFY_BUILD_DIR:-$REPO/build}"
 JOBS="$(nproc 2>/dev/null || echo 4)"
+CACHE="$BUILD/verify-trace-cache"
+rm -rf "$CACHE"
 
 step() { printf '\n=== verify: %s ===\n' "$*"; }
 
@@ -45,7 +59,8 @@ ctest --test-dir "$BUILD" --output-on-failure -j "$JOBS"
 step "sanitized gradcheck build (build-asan)"
 cmake -B "$REPO/build-asan" -S "$REPO" -DLIGER_SANITIZE=ON
 cmake --build "$REPO/build-asan" -j "$JOBS" \
-  --target nn_tests testgen_tests dataset_tests interp_tests lang_tests liger_fuzz
+  --target nn_tests testgen_tests dataset_tests interp_tests lang_tests \
+           serve_tests liger_fuzz liger_serve
 "$REPO/build-asan/tests/nn_tests" \
   --gtest_filter='GradCheckTest.*:GraphArenaTest.*:GradSinkTest.*:CheckpointTest.*:ParamStoreTest.*:FusedEquivalenceTest.*:AttentionEquivalenceTest.*:BatchedKernelEquivalenceTest.*'
 
@@ -60,6 +75,10 @@ step "sanitized hardening: depth/memory budgets + fuzz smoke (build-asan)"
   --gtest_filter='ParserDepthTest.*:LexerHardeningTest.*'
 "$REPO/build-asan/tools/liger_fuzz" --smoke --replay "$REPO/tests/fuzz-corpus"
 
+step "sanitized serving: inference equivalence + shared cache + serve smoke (build-asan)"
+"$REPO/build-asan/tests/serve_tests"
+"$REPO/build-asan/tools/liger_serve" --smoke --trace-cache-dir="$CACHE"
+
 step "scalar fallback build + ctest (build-scalar, LIGER_NATIVE_SIMD=OFF)"
 cmake -B "$REPO/build-scalar" -S "$REPO" -DLIGER_NATIVE_SIMD=OFF
 cmake --build "$REPO/build-scalar" -j "$JOBS"
@@ -73,9 +92,17 @@ step "kernel benches (smoke)"
 
 step "trace pipeline bench (smoke)"
 # Run from inside the build tree so the smoke-scale BENCH_pipeline.json
-# (and the bench's scratch cache directory) land there, not over the
-# checked-in full-scale result at the repo root.
+# lands there, not over the checked-in full-scale result at the repo
+# root. The bench manages cold/warm subdirectories under the shared
+# verify cache itself.
 (cd "$BUILD" && ./bench/pipeline_throughput --methods=6 \
-   --trace-cache-dir="$BUILD/pipeline-verify-cache")
+   --trace-cache-dir="$CACHE")
+
+step "serve smoke (SIMD build, shared verify cache)"
+# Second consumer of the shared cache dir this run (after the
+# sanitized smoke above): repeated entries must hit, fresh hostile
+# entries must miss, and the deadline-starved request must surface as
+# deadline-exceeded either way.
+"$BUILD/tools/liger_serve" --smoke --trace-cache-dir="$CACHE"
 
 step "all gates passed"

@@ -52,6 +52,7 @@ ExperimentScale ExperimentScale::fromArgs(int Argc, char **Argv) {
     }
     if (startsWith(Arg, "--trace-cache-dir=")) {
       Scale.TraceCacheDir = Arg.substr(std::strlen("--trace-cache-dir="));
+      Scale.CacheFlagsExplicit = true;
       continue;
     }
     if (startsWith(Arg, "--trace-cache=")) {
@@ -62,6 +63,7 @@ ExperimentScale ExperimentScale::fromArgs(int Argc, char **Argv) {
                      Mode.c_str());
         std::exit(2);
       }
+      Scale.CacheFlagsExplicit = true;
       continue;
     }
     size_t Tmp;

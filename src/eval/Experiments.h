@@ -69,6 +69,11 @@ struct ExperimentScale {
   /// The cache instance built from the two knobs above (shared by all
   /// corpora of one experiment binary; null when CacheMode is Off).
   std::shared_ptr<TraceCache> Cache;
+  /// True when the user passed any --trace-cache flag, so defaults
+  /// applied by binaries (the figure benches share one on-disk cache
+  /// unless told otherwise) never override an explicit choice —
+  /// including an explicit --trace-cache=off.
+  bool CacheFlagsExplicit = false;
 
   /// Parses --key=value overrides (unknown keys are fatal).
   static ExperimentScale fromArgs(int Argc, char **Argv);

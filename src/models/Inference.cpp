@@ -1,0 +1,587 @@
+//===-- models/Inference.cpp - Forward-only LIGER runtime ------------------===//
+//
+// Part of the LIGER reproduction project.
+//
+//===----------------------------------------------------------------------===//
+//
+// Every function here is a values-only transliteration of its graph
+// counterpart (Liger.cpp / Decoder.cpp / Module.cpp), calling the same
+// inferops:: kernels the fused graph ops call; keep the two in lockstep
+// when either changes — InferenceEquivalenceTest compares them with
+// memcmp.
+//
+//===----------------------------------------------------------------------===//
+
+#include "models/Inference.h"
+
+#include "lang/AstTree.h"
+#include "models/Common.h"
+#include "nn/InferOps.h"
+
+#include <cstring>
+
+using namespace liger;
+
+//===----------------------------------------------------------------------===//
+// ScratchArena
+//===----------------------------------------------------------------------===//
+
+namespace {
+constexpr size_t MinBlockFloats = 1u << 16;
+} // namespace
+
+float *ScratchArena::alloc(size_t N) {
+  if (N == 0)
+    N = 1;
+  while (Active < Blocks.size()) {
+    Block &B = Blocks[Active];
+    if (B.Used + N <= B.Data.size()) {
+      float *P = B.Data.data() + B.Used;
+      B.Used += N;
+      return P;
+    }
+    ++Active; // Tail slack is reclaimed at the next reset().
+  }
+  Blocks.emplace_back();
+  Blocks.back().Data.resize(std::max(MinBlockFloats, N));
+  Blocks.back().Used = N;
+  Active = Blocks.size() - 1;
+  return Blocks.back().Data.data();
+}
+
+float *ScratchArena::allocZeroed(size_t N) {
+  float *P = alloc(N);
+  std::memset(P, 0, N * sizeof(float));
+  return P;
+}
+
+void ScratchArena::reset() {
+  for (Block &B : Blocks)
+    B.Used = 0;
+  Active = 0;
+}
+
+size_t ScratchArena::floatsReserved() const {
+  size_t Total = 0;
+  for (const Block &B : Blocks)
+    Total += B.Data.size();
+  return Total;
+}
+
+//===----------------------------------------------------------------------===//
+// Weight binding
+//===----------------------------------------------------------------------===//
+
+LigerInference::LigerInference(const WeightImage &Image,
+                               const Vocabulary &JointVocab,
+                               const Vocabulary *Target,
+                               const LigerConfig &Cfg)
+    : Config(Cfg), Vocab(JointVocab), TargetVocab(Target) {
+  LIGER_CHECK(Config.UseStaticFeature || Config.UseDynamicFeature,
+              "at least one feature dimension must be enabled");
+  bind(Image);
+}
+
+LigerInference::LinearRef
+LigerInference::bindLinear(const WeightImage &Image, const std::string &Name,
+                           size_t In, size_t Out) const {
+  LinearRef L;
+  L.In = In;
+  L.Out = Out;
+  L.W = Image.tensor2d(Name + ".W", Out, In);
+  L.B = Image.tensor1d(Name + ".b", Out);
+  return L;
+}
+
+LigerInference::CellRef
+LigerInference::bindCell(const WeightImage &Image, const std::string &Name,
+                         CellKind Kind, size_t In, size_t Hidden) const {
+  CellRef C;
+  C.Kind = Kind;
+  C.In = In;
+  C.Hidden = Hidden;
+  if (Kind == CellKind::Rnn) {
+    C.L1 = bindLinear(Image, Name + ".Wx", In, Hidden);
+    C.U1 = Image.tensor2d(Name + ".Wh", Hidden, Hidden);
+    return C;
+  }
+  size_t K = Kind == CellKind::Gru ? 3 : 4;
+  C.Wx = Image.tensor2d(Name + ".Wx", K * Hidden, In);
+  C.Bx = Image.tensor1d(Name + ".bx", K * Hidden);
+  C.Wh = Image.tensor2d(Name + ".Wh", K * Hidden, Hidden);
+  return C;
+}
+
+LigerInference::AttnRef
+LigerInference::bindAttn(const WeightImage &Image, const std::string &Name,
+                         size_t QueryDim, size_t KeyDim,
+                         size_t Hidden) const {
+  AttnRef A;
+  A.QueryDim = QueryDim;
+  A.KeyDim = KeyDim;
+  A.Hidden = Hidden;
+  A.W1 = Image.tensor2d(Name + ".l1.W", Hidden, KeyDim + QueryDim);
+  A.B1 = Image.tensor1d(Name + ".l1.b", Hidden);
+  A.W2 = Image.tensor2d(Name + ".l2.W", 1, Hidden);
+  A.B2 = Image.tensor1d(Name + ".l2.b", 1);
+  return A;
+}
+
+void LigerInference::bind(const WeightImage &Image) {
+  size_t E = Config.EmbedDim, H = Config.Hidden, A = Config.AttnHidden;
+  Embed = Image.tensor2d("liger.embed",
+                         static_cast<size_t>(Vocab.size()), E);
+  TreeW.Wx = Image.tensor2d("liger.stmt_tree.Wx", 4 * H, E);
+  TreeW.Bx = Image.tensor1d("liger.stmt_tree.bx", 4 * H);
+  TreeW.Wh = Image.tensor2d("liger.stmt_tree.Wh", 4 * H, H);
+  F1 = bindCell(Image, "liger.f1", Config.Cell, E, E);
+  F2 = bindCell(Image, "liger.f2", Config.Cell, E, H);
+  A1 = bindAttn(Image, "liger.a1", H, H, A);
+  F3 = bindCell(Image, "liger.f3", Config.Cell, H, H);
+
+  if (TargetVocab) {
+    size_t Vt = static_cast<size_t>(TargetVocab->size());
+    Dec.TargetEmbed = Image.tensor2d("liger.dec.target_embed", Vt, E);
+    Dec.Init = bindLinear(Image, "liger.dec.init", H, H);
+    Dec.Cell = bindCell(Image, "liger.dec.cell", Config.Cell, E + H, H);
+    Dec.Attn = bindAttn(Image, "liger.dec.attn", H, H, A);
+    Dec.Out = bindLinear(Image, "liger.dec.out", H + H, Vt);
+  }
+
+  Head = LinearRef();
+  if (const WeightImage::Entry *HeadW = Image.find("liger.head.W")) {
+    LIGER_CHECK(HeadW->Rank == 2 && HeadW->Dims[1] == H,
+                "classifier head shape mismatch");
+    Head = bindLinear(Image, "liger.head", H, HeadW->Dims[0]);
+  }
+
+  Version = Image.version();
+}
+
+void LigerInference::rebind(const WeightImage &Image) {
+  Digest128 Old = Version;
+  bind(Image);
+  if (Version != Old) {
+    StmtCache.clear();
+    StateCache.clear();
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Primitive module forwards
+//===----------------------------------------------------------------------===//
+
+const float *LigerInference::tokenEmbed(const std::string &Token) const {
+  // EmbeddingTable::lookup is a zero-copy row view; here it is plain
+  // pointer arithmetic into the image.
+  int Id = Vocab.lookup(Token);
+  return Embed + static_cast<size_t>(Id) * Config.EmbedDim;
+}
+
+const float *LigerInference::linearApply(const LinearRef &L, const float *X) {
+  // Mirrors Linear::apply = add(matvec(W, X), B).
+  float *Y = Arena.alloc(L.Out);
+  kernels::matvec(L.Out, L.In, L.W, X, Y);
+  kernels::addAcc(L.Out, L.B, Y);
+  return Y;
+}
+
+LigerInference::St LigerInference::cellInitial(const CellRef &Cell) {
+  St S;
+  S.H = Arena.allocZeroed(Cell.Hidden);
+  if (Cell.Kind == CellKind::Lstm)
+    S.C = Arena.allocZeroed(Cell.Hidden);
+  return S;
+}
+
+LigerInference::St LigerInference::cellStep(const CellRef &Cell,
+                                            const float *X, const St &Prev) {
+  size_t H = Cell.Hidden;
+  St Next;
+  switch (Cell.Kind) {
+  case CellKind::Rnn: {
+    // tanhV(add(L1.apply(X), matvec(U1, Prev.H))).
+    float *Y = Arena.alloc(H);
+    kernels::matvec(H, Cell.In, Cell.L1.W, X, Y);
+    kernels::addAcc(H, Cell.L1.B, Y);
+    float *Uh = Arena.alloc(H);
+    kernels::matvec(H, H, Cell.U1, Prev.H, Uh);
+    kernels::addAcc(H, Uh, Y);
+    kernels::tanhMap(H, Y, Y);
+    Next.H = Y;
+    break;
+  }
+  case CellKind::Gru: {
+    float *Gates = Arena.alloc(3 * H);
+    float *Ws = Arena.alloc(9 * H);
+    float *Out = Arena.alloc(H);
+    inferops::gruCellForward(H, Cell.In, Cell.Wx, Cell.Bx, Cell.Wh, X,
+                             Prev.H, Gates, Out, Ws);
+    Next.H = Out;
+    break;
+  }
+  case CellKind::Lstm: {
+    float *Pay = Arena.alloc(6 * H);
+    float *Ws = Arena.alloc(10 * H);
+    float *C = Arena.alloc(H);
+    float *HOut = Arena.alloc(H);
+    inferops::lstmCellForward(H, Cell.In, Cell.Wx, Cell.Bx, Cell.Wh, X,
+                              Prev.H, Prev.C, Pay, C, HOut, Ws);
+    Next.H = HOut;
+    Next.C = C;
+    break;
+  }
+  }
+  return Next;
+}
+
+const float *
+LigerInference::attnKeyProj(const AttnRef &Attn,
+                            const std::vector<const float *> &Keys) {
+  float *KP = Arena.alloc(Keys.size() * Attn.Hidden);
+  inferops::attentionKeyProjForward(Keys.size(), Attn.Hidden, Attn.KeyDim,
+                                    Attn.KeyDim + Attn.QueryDim, Attn.W1,
+                                    Attn.B1, Keys.data(), KP);
+  return KP;
+}
+
+const float *
+LigerInference::attnContext(const AttnRef &Attn,
+                            const std::vector<const float *> &Keys,
+                            const float *KeyProj, const float *Query) {
+  size_t T = Keys.size();
+  float *Ht = Arena.alloc(T * Attn.Hidden);
+  float *A = Arena.alloc(T);
+  float *Out = Arena.alloc(Attn.KeyDim);
+  float *Ws = Arena.alloc(2 * Attn.Hidden + T);
+  inferops::attentionForward(T, Attn.KeyDim, Attn.QueryDim, Attn.Hidden,
+                             Attn.KeyDim + Attn.QueryDim, Attn.W1, Attn.W2,
+                             Attn.B2[0], Query, KeyProj, Keys.data(), Ht, A,
+                             Out, Ws);
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Statement embedding (persistent cache)
+//===----------------------------------------------------------------------===//
+
+LigerInference::St LigerInference::treeNode(const AstTree &Tree) {
+  // Mirrors ChildSumTreeLstm::embedNode: children first, then the
+  // child-sum and the fused node op.
+  size_t H = Config.Hidden;
+  size_t K = Tree.Children.size();
+  std::vector<const float *> ChildH(K), ChildC(K);
+  for (size_t I = 0; I < K; ++I) {
+    St Child = treeNode(Tree.Children[I]);
+    ChildH[I] = Child.H;
+    ChildC[I] = Child.C;
+  }
+
+  const float *X = tokenEmbed(Tree.Label);
+
+  // childHSum: zeros / the single child / a left-to-right add chain.
+  const float *HSum;
+  if (K == 0) {
+    HSum = Arena.allocZeroed(H);
+  } else if (K == 1) {
+    HSum = ChildH[0];
+  } else {
+    float *Sum = Arena.alloc(H);
+    std::memcpy(Sum, ChildH[0], H * sizeof(float));
+    for (size_t I = 1; I < K; ++I)
+      kernels::addAcc(H, ChildH[I], Sum);
+    HSum = Sum;
+  }
+
+  float *Gates = Arena.alloc((5 + K) * H);
+  float *Ws = Arena.alloc(10 * H);
+  St Out;
+  float *C = Arena.alloc(H);
+  float *HOut = Arena.alloc(H);
+  inferops::treeLstmNodeForward(H, Config.EmbedDim, K, TreeW.Wx, TreeW.Bx,
+                                TreeW.Wh, X, HSum, ChildH.data(),
+                                ChildC.data(), Gates, C, HOut, Ws);
+  Out.H = HOut;
+  Out.C = C;
+  return Out;
+}
+
+namespace {
+
+/// Injective serialization of a statement head tree: length-prefixed
+/// labels plus explicit child-list delimiters, so distinct trees can
+/// never produce the same key.
+void appendTreeKey(const AstTree &Tree, std::string &Key) {
+  Key += std::to_string(Tree.Label.size());
+  Key += ':';
+  Key += Tree.Label;
+  Key += '(';
+  for (const AstTree &Child : Tree.Children)
+    appendTreeKey(Child, Key);
+  Key += ')';
+}
+
+} // namespace
+
+const float *LigerInference::embedStatement(const Stmt *S) {
+  AstTree Tree = buildStmtHeadTree(S);
+  std::string Key;
+  appendTreeKey(Tree, Key);
+  auto It = StmtCache.find(Key);
+  if (It != StmtCache.end()) {
+    ++Stats.StmtHits;
+    return It->second.data();
+  }
+  ++Stats.StmtMisses;
+  St R = treeNode(Tree);
+  std::vector<float> &Slot = StmtCache[std::move(Key)];
+  Slot.assign(R.H, R.H + Config.Hidden);
+  return Slot.data();
+}
+
+//===----------------------------------------------------------------------===//
+// State embedding (persistent cache)
+//===----------------------------------------------------------------------===//
+
+const float *LigerInference::embedState(const ProgramState &State) {
+  // The key construction is LigerEncoder::stateKey verbatim — serving
+  // and training must agree on which states are "the same".
+  std::string Key;
+  std::vector<std::vector<std::string>> ValueTokens;
+  ValueTokens.reserve(State.Values.size());
+  for (const Value &V : State.Values) {
+    bool IsObject = V.isArray() || V.isStruct();
+    if (IsObject) {
+      std::vector<std::string> Tokens = valueTokens(V);
+      if (Tokens.size() > Config.MaxFlattenedValues)
+        Tokens.resize(Config.MaxFlattenedValues);
+      ValueTokens.push_back(std::move(Tokens));
+    } else {
+      ValueTokens.push_back({valueToken(V)});
+    }
+    // Kind tag as in LigerEncoder::stateKey: a persistent cache must
+    // never hand a primitive's token embedding to the one-element
+    // object with the same token stream (or vice versa).
+    Key += IsObject ? 'O' : 'P';
+    for (const std::string &Token : ValueTokens.back()) {
+      Key += Token;
+      Key += '\x1f';
+    }
+    Key += '\x1e';
+  }
+
+  auto It = StateCache.find(Key);
+  if (It != StateCache.end()) {
+    ++Stats.StateHits;
+    return It->second.data();
+  }
+  ++Stats.StateMisses;
+
+  // Per-variable embeddings: primitives embed directly; object values
+  // run f1 over their flattened attr sequence.
+  std::vector<const float *> VarEmbeds;
+  VarEmbeds.reserve(State.Values.size());
+  for (size_t I = 0; I < State.Values.size(); ++I) {
+    const Value &V = State.Values[I];
+    if (V.isArray() || V.isStruct()) {
+      St S = cellInitial(F1);
+      for (const std::string &Token : ValueTokens[I])
+        S = cellStep(F1, tokenEmbed(Token), S);
+      VarEmbeds.push_back(S.H);
+    } else {
+      VarEmbeds.push_back(tokenEmbed(ValueTokens[I][0]));
+    }
+  }
+
+  const float *H;
+  if (VarEmbeds.empty()) {
+    H = Arena.allocZeroed(Config.Hidden);
+  } else {
+    St S = cellInitial(F2);
+    for (const float *In : VarEmbeds)
+      S = cellStep(F2, In, S);
+    H = S.H;
+  }
+  std::vector<float> &Slot = StateCache[std::move(Key)];
+  Slot.assign(H, H + Config.Hidden);
+  return Slot.data();
+}
+
+//===----------------------------------------------------------------------===//
+// Encode walk
+//===----------------------------------------------------------------------===//
+
+const float *LigerInference::fuseStep(const BlendedTrace &Path, size_t J,
+                                      size_t NumConcrete,
+                                      const float *PrevH) {
+  std::vector<const float *> Components;
+  if (Config.UseStaticFeature)
+    Components.push_back(embedStatement(Path.Symbolic.Steps[J].Statement));
+  for (size_t T = 0; T < NumConcrete; ++T) {
+    const StateTrace &States = Path.Concrete[T];
+    if (J < States.States.size() && !States.States[J].Values.empty())
+      Components.push_back(embedState(States.States[J]));
+  }
+  if (Components.empty())
+    return nullptr;
+
+  if (Components.size() == 1)
+    return Components[0];
+  if (!Config.UseFusionAttention || J == 0) {
+    // meanPool: zeros + in-order axpy with the 1/N weight.
+    size_t H = Config.Hidden;
+    float *Out = Arena.allocZeroed(H);
+    float Inv = 1.0f / static_cast<float>(Components.size());
+    for (const float *Item : Components)
+      kernels::axpy(H, Inv, Item, Out);
+    return Out;
+  }
+  const float *KP = attnKeyProj(A1, Components);
+  return attnContext(A1, Components, KP, PrevH);
+}
+
+const float *
+LigerInference::encodePath(const BlendedTrace &Path,
+                           std::vector<const float *> &StepMemory) {
+  size_t Steps = std::min(Path.Symbolic.Steps.size(), Config.MaxStepsPerTrace);
+  size_t NumConcrete =
+      Config.UseDynamicFeature
+          ? std::min(Path.Concrete.size(), Config.MaxConcretePerPath)
+          : 0;
+
+  St Trace = cellInitial(F3);
+  const float *PrevH = Trace.H;
+  for (size_t J = 0; J < Steps; ++J) {
+    const float *Fused = fuseStep(Path, J, NumConcrete, PrevH);
+    if (!Fused)
+      continue;
+    Trace = cellStep(F3, Fused, Trace);
+    PrevH = Trace.H;
+    StepMemory.push_back(Trace.H);
+  }
+  return Trace.H;
+}
+
+const float *
+LigerInference::encodeInternal(const MethodTraces &Traces,
+                               std::vector<const float *> &StepMemory) {
+  std::vector<const float *> PathEmbeddings;
+  for (const BlendedTrace &Path : Traces.Paths) {
+    if (!Config.UseDynamicFeature && Path.Symbolic.Steps.empty())
+      continue;
+    if (Config.UseDynamicFeature && !Config.UseStaticFeature &&
+        Path.Concrete.empty())
+      continue;
+    PathEmbeddings.push_back(encodePath(Path, StepMemory));
+  }
+
+  size_t H = Config.Hidden;
+  if (PathEmbeddings.empty()) {
+    float *Zero = Arena.allocZeroed(H);
+    StepMemory.push_back(Zero);
+    return Zero;
+  }
+  const float *Program;
+  if (Config.MeanPoolPrograms) {
+    float *Out = Arena.allocZeroed(H);
+    float Inv = 1.0f / static_cast<float>(PathEmbeddings.size());
+    for (const float *Item : PathEmbeddings)
+      kernels::axpy(H, Inv, Item, Out);
+    Program = Out;
+  } else {
+    // maxPool: copy the first item, strict-> updates after.
+    float *Out = Arena.alloc(H);
+    std::memcpy(Out, PathEmbeddings[0], H * sizeof(float));
+    for (size_t I = 1; I < PathEmbeddings.size(); ++I) {
+      const float *Item = PathEmbeddings[I];
+      for (size_t D = 0; D < H; ++D)
+        if (Item[D] > Out[D])
+          Out[D] = Item[D];
+    }
+    Program = Out;
+  }
+  if (StepMemory.empty())
+    StepMemory.push_back(Program);
+  return Program;
+}
+
+const float *LigerInference::encode(const MethodTraces &Traces) {
+  Arena.reset();
+  std::vector<const float *> StepMemory;
+  return encodeInternal(Traces, StepMemory);
+}
+
+//===----------------------------------------------------------------------===//
+// Greedy decode
+//===----------------------------------------------------------------------===//
+
+std::vector<int>
+LigerInference::decodeGreedy(const float *ProgramEmbedding,
+                             const std::vector<const float *> &Memory) {
+  LIGER_CHECK(!Memory.empty(), "decoder needs a non-empty memory");
+  size_t H = Config.Hidden, E = Config.EmbedDim;
+  size_t Vt = Dec.Out.Out;
+
+  St State;
+  {
+    float *H0 = Arena.alloc(H);
+    kernels::matvec(H, Dec.Init.In, Dec.Init.W, ProgramEmbedding, H0);
+    kernels::addAcc(H, Dec.Init.B, H0);
+    kernels::tanhMap(H, H0, H0);
+    State.H = H0;
+  }
+  if (Config.Cell == CellKind::Lstm)
+    State.C = Arena.allocZeroed(H);
+
+  const float *KP = attnKeyProj(Dec.Attn, Memory);
+
+  std::vector<int> Output;
+  int Prev = Vocabulary::Sos;
+  for (size_t Step = 0; Step < Config.MaxDecodeLen; ++Step) {
+    const float *PrevEmbed =
+        Dec.TargetEmbed + static_cast<size_t>(Prev) * E;
+    // stepLogits: attention over the *previous* state, cell step, then
+    // the output projection over the new state and the same context.
+    const float *Ctx = attnContext(Dec.Attn, Memory, KP, State.H);
+    float *CellIn = Arena.alloc(E + H);
+    std::memcpy(CellIn, PrevEmbed, E * sizeof(float));
+    std::memcpy(CellIn + E, Ctx, H * sizeof(float));
+    State = cellStep(Dec.Cell, CellIn, State);
+    float *OutIn = Arena.alloc(H + H);
+    std::memcpy(OutIn, State.H, H * sizeof(float));
+    std::memcpy(OutIn + H, Ctx, H * sizeof(float));
+    float *Logits = Arena.alloc(Vt);
+    kernels::matvec(Vt, Dec.Out.In, Dec.Out.W, OutIn, Logits);
+    kernels::addAcc(Vt, Dec.Out.B, Logits);
+
+    // Never emit the structural specials other than Eos.
+    Logits[Vocabulary::Pad] = -1e30f;
+    Logits[Vocabulary::Sos] = -1e30f;
+    Logits[Vocabulary::Unk] = -1e30f;
+    int Next = static_cast<int>(inferops::argmaxRow(Vt, Logits));
+    if (Next == Vocabulary::Eos)
+      break;
+    Output.push_back(Next);
+    Prev = Next;
+  }
+  return Output;
+}
+
+std::vector<std::string>
+LigerInference::predictName(const MethodTraces &Traces) {
+  LIGER_CHECK(TargetVocab, "predictName needs a target vocabulary");
+  Arena.reset();
+  std::vector<const float *> StepMemory;
+  const float *Program = encodeInternal(Traces, StepMemory);
+  std::vector<int> Ids = decodeGreedy(Program, StepMemory);
+  return idsToSubtokens(Ids, *TargetVocab);
+}
+
+int LigerInference::predictClass(const MethodTraces &Traces) {
+  LIGER_CHECK(hasClassifierHead(), "image has no classifier head");
+  Arena.reset();
+  std::vector<const float *> StepMemory;
+  const float *Program = encodeInternal(Traces, StepMemory);
+  const float *Logits = linearApply(Head, Program);
+  return static_cast<int>(inferops::argmaxRow(Head.Out, Logits));
+}

@@ -1,0 +1,192 @@
+//===-- models/Inference.h - Forward-only LIGER runtime ---------*- C++ -*-===//
+//
+// Part of the LIGER reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The no-graph inference runtime: a mirror of the single-sample
+/// LigerEncoder::encode -> SeqDecoder::decodeGreedy walk that runs the
+/// shared forward kernels (nn/InferOps.h) directly against an immutable
+/// WeightImage — no graph Nodes, no backward payloads kept alive, no
+/// arena of parent arrays. Temporaries come from a reusable per-engine
+/// ScratchArena that is reset at the top of every request, so a warmed
+/// engine allocates nothing on the steady path.
+///
+/// Because the ops are the literal functions the autodiff builders
+/// call, the embeddings and predictions are bitwise-identical to the
+/// training-path forward (InferenceEquivalenceTest pins this for GRU
+/// and LSTM configs, encode and decode).
+///
+/// Since parameters are frozen at serving time, the per-encode
+/// statement/state embedding caches of the training path become
+/// persistent, parameter-versioned caches here: statements are keyed
+/// by their serialized head tree (Stmt pointers do not survive
+/// re-parsing), states by the same token-signature key the training
+/// cache uses, and both are cleared whenever rebind() installs an
+/// image with a different content digest (DESIGN.md §13).
+///
+/// An engine is single-threaded; serving spawns one per worker. It
+/// borrows the WeightImage and vocabularies, which must outlive it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIGER_MODELS_INFERENCE_H
+#define LIGER_MODELS_INFERENCE_H
+
+#include "models/Liger.h"
+#include "nn/WeightImage.h"
+#include "trace/Trace.h"
+#include "trace/Vocabulary.h"
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace liger {
+
+/// Bump allocator over retained float blocks: alloc() hands out
+/// pointers that stay valid until the next reset(), reset() recycles
+/// every block without freeing, so steady-state requests perform no
+/// heap allocation for tensor temporaries.
+class ScratchArena {
+public:
+  float *alloc(size_t N);
+  float *allocZeroed(size_t N);
+  /// Recycles all blocks; previously returned pointers become invalid.
+  void reset();
+  /// Total floats reserved across blocks (capacity, not live use).
+  size_t floatsReserved() const;
+
+private:
+  struct Block {
+    std::vector<float> Data;
+    size_t Used = 0;
+  };
+  std::vector<Block> Blocks;
+  size_t Active = 0;
+};
+
+/// Forward-only inference over a frozen weight image.
+class LigerInference {
+public:
+  struct CacheStats {
+    uint64_t StmtHits = 0;
+    uint64_t StmtMisses = 0;
+    uint64_t StateHits = 0;
+    uint64_t StateMisses = 0;
+  };
+
+  /// \p Target may be null for encode-only / classifier images (then
+  /// predictName() is unavailable). Binds every tensor the config
+  /// implies; missing or mis-shaped tensors are fatal.
+  LigerInference(const WeightImage &Image, const Vocabulary &JointVocab,
+                 const Vocabulary *Target, const LigerConfig &Config);
+
+  /// Program embedding (Config.Hidden floats, arena-owned: valid until
+  /// the next encode/predict call on this engine).
+  const float *encode(const MethodTraces &Traces);
+
+  /// Greedy-decoded method-name subtokens (mirrors
+  /// LigerNamePredictor::predict).
+  std::vector<std::string> predictName(const MethodTraces &Traces);
+
+  /// Argmax class of the classification head (mirrors
+  /// LigerClassifier::predict); only for images with "liger.head".
+  int predictClass(const MethodTraces &Traces);
+  bool hasClassifierHead() const { return Head.W != nullptr; }
+
+  /// Re-binds against \p Image (same architecture). The embedding
+  /// caches survive when the content digest matches and are dropped
+  /// otherwise — they key computations by parameter version.
+  void rebind(const WeightImage &Image);
+
+  const Digest128 &paramVersion() const { return Version; }
+  const CacheStats &cacheStats() const { return Stats; }
+  const LigerConfig &config() const { return Config; }
+  size_t arenaFloats() const { return Arena.floatsReserved(); }
+
+private:
+  struct LinearRef {
+    size_t In = 0, Out = 0;
+    const float *W = nullptr, *B = nullptr;
+  };
+  struct CellRef {
+    CellKind Kind = CellKind::Gru;
+    size_t In = 0, Hidden = 0;
+    const float *Wx = nullptr, *Bx = nullptr, *Wh = nullptr; // packed
+    LinearRef L1;                                            // Rnn
+    const float *U1 = nullptr;                               // Rnn
+  };
+  struct AttnRef {
+    size_t QueryDim = 0, KeyDim = 0, Hidden = 0;
+    const float *W1 = nullptr, *B1 = nullptr, *W2 = nullptr, *B2 = nullptr;
+  };
+  struct St {
+    const float *H = nullptr;
+    const float *C = nullptr;
+  };
+
+  void bind(const WeightImage &Image);
+  LinearRef bindLinear(const WeightImage &Image, const std::string &Name,
+                       size_t In, size_t Out) const;
+  CellRef bindCell(const WeightImage &Image, const std::string &Name,
+                   CellKind Kind, size_t In, size_t Hidden) const;
+  AttnRef bindAttn(const WeightImage &Image, const std::string &Name,
+                   size_t QueryDim, size_t KeyDim, size_t Hidden) const;
+
+  const float *tokenEmbed(const std::string &Token) const;
+  const float *linearApply(const LinearRef &L, const float *X);
+  St cellInitial(const CellRef &Cell);
+  St cellStep(const CellRef &Cell, const float *X, const St &Prev);
+  const float *attnContext(const AttnRef &Attn,
+                           const std::vector<const float *> &Keys,
+                           const float *KeyProj, const float *Query);
+  const float *attnKeyProj(const AttnRef &Attn,
+                           const std::vector<const float *> &Keys);
+
+  St treeNode(const AstTree &Tree);
+  const float *embedStatement(const Stmt *S);
+  const float *embedState(const ProgramState &State);
+  const float *fuseStep(const BlendedTrace &Path, size_t J,
+                        size_t NumConcrete, const float *PrevH);
+  const float *encodePath(const BlendedTrace &Path,
+                          std::vector<const float *> &StepMemory);
+  const float *encodeInternal(const MethodTraces &Traces,
+                              std::vector<const float *> &StepMemory);
+  std::vector<int> decodeGreedy(const float *ProgramEmbedding,
+                                const std::vector<const float *> &Memory);
+
+  LigerConfig Config;
+  const Vocabulary &Vocab;
+  const Vocabulary *TargetVocab = nullptr;
+  Digest128 Version{};
+
+  // Bound weights (raw pointers into the borrowed image).
+  const float *Embed = nullptr; ///< [V x EmbedDim] joint table.
+  struct {
+    const float *Wx = nullptr, *Bx = nullptr, *Wh = nullptr;
+  } TreeW; ///< Child-sum TreeLSTM weights, packed i/o/u/f.
+  CellRef F1, F2, F3;
+  AttnRef A1;
+  struct {
+    const float *TargetEmbed = nullptr; ///< [Vt x EmbedDim].
+    LinearRef Init, Out;
+    CellRef Cell;
+    AttnRef Attn;
+  } Dec;
+  LinearRef Head; ///< Classifier head; W null when absent.
+
+  ScratchArena Arena;
+  CacheStats Stats;
+  // Parameter-versioned persistent caches: Config.Hidden floats each.
+  // unordered_map never moves a vector's heap buffer on rehash, so
+  // returned pointers stay valid for the engine's lifetime.
+  std::unordered_map<std::string, std::vector<float>> StmtCache;
+  std::unordered_map<std::string, std::vector<float>> StateCache;
+};
+
+} // namespace liger
+
+#endif // LIGER_MODELS_INFERENCE_H

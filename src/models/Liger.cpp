@@ -54,7 +54,8 @@ std::string LigerEncoder::stateKey(
   std::string Key;
   ValueTokens.reserve(State.Values.size());
   for (const Value &V : State.Values) {
-    if (V.isArray() || V.isStruct()) {
+    bool IsObject = V.isArray() || V.isStruct();
+    if (IsObject) {
       std::vector<std::string> Tokens = valueTokens(V);
       if (Tokens.size() > Config.MaxFlattenedValues)
         Tokens.resize(Config.MaxFlattenedValues);
@@ -62,6 +63,11 @@ std::string LigerEncoder::stateKey(
     } else {
       ValueTokens.push_back({valueToken(V)});
     }
+    // The kind tag keeps the key injective: a primitive embeds its
+    // token directly while an object runs f1 over its flattening, so
+    // int 5 and the one-element array [5] — identical token streams —
+    // must not share an entry.
+    Key += IsObject ? 'O' : 'P';
     for (const std::string &Token : ValueTokens.back()) {
       Key += Token;
       Key += '\x1f'; // token separator

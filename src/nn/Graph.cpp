@@ -6,6 +6,8 @@
 
 #include "nn/Graph.h"
 
+#include "nn/InferOps.h"
+
 #include <algorithm>
 #include <atomic>
 #include <cstring>
@@ -1011,46 +1013,15 @@ Var liger::gruCellOp(const Var &Wx, const Var &Bx, const Var &Wh,
                   Wh->Value.dim(1) == H,
               "gruCellOp packed Wh shape mismatch");
 
+  // The forward math lives in inferops::gruCellForward, shared
+  // verbatim with the no-graph inference runtime; this op only adds
+  // the payload, node, and backward wiring.
   float *Gates = allocCellPayload(3 * H);
-  float *Z = Gates, *R = Gates + H, *Nn = Gates + 2 * H;
-  const float *WhV = Wh->Value.data();
-  const float *XV = X->Value.data(), *HV = HPrev->Value.data();
-
-  // All x-side pre-activations in one pass, then the hidden-side
-  // projections: z and r rows see h, the n rows see r ⊙ h.
-  Tensor Pre = Tensor::raw(3 * H);
-  float *P = Pre.data();
-  kernels::matvecN(3, H, In, Wx->Value.data(), XV, P);
-  kernels::addAcc(3 * H, Bx->Value.data(), P);
-  Tensor Hh = Tensor::raw(2 * H);
-  kernels::matvecN(2, H, H, WhV, HV, Hh.data());
-  kernels::addAcc(2 * H, Hh.data(), P);
-  kernels::sigmoidMap(H, P, Z);
-  kernels::sigmoidMap(H, P + H, R);
-
-  Tensor RH = Tensor::raw(H);
-  float *__restrict RHp = RH.data();
-  for (size_t I = 0; I < H; ++I)
-    RHp[I] = R[I] * HV[I];
-  Tensor Un = Tensor::raw(H);
-  kernels::matvec(H, H, WhV + 2 * H * H, RHp, Un.data());
-  kernels::addAcc(H, Un.data(), P + 2 * H);
-  kernels::tanhMap(H, P + 2 * H, Nn);
-
-  // h' = n + z ⊙ (h - n), one float op per loop (see the determinism
-  // notes above).
-  Tensor D = Tensor::raw(H);
-  float *__restrict Dp = D.data();
-  for (size_t I = 0; I < H; ++I)
-    Dp[I] = HV[I] - Nn[I];
-  Tensor ZD = Tensor::raw(H);
-  float *__restrict ZDp = ZD.data();
-  for (size_t I = 0; I < H; ++I)
-    ZDp[I] = Z[I] * Dp[I];
+  Tensor Ws = Tensor::raw(9 * H);
   Tensor Out = Tensor::raw(H);
-  float *__restrict Op = Out.data();
-  for (size_t I = 0; I < H; ++I)
-    Op[I] = Nn[I] + ZDp[I];
+  inferops::gruCellForward(H, In, Wx->Value.data(), Bx->Value.data(),
+                           Wh->Value.data(), X->Value.data(),
+                           HPrev->Value.data(), Gates, Out.data(), Ws.data());
 
   Node *N = makeNode(std::move(Out), {Wx, Bx, Wh, X, HPrev}, gruCellBackward);
   N->AuxM = Gates;
@@ -1070,42 +1041,17 @@ CellOut liger::lstmCellOp(const Var &Wx, const Var &Bx, const Var &Wh,
               "lstmCellOp packed Wh shape mismatch");
   LIGER_CHECK(CPrev->Value.size() == H, "lstmCellOp cell-state mismatch");
 
+  // Forward math shared with the inference runtime via
+  // inferops::lstmCellForward (which also zeroes the payload's
+  // dO-scratch block); this op adds the two-node backward wiring.
   float *Pay = allocCellPayload(6 * H);
-  float *Ai = Pay, *Af = Pay + H, *Ag = Pay + 2 * H, *Ao = Pay + 3 * H,
-        *Tc = Pay + 4 * H, *DO = Pay + 5 * H;
-  std::memset(DO, 0, H * sizeof(float));
-  const float *XV = X->Value.data(), *HV = HPrev->Value.data(),
-              *CPV = CPrev->Value.data();
-
-  Tensor Pre = Tensor::raw(4 * H);
-  float *P = Pre.data();
-  kernels::matvecN(4, H, In, Wx->Value.data(), XV, P);
-  kernels::addAcc(4 * H, Bx->Value.data(), P);
-  Tensor Hh = Tensor::raw(4 * H);
-  kernels::matvecN(4, H, H, Wh->Value.data(), HV, Hh.data());
-  kernels::addAcc(4 * H, Hh.data(), P);
-  kernels::sigmoidMap(H, P, Ai);
-  kernels::sigmoidMap(H, P + H, Af);
-  kernels::tanhMap(H, P + 2 * H, Ag);
-  kernels::sigmoidMap(H, P + 3 * H, Ao);
-
-  Tensor FC = Tensor::raw(H);
-  float *__restrict FCp = FC.data();
-  for (size_t I = 0; I < H; ++I)
-    FCp[I] = Af[I] * CPV[I];
-  Tensor IG = Tensor::raw(H);
-  float *__restrict IGp = IG.data();
-  for (size_t I = 0; I < H; ++I)
-    IGp[I] = Ai[I] * Ag[I];
+  Tensor Ws = Tensor::raw(10 * H);
   Tensor C = Tensor::raw(H);
-  float *__restrict Cp = C.data();
-  for (size_t I = 0; I < H; ++I)
-    Cp[I] = FCp[I] + IGp[I];
-  kernels::tanhMap(H, Cp, Tc);
   Tensor HOut = Tensor::raw(H);
-  float *__restrict Hp = HOut.data();
-  for (size_t I = 0; I < H; ++I)
-    Hp[I] = Ao[I] * Tc[I];
+  inferops::lstmCellForward(H, In, Wx->Value.data(), Bx->Value.data(),
+                            Wh->Value.data(), X->Value.data(),
+                            HPrev->Value.data(), CPrev->Value.data(), Pay,
+                            C.data(), HOut.data(), Ws.data());
 
   Node *CN = makeNode(std::move(C), {Wx, Bx, Wh, X, HPrev, CPrev},
                       lstmCellBackwardC);
@@ -1347,55 +1293,26 @@ CellOut liger::treeLstmNodeOp(const Var &Wx, const Var &Bx, const Var &Wh,
                   Wh->Value.dim(1) == H,
               "treeLstmNodeOp packed Wh shape mismatch");
 
-  float *Pay = allocCellPayload((5 + K) * H);
-  float *Ai = Pay, *Ao = Pay + H, *Au = Pay + 2 * H, *F = Pay + 3 * H,
-        *Tc = Pay + (3 + K) * H, *DO = Pay + (4 + K) * H;
-  std::memset(DO, 0, H * sizeof(float));
-  const float *WhV = Wh->Value.data();
-  const float *XV = X->Value.data(), *HSV = HSum->Value.data();
-
-  // x-side pre-activations for all four gate blocks; h~ projections
-  // for the contiguous i/o/u rows.
-  Tensor Pre = Tensor::raw(4 * H);
-  float *P = Pre.data();
-  kernels::matvecN(4, H, In, Wx->Value.data(), XV, P);
-  kernels::addAcc(4 * H, Bx->Value.data(), P);
-  Tensor Hs = Tensor::raw(3 * H);
-  kernels::matvecN(3, H, H, WhV, HSV, Hs.data());
-  kernels::addAcc(3 * H, Hs.data(), P);
-  kernels::sigmoidMap(H, P, Ai);
-  kernels::sigmoidMap(H, P + H, Ao);
-  kernels::tanhMap(H, P + 2 * H, Au);
-
-  // c = i ⊙ u + Σ_k f_k ⊙ c_k with f_k = σ((Wx_f·x + bx_f) + Wh_f·h_k).
-  Tensor C = Tensor::raw(H);
-  float *__restrict Cp = C.data();
-  for (size_t I = 0; I < H; ++I)
-    Cp[I] = Ai[I] * Au[I];
-  Tensor PreF = Tensor::raw(H);
-  Tensor Uf = Tensor::raw(H);
-  Tensor FCk = Tensor::raw(H);
+  // Forward math shared with the inference runtime via
+  // inferops::treeLstmNodeForward (which also zeroes the payload's
+  // dO-scratch block); this op adds the two-node backward wiring.
+  std::vector<const float *> ChildHV(K), ChildCV(K);
   for (size_t KI = 0; KI < K; ++KI) {
     LIGER_CHECK(ChildH[KI]->Value.size() == H &&
                     ChildC[KI]->Value.size() == H,
                 "treeLstmNodeOp child shape mismatch");
-    float *Fk = F + KI * H;
-    std::memcpy(PreF.data(), P + 3 * H, H * sizeof(float));
-    kernels::matvec(H, H, WhV + 3 * H * H, ChildH[KI]->Value.data(),
-                    Uf.data());
-    kernels::addAcc(H, Uf.data(), PreF.data());
-    kernels::sigmoidMap(H, PreF.data(), Fk);
-    const float *CkV = ChildC[KI]->Value.data();
-    float *__restrict FCp = FCk.data();
-    for (size_t I = 0; I < H; ++I)
-      FCp[I] = Fk[I] * CkV[I];
-    kernels::addAcc(H, FCp, Cp);
+    ChildHV[KI] = ChildH[KI]->Value.data();
+    ChildCV[KI] = ChildC[KI]->Value.data();
   }
-  kernels::tanhMap(H, Cp, Tc);
+  float *Pay = allocCellPayload((5 + K) * H);
+  Tensor Ws = Tensor::raw(10 * H);
+  Tensor C = Tensor::raw(H);
   Tensor HOut = Tensor::raw(H);
-  float *__restrict Hp = HOut.data();
-  for (size_t I = 0; I < H; ++I)
-    Hp[I] = Ao[I] * Tc[I];
+  inferops::treeLstmNodeForward(H, In, K, Wx->Value.data(), Bx->Value.data(),
+                                Wh->Value.data(), X->Value.data(),
+                                HSum->Value.data(), ChildHV.data(),
+                                ChildCV.data(), Pay, C.data(), HOut.data(),
+                                Ws.data());
 
   std::vector<Var> Parents;
   Parents.reserve(5 + 2 * K);
@@ -1583,15 +1500,17 @@ Var liger::attentionKeyProj(const Var &W1, const Var &B1,
               "attentionKeyProj packed W1 shape mismatch");
 
   size_t T = Keys.size();
-  Tensor Out = Tensor::zeros(T, H);
+  std::vector<const float *> KeyV(T);
   for (size_t TI = 0; TI < T; ++TI) {
     LIGER_CHECK(Keys[TI]->Value.size() == K,
                 "attentionKeyProj keys must share shape");
-    float *Row = Out.data() + TI * H;
-    kernels::matvecStrided(H, K, W1Cols, W1->Value.data(),
-                           Keys[TI]->Value.data(), Row);
-    kernels::addAcc(H, B1->Value.data(), Row);
+    KeyV[TI] = Keys[TI]->Value.data();
   }
+  // Forward math shared with the inference runtime.
+  Tensor Out = Tensor::zeros(T, H);
+  inferops::attentionKeyProjForward(T, H, K, W1Cols, W1->Value.data(),
+                                    B1->Value.data(), KeyV.data(),
+                                    Out.data());
 
   std::vector<Var> Parents;
   Parents.reserve(2 + T);
@@ -1621,36 +1540,23 @@ AttnOut liger::attentionOp(const Var &W1, const Var &W2, const Var &B2,
                   KeyProj->Value.dim(1) == H,
               "attentionOp key projection mismatch");
 
-  float *Pay = allocCellPayload(T * H + T);
-  float *Ht = Pay, *A = Pay + T * H;
-  const float *KPV = KeyProj->Value.data();
-  const float *W2V = W2->Value.data();
-
-  // Broadcast query-side projection, shared by every key's score.
-  Tensor Mq = Tensor::raw(H);
-  kernels::matvecStrided(H, Q, W1Cols, W1->Value.data() + K,
-                         Query->Value.data(), Mq.data());
-  const float *__restrict MqV = Mq.data();
-  Tensor Pre = Tensor::raw(H);
-  float *__restrict PreV = Pre.data();
-  Tensor Sv = Tensor::zeros(T);
+  std::vector<const float *> KeyV(T);
   for (size_t TI = 0; TI < T; ++TI) {
     LIGER_CHECK(Keys[TI]->Value.size() == K,
                 "attentionOp keys must share shape");
-    const float *__restrict KPRow = KPV + TI * H;
-    for (size_t I = 0; I < H; ++I)
-      PreV[I] = KPRow[I] + MqV[I];
-    float *HtRow = Ht + TI * H;
-    kernels::tanhMap(H, PreV, HtRow);
-    float S = kernels::dot(H, W2V, HtRow);
-    Sv[TI] = S + B2->Value[0];
+    KeyV[TI] = Keys[TI]->Value.data();
   }
-
-  std::vector<float> Probs = softmaxValues(Sv);
-  std::memcpy(A, Probs.data(), T * sizeof(float));
-  Tensor Out = Tensor::zeros(K);
-  for (size_t TI = 0; TI < T; ++TI)
-    kernels::axpy(K, A[TI], Keys[TI]->Value.data(), Out.data());
+  // Forward math (broadcast query projection -> tanh -> scores ->
+  // softmax -> weighted context) shared with the inference runtime;
+  // Ht and A land directly in the backward payload.
+  float *Pay = allocCellPayload(T * H + T);
+  float *Ht = Pay, *A = Pay + T * H;
+  Tensor Ws = Tensor::raw(2 * H + T);
+  Tensor Out = Tensor::raw(K);
+  inferops::attentionForward(T, K, Q, H, W1Cols, W1->Value.data(),
+                             W2->Value.data(), B2->Value[0],
+                             Query->Value.data(), KeyProj->Value.data(),
+                             KeyV.data(), Ht, A, Out.data(), Ws.data());
 
   std::vector<Var> Parents;
   Parents.reserve(5 + T);

@@ -1,0 +1,193 @@
+//===-- nn/WeightImage.cpp - Immutable serving weight image ----------------===//
+//
+// Part of the LIGER reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "nn/WeightImage.h"
+
+#include "nn/Module.h"
+#include "support/BinaryIO.h"
+#include "support/Error.h"
+
+#include <cstring>
+
+using namespace liger;
+
+namespace {
+
+// Hard caps for the bounded reader: far above anything the models
+// produce, far below anything that could over-allocate on hostile
+// counts before sizes are validated against the file length.
+constexpr uint64_t MaxEntries = 1u << 20;
+constexpr uint64_t MaxNameLen = 1u << 12;
+constexpr uint64_t MaxDim = 1u << 28;
+
+void fail(std::string *Error, const std::string &Msg) {
+  if (Error)
+    *Error = Msg;
+}
+
+} // namespace
+
+void WeightImage::finalize() {
+  Index.clear();
+  Index.reserve(Entries.size());
+  StableHash H;
+  H.addU32(WeightImageMagic);
+  H.addU32(WeightImageVersion);
+  H.addU64(Entries.size());
+  for (size_t I = 0; I < Entries.size(); ++I) {
+    const Entry &E = Entries[I];
+    Index.emplace(E.Name, I);
+    H.addString(E.Name);
+    H.addU32(E.Rank);
+    H.addU64(E.Dims[0]);
+    H.addU64(E.Dims[1]);
+  }
+  H.addU64(Data.size());
+  H.addBytes(Data.data(), Data.size() * sizeof(float));
+  Version = H.digest128();
+}
+
+WeightImage WeightImage::fromStore(const ParamStore &Store) {
+  WeightImage Img;
+  const std::vector<Var> &Params = Store.params();
+  const std::vector<std::string> &Names = Store.names();
+  Img.Entries.reserve(Params.size());
+  Img.Data.reserve(Store.numScalars());
+  for (size_t I = 0; I < Params.size(); ++I) {
+    const Tensor &T = Params[I]->Value;
+    Entry E;
+    E.Name = Names[I];
+    E.Rank = static_cast<uint32_t>(T.rank());
+    E.Dims[0] = T.dim(0);
+    E.Dims[1] = T.rank() == 2 ? T.dim(1) : 1;
+    E.Offset = Img.Data.size();
+    E.Size = T.size();
+    Img.Entries.push_back(std::move(E));
+    Img.Data.insert(Img.Data.end(), T.data(), T.data() + T.size());
+  }
+  Img.finalize();
+  return Img;
+}
+
+const WeightImage::Entry *WeightImage::find(const std::string &Name) const {
+  auto It = Index.find(Name);
+  return It == Index.end() ? nullptr : &Entries[It->second];
+}
+
+const float *WeightImage::tensor2d(const std::string &Name, size_t Rows,
+                                   size_t Cols) const {
+  const Entry *E = find(Name);
+  LIGER_CHECK(E, "weight image: missing tensor");
+  LIGER_CHECK(E->Rank == 2 && E->Dims[0] == Rows && E->Dims[1] == Cols,
+              "weight image: tensor shape mismatch");
+  return Data.data() + E->Offset;
+}
+
+const float *WeightImage::tensor1d(const std::string &Name, size_t N) const {
+  const Entry *E = find(Name);
+  LIGER_CHECK(E, "weight image: missing tensor");
+  LIGER_CHECK(E->Size == N, "weight image: tensor size mismatch");
+  return Data.data() + E->Offset;
+}
+
+bool WeightImage::save(const std::string &Path, std::string *Error) const {
+  return atomicWriteFile(
+      Path,
+      [&](BinaryWriter &W) {
+        W.writeU32(WeightImageMagic);
+        W.writeU32(WeightImageVersion);
+        W.writeU64(Entries.size());
+        for (const Entry &E : Entries) {
+          W.writeString(E.Name);
+          W.writeU32(E.Rank);
+          W.writeU64(E.Dims[0]);
+          W.writeU64(E.Dims[1]);
+        }
+        W.writeU64(Data.size());
+        W.writeFloats(Data.data(), Data.size());
+        // Content digest trailer: load() recomputes it over the
+        // decoded image, so any in-body bit flip is caught even when
+        // the flipped bytes still parse.
+        W.writeU64(Version.Lo);
+        W.writeU64(Version.Hi);
+      },
+      Error);
+}
+
+bool WeightImage::load(const std::string &Path, WeightImage &Out,
+                       std::string *Error) {
+  FILE *F = std::fopen(Path.c_str(), "rb");
+  if (!F)
+    return fail(Error, "weight image: cannot open " + Path), false;
+  struct Closer {
+    FILE *F;
+    ~Closer() { std::fclose(F); }
+  } Close{F};
+  // Size the read budget from the open handle (no stat/open race with
+  // a concurrent atomic replace of the same path).
+  if (std::fseek(F, 0, SEEK_END) != 0)
+    return fail(Error, "weight image: cannot seek " + Path), false;
+  long End = std::ftell(F);
+  if (End < 0 || std::fseek(F, 0, SEEK_SET) != 0)
+    return fail(Error, "weight image: cannot seek " + Path), false;
+  BinaryReader R(F, static_cast<uint64_t>(End));
+
+  uint32_t Magic = 0, Ver = 0;
+  if (!R.readU32(Magic) || Magic != WeightImageMagic)
+    return fail(Error, "weight image: bad magic in " + Path), false;
+  if (!R.readU32(Ver) || Ver != WeightImageVersion)
+    return fail(Error, "weight image: unsupported version in " + Path), false;
+
+  uint64_t NumEntries = 0;
+  if (!R.readU64(NumEntries) || NumEntries > MaxEntries)
+    return fail(Error, "weight image: bad entry count in " + Path), false;
+
+  // Stage into a local image so a malformed tail never half-fills Out.
+  WeightImage Img;
+  Img.Entries.reserve(static_cast<size_t>(NumEntries));
+  uint64_t ExpectFloats = 0;
+  for (uint64_t I = 0; I < NumEntries; ++I) {
+    Entry E;
+    if (!R.readString(E.Name, MaxNameLen))
+      return fail(Error, "weight image: bad tensor name in " + Path), false;
+    uint64_t D0 = 0, D1 = 0;
+    if (!R.readU32(E.Rank) || (E.Rank != 1 && E.Rank != 2) ||
+        !R.readU64(D0) || !R.readU64(D1) || D0 == 0 || D1 == 0 ||
+        D0 > MaxDim || D1 > MaxDim || (E.Rank == 1 && D1 != 1))
+      return fail(Error, "weight image: bad tensor shape in " + Path), false;
+    E.Dims[0] = static_cast<size_t>(D0);
+    E.Dims[1] = static_cast<size_t>(D1);
+    E.Size = E.Dims[0] * E.Dims[1];
+    E.Offset = static_cast<size_t>(ExpectFloats);
+    ExpectFloats += E.Size;
+    // Each float needs 4 bytes still unread; rejects dim products that
+    // could not possibly fit in the file before any allocation.
+    if (ExpectFloats * sizeof(float) > R.remaining())
+      return fail(Error, "weight image: truncated data in " + Path), false;
+    Img.Entries.push_back(std::move(E));
+  }
+
+  uint64_t NumFloats = 0;
+  if (!R.readU64(NumFloats) || NumFloats != ExpectFloats)
+    return fail(Error, "weight image: data count mismatch in " + Path), false;
+  if (NumFloats * sizeof(float) > R.remaining())
+    return fail(Error, "weight image: truncated data in " + Path), false;
+  Img.Data.resize(static_cast<size_t>(NumFloats));
+  if (!R.readFloats(Img.Data.data(), Img.Data.size()))
+    return fail(Error, "weight image: truncated data in " + Path), false;
+
+  Digest128 Stored;
+  if (!R.readU64(Stored.Lo) || !R.readU64(Stored.Hi))
+    return fail(Error, "weight image: missing digest in " + Path), false;
+
+  Img.finalize();
+  if (Img.Version != Stored)
+    return fail(Error, "weight image: content digest mismatch in " + Path),
+           false;
+
+  Out = std::move(Img);
+  return true;
+}

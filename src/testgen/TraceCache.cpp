@@ -711,20 +711,35 @@ std::string TraceCache::entryPath(const TraceCacheKey &Key) const {
 
 namespace {
 
-/// Reads a whole regular file into \p Out (bounded). Returns false on
-/// any I/O error or oversized file.
-bool slurpEntryFile(const std::string &Path, std::string &Out) {
-  uint64_t Size = fileSize(Path);
-  if (Size == UINT64_MAX || Size > MaxEntryBytes)
-    return false;
+enum class SlurpResult { Ok, Absent, Bad };
+
+/// Reads a whole regular file into \p Out (bounded). The size comes
+/// from the open handle, never from a separate stat: concurrent serve
+/// workers atomically replace entries via rename, and an open FILE*
+/// pins one whole snapshot of the file, so there is no window where a
+/// reader can observe a size that does not match what it then reads.
+/// Absent (never created, or unlinked between the caller's decision
+/// and the open) is distinguished from Bad (I/O error, oversized) so
+/// lookup() does not count replacement races as corruption.
+SlurpResult slurpEntryFile(const std::string &Path, std::string &Out) {
   FILE *F = std::fopen(Path.c_str(), "rb");
   if (!F)
-    return false;
-  Out.assign(static_cast<size_t>(Size), '\0');
-  bool Ok = Size == 0 ||
-            std::fread(Out.data(), 1, static_cast<size_t>(Size), F) == Size;
-  std::fclose(F);
-  return Ok;
+    return SlurpResult::Absent;
+  struct Closer {
+    FILE *F;
+    ~Closer() { std::fclose(F); }
+  } Close{F};
+  if (std::fseek(F, 0, SEEK_END) != 0)
+    return SlurpResult::Bad;
+  long End = std::ftell(F);
+  if (End < 0 || static_cast<uint64_t>(End) > MaxEntryBytes ||
+      std::fseek(F, 0, SEEK_SET) != 0)
+    return SlurpResult::Bad;
+  size_t Size = static_cast<size_t>(End);
+  Out.assign(Size, '\0');
+  if (Size != 0 && std::fread(Out.data(), 1, Size, F) != Size)
+    return SlurpResult::Bad;
+  return SlurpResult::Ok;
 }
 
 } // namespace
@@ -743,15 +758,21 @@ bool TraceCache::lookup(const TraceCacheKey &Key, CachedTraceEntry &Out) {
   if (!Dir.empty()) {
     std::string Path = entryPath(Key);
     std::string Bytes;
-    if (fileExists(Path)) {
-      if (slurpEntryFile(Path, Bytes) &&
-          deserializeCacheEntry(Bytes, Key, Out)) {
+    switch (slurpEntryFile(Path, Bytes)) {
+    case SlurpResult::Ok:
+      if (deserializeCacheEntry(Bytes, Key, Out)) {
         std::lock_guard<std::mutex> Lock(Mutex);
         Memory.emplace(std::move(Hex), Out);
         Hits.fetch_add(1);
         return true;
       }
       BadEntries.fetch_add(1);
+      break;
+    case SlurpResult::Bad:
+      BadEntries.fetch_add(1);
+      break;
+    case SlurpResult::Absent:
+      break;
     }
   }
   Misses.fetch_add(1);

@@ -154,6 +154,14 @@ public:
 
   /// Looks \p Key up in memory, then on disk. Disk hits are promoted
   /// into memory. Malformed disk entries count as BadEntries and miss.
+  ///
+  /// Safe under concurrency, including across processes sharing one
+  /// directory (serve workers, parallel bench sweeps): entry files are
+  /// only ever replaced atomically by rename, and the reader sizes the
+  /// file from its own open handle, so every read observes one whole
+  /// entry snapshot — a replacement race can at worst miss, never
+  /// corrupt or misattribute an entry (the key and payload checksum
+  /// are re-verified on every disk read regardless).
   bool lookup(const TraceCacheKey &Key, CachedTraceEntry &Out);
 
   /// Stores \p Entry in memory and, when a directory is configured, as

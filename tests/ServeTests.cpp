@@ -1,0 +1,419 @@
+//===-- tests/ServeTests.cpp - Serving-stack tests -------------------------===//
+//
+// Part of the LIGER reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The serving contracts of DESIGN.md §13:
+///
+///  - InferenceEquivalenceTest: the forward-only LigerInference
+///    runtime is bitwise-identical to the autodiff forward — program
+///    embeddings memcmp-equal, greedy decodes token-equal — for GRU
+///    and LSTM cells, cold and warm embedding caches.
+///  - WeightImageTest: LGWI round-trips are bitwise; truncation at
+///    every byte offset and every single-byte flip fail cleanly (the
+///    LGCK fuzz-harness discipline applied to the serving image).
+///  - ServeDeadlineTest / ServeStatusTest: per-request wall-clock
+///    deadlines surface as a distinct terminal status and stats
+///    counter; pipeline filters map to their statuses.
+///  - ServeSharedCacheTest / TraceCacheConcurrencyTest: engines and
+///    raw caches sharing one on-disk directory serve concurrent
+///    readers (and writers) without corruption or result drift.
+///
+//===----------------------------------------------------------------------===//
+
+#include "models/Inference.h"
+#include "nn/GraphArena.h"
+#include "serve/Serve.h"
+#include "testgen/TraceCache.h"
+
+#include "gtest/gtest.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <thread>
+
+using namespace liger;
+
+namespace {
+
+/// Tiny but non-degenerate scale: a few methods, real traces.
+ExperimentScale tinyScale() {
+  ExperimentScale Scale;
+  Scale.MethodsMed = 12;
+  Scale.Hidden = 10;
+  Scale.EmbedDim = 8;
+  Scale.TargetPaths = 3;
+  Scale.ExecutionsPerPath = 2;
+  Scale.Seed = 11;
+  return Scale;
+}
+
+std::vector<const MethodSample *> allSamples(const NameTask &Task) {
+  std::vector<const MethodSample *> Out;
+  for (const MethodSample &S : Task.Split.Train)
+    Out.push_back(&S);
+  for (const MethodSample &S : Task.Split.Valid)
+    Out.push_back(&S);
+  for (const MethodSample &S : Task.Split.Test)
+    Out.push_back(&S);
+  return Out;
+}
+
+/// Checks bitwise encode + exact decode equivalence between the
+/// autodiff model and the forward-only runtime for one cell kind.
+void expectForwardEquivalence(CellKind Cell) {
+  ExperimentScale Scale = tinyScale();
+  NameTask Task = buildNameTask(Scale, /*Large=*/false);
+  LigerConfig Config = serveLigerConfig(Scale);
+  Config.Cell = Cell;
+  LigerNamePredictor Net(Task.Joint, Task.Target, Config, Scale.Seed);
+  WeightImage Image = WeightImage::fromStore(Net.params());
+  LigerInference Inference(Image, Task.Joint, &Task.Target, Config);
+
+  std::vector<const MethodSample *> Samples = allSamples(Task);
+  ASSERT_FALSE(Samples.empty());
+
+  GraphArena Arena;
+  GraphArena::Scope Scope(Arena);
+  // Two rounds: the first runs the inference engine with cold
+  // statement/state caches, the second with warm ones — both must be
+  // bitwise-identical to the graph forward.
+  for (int Round = 0; Round < 2; ++Round) {
+    for (const MethodSample *S : Samples) {
+      GraphArena::current().reset();
+      LigerEncoding Enc = Net.encoder().encode(S->Traces);
+      const float *Embedding = Inference.encode(S->Traces);
+      ASSERT_EQ(std::memcmp(Embedding, Enc.ProgramEmbedding->Value.data(),
+                            Config.Hidden * sizeof(float)),
+                0)
+          << "round " << Round;
+      GraphArena::current().reset();
+      EXPECT_EQ(Inference.predictName(S->Traces), Net.predict(*S))
+          << "round " << Round;
+    }
+  }
+  // Warm rounds actually hit the persistent caches.
+  EXPECT_GT(Inference.cacheStats().StmtHits, 0u);
+}
+
+std::string tempPath(const char *Name) {
+  return (std::filesystem::temp_directory_path() / Name).string();
+}
+
+std::string readFileBytes(const std::string &Path) {
+  std::ifstream In(Path, std::ios::binary);
+  return std::string((std::istreambuf_iterator<char>(In)),
+                     std::istreambuf_iterator<char>());
+}
+
+void writeFileBytes(const std::string &Path, const std::string &Bytes) {
+  std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
+  Out.write(Bytes.data(), static_cast<std::streamsize>(Bytes.size()));
+}
+
+/// A small weight image with several ranks and shapes.
+WeightImage tinyImage(uint64_t Seed) {
+  Vocabulary Joint, Target;
+  Joint.add("x");
+  Joint.add("y");
+  Target.add("sum");
+  LigerConfig Config;
+  Config.EmbedDim = 4;
+  Config.Hidden = 5;
+  Config.AttnHidden = 3;
+  LigerNamePredictor Net(Joint, Target, Config, Seed);
+  return WeightImage::fromStore(Net.params());
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// InferenceEquivalenceTest
+//===----------------------------------------------------------------------===//
+
+TEST(InferenceEquivalenceTest, GruEncodeDecodeBitwise) {
+  expectForwardEquivalence(CellKind::Gru);
+}
+
+TEST(InferenceEquivalenceTest, LstmEncodeDecodeBitwise) {
+  expectForwardEquivalence(CellKind::Lstm);
+}
+
+//===----------------------------------------------------------------------===//
+// WeightImageTest
+//===----------------------------------------------------------------------===//
+
+TEST(WeightImageTest, RoundTripIsBitwise) {
+  WeightImage Image = tinyImage(3);
+  std::string Path = tempPath("liger-wi-roundtrip.lgwi");
+  std::string Error;
+  ASSERT_TRUE(Image.save(Path, &Error)) << Error;
+
+  WeightImage Loaded;
+  ASSERT_TRUE(WeightImage::load(Path, Loaded, &Error)) << Error;
+  ASSERT_EQ(Loaded.entries().size(), Image.entries().size());
+  ASSERT_EQ(Loaded.totalScalars(), Image.totalScalars());
+  EXPECT_TRUE(Loaded.version() == Image.version());
+  for (const WeightImage::Entry &E : Image.entries()) {
+    const WeightImage::Entry *L = Loaded.find(E.Name);
+    ASSERT_NE(L, nullptr) << E.Name;
+    ASSERT_EQ(L->Rank, E.Rank);
+    ASSERT_EQ(L->Dims[0], E.Dims[0]);
+    ASSERT_EQ(L->Dims[1], E.Dims[1]);
+    const float *A = E.Rank == 2
+                         ? Image.tensor2d(E.Name, E.Dims[0], E.Dims[1])
+                         : Image.tensor1d(E.Name, E.Size);
+    const float *B = L->Rank == 2
+                         ? Loaded.tensor2d(E.Name, E.Dims[0], E.Dims[1])
+                         : Loaded.tensor1d(E.Name, E.Size);
+    EXPECT_EQ(std::memcmp(A, B, E.Size * sizeof(float)), 0) << E.Name;
+  }
+  std::remove(Path.c_str());
+}
+
+TEST(WeightImageTest, TruncationAtEveryOffsetFailsCleanly) {
+  WeightImage Image = tinyImage(5);
+  std::string Path = tempPath("liger-wi-trunc.lgwi");
+  ASSERT_TRUE(Image.save(Path, nullptr));
+  std::string Bytes = readFileBytes(Path);
+  ASSERT_GT(Bytes.size(), 64u);
+
+  std::string TruncPath = tempPath("liger-wi-trunc-cut.lgwi");
+  for (size_t Len = 0; Len < Bytes.size(); ++Len) {
+    writeFileBytes(TruncPath, Bytes.substr(0, Len));
+    WeightImage Out;
+    EXPECT_FALSE(WeightImage::load(TruncPath, Out, nullptr))
+        << "truncation to " << Len << " bytes must fail";
+  }
+  std::remove(Path.c_str());
+  std::remove(TruncPath.c_str());
+}
+
+TEST(WeightImageTest, EveryByteFlipRejected) {
+  WeightImage Image = tinyImage(7);
+  std::string Path = tempPath("liger-wi-flip.lgwi");
+  ASSERT_TRUE(Image.save(Path, nullptr));
+  std::string Bytes = readFileBytes(Path);
+
+  std::string FlipPath = tempPath("liger-wi-flip-mut.lgwi");
+  for (size_t I = 0; I < Bytes.size(); ++I) {
+    std::string Mutated = Bytes;
+    Mutated[I] = static_cast<char>(Mutated[I] ^ 0x5A);
+    writeFileBytes(FlipPath, Mutated);
+    WeightImage Out;
+    // The content digest covers the header, the directory, and every
+    // data byte, so no single-byte flip may load successfully.
+    EXPECT_FALSE(WeightImage::load(FlipPath, Out, nullptr))
+        << "flip at offset " << I << " must be rejected";
+  }
+  std::remove(Path.c_str());
+  std::remove(FlipPath.c_str());
+}
+
+TEST(WeightImageTest, VersionChangesWithParams) {
+  WeightImage A = tinyImage(3);
+  WeightImage B = tinyImage(4);
+  EXPECT_FALSE(A.version() == B.version());
+}
+
+//===----------------------------------------------------------------------===//
+// Serve status + deadline
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+ServeConfig tinyServeConfig() {
+  ServeConfig Config;
+  Config.Scale = tinyScale();
+  Config.Scale.CacheMode = TraceCacheMode::Full;
+  Config.Scale.Cache = std::make_shared<TraceCache>(
+      Config.Scale.CacheMode, /*Dir=*/std::string());
+  Config.Workers = 2;
+  return Config;
+}
+
+const char *SpinSource = "int spinner(int x) {\n"
+                         "  int spin3 = 0;\n"
+                         "  while (spin3 == 0) { spin3 = spin3 * 1; }\n"
+                         "  return spin3;\n"
+                         "}\n";
+const char *SumSource = "int sumAll(int[] xs) {\n"
+                        "  int s = 0;\n"
+                        "  for (int i = 0; i < len(xs); i = i + 1) {\n"
+                        "    s = s + xs[i];\n"
+                        "  }\n"
+                        "  return s;\n"
+                        "}\n";
+
+} // namespace
+
+TEST(ServeStatusTest, PipelineFiltersMapToStatuses) {
+  ServeEngine Engine(tinyServeConfig());
+  std::vector<ServeResponse> Out = Engine.handleBatch({
+      {"sumAll", SumSource, 0},
+      {"sumAll", "int sumAll(", 0},
+      {"other", SumSource, 0},
+      {"tiny", "int tiny(int x) { return x; }", 0},
+      {"spinner", SpinSource, 60000},
+  });
+  ASSERT_EQ(Out.size(), 5u);
+  EXPECT_EQ(Out[0].Status, ServeStatus::Ok);
+  EXPECT_FALSE(Out[0].NameSubtokens.empty());
+  EXPECT_EQ(Out[1].Status, ServeStatus::ParseError);
+  EXPECT_EQ(Out[2].Status, ServeStatus::NoSuchMethod);
+  EXPECT_EQ(Out[3].Status, ServeStatus::TooSmall);
+  // With an effectively unlimited deadline the spin is caught by the
+  // fuel budget on every run: the timeout filter, not the deadline.
+  EXPECT_EQ(Out[4].Status, ServeStatus::NoTraces);
+
+  ServeStats Stats = Engine.stats();
+  EXPECT_EQ(Stats.Requests, 5u);
+  EXPECT_EQ(Stats.Ok, 1u);
+  EXPECT_EQ(Stats.ParseErrors, 1u);
+  EXPECT_EQ(Stats.NoSuchMethod, 1u);
+  EXPECT_EQ(Stats.TooSmall, 1u);
+  EXPECT_EQ(Stats.NoTraces, 1u);
+  EXPECT_EQ(Stats.DeadlineExceeded, 0u);
+}
+
+TEST(ServeDeadlineTest, TinyDeadlineSurfacesAsDistinctStatus) {
+  ServeEngine Engine(tinyServeConfig());
+  // A 1ms deadline on an uncached hostile method: the fuel-bounded
+  // exploration alone takes longer, and the phase-boundary check then
+  // reports the deadline, which dominates the trace-outcome filters.
+  std::vector<ServeResponse> Out =
+      Engine.handleBatch({{"spinner", SpinSource, 1}});
+  ASSERT_EQ(Out.size(), 1u);
+  EXPECT_EQ(Out[0].Status, ServeStatus::DeadlineExceeded);
+  EXPECT_TRUE(Out[0].NameSubtokens.empty());
+  EXPECT_NE(Out[0].Diagnostic.find("deadline"), std::string::npos);
+  EXPECT_EQ(Engine.stats().DeadlineExceeded, 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Shared-directory concurrency
+//===----------------------------------------------------------------------===//
+
+TEST(ServeSharedCacheTest, TwoEnginesShareOneDirectory) {
+  std::string Dir = tempPath("liger-serve-shared-cache");
+  std::filesystem::remove_all(Dir);
+
+  auto makeConfig = [&] {
+    ServeConfig Config = tinyServeConfig();
+    // Each engine gets its own TraceCache instance (fresh memory map,
+    // as in separate processes) over the same directory.
+    Config.Scale.TraceCacheDir = Dir;
+    Config.Scale.Cache = std::make_shared<TraceCache>(
+        Config.Scale.CacheMode, Config.Scale.TraceCacheDir);
+    return Config;
+  };
+
+  std::vector<ServeRequest> Burst = {{"sumAll", SumSource, 0},
+                                     {"sumAll", SumSource, 0}};
+
+  // Cold pass one request at a time (a batched pair may race to the
+  // same key on two workers and both legitimately miss): the second
+  // identical request must deterministically reuse the first's entry.
+  ServeEngine First(makeConfig());
+  std::vector<ServeResponse> Cold = {First.handle(Burst[0]),
+                                     First.handle(Burst[1])};
+  ASSERT_EQ(Cold[0].Status, ServeStatus::Ok);
+  ASSERT_EQ(Cold[1].Status, ServeStatus::Ok);
+  EXPECT_FALSE(Cold[0].TraceCacheHit);
+  EXPECT_TRUE(Cold[1].TraceCacheHit)
+      << "second identical request must reuse the first's entry";
+
+  // A second engine with no memory of the first: all disk hits, same
+  // predictions, concurrently from both engines' worker pools.
+  ServeEngine Second(makeConfig());
+  std::vector<ServeResponse> FromFirst, FromSecond;
+  std::thread Reader([&] { FromFirst = First.handleBatch(Burst); });
+  FromSecond = Second.handleBatch(Burst);
+  Reader.join();
+
+  for (const ServeResponse &R : FromSecond) {
+    EXPECT_EQ(R.Status, ServeStatus::Ok);
+    EXPECT_TRUE(R.TraceCacheHit);
+    EXPECT_EQ(R.NameSubtokens, Cold[0].NameSubtokens);
+  }
+  for (const ServeResponse &R : FromFirst) {
+    EXPECT_EQ(R.Status, ServeStatus::Ok);
+    EXPECT_TRUE(R.TraceCacheHit);
+    EXPECT_EQ(R.NameSubtokens, Cold[0].NameSubtokens);
+  }
+  std::filesystem::remove_all(Dir);
+}
+
+TEST(TraceCacheConcurrencyTest, SharedDirReadersAndWritersStayClean) {
+  std::string Dir = tempPath("liger-trace-cache-concurrent");
+  std::filesystem::remove_all(Dir);
+
+  // Synthetic entries, one per key; every thread stores and looks up
+  // every key through its own cache instance (simulating processes
+  // that share only the directory). Stores atomically replace files
+  // while other threads are mid-read; the reader must treat any
+  // interleaving as a whole old or whole new entry, never corruption.
+  constexpr size_t NumKeys = 8;
+  constexpr size_t NumThreads = 4;
+  constexpr size_t Rounds = 25;
+  auto keyOf = [](size_t I) {
+    TestGenOptions Options;
+    Options.Seed = 1000 + I;
+    return traceCacheKey("shared-source", "method" + std::to_string(I),
+                         Options);
+  };
+  auto entryOf = [](size_t I) {
+    CachedTraceEntry E;
+    E.Attempts = static_cast<uint32_t>(10 + I);
+    E.OkRuns = static_cast<uint32_t>(I);
+    E.AcceptedInputs.resize(1);
+    PortableValue V;
+    V.Kind = ValueKind::Int;
+    V.Int = static_cast<int64_t>(I);
+    E.AcceptedInputs[0].push_back(V);
+    return E;
+  };
+
+  std::vector<std::unique_ptr<TraceCache>> Caches;
+  for (size_t T = 0; T < NumThreads; ++T)
+    Caches.push_back(
+        std::make_unique<TraceCache>(TraceCacheMode::Full, Dir));
+
+  std::atomic<uint64_t> WrongPayloads{0};
+  std::vector<std::thread> Threads;
+  for (size_t T = 0; T < NumThreads; ++T)
+    Threads.emplace_back([&, T] {
+      for (size_t R = 0; R < Rounds; ++R)
+        for (size_t I = 0; I < NumKeys; ++I) {
+          if ((R + T + I) % 2 == 0)
+            Caches[T]->store(keyOf(I), entryOf(I));
+          CachedTraceEntry Out;
+          if (Caches[T]->lookup(keyOf(I), Out))
+            if (Out.Attempts != 10 + I || Out.OkRuns != I ||
+                Out.AcceptedInputs.size() != 1 ||
+                Out.AcceptedInputs[0].size() != 1 ||
+                Out.AcceptedInputs[0][0].Int != static_cast<int64_t>(I))
+              WrongPayloads.fetch_add(1);
+        }
+    });
+  for (std::thread &T : Threads)
+    T.join();
+
+  EXPECT_EQ(WrongPayloads.load(), 0u);
+  for (const std::unique_ptr<TraceCache> &C : Caches)
+    EXPECT_EQ(C->badEntries(), 0u)
+        << "atomic replace + handle-sized reads must never look corrupt";
+
+  // A fresh instance over the settled directory hits every key.
+  TraceCache Fresh(TraceCacheMode::Full, Dir);
+  for (size_t I = 0; I < NumKeys; ++I) {
+    CachedTraceEntry Out;
+    EXPECT_TRUE(Fresh.lookup(keyOf(I), Out)) << "key " << I;
+  }
+  std::filesystem::remove_all(Dir);
+}
