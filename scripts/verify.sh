@@ -16,9 +16,13 @@
 #      liger_fuzz smoke burst and the regression-corpus replay, all
 #      under ASan+UBSan (DESIGN.md §12);
 #   3c. sanitized serving: the forward-only runtime suites (bitwise
-#      inference equivalence, LGWI truncation/corruption fuzz, shared
-#      trace-cache concurrency) and a liger_serve --smoke burst under
-#      ASan+UBSan (DESIGN.md §13);
+#      inference equivalence, LGWI truncation/corruption/mmap fuzz,
+#      shared trace-cache concurrency) and a liger_serve --smoke burst
+#      under ASan+UBSan (DESIGN.md §13);
+#   3d. sanitized lockstep training: the threaded batched-epoch
+#      equivalence suites (losses and final weights bitwise-identical
+#      across thread counts, batch-op toggles both ways) under
+#      ASan+UBSan (DESIGN.md §14);
 #   4. scalar fallback: LIGER_NATIVE_SIMD=OFF build (build-scalar) +
 #      full ctest, so the portable kernels stay green alongside the
 #      AVX2 ones;
@@ -28,6 +32,9 @@
 #      checked here);
 #   6. trace pipeline bench in smoke mode (off/cold/warm determinism
 #      checks at a tiny scale; exits non-zero on any mismatch);
+#   6b. epoch-throughput bench in smoke mode: per-sample, batched, and
+#      batched-threaded modes at a tiny scale; exits non-zero if the
+#      batched losses diverge across thread counts;
 #   7. serve smoke on the SIMD build: liger_serve --smoke starts the
 #      engine, answers a burst including hostile and deadline-starved
 #      methods, and shuts down cleanly.
@@ -60,7 +67,7 @@ step "sanitized gradcheck build (build-asan)"
 cmake -B "$REPO/build-asan" -S "$REPO" -DLIGER_SANITIZE=ON
 cmake --build "$REPO/build-asan" -j "$JOBS" \
   --target nn_tests testgen_tests dataset_tests interp_tests lang_tests \
-           serve_tests liger_fuzz liger_serve
+           eval_tests serve_tests liger_fuzz liger_serve
 "$REPO/build-asan/tests/nn_tests" \
   --gtest_filter='GradCheckTest.*:GraphArenaTest.*:GradSinkTest.*:CheckpointTest.*:ParamStoreTest.*:FusedEquivalenceTest.*:AttentionEquivalenceTest.*:BatchedKernelEquivalenceTest.*'
 
@@ -78,6 +85,10 @@ step "sanitized hardening: depth/memory budgets + fuzz smoke (build-asan)"
 step "sanitized serving: inference equivalence + shared cache + serve smoke (build-asan)"
 "$REPO/build-asan/tests/serve_tests"
 "$REPO/build-asan/tools/liger_serve" --smoke --trace-cache-dir="$CACHE"
+
+step "sanitized lockstep training: threaded batched-epoch equivalence (build-asan)"
+"$REPO/build-asan/tests/eval_tests" \
+  --gtest_filter='TrainingIntegrationTest.LockstepThreadedEpochIsBitwise:TrainingIntegrationTest.ParallelEpochMatchesSerialBitwise'
 
 step "scalar fallback build + ctest (build-scalar, LIGER_NATIVE_SIMD=OFF)"
 cmake -B "$REPO/build-scalar" -S "$REPO" -DLIGER_NATIVE_SIMD=OFF
@@ -97,6 +108,13 @@ step "trace pipeline bench (smoke)"
 # verify cache itself.
 (cd "$BUILD" && ./bench/pipeline_throughput --methods=6 \
    --trace-cache-dir="$CACHE")
+
+step "epoch throughput bench (smoke: per-sample / batched / batched-threaded)"
+# Also run from inside the build tree so the smoke-scale
+# BENCH_epoch.json does not clobber the checked-in full-scale result.
+# Exits non-zero if the batched and batched-threaded final losses are
+# not bitwise-identical.
+(cd "$BUILD" && ./bench/epoch_throughput --smoke)
 
 step "serve smoke (SIMD build, shared verify cache)"
 # Second consumer of the shared cache dir this run (after the

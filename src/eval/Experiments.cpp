@@ -78,8 +78,14 @@ ExperimentScale ExperimentScale::fromArgs(int Argc, char **Argv) {
         TakeSize("hidden", Scale.Hidden) ||
         TakeSize("embed", Scale.EmbedDim) ||
         TakeSize("threads", Scale.Threads) ||
+        TakeSize("lockstep-shards", Scale.LockstepShards) ||
         TakeSize("checkpoint-every", Scale.CheckpointEveryEpochs))
       continue;
+    if (TakeSize("trace-cache-max-bytes", Tmp)) {
+      Scale.TraceCacheMaxBytes = static_cast<uint64_t>(Tmp);
+      Scale.CacheFlagsExplicit = true;
+      continue;
+    }
     if (TakeSize("paths", Tmp)) {
       Scale.TargetPaths = static_cast<unsigned>(Tmp);
       continue;
@@ -106,8 +112,8 @@ ExperimentScale ExperimentScale::fromArgs(int Argc, char **Argv) {
   if (Scale.CacheMode == TraceCacheMode::Off && !Scale.TraceCacheDir.empty())
     Scale.CacheMode = TraceCacheMode::Full;
   if (Scale.CacheMode != TraceCacheMode::Off)
-    Scale.Cache =
-        std::make_shared<TraceCache>(Scale.CacheMode, Scale.TraceCacheDir);
+    Scale.Cache = std::make_shared<TraceCache>(
+        Scale.CacheMode, Scale.TraceCacheDir, Scale.TraceCacheMaxBytes);
   return Scale;
 }
 
@@ -127,6 +133,7 @@ TrainOptions ExperimentScale::trainOptions() const {
   Options.Verbose = Verbose;
   Options.Threads = Threads;
   Options.BatchedSamples = BatchedSamples;
+  Options.LockstepShards = LockstepShards;
   Options.CheckpointDir = CheckpointDir;
   Options.CheckpointEveryEpochs = CheckpointEveryEpochs;
   Options.Resume = Resume;
@@ -291,6 +298,7 @@ NameTask liger::buildNameTask(const ExperimentScale &Scale, bool Large) {
   CorpusOptions Options;
   Options.NumMethods = Large ? Scale.MethodsLarge : Scale.MethodsMed;
   Options.TraceGen = Scale.traceGenOptions();
+  Options.TraceGen.Scope = Large ? "large" : "med";
   Options.Seed = Scale.Seed + (Large ? 1000 : 0);
   Options.Threads = Scale.Threads;
   Options.Cache = Scale.Cache.get();
@@ -311,6 +319,7 @@ CosetTask liger::buildCosetTask(const ExperimentScale &Scale) {
   CosetOptions Options;
   Options.ProgramsPerClass = Scale.CosetPerClass;
   Options.TraceGen = Scale.traceGenOptions();
+  Options.TraceGen.Scope = "coset";
   Options.Seed = Scale.Seed + 2000;
   Options.Threads = Scale.Threads;
   Options.Cache = Scale.Cache.get();

@@ -50,6 +50,14 @@ struct ExperimentScale {
   /// prediction) with lockstep-batched mini-batch graphs
   /// (--batched-samples; see TrainOptions::BatchedSamples).
   bool BatchedSamples = false;
+  /// Lockstep shards per mini-batch under --batched-samples
+  /// (--lockstep-shards=N; see TrainOptions::LockstepShards). The
+  /// units --threads distributes; results are thread-count invariant.
+  size_t LockstepShards = 4;
+  /// Evict least-recently-used on-disk trace-cache entries once the
+  /// cache directory exceeds this many bytes
+  /// (--trace-cache-max-bytes=N; 0 = unbounded).
+  uint64_t TraceCacheMaxBytes = 0;
   bool Verbose = false;
   /// Root directory for crash-safe training checkpoints (empty =
   /// disabled). Each trained model checkpoints under its own

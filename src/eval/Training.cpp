@@ -94,51 +94,82 @@ double runEpoch(const std::vector<MethodSample> &Train, size_t BatchSize,
   return Order.empty() ? 0.0 : EpochLoss / static_cast<double>(Order.size());
 }
 
-/// Batched-sample epoch loop: each mini-batch is ONE combined lockstep
-/// graph (the model's BatchLossFn), differentiated once from the sum
-/// of the per-sample losses into a single sink, then scaled by 1/B so
-/// the parameter update matches runEpoch's mean-gradient semantics.
+/// Batched-sample epoch loop: each mini-batch is split into
+/// LockstepShards contiguous sample shards, each built as its own
+/// combined lockstep graph (the model's BatchLossFn over the shard's
+/// samples), differentiated once from the sum of the shard's
+/// per-sample losses into the shard's sink. Shards are the units the
+/// ThreadPool distributes — each worker builds its shard's graph on
+/// its own thread-routed arena — and the calling thread reduces the
+/// shard sinks in shard (= sample) order before scaling by 1/B, so
+/// the parameter update matches runEpoch's mean-gradient semantics
+/// and is bitwise-identical for any thread count (the shard partition
+/// depends only on B, never on Threads).
 ///
-/// One backward over the summed loss — not one per sample — is
-/// load-bearing: the samples share graph nodes (batch cell steps, and
-/// non-parameter node gradients persist within an arena generation),
-/// so repeated per-sample backwards over the combined graph would
-/// double-count every shared subgraph. The mode is deterministic
-/// (single-threaded graph build, fixed accumulation order) but orders
-/// gradient accumulation differently from the per-sample-sink mode,
-/// so the two modes are not bitwise comparable.
+/// One backward per shard over its summed loss — not one per sample —
+/// is load-bearing: the shard's samples share graph nodes (batch cell
+/// steps, cross-sample state embeddings, and non-parameter node
+/// gradients persist within an arena generation), so repeated
+/// per-sample backwards over the combined graph would double-count
+/// every shared subgraph. The mode is deterministic but orders
+/// gradient accumulation differently from the per-sample-sink mode
+/// (and one shard count differently from another), so those variants
+/// are not bitwise comparable with each other.
 double runEpochBatched(const std::vector<MethodSample> &Train,
-                       size_t BatchSize, const BatchLossFn &Loss,
-                       ParamStore &Store, Adam &Opt, Rng &R,
-                       size_t EpochIndex,
+                       size_t BatchSize, size_t Shards,
+                       const BatchLossFn &Loss, ParamStore &Store, Adam &Opt,
+                       Rng &R, ThreadPool *Pool, size_t EpochIndex,
                        const std::function<void(size_t, size_t)> &StepHook) {
   std::vector<size_t> Order(Train.size());
   for (size_t I = 0; I < Order.size(); ++I)
     Order[I] = I;
   R.shuffle(Order);
 
+  // Serial (and pool-of-zero) execution runs inline on this thread on
+  // a dedicated scoped arena; pool workers use their own per-thread
+  // default arenas. Either way every shard resets the arena it built
+  // on right after its backward.
   GraphArena EpochArena;
   GraphArena::Scope EpochScope(EpochArena);
-  GradSink Sink;
+
+  size_t MaxShards = std::max<size_t>(1, Shards);
+  std::vector<GradSink> Sinks(MaxShards);
+  std::vector<double> ShardLoss(MaxShards);
 
   double EpochLoss = 0;
   for (size_t Begin = 0; Begin < Order.size(); Begin += BatchSize) {
     size_t B = std::min(Order.size(), Begin + BatchSize) - Begin;
-    std::vector<const MethodSample *> Group;
-    Group.reserve(B);
-    for (size_t K = 0; K < B; ++K)
-      Group.push_back(&Train[Order[Begin + K]]);
-    Sink.clear();
-    std::vector<Var> SampleLosses = Loss(Group);
-    LIGER_CHECK(SampleLosses.size() == B,
-                "batched loss hook must return one loss per sample");
-    for (const Var &L : SampleLosses)
-      EpochLoss += static_cast<double>(L->Value[0]);
-    Var Sum = sumV(stackScalars(SampleLosses));
-    backward(Sum, Sink);
-    GraphArena::current().reset();
+    size_t S = std::min(MaxShards, B);
+    auto Work = [&](size_t K) {
+      // Contiguous shard [Begin + Lo, Begin + Hi) of the shuffled
+      // batch; the bounds are a pure function of (B, S, K).
+      size_t Lo = K * B / S, Hi = (K + 1) * B / S;
+      Sinks[K].clear();
+      std::vector<const MethodSample *> Group;
+      Group.reserve(Hi - Lo);
+      for (size_t I = Lo; I < Hi; ++I)
+        Group.push_back(&Train[Order[Begin + I]]);
+      std::vector<Var> SampleLosses = Loss(Group);
+      LIGER_CHECK(SampleLosses.size() == Group.size(),
+                  "batched loss hook must return one loss per sample");
+      double Total = 0;
+      for (const Var &L : SampleLosses)
+        Total += static_cast<double>(L->Value[0]);
+      ShardLoss[K] = Total;
+      Var Sum = sumV(stackScalars(SampleLosses));
+      backward(Sum, Sinks[K]);
+      GraphArena::current().reset();
+    };
+    if (Pool)
+      Pool->run(S, Work);
+    else
+      for (size_t K = 0; K < S; ++K)
+        Work(K);
 
-    Store.accumulateSink(Sink);
+    for (size_t K = 0; K < S; ++K) {
+      Store.accumulateSink(Sinks[K]);
+      EpochLoss += ShardLoss[K];
+    }
     Store.scaleGrads(1.0f / static_cast<float>(B));
     Opt.step();
     if (StepHook)
@@ -220,8 +251,10 @@ TrainResult runTrainingLoop(const LossFn &Loss, const BatchLossFn &BatchLoss,
   const size_t Cadence = std::max<size_t>(1, Options.CheckpointEveryEpochs);
   for (size_t Epoch = StartEpoch; Epoch < Options.Epochs; ++Epoch) {
     Result.FinalTrainLoss =
-        BatchLoss ? runEpochBatched(Train, Options.BatchSize, BatchLoss,
-                                    Store, Opt, R, Epoch, Options.StepHook)
+        BatchLoss ? runEpochBatched(Train, Options.BatchSize,
+                                    Options.LockstepShards, BatchLoss, Store,
+                                    Opt, R, Pool.get(), Epoch,
+                                    Options.StepHook)
                   : runEpoch(Train, Options.BatchSize, Loss, Store, Opt, R,
                              Pool.get(), Epoch, Options.StepHook);
     if (TrackBest) {

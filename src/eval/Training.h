@@ -33,10 +33,11 @@ struct TrainOptions {
   /// Select the epoch with the best validation score (F1 or accuracy);
   /// requires a non-empty validation set.
   bool SelectBestOnValidation = true;
-  /// Worker threads building/differentiating sample graphs within a
-  /// mini-batch. Results are bitwise-identical for any value: every
-  /// sample's gradient lands in its own accumulator, and accumulators
-  /// are reduced in sample order on the calling thread. 0 or 1 = serial.
+  /// Worker threads within a mini-batch: per-sample graphs, or the
+  /// LockstepShards shard graphs under BatchedSamples. Results are
+  /// bitwise-identical for any value: every sample's (or shard's)
+  /// gradient lands in its own accumulator, and accumulators are
+  /// reduced in sample order on the calling thread. 0 or 1 = serial.
   size_t Threads = 1;
   /// Clip the global gradient norm before each Adam step (0 = off).
   float ClipNorm = 0.0f;
@@ -60,14 +61,23 @@ struct TrainOptions {
   /// epoch and the batch index within it (progress reporting; tests
   /// use it to kill a run mid-epoch).
   std::function<void(size_t Epoch, size_t Batch)> StepHook;
-  /// Build each mini-batch as one combined lockstep graph through the
-  /// model's LossBatch hook (same-timestep samples share matmul-backed
-  /// batch ops) instead of per-sample graphs. Requires the hook;
+  /// Build each mini-batch as lockstep graphs through the model's
+  /// LossBatch hook (same-timestep samples share matmul-backed batch
+  /// ops) instead of per-sample graphs. Requires the hook;
   /// deterministic, but a distinct gradient-accumulation order from
   /// the per-sample-sink mode, so the two modes are not bitwise
   /// comparable. Ignored (with the per-sample path) by models without
   /// a LossBatch hook and by the classifier driver.
   bool BatchedSamples = false;
+  /// Under BatchedSamples, split each mini-batch into this many
+  /// contiguous sample shards, each built and differentiated as its
+  /// own lockstep graph — the units the ThreadPool distributes when
+  /// Threads > 1. The partition depends only on the batch size (never
+  /// on Threads), and shard sinks are reduced in shard order on the
+  /// calling thread, so losses, gradients, and final weights are
+  /// bitwise-identical for any Threads value. Clamped to the batch
+  /// size; 1 = one graph per batch (the pre-sharding behavior).
+  size_t LockstepShards = 4;
 };
 
 /// Batched loss hook: per-sample mean losses for a whole mini-batch,

@@ -117,8 +117,9 @@ SeqDecoder::lossBatch(const std::vector<Var> &ProgramEmbeddings,
   }
 
   // Timestep-major walk over the lockstep schedule: each timestep
-  // attends per sample (each sample has its own memory), then advances
-  // every active lane through one batched cell step.
+  // attends every active lane over its own memory in one multi-memory
+  // node, advances every lane through one batched cell step, then
+  // scores every lane's logits through one batched loss-head node.
   std::vector<std::unordered_map<int, Var>> EmbedCaches(B);
   std::vector<std::vector<Var>> Losses(B);
   for (size_t Bi = 0; Bi < B; ++Bi)
@@ -126,29 +127,46 @@ SeqDecoder::lossBatch(const std::vector<Var> &ProgramEmbeddings,
   std::vector<std::vector<size_t>> Schedule = lockstepSchedule(Lens);
   for (size_t T = 0; T < Schedule.size(); ++T) {
     const std::vector<size_t> &Active = Schedule[T];
+    std::vector<Var> Queries;
+    std::vector<const AttentionScorer::Memory *> ActiveMems;
+    Queries.reserve(Active.size());
+    ActiveMems.reserve(Active.size());
+    for (size_t Bi : Active) {
+      Queries.push_back(States[Bi].H);
+      ActiveMems.push_back(&Mems[Bi]);
+    }
+    std::vector<AttentionScorer::Result> Ctxres =
+        Attn.contextOfMultiMemory(Queries, ActiveMems);
     std::vector<Var> Ins, Ctxs;
     std::vector<RecState> PrevStates;
     Ins.reserve(Active.size());
     Ctxs.reserve(Active.size());
     PrevStates.reserve(Active.size());
-    for (size_t Bi : Active) {
-      AttentionScorer::Result Ctx = Attn.contextOf(States[Bi].H, Mems[Bi]);
+    for (size_t Lane = 0; Lane < Active.size(); ++Lane) {
+      size_t Bi = Active[Lane];
       int Prev = T == 0 ? Vocabulary::Sos : TargetIds[Bi][T - 1];
       Var &Embed = EmbedCaches[Bi][Prev];
       if (!Embed)
         Embed = TargetEmbed.lookup(Prev);
-      Ins.push_back(concat(Embed, Ctx.Context));
-      Ctxs.push_back(Ctx.Context);
+      Ins.push_back(concat(Embed, Ctxres[Lane].Context));
+      Ctxs.push_back(Ctxres[Lane].Context);
       PrevStates.push_back(States[Bi]);
     }
     std::vector<RecState> Next = Cell.stepBatch(Ins, PrevStates);
+    std::vector<Var> HeadIns;
+    std::vector<size_t> Targets;
+    HeadIns.reserve(Active.size());
+    Targets.reserve(Active.size());
     for (size_t Lane = 0; Lane < Active.size(); ++Lane) {
       size_t Bi = Active[Lane];
       States[Bi] = Next[Lane];
-      Var Logits = OutProj.apply(concat(Next[Lane].H, Ctxs[Lane]));
-      Losses[Bi].push_back(softmaxCrossEntropy(
-          Logits, static_cast<size_t>(TargetIds[Bi][T])));
+      HeadIns.push_back(concat(Next[Lane].H, Ctxs[Lane]));
+      Targets.push_back(static_cast<size_t>(TargetIds[Bi][T]));
     }
+    std::vector<Var> StepLosses =
+        OutProj.softmaxCrossEntropyBatch(HeadIns, Targets);
+    for (size_t Lane = 0; Lane < Active.size(); ++Lane)
+      Losses[Active[Lane]].push_back(StepLosses[Lane]);
   }
 
   std::vector<Var> Out;

@@ -151,8 +151,8 @@ void LigerEncoder::embedStatesBatch(
         VarEmbeds.push_back(lookupToken(Rq.ValueTokens[I][0], *Rq.Ctx));
     }
     if (VarEmbeds.empty()) {
-      Rq.Ctx->StateCache.emplace(std::move(Rq.Key),
-                                 constant(Tensor::zeros(Config.Hidden)));
+      Rq.Cache->emplace(std::move(Rq.Key),
+                        constant(Tensor::zeros(Config.Hidden)));
       continue;
     }
     F2Req.push_back(R);
@@ -161,7 +161,7 @@ void LigerEncoder::embedStatesBatch(
   std::vector<RecState> F2Out = runCellLockstep(F2, F2Seqs);
   for (size_t K = 0; K < F2Seqs.size(); ++K) {
     StateEmbedRequest &Rq = Requests[F2Req[K]];
-    Rq.Ctx->StateCache.emplace(std::move(Rq.Key), F2Out[K].H);
+    Rq.Cache->emplace(std::move(Rq.Key), F2Out[K].H);
   }
 }
 
@@ -272,10 +272,19 @@ LigerEncoding LigerEncoder::encode(const MethodTraces &Traces,
 std::vector<LigerEncoding> LigerEncoder::encodeBatch(
     const std::vector<const MethodTraces *> &Batch) const {
   size_t B = Batch.size();
-  // Embedding caches never cross samples: sharing a cached statement
-  // or state node between two samples would merge gradient flows the
-  // per-sample reference keeps separate.
+  // Statement and token caches never cross samples. State embeddings
+  // DO share one batch-scoped cache by default
+  // (crossSampleStateCacheEnabled()): the kind-tagged state key is
+  // injective and f1/f2 are deterministic functions of the key's token
+  // sequences and the parameters, so a state revisited by another
+  // sample reuses a node with bitwise-identical value — per-sample
+  // loss values are unchanged. Gradient flow through a shared node
+  // merges where per-sample caches would duplicate it, which only the
+  // (already order-sensitive) batched gradient accumulation can
+  // observe.
   std::vector<EncodeContext> Ctxs(B);
+  std::unordered_map<std::string, Var> BatchStateCache;
+  const bool SharedStates = crossSampleStateCacheEnabled();
 
   // One lane per eligible blended trace, in sample-major order.
   struct Lane {
@@ -321,7 +330,7 @@ std::vector<LigerEncoding> LigerEncoder::encodeBatch(
   struct PendingSlot {
     size_t LaneIdx;
     size_t CompIdx;
-    EncodeContext *Ctx;
+    std::unordered_map<std::string, Var> *Cache;
     std::string Key;
   };
   std::vector<std::vector<Var>> LaneStates(Lanes.size());
@@ -351,18 +360,19 @@ std::vector<LigerEncoding> LigerEncoder::encodeBatch(
         StateEmbedRequest Rq;
         Rq.Ctx = &Ctx;
         Rq.State = &States.States[J];
+        Rq.Cache = SharedStates ? &BatchStateCache : &Ctx.StateCache;
         Rq.Key = stateKey(*Rq.State, Rq.ValueTokens);
-        auto It = Ctx.StateCache.find(Rq.Key);
-        if (It != Ctx.StateCache.end()) {
+        auto It = Rq.Cache->find(Rq.Key);
+        if (It != Rq.Cache->end()) {
           LaneStates[Li].push_back(It->second);
           continue;
         }
         LaneStates[Li].push_back(nullptr);
         Pending.push_back(
-            {Li, LaneStates[Li].size() - 1, &Ctx, Rq.Key});
+            {Li, LaneStates[Li].size() - 1, Rq.Cache, Rq.Key});
         bool Queued = false;
         for (const StateEmbedRequest &Prev : Requests)
-          Queued |= Prev.Ctx == Rq.Ctx && Prev.Key == Rq.Key;
+          Queued |= Prev.Cache == Rq.Cache && Prev.Key == Rq.Key;
         if (!Queued)
           Requests.push_back(std::move(Rq));
       }
@@ -370,8 +380,7 @@ std::vector<LigerEncoding> LigerEncoder::encodeBatch(
     if (!Requests.empty())
       embedStatesBatch(Requests);
     for (PendingSlot &Slot : Pending)
-      LaneStates[Slot.LaneIdx][Slot.CompIdx] =
-          Slot.Ctx->StateCache.at(Slot.Key);
+      LaneStates[Slot.LaneIdx][Slot.CompIdx] = Slot.Cache->at(Slot.Key);
 
     Active.clear();
     Ins.clear();

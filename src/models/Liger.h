@@ -116,11 +116,15 @@ private:
   };
 
   /// One state an encodeBatch round still needs embedded: the owning
-  /// sample's context, the state, and its precomputed cache key and
-  /// per-variable token sequences.
+  /// sample's context, the state, its precomputed cache key and
+  /// per-variable token sequences, and the cache the result parks in —
+  /// the batch-scoped cross-sample cache by default
+  /// (crossSampleStateCacheEnabled()), the sample's own StateCache
+  /// otherwise.
   struct StateEmbedRequest {
     EncodeContext *Ctx;
     const ProgramState *State;
+    std::unordered_map<std::string, Var> *Cache = nullptr;
     std::string Key;
     std::vector<std::vector<std::string>> ValueTokens;
   };
@@ -135,9 +139,8 @@ private:
            std::vector<std::vector<std::string>> &ValueTokens) const;
   Var embedState(const ProgramState &State, EncodeContext &Ctx) const;
   /// Embeds every requested state through lockstep-batched f1/f2 runs
-  /// (runCellLockstep) and parks the results in each request's
-  /// per-sample StateCache; per-state values are bitwise-identical to
-  /// embedState.
+  /// (runCellLockstep) and parks the results in each request's target
+  /// cache; per-state values are bitwise-identical to embedState.
   void embedStatesBatch(std::vector<StateEmbedRequest> &Requests) const;
   /// Fuses step \p J of one path (statement + state components through
   /// the fusion rule) or returns null when the step has no components.

@@ -1663,6 +1663,258 @@ std::vector<AttnOut> liger::attentionMultiQueryOp(
 }
 
 //===----------------------------------------------------------------------===//
+// Multi-memory attention
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Multi-memory node: parents W1, W2, B2, Query_0..Query_{Qn-1}, then
+/// per query its KeyProj followed by its Key_0..Key_{T_q-1}; AuxIdx
+/// holds the per-query key counts, AuxM per-query slices of
+/// (T_q*Hidden + T_q). Queries replay in descending order, each with
+/// its own memory — where ascending-created single-query attentionOp
+/// nodes sit in the global descending-Seq schedule — so
+/// shared-parameter accumulation is bitwise-identical to the per-query
+/// reference.
+void attentionMultiMemoryBackward(Node &N) {
+  size_t Qn = N.IScalar;
+  size_t K = N.Value.dim(1);
+  size_t H = N.Parents[0]->Value.dim(0);
+  const size_t *Ts = N.AuxIdx;
+  const float *G = N.Grad.data();
+  // Per-query parent-array and payload offsets (ascending prefix sums).
+  std::vector<size_t> MemOff(Qn), PayOff(Qn);
+  size_t POff = 3 + Qn, SOff = 0;
+  for (size_t Qi = 0; Qi < Qn; ++Qi) {
+    MemOff[Qi] = POff;
+    PayOff[Qi] = SOff;
+    POff += 1 + Ts[Qi];
+    SOff += Ts[Qi] * H + Ts[Qi];
+  }
+  for (size_t Qi = Qn; Qi-- > 0;) {
+    size_t T = Ts[Qi];
+    const float *Slice = N.AuxM + PayOff[Qi];
+    attentionBackwardOne(*N.Parents[0], *N.Parents[1], *N.Parents[2],
+                         *N.Parents[3 + Qi], *N.Parents[MemOff[Qi]],
+                         N.Parents + MemOff[Qi] + 1, T, K, H,
+                         N.Parents[3 + Qi]->Value.size(), G + Qi * K,
+                         Slice, Slice + T * H);
+  }
+}
+
+} // namespace
+
+std::vector<AttnOut> liger::attentionMultiMemoryOp(
+    const Var &W1, const Var &W2, const Var &B2,
+    const std::vector<Var> &Queries, const std::vector<Var> &KeyProjs,
+    const std::vector<const std::vector<Var> *> &KeysPerQuery) {
+  size_t Qn = Queries.size();
+  LIGER_CHECK(Qn > 0, "attentionMultiMemoryOp needs queries");
+  LIGER_CHECK(KeyProjs.size() == Qn && KeysPerQuery.size() == Qn,
+              "attentionMultiMemoryOp needs one memory per query");
+  size_t Q = Queries[0]->Value.dim(0);
+  size_t H = W1->Value.dim(0);
+  size_t W1Cols = W1->Value.dim(1);
+  LIGER_CHECK(!KeysPerQuery[0]->empty(),
+              "attentionMultiMemoryOp needs non-empty memories");
+  size_t K = (*KeysPerQuery[0])[0]->Value.size();
+  LIGER_CHECK(W1->Value.rank() == 2 && W1Cols == K + Q,
+              "attentionMultiMemoryOp packed W1 shape mismatch");
+  LIGER_CHECK(W2->Value.rank() == 2 && W2->Value.dim(0) == 1 &&
+                  W2->Value.dim(1) == H,
+              "attentionMultiMemoryOp W2 shape mismatch");
+  LIGER_CHECK(B2->Value.size() == 1,
+              "attentionMultiMemoryOp B2 shape mismatch");
+
+  size_t *Ts = GraphArena::current().allocArray<size_t>(Qn);
+  size_t PayTotal = 0, ParentTotal = 3 + Qn;
+  for (size_t Qi = 0; Qi < Qn; ++Qi) {
+    const std::vector<Var> &Keys = *KeysPerQuery[Qi];
+    size_t T = Keys.size();
+    LIGER_CHECK(T > 0, "attentionMultiMemoryOp needs non-empty memories");
+    LIGER_CHECK(Queries[Qi]->Value.size() == Q,
+                "attentionMultiMemoryOp queries must share shape");
+    for (size_t TI = 0; TI < T; ++TI)
+      LIGER_CHECK(Keys[TI]->Value.size() == K,
+                  "attentionMultiMemoryOp keys must share shape");
+    LIGER_CHECK(KeyProjs[Qi]->Value.rank() == 2 &&
+                    KeyProjs[Qi]->Value.dim(0) == T &&
+                    KeyProjs[Qi]->Value.dim(1) == H,
+                "attentionMultiMemoryOp key projection mismatch");
+    Ts[Qi] = T;
+    PayTotal += T * H + T;
+    ParentTotal += 1 + T;
+  }
+  float *Pay = allocCellPayload(PayTotal);
+  const float *W2V = W2->Value.data();
+
+  // All queries' broadcast projections in one tiled matmul over the
+  // shared query-side band of W1 — the cross-memory win; the per-key
+  // walk below is this query's memory only.
+  Tensor QScratch;
+  const float *QBufV = stackedValues(Queries, Q, QScratch);
+  Tensor Mq = Tensor::raw(Qn, H);
+  kernels::matmul(Qn, H, Q, W1->Value.data() + K, W1Cols, QBufV, Q,
+                  Mq.data(), H);
+
+  Tensor Out = Tensor::zeros(Qn, K);
+  Tensor Pre = Tensor::raw(H);
+  float *__restrict PreV = Pre.data();
+  size_t PayOff = 0;
+  std::vector<size_t> WOff(Qn);
+  for (size_t Qi = 0; Qi < Qn; ++Qi) {
+    const std::vector<Var> &Keys = *KeysPerQuery[Qi];
+    const float *KPV = KeyProjs[Qi]->Value.data();
+    size_t T = Ts[Qi];
+    float *Ht = Pay + PayOff, *A = Pay + PayOff + T * H;
+    const float *__restrict MqV = Mq.data() + Qi * H;
+    Tensor Sv = Tensor::zeros(T);
+    for (size_t TI = 0; TI < T; ++TI) {
+      const float *__restrict KPRow = KPV + TI * H;
+      for (size_t I = 0; I < H; ++I)
+        PreV[I] = KPRow[I] + MqV[I];
+      float *HtRow = Ht + TI * H;
+      kernels::tanhMap(H, PreV, HtRow);
+      float S = kernels::dot(H, W2V, HtRow);
+      Sv[TI] = S + B2->Value[0];
+    }
+    std::vector<float> Probs = softmaxValues(Sv);
+    std::memcpy(A, Probs.data(), T * sizeof(float));
+    float *OutRow = Out.data() + Qi * K;
+    for (size_t TI = 0; TI < T; ++TI)
+      kernels::axpy(K, A[TI], Keys[TI]->Value.data(), OutRow);
+    WOff[Qi] = PayOff + T * H;
+    PayOff += T * H + T;
+  }
+
+  std::vector<Var> Parents;
+  Parents.reserve(ParentTotal);
+  Parents.push_back(W1);
+  Parents.push_back(W2);
+  Parents.push_back(B2);
+  for (const Var &Qv : Queries)
+    Parents.push_back(Qv);
+  for (size_t Qi = 0; Qi < Qn; ++Qi) {
+    Parents.push_back(KeyProjs[Qi]);
+    for (const Var &Key : *KeysPerQuery[Qi])
+      Parents.push_back(Key);
+  }
+  Node *N = makeNode(std::move(Out), Parents, attentionMultiMemoryBackward);
+  N->AuxM = Pay;
+  N->AuxIdx = Ts;
+  N->IScalar = Qn;
+  std::vector<AttnOut> Results;
+  Results.reserve(Qn);
+  for (size_t Qi = 0; Qi < Qn; ++Qi) {
+    AttnOut R;
+    R.Context = row(N, Qi);
+    R.Weights = Pay + WOff[Qi];
+    Results.push_back(R);
+  }
+  return Results;
+}
+
+//===----------------------------------------------------------------------===//
+// Batched loss head
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Batched loss-head node: parents W, Bias, X_0..X_{B-1}; value the
+/// [B x 1] per-lane losses, AuxF the B*V softmax probabilities, AuxIdx
+/// the B targets. Lanes replay in descending order — where the
+/// ascending-created per-lane matvec/add/CE chains sit in the global
+/// descending-Seq schedule. Each lane's fused CE grad lands in a
+/// fresh logits-grad row that feeds the lane's input grad inline (the
+/// per-lane rows are disjoint, so reordering them against the shared
+/// regions is bitwise-neutral); the shared bias and weight regions
+/// then accumulate through the *BatchDesc kernels, which are
+/// bitwise-identical to descending per-lane addAcc / rank1Acc calls.
+void softmaxCrossEntropyBatchBackward(Node &N) {
+  size_t B = N.IScalar;
+  Node &WN = *N.Parents[0];
+  Node &BN = *N.Parents[1];
+  size_t V = WN.Value.dim(0), In = WN.Value.dim(1);
+  const float *G = N.Grad.data();
+  const float *Probs = N.AuxF;
+  const size_t *Targets = N.AuxIdx;
+  Tensor LG = Tensor::zeros(B, V);
+  std::vector<const float *> XV(B);
+  for (size_t Bi = B; Bi-- > 0;) {
+    float Gb = G[Bi];
+    float *__restrict LGRow = LG.data() + Bi * V;
+    const float *__restrict PRow = Probs + Bi * V;
+    for (size_t I = 0; I < V; ++I)
+      LGRow[I] += Gb * PRow[I];
+    LGRow[Targets[Bi]] -= Gb;
+    Node &XN = *N.Parents[2 + Bi];
+    XV[Bi] = XN.Value.data();
+    if (XN.RequiresGrad)
+      kernels::matvecTAcc(V, In, WN.Value.data(), LGRow,
+                          XN.grad().data());
+  }
+  if (BN.RequiresGrad)
+    kernels::addAccBatchDesc(B, V, LG.data(), V, BN.grad().data());
+  if (WN.RequiresGrad)
+    kernels::rank1AccBatchDesc(B, V, In, LG.data(), V, XV.data(),
+                               WN.grad().data());
+}
+
+} // namespace
+
+std::vector<Var> liger::softmaxCrossEntropyBatchOp(
+    const Var &W, const Var &Bias, const std::vector<Var> &Xs,
+    const std::vector<size_t> &Targets) {
+  size_t B = Xs.size();
+  LIGER_CHECK(B > 0 && Targets.size() == B,
+              "softmaxCrossEntropyBatchOp needs one target per lane");
+  LIGER_CHECK(W->Value.rank() == 2,
+              "softmaxCrossEntropyBatchOp expects a weight matrix");
+  size_t V = W->Value.dim(0), In = W->Value.dim(1);
+  LIGER_CHECK(Bias->Value.size() == V,
+              "softmaxCrossEntropyBatchOp bias mismatch");
+
+  // Every lane's logits in one tiled matmul (each row bitwise ≡ the
+  // per-lane matvec), then the per-lane bias add and the same stable
+  // softmax-NLL as the single-lane op.
+  Tensor XScratch;
+  const float *XBufV = stackedValues(Xs, In, XScratch);
+  Tensor Logits = Tensor::raw(B, V);
+  kernels::matmul(B, V, In, W->Value.data(), In, XBufV, In, Logits.data(),
+                  V);
+
+  size_t *TargetsA = GraphArena::current().allocArray<size_t>(B);
+  float *ProbsA = GraphArena::current().allocArray<float>(B * V);
+  Tensor Out = Tensor::zeros(B, 1);
+  for (size_t Bi = 0; Bi < B; ++Bi) {
+    LIGER_CHECK(Targets[Bi] < V, "target out of range");
+    float *LRow = Logits.data() + Bi * V;
+    kernels::addAcc(V, Bias->Value.data(), LRow);
+    std::vector<float> Probs = softmaxValues(Tensor::view(LRow, V));
+    std::memcpy(ProbsA + Bi * V, Probs.data(), V * sizeof(float));
+    Out[Bi] = -std::log(std::max(Probs[Targets[Bi]], 1e-12f));
+    TargetsA[Bi] = Targets[Bi];
+  }
+
+  std::vector<Var> Parents;
+  Parents.reserve(2 + B);
+  Parents.push_back(W);
+  Parents.push_back(Bias);
+  for (const Var &X : Xs)
+    Parents.push_back(X);
+  Node *N = makeNode(std::move(Out), Parents,
+                     softmaxCrossEntropyBatchBackward);
+  N->AuxF = ProbsA;
+  N->AuxIdx = TargetsA;
+  N->IScalar = B;
+  std::vector<Var> Losses;
+  Losses.reserve(B);
+  for (size_t Bi = 0; Bi < B; ++Bi)
+    Losses.push_back(row(N, Bi));
+  return Losses;
+}
+
+//===----------------------------------------------------------------------===//
 // Backward driver
 //===----------------------------------------------------------------------===//
 

@@ -285,6 +285,39 @@ std::vector<AttnOut> attentionMultiQueryOp(const Var &W1, const Var &W2,
                                            const Var &KeyProj,
                                            const std::vector<Var> &Keys);
 
+/// Multi-memory fused attention: scores B queries, each against its
+/// OWN prepared key projection, in a single node — the lockstep
+/// decoder's per-lane attention reads over distinct sample memories.
+/// The query-side projection still collapses into one [B x Hidden]
+/// tiled matmul over the shared W1 band (each row bitwise ≡ the
+/// single-query strided matvec); the per-key walk then runs per query
+/// over that query's keys. KeyProjs[i] must be the prepared projection
+/// of KeysPerQuery[i] (attentionKeyProj over the same W1/B1). The
+/// backward replays the single-query attentionOp backward per query in
+/// descending query order with that query's memory — bitwise-identical
+/// to B attentionOp calls (BatchedKernelEquivalenceTest pins this).
+std::vector<AttnOut> attentionMultiMemoryOp(
+    const Var &W1, const Var &W2, const Var &B2,
+    const std::vector<Var> &Queries, const std::vector<Var> &KeyProjs,
+    const std::vector<const std::vector<Var> *> &KeysPerQuery);
+
+//===----------------------------------------------------------------------===//
+// Batched loss head
+//===----------------------------------------------------------------------===//
+
+/// Batched linear head + softmax cross-entropy for B lockstep lanes:
+/// logits for every lane in one [B x V] tiled matmul over the shared
+/// head weight (each row bitwise ≡ the per-lane matvec), a per-lane
+/// bias add + stable softmax-NLL, and one fused backward that replays
+/// the per-lane add/matvec/CE chains in descending lane order (shared
+/// weight and bias regions through the *BatchDesc kernels, per-lane
+/// input grads inline). Returned Vars are per-lane scalar row views of
+/// the [B x 1] loss node — bitwise-identical to B
+/// softmaxCrossEntropy(add(matvec(W, x), bias), target) chains.
+std::vector<Var> softmaxCrossEntropyBatchOp(const Var &W, const Var &Bias,
+                                            const std::vector<Var> &Xs,
+                                            const std::vector<size_t> &Targets);
+
 /// Runs reverse-mode accumulation from scalar \p Loss (grad seeded 1).
 void backward(const Var &Loss);
 

@@ -28,6 +28,12 @@ std::atomic<bool> BatchedCells{true};
 /// Process-wide batched-attention toggle (see Module.h).
 std::atomic<bool> BatchedAttention{true};
 
+/// Process-wide batched-loss-head toggle (see Module.h).
+std::atomic<bool> BatchedLossHead{true};
+
+/// Process-wide cross-sample state-cache toggle (see Module.h).
+std::atomic<bool> CrossSampleStateCache{true};
+
 /// Draws a Glorot-uniform [Rows x Cols] block into rows
 /// [Row0, Row0 + Rows) of \p Packed, consuming exactly the Rng draws
 /// the per-gate Tensor::xavier(Rows, Cols, R) call made — a fixed seed
@@ -72,6 +78,22 @@ bool liger::batchedAttentionEnabled() {
 
 void liger::setBatchedAttentionEnabled(bool Enabled) {
   BatchedAttention.store(Enabled, std::memory_order_relaxed);
+}
+
+bool liger::batchedLossHeadEnabled() {
+  return BatchedLossHead.load(std::memory_order_relaxed);
+}
+
+void liger::setBatchedLossHeadEnabled(bool Enabled) {
+  BatchedLossHead.store(Enabled, std::memory_order_relaxed);
+}
+
+bool liger::crossSampleStateCacheEnabled() {
+  return CrossSampleStateCache.load(std::memory_order_relaxed);
+}
+
+void liger::setCrossSampleStateCacheEnabled(bool Enabled) {
+  CrossSampleStateCache.store(Enabled, std::memory_order_relaxed);
 }
 
 //===----------------------------------------------------------------------===//
@@ -163,6 +185,21 @@ Linear::Linear(ParamStore &Store, const std::string &Name, size_t In,
 }
 
 Var Linear::apply(const Var &X) const { return add(matvec(W, X), B); }
+
+std::vector<Var>
+Linear::softmaxCrossEntropyBatch(const std::vector<Var> &Xs,
+                                 const std::vector<size_t> &Targets) const {
+  LIGER_CHECK(Xs.size() == Targets.size(),
+              "softmaxCrossEntropyBatch needs one target per lane");
+  if (Xs.size() <= 1 || !batchedLossHeadEnabled()) {
+    std::vector<Var> Out;
+    Out.reserve(Xs.size());
+    for (size_t I = 0; I < Xs.size(); ++I)
+      Out.push_back(softmaxCrossEntropy(apply(Xs[I]), Targets[I]));
+    return Out;
+  }
+  return softmaxCrossEntropyBatchOp(W, B, Xs, Targets);
+}
 
 Mlp::Mlp(ParamStore &Store, const std::string &Name, size_t In, size_t Hidden,
          size_t Out, Rng &R)
@@ -668,6 +705,39 @@ AttentionScorer::contextOfMulti(const std::vector<Var> &Queries,
   }
   std::vector<AttnOut> Fused =
       attentionMultiQueryOp(W1, W2, B2, Queries, Mem.KeyProj, Mem.Keys);
+  std::vector<Result> Out(Queries.size());
+  for (size_t I = 0; I < Queries.size(); ++I) {
+    Out[I].Context = Fused[I].Context;
+    Out[I].Weights = Fused[I].Weights;
+  }
+  return Out;
+}
+
+std::vector<AttentionScorer::Result> AttentionScorer::contextOfMultiMemory(
+    const std::vector<Var> &Queries,
+    const std::vector<const Memory *> &Mems) const {
+  LIGER_CHECK(!Queries.empty() && Mems.size() == Queries.size(),
+              "contextOfMultiMemory needs one memory per query");
+  bool AllFused = batchedAttentionEnabled() && Queries.size() > 1;
+  for (const Memory *Mem : Mems)
+    AllFused = AllFused && Mem->Fused;
+  if (!AllFused) {
+    std::vector<Result> Out;
+    Out.reserve(Queries.size());
+    for (size_t I = 0; I < Queries.size(); ++I)
+      Out.push_back(contextOf(Queries[I], *Mems[I]));
+    return Out;
+  }
+  std::vector<Var> KeyProjs;
+  std::vector<const std::vector<Var> *> KeysPerQuery;
+  KeyProjs.reserve(Mems.size());
+  KeysPerQuery.reserve(Mems.size());
+  for (const Memory *Mem : Mems) {
+    KeyProjs.push_back(Mem->KeyProj);
+    KeysPerQuery.push_back(&Mem->Keys);
+  }
+  std::vector<AttnOut> Fused =
+      attentionMultiMemoryOp(W1, W2, B2, Queries, KeyProjs, KeysPerQuery);
   std::vector<Result> Out(Queries.size());
   for (size_t I = 0; I < Queries.size(); ++I) {
     Out[I].Context = Fused[I].Context;

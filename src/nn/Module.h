@@ -117,6 +117,25 @@ void setFusedCellsEnabled(bool Enabled);
 bool batchedCellsEnabled();
 void setBatchedCellsEnabled(bool Enabled);
 
+/// Whether Linear::softmaxCrossEntropyBatch() routes through the
+/// single batched loss-head node (the default) or loops the per-lane
+/// apply() + softmaxCrossEntropy() reference chain. Bitwise-identical
+/// paths (BatchedKernelEquivalenceTest); the toggle exists for A/B
+/// benchmarks and the equivalence suite.
+bool batchedLossHeadEnabled();
+void setBatchedLossHeadEnabled(bool Enabled);
+
+/// Whether LigerEncoder::encodeBatch() shares one state-embedding
+/// cache across every sample in the mini-batch (the default) or keeps
+/// the per-sample caches. Embeddings are value-deterministic functions
+/// of the injective state key, so per-sample loss values are
+/// bitwise-identical either way; gradient flow through a shared
+/// embedding merges where per-sample caches would duplicate it, which
+/// is observable only through the (already order-sensitive) batched
+/// gradient accumulation.
+bool crossSampleStateCacheEnabled();
+void setCrossSampleStateCacheEnabled(bool Enabled);
+
 /// Fully connected layer: y = W x + b.
 class Linear {
 public:
@@ -125,6 +144,15 @@ public:
          Rng &R);
 
   Var apply(const Var &X) const;
+
+  /// Softmax cross-entropy losses of this layer's logits over a block
+  /// of B lockstep lanes: one batched loss-head node (matmul logits +
+  /// fused descending-lane backward) when batchedLossHeadEnabled(),
+  /// else the per-lane apply() + softmaxCrossEntropy() loop. The two
+  /// paths are bitwise-identical (BatchedKernelEquivalenceTest).
+  std::vector<Var> softmaxCrossEntropyBatch(const std::vector<Var> &Xs,
+                                            const std::vector<size_t> &Targets)
+      const;
 
   size_t inDim() const { return W->Value.dim(1); }
   size_t outDim() const { return W->Value.dim(0); }
@@ -325,6 +353,17 @@ public:
   /// in order.
   std::vector<Result> contextOfMulti(const std::vector<Var> &Queries,
                                      const Memory &Mem) const;
+
+  /// Attended contexts for a block of queries, each over its OWN
+  /// prepared memory — the lockstep decoder's per-lane attention reads
+  /// over distinct sample memories. One multi-memory node batches the
+  /// query-side projection across lanes; falls back to a per-query
+  /// contextOf() loop for a single query, any unfused memory, or when
+  /// batchedAttentionEnabled() is off. Either way results are
+  /// bitwise-identical to per-query contextOf() calls in order.
+  std::vector<Result>
+  contextOfMultiMemory(const std::vector<Var> &Queries,
+                       const std::vector<const Memory *> &Mems) const;
 
   /// All T pre-softmax scores of \p Query against \p Keys as one [T]
   /// node, sharing the key projections across scores (reference graph

@@ -8,9 +8,14 @@
 
 #include "support/BinaryIO.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <unordered_map>
+
+#include <dirent.h>
+#include <sys/stat.h>
+#include <unistd.h>
 
 using namespace liger;
 
@@ -36,7 +41,7 @@ constexpr uint32_t TagTraces = tagOf('T', 'R', 'C', 'E');
 
 /// Bump to invalidate every existing key when the hashed field set of
 /// traceCacheKey changes.
-constexpr uint64_t KeySalt = 0x4C47545202ULL; // "LGTR" + key schema 02
+constexpr uint64_t KeySalt = 0x4C47545203ULL; // "LGTR" + key schema 03
 
 /// Sanity bounds: real entries are small, so anything bigger marks
 /// corruption and is rejected before any allocation happens.
@@ -411,6 +416,8 @@ TraceCacheKey liger::traceCacheKey(const std::string &SourceText,
   H.addU32(Options.MutationAttemptsPerPath);
   H.addBool(Options.UseSymbolicSeeding);
   H.addU64(Options.Seed);
+  // Dataset scope: partitions one shared cache directory per corpus.
+  H.addString(Options.Scope);
   return H.digest128();
 }
 
@@ -696,8 +703,9 @@ bool liger::deserializeCacheEntry(const std::string &Bytes,
 // TraceCache
 //===----------------------------------------------------------------------===//
 
-TraceCache::TraceCache(TraceCacheMode Mode, std::string Dir)
-    : Mode(Mode), Dir(std::move(Dir)) {}
+TraceCache::TraceCache(TraceCacheMode Mode, std::string Dir,
+                       uint64_t MaxBytes)
+    : Mode(Mode), Dir(std::move(Dir)), MaxBytes(MaxBytes) {}
 
 std::string TraceCache::entryFileName(const TraceCacheKey &Key) {
   return Key.hex() + ".lgtr";
@@ -780,15 +788,65 @@ bool TraceCache::lookup(const TraceCacheKey &Key, CachedTraceEntry &Out) {
 }
 
 void TraceCache::store(const TraceCacheKey &Key, CachedTraceEntry Entry) {
+  bool Wrote = false;
   if (!Dir.empty() && ensureDirExists(Dir)) {
     std::string Bytes = serializeCacheEntry(Key, Entry);
     // Failures are non-fatal: the entry still serves from memory, and
     // the next cold run will simply re-store it.
-    atomicWriteFile(entryPath(Key), [&](BinaryWriter &W) {
+    Wrote = atomicWriteFile(entryPath(Key), [&](BinaryWriter &W) {
       W.writeBytes(Bytes.data(), Bytes.size());
     });
   }
   std::lock_guard<std::mutex> Lock(Mutex);
+  if (Wrote && MaxBytes != 0)
+    evictOverBudget(entryFileName(Key));
   Memory[Key.hex()] = std::move(Entry);
   Stores.fetch_add(1);
+}
+
+void TraceCache::evictOverBudget(const std::string &KeepFile) {
+  // One scan per store keeps this free of persistent bookkeeping that
+  // could drift from the directory (other processes store here too).
+  struct DiskEntry {
+    std::string Name;
+    uint64_t Size;
+    int64_t Mtime;
+  };
+  DIR *D = opendir(Dir.c_str());
+  if (!D)
+    return;
+  std::vector<DiskEntry> Entries;
+  uint64_t Total = 0;
+  while (struct dirent *E = readdir(D)) {
+    std::string Name = E->d_name;
+    if (Name.size() < 5 || Name.compare(Name.size() - 5, 5, ".lgtr") != 0)
+      continue;
+    struct stat St;
+    if (::stat((Dir + "/" + Name).c_str(), &St) != 0 || !S_ISREG(St.st_mode))
+      continue;
+    Total += static_cast<uint64_t>(St.st_size);
+    Entries.push_back({std::move(Name), static_cast<uint64_t>(St.st_size),
+                       static_cast<int64_t>(St.st_mtime)});
+  }
+  closedir(D);
+  if (Total <= MaxBytes)
+    return;
+  // Oldest mtime first; name breaks ties so eviction order is stable
+  // even when a burst of stores lands within one mtime granule.
+  std::sort(Entries.begin(), Entries.end(),
+            [](const DiskEntry &A, const DiskEntry &B) {
+              return A.Mtime != B.Mtime ? A.Mtime < B.Mtime : A.Name < B.Name;
+            });
+  for (const DiskEntry &E : Entries) {
+    if (Total <= MaxBytes)
+      break;
+    if (E.Name == KeepFile)
+      continue;
+    // A concurrent eviction racing us just means the unlink fails and
+    // the bytes were freed anyway; only successful unlinks count.
+    if (::unlink((Dir + "/" + E.Name).c_str()) == 0) {
+      Total -= E.Size;
+      Evictions.fetch_add(1);
+    }
+  }
 }

@@ -65,8 +65,8 @@ using TraceCacheKey = Digest128;
 /// Computes the cache key for collecting traces of method \p MethodName
 /// inside \p SourceText under \p Options. Every option that can change
 /// the pipeline's output is hashed (input domains, fuel, path/execution
-/// budgets, seed); a format-version salt invalidates old keys when the
-/// hashed field set changes.
+/// budgets, seed, dataset scope); a format-version salt invalidates old
+/// keys when the hashed field set changes.
 TraceCacheKey traceCacheKey(const std::string &SourceText,
                             const std::string &MethodName,
                             const TestGenOptions &Options);
@@ -146,11 +146,20 @@ bool materializeTraces(const PortableMethodTraces &PT, const Program &P,
 class TraceCache {
 public:
   /// \p Dir may be empty for a memory-only cache. The directory (and
-  /// missing parents) is created on first store.
-  TraceCache(TraceCacheMode Mode, std::string Dir);
+  /// missing parents) is created on first store. \p MaxBytes bounds
+  /// the on-disk footprint: when the directory's .lgtr entries exceed
+  /// it after a store, the least-recently-used entries (oldest mtime,
+  /// file name as the deterministic tiebreaker) are unlinked until the
+  /// total fits again. The entry just stored is never evicted, so a
+  /// bound smaller than one entry still keeps the newest. 0 =
+  /// unbounded. The in-memory map is never evicted — the bound exists
+  /// to keep long-lived shared cache directories from growing without
+  /// limit across bench sweeps.
+  TraceCache(TraceCacheMode Mode, std::string Dir, uint64_t MaxBytes = 0);
 
   TraceCacheMode mode() const { return Mode; }
   const std::string &dir() const { return Dir; }
+  uint64_t maxBytes() const { return MaxBytes; }
 
   /// Looks \p Key up in memory, then on disk. Disk hits are promoted
   /// into memory. Malformed disk entries count as BadEntries and miss.
@@ -180,10 +189,18 @@ public:
   uint64_t stores() const { return Stores.load(); }
   /// Disk entries rejected as corrupt/truncated/version-mismatched.
   uint64_t badEntries() const { return BadEntries.load(); }
+  /// On-disk entries unlinked by the MaxBytes LRU bound.
+  uint64_t evictions() const { return Evictions.load(); }
 
 private:
+  /// Unlinks LRU .lgtr entries until the directory fits MaxBytes,
+  /// never touching \p KeepFile (the entry just stored). Called with
+  /// Mutex held so concurrent stores scan a consistent directory.
+  void evictOverBudget(const std::string &KeepFile);
+
   TraceCacheMode Mode;
   std::string Dir;
+  uint64_t MaxBytes = 0;
 
   std::mutex Mutex;
   std::unordered_map<std::string, CachedTraceEntry> Memory;
@@ -192,6 +209,7 @@ private:
   std::atomic<uint64_t> Misses{0};
   std::atomic<uint64_t> Stores{0};
   std::atomic<uint64_t> BadEntries{0};
+  std::atomic<uint64_t> Evictions{0};
 };
 
 /// Serializes \p Entry into LGTR container bytes (exposed for tests).

@@ -49,6 +49,12 @@ struct TestGenOptions {
   /// Also seed paths from the bounded symbolic executor.
   bool UseSymbolicSeeding = true;
   uint64_t Seed = 1;
+  /// Dataset-scope tag ("med", "large", "coset", ...) hashed into the
+  /// trace-cache key and nothing else: two corpora sharing one cache
+  /// directory never serve each other's entries even when a method's
+  /// source and every pipeline knob coincide, so per-dataset eviction
+  /// and invalidation stay independent. Empty = unscoped.
+  std::string Scope;
 };
 
 /// Outcome statistics (drives the Table 1 filter pipeline), plus the

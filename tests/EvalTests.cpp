@@ -8,6 +8,7 @@
 #include "eval/Metrics.h"
 #include "eval/Training.h"
 
+#include "nn/Module.h"
 #include "support/BinaryIO.h"
 
 #include <gtest/gtest.h>
@@ -301,6 +302,86 @@ TEST(TrainingIntegrationTest, ParallelEpochMatchesSerialBitwise) {
   ASSERT_EQ(SerialParams.size(), ParallelParams.size());
   for (size_t I = 0; I < SerialParams.size(); ++I)
     EXPECT_EQ(SerialParams[I], ParallelParams[I]) << "parameter " << I;
+}
+
+TEST(TrainingIntegrationTest, LockstepThreadedEpochIsBitwise) {
+  // Under BatchedSamples each mini-batch is split into LockstepShards
+  // contiguous shard graphs — the units the ThreadPool distributes.
+  // The shard partition depends only on the batch size (never on the
+  // thread count) and shard sinks are reduced in shard order on the
+  // calling thread, so losses and final weights must be
+  // bitwise-identical at any --threads — with the batched op
+  // internals (cells, attention, loss head, cross-sample state cache)
+  // toggled either way.
+  ExperimentScale Scale;
+  Scale.MethodsMed = 30;
+  Scale.Epochs = 2;
+  Scale.Hidden = 12;
+  Scale.EmbedDim = 12;
+  Scale.TargetPaths = 3;
+  Scale.ExecutionsPerPath = 2;
+  Scale.Seed = 5;
+  Scale.BatchedSamples = true;
+
+  NameTask Task = buildNameTask(Scale, false);
+  ASSERT_GE(Task.Split.Train.size(), 10u);
+
+  auto RunWith = [&](size_t Threads, bool BatchedOps,
+                     std::vector<std::vector<float>> &ParamsOut) {
+    bool PrevCells = batchedCellsEnabled();
+    bool PrevAttn = batchedAttentionEnabled();
+    bool PrevHead = batchedLossHeadEnabled();
+    bool PrevShared = crossSampleStateCacheEnabled();
+    setBatchedCellsEnabled(BatchedOps);
+    setBatchedAttentionEnabled(BatchedOps);
+    setBatchedLossHeadEnabled(BatchedOps);
+    setCrossSampleStateCacheEnabled(BatchedOps);
+
+    LigerConfig Config;
+    Config.EmbedDim = Scale.EmbedDim;
+    Config.Hidden = Scale.Hidden;
+    Config.AttnHidden = Scale.Hidden;
+    LigerNamePredictor Net(Task.Joint, Task.Target, Config, Scale.Seed);
+    NameModelHooks Hooks;
+    Hooks.Loss = [&](const MethodSample &S) { return Net.loss(S); };
+    Hooks.LossBatch =
+        [&](const std::vector<const MethodSample *> &Group) {
+          return Net.lossBatch(Group);
+        };
+    Hooks.Predict = [&](const MethodSample &S) { return Net.predict(S); };
+    Hooks.Params = &Net.params();
+    TrainOptions Options = Scale.trainOptions();
+    Options.Threads = Threads;
+    Options.SelectBestOnValidation = false;
+    TrainResult Result = trainNameModel(Hooks, Task.Split.Train,
+                                        std::vector<MethodSample>(), Options);
+    for (const Var &P : Net.params().params())
+      ParamsOut.emplace_back(P->Value.data(),
+                             P->Value.data() + P->Value.size());
+
+    setBatchedCellsEnabled(PrevCells);
+    setBatchedAttentionEnabled(PrevAttn);
+    setBatchedLossHeadEnabled(PrevHead);
+    setCrossSampleStateCacheEnabled(PrevShared);
+    return Result.FinalTrainLoss;
+  };
+
+  for (bool BatchedOps : {true, false}) {
+    std::vector<std::vector<float>> P1, P2, P4;
+    double L1 = RunWith(1, BatchedOps, P1);
+    double L2 = RunWith(2, BatchedOps, P2);
+    double L4 = RunWith(4, BatchedOps, P4);
+    EXPECT_EQ(L1, L2) << "batchedOps=" << BatchedOps;
+    EXPECT_EQ(L1, L4) << "batchedOps=" << BatchedOps;
+    ASSERT_EQ(P1.size(), P2.size());
+    ASSERT_EQ(P1.size(), P4.size());
+    for (size_t I = 0; I < P1.size(); ++I) {
+      EXPECT_EQ(P1[I], P2[I])
+          << "parameter " << I << " batchedOps=" << BatchedOps;
+      EXPECT_EQ(P1[I], P4[I])
+          << "parameter " << I << " batchedOps=" << BatchedOps;
+    }
+  }
 }
 
 TEST(TrainingIntegrationTest, BatchedSamplesWithoutHookFallsBackPerSample) {

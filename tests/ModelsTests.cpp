@@ -613,8 +613,10 @@ TEST(BatchedLossEquivalenceTest, LossBatchToggleIsBitwise) {
   auto RunStep = [](bool Batched) {
     bool PrevCells = batchedCellsEnabled();
     bool PrevAttn = batchedAttentionEnabled();
+    bool PrevHead = batchedLossHeadEnabled();
     setBatchedCellsEnabled(Batched);
     setBatchedAttentionEnabled(Batched);
+    setBatchedLossHeadEnabled(Batched);
     DecoderFixture F;
     Adam Opt(F.Store);
     std::vector<Var> Losses = F.Dec.lossBatch(F.Embeds, F.Memories, F.Targets);
@@ -628,6 +630,7 @@ TEST(BatchedLossEquivalenceTest, LossBatchToggleIsBitwise) {
       Params.emplace_back(P->Value.data(), P->Value.data() + P->Value.size());
     setBatchedCellsEnabled(PrevCells);
     setBatchedAttentionEnabled(PrevAttn);
+    setBatchedLossHeadEnabled(PrevHead);
     return std::make_tuple(Sum->Value[0], Grads, Params);
   };
   auto [BatchedLoss, BatchedGrads, BatchedParams] = RunStep(true);
@@ -649,6 +652,31 @@ TEST(BatchedLossEquivalenceTest, LigerLossBatchMatchesLoss) {
   for (size_t S = 0; S < Samples.size(); ++S)
     EXPECT_EQ(Batched[S]->Value[0], Net.loss(Samples[S])->Value[0])
         << "sample " << S;
+}
+
+TEST(BatchedLossEquivalenceTest, CrossSampleStateCacheKeepsLossValuesBitwise) {
+  // Sharing one state-embedding cache across the samples of a batch
+  // merges gradient flow (documented: accumulation order inside a
+  // batched graph is already mode-specific), but the forward values
+  // must stay bitwise-identical: state keys are injective and the
+  // fusion layers are deterministic functions of key + parameters.
+  auto Samples = tinyCorpus();
+  TinyVocabs V = buildVocabs(Samples);
+  auto BatchLossValues = [&](bool Shared) {
+    bool Prev = crossSampleStateCacheEnabled();
+    setCrossSampleStateCacheEnabled(Shared);
+    LigerNamePredictor Net(V.Joint, V.Target, tinyLigerConfig(), 42);
+    std::vector<const MethodSample *> Group;
+    for (const MethodSample &Sample : Samples)
+      Group.push_back(&Sample);
+    std::vector<Var> Losses = Net.lossBatch(Group);
+    std::vector<float> Out;
+    for (const Var &L : Losses)
+      Out.push_back(L->Value[0]);
+    setCrossSampleStateCacheEnabled(Prev);
+    return Out;
+  };
+  EXPECT_EQ(BatchLossValues(true), BatchLossValues(false));
 }
 
 TEST(BatchedLossEquivalenceTest, DecodeBeamWidth1MatchesGreedy) {

@@ -1512,15 +1512,18 @@ namespace {
 struct BatchedGuard {
   explicit BatchedGuard(bool Enabled)
       : PrevCells(batchedCellsEnabled()),
-        PrevAttn(batchedAttentionEnabled()) {
+        PrevAttn(batchedAttentionEnabled()),
+        PrevLossHead(batchedLossHeadEnabled()) {
     setBatchedCellsEnabled(Enabled);
     setBatchedAttentionEnabled(Enabled);
+    setBatchedLossHeadEnabled(Enabled);
   }
   ~BatchedGuard() {
     setBatchedCellsEnabled(PrevCells);
     setBatchedAttentionEnabled(PrevAttn);
+    setBatchedLossHeadEnabled(PrevLossHead);
   }
-  bool PrevCells, PrevAttn;
+  bool PrevCells, PrevAttn, PrevLossHead;
 };
 
 /// One training step of B token sequences advancing in lockstep
@@ -1615,6 +1618,103 @@ void expectMultiQueryBitwise(size_t Q) {
   EXPECT_EQ(Batched.ParamsAfter, Ref.ParamsAfter) << "Q=" << Q;
 }
 
+/// One training step of B lanes through the projection + softmax-CE
+/// loss head, with the single-matmul batch dispatch toggled by
+/// \p Batched (off = per-lane softmaxCrossEntropy(apply(x)) chain).
+StepResult runLossHeadStep(size_t B, bool Batched) {
+  BatchedGuard Guard(Batched);
+  ParamStore Store;
+  Rng R(85);
+  const size_t In = 7, V = 5;
+  Linear Head(Store, "head", In, V, R);
+  std::vector<Var> Xs;
+  std::vector<size_t> Targets;
+  for (size_t I = 0; I < B; ++I) {
+    Xs.push_back(Store.addParam("x" + std::to_string(I),
+                                Tensor::uniform(In, 0.9f, R)));
+    Targets.push_back(I % V);
+  }
+  Adam Opt(Store);
+
+  std::vector<Var> Losses = Head.softmaxCrossEntropyBatch(Xs, Targets);
+  Var Loss = meanLoss(Losses);
+  backward(Loss);
+
+  StepResult Result;
+  Result.Loss = Loss->Value[0];
+  Result.Grads = dumpGrads(Store);
+  Opt.step();
+  Result.ParamsAfter = dumpParams(Store);
+  return Result;
+}
+
+void expectLossHeadBitwise(size_t B) {
+  StepResult Batched = runLossHeadStep(B, true);
+  StepResult Ref = runLossHeadStep(B, false);
+  EXPECT_EQ(Batched.Loss, Ref.Loss) << "B=" << B;
+  EXPECT_EQ(Batched.Grads, Ref.Grads) << "B=" << B;
+  EXPECT_EQ(Batched.ParamsAfter, Ref.ParamsAfter) << "B=" << B;
+}
+
+/// One training step scoring Q queries each against its OWN prepared
+/// memory (distinct lengths) through contextOfMultiMemory, with the
+/// batched dispatch toggled by \p Batched (off = per-query contextOf).
+AttnStepResult runMultiMemoryStep(size_t Q, bool Batched) {
+  BatchedGuard Guard(Batched);
+  ParamStore Store;
+  Rng R(87);
+  const size_t QDim = 6, KeyDim = 5, AttnHidden = 7;
+  AttentionScorer Attn(Store, "attn", QDim, KeyDim, AttnHidden, R);
+  std::vector<Var> Queries;
+  std::vector<std::vector<Var>> Keys(Q);
+  for (size_t I = 0; I < Q; ++I) {
+    Queries.push_back(Store.addParam("q" + std::to_string(I),
+                                     Tensor::uniform(QDim, 0.9f, R)));
+    // Memory lengths differ per query (2, 3, 4, ...): the batched op
+    // must handle ragged key counts.
+    for (size_t T = 0; T < 2 + I; ++T)
+      Keys[I].push_back(
+          Store.addParam("m" + std::to_string(I) + "_" + std::to_string(T),
+                         Tensor::uniform(KeyDim, 0.9f, R)));
+  }
+  Adam Opt(Store);
+
+  std::vector<AttentionScorer::Memory> Mems;
+  Mems.reserve(Q);
+  for (size_t I = 0; I < Q; ++I)
+    Mems.push_back(Attn.prepare(Keys[I]));
+  std::vector<const AttentionScorer::Memory *> MemPtrs;
+  for (const AttentionScorer::Memory &M : Mems)
+    MemPtrs.push_back(&M);
+  std::vector<AttentionScorer::Result> Out =
+      Attn.contextOfMultiMemory(Queries, MemPtrs);
+
+  AttnStepResult Result;
+  std::vector<Var> Norms;
+  for (size_t I = 0; I < Out.size(); ++I) {
+    Result.StepWeights.emplace_back(Out[I].Weights,
+                                    Out[I].Weights + Keys[I].size());
+    Norms.push_back(dot(Out[I].Context, Out[I].Context));
+  }
+  Var Loss = meanLoss(Norms);
+  backward(Loss);
+
+  Result.Loss = Loss->Value[0];
+  Result.Grads = dumpGrads(Store);
+  Opt.step();
+  Result.ParamsAfter = dumpParams(Store);
+  return Result;
+}
+
+void expectMultiMemoryBitwise(size_t Q) {
+  AttnStepResult Batched = runMultiMemoryStep(Q, true);
+  AttnStepResult Ref = runMultiMemoryStep(Q, false);
+  EXPECT_EQ(Batched.Loss, Ref.Loss) << "Q=" << Q;
+  EXPECT_EQ(Batched.StepWeights, Ref.StepWeights) << "Q=" << Q;
+  EXPECT_EQ(Batched.Grads, Ref.Grads) << "Q=" << Q;
+  EXPECT_EQ(Batched.ParamsAfter, Ref.ParamsAfter) << "Q=" << Q;
+}
+
 } // namespace
 
 TEST(BatchedKernelEquivalenceTest, MatmulRowsMatchMatvec) {
@@ -1693,6 +1793,23 @@ TEST(BatchedKernelEquivalenceTest, MultiQueryAttentionIsBitwiseAtQ1) {
 }
 TEST(BatchedKernelEquivalenceTest, MultiQueryAttentionIsBitwiseAtQ4) {
   expectMultiQueryBitwise(4);
+}
+
+TEST(BatchedKernelEquivalenceTest, LossHeadIsBitwiseAtB1) {
+  expectLossHeadBitwise(1);
+}
+TEST(BatchedKernelEquivalenceTest, LossHeadIsBitwiseAtB3) {
+  expectLossHeadBitwise(3);
+}
+TEST(BatchedKernelEquivalenceTest, LossHeadIsBitwiseAtB8) {
+  expectLossHeadBitwise(8);
+}
+
+TEST(BatchedKernelEquivalenceTest, MultiMemoryAttentionIsBitwiseAtQ1) {
+  expectMultiMemoryBitwise(1);
+}
+TEST(BatchedKernelEquivalenceTest, MultiMemoryAttentionIsBitwiseAtQ4) {
+  expectMultiMemoryBitwise(4);
 }
 
 // Direct finite-difference checks of the batch ops, at sizes that
@@ -1780,6 +1897,64 @@ TEST(GradCheckTest, AttentionMultiQueryOpPacked) {
     for (const AttnOut &A : Out)
       Norms.push_back(dot(A.Context, A.Context));
     return sumV(stackScalars(Norms));
+  });
+  EXPECT_TRUE(Result.Ok) << Result.MaxRelError << " at "
+                         << Result.WorstParam;
+}
+
+TEST(GradCheckTest, AttentionMultiMemoryOpPacked) {
+  ParamStore Store;
+  Rng R(89);
+  const size_t QDim = 5, KeyDim = 4, H = 6, Q = 3;
+  Var W1 = Store.addParam("W1", Tensor::xavier(H, KeyDim + QDim, R));
+  Var B1 = Store.addParam("b1", Tensor::uniform(H, 0.2f, R));
+  Var W2 = Store.addParam("W2", Tensor::xavier(1, H, R));
+  Var B2 = Store.addParam("b2", Tensor::uniform(1, 0.2f, R));
+  std::vector<Var> Queries;
+  std::vector<std::vector<Var>> Keys(Q);
+  for (size_t I = 0; I < Q; ++I) {
+    Queries.push_back(Store.addParam("q" + std::to_string(I),
+                                     Tensor::uniform(QDim, 0.9f, R)));
+    // Ragged memories: 2, 3, 4 keys.
+    for (size_t T = 0; T < 2 + I; ++T)
+      Keys[I].push_back(
+          Store.addParam("k" + std::to_string(I) + "_" + std::to_string(T),
+                         Tensor::uniform(KeyDim, 0.9f, R)));
+  }
+  GradCheckResult Result = checkGradients(Store, [&] {
+    std::vector<Var> KPs;
+    std::vector<const std::vector<Var> *> KeysPerQuery;
+    for (size_t I = 0; I < Q; ++I) {
+      KPs.push_back(attentionKeyProj(W1, B1, Keys[I]));
+      KeysPerQuery.push_back(&Keys[I]);
+    }
+    std::vector<AttnOut> Out =
+        attentionMultiMemoryOp(W1, W2, B2, Queries, KPs, KeysPerQuery);
+    std::vector<Var> Norms;
+    for (const AttnOut &A : Out)
+      Norms.push_back(dot(A.Context, A.Context));
+    return sumV(stackScalars(Norms));
+  });
+  EXPECT_TRUE(Result.Ok) << Result.MaxRelError << " at "
+                         << Result.WorstParam;
+}
+
+TEST(GradCheckTest, SoftmaxCrossEntropyBatchOpPacked) {
+  ParamStore Store;
+  Rng R(91);
+  const size_t In = 6, V = 4, B = 3;
+  Var W = Store.addParam("W", Tensor::xavier(V, In, R));
+  Var Bias = Store.addParam("b", Tensor::uniform(V, 0.2f, R));
+  std::vector<Var> Xs;
+  std::vector<size_t> Targets;
+  for (size_t I = 0; I < B; ++I) {
+    Xs.push_back(Store.addParam("x" + std::to_string(I),
+                                Tensor::uniform(In, 0.9f, R)));
+    Targets.push_back(I % V);
+  }
+  GradCheckResult Result = checkGradients(Store, [&] {
+    std::vector<Var> Losses = softmaxCrossEntropyBatchOp(W, Bias, Xs, Targets);
+    return sumV(stackScalars(Losses));
   });
   EXPECT_TRUE(Result.Ok) << Result.MaxRelError << " at "
                          << Result.WorstParam;

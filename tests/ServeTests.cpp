@@ -148,6 +148,31 @@ TEST(InferenceEquivalenceTest, LstmEncodeDecodeBitwise) {
 // WeightImageTest
 //===----------------------------------------------------------------------===//
 
+namespace {
+
+/// Entry-by-entry bitwise comparison of \p Got against \p Want.
+void expectImagesBitwise(const WeightImage &Want, const WeightImage &Got) {
+  ASSERT_EQ(Got.entries().size(), Want.entries().size());
+  ASSERT_EQ(Got.totalScalars(), Want.totalScalars());
+  EXPECT_TRUE(Got.version() == Want.version());
+  for (const WeightImage::Entry &E : Want.entries()) {
+    const WeightImage::Entry *L = Got.find(E.Name);
+    ASSERT_NE(L, nullptr) << E.Name;
+    ASSERT_EQ(L->Rank, E.Rank);
+    ASSERT_EQ(L->Dims[0], E.Dims[0]);
+    ASSERT_EQ(L->Dims[1], E.Dims[1]);
+    const float *A = E.Rank == 2
+                         ? Want.tensor2d(E.Name, E.Dims[0], E.Dims[1])
+                         : Want.tensor1d(E.Name, E.Size);
+    const float *B = L->Rank == 2
+                         ? Got.tensor2d(E.Name, E.Dims[0], E.Dims[1])
+                         : Got.tensor1d(E.Name, E.Size);
+    EXPECT_EQ(std::memcmp(A, B, E.Size * sizeof(float)), 0) << E.Name;
+  }
+}
+
+} // namespace
+
 TEST(WeightImageTest, RoundTripIsBitwise) {
   WeightImage Image = tinyImage(3);
   std::string Path = tempPath("liger-wi-roundtrip.lgwi");
@@ -156,24 +181,49 @@ TEST(WeightImageTest, RoundTripIsBitwise) {
 
   WeightImage Loaded;
   ASSERT_TRUE(WeightImage::load(Path, Loaded, &Error)) << Error;
-  ASSERT_EQ(Loaded.entries().size(), Image.entries().size());
-  ASSERT_EQ(Loaded.totalScalars(), Image.totalScalars());
-  EXPECT_TRUE(Loaded.version() == Image.version());
-  for (const WeightImage::Entry &E : Image.entries()) {
-    const WeightImage::Entry *L = Loaded.find(E.Name);
-    ASSERT_NE(L, nullptr) << E.Name;
-    ASSERT_EQ(L->Rank, E.Rank);
-    ASSERT_EQ(L->Dims[0], E.Dims[0]);
-    ASSERT_EQ(L->Dims[1], E.Dims[1]);
-    const float *A = E.Rank == 2
-                         ? Image.tensor2d(E.Name, E.Dims[0], E.Dims[1])
-                         : Image.tensor1d(E.Name, E.Size);
-    const float *B = L->Rank == 2
-                         ? Loaded.tensor2d(E.Name, E.Dims[0], E.Dims[1])
-                         : Loaded.tensor1d(E.Name, E.Size);
-    EXPECT_EQ(std::memcmp(A, B, E.Size * sizeof(float)), 0) << E.Name;
-  }
+  EXPECT_FALSE(Loaded.mapped());
+  expectImagesBitwise(Image, Loaded);
   std::remove(Path.c_str());
+}
+
+TEST(WeightImageTest, MapRoundTripIsBitwise) {
+  WeightImage Image = tinyImage(3);
+  std::string Path = tempPath("liger-wi-maptrip.lgwi");
+  std::string Error;
+  ASSERT_TRUE(Image.save(Path, &Error)) << Error;
+
+  WeightImage Mapped;
+  ASSERT_TRUE(WeightImage::map(Path, Mapped, &Error)) << Error;
+  EXPECT_TRUE(Mapped.mapped());
+  expectImagesBitwise(Image, Mapped);
+  // The v2 payload alignment is what makes mapped tensor reads
+  // naturally aligned — check it on the actual mapped addresses.
+  for (const WeightImage::Entry &E : Mapped.entries()) {
+    const float *P = E.Rank == 2
+                         ? Mapped.tensor2d(E.Name, E.Dims[0], E.Dims[1])
+                         : Mapped.tensor1d(E.Name, E.Size);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(P) % alignof(float), 0u) << E.Name;
+  }
+
+  // Copies share the mapping; reads stay valid after the original
+  // image is gone and after the file is unlinked (POSIX keeps mapped
+  // pages alive until the last munmap).
+  WeightImage Copy = Mapped;
+  Mapped = WeightImage();
+  std::remove(Path.c_str());
+  expectImagesBitwise(Image, Copy);
+}
+
+TEST(WeightImageTest, MapFallsBackToReadOnMissingMmapTarget) {
+  // open() failing is the first rung of the fallback ladder: map()
+  // must degrade to load()'s answer (here: a clean failure), never
+  // crash or half-fill the output.
+  WeightImage Out;
+  std::string Error;
+  EXPECT_FALSE(WeightImage::map(tempPath("liger-wi-absent.lgwi"), Out,
+                                &Error));
+  EXPECT_FALSE(Error.empty());
+  EXPECT_TRUE(Out.empty());
 }
 
 TEST(WeightImageTest, TruncationAtEveryOffsetFailsCleanly) {
@@ -189,6 +239,9 @@ TEST(WeightImageTest, TruncationAtEveryOffsetFailsCleanly) {
     WeightImage Out;
     EXPECT_FALSE(WeightImage::load(TruncPath, Out, nullptr))
         << "truncation to " << Len << " bytes must fail";
+    WeightImage MapOut;
+    EXPECT_FALSE(WeightImage::map(TruncPath, MapOut, nullptr))
+        << "mapped truncation to " << Len << " bytes must fail";
   }
   std::remove(Path.c_str());
   std::remove(TruncPath.c_str());
@@ -207,9 +260,13 @@ TEST(WeightImageTest, EveryByteFlipRejected) {
     writeFileBytes(FlipPath, Mutated);
     WeightImage Out;
     // The content digest covers the header, the directory, and every
-    // data byte, so no single-byte flip may load successfully.
+    // data byte, and the alignment pad must be zero, so no single-byte
+    // flip may load successfully — through either backing.
     EXPECT_FALSE(WeightImage::load(FlipPath, Out, nullptr))
         << "flip at offset " << I << " must be rejected";
+    WeightImage MapOut;
+    EXPECT_FALSE(WeightImage::map(FlipPath, MapOut, nullptr))
+        << "mapped flip at offset " << I << " must be rejected";
   }
   std::remove(Path.c_str());
   std::remove(FlipPath.c_str());

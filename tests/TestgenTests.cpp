@@ -13,6 +13,7 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <filesystem>
 
 using namespace liger;
@@ -464,6 +465,87 @@ TEST(TraceCacheTest, KeyStableAndSensitive) {
   Changed = Options;
   Changed.Interp.RecordStates = !Options.Interp.RecordStates;
   EXPECT_EQ(traceCacheKey(SortProgram, "sort", Changed), Base);
+}
+
+TEST(TraceCacheTest, ScopePartitionsTheKey) {
+  // Two corpora sharing one cache directory must never serve each
+  // other's entries, even for identical source and options: the
+  // dataset scope is part of the key.
+  TestGenOptions Options = tinyTraceGen();
+  TraceCacheKey Unscoped = traceCacheKey(SortProgram, "sort", Options);
+
+  TestGenOptions Med = Options;
+  Med.Scope = "med";
+  TestGenOptions Large = Options;
+  Large.Scope = "large";
+  TraceCacheKey MedKey = traceCacheKey(SortProgram, "sort", Med);
+  TraceCacheKey LargeKey = traceCacheKey(SortProgram, "sort", Large);
+
+  EXPECT_NE(MedKey, Unscoped);
+  EXPECT_NE(LargeKey, Unscoped);
+  EXPECT_NE(MedKey, LargeKey);
+  EXPECT_EQ(traceCacheKey(SortProgram, "sort", Med), MedKey);
+}
+
+TEST(TraceCacheTest, MaxBytesEvictsLeastRecentlyUsed) {
+  namespace fs = std::filesystem;
+  std::string Dir = testing::TempDir() + "/liger_trace_cache_evict";
+  std::error_code Ec;
+  fs::remove_all(Dir, Ec); // stale entries from prior runs
+
+  // Synthetic entries with distinct keys; identical payloads keep
+  // every on-disk file the same size, so the budget arithmetic below
+  // is exact.
+  auto KeyOf = [](int I) {
+    TestGenOptions O = tinyTraceGen();
+    O.Seed = 1000 + static_cast<uint64_t>(I);
+    return traceCacheKey(SortProgram, "sort", O);
+  };
+  CachedTraceEntry Entry;
+  Entry.Attempts = 1;
+  Entry.OkRuns = 1;
+  uint64_t One = serializeCacheEntry(KeyOf(0), Entry).size();
+
+  TraceCache Cache(TraceCacheMode::Full, Dir, /*MaxBytes=*/3 * One);
+  EXPECT_EQ(Cache.maxBytes(), 3 * One);
+  for (int I = 0; I < 3; ++I)
+    Cache.store(KeyOf(I), Entry);
+  // Exactly at the bound: nothing to evict.
+  EXPECT_EQ(Cache.evictions(), 0u);
+  for (int I = 0; I < 3; ++I)
+    EXPECT_TRUE(fs::exists(Cache.entryPath(KeyOf(I)))) << I;
+
+  // Age the files deterministically (filesystem mtime granularity can
+  // be one second, far coarser than this test): entry 1 becomes the
+  // LRU victim, entry 0 the runner-up.
+  auto Now = fs::last_write_time(Cache.entryPath(KeyOf(2)));
+  fs::last_write_time(Cache.entryPath(KeyOf(1)), Now - std::chrono::hours(2));
+  fs::last_write_time(Cache.entryPath(KeyOf(0)), Now - std::chrono::hours(1));
+
+  // The fourth store pushes the directory over budget by one entry:
+  // exactly the oldest file goes.
+  Cache.store(KeyOf(3), Entry);
+  EXPECT_EQ(Cache.evictions(), 1u);
+  EXPECT_FALSE(fs::exists(Cache.entryPath(KeyOf(1))));
+  EXPECT_TRUE(fs::exists(Cache.entryPath(KeyOf(0))));
+  EXPECT_TRUE(fs::exists(Cache.entryPath(KeyOf(2))));
+  EXPECT_TRUE(fs::exists(Cache.entryPath(KeyOf(3))));
+
+  // A fresh cache (post-restart view) misses the evicted entry and
+  // still hits a surviving one; the writer's own memory map keeps
+  // serving the evicted key regardless.
+  TraceCache Fresh(TraceCacheMode::Full, Dir);
+  CachedTraceEntry Out;
+  EXPECT_FALSE(Fresh.lookup(KeyOf(1), Out));
+  EXPECT_TRUE(Fresh.lookup(KeyOf(0), Out));
+  EXPECT_TRUE(Cache.lookup(KeyOf(1), Out));
+
+  // A budget smaller than one entry still keeps the newest store: the
+  // entry just written is never its own victim.
+  TraceCache Tiny(TraceCacheMode::Full, Dir, /*MaxBytes=*/1);
+  Tiny.store(KeyOf(9), Entry);
+  EXPECT_TRUE(fs::exists(Tiny.entryPath(KeyOf(9))));
+  EXPECT_EQ(Tiny.evictions(), 3u); // everything but the new entry
 }
 
 TEST(TraceCacheTest, PortableValueRoundTrip) {
